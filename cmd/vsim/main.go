@@ -1,0 +1,78 @@
+// Command vsim is the VLIW baseline simulator — the reproduction of the
+// paper's vsim (Section 4.1). It accepts XIMD assembly whose parcels all
+// carry identical control (VLIW-style code, Section 3.1) or .machine
+// vliw sources, converts to the native single-sequencer machine, and
+// runs it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ximd/internal/asm"
+	"ximd/internal/hostcfg"
+	"ximd/internal/mem"
+	"ximd/internal/vliw"
+)
+
+func main() {
+	var pokeRegs, pokeMems, peeks hostcfg.StringsFlag
+	flag.Var(&pokeRegs, "poke", "register initialization rN=V (repeatable)")
+	flag.Var(&pokeMems, "mem", "memory initialization ADDR=V,V,... (repeatable)")
+	flag.Var(&peeks, "peek", "memory range to print after the run, ADDR:N (repeatable)")
+	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vsim [flags] prog.xasm")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	xprog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vliw.FromXIMD(xprog)
+	if err != nil {
+		fatal(fmt.Errorf("not VLIW-style code: %w", err))
+	}
+	rp, err := hostcfg.ParseRegPokes(pokeRegs)
+	if err != nil {
+		fatal(err)
+	}
+	mp, err := hostcfg.ParseMemPokes(pokeMems)
+	if err != nil {
+		fatal(err)
+	}
+	pk, err := hostcfg.ParseMemPeeks(peeks)
+	if err != nil {
+		fatal(err)
+	}
+
+	memory := mem.NewShared(0)
+	m, err := vliw.New(prog, vliw.Config{Memory: memory, MaxCycles: *maxCycles})
+	if err != nil {
+		fatal(err)
+	}
+	hostcfg.Apply(m.Regs(), memory, rp, mp)
+	cycles, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	s := m.Stats()
+	fmt.Printf("halted after %d cycles; ops=%d ops/cycle=%.2f util=%.1f%% branches=%d/%d\n",
+		cycles, s.TotalDataOps(), s.OpsPerCycle(), 100*s.Utilization(), s.TakenBranches, s.CondBranches)
+	for _, p := range pk {
+		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, memory.PeekInts(p.Base, p.N))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsim:", err)
+	os.Exit(1)
+}

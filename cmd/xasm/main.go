@@ -1,0 +1,79 @@
+// Command xasm assembles XIMD assembly text into binary program images
+// and disassembles images back to text.
+//
+// Usage:
+//
+//	xasm prog.xasm -o prog.img        assemble to a binary image
+//	xasm -d prog.img                  disassemble an image to stdout
+//	xasm -list prog.xasm              assemble and print the listing
+//
+// See internal/asm for the assembly language reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ximd/internal/asm"
+	"ximd/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "output image path (default: stdout listing only)")
+	dis := flag.Bool("d", false, "disassemble a binary image instead of assembling")
+	list := flag.Bool("list", false, "print the program listing")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: xasm [-o image] [-list] prog.xasm\n       xasm -d prog.img\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	if *dis {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		prog, err := isa.ReadProgram(f)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Print(asm.Format(prog))
+		return
+	}
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d FUs, %d instructions, %d parcels\n",
+		path, prog.NumFU, prog.Len(), prog.OccupiedParcels())
+	if *list {
+		fmt.Print(prog.String())
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := isa.WriteProgram(f, prog); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xasm:", err)
+	os.Exit(1)
+}

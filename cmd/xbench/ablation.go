@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ximd/internal/core"
+	"ximd/internal/workloads"
+)
+
+// expAblation measures the design decisions DESIGN.md calls out:
+//
+//  1. the combinational SS network of Figure 8 (vs a registered one) —
+//     every barrier and SS-gated handoff costs an extra cycle when SS is
+//     registered;
+//  2. equal-path-length padding (Example 2 style) vs explicit barriers
+//     (Example 3 style) — the crossover is the data's bit density.
+func expAblation() error {
+	// 1. Combinational vs registered SS on barrier-heavy BITCOUNT1.
+	r := rand.New(rand.NewSource(17))
+	data := make([]int32, 32)
+	for i := range data {
+		data[i] = int32(r.Uint32())
+	}
+	inst := workloads.Bitcount(data)
+	runWith := func(registered bool) (uint64, error) {
+		env := inst.NewEnv()
+		m, err := core.New(inst.XIMD, core.Config{Memory: env.Mem, RegisteredSS: registered})
+		if err != nil {
+			return 0, err
+		}
+		for reg, v := range inst.Regs {
+			m.Regs().Poke(reg, v)
+		}
+		if _, err := m.Run(); err != nil {
+			return 0, err
+		}
+		if err := env.Check(m.Regs()); err != nil {
+			return 0, err
+		}
+		return m.Cycle(), nil
+	}
+	comb, err := runWith(false)
+	if err != nil {
+		return err
+	}
+	regd, err := runWith(true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("SS network (bitcount n=32, barrier every 4 elements):")
+	fmt.Printf("  combinational (paper, Figure 8): %6d cycles\n", comb)
+	fmt.Printf("  registered (ablation):           %6d cycles (+%d, one per barrier/handoff)\n",
+		regd, regd-comb)
+
+	// 2. Padding vs barrier across bit densities.
+	fmt.Println("\nequal-length padding (Example 2 style) vs ALL-SS barrier (Example 3 style), n=24:")
+	fmt.Printf("  %-22s %10s %10s %10s\n", "data", "barrier", "padded", "winner")
+	for _, d := range []struct {
+		name string
+		gen  func(*rand.Rand) int32
+	}{
+		{"sparse (0..7)", func(r *rand.Rand) int32 { return int32(r.Intn(8)) }},
+		{"medium (16-bit)", func(r *rand.Rand) int32 { return int32(r.Intn(1 << 16)) }},
+		{"dense (bit 31 set)", func(r *rand.Rand) int32 { return int32(r.Uint32() | 0x80000000) }},
+	} {
+		rr := rand.New(rand.NewSource(23))
+		vals := make([]int32, 24)
+		for i := range vals {
+			vals[i] = d.gen(rr)
+		}
+		mb, err := workloads.RunXIMD(workloads.Bitcount(vals), nil)
+		if err != nil {
+			return err
+		}
+		mp, err := workloads.RunXIMD(workloads.BitcountPadded(vals), nil)
+		if err != nil {
+			return err
+		}
+		winner := "barrier"
+		if mp.Cycle() < mb.Cycle() {
+			winner = "padded"
+		}
+		fmt.Printf("  %-22s %10d %10d %10s\n", d.name, mb.Cycle(), mp.Cycle(), winner)
+	}
+	bprog := workloads.Bitcount([]int32{1, 2, 3, 4}).XIMD
+	pprog := workloads.BitcountPadded([]int32{1, 2, 3, 4}).XIMD
+	fmt.Printf("  static size: barrier %d rows / %d parcels, padded %d rows / %d parcels\n",
+		bprog.Len(), bprog.OccupiedParcels(), pprog.Len(), pprog.OccupiedParcels())
+
+	// 3. Partial barriers (Section 3.3's generalization) vs full barriers
+	// on two asymmetric producer/consumer groups.
+	mp, err := workloads.RunXIMD(workloads.PartialBarrier(2, 40, 40, 2), nil)
+	if err != nil {
+		return err
+	}
+	mf, err := workloads.RunXIMD(workloads.PartialBarrierFull(2, 40, 40, 2), nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\npartial vs full barriers (two asymmetric producer/consumer groups):")
+	fmt.Printf("  allss{0,1} + allss{2,3} (partial): %5d cycles\n", mp.Cycle())
+	fmt.Printf("  allss at both points (full):       %5d cycles (%.2fx slower: groups serialize)\n",
+		mf.Cycle(), float64(mf.Cycle())/float64(mp.Cycle()))
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command xbench regenerates every figure and table of the paper's
+// evaluation. Each experiment is named after its DESIGN.md id; see the
+// per-experiment index there and the recorded results in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	xbench -exp all          run everything
+//	xbench -exp trace10      reproduce the Figure 10 address trace
+//	xbench -list             list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+type experiment struct {
+	name  string
+	about string
+	run   func() error
+}
+
+var experiments = []experiment{
+	{"models", "Figures 3-6: SISD/SIMD/VLIW/MIMD emulation on the XIMD", expModels},
+	{"isa", "Figure 7: the XIMD-1 instruction set", expISA},
+	{"tproc", "Example 1: percolation-scheduled TPROC", expTPROC},
+	{"ll12", "Livermore Loop 12: software pipelining", expLL12},
+	{"minmax", "Example 2: implicit-barrier fork/join MINMAX", expMinMax},
+	{"trace10", "Figure 10: the MINMAX address trace, row for row", expTrace10},
+	{"bitcount", "Example 3 + Figure 11: BITCOUNT1 barrier synchronization", expBitcount},
+	{"ioports", "Figure 12: non-blocking synchronizations on I/O ports", expIOPorts},
+	{"tiles", "Figure 13: thread tiles and packing algorithms", expTiles},
+	{"proto", "Section 4.3: prototype peak rates and pipeline cost", expProto},
+	{"regfile", "Section 4.4: register file chip composition", expRegfile},
+	{"speedup", "Section 4.1: XIMD vs VLIW across the workload suite", expSpeedup},
+	{"ablation", "design-decision ablations: combinational SS, barrier vs padding", expAblation},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (or 'all')")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.name, e.about)
+		}
+		return
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		names[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !names["all"] && !names[e.name] {
+			continue
+		}
+		fmt.Printf("==== %s — %s ====\n", e.name, e.about)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		ran++
+	}
+	if ran == 0 {
+		known := make([]string, len(experiments))
+		for i, e := range experiments {
+			known[i] = e.name
+		}
+		sort.Strings(known)
+		fmt.Fprintf(os.Stderr, "xbench: unknown experiment %q (known: %s, all)\n",
+			*exp, strings.Join(known, ", "))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,174 @@
+// Command xcc compiles minic source to XIMD programs.
+//
+// Usage:
+//
+//	xcc -width 4 -unroll 2 prog.mc            print schedule summary
+//	xcc -S prog.mc                            emit assembly text
+//	xcc -o prog.img prog.mc                   emit a binary image
+//	xcc -run -mem n=5 ... prog.mc             compile and run immediately
+//	xcc -tiles prog.mc                        print Figure 13 tile candidates
+//
+// See internal/compiler for the language reference.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ximd/internal/asm"
+	"ximd/internal/compiler"
+	"ximd/internal/core"
+	"ximd/internal/hostcfg"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+func main() {
+	width := flag.Int("width", 8, "functional-unit width (1..8)")
+	unroll := flag.Int("unroll", 1, "loop unrolling factor")
+	emitAsm := flag.Bool("S", false, "emit assembly text")
+	out := flag.String("o", "", "binary image output path")
+	run := flag.Bool("run", false, "run the compiled program")
+	tiles := flag.Bool("tiles", false, "print tile candidates at widths 1,2,4,8")
+	var pokeMems, peeks hostcfg.StringsFlag
+	flag.Var(&pokeMems, "mem", "with -run: memory initialization ADDR=V,V,... or GLOBAL=V,V,...")
+	flag.Var(&peeks, "peek", "with -run: GLOBAL:N ranges to print after the run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xcc [flags] prog.mc")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *tiles {
+		cands, err := compiler.TileCandidates(string(src), []int{1, 2, 4, 8})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("width  length  area")
+		for _, c := range cands {
+			fmt.Printf("%5d  %6d  %4d\n", c.Width, c.Length, c.Area())
+		}
+		return
+	}
+
+	c, err := compiler.Compile(string(src), compiler.Options{Width: *width, Unroll: *unroll})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "compiled: width=%d rows=%d parcels=%d par=%v\n",
+		c.Width, c.Rows, c.Parcels, c.HasPar)
+
+	var names []string
+	for _, s := range c.Syms.Syms {
+		names = append(names, fmt.Sprintf("%s@%d[%d]", s.Name, s.Addr, s.Size))
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(os.Stderr, "globals: %v\n", names)
+	}
+
+	if *emitAsm {
+		fmt.Print(asm.Format(c.Prog))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := isa.WriteProgram(f, c.Prog); err != nil {
+			fatal(err)
+		}
+	}
+	if *run {
+		if err := runCompiled(c, pokeMems, peeks); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runCompiled executes the program, resolving -mem/-peek global names
+// through the symbol table.
+func runCompiled(c *compiler.Compiled, pokeMems, peeks []string) error {
+	memory := mem.NewShared(0)
+	resolve := func(name string) (uint32, bool) {
+		if sym, ok := c.Syms.Lookup(name); ok {
+			return sym.Addr, true
+		}
+		return 0, false
+	}
+	for _, spec := range pokeMems {
+		base, vals, err := parseNamedPoke(spec, resolve)
+		if err != nil {
+			return err
+		}
+		memory.PokeInts(base, vals...)
+	}
+	m, err := core.New(c.Prog, core.Config{Memory: memory})
+	if err != nil {
+		return err
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("halted after %d cycles\n%s\n", cycles, m.Stats())
+	for _, spec := range peeks {
+		name, n, err := splitPeek(spec)
+		if err != nil {
+			return err
+		}
+		base, ok := resolve(name)
+		if !ok {
+			return fmt.Errorf("unknown global %q", name)
+		}
+		fmt.Printf("%s = %v\n", name, memory.PeekInts(base, n))
+	}
+	return nil
+}
+
+func parseNamedPoke(spec string, resolve func(string) (uint32, bool)) (uint32, []int32, error) {
+	mp, err := hostcfg.ParseMemPokes([]string{spec})
+	if err == nil {
+		return mp[0].Base, mp[0].Vals, nil
+	}
+	// GLOBAL=V,V,... form.
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == '=' {
+			if base, ok := resolve(spec[:i]); ok {
+				mp, err := hostcfg.ParseMemPokes([]string{fmt.Sprintf("%d=%s", base, spec[i+1:])})
+				if err != nil {
+					return 0, nil, err
+				}
+				return mp[0].Base, mp[0].Vals, nil
+			}
+			return 0, nil, fmt.Errorf("unknown global in %q", spec)
+		}
+	}
+	return 0, nil, fmt.Errorf("bad memory poke %q", spec)
+}
+
+func splitPeek(spec string) (string, int, error) {
+	for i := 0; i < len(spec); i++ {
+		if spec[i] == ':' {
+			n := 0
+			if _, err := fmt.Sscanf(spec[i+1:], "%d", &n); err != nil || n < 1 {
+				return "", 0, fmt.Errorf("bad peek count in %q", spec)
+			}
+			return spec[:i], n, nil
+		}
+	}
+	return "", 0, fmt.Errorf("bad peek %q (want GLOBAL:N)", spec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command xsim is the XIMD-1 architecture simulator — the reproduction
+// of the paper's xsim (Section 4.1). It loads an assembly file or binary
+// image, runs it to completion, and reports statistics, with optional
+// Figure 10 style address tracing.
+//
+// Usage:
+//
+//	xsim [flags] prog.xasm
+//
+//	-poke r2=4        initialize a register (repeatable)
+//	-mem 256=5,3,4,7  initialize memory words (repeatable)
+//	-peek 1024:4      print memory words after the run (repeatable)
+//	-trace            print the address trace (Figure 10 format)
+//	-timeline         print the concurrent-stream timeline
+//	-max N            cycle limit
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"ximd/internal/asm"
+	"ximd/internal/core"
+	"ximd/internal/hostcfg"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/trace"
+)
+
+func main() {
+	var pokeRegs, pokeMems, peeks hostcfg.StringsFlag
+	flag.Var(&pokeRegs, "poke", "register initialization rN=V (repeatable)")
+	flag.Var(&pokeMems, "mem", "memory initialization ADDR=V,V,... (repeatable)")
+	flag.Var(&peeks, "peek", "memory range to print after the run, ADDR:N (repeatable)")
+	doTrace := flag.Bool("trace", false, "print the Figure 10 style address trace")
+	timeline := flag.Bool("timeline", false, "print the concurrent-stream timeline")
+	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
+	tolerate := flag.Bool("tolerate-conflicts", false, "do not stop on same-cycle write conflicts")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xsim [flags] prog.xasm|prog.img")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	prog, err := loadProgram(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	rp, err := hostcfg.ParseRegPokes(pokeRegs)
+	if err != nil {
+		fatal(err)
+	}
+	mp, err := hostcfg.ParseMemPokes(pokeMems)
+	if err != nil {
+		fatal(err)
+	}
+	pk, err := hostcfg.ParseMemPeeks(peeks)
+	if err != nil {
+		fatal(err)
+	}
+
+	memory := mem.NewShared(0)
+	rec := &trace.Recorder{}
+	cfg := core.Config{Memory: memory, MaxCycles: *maxCycles, TolerateConflicts: *tolerate}
+	if *doTrace || *timeline {
+		cfg.Tracer = rec
+	}
+	m, err := core.New(prog, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	hostcfg.Apply(m.Regs(), memory, rp, mp)
+
+	cycles, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+	if *doTrace {
+		fmt.Print(trace.FormatAddressTrace(rec.Records, trace.Options{ShowSS: true}))
+	}
+	if *timeline {
+		fmt.Println("streams:", trace.FormatStreamTimeline(rec.Records))
+	}
+	fmt.Printf("halted after %d cycles\n%s\n", cycles, m.Stats())
+	for _, p := range pk {
+		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, memory.PeekInts(p.Base, p.N))
+	}
+}
+
+// loadProgram reads assembly text or a binary image, selected by
+// content (images start with the XIMD magic).
+func loadProgram(path string) (*isa.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) >= 4 && bytes.Equal(data[:4], []byte{0x44, 0x4d, 0x49, 0x58}) { // "XIMD" little-endian
+		return isa.ReadProgram(bytes.NewReader(data))
+	}
+	return asm.Assemble(string(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Tiling demonstrates the Figure 13 compilation approach end to end:
+// four program threads are each compiled at widths 1, 2, 4, and 8,
+// producing code tiles; three packing algorithms then place one tile per
+// thread into the 8-FU instruction memory, optimizing static code size —
+// the paper's "problem ... quite similar to ... standard cell placement
+// in VLSI CAD".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ximd"
+)
+
+var threadSources = map[string]string{
+	"fir": `var x[128], h[8], y[128];
+func main() {
+    var i, j, acc;
+    for (i = 0; i < 120; i = i + 1) {
+        acc = 0;
+        for (j = 0; j < 8; j = j + 1) { acc = acc + x[i+j] * h[j]; }
+        y[i] = acc;
+    }
+}`,
+	"scale": `var a[256], b[256];
+func main() {
+    var i;
+    for (i = 0; i < 256; i = i + 1) { b[i] = a[i] * 3 / 2 + 17; }
+}`,
+	"clip": `var v[64], w[64];
+func main() {
+    var i;
+    for (i = 0; i < 64; i = i + 1) {
+        if (v[i] > 100) { w[i] = 100; } else if (v[i] < -100) { w[i] = -100; } else { w[i] = v[i]; }
+    }
+}`,
+	"dot": `var p[32], q[32], r[1];
+func main() {
+    var i, s = 0;
+    for (i = 0; i < 32; i = i + 1) { s = s + p[i] * q[i]; }
+    r[0] = s;
+}`,
+}
+
+func main() {
+	var threads []ximd.TileThread
+	names := []string{"fir", "scale", "clip", "dot"}
+	fmt.Println("thread tiles (width x static length):")
+	for _, name := range names {
+		cands, err := ximd.TileCandidates(threadSources[name], []int{1, 2, 4, 8})
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		threads = append(threads, ximd.TileThread{Name: name, Candidates: cands})
+		fmt.Printf("  %-6s", name)
+		for _, c := range cands {
+			fmt.Printf("  %dx%d", c.Width, c.Length)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	fmt.Printf("%-12s %8s %13s  placements\n", "packer", "height", "utilization")
+	for _, p := range []struct {
+		name string
+		f    func([]ximd.TileThread, int) (ximd.TilePacking, error)
+	}{
+		{"shelf-ffd", ximd.PackShelfFFD},
+		{"skyline", ximd.PackSkyline},
+		{"exhaustive", ximd.PackExhaustive},
+	} {
+		pk, err := p.f(threads, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pk.Validate(threads, nil); err != nil {
+			log.Fatalf("%s produced an invalid packing: %v", p.name, err)
+		}
+		fmt.Printf("%-12s %8d %12.0f%%  ", p.name, pk.Height, 100*pk.Utilization(threads))
+		for _, pl := range pk.Placements {
+			c := threads[pl.Thread].Candidates[pl.Choice]
+			fmt.Printf("%s@fu%d,addr%d(%dx%d) ", threads[pl.Thread].Name, pl.FU, pl.Addr, c.Width, c.Length)
+		}
+		fmt.Println()
+	}
+}

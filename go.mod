@@ -1,0 +1,3 @@
+module ximd
+
+go 1.22

@@ -1,0 +1,639 @@
+// Package asm implements the XIMD assembler: a textual language for
+// instruction parcels that assembles to isa.Program images.
+//
+// # Language
+//
+// A program is a sequence of lines. ';' starts a comment. Directives:
+//
+//	.machine ximd|vliw    execution style (default ximd)
+//	.fus N                number of functional units (default 8)
+//	.const name = expr    integer constant (decimal, hex, or char)
+//	.reg name = rN        symbolic register name
+//	.fu N                 start the parcel stream for functional unit N
+//	                      (ximd mode only); resets the location counter to 0
+//	.org ADDR             set the location counter within the current stream
+//
+// Each remaining line is one instruction parcel (ximd mode):
+//
+//	[label:] dataop [=> ctrl] [!busy | !done]
+//
+// or one very long instruction (vliw mode):
+//
+//	[label:] dataop | dataop | ... [=> ctrl]
+//
+// Data operations use the mnemonics of package isa: binary ops and loads
+// are written "op a, b, d", unary ops "op a, d", compares and stores
+// "op a, b", and "nop" stands alone. Operands are registers (r0..r255 or
+// a .reg name) or immediates (#10, #-3, #0xff, #1.5f, #name for a .const).
+//
+// Control operations:
+//
+//	goto TARGET
+//	if cc2 T1 T2        branch on a condition code
+//	if !cc2 T1 T2       …negated
+//	if ss3 T1 T2        branch on a synchronization signal
+//	if !ss3 T1 T2
+//	if allss T1 T2      the paper's ∏(SSi == DONE) barrier condition
+//	if anyss T1 T2      the paper's Σ(SSi == DONE)
+//	if allss{0,1,3} T1 T2   partial barrier over the listed FUs
+//	if anyss{2,4} T1 T2
+//	halt
+//
+// Targets are labels or decimal addresses. A parcel without an explicit
+// control operation falls through: it assembles as "goto" to the next
+// address in its stream (XIMD-1 has no PC incrementer, so the assembler
+// materializes sequential flow as explicit branches). The sync field
+// defaults to !busy.
+//
+// A label binds to the parcel's address. The same label may appear in
+// several .fu streams only at the same address. The label "start", if
+// present, sets the program entry point.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ximd/internal/isa"
+)
+
+// Error is one assembly diagnostic.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList is the set of diagnostics from one assembly.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	msgs := make([]string, len(l))
+	for i, e := range l {
+		msgs[i] = e.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+type assembler struct {
+	machine string // "ximd" or "vliw"
+	numFU   int
+	consts  map[string]int32
+	regs    map[string]uint8
+	errs    ErrorList
+
+	// parcels are collected first; addresses and label references are
+	// resolved once geometry is known.
+	lines []srcLine
+}
+
+type srcLine struct {
+	line    int
+	fu      int // stream the parcel belongs to (ximd mode)
+	addr    isa.Addr
+	label   string
+	ops     []isa.DataOp
+	ctrl    *ctrlSpec // nil means fall-through
+	sync    isa.Sync
+	vliwRow bool
+}
+
+type ctrlSpec struct {
+	op     isa.CtrlOp
+	t1, t2 string // label names, empty when numeric targets already set
+}
+
+// Assemble parses and assembles the source text. On failure it returns an
+// ErrorList with every diagnostic found.
+func Assemble(src string) (*isa.Program, error) {
+	a := &assembler{
+		machine: "ximd",
+		numFU:   isa.NumFU,
+		consts:  map[string]int32{},
+		regs:    map[string]uint8{},
+	}
+	a.parse(src)
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	prog, err := a.build()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, &Error{Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) parse(src string) {
+	curFU := 0
+	loc := isa.Addr(0)
+	sawFuDirective := false
+	sawParcel := false
+
+	for i, raw := range strings.Split(src, "\n") {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+
+		if strings.HasPrefix(line, ".") {
+			a.directive(lineNo, line, &curFU, &loc, &sawFuDirective, sawParcel)
+			continue
+		}
+
+		// Optional label.
+		label := ""
+		if idx := strings.IndexByte(line, ':'); idx >= 0 && isIdent(strings.TrimSpace(line[:idx])) {
+			label = strings.TrimSpace(line[:idx])
+			line = strings.TrimSpace(line[idx+1:])
+		}
+
+		sl := srcLine{line: lineNo, fu: curFU, addr: loc, label: label, sync: isa.Busy, vliwRow: a.machine == "vliw"}
+
+		// Split off the sync field: a trailing "!word". A '!' inside a
+		// control condition (if !cc0 …) is followed by more than one word
+		// and is left alone.
+		if idx := strings.LastIndexByte(line, '!'); idx >= 0 {
+			syncTok := strings.ToLower(strings.TrimSpace(line[idx+1:]))
+			if !strings.ContainsAny(syncTok, " \t") {
+				switch syncTok {
+				case "done":
+					sl.sync = isa.Done
+				case "busy":
+					sl.sync = isa.Busy
+				default:
+					a.errorf(lineNo, "unknown sync value %q (want !busy or !done)", syncTok)
+				}
+				line = strings.TrimSpace(line[:idx])
+				if a.machine == "vliw" {
+					a.errorf(lineNo, "sync fields are an XIMD feature; a VLIW has no synchronization signals")
+				}
+			}
+		}
+
+		// Split off the control field.
+		if idx := strings.Index(line, "=>"); idx >= 0 {
+			ctrlSrc := strings.TrimSpace(line[idx+2:])
+			line = strings.TrimSpace(line[:idx])
+			sl.ctrl = a.parseCtrl(lineNo, ctrlSrc)
+		}
+
+		// Remaining text: one data op (ximd) or '|'-separated ops (vliw).
+		if line == "" {
+			sl.ops = []isa.DataOp{isa.Nop}
+		} else if a.machine == "vliw" {
+			for _, part := range strings.Split(line, "|") {
+				sl.ops = append(sl.ops, a.parseDataOp(lineNo, strings.TrimSpace(part)))
+			}
+			if len(sl.ops) > a.numFU {
+				a.errorf(lineNo, "%d operations on a %d-FU machine", len(sl.ops), a.numFU)
+			}
+		} else {
+			sl.ops = []isa.DataOp{a.parseDataOp(lineNo, line)}
+		}
+
+		sawParcel = true
+		a.lines = append(a.lines, sl)
+		loc++
+	}
+}
+
+func (a *assembler) directive(lineNo int, line string, curFU *int, loc *isa.Addr, sawFuDirective *bool, sawParcel bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".machine":
+		if len(fields) != 2 || (fields[1] != "ximd" && fields[1] != "vliw") {
+			a.errorf(lineNo, "usage: .machine ximd|vliw")
+			return
+		}
+		if sawParcel {
+			a.errorf(lineNo, ".machine must precede all parcels")
+			return
+		}
+		a.machine = fields[1]
+	case ".fus":
+		if len(fields) != 2 {
+			a.errorf(lineNo, "usage: .fus N")
+			return
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 || n > isa.NumFU {
+			a.errorf(lineNo, "FU count must be 1..%d", isa.NumFU)
+			return
+		}
+		if sawParcel {
+			a.errorf(lineNo, ".fus must precede all parcels")
+			return
+		}
+		a.numFU = n
+	case ".const":
+		name, val, ok := a.parseAssign(lineNo, fields[1:])
+		if !ok {
+			return
+		}
+		v, err := parseIntConst(val)
+		if err != nil {
+			a.errorf(lineNo, "bad constant value %q: %v", val, err)
+			return
+		}
+		if _, dup := a.consts[name]; dup {
+			a.errorf(lineNo, "constant %q redefined", name)
+			return
+		}
+		a.consts[name] = v
+	case ".reg":
+		name, val, ok := a.parseAssign(lineNo, fields[1:])
+		if !ok {
+			return
+		}
+		reg, err := parseRegister(val)
+		if err != nil {
+			a.errorf(lineNo, "bad register %q: %v", val, err)
+			return
+		}
+		if _, dup := a.regs[name]; dup {
+			a.errorf(lineNo, "register name %q redefined", name)
+			return
+		}
+		a.regs[name] = reg
+	case ".fu":
+		if a.machine != "ximd" {
+			a.errorf(lineNo, ".fu sections are an XIMD feature")
+			return
+		}
+		if len(fields) != 2 {
+			a.errorf(lineNo, "usage: .fu N")
+			return
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 || n >= a.numFU {
+			a.errorf(lineNo, "FU number must be 0..%d", a.numFU-1)
+			return
+		}
+		*curFU = n
+		*loc = 0
+		*sawFuDirective = true
+	case ".org":
+		if len(fields) != 2 {
+			a.errorf(lineNo, "usage: .org ADDR")
+			return
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 || n > int(isa.MaxAddr) {
+			a.errorf(lineNo, "address must be 0..%d", isa.MaxAddr)
+			return
+		}
+		*loc = isa.Addr(n)
+	default:
+		a.errorf(lineNo, "unknown directive %s", fields[0])
+	}
+}
+
+func (a *assembler) parseAssign(lineNo int, fields []string) (name, value string, ok bool) {
+	// Accept "name = value" with flexible spacing.
+	joined := strings.Join(fields, " ")
+	parts := strings.SplitN(joined, "=", 2)
+	if len(parts) != 2 {
+		a.errorf(lineNo, "usage: name = value")
+		return "", "", false
+	}
+	name = strings.TrimSpace(parts[0])
+	value = strings.TrimSpace(parts[1])
+	if !isIdent(name) {
+		a.errorf(lineNo, "bad name %q", name)
+		return "", "", false
+	}
+	return name, value, true
+}
+
+func (a *assembler) parseDataOp(lineNo int, src string) isa.DataOp {
+	if src == "nop" || src == "" {
+		return isa.Nop
+	}
+	sp := strings.IndexAny(src, " \t")
+	if sp < 0 {
+		a.errorf(lineNo, "malformed operation %q", src)
+		return isa.Nop
+	}
+	mnemonic := src[:sp]
+	op, ok := isa.OpcodeByName(mnemonic)
+	if !ok {
+		a.errorf(lineNo, "unknown opcode %q", mnemonic)
+		return isa.Nop
+	}
+	var args []string
+	for _, arg := range strings.Split(src[sp:], ",") {
+		args = append(args, strings.TrimSpace(arg))
+	}
+	d := isa.DataOp{Op: op}
+	cl := isa.ClassOf(op)
+	want := 0
+	if cl.ReadsA() {
+		want++
+	}
+	if cl.ReadsB() {
+		want++
+	}
+	if cl.WritesReg() {
+		want++
+	}
+	if len(args) != want {
+		a.errorf(lineNo, "%s takes %d operands, got %d", mnemonic, want, len(args))
+		return isa.Nop
+	}
+	i := 0
+	if cl.ReadsA() {
+		d.A = a.parseOperand(lineNo, args[i])
+		i++
+	}
+	if cl.ReadsB() {
+		d.B = a.parseOperand(lineNo, args[i])
+		i++
+	}
+	if cl.WritesReg() {
+		dest := a.parseOperand(lineNo, args[i])
+		if dest.Kind != isa.Reg {
+			a.errorf(lineNo, "destination %q must be a register", args[i])
+		}
+		d.Dest = dest.Reg
+	}
+	return d
+}
+
+func (a *assembler) parseOperand(lineNo int, src string) isa.Operand {
+	if src == "" {
+		a.errorf(lineNo, "empty operand")
+		return isa.I(0)
+	}
+	if src[0] == '#' {
+		return a.parseImmediate(lineNo, src[1:])
+	}
+	if reg, err := parseRegister(src); err == nil {
+		return isa.R(reg)
+	}
+	if reg, ok := a.regs[src]; ok {
+		return isa.R(reg)
+	}
+	a.errorf(lineNo, "unknown operand %q (not a register, .reg name, or #immediate)", src)
+	return isa.I(0)
+}
+
+func (a *assembler) parseImmediate(lineNo int, src string) isa.Operand {
+	if src == "" {
+		a.errorf(lineNo, "empty immediate")
+		return isa.I(0)
+	}
+	if v, ok := a.consts[src]; ok {
+		return isa.I(v)
+	}
+	if strings.HasSuffix(src, "f") {
+		if f, err := strconv.ParseFloat(strings.TrimSuffix(src, "f"), 32); err == nil {
+			return isa.F(float32(f))
+		}
+	}
+	if v, err := parseIntConst(src); err == nil {
+		return isa.I(v)
+	}
+	a.errorf(lineNo, "bad immediate #%s", src)
+	return isa.I(0)
+}
+
+func (a *assembler) parseCtrl(lineNo int, src string) *ctrlSpec {
+	fields := strings.Fields(src)
+	if len(fields) == 0 {
+		a.errorf(lineNo, "empty control operation")
+		return nil
+	}
+	switch fields[0] {
+	case "halt":
+		if len(fields) != 1 {
+			a.errorf(lineNo, "halt takes no operands")
+		}
+		return &ctrlSpec{op: isa.Halt()}
+	case "goto":
+		if len(fields) != 2 {
+			a.errorf(lineNo, "usage: goto TARGET")
+			return nil
+		}
+		return a.targetSpec(lineNo, isa.CtrlOp{Kind: isa.CtrlGoto}, fields[1], "")
+	case "if":
+		if len(fields) != 4 {
+			a.errorf(lineNo, "usage: if COND T1 T2")
+			return nil
+		}
+		op, ok := a.parseCond(lineNo, fields[1])
+		if !ok {
+			return nil
+		}
+		return a.targetSpec(lineNo, op, fields[2], fields[3])
+	default:
+		a.errorf(lineNo, "unknown control operation %q", fields[0])
+		return nil
+	}
+}
+
+func (a *assembler) parseCond(lineNo int, src string) (isa.CtrlOp, bool) {
+	neg := false
+	if strings.HasPrefix(src, "!") {
+		neg = true
+		src = src[1:]
+	}
+	switch {
+	case strings.HasPrefix(src, "cc"):
+		n, err := strconv.Atoi(src[2:])
+		if err != nil || n < 0 || n >= a.numFU {
+			a.errorf(lineNo, "bad condition code %q", src)
+			return isa.CtrlOp{}, false
+		}
+		cond := isa.CondCC
+		if neg {
+			cond = isa.CondNotCC
+		}
+		return isa.CtrlOp{Kind: isa.CtrlCond, Cond: cond, Idx: uint8(n)}, true
+	case src == "allss" || src == "anyss":
+		if neg {
+			a.errorf(lineNo, "negated %s is not a defined XIMD-1 condition; swap the branch targets instead", src)
+			return isa.CtrlOp{}, false
+		}
+		cond := isa.CondAllSS
+		if src == "anyss" {
+			cond = isa.CondAnySS
+		}
+		return isa.CtrlOp{Kind: isa.CtrlCond, Cond: cond}, true
+	case strings.HasPrefix(src, "allss{"), strings.HasPrefix(src, "anyss{"):
+		if neg {
+			a.errorf(lineNo, "negated masked sync conditions are not defined")
+			return isa.CtrlOp{}, false
+		}
+		open := strings.IndexByte(src, '{')
+		if !strings.HasSuffix(src, "}") {
+			a.errorf(lineNo, "unterminated FU set in %q", src)
+			return isa.CtrlOp{}, false
+		}
+		var mask uint8
+		for _, tok := range strings.Split(src[open+1:len(src)-1], ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || n < 0 || n >= a.numFU {
+				a.errorf(lineNo, "bad FU number in set %q", src)
+				return isa.CtrlOp{}, false
+			}
+			mask |= 1 << uint(n)
+		}
+		if mask == 0 {
+			a.errorf(lineNo, "empty FU set in %q", src)
+			return isa.CtrlOp{}, false
+		}
+		cond := isa.CondAllSSMask
+		if strings.HasPrefix(src, "anyss") {
+			cond = isa.CondAnySSMask
+		}
+		return isa.CtrlOp{Kind: isa.CtrlCond, Cond: cond, Mask: mask}, true
+	case strings.HasPrefix(src, "ss"):
+		n, err := strconv.Atoi(src[2:])
+		if err != nil || n < 0 || n >= a.numFU {
+			a.errorf(lineNo, "bad sync signal %q", src)
+			return isa.CtrlOp{}, false
+		}
+		cond := isa.CondSS
+		if neg {
+			cond = isa.CondNotSS
+		}
+		return isa.CtrlOp{Kind: isa.CtrlCond, Cond: cond, Idx: uint8(n)}, true
+	}
+	a.errorf(lineNo, "unknown condition %q", src)
+	return isa.CtrlOp{}, false
+}
+
+// targetSpec records a control op whose targets may be labels (resolved
+// at build time) or literal addresses.
+func (a *assembler) targetSpec(lineNo int, op isa.CtrlOp, t1, t2 string) *ctrlSpec {
+	spec := &ctrlSpec{op: op}
+	resolve := func(tok string) (isa.Addr, string) {
+		if n, err := strconv.Atoi(tok); err == nil {
+			if n < 0 || n > int(isa.MaxAddr) {
+				a.errorf(lineNo, "branch target %d out of range", n)
+				return 0, ""
+			}
+			return isa.Addr(n), ""
+		}
+		if !isIdent(tok) {
+			a.errorf(lineNo, "bad branch target %q", tok)
+			return 0, ""
+		}
+		return 0, tok
+	}
+	spec.op.T1, spec.t1 = resolve(t1)
+	if t2 != "" {
+		spec.op.T2, spec.t2 = resolve(t2)
+	}
+	return spec
+}
+
+func (a *assembler) build() (*isa.Program, error) {
+	b := isa.NewBuilder(a.numFU)
+	// Length: max addr across all lines, +1 so the fall-through default of
+	// the final parcel can still be validated meaningfully.
+	for _, sl := range a.lines {
+		if sl.label != "" {
+			b.Label(sl.label, sl.addr)
+		}
+	}
+	for _, sl := range a.lines {
+		ctrl := sl.ctrl
+		if ctrl == nil {
+			ctrl = &ctrlSpec{op: isa.Goto(sl.addr + 1)}
+		}
+		if sl.vliwRow {
+			for fu := 0; fu < a.numFU; fu++ {
+				var data isa.DataOp
+				if fu < len(sl.ops) {
+					data = sl.ops[fu]
+				} else {
+					data = isa.Nop
+				}
+				a.place(b, sl, fu, data, ctrl)
+			}
+		} else {
+			a.place(b, sl, sl.fu, sl.ops[0], ctrl)
+		}
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (a *assembler) place(b *isa.Builder, sl srcLine, fu int, data isa.DataOp, ctrl *ctrlSpec) {
+	b.Set(sl.addr, fu, isa.Parcel{Data: data, Ctrl: ctrl.op, Sync: sl.sync})
+	if ctrl.t1 != "" {
+		b.RefT1(sl.addr, fu, ctrl.t1)
+	}
+	if ctrl.t2 != "" {
+		b.RefT2(sl.addr, fu, ctrl.t2)
+	}
+}
+
+func parseRegister(src string) (uint8, error) {
+	if len(src) < 2 || src[0] != 'r' {
+		return 0, fmt.Errorf("not of the form rN")
+	}
+	n, err := strconv.Atoi(src[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("register number must be 0..%d", isa.NumRegs-1)
+	}
+	return uint8(n), nil
+}
+
+func parseIntConst(src string) (int32, error) {
+	v, err := strconv.ParseInt(src, 0, 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<31)-1 {
+		// Allow unsigned-style 32-bit constants like 0xffffffff.
+		if v > 0 && v <= (1<<32)-1 {
+			return int32(uint32(v)), nil
+		}
+		return 0, fmt.Errorf("constant %d does not fit in 32 bits", v)
+	}
+	return int32(v), nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Reserved forms that would be ambiguous as labels/operands.
+	if s == "nop" || s == "halt" || s == "goto" || s == "if" {
+		return false
+	}
+	return true
+}

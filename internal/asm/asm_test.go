@@ -1,0 +1,406 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/isa"
+)
+
+func assemble(t *testing.T, src string) *isa.Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble:\n%v", err)
+	}
+	return p
+}
+
+func assembleErr(t *testing.T, src, wantSubstr string) {
+	t.Helper()
+	_, err := Assemble(src)
+	if err == nil {
+		t.Fatalf("Assemble accepted bad source; want error containing %q", wantSubstr)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("err = %v, want substring %q", err, wantSubstr)
+	}
+}
+
+func TestAssembleMinimal(t *testing.T) {
+	p := assemble(t, `
+.fus 1
+.fu 0
+	iadd #2, #3, r1
+	=> halt
+`)
+	if p.NumFU != 1 || len(p.Instrs) != 2 {
+		t.Fatalf("geometry: %d FUs, %d instrs", p.NumFU, len(p.Instrs))
+	}
+	got := p.Instrs[0][0]
+	want := isa.Normalize(isa.Parcel{
+		Data: isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(3), Dest: 1},
+		Ctrl: isa.Goto(1),
+	})
+	if got != want {
+		t.Fatalf("parcel = %+v, want %+v", got, want)
+	}
+	if p.Instrs[1][0].Ctrl.Kind != isa.CtrlHalt {
+		t.Fatalf("second parcel = %+v", p.Instrs[1][0])
+	}
+}
+
+func TestAssembleRunsOnMachine(t *testing.T) {
+	p := assemble(t, `
+.fus 2
+.const base = 100
+.reg acc = r5
+
+.fu 0
+start:  iadd #0, #0, acc
+loop:   iadd acc, #1, acc
+        ge acc, #3
+        nop               => if cc0 out loop
+out:    store acc, #base  => halt  !done
+
+.fu 1
+        nop
+wait:   nop               => if ss0 fin wait
+.org 4
+fin:    nop               => halt
+`)
+	m, err := core.New(p, core.Config{MaxCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Regs().Peek(5).Int(); got != 3 {
+		t.Fatalf("acc = %d, want 3", got)
+	}
+}
+
+func TestAssembleVLIWMode(t *testing.T) {
+	p := assemble(t, `
+.machine vliw
+.fus 4
+	iadd #1, #2, r1 | isub #5, #3, r2 | imult #2, #2, r3
+	iadd r1, r2, r4
+	=> halt
+`)
+	if style := core.Classify(p); !style.VLIW {
+		t.Fatalf("vliw-mode output not VLIW-classified: %+v", style)
+	}
+	// Unlisted FUs receive nops with the same control.
+	if p.Instrs[0][3].Data.Op != isa.OpNop {
+		t.Fatalf("fu3 = %+v", p.Instrs[0][3])
+	}
+	m, err := core.New(p, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Regs().Peek(4).Int(); got != 5 {
+		t.Fatalf("r4 = %d, want 5", got)
+	}
+}
+
+func TestAssembleControlForms(t *testing.T) {
+	p := assemble(t, `
+.fus 4
+.fu 0
+a:  nop => goto a
+b:  nop => if cc2 a b
+c:  nop => if !cc0 a b
+d:  nop => if ss3 a b       !done
+e:  nop => if !ss1 a b
+f:  nop => if allss a b
+g:  nop => if anyss a b
+h:  nop => if allss{0,2} a b
+i:  nop => if anyss{1,3} a b
+j:  nop => halt
+`)
+	want := []isa.CtrlOp{
+		isa.Goto(0),
+		isa.IfCC(2, 0, 1),
+		isa.IfNotCC(0, 0, 1),
+		isa.IfSS(3, 0, 1),
+		isa.IfNotSS(1, 0, 1),
+		isa.IfAllSS(0, 1),
+		isa.IfAnySS(0, 1),
+		isa.IfAllSSMask(0b0101, 0, 1),
+		isa.IfAnySSMask(0b1010, 0, 1),
+		isa.Halt(),
+	}
+	for addr, w := range want {
+		if got := p.Instrs[addr][0].Ctrl; !got.Equal(w) {
+			t.Errorf("addr %d: ctrl = %v, want %v", addr, got, w)
+		}
+	}
+	if p.Instrs[3][0].Sync != isa.Done {
+		t.Error("sync !done not applied")
+	}
+}
+
+func TestAssembleOperandForms(t *testing.T) {
+	p := assemble(t, `
+.fus 1
+.const big = 0x7fffffff
+.reg x = r42
+.fu 0
+	iadd r1, #-5, r2
+	iadd x, #big, x
+	fadd #1.5f, #2.5f, r3
+	ineg r1, r2
+	lt r1, r2
+	load #100, r1, r2
+	store r2, r1
+	=> halt
+`)
+	in := p.Instrs
+	if in[0][0].Data.B != isa.I(-5) {
+		t.Errorf("negative immediate: %+v", in[0][0].Data.B)
+	}
+	if in[1][0].Data.A != isa.R(42) || in[1][0].Data.B != isa.I(0x7fffffff) || in[1][0].Data.Dest != 42 {
+		t.Errorf("symbolic operands: %+v", in[1][0].Data)
+	}
+	if in[2][0].Data.A != isa.F(1.5) || in[2][0].Data.B != isa.F(2.5) {
+		t.Errorf("float immediates: %+v", in[2][0].Data)
+	}
+	if in[3][0].Data.Op != isa.OpINeg || in[3][0].Data.Dest != 2 {
+		t.Errorf("unary form: %+v", in[3][0].Data)
+	}
+	if in[4][0].Data.Op != isa.OpLt || in[5][0].Data.Op != isa.OpLoad || in[6][0].Data.Op != isa.OpStore {
+		t.Error("compare/load/store forms broken")
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{".fus 9", "FU count"},
+		{".fus 0", "FU count"},
+		{".machine turbo", ".machine ximd|vliw"},
+		{".fu 1", "FU number"}, // default .fus 8, but .fu 8 would be the error; .fu 1 ok -> use different
+		{".frobnicate", "unknown directive"},
+		{".fus 1\n.fu 0\n zorch r1, r2, r3 => halt", "unknown opcode"},
+		{".fus 1\n.fu 0\n iadd r1, r2 => halt", "takes 3 operands"},
+		{".fus 1\n.fu 0\n iadd r1, r2, #5 => halt", "must be a register"},
+		{".fus 1\n.fu 0\n iadd r1, r2, bogus => halt", "unknown operand"},
+		{".fus 1\n.fu 0\n nop => if cc9 0 0", "bad condition code"},
+		{".fus 1\n.fu 0\n nop => if !allss 0 0", "negated"},
+		{".fus 1\n.fu 0\n nop => jump 0", "unknown control"},
+		{".fus 1\n.fu 0\n nop => goto nowhere\n nop => halt", "undefined label"},
+		{".fus 1\n.fu 0\n nop !sideways", "unknown sync value"},
+		{".fus 1\n.fu 0\nx: nop => halt\nx: nop => halt", "bound to both"},
+		{".const a = b", "bad constant"},
+		{".reg a = 5", "bad register"},
+		{".fus 1\n.fu 0\n nop => goto 0\n.fus 2", "must precede"},
+		{".machine vliw\n nop !done", "synchronization signals"},
+	}
+	for _, c := range cases {
+		if c.src == ".fu 1" {
+			continue // see note above
+		}
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) err = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleFUOutOfRange(t *testing.T) {
+	assembleErr(t, ".fus 2\n.fu 2\n nop => halt", "FU number")
+}
+
+func TestAssembleDuplicateLabelDifferentAddr(t *testing.T) {
+	assembleErr(t, `
+.fus 2
+.fu 0
+x: nop => halt
+.fu 1
+   nop => goto x
+x: nop => halt
+`, "label")
+}
+
+func TestAssembleSharedLabelSameAddr(t *testing.T) {
+	// Labels shared across .fu sections at the same address are the
+	// paper's convention for lock-step code.
+	p := assemble(t, `
+.fus 2
+.fu 0
+top: nop => goto done
+done: nop => halt
+.fu 1
+top: nop => goto done
+done: nop => halt
+`)
+	if p.Labels["top"] != 0 || p.Labels["done"] != 1 {
+		t.Fatalf("labels = %v", p.Labels)
+	}
+}
+
+func TestAssembleFallThroughDefault(t *testing.T) {
+	p := assemble(t, `
+.fus 1
+.fu 0
+	nop
+	nop
+	=> halt
+`)
+	if p.Instrs[0][0].Ctrl != isa.Goto(1) || p.Instrs[1][0].Ctrl != isa.Goto(2) {
+		t.Fatalf("fall-through controls = %v, %v", p.Instrs[0][0].Ctrl, p.Instrs[1][0].Ctrl)
+	}
+}
+
+func TestAssembleEntryFromStart(t *testing.T) {
+	p := assemble(t, `
+.fus 1
+.fu 0
+	nop => goto start
+start: nop => halt
+`)
+	if p.Entry != 1 {
+		t.Fatalf("entry = %d", p.Entry)
+	}
+}
+
+func TestFormatRoundTripHandWritten(t *testing.T) {
+	src := `
+.fus 4
+.const n = 4
+.fu 0
+start:  load #200, #0, r10    => goto w
+w:      lt r10, #n            => if cc0 yes no
+yes:    iadd r10, #1, r10     => goto fin
+no:     isub r10, #1, r10     => goto fin
+fin:    nop                   => if allss 5 fin  !done
+        nop                   => halt
+
+.fu 1
+start:  nop => goto w
+w:      nop => if cc0 yes no
+yes:    nop => goto fin
+no:     nop => goto fin
+fin:    nop => if allss 5 fin  !done
+        nop => halt
+`
+	p := assemble(t, src)
+	q := assemble(t, Format(p))
+	if q.NumFU != p.NumFU || len(q.Instrs) != len(p.Instrs) || q.Entry != p.Entry {
+		t.Fatalf("geometry changed: %d/%d/%d vs %d/%d/%d",
+			q.NumFU, len(q.Instrs), q.Entry, p.NumFU, len(p.Instrs), p.Entry)
+	}
+	for addr := range p.Instrs {
+		for fu := 0; fu < p.NumFU; fu++ {
+			if q.Instrs[addr][fu] != p.Instrs[addr][fu] {
+				t.Fatalf("addr %d fu %d:\n got %+v\nwant %+v\nformatted:\n%s",
+					addr, fu, q.Instrs[addr][fu], p.Instrs[addr][fu], Format(p))
+			}
+		}
+	}
+}
+
+// randomProgram builds a structurally valid random program whose branch
+// targets all land on occupied rows.
+func randomProgram(r *rand.Rand) *isa.Program {
+	numFU := 1 + r.Intn(isa.NumFU)
+	n := 2 + r.Intn(20)
+	b := isa.NewBuilder(numFU)
+	target := func() isa.Addr { return isa.Addr(r.Intn(n)) }
+	for addr := 0; addr < n; addr++ {
+		for fu := 0; fu < numFU; fu++ {
+			if fu > 0 && r.Intn(4) == 0 {
+				continue // leave a hole (never on FU0, so every row stays occupied)
+			}
+			var p isa.Parcel
+			p.Data = randomDataOp(r)
+			switch r.Intn(4) {
+			case 0:
+				p.Ctrl = isa.Halt()
+			case 1:
+				p.Ctrl = isa.Goto(target())
+			default:
+				p.Ctrl = randomCond(r, numFU, target(), target())
+			}
+			if r.Intn(2) == 0 {
+				p.Sync = isa.Done
+			}
+			b.Set(isa.Addr(addr), fu, p)
+		}
+	}
+	return b.MustBuild()
+}
+
+func randomDataOp(r *rand.Rand) isa.DataOp {
+	op := isa.Opcode(r.Intn(isa.NumOpcodes))
+	var d isa.DataOp
+	d.Op = op
+	cl := isa.ClassOf(op)
+	rnd := func() isa.Operand {
+		if r.Intn(2) == 0 {
+			return isa.R(uint8(r.Intn(isa.NumRegs)))
+		}
+		return isa.I(int32(r.Uint32()))
+	}
+	if cl.ReadsA() {
+		d.A = rnd()
+	}
+	if cl.ReadsB() {
+		d.B = rnd()
+	}
+	if cl.WritesReg() {
+		d.Dest = uint8(r.Intn(isa.NumRegs))
+	}
+	return d
+}
+
+func randomCond(r *rand.Rand, numFU int, t1, t2 isa.Addr) isa.CtrlOp {
+	switch r.Intn(6) {
+	case 0:
+		return isa.IfCC(uint8(r.Intn(numFU)), t1, t2)
+	case 1:
+		return isa.IfNotCC(uint8(r.Intn(numFU)), t1, t2)
+	case 2:
+		return isa.IfSS(uint8(r.Intn(numFU)), t1, t2)
+	case 3:
+		return isa.IfAllSS(t1, t2)
+	case 4:
+		return isa.IfAnySS(t1, t2)
+	default:
+		return isa.IfAllSSMask(uint8(1+r.Intn(1<<numFU-1)), t1, t2)
+	}
+}
+
+// Property: Assemble(Format(p)) == p for arbitrary valid programs.
+func TestFormatRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 200; iter++ {
+		p := randomProgram(r)
+		src := Format(p)
+		q, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("iter %d: reassembly failed: %v\nsource:\n%s", iter, err, src)
+		}
+		if q.NumFU != p.NumFU || len(q.Instrs) != len(p.Instrs) {
+			t.Fatalf("iter %d: geometry changed", iter)
+		}
+		for addr := range p.Instrs {
+			for fu := 0; fu < p.NumFU; fu++ {
+				if q.Instrs[addr][fu] != p.Instrs[addr][fu] {
+					t.Fatalf("iter %d addr %d fu %d:\n got %+v\nwant %+v\nsource:\n%s",
+						iter, addr, fu, q.Instrs[addr][fu], p.Instrs[addr][fu], src)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+func TestAssembleDirectiveEdgeCases(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{".fus", "usage: .fus N"},
+		{".fu", "usage: .fu N"},
+		{".machine", "usage: .machine"},
+		{".org", "usage: .org"},
+		{".org -1", "address must be"},
+		{".org 99999", "address must be"},
+		{".const x", "usage: name = value"},
+		{".const 9x = 5", "bad name"},
+		{".const x = 5\n.const x = 6", "redefined"},
+		{".reg a = r1\n.reg a = r2", "redefined"},
+		{".reg a = r999", "bad register"},
+		{".machine vliw\n.fu 0", ".fu sections are an XIMD feature"},
+		{".fus 1\n.fu 0\n nop => goto 99999", "out of range"},
+		{".fus 1\n.fu 0\n nop => goto", "usage: goto TARGET"},
+		{".fus 1\n.fu 0\n nop => halt now", "halt takes no operands"},
+		{".fus 1\n.fu 0\n nop => if cc0 1", "usage: if COND T1 T2"},
+		{".fus 1\n.fu 0\n nop => if ss9 0 0", "bad sync signal"},
+		{".fus 1\n.fu 0\n nop => if allss{9} 0 0", "bad FU number"},
+		{".fus 1\n.fu 0\n nop => if allss{} 0 0", "bad FU number"},
+		{".fus 1\n.fu 0\n nop => if allss{0 0 0", "unterminated FU set"},
+		{".fus 1\n.fu 0\n nop => if !ss0 ?? 0", "bad branch target"},
+		{".fus 1\n.fu 0\n iadd #, #1, r1 => halt", "empty immediate"},
+		{".fus 1\n.fu 0\n iadd #zz, #1, r1 => halt", "bad immediate"},
+		{".fus 1\n.fu 0\n iadd #99999999999, #1, r1 => halt", "bad immediate"},
+		{".fus 1\n.fu 0\n =>", "empty control operation"},
+		{".machine vliw\n.fus 2\n a,b | c,d | e,f => halt", "malformed"},
+		{".machine vliw\n.fus 2\n nop|nop|nop => halt", "3 operations on a 2-FU machine"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Assemble(%q) = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestAssembleUnsigned32BitConstant(t *testing.T) {
+	p := assemble(t, `
+.fus 1
+.const mask = 0xffffffff
+.fu 0
+	iadd #mask, #0, r1 => halt
+`)
+	if got := p.Instrs[0][0].Data.A; got != isa.I(-1) {
+		t.Fatalf("0xffffffff = %v, want all-ones", got)
+	}
+}
+
+func TestAssembleHexImmediateEndingInF(t *testing.T) {
+	// "#0x2f" must not be mistaken for a float literal with an f suffix.
+	p := assemble(t, `
+.fus 1
+.fu 0
+	iadd #0x2f, #0, r1 => halt
+`)
+	if got := p.Instrs[0][0].Data.A; got != isa.I(47) {
+		t.Fatalf("#0x2f = %v, want 47", got)
+	}
+}
+
+func TestIsSyntheticLabels(t *testing.T) {
+	cases := map[string]bool{
+		"L5": true, "L123": true, "L": false, "Loop": false, "l5": false, "x": false,
+	}
+	for name, want := range cases {
+		if got := isSynthetic(name); got != want {
+			t.Errorf("isSynthetic(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFormatAllConditionKinds(t *testing.T) {
+	b := isa.NewBuilder(2)
+	ctrls := []isa.CtrlOp{
+		isa.IfNotCC(1, 0, 1),
+		isa.IfNotSS(0, 0, 1),
+		isa.IfAnySSMask(0b11, 0, 1),
+		isa.IfAllSSMask(0b10, 0, 1),
+	}
+	for i, c := range ctrls {
+		b.Set(isa.Addr(i), 0, isa.Parcel{Data: isa.Nop, Ctrl: c})
+		b.Set(isa.Addr(i), 1, isa.Parcel{Data: isa.Nop, Ctrl: c})
+	}
+	b.Set(isa.Addr(len(ctrls)), 0, isa.HaltParcel)
+	b.Set(isa.Addr(len(ctrls)), 1, isa.HaltParcel)
+	p := b.MustBuild()
+	q, err := Assemble(Format(p))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, Format(p))
+	}
+	for addr := range p.Instrs {
+		if q.Instrs[addr] != p.Instrs[addr] {
+			t.Fatalf("addr %d changed:\n%s", addr, Format(p))
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/isa"
+)
+
+// Format renders a program back into assembler source that Assemble
+// accepts, with explicit control operations (no fall-through defaults).
+// Labels are synthesized as LADDR; program labels are preserved where
+// bound. Assemble(Format(p)) reproduces p parcel-for-parcel, which the
+// tests verify as the round-trip property.
+func Format(p *isa.Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; disassembled XIMD program: %d FUs, %d instructions\n", p.NumFU, len(p.Instrs))
+	fmt.Fprintf(&b, ".machine ximd\n.fus %d\n", p.NumFU)
+
+	// A label can only be bound on a row that carries at least one parcel;
+	// branch targets pointing at all-trap rows are emitted numerically.
+	occupied := make([]bool, len(p.Instrs))
+	for addr := range p.Instrs {
+		for fu := 0; fu < p.NumFU; fu++ {
+			if !p.Instrs[addr][fu].Trap {
+				occupied[addr] = true
+				break
+			}
+		}
+	}
+	labelAt := func(addr isa.Addr) string {
+		if !occupied[addr] {
+			return fmt.Sprintf("%d", addr)
+		}
+		if addr == p.Entry && p.Entry != 0 {
+			// Assemble recovers the entry point from a "start" label.
+			return "start"
+		}
+		if name, ok := p.LabelAt(addr); ok && !isSynthetic(name) && name != "start" {
+			return name
+		}
+		return fmt.Sprintf("L%d", addr)
+	}
+
+	for fu := 0; fu < p.NumFU; fu++ {
+		fmt.Fprintf(&b, "\n.fu %d\n", fu)
+		pendingOrg := true // emit .org before the first occupied address if nonzero
+		next := isa.Addr(0)
+		for addr := 0; addr < len(p.Instrs); addr++ {
+			parcel := p.Instrs[addr][fu]
+			if parcel.Trap {
+				pendingOrg = true
+				continue
+			}
+			if pendingOrg || isa.Addr(addr) != next {
+				if addr != 0 {
+					fmt.Fprintf(&b, ".org %d\n", addr)
+				}
+				pendingOrg = false
+			}
+			next = isa.Addr(addr) + 1
+			writeParcel(&b, parcel, isa.Addr(addr), labelAt)
+		}
+	}
+	return b.String()
+}
+
+// isSynthetic reports whether a label collides with the LADDR names the
+// formatter synthesizes, in which case the original is dropped to keep
+// the output unambiguous.
+func isSynthetic(name string) bool {
+	if len(name) < 2 || name[0] != 'L' {
+		return false
+	}
+	for _, r := range name[1:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func writeParcel(b *strings.Builder, parcel isa.Parcel, addr isa.Addr, labelAt func(isa.Addr) string) {
+	fmt.Fprintf(b, "%-8s ", labelAt(addr)+":")
+	fmt.Fprintf(b, "%-24s => %s", formatDataOp(parcel.Data), formatCtrl(parcel.Ctrl, labelAt))
+	if parcel.Sync == isa.Done {
+		b.WriteString("  !done")
+	}
+	b.WriteByte('\n')
+}
+
+func formatDataOp(d isa.DataOp) string {
+	cl := isa.ClassOf(d.Op)
+	switch cl {
+	case isa.ClassNop:
+		return "nop"
+	case isa.ClassUnary:
+		return fmt.Sprintf("%s %s, r%d", d.Op, d.A, d.Dest)
+	case isa.ClassCompare, isa.ClassStore:
+		return fmt.Sprintf("%s %s, %s", d.Op, d.A, d.B)
+	default:
+		return fmt.Sprintf("%s %s, %s, r%d", d.Op, d.A, d.B, d.Dest)
+	}
+}
+
+func formatCtrl(c isa.CtrlOp, labelAt func(isa.Addr) string) string {
+	switch c.Kind {
+	case isa.CtrlHalt:
+		return "halt"
+	case isa.CtrlGoto:
+		return "goto " + labelAt(c.T1)
+	case isa.CtrlCond:
+		return fmt.Sprintf("if %s %s %s", formatCond(c), labelAt(c.T1), labelAt(c.T2))
+	}
+	return "halt"
+}
+
+func formatCond(c isa.CtrlOp) string {
+	switch c.Cond {
+	case isa.CondCC:
+		return fmt.Sprintf("cc%d", c.Idx)
+	case isa.CondNotCC:
+		return fmt.Sprintf("!cc%d", c.Idx)
+	case isa.CondSS:
+		return fmt.Sprintf("ss%d", c.Idx)
+	case isa.CondNotSS:
+		return fmt.Sprintf("!ss%d", c.Idx)
+	case isa.CondAllSS:
+		return "allss"
+	case isa.CondAnySS:
+		return "anyss"
+	case isa.CondAllSSMask:
+		return "allss" + formatMask(c.Mask)
+	case isa.CondAnySSMask:
+		return "anyss" + formatMask(c.Mask)
+	}
+	return "allss"
+}
+
+func formatMask(mask uint8) string {
+	var parts []string
+	for i := 0; i < 8; i++ {
+		if mask&(1<<i) != 0 {
+			parts = append(parts, fmt.Sprintf("%d", i))
+		}
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,157 @@
+package compiler
+
+// The minic abstract syntax tree.
+//
+// Grammar (informally):
+//
+//	program  := topdecl* "func" "main" "(" ")" block
+//	topdecl  := "var" name ("[" NUM "]")? ("," ...)* ";"
+//	block    := "{" stmt* "}"
+//	stmt     := "var" name ("=" expr)? ("," ...)* ";"
+//	          | name "=" expr ";"
+//	          | name "[" expr "]" "=" expr ";"
+//	          | "if" "(" expr ")" block ("else" (block | ifstmt))?
+//	          | "while" "(" expr ")" block
+//	          | "for" "(" assign ";" expr ";" assign ")" block
+//	          | "par" "{" ("thread" ("(" NUM ")")? block)+ "}"
+//	expr     := the usual C operator-precedence expression language over
+//	            int32: || && | ^ & == != < <= > >= << >> + - * / %
+//	            unary - ! ~, parentheses, names, numbers, name "[" expr "]"
+//
+// Globals (file scope) live in data memory; locals live in registers.
+// Inside a `par` thread, outer locals are read-only and globals are the
+// shared communication medium.
+
+// Program is a parsed minic source file.
+type Program struct {
+	Globals []*GlobalDecl
+	Main    *BlockStmt
+}
+
+// GlobalDecl declares one global scalar (Size == 0) or array (Size > 0
+// elements).
+type GlobalDecl struct {
+	Name string
+	Size int32
+	Line int
+}
+
+// BlockStmt is a brace-delimited statement list with its own scope.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// VarStmt declares local scalars, each with an optional initializer.
+type VarStmt struct {
+	Names []string
+	Inits []Expr // nil entries mean zero-initialized
+	Line  int
+}
+
+// AssignStmt assigns to a local/loop variable or a global scalar.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt assigns to an element of a global array.
+type StoreStmt struct {
+	Name  string
+	Index Expr
+	Val   Expr
+	Line  int
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // nil when absent
+	Line int
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Cond Expr
+	Body *BlockStmt
+	Line int
+}
+
+// ForStmt is a counted loop: for (Init; Cond; Post) Body. Init and Post
+// are assignments.
+type ForStmt struct {
+	Init *AssignStmt
+	Cond Expr
+	Post *AssignStmt
+	Body *BlockStmt
+	Line int
+}
+
+// ParStmt forks the listed threads onto disjoint functional-unit groups
+// and joins them with a synchronization-signal barrier.
+type ParStmt struct {
+	Threads []*ThreadDecl
+	Line    int
+}
+
+// ThreadDecl is one thread of a par statement; Width is the requested
+// functional-unit count (0 = divide the machine evenly).
+type ThreadDecl struct {
+	Width int
+	Body  *BlockStmt
+	Line  int
+}
+
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*StoreStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ParStmt) stmtNode()    {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  int32
+	Line int
+}
+
+// NameExpr references a local variable or global scalar.
+type NameExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an element of a global array.
+type IndexExpr struct {
+	Name  string
+	Index Expr
+	Line  int
+}
+
+// BinExpr is a binary operation; Op is the source operator text.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// UnExpr is a unary operation: "-", "!", or "~".
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*NameExpr) exprNode()  {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}

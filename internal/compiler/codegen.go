@@ -1,0 +1,323 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/vliw"
+)
+
+// Options parameterizes compilation.
+type Options struct {
+	// Width is the number of functional units the program targets (1..8).
+	// Zero selects 8. The emitted program's NumFU equals Width.
+	Width int
+	// Unroll is the loop unrolling factor for qualifying counted loops;
+	// values below 2 disable unrolling.
+	Unroll int
+}
+
+// Compiled is the result of compiling a minic program.
+type Compiled struct {
+	// Prog is the XIMD program image.
+	Prog *isa.Program
+	// Syms is the global data layout (for host initialization and result
+	// inspection).
+	Syms *SymTab
+	// Width is the functional-unit width compiled for.
+	Width int
+	// Rows is the static instruction count (program length) — the tile
+	// length of Figure 13.
+	Rows int
+	// Parcels is the occupied parcel count.
+	Parcels int
+	// HasPar reports whether the program forks multiple instruction
+	// streams (true XIMD code; false means VLIW-convertible).
+	HasPar bool
+	// IR is the main function's IR, for inspection and tests.
+	IR *Func
+}
+
+// VLIW converts the compiled program to a native VLIW program. It fails
+// for programs containing par (multiple instruction streams do not exist
+// on the VLIW baseline).
+func (c *Compiled) VLIW() (*vliw.Program, error) {
+	if c.HasPar {
+		return nil, fmt.Errorf("compiler: program uses par; no VLIW equivalent")
+	}
+	return vliw.FromXIMD(c.Prog)
+}
+
+// Compile compiles minic source to an XIMD program.
+func Compile(src string, opts Options) (*Compiled, error) {
+	if opts.Width == 0 {
+		opts.Width = isa.NumFU
+	}
+	if opts.Width < 1 || opts.Width > isa.NumFU {
+		return nil, fmt.Errorf("compiler: width %d out of range 1..%d", opts.Width, isa.NumFU)
+	}
+	ast, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Unroll >= 2 {
+		ast.Main = &BlockStmt{Stmts: unrollFors(ast.Main.Stmts, opts.Unroll)}
+	}
+	main, syms, err := Lower(ast)
+	if err != nil {
+		return nil, err
+	}
+	// Values captured by par threads are observed outside main; protect
+	// them from dead-code elimination.
+	captured := map[VReg]bool{}
+	for _, blk := range main.Blocks {
+		if blk.Term.Kind == TermPar {
+			for _, th := range blk.Term.Par.Threads {
+				for _, outer := range th.Captured {
+					captured[outer] = true
+				}
+			}
+		}
+	}
+	optimizeFunc(main, captured)
+
+	// Validate and normalize par regions; collect them in block order.
+	var regions []*ParRegion
+	hasPar := false
+	for _, blk := range main.Blocks {
+		if blk.Term.Kind == TermPar {
+			hasPar = true
+			if err := validateWidths(blk.Term.Par, opts.Width, blk.Term.Line); err != nil {
+				return nil, err
+			}
+			for _, th := range blk.Term.Par.Threads {
+				optimizeFunc(th, nil)
+			}
+			regions = append(regions, blk.Term.Par)
+		}
+	}
+
+	// Schedule.
+	schedules := map[*Func]map[BlockID]schedBlock{
+		main: scheduleFunc(main, opts.Width),
+	}
+	for _, region := range regions {
+		for i, th := range region.Threads {
+			schedules[th] = scheduleFunc(th, region.Widths[i])
+		}
+	}
+
+	// Allocate registers.
+	al, err := allocateProgram(main, schedules)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lay out addresses.
+	lay, err := layoutProgram(main, regions, schedules)
+	if err != nil {
+		return nil, err
+	}
+
+	// Emit.
+	b := isa.NewBuilder(opts.Width)
+	emitFunc(b, main, 0, opts.Width, schedules[main], al, lay)
+	for _, region := range regions {
+		base := 0
+		for i, th := range region.Threads {
+			emitFunc(b, th, base, region.Widths[i], schedules[th], al, lay)
+			base += region.Widths[i]
+		}
+		// Join row: every machine FU spins DONE until all are DONE, then
+		// proceeds to the continuation block.
+		after := lay.addr(main, lay.parThen[region])
+		join := lay.joinAddr[region]
+		for fu := 0; fu < opts.Width; fu++ {
+			b.Set(join, fu, isa.Parcel{
+				Data: isa.Nop,
+				Ctrl: isa.IfAllSS(after, join),
+				Sync: isa.Done,
+			})
+		}
+	}
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("compiler: internal emit error: %w", err)
+	}
+	prog.Entry = lay.addr(main, main.Entry)
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: internal entry error: %w", err)
+	}
+	return &Compiled{
+		Prog:    prog,
+		Syms:    syms,
+		Width:   opts.Width,
+		Rows:    prog.Len(),
+		Parcels: prog.OccupiedParcels(),
+		HasPar:  hasPar,
+		IR:      main,
+	}, nil
+}
+
+// layout holds the address assignment of every block and join row.
+type layout struct {
+	blockAddr map[*Func]map[BlockID]isa.Addr
+	blockSize map[*Func]map[BlockID]int
+	joinAddr  map[*ParRegion]isa.Addr
+	parThen   map[*ParRegion]BlockID
+}
+
+func (l *layout) addr(f *Func, id BlockID) isa.Addr { return l.blockAddr[f][id] }
+
+// blockRows returns the number of instruction-memory rows a block needs:
+// its scheduled rows, at least one (to host the terminator), plus one
+// more when the terminator compare landed on the final row (the branch
+// must read the condition code one cycle later).
+func blockRows(b *Block, sb schedBlock) int {
+	rows := len(sb.Rows)
+	if rows == 0 {
+		return 1
+	}
+	if b.Term.Kind == TermBr && sb.CmpRow == rows-1 {
+		return rows + 1
+	}
+	return rows
+}
+
+func layoutProgram(main *Func, regions []*ParRegion, schedules map[*Func]map[BlockID]schedBlock) (*layout, error) {
+	lay := &layout{
+		blockAddr: map[*Func]map[BlockID]isa.Addr{},
+		blockSize: map[*Func]map[BlockID]int{},
+		joinAddr:  map[*ParRegion]isa.Addr{},
+		parThen:   map[*ParRegion]BlockID{},
+	}
+	cursor := 0
+	place := func(f *Func) {
+		lay.blockAddr[f] = map[BlockID]isa.Addr{}
+		lay.blockSize[f] = map[BlockID]int{}
+		for _, blk := range f.Blocks {
+			size := blockRows(blk, schedules[f][blk.ID])
+			lay.blockAddr[f][blk.ID] = isa.Addr(cursor)
+			lay.blockSize[f][blk.ID] = size
+			cursor += size
+		}
+	}
+	place(main)
+	for _, blk := range main.Blocks {
+		if blk.Term.Kind == TermPar {
+			lay.parThen[blk.Term.Par] = blk.Term.Then
+		}
+	}
+	for _, region := range regions {
+		for _, th := range region.Threads {
+			place(th)
+		}
+		lay.joinAddr[region] = isa.Addr(cursor)
+		cursor++
+	}
+	if cursor > int(isa.MaxAddr) {
+		return nil, fmt.Errorf("compiler: program needs %d instructions; instruction memory holds %d", cursor, isa.MaxAddr+1)
+	}
+	return lay, nil
+}
+
+// emitFunc writes one function's parcels into the builder at the given
+// functional-unit base and width.
+func emitFunc(b *isa.Builder, f *Func, fuBase, width int, sched map[BlockID]schedBlock, al *allocation, lay *layout) {
+	for _, blk := range f.Blocks {
+		sb := sched[blk.ID]
+		addr := lay.addr(f, blk.ID)
+		size := lay.blockSize[f][blk.ID]
+		for r := 0; r < size; r++ {
+			var ops []schedOp
+			if r < len(sb.Rows) {
+				ops = sb.Rows[r]
+			}
+			last := r == size-1
+			for col := 0; col < width; col++ {
+				data := isa.Nop
+				if col < len(ops) {
+					data = lowerDataOp(al, f, ops[col].Inst)
+				}
+				ctrl := rowCtrl(f, blk, sb, lay, fuBase, addr, r, last, fuBase+col)
+				b.Set(addr+isa.Addr(r), fuBase+col, isa.Parcel{Data: data, Ctrl: ctrl})
+			}
+		}
+	}
+}
+
+// rowCtrl computes the control operation for one parcel.
+func rowCtrl(f *Func, blk *Block, sb schedBlock, lay *layout, fuBase int, addr isa.Addr, row int, last bool, fu int) isa.CtrlOp {
+	if !last {
+		return isa.Goto(addr + isa.Addr(row) + 1)
+	}
+	switch blk.Term.Kind {
+	case TermJmp:
+		return isa.Goto(lay.addr(f, blk.Term.Then))
+	case TermHalt:
+		if f.Name == "main" {
+			return isa.Halt()
+		}
+		// Thread completion: proceed to the owning region's join row.
+		return isa.Goto(lay.threadJoin(f))
+	case TermBr:
+		ccFU := uint8(fuBase + sb.CmpCol)
+		return isa.IfCC(ccFU, lay.addr(f, blk.Term.Then), lay.addr(f, blk.Term.Else))
+	case TermPar:
+		// Fork: each FU jumps to its thread's entry; FUs not owned by any
+		// thread go directly to the join row.
+		region := blk.Term.Par
+		base := 0
+		for i, th := range region.Threads {
+			if fu >= base && fu < base+region.Widths[i] {
+				return isa.Goto(lay.addr(th, th.Entry))
+			}
+			base += region.Widths[i]
+		}
+		return isa.Goto(lay.joinAddr[region])
+	}
+	return isa.Halt()
+}
+
+// threadJoin finds the join-row address of the region owning thread f.
+func (l *layout) threadJoin(f *Func) isa.Addr {
+	for region, addr := range l.joinAddr {
+		for _, th := range region.Threads {
+			if th == f {
+				return addr
+			}
+		}
+	}
+	panic("compiler: thread without a par region")
+}
+
+// lowerDataOp converts an IR instruction to a machine data operation
+// using the register allocation.
+func lowerDataOp(al *allocation, f *Func, in Inst) isa.DataOp {
+	d := isa.DataOp{Op: in.Op}
+	cl := isa.ClassOf(in.Op)
+	conv := func(a Arg) isa.Operand {
+		if a.IsConst {
+			return isa.I(a.Const)
+		}
+		p, ok := al.lookup(f, a.Reg)
+		if !ok {
+			panic(fmt.Sprintf("compiler: vreg v%d of %s has no physical register", a.Reg, f.Name))
+		}
+		return isa.R(p)
+	}
+	if cl.ReadsA() {
+		d.A = conv(in.A)
+	}
+	if cl.ReadsB() {
+		d.B = conv(in.B)
+	}
+	if cl.WritesReg() {
+		p, ok := al.lookup(f, in.Dst)
+		if !ok {
+			panic(fmt.Sprintf("compiler: dst vreg v%d of %s has no physical register", in.Dst, f.Name))
+		}
+		d.Dest = p
+	}
+	return d
+}

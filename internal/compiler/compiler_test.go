@@ -1,0 +1,398 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/mem"
+)
+
+// runProgram compiles and executes src, returning the machine and memory
+// for inspection. Globals in init are poked before the run.
+func runProgram(t *testing.T, src string, opts Options, init map[string][]int32) (*core.Machine, *mem.Shared, *Compiled) {
+	t.Helper()
+	c, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	shared := mem.NewShared(0)
+	for name, vals := range init {
+		sym, ok := c.Syms.Lookup(name)
+		if !ok {
+			t.Fatalf("init: unknown global %q", name)
+		}
+		shared.PokeInts(sym.Addr, vals...)
+	}
+	m, err := core.New(c.Prog, core.Config{Memory: shared, MaxCycles: 2_000_000})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v\nprogram:\n%s", err, c.Prog)
+	}
+	return m, shared, c
+}
+
+// peekGlobal reads a global scalar or array prefix.
+func peekGlobal(t *testing.T, shared *mem.Shared, c *Compiled, name string, n int) []int32 {
+	t.Helper()
+	sym, ok := c.Syms.Lookup(name)
+	if !ok {
+		t.Fatalf("unknown global %q", name)
+	}
+	return shared.PeekInts(sym.Addr, n)
+}
+
+func expectGlobal(t *testing.T, shared *mem.Shared, c *Compiled, name string, want ...int32) {
+	t.Helper()
+	got := peekGlobal(t, shared, c, name, len(want))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestCompileArithmetic(t *testing.T) {
+	src := `
+var out[8];
+func main() {
+    var a = 7, b = 3;
+    out[0] = a + b * 2;        // 13
+    out[1] = (a + b) * 2;      // 20
+    out[2] = a - b - 1;        // 3
+    out[3] = a / b;            // 2
+    out[4] = a % b;            // 1
+    out[5] = (a << 2) | (b & 1); // 29
+    out[6] = a ^ b;            // 4
+    out[7] = -a + ~b;          // -7 + -4 = -11
+}`
+	for _, width := range []int{1, 2, 4, 8} {
+		_, shared, c := runProgram(t, src, Options{Width: width}, nil)
+		expectGlobal(t, shared, c, "out", 13, 20, 3, 2, 1, 29, 4, -11)
+	}
+}
+
+func TestCompileControlFlow(t *testing.T) {
+	src := `
+var out[4];
+func main() {
+    var i, s = 0;
+    for (i = 0; i < 10; i = i + 1) { s = s + i; }
+    out[0] = s;                       // 45
+    if (s > 40) { out[1] = 1; } else { out[1] = 2; }
+    if (s > 100) { out[2] = 1; } else if (s > 44) { out[2] = 3; } else { out[2] = 2; }
+    var k = 0;
+    while (k * k < 50) { k = k + 1; }
+    out[3] = k;                       // 8
+}`
+	_, shared, c := runProgram(t, src, Options{Width: 4}, nil)
+	expectGlobal(t, shared, c, "out", 45, 1, 3, 8)
+}
+
+func TestCompileBooleansAndLogic(t *testing.T) {
+	src := `
+var out[6];
+func main() {
+    var a = 5, b = 0;
+    out[0] = a > 3;            // 1
+    out[1] = a < 3;            // 0
+    out[2] = !b;               // 1
+    if (a > 3 && b == 0) { out[3] = 7; }
+    if (a < 3 || b == 0) { out[4] = 8; }
+    if (!(a == 5) || (b != 0 && a > 100)) { out[5] = 1; } else { out[5] = 2; }
+}`
+	_, shared, c := runProgram(t, src, Options{Width: 2}, nil)
+	expectGlobal(t, shared, c, "out", 1, 0, 1, 7, 8, 2)
+}
+
+func TestCompileArraysAndGlobals(t *testing.T) {
+	src := `
+var a[16], b[16], n, total;
+func main() {
+    var i, s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        b[i] = a[i] * a[i];
+        s = s + b[i];
+    }
+    total = s;
+}`
+	input := []int32{1, 2, 3, 4, 5}
+	_, shared, c := runProgram(t, src, Options{Width: 4},
+		map[string][]int32{"a": input, "n": {5}})
+	expectGlobal(t, shared, c, "b", 1, 4, 9, 16, 25)
+	expectGlobal(t, shared, c, "total", 55)
+}
+
+func TestCompileWidthAndUnrollEquivalence(t *testing.T) {
+	// The same source must produce identical results at every width and
+	// unroll factor — the Figure 13 premise that each thread compiles at
+	// several resource constraints.
+	src := `
+var x[64], y[65], n;
+func main() {
+    var k;
+    for (k = 0; k < n; k = k + 1) {
+        x[k] = y[k+1] - y[k];
+    }
+}`
+	y := make([]int32, 65)
+	for i := range y {
+		y[i] = int32(i*i - 3*i)
+	}
+	want := make([]int32, 17)
+	for k := range want {
+		want[k] = y[k+1] - y[k]
+	}
+	for _, width := range []int{1, 2, 4, 8} {
+		for _, unroll := range []int{1, 2, 4} {
+			_, shared, c := runProgram(t, src, Options{Width: width, Unroll: unroll},
+				map[string][]int32{"y": y, "n": {17}})
+			got := peekGlobal(t, shared, c, "x", len(want))
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("width %d unroll %d: x = %v, want %v", width, unroll, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileWiderIsFaster(t *testing.T) {
+	src := `
+var a[64], b[64], c[64], d[64], n;
+func main() {
+    var i;
+    for (i = 0; i < n; i = i + 1) {
+        b[i] = a[i] * 3 + 1;
+        c[i] = a[i] * a[i] - 7;
+        d[i] = (a[i] << 1) ^ 5;
+    }
+}`
+	a := make([]int32, 48)
+	for i := range a {
+		a[i] = int32(i)
+	}
+	init := map[string][]int32{"a": a, "n": {48}}
+	cycles := map[int]uint64{}
+	for _, width := range []int{1, 4} {
+		m, _, _ := runProgram(t, src, Options{Width: width, Unroll: 2}, init)
+		cycles[width] = m.Cycle()
+	}
+	if cycles[4] >= cycles[1] {
+		t.Errorf("width 4 (%d cycles) not faster than width 1 (%d cycles)", cycles[4], cycles[1])
+	}
+	t.Logf("independent-ops loop: width1=%d width4=%d speedup=%.2fx",
+		cycles[1], cycles[4], float64(cycles[1])/float64(cycles[4]))
+}
+
+func TestCompileUnrollSpeedsUp(t *testing.T) {
+	src := `
+var a[128], b[128], n;
+func main() {
+    var i;
+    for (i = 0; i < n; i = i + 1) {
+        b[i] = a[i] * 5 + 2;
+    }
+}`
+	a := make([]int32, 96)
+	for i := range a {
+		a[i] = int32(3 * i)
+	}
+	init := map[string][]int32{"a": a, "n": {96}}
+	m1, _, _ := runProgram(t, src, Options{Width: 8, Unroll: 1}, init)
+	m4, _, _ := runProgram(t, src, Options{Width: 8, Unroll: 4}, init)
+	if m4.Cycle() >= m1.Cycle() {
+		t.Errorf("unroll 4 (%d cycles) not faster than unroll 1 (%d cycles)", m4.Cycle(), m1.Cycle())
+	}
+	t.Logf("unroll: u1=%d u4=%d speedup=%.2fx", m1.Cycle(), m4.Cycle(),
+		float64(m1.Cycle())/float64(m4.Cycle()))
+}
+
+func TestCompileParThreads(t *testing.T) {
+	src := `
+var a[32], b[32], lo[1], hi[1], n;
+func main() {
+    var m = n;
+    par {
+        thread(2) {
+            var i;
+            for (i = 0; i < m; i = i + 1) { a[i] = i * i; }
+        }
+        thread(2) {
+            var j;
+            for (j = 0; j < m; j = j + 1) { b[j] = j * 3; }
+        }
+    }
+    lo[0] = a[2] + b[2];
+    hi[0] = a[5] + b[5];
+}`
+	m, shared, c := runProgram(t, src, Options{Width: 4}, map[string][]int32{"n": {8}})
+	expectGlobal(t, shared, c, "a", 0, 1, 4, 9, 16, 25, 36, 49)
+	expectGlobal(t, shared, c, "b", 0, 3, 6, 9, 12, 15, 18, 21)
+	expectGlobal(t, shared, c, "lo", 10)
+	expectGlobal(t, shared, c, "hi", 40)
+	if !c.HasPar {
+		t.Error("HasPar = false")
+	}
+	if s := m.Stats(); s.StreamHistogram[2] == 0 {
+		t.Errorf("never ran two streams: histogram %v", s.StreamHistogram)
+	}
+}
+
+func TestCompileParSpeedsUpIrregularWork(t *testing.T) {
+	// Two data-dependent loops: serial VLIW-style vs two concurrent
+	// streams.
+	serial := `
+var a[64], b[64], n;
+func main() {
+    var i, x, c1;
+    for (i = 0; i < n; i = i + 1) {
+        x = a[i]; c1 = 0;
+        while (x > 0) { x = x >> 1; c1 = c1 + 1; }
+        a[i] = c1;
+    }
+    for (i = 0; i < n; i = i + 1) {
+        x = b[i]; c1 = 0;
+        while (x > 0) { x = x >> 1; c1 = c1 + 1; }
+        b[i] = c1;
+    }
+}`
+	parallel := `
+var a[64], b[64], n;
+func main() {
+    var m = n;
+    par {
+        thread(4) {
+            var i, x, c1;
+            for (i = 0; i < m; i = i + 1) {
+                x = a[i]; c1 = 0;
+                while (x > 0) { x = x >> 1; c1 = c1 + 1; }
+                a[i] = c1;
+            }
+        }
+        thread(4) {
+            var j, y, c2;
+            for (j = 0; j < m; j = j + 1) {
+                y = b[j]; c2 = 0;
+                while (y > 0) { y = y >> 1; c2 = c2 + 1; }
+                b[j] = c2;
+            }
+        }
+    }
+}`
+	a := make([]int32, 32)
+	b := make([]int32, 32)
+	for i := range a {
+		a[i] = int32(1) << (uint(i) % 20)
+		b[i] = int32(1) << (uint(19 - i%20))
+	}
+	init := map[string][]int32{"a": a, "b": b, "n": {32}}
+	ms, sharedS, cs := runProgram(t, serial, Options{Width: 8}, init)
+	mp, sharedP, cp := runProgram(t, parallel, Options{Width: 8}, init)
+	gotS := peekGlobal(t, sharedS, cs, "a", 32)
+	gotP := peekGlobal(t, sharedP, cp, "a", 32)
+	for i := range gotS {
+		if gotS[i] != gotP[i] {
+			t.Fatalf("a[%d]: serial %d, par %d", i, gotS[i], gotP[i])
+		}
+	}
+	if mp.Cycle() >= ms.Cycle() {
+		t.Errorf("par (%d cycles) not faster than serial (%d cycles)", mp.Cycle(), ms.Cycle())
+	}
+	t.Logf("par speedup: serial=%d par=%d %.2fx", ms.Cycle(), mp.Cycle(),
+		float64(ms.Cycle())/float64(mp.Cycle()))
+}
+
+func TestCompileParReadsOuterLocals(t *testing.T) {
+	src := `
+var out[2];
+func main() {
+    var base = 40, scale = 3;
+    par {
+        thread { out[0] = base + 1; }
+        thread { out[1] = base * scale; }
+    }
+}`
+	_, shared, c := runProgram(t, src, Options{Width: 8}, nil)
+	expectGlobal(t, shared, c, "out", 41, 120)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`func main() { x = 1; }`, "undefined variable"},
+		{`var a[4]; func main() { a = 1; }`, "needs an index"},
+		{`var s; func main() { s[0] = 1; }`, "scalar, not an array"},
+		{`func main() { var x = 1; var x = 2; }`, "redeclared"},
+		{`var a; var a; func main() {}`, "redeclared"},
+		{`func foo() {}`, "only func main"},
+		{`func main() { par { thread { par { thread {} } } } }`, "nested par"},
+		{`func main() { var x = 1; par { thread { x = 2; } } }`, "read-only"},
+		{`func main() { if (1) }`, "expected"},
+		{`func main() { var x = ; }`, "expected expression"},
+		{`func main() { par { } }`, "at least one thread"},
+		{`func main() { par { thread(5) {} thread(5) {} } }`, "machine width"},
+	}
+	for _, tc := range cases {
+		_, err := Compile(tc.src, Options{Width: 8})
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Compile(%q) err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestCompileDivByZeroTrapsAtRuntime(t *testing.T) {
+	src := `
+var out[1], z;
+func main() { out[0] = 10 / z; }`
+	c, err := Compile(src, Options{Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(c.Prog, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("divide by zero did not trap")
+	}
+}
+
+func TestCompiledProgramIsVLIWConvertible(t *testing.T) {
+	src := `
+var out[1];
+func main() {
+    var i, s = 0;
+    for (i = 0; i < 5; i = i + 1) { s = s + i * i; }
+    out[0] = s;
+}`
+	c, err := Compile(src, Options{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if style := core.Classify(c.Prog); !style.VLIW {
+		t.Fatalf("par-free compiled code should be VLIW-style: %+v", style)
+	}
+	vp, err := c.VLIW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.NumFU != 4 {
+		t.Fatalf("VLIW NumFU = %d", vp.NumFU)
+	}
+}
+
+func TestCompileCommentsAndHex(t *testing.T) {
+	src := `
+// line comment
+var out[1]; /* block
+comment */
+func main() { out[0] = 0x10 + 2; }`
+	_, shared, c := runProgram(t, src, Options{Width: 1}, nil)
+	expectGlobal(t, shared, c, "out", 18)
+}

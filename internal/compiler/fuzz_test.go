@@ -1,0 +1,277 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/mem"
+)
+
+// Differential fuzzing: random minic programs (expression chains, bounded
+// loops, conditionals) are compiled at random widths/unroll factors and
+// executed; the results must match a direct Go interpretation of the
+// same AST. The interpreter exercises only Parse, so a divergence
+// implicates lowering, scheduling, register allocation, code generation,
+// or the machine itself.
+
+type srcGen struct {
+	vars  []string
+	lines []string
+	r     *rand.Rand
+}
+
+func (g *srcGen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if len(g.vars) > 0 && g.r.Intn(2) == 0 {
+			return g.vars[g.r.Intn(len(g.vars))]
+		}
+		c := g.r.Intn(201) - 100
+		if c < 0 {
+			return fmt.Sprintf("(0 - %d)", -c)
+		}
+		return fmt.Sprintf("%d", c)
+	}
+	l := g.expr(depth - 1)
+	rr := g.expr(depth - 1)
+	switch g.r.Intn(9) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, rr)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, rr)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, rr)
+	case 3:
+		return fmt.Sprintf("(%s & %s)", l, rr)
+	case 4:
+		return fmt.Sprintf("(%s | %s)", l, rr)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", l, rr)
+	case 6:
+		return fmt.Sprintf("(%s / (%s | 1))", l, rr) // guarded: never traps
+	case 7:
+		return fmt.Sprintf("(%s %% (%s | 1))", l, rr)
+	default:
+		return fmt.Sprintf("(%s < %s)", l, rr)
+	}
+}
+
+func (g *srcGen) stmt() {
+	switch g.r.Intn(5) {
+	case 0:
+		if len(g.vars) >= 9 {
+			break
+		}
+		name := fmt.Sprintf("v%d", len(g.vars))
+		g.lines = append(g.lines, fmt.Sprintf("var %s = %s;", name, g.expr(2)))
+		g.vars = append(g.vars, name)
+		return
+	case 1:
+		if len(g.vars) > 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			g.lines = append(g.lines, fmt.Sprintf("if (%s != 0) { %s = %s; } else { %s = %s; }",
+				g.expr(1), v, g.expr(2), v, g.expr(2)))
+			return
+		}
+	case 2:
+		if len(g.vars) > 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			iname := fmt.Sprintf("i%d", len(g.lines))
+			g.lines = append(g.lines, fmt.Sprintf(
+				"var %s; for (%s = 0; %s < %d; %s = %s + 1) { %s = %s + %s; }",
+				iname, iname, iname, g.r.Intn(6), iname, iname, v, v, g.expr(1)))
+			return
+		}
+	default:
+		if len(g.vars) > 0 {
+			v := g.vars[g.r.Intn(len(g.vars))]
+			g.lines = append(g.lines, fmt.Sprintf("%s = %s;", v, g.expr(3)))
+			return
+		}
+	}
+	// Fall through: ensure at least one variable exists.
+	name := fmt.Sprintf("v%d", len(g.vars))
+	g.lines = append(g.lines, fmt.Sprintf("var %s = %s;", name, g.expr(2)))
+	g.vars = append(g.vars, name)
+}
+
+// interp evaluates the generated program's AST directly.
+type interp struct {
+	vals map[string]int32
+	out  map[int32]int32
+}
+
+func (ip *interp) exprVal(t *testing.T, e Expr) int32 {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Val
+	case *NameExpr:
+		v, ok := ip.vals[e.Name]
+		if !ok {
+			t.Fatalf("interp: undefined %q", e.Name)
+		}
+		return v
+	case *UnExpr:
+		x := ip.exprVal(t, e.X)
+		switch e.Op {
+		case "-":
+			return -x
+		case "~":
+			return ^x
+		case "!":
+			if x == 0 {
+				return 1
+			}
+			return 0
+		}
+	case *BinExpr:
+		l := ip.exprVal(t, e.L)
+		r := ip.exprVal(t, e.R)
+		switch e.Op {
+		case "+":
+			return l + r
+		case "-":
+			return l - r
+		case "*":
+			return l * r
+		case "/":
+			return l / r
+		case "%":
+			return l % r
+		case "&":
+			return l & r
+		case "|":
+			return l | r
+		case "^":
+			return l ^ r
+		case "<<":
+			return l << (uint32(r) & 31)
+		case ">>":
+			return l >> (uint32(r) & 31)
+		case "<":
+			return b2i(l < r)
+		case "<=":
+			return b2i(l <= r)
+		case ">":
+			return b2i(l > r)
+		case ">=":
+			return b2i(l >= r)
+		case "==":
+			return b2i(l == r)
+		case "!=":
+			return b2i(l != r)
+		case "&&":
+			return b2i(l != 0 && r != 0)
+		case "||":
+			return b2i(l != 0 || r != 0)
+		}
+	}
+	t.Fatalf("interp: unhandled expression %T", e)
+	return 0
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ip *interp) block(t *testing.T, b *BlockStmt) {
+	for _, s := range b.Stmts {
+		ip.stmtEval(t, s)
+	}
+}
+
+func (ip *interp) stmtEval(t *testing.T, s Stmt) {
+	switch s := s.(type) {
+	case *VarStmt:
+		for i, name := range s.Names {
+			var v int32
+			if s.Inits[i] != nil {
+				v = ip.exprVal(t, s.Inits[i])
+			}
+			ip.vals[name] = v
+		}
+	case *AssignStmt:
+		ip.vals[s.Name] = ip.exprVal(t, s.Val)
+	case *StoreStmt:
+		if s.Name != "out" {
+			t.Fatalf("interp: unexpected store to %q", s.Name)
+		}
+		ip.out[ip.exprVal(t, s.Index)] = ip.exprVal(t, s.Val)
+	case *IfStmt:
+		if ip.exprVal(t, s.Cond) != 0 {
+			ip.block(t, s.Then)
+		} else if s.Else != nil {
+			ip.block(t, s.Else)
+		}
+	case *WhileStmt:
+		for guard := 0; ip.exprVal(t, s.Cond) != 0; guard++ {
+			if guard > 1_000_000 {
+				t.Fatal("interp: runaway loop")
+			}
+			ip.block(t, s.Body)
+		}
+	case *ForStmt:
+		ip.stmtEval(t, s.Init)
+		for guard := 0; ip.exprVal(t, s.Cond) != 0; guard++ {
+			if guard > 1_000_000 {
+				t.Fatal("interp: runaway loop")
+			}
+			ip.block(t, s.Body)
+			ip.stmtEval(t, s.Post)
+		}
+	default:
+		t.Fatalf("interp: unhandled statement %T", s)
+	}
+}
+
+func TestCompilerDifferentialFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 150; iter++ {
+		g := &srcGen{r: r}
+		nStmts := 2 + r.Intn(8)
+		for i := 0; i < nStmts; i++ {
+			g.stmt()
+		}
+		var outs []string
+		for i, v := range g.vars {
+			outs = append(outs, fmt.Sprintf("out[%d] = %s;", i, v))
+		}
+		src := fmt.Sprintf("var out[%d];\nfunc main() {\n%s\n%s\n}",
+			len(g.vars), strings.Join(g.lines, "\n"), strings.Join(outs, "\n"))
+
+		ast, err := Parse(src)
+		if err != nil {
+			t.Fatalf("iter %d: generated unparsable source: %v\n%s", iter, err, src)
+		}
+		ip := &interp{vals: map[string]int32{}, out: map[int32]int32{}}
+		ip.block(t, ast.Main)
+
+		width := []int{1, 2, 4, 8}[r.Intn(4)]
+		unroll := []int{1, 2, 3}[r.Intn(3)]
+		c, err := Compile(src, Options{Width: width, Unroll: unroll})
+		if err != nil {
+			t.Fatalf("iter %d (width %d, unroll %d): %v\nsource:\n%s", iter, width, unroll, err, src)
+		}
+		shared := mem.NewShared(0)
+		m, err := core.New(c.Prog, core.Config{Memory: shared, MaxCycles: 1_000_000})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("iter %d (width %d, unroll %d): %v\nsource:\n%s", iter, width, unroll, err, src)
+		}
+		sym, _ := c.Syms.Lookup("out")
+		for i := range g.vars {
+			want := ip.out[int32(i)]
+			if got := shared.Peek(sym.Addr + uint32(i)).Int(); got != want {
+				t.Fatalf("iter %d (width %d, unroll %d): out[%d] = %d, want %d\nsource:\n%s",
+					iter, width, unroll, i, got, want, src)
+			}
+		}
+	}
+}

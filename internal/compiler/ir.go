@@ -1,0 +1,199 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/isa"
+)
+
+// VReg is a virtual register id; 0 is invalid.
+type VReg int
+
+// Arg is an instruction operand: a virtual register or a constant.
+type Arg struct {
+	IsConst bool
+	Const   int32
+	Reg     VReg
+}
+
+func cArg(v int32) Arg { return Arg{IsConst: true, Const: v} }
+func rArg(r VReg) Arg  { return Arg{Reg: r} }
+
+func (a Arg) String() string {
+	if a.IsConst {
+		return fmt.Sprintf("#%d", a.Const)
+	}
+	return fmt.Sprintf("v%d", a.Reg)
+}
+
+// Inst is one IR instruction. The IR reuses the machine opcode set over
+// virtual registers, so scheduling and code generation are one-to-one:
+//   - ALU classes follow isa.ClassOf,
+//   - OpLoad reads M(A+B) into Dst (A and B may both be constants),
+//   - OpStore writes A to M(B) (B is a fully materialized address).
+//
+// Sym is the alias class for memory operations: the symbol-table id of
+// the global the operation touches (-1 for non-memory instructions).
+// Operations on distinct symbols never alias; loads on the same symbol
+// may reorder; a store orders against every same-symbol access.
+type Inst struct {
+	Op   isa.Opcode
+	A, B Arg
+	Dst  VReg
+	Sym  int
+	Line int
+}
+
+func (in Inst) String() string {
+	cl := isa.ClassOf(in.Op)
+	switch {
+	case cl.WritesReg():
+		return fmt.Sprintf("v%d = %s %s, %s", in.Dst, in.Op, in.A, in.B)
+	default:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.A, in.B)
+	}
+}
+
+// BlockID names a basic block within its function.
+type BlockID int
+
+// TermKind is the kind of a block terminator.
+type TermKind int
+
+// Terminator kinds.
+const (
+	// TermJmp transfers unconditionally to Then.
+	TermJmp TermKind = iota
+	// TermBr compares A and B with CmpOp and branches to Then/Else.
+	TermBr
+	// TermHalt ends the function (machine halt, or thread completion
+	// inside a par thread).
+	TermHalt
+	// TermPar forks the attached par region, then continues at Then.
+	TermPar
+)
+
+// Terminator ends a basic block.
+type Terminator struct {
+	Kind  TermKind
+	CmpOp isa.Opcode // compare opcode for TermBr
+	A, B  Arg
+	Then  BlockID
+	Else  BlockID
+	Par   *ParRegion
+	Line  int
+}
+
+// ParRegion is the body of a par statement: one sub-function per thread
+// plus the functional-unit width assigned to each.
+type ParRegion struct {
+	Threads []*Func
+	Widths  []int
+}
+
+// Block is one basic block.
+type Block struct {
+	ID    BlockID
+	Insts []Inst
+	Term  Terminator
+}
+
+// Func is a compiled function body (main, or one par thread): a CFG over
+// basic blocks and a virtual register space.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Entry  BlockID
+	// NumVRegs is one past the highest allocated vreg.
+	NumVRegs int
+	// Captured maps this function's vregs to the enclosing function's
+	// vregs for outer locals read inside a par thread.
+	Captured map[VReg]VReg
+}
+
+func (f *Func) block(id BlockID) *Block { return f.Blocks[id] }
+
+func (f *Func) newBlock() *Block {
+	b := &Block{ID: BlockID(len(f.Blocks))}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+func (f *Func) newVReg() VReg {
+	f.NumVRegs++
+	return VReg(f.NumVRegs)
+}
+
+// String renders the function's IR for debugging and golden tests.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s (entry B%d)\n", f.Name, f.Entry)
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "B%d:\n", blk.ID)
+		for _, in := range blk.Insts {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+		switch blk.Term.Kind {
+		case TermJmp:
+			fmt.Fprintf(&b, "  jmp B%d\n", blk.Term.Then)
+		case TermBr:
+			fmt.Fprintf(&b, "  br %s %s, %s -> B%d B%d\n",
+				blk.Term.CmpOp, blk.Term.A, blk.Term.B, blk.Term.Then, blk.Term.Else)
+		case TermHalt:
+			fmt.Fprintf(&b, "  halt\n")
+		case TermPar:
+			fmt.Fprintf(&b, "  par %d threads -> B%d\n", len(blk.Term.Par.Threads), blk.Term.Then)
+		}
+	}
+	return b.String()
+}
+
+// Symbol is one global in the data layout.
+type Symbol struct {
+	Name string
+	Addr uint32 // word address of the scalar or array base
+	Size int32  // 1 for scalars, element count for arrays
+	Arr  bool
+}
+
+// SymTab is the program's global symbol table and data layout.
+type SymTab struct {
+	Syms   []Symbol
+	byName map[string]int
+}
+
+// DataBase is the word address where compiler-managed globals begin.
+const DataBase = 0x1000
+
+func newSymTab() *SymTab {
+	return &SymTab{byName: make(map[string]int)}
+}
+
+func (st *SymTab) add(name string, size int32, arr bool) (int, error) {
+	if _, dup := st.byName[name]; dup {
+		return 0, fmt.Errorf("global %q redeclared", name)
+	}
+	addr := uint32(DataBase)
+	if n := len(st.Syms); n > 0 {
+		last := st.Syms[n-1]
+		addr = last.Addr + uint32(last.Size)
+	}
+	st.Syms = append(st.Syms, Symbol{Name: name, Addr: addr, Size: size, Arr: arr})
+	st.byName[name] = len(st.Syms) - 1
+	return len(st.Syms) - 1, nil
+}
+
+// Lookup returns the symbol with the given name.
+func (st *SymTab) Lookup(name string) (Symbol, bool) {
+	i, ok := st.byName[name]
+	if !ok {
+		return Symbol{}, false
+	}
+	return st.Syms[i], true
+}
+
+func (st *SymTab) index(name string) (int, bool) {
+	i, ok := st.byName[name]
+	return i, ok
+}

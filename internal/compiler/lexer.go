@@ -1,0 +1,173 @@
+// Package compiler implements a small compiler from "minic" — a C-like
+// language with integer scalars, global arrays, structured control flow,
+// and an explicit `par { thread {...} ... }` construct — to XIMD-1
+// machine code.
+//
+// The compiler plays the role of the paper's retargetable VLIW compiler
+// (Section 4.2): it extracts instruction-level parallelism by DAG list
+// scheduling at a parameterizable functional-unit width, optionally
+// unrolls counted loops to widen the scheduling scope, compiles each
+// `par` thread independently onto a subset of the functional units with
+// synchronization-signal barriers at the join, and emits the
+// width-by-length code tiles used by the Figure 13 packing experiments.
+package compiler
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TokKind identifies a lexical token class.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNum
+	TokPunct   // single or multi character operator/punctuation
+	TokKeyword // var, func, if, else, while, for, par, thread
+)
+
+var keywords = map[string]bool{
+	"var": true, "func": true, "if": true, "else": true,
+	"while": true, "for": true, "par": true, "thread": true,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int32 // value for TokNum
+	Line int
+}
+
+// SyntaxError is a compile diagnostic with a source line.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []Token
+}
+
+// lex tokenizes minic source.
+func lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.Kind == TokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (Token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return Token{}, &SyntaxError{Line: l.line, Msg: "unterminated block comment"}
+			}
+			l.pos += 2
+		default:
+			goto content
+		}
+	}
+content:
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		for l.pos < len(l.src) && (isAlpha(l.src[l.pos]) || isDigit(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: l.line}, nil
+
+	case isDigit(c):
+		base := 10
+		if c == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+			base = 16
+			l.pos += 2
+			start = l.pos
+		}
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || (base == 16 && isHex(l.src[l.pos]))) {
+			l.pos++
+		}
+		v, err := strconv.ParseUint(l.src[start:l.pos], base, 32)
+		if err != nil {
+			return Token{}, &SyntaxError{Line: l.line, Msg: "bad number " + l.src[start:l.pos]}
+		}
+		return Token{Kind: TokNum, Text: l.src[start:l.pos], Num: int32(uint32(v)), Line: l.line}, nil
+
+	default:
+		// Multi-character operators first.
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case "==", "!=", "<=", ">=", "&&", "||", "<<", ">>":
+			l.pos += 2
+			return Token{Kind: TokPunct, Text: two, Line: l.line}, nil
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '!', '<', '>',
+			'=', '(', ')', '{', '}', '[', ']', ';', ',', '~':
+			l.pos++
+			return Token{Kind: TokPunct, Text: string(c), Line: l.line}, nil
+		}
+		return Token{}, &SyntaxError{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

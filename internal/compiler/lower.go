@@ -1,0 +1,468 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+)
+
+// lowerer translates the AST into IR.
+type lowerer struct {
+	syms *SymTab
+	fn   *Func
+	cur  *Block
+	// scopes is the stack of local-name -> vreg bindings.
+	scopes []map[string]VReg
+	// outer is the enclosing lowerer when lowering a par thread; outer
+	// locals are readable (captured) but not assignable.
+	outer *lowerer
+}
+
+// Lower builds the symbol table and lowers the program AST to IR.
+func Lower(prog *Program) (*Func, *SymTab, error) {
+	syms := newSymTab()
+	for _, g := range prog.Globals {
+		size := g.Size
+		arr := size > 0
+		if !arr {
+			size = 1
+		}
+		if _, err := syms.add(g.Name, size, arr); err != nil {
+			return nil, nil, &SyntaxError{Line: g.Line, Msg: err.Error()}
+		}
+	}
+	lw := &lowerer{syms: syms, fn: &Func{Name: "main"}}
+	lw.cur = lw.fn.newBlock()
+	lw.fn.Entry = lw.cur.ID
+	lw.pushScope()
+	if err := lw.blockStmt(prog.Main); err != nil {
+		return nil, nil, err
+	}
+	lw.cur.Term = Terminator{Kind: TermHalt}
+	return lw.fn, syms, nil
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]VReg{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) errf(line int, format string, args ...interface{}) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lookupLocal resolves a name in local scopes. captured reports whether
+// the binding came from the enclosing function (read-only).
+func (lw *lowerer) lookupLocal(name string) (v VReg, ok, captured bool) {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if v, ok := lw.scopes[i][name]; ok {
+			return v, true, false
+		}
+	}
+	if lw.outer != nil {
+		if ov, ok, _ := lw.outer.lookupLocal(name); ok {
+			if lw.fn.Captured == nil {
+				lw.fn.Captured = map[VReg]VReg{}
+			}
+			alias := lw.fn.newVReg()
+			lw.fn.Captured[alias] = ov
+			return alias, true, true
+		}
+	}
+	return 0, false, false
+}
+
+func (lw *lowerer) emit(in Inst) {
+	if in.Sym == 0 {
+		in.Sym = -1 // default alias class for non-memory instructions
+	}
+	lw.cur.Insts = append(lw.cur.Insts, in)
+}
+
+// startBlock begins a new current block and returns it.
+func (lw *lowerer) startBlock() *Block {
+	b := lw.fn.newBlock()
+	lw.cur = b
+	return b
+}
+
+func (lw *lowerer) blockStmt(b *BlockStmt) error {
+	lw.pushScope()
+	defer lw.popScope()
+	for _, s := range b.Stmts {
+		if err := lw.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *VarStmt:
+		for i, name := range s.Names {
+			if _, dup := lw.scopes[len(lw.scopes)-1][name]; dup {
+				return lw.errf(s.Line, "variable %q redeclared in this scope", name)
+			}
+			v := lw.fn.newVReg()
+			var init Arg = cArg(0)
+			if s.Inits[i] != nil {
+				a, err := lw.value(s.Inits[i])
+				if err != nil {
+					return err
+				}
+				init = a
+			}
+			lw.emit(Inst{Op: isa.OpIAdd, A: init, B: cArg(0), Dst: v, Line: s.Line})
+			lw.scopes[len(lw.scopes)-1][name] = v
+		}
+		return nil
+
+	case *AssignStmt:
+		return lw.assign(s)
+
+	case *StoreStmt:
+		sym, ok := lw.syms.Lookup(s.Name)
+		if !ok {
+			return lw.errf(s.Line, "undefined global %q", s.Name)
+		}
+		if !sym.Arr {
+			return lw.errf(s.Line, "%q is a scalar, not an array", s.Name)
+		}
+		symID, _ := lw.syms.index(s.Name)
+		idx, err := lw.value(s.Index)
+		if err != nil {
+			return err
+		}
+		val, err := lw.value(s.Val)
+		if err != nil {
+			return err
+		}
+		addr := lw.materializeAddr(sym, idx, s.Line)
+		lw.emit(Inst{Op: isa.OpStore, A: val, B: addr, Sym: symID + 1, Line: s.Line})
+		return nil
+
+	case *IfStmt:
+		thenB := lw.fn.newBlock()
+		var elseB *Block
+		joinB := lw.fn.newBlock()
+		elseTarget := joinB.ID
+		if s.Else != nil {
+			elseB = lw.fn.newBlock()
+			elseTarget = elseB.ID
+		}
+		if err := lw.cond(s.Cond, thenB.ID, elseTarget); err != nil {
+			return err
+		}
+		lw.cur = thenB
+		if err := lw.blockStmt(s.Then); err != nil {
+			return err
+		}
+		lw.cur.Term = Terminator{Kind: TermJmp, Then: joinB.ID}
+		if s.Else != nil {
+			lw.cur = elseB
+			if err := lw.blockStmt(s.Else); err != nil {
+				return err
+			}
+			lw.cur.Term = Terminator{Kind: TermJmp, Then: joinB.ID}
+		}
+		lw.cur = joinB
+		return nil
+
+	case *WhileStmt:
+		headB := lw.fn.newBlock()
+		bodyB := lw.fn.newBlock()
+		exitB := lw.fn.newBlock()
+		lw.cur.Term = Terminator{Kind: TermJmp, Then: headB.ID}
+		lw.cur = headB
+		if err := lw.cond(s.Cond, bodyB.ID, exitB.ID); err != nil {
+			return err
+		}
+		lw.cur = bodyB
+		if err := lw.blockStmt(s.Body); err != nil {
+			return err
+		}
+		lw.cur.Term = Terminator{Kind: TermJmp, Then: headB.ID}
+		lw.cur = exitB
+		return nil
+
+	case *ForStmt:
+		if err := lw.assign(s.Init); err != nil {
+			return err
+		}
+		return lw.stmt(&WhileStmt{
+			Cond: s.Cond,
+			Body: &BlockStmt{Stmts: append(append([]Stmt{}, s.Body.Stmts...), s.Post)},
+			Line: s.Line,
+		})
+
+	case *ParStmt:
+		return lw.parStmt(s)
+	}
+	return fmt.Errorf("compiler: unknown statement %T", s)
+}
+
+func (lw *lowerer) assign(s *AssignStmt) error {
+	// Locals shadow globals.
+	if v, ok, captured := lw.lookupLocal(s.Name); ok {
+		if captured {
+			return lw.errf(s.Line, "cannot assign to %q: outer locals are read-only inside a thread", s.Name)
+		}
+		val, err := lw.value(s.Val)
+		if err != nil {
+			return err
+		}
+		lw.emit(Inst{Op: isa.OpIAdd, A: val, B: cArg(0), Dst: v, Line: s.Line})
+		return nil
+	}
+	sym, ok := lw.syms.Lookup(s.Name)
+	if !ok {
+		return lw.errf(s.Line, "undefined variable %q", s.Name)
+	}
+	if sym.Arr {
+		return lw.errf(s.Line, "array %q needs an index to assign", s.Name)
+	}
+	symID, _ := lw.syms.index(s.Name)
+	val, err := lw.value(s.Val)
+	if err != nil {
+		return err
+	}
+	lw.emit(Inst{Op: isa.OpStore, A: val, B: cArg(int32(sym.Addr)), Sym: symID + 1, Line: s.Line})
+	return nil
+}
+
+// materializeAddr produces the full word address of sym[idx] as an Arg,
+// emitting an add when the index is not constant.
+func (lw *lowerer) materializeAddr(sym Symbol, idx Arg, line int) Arg {
+	if idx.IsConst {
+		return cArg(int32(sym.Addr) + idx.Const)
+	}
+	t := lw.fn.newVReg()
+	lw.emit(Inst{Op: isa.OpIAdd, A: idx, B: cArg(int32(sym.Addr)), Dst: t, Line: line})
+	return rArg(t)
+}
+
+// value lowers an expression in data context, returning its Arg.
+// Constant subexpressions fold.
+func (lw *lowerer) value(e Expr) (Arg, error) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return cArg(e.Val), nil
+
+	case *NameExpr:
+		if v, ok, _ := lw.lookupLocal(e.Name); ok {
+			return rArg(v), nil
+		}
+		sym, ok := lw.syms.Lookup(e.Name)
+		if !ok {
+			return Arg{}, lw.errf(e.Line, "undefined variable %q", e.Name)
+		}
+		if sym.Arr {
+			return Arg{}, lw.errf(e.Line, "array %q needs an index", e.Name)
+		}
+		symID, _ := lw.syms.index(e.Name)
+		t := lw.fn.newVReg()
+		lw.emit(Inst{Op: isa.OpLoad, A: cArg(int32(sym.Addr)), B: cArg(0), Dst: t, Sym: symID + 1, Line: e.Line})
+		return rArg(t), nil
+
+	case *IndexExpr:
+		sym, ok := lw.syms.Lookup(e.Name)
+		if !ok {
+			return Arg{}, lw.errf(e.Line, "undefined global %q", e.Name)
+		}
+		if !sym.Arr {
+			return Arg{}, lw.errf(e.Line, "%q is a scalar, not an array", e.Name)
+		}
+		symID, _ := lw.syms.index(e.Name)
+		idx, err := lw.value(e.Index)
+		if err != nil {
+			return Arg{}, err
+		}
+		t := lw.fn.newVReg()
+		lw.emit(Inst{Op: isa.OpLoad, A: cArg(int32(sym.Addr)), B: idx, Dst: t, Sym: symID + 1, Line: e.Line})
+		return rArg(t), nil
+
+	case *UnExpr:
+		x, err := lw.value(e.X)
+		if err != nil {
+			return Arg{}, err
+		}
+		switch e.Op {
+		case "-":
+			if x.IsConst {
+				return cArg(-x.Const), nil
+			}
+			t := lw.fn.newVReg()
+			lw.emit(Inst{Op: isa.OpINeg, A: x, Dst: t, Line: e.Line})
+			return rArg(t), nil
+		case "~":
+			if x.IsConst {
+				return cArg(^x.Const), nil
+			}
+			t := lw.fn.newVReg()
+			lw.emit(Inst{Op: isa.OpNot, A: x, Dst: t, Line: e.Line})
+			return rArg(t), nil
+		case "!":
+			// Boolean value: materialize via a diamond.
+			return lw.boolValue(e)
+		}
+		return Arg{}, lw.errf(e.Line, "unknown unary operator %q", e.Op)
+
+	case *BinExpr:
+		if op, ok := arithOps[e.Op]; ok {
+			l, err := lw.value(e.L)
+			if err != nil {
+				return Arg{}, err
+			}
+			r, err := lw.value(e.R)
+			if err != nil {
+				return Arg{}, err
+			}
+			if l.IsConst && r.IsConst {
+				if folded, ok := foldArith(op, l.Const, r.Const); ok {
+					return cArg(folded), nil
+				}
+			}
+			t := lw.fn.newVReg()
+			lw.emit(Inst{Op: op, A: l, B: r, Dst: t, Line: e.Line})
+			return rArg(t), nil
+		}
+		// Comparison or logical operator in value context.
+		return lw.boolValue(e)
+	}
+	return Arg{}, fmt.Errorf("compiler: unknown expression %T", e)
+}
+
+// boolValue materializes a condition as a 0/1 value through a diamond.
+func (lw *lowerer) boolValue(e Expr) (Arg, error) {
+	t := lw.fn.newVReg()
+	line := exprLine(e)
+	lw.emit(Inst{Op: isa.OpIAdd, A: cArg(0), B: cArg(0), Dst: t, Line: line})
+	oneB := lw.fn.newBlock()
+	joinB := lw.fn.newBlock()
+	if err := lw.cond(e, oneB.ID, joinB.ID); err != nil {
+		return Arg{}, err
+	}
+	lw.cur = oneB
+	lw.emit(Inst{Op: isa.OpIAdd, A: cArg(1), B: cArg(0), Dst: t, Line: line})
+	lw.cur.Term = Terminator{Kind: TermJmp, Then: joinB.ID}
+	lw.cur = joinB
+	return rArg(t), nil
+}
+
+var arithOps = map[string]isa.Opcode{
+	"+": isa.OpIAdd, "-": isa.OpISub, "*": isa.OpIMult, "/": isa.OpIDiv,
+	"%": isa.OpIMod, "&": isa.OpAnd, "|": isa.OpOr, "^": isa.OpXor,
+	"<<": isa.OpShl, ">>": isa.OpSra,
+}
+
+var cmpOps = map[string]isa.Opcode{
+	"==": isa.OpEq, "!=": isa.OpNe, "<": isa.OpLt,
+	"<=": isa.OpLe, ">": isa.OpGt, ">=": isa.OpGe,
+}
+
+func foldArith(op isa.Opcode, a, b int32) (int32, bool) {
+	if (op == isa.OpIDiv || op == isa.OpIMod) && b == 0 {
+		return 0, false // leave the trap to run time
+	}
+	w, _, err := isa.EvalALU(op, isa.WordFromInt(a), isa.WordFromInt(b))
+	if err != nil {
+		return 0, false
+	}
+	return w.Int(), true
+}
+
+// cond lowers an expression in control context: the current block ends
+// with a branch to thenB when the condition holds, elseB otherwise.
+func (lw *lowerer) cond(e Expr, thenB, elseB BlockID) error {
+	switch e := e.(type) {
+	case *BinExpr:
+		if op, ok := cmpOps[e.Op]; ok {
+			l, err := lw.value(e.L)
+			if err != nil {
+				return err
+			}
+			r, err := lw.value(e.R)
+			if err != nil {
+				return err
+			}
+			lw.cur.Term = Terminator{Kind: TermBr, CmpOp: op, A: l, B: r, Then: thenB, Else: elseB, Line: e.Line}
+			return nil
+		}
+		switch e.Op {
+		case "&&":
+			mid := lw.fn.newBlock()
+			if err := lw.cond(e.L, mid.ID, elseB); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.cond(e.R, thenB, elseB)
+		case "||":
+			mid := lw.fn.newBlock()
+			if err := lw.cond(e.L, thenB, mid.ID); err != nil {
+				return err
+			}
+			lw.cur = mid
+			return lw.cond(e.R, thenB, elseB)
+		}
+		// Arithmetic result used as a condition: compare against zero.
+		v, err := lw.value(e)
+		if err != nil {
+			return err
+		}
+		lw.cur.Term = Terminator{Kind: TermBr, CmpOp: isa.OpNe, A: v, B: cArg(0), Then: thenB, Else: elseB, Line: e.Line}
+		return nil
+
+	case *UnExpr:
+		if e.Op == "!" {
+			return lw.cond(e.X, elseB, thenB)
+		}
+	}
+	v, err := lw.value(e)
+	if err != nil {
+		return err
+	}
+	lw.cur.Term = Terminator{Kind: TermBr, CmpOp: isa.OpNe, A: v, B: cArg(0), Then: thenB, Else: elseB, Line: exprLine(e)}
+	return nil
+}
+
+func (lw *lowerer) parStmt(s *ParStmt) error {
+	if lw.outer != nil {
+		return lw.errf(s.Line, "nested par is not supported")
+	}
+	region := &ParRegion{}
+	for i, th := range s.Threads {
+		tl := &lowerer{
+			syms:  lw.syms,
+			fn:    &Func{Name: fmt.Sprintf("thread%d", i)},
+			outer: lw,
+		}
+		tl.cur = tl.fn.newBlock()
+		tl.fn.Entry = tl.cur.ID
+		tl.pushScope()
+		if err := tl.blockStmt(th.Body); err != nil {
+			return err
+		}
+		tl.cur.Term = Terminator{Kind: TermHalt}
+		region.Threads = append(region.Threads, tl.fn)
+		region.Widths = append(region.Widths, th.Width)
+	}
+	next := lw.fn.newBlock()
+	lw.cur.Term = Terminator{Kind: TermPar, Par: region, Then: next.ID, Line: s.Line}
+	lw.cur = next
+	return nil
+}
+
+func exprLine(e Expr) int {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Line
+	case *NameExpr:
+		return e.Line
+	case *IndexExpr:
+		return e.Line
+	case *BinExpr:
+		return e.Line
+	case *UnExpr:
+		return e.Line
+	}
+	return 0
+}

@@ -1,0 +1,296 @@
+package compiler
+
+import "ximd/internal/isa"
+
+// CFG simplification before scheduling. The paper's compilers (Trace
+// Scheduling, Percolation Scheduling) move operations past basic-block
+// boundaries; this pass provides the first, always-profitable step of
+// that family: jump threading and single-predecessor block merging, which
+// turn the chains and empty join blocks produced by structured lowering
+// into extended straight-line blocks the DAG scheduler can fill — fewer
+// instruction rows and fewer branch-only cycles.
+
+// optimizeFunc simplifies f in place: thread jumps through empty blocks,
+// merge unconditional single-predecessor chains, drop unreachable blocks,
+// propagate copies locally, and eliminate dead code. Block IDs are
+// reassigned densely.
+//
+// The thread functions of par regions are optimized separately by the
+// caller; dead-code elimination here must therefore keep every value a
+// thread captures, which the caller passes in keep.
+func optimizeFunc(f *Func, keep map[VReg]bool) {
+	changed := true
+	for guard := 0; changed && guard < 100; guard++ {
+		changed = false
+		if threadJumps(f) {
+			changed = true
+		}
+		// Drop dead blocks before counting predecessors, so threaded-away
+		// hops do not inflate the counts and block merging.
+		removeUnreachable(f)
+		if mergeChains(f) {
+			changed = true
+		}
+		if propagateCopies(f) {
+			changed = true
+		}
+		if eliminateDeadCode(f, keep) {
+			changed = true
+		}
+	}
+	removeUnreachable(f)
+}
+
+// isCopy recognizes the register move the lowerer emits: iadd src, #0, dst.
+func isCopy(in Inst) (src VReg, ok bool) {
+	if in.Op == isa.OpIAdd && !in.A.IsConst && in.B.IsConst && in.B.Const == 0 {
+		return in.A.Reg, true
+	}
+	return 0, false
+}
+
+// propagateCopies rewrites, within each block, uses of a copied register
+// to its source while the source is unmodified.
+func propagateCopies(f *Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		copyOf := map[VReg]VReg{}
+		invalidate := func(def VReg) {
+			delete(copyOf, def)
+			for d, s := range copyOf {
+				if s == def {
+					delete(copyOf, d)
+				}
+			}
+		}
+		subst := func(a *Arg, reads bool) {
+			if !reads || a.IsConst || a.Reg == 0 {
+				return
+			}
+			if s, ok := copyOf[a.Reg]; ok {
+				a.Reg = s
+				changed = true
+			}
+		}
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			cl := isa.ClassOf(in.Op)
+			subst(&in.A, cl.ReadsA())
+			subst(&in.B, cl.ReadsB())
+			if cl.WritesReg() && in.Dst != 0 {
+				invalidate(in.Dst)
+				if src, ok := isCopy(*in); ok && src != in.Dst {
+					copyOf[in.Dst] = src
+				}
+			}
+		}
+		if b.Term.Kind == TermBr {
+			subst(&b.Term.A, true)
+			subst(&b.Term.B, true)
+		}
+	}
+	return changed
+}
+
+// eliminateDeadCode removes side-effect-free instructions whose results
+// are never read anywhere in the function (vregs are function-scoped, so
+// whole-function use counting is sound). keep protects externally
+// observed vregs (values captured by par threads).
+func eliminateDeadCode(f *Func, keep map[VReg]bool) bool {
+	uses := map[VReg]int{}
+	addUse := func(a Arg, reads bool) {
+		if reads && !a.IsConst && a.Reg != 0 {
+			uses[a.Reg]++
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Insts {
+			cl := isa.ClassOf(in.Op)
+			addUse(in.A, cl.ReadsA())
+			addUse(in.B, cl.ReadsB())
+		}
+		if b.Term.Kind == TermBr {
+			addUse(b.Term.A, true)
+			addUse(b.Term.B, true)
+		}
+	}
+	changed := false
+	// Iterate to a fixed point: removing one dead def may kill its
+	// operands' last uses.
+	for {
+		removedAny := false
+		for _, b := range f.Blocks {
+			kept := b.Insts[:0]
+			for _, in := range b.Insts {
+				cl := isa.ClassOf(in.Op)
+				dead := cl.WritesReg() && in.Dst != 0 &&
+					uses[in.Dst] == 0 && !keep[in.Dst] &&
+					removableOp(in.Op)
+				if dead {
+					// Un-count its operand uses.
+					if cl.ReadsA() && !in.A.IsConst && in.A.Reg != 0 {
+						uses[in.A.Reg]--
+					}
+					if cl.ReadsB() && !in.B.IsConst && in.B.Reg != 0 {
+						uses[in.B.Reg]--
+					}
+					removedAny = true
+					changed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Insts = kept
+		}
+		if !removedAny {
+			return changed
+		}
+	}
+}
+
+// removableOp reports whether an opcode is free of side effects when its
+// result is dead. Loads are kept: a device load consumes port state, and
+// an out-of-range load faults.
+func removableOp(op isa.Opcode) bool {
+	switch op {
+	case isa.OpLoad, isa.OpStore, isa.OpIDiv, isa.OpIMod:
+		return false // loads touch devices; div/mod can trap
+	}
+	return isa.ClassOf(op).WritesReg()
+}
+
+// forwardTarget resolves a chain of empty TermJmp blocks to its final
+// destination (with a cycle guard).
+func forwardTarget(f *Func, id BlockID) BlockID {
+	seen := 0
+	for {
+		b := f.block(id)
+		if len(b.Insts) != 0 || b.Term.Kind != TermJmp || b.Term.Then == id {
+			return id
+		}
+		id = b.Term.Then
+		seen++
+		if seen > len(f.Blocks) {
+			return id // degenerate cycle of empty blocks; leave as-is
+		}
+	}
+}
+
+// threadJumps redirects every control transfer through empty jump-only
+// blocks.
+func threadJumps(f *Func) bool {
+	changed := false
+	redirect := func(id *BlockID) {
+		if t := forwardTarget(f, *id); t != *id {
+			*id = t
+			changed = true
+		}
+	}
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case TermJmp:
+			redirect(&b.Term.Then)
+		case TermBr:
+			redirect(&b.Term.Then)
+			redirect(&b.Term.Else)
+		case TermPar:
+			redirect(&b.Term.Then)
+		}
+	}
+	if t := forwardTarget(f, f.Entry); t != f.Entry {
+		f.Entry = t
+		changed = true
+	}
+	return changed
+}
+
+// mergeChains appends block B into block A when A ends "jmp B" and B's
+// only predecessor is A. Par terminators are never merged into (their
+// fork row layout is special).
+func mergeChains(f *Func) bool {
+	preds := predecessorCounts(f)
+	changed := false
+	for _, a := range f.Blocks {
+		for a.Term.Kind == TermJmp {
+			bID := a.Term.Then
+			b := f.block(bID)
+			if bID == a.ID || preds[bID] != 1 || bID == f.Entry {
+				break
+			}
+			a.Insts = append(a.Insts, b.Insts...)
+			a.Term = b.Term
+			// b becomes an empty self-loop shell; removeUnreachable
+			// collects it (nothing points to it anymore).
+			b.Insts = nil
+			b.Term = Terminator{Kind: TermJmp, Then: bID}
+			changed = true
+			preds[bID] = 0
+		}
+	}
+	return changed
+}
+
+func predecessorCounts(f *Func) map[BlockID]int {
+	preds := map[BlockID]int{}
+	bump := func(id BlockID) { preds[id]++ }
+	for _, b := range f.Blocks {
+		switch b.Term.Kind {
+		case TermJmp:
+			bump(b.Term.Then)
+		case TermBr:
+			bump(b.Term.Then)
+			bump(b.Term.Else)
+		case TermPar:
+			bump(b.Term.Then)
+		}
+	}
+	preds[f.Entry]++
+	return preds
+}
+
+// removeUnreachable drops blocks not reachable from the entry and
+// renumbers the survivors densely (terminator targets rewritten).
+func removeUnreachable(f *Func) {
+	reach := map[BlockID]bool{}
+	var visit func(BlockID)
+	visit = func(id BlockID) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		b := f.block(id)
+		switch b.Term.Kind {
+		case TermJmp:
+			visit(b.Term.Then)
+		case TermBr:
+			visit(b.Term.Then)
+			visit(b.Term.Else)
+		case TermPar:
+			visit(b.Term.Then)
+		}
+	}
+	visit(f.Entry)
+
+	remap := map[BlockID]BlockID{}
+	var kept []*Block
+	for _, b := range f.Blocks {
+		if reach[b.ID] {
+			remap[b.ID] = BlockID(len(kept))
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		switch b.Term.Kind {
+		case TermJmp:
+			b.Term.Then = remap[b.Term.Then]
+		case TermBr:
+			b.Term.Then = remap[b.Term.Then]
+			b.Term.Else = remap[b.Term.Else]
+		case TermPar:
+			b.Term.Then = remap[b.Term.Then]
+		}
+	}
+	f.Entry = remap[f.Entry]
+	f.Blocks = kept
+}

@@ -1,0 +1,164 @@
+package compiler
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+func TestOptimizeThreadsEmptyJumpChains(t *testing.T) {
+	f := &Func{Name: "main"}
+	b0 := f.newBlock() // entry, one inst
+	b1 := f.newBlock() // empty hop
+	b2 := f.newBlock() // empty hop
+	b3 := f.newBlock() // real work
+	f.Entry = b0.ID
+	b0.Insts = []Inst{{Op: isa.OpIAdd, A: cArg(1), B: cArg(2), Dst: 1, Sym: -1}}
+	b0.Term = Terminator{Kind: TermJmp, Then: b1.ID}
+	b1.Term = Terminator{Kind: TermJmp, Then: b2.ID}
+	b2.Term = Terminator{Kind: TermJmp, Then: b3.ID}
+	b3.Insts = []Inst{{Op: isa.OpIAdd, A: rArg(1), B: cArg(3), Dst: 2, Sym: -1}}
+	b3.Term = Terminator{Kind: TermHalt}
+
+	// Protect v2 (otherwise dead-code elimination rightly removes the
+	// whole computation).
+	optimizeFunc(f, map[VReg]bool{2: true})
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks after optimization = %d, want 1 (fully merged):\n%s", len(f.Blocks), f)
+	}
+	if len(f.Blocks[0].Insts) != 2 || f.Blocks[0].Term.Kind != TermHalt {
+		t.Fatalf("merged block wrong:\n%s", f)
+	}
+}
+
+func TestOptimizePreservesDiamonds(t *testing.T) {
+	// if/else: the two arms must stay separate (join has two preds).
+	f := &Func{Name: "main"}
+	e := f.newBlock()
+	thenB := f.newBlock()
+	elseB := f.newBlock()
+	join := f.newBlock()
+	f.Entry = e.ID
+	e.Term = Terminator{Kind: TermBr, CmpOp: isa.OpLt, A: cArg(1), B: cArg(2), Then: thenB.ID, Else: elseB.ID}
+	thenB.Insts = []Inst{{Op: isa.OpIAdd, A: cArg(1), B: cArg(0), Dst: 1, Sym: -1}}
+	thenB.Term = Terminator{Kind: TermJmp, Then: join.ID}
+	elseB.Insts = []Inst{{Op: isa.OpIAdd, A: cArg(2), B: cArg(0), Dst: 1, Sym: -1}}
+	elseB.Term = Terminator{Kind: TermJmp, Then: join.ID}
+	join.Insts = []Inst{{Op: isa.OpIAdd, A: rArg(1), B: cArg(5), Dst: 2, Sym: -1}}
+	join.Term = Terminator{Kind: TermHalt}
+
+	optimizeFunc(f, map[VReg]bool{2: true})
+	if len(f.Blocks) != 4 {
+		t.Fatalf("diamond collapsed incorrectly: %d blocks\n%s", len(f.Blocks), f)
+	}
+}
+
+func TestOptimizeDropsUnreachable(t *testing.T) {
+	f := &Func{Name: "main"}
+	e := f.newBlock()
+	dead := f.newBlock()
+	f.Entry = e.ID
+	e.Term = Terminator{Kind: TermHalt}
+	dead.Term = Terminator{Kind: TermHalt}
+	optimizeFunc(f, nil)
+	if len(f.Blocks) != 1 {
+		t.Fatalf("unreachable block survived: %d blocks", len(f.Blocks))
+	}
+}
+
+func TestOptimizationReducesStaticSizeAndCycles(t *testing.T) {
+	// Straight-line statement sequences with boolean materializations
+	// produce chains and empty joins; the optimizer must shrink both the
+	// program and its run time while preserving the results. (This test
+	// compiles with the production pipeline, which includes the
+	// optimizer; it asserts absolute quality: the hot loop body of a
+	// simple sum should cost few rows per iteration.)
+	src := `
+var out[2], n;
+func main() {
+    var i, s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + i;
+    }
+    out[0] = s;
+    out[1] = (s > 100) + (s > 1000);
+}`
+	c, err := Compile(src, Options{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop body after merging: header compare + body + backedge should
+	// fit in a handful of rows; without merging the preheader/join hops
+	// add several branch-only rows.
+	if c.Rows > 20 {
+		t.Errorf("compiled size = %d rows; CFG simplification regressed", c.Rows)
+	}
+}
+
+func TestCopyPropagationRewritesUses(t *testing.T) {
+	f := &Func{Name: "main"}
+	b := f.newBlock()
+	f.Entry = b.ID
+	// v2 = copy v1; v3 = v2 + v2  ->  v3 = v1 + v1, copy dead.
+	b.Insts = []Inst{
+		{Op: isa.OpIAdd, A: rArg(1), B: cArg(0), Dst: 2, Sym: -1},
+		{Op: isa.OpIAdd, A: rArg(2), B: rArg(2), Dst: 3, Sym: -1},
+	}
+	b.Term = Terminator{Kind: TermHalt}
+	optimizeFunc(f, map[VReg]bool{1: true, 3: true})
+	if len(f.Blocks[0].Insts) != 1 {
+		t.Fatalf("copy not eliminated:\n%s", f)
+	}
+	in := f.Blocks[0].Insts[0]
+	if in.A.Reg != 1 || in.B.Reg != 1 || in.Dst != 3 {
+		t.Fatalf("uses not rewritten: %+v", in)
+	}
+}
+
+func TestCopyPropagationStopsAtRedefinition(t *testing.T) {
+	f := &Func{Name: "main"}
+	b := f.newBlock()
+	f.Entry = b.ID
+	// v2 = copy v1; v1 = 9; v3 = v2+0 — v2 must NOT become v1.
+	b.Insts = []Inst{
+		{Op: isa.OpIAdd, A: rArg(1), B: cArg(0), Dst: 2, Sym: -1},
+		{Op: isa.OpIAdd, A: cArg(9), B: cArg(0), Dst: 1, Sym: -1},
+		{Op: isa.OpIAdd, A: rArg(2), B: cArg(1), Dst: 3, Sym: -1},
+	}
+	b.Term = Terminator{Kind: TermHalt}
+	optimizeFunc(f, map[VReg]bool{1: true, 3: true})
+	// Find the def of v3 and check it still reads v2.
+	for _, in := range f.Blocks[0].Insts {
+		if in.Dst == 3 && (in.A.IsConst || in.A.Reg != 2) {
+			t.Fatalf("copy propagated past redefinition: %+v\n%s", in, f)
+		}
+	}
+}
+
+func TestDCEKeepsSideEffects(t *testing.T) {
+	f := &Func{Name: "main"}
+	b := f.newBlock()
+	f.Entry = b.ID
+	b.Insts = []Inst{
+		// Dead arithmetic: removable.
+		{Op: isa.OpIMult, A: cArg(2), B: cArg(3), Dst: 1, Sym: -1},
+		// Dead division: kept (may trap).
+		{Op: isa.OpIDiv, A: cArg(2), B: rArg(9), Dst: 2, Sym: -1},
+		// Dead load: kept (devices, faults).
+		{Op: isa.OpLoad, A: cArg(100), B: cArg(0), Dst: 3, Sym: 1},
+		// Store: kept (side effect).
+		{Op: isa.OpStore, A: cArg(1), B: cArg(100), Sym: 1},
+	}
+	b.Term = Terminator{Kind: TermHalt}
+	optimizeFunc(f, map[VReg]bool{9: true})
+	ops := map[isa.Opcode]bool{}
+	for _, in := range f.Blocks[0].Insts {
+		ops[in.Op] = true
+	}
+	if ops[isa.OpIMult] {
+		t.Error("dead multiply survived")
+	}
+	if !ops[isa.OpIDiv] || !ops[isa.OpLoad] || !ops[isa.OpStore] {
+		t.Errorf("side-effecting instructions removed: %v\n%s", ops, f)
+	}
+}

@@ -1,0 +1,450 @@
+package compiler
+
+import "fmt"
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses minic source text into an AST.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.program()
+}
+
+func (p *parser) cur() Token { return p.toks[p.pos] }
+func (p *parser) line() int  { return p.cur().Line }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) at(k TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == k && t.Text == text
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokKind, text string) error {
+	if !p.at(k, text) {
+		return p.errorf("expected %q, found %q", text, p.cur().Text)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier, found %q", t.Text)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		switch {
+		case p.at(TokKeyword, "var"):
+			decls, err := p.globalDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, decls...)
+		case p.at(TokKeyword, "func"):
+			p.advance()
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if name != "main" {
+				return nil, p.errorf("only func main is supported, found func %s", name)
+			}
+			if err := p.expect(TokPunct, "("); err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			body, err := p.blockStmt()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Main != nil {
+				return nil, p.errorf("duplicate func main")
+			}
+			prog.Main = body
+		case p.cur().Kind == TokEOF:
+			if prog.Main == nil {
+				return nil, p.errorf("missing func main")
+			}
+			return prog, nil
+		default:
+			return nil, p.errorf("expected declaration, found %q", p.cur().Text)
+		}
+	}
+}
+
+func (p *parser) globalDecl() ([]*GlobalDecl, error) {
+	line := p.line()
+	p.advance() // var
+	var out []*GlobalDecl
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		d := &GlobalDecl{Name: name, Line: line}
+		if p.at(TokPunct, "[") {
+			p.advance()
+			t := p.cur()
+			if t.Kind != TokNum || t.Num <= 0 {
+				return nil, p.errorf("array size must be a positive literal")
+			}
+			d.Size = t.Num
+			p.advance()
+			if err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, d)
+		if p.at(TokPunct, ",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return out, p.expect(TokPunct, ";")
+}
+
+func (p *parser) blockStmt() (*BlockStmt, error) {
+	if err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{}
+	for !p.at(TokPunct, "}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errorf("unexpected end of file inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance()
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(TokKeyword, "var"):
+		return p.varStmt()
+	case p.at(TokKeyword, "if"):
+		return p.ifStmt()
+	case p.at(TokKeyword, "while"):
+		return p.whileStmt()
+	case p.at(TokKeyword, "for"):
+		return p.forStmt()
+	case p.at(TokKeyword, "par"):
+		return p.parStmt()
+	case p.cur().Kind == TokIdent:
+		s, err := p.assign()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(TokPunct, ";")
+	}
+	return nil, p.errorf("expected statement, found %q", p.cur().Text)
+}
+
+func (p *parser) varStmt() (Stmt, error) {
+	line := p.line()
+	p.advance()
+	s := &VarStmt{Line: line}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.Names = append(s.Names, name)
+		var init Expr
+		if p.at(TokPunct, "=") {
+			p.advance()
+			init, err = p.expr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		s.Inits = append(s.Inits, init)
+		if p.at(TokPunct, ",") {
+			p.advance()
+			continue
+		}
+		break
+	}
+	return s, p.expect(TokPunct, ";")
+}
+
+// assign parses "name = expr" or "name[expr] = expr" without the
+// trailing semicolon (for reuse by for-clauses).
+func (p *parser) assign() (Stmt, error) {
+	line := p.line()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TokPunct, "[") {
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Name: name, Index: idx, Val: val, Line: line}, nil
+	}
+	if err := p.expect(TokPunct, "="); err != nil {
+		return nil, err
+	}
+	val, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	return &AssignStmt{Name: name, Val: val, Line: line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	line := p.line()
+	p.advance()
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Cond: cond, Then: then, Line: line}
+	if p.at(TokKeyword, "else") {
+		p.advance()
+		if p.at(TokKeyword, "if") {
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			s.Else = &BlockStmt{Stmts: []Stmt{nested}}
+		} else {
+			s.Else, err = p.blockStmt()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	line := p.line()
+	p.advance()
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Cond: cond, Body: body, Line: line}, nil
+}
+
+func (p *parser) forStmt() (Stmt, error) {
+	line := p.line()
+	p.advance()
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	initStmt, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	init, ok := initStmt.(*AssignStmt)
+	if !ok {
+		return nil, p.errorf("for-initializer must be a scalar assignment")
+	}
+	if err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	postStmt, err := p.assign()
+	if err != nil {
+		return nil, err
+	}
+	post, ok := postStmt.(*AssignStmt)
+	if !ok {
+		return nil, p.errorf("for-post must be a scalar assignment")
+	}
+	if err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Init: init, Cond: cond, Post: post, Body: body, Line: line}, nil
+}
+
+func (p *parser) parStmt() (Stmt, error) {
+	line := p.line()
+	p.advance()
+	if err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	s := &ParStmt{Line: line}
+	for p.at(TokKeyword, "thread") {
+		tline := p.line()
+		p.advance()
+		width := 0
+		if p.at(TokPunct, "(") {
+			p.advance()
+			t := p.cur()
+			if t.Kind != TokNum || t.Num < 1 || t.Num > 8 {
+				return nil, p.errorf("thread width must be a literal 1..8")
+			}
+			width = int(t.Num)
+			p.advance()
+			if err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+		body, err := p.blockStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Threads = append(s.Threads, &ThreadDecl{Width: width, Body: body, Line: tline})
+	}
+	if len(s.Threads) == 0 {
+		return nil, p.errorf("par requires at least one thread")
+	}
+	return s, p.expect(TokPunct, "}")
+}
+
+// Operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) expr() (Expr, error) { return p.binExpr(0) }
+
+func (p *parser) binExpr(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	left, err := p.binExpr(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(TokPunct, op) {
+				line := p.line()
+				p.advance()
+				right, err := p.binExpr(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &BinExpr{Op: op, L: left, R: right, Line: line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) unary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct && (t.Text == "-" || t.Text == "!" || t.Text == "~") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.Text, X: x, Line: t.Line}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNum:
+		p.advance()
+		return &NumExpr{Val: t.Num, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		p.advance()
+		if p.at(TokPunct, "[") {
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Name: t.Text, Index: idx, Line: t.Line}, nil
+		}
+		return &NameExpr{Name: t.Text, Line: t.Line}, nil
+	case t.Kind == TokPunct && t.Text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(TokPunct, ")")
+	}
+	return nil, p.errorf("expected expression, found %q", t.Text)
+}

@@ -1,0 +1,284 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"ximd/internal/isa"
+)
+
+// Register allocation.
+//
+// Virtual registers fall into two classes after scheduling:
+//
+//   - dedicated: live across basic blocks (or captured by a par thread) —
+//     each gets its own physical register for its whole function;
+//   - temps: defined and used within one block — allocated by linear scan
+//     over the block's schedule and reused aggressively.
+//
+// Functions that execute concurrently (par threads) draw from disjoint
+// physical ranges; main's block-local temps may overlap thread ranges
+// because main never runs concurrently with its own par threads (its
+// functional units are executing the threads).
+//
+// Physical registers 0..15 are reserved for the host interface (workload
+// inputs/outputs); the allocator uses 16..255.
+
+// PhysBase is the first physical register available to the allocator.
+const PhysBase = 16
+
+// allocation maps each function's vregs to physical registers.
+type allocation struct {
+	phys map[*Func]map[VReg]uint8
+}
+
+func (al *allocation) lookup(f *Func, v VReg) (uint8, bool) {
+	m, ok := al.phys[f]
+	if !ok {
+		return 0, false
+	}
+	p, ok := m[v]
+	return p, ok
+}
+
+// vregClass describes where a vreg is defined and used.
+type vregClass struct {
+	blocks map[BlockID]bool
+	defRow map[BlockID]int // first def row within block
+	useRow map[BlockID]int // last use row within block
+}
+
+// classifyVRegs scans the schedules and reports, per vreg, the blocks it
+// appears in and its per-block def/use rows.
+func classifyVRegs(f *Func, sched map[BlockID]schedBlock) map[VReg]*vregClass {
+	classes := map[VReg]*vregClass{}
+	get := func(v VReg) *vregClass {
+		c, ok := classes[v]
+		if !ok {
+			c = &vregClass{blocks: map[BlockID]bool{}, defRow: map[BlockID]int{}, useRow: map[BlockID]int{}}
+			classes[v] = c
+		}
+		return c
+	}
+	touchUse := func(v VReg, b BlockID, row int) {
+		if v == 0 {
+			return
+		}
+		c := get(v)
+		c.blocks[b] = true
+		if r, ok := c.useRow[b]; !ok || row > r {
+			c.useRow[b] = row
+		}
+	}
+	touchDef := func(v VReg, b BlockID, row int) {
+		if v == 0 {
+			return
+		}
+		c := get(v)
+		c.blocks[b] = true
+		if r, ok := c.defRow[b]; !ok || row < r {
+			c.defRow[b] = row
+		}
+	}
+	for _, blk := range f.Blocks {
+		sb := sched[blk.ID]
+		for row, ops := range sb.Rows {
+			for _, op := range ops {
+				in := op.Inst
+				cl := isa.ClassOf(in.Op)
+				if cl.ReadsA() && !in.A.IsConst {
+					touchUse(in.A.Reg, blk.ID, row)
+				}
+				if cl.ReadsB() && !in.B.IsConst {
+					touchUse(in.B.Reg, blk.ID, row)
+				}
+				if cl.WritesReg() {
+					touchDef(in.Dst, blk.ID, row)
+				}
+			}
+		}
+	}
+	return classes
+}
+
+// allocateProgram assigns physical registers for main and every par
+// thread. It returns the allocation or an out-of-registers error.
+func allocateProgram(main *Func, schedules map[*Func]map[BlockID]schedBlock) (*allocation, error) {
+	al := &allocation{phys: map[*Func]map[VReg]uint8{}}
+
+	// Collect par regions to find captured vregs and thread sets.
+	var regions []*ParRegion
+	capturedInMain := map[VReg]bool{}
+	for _, blk := range main.Blocks {
+		if blk.Term.Kind == TermPar {
+			regions = append(regions, blk.Term.Par)
+			for _, th := range blk.Term.Par.Threads {
+				for _, outer := range th.Captured {
+					capturedInMain[outer] = true
+				}
+			}
+		}
+	}
+
+	next := PhysBase
+	alloc := func(f *Func, dedicated []VReg) error {
+		m := al.phys[f]
+		if m == nil {
+			m = map[VReg]uint8{}
+			al.phys[f] = m
+		}
+		for _, v := range dedicated {
+			if next > isa.NumRegs-1 {
+				return fmt.Errorf("compiler: out of registers (%d dedicated values)", next-PhysBase)
+			}
+			m[v] = uint8(next)
+			next++
+		}
+		return nil
+	}
+
+	dedicatedOf := func(f *Func, extra map[VReg]bool) ([]VReg, map[VReg]*vregClass) {
+		classes := classifyVRegs(f, schedules[f])
+		var ded []VReg
+		for v, c := range classes {
+			if len(c.blocks) > 1 || extra[v] {
+				ded = append(ded, v)
+			}
+		}
+		sort.Slice(ded, func(i, j int) bool { return ded[i] < ded[j] })
+		return ded, classes
+	}
+
+	mainDed, mainClasses := dedicatedOf(main, capturedInMain)
+	if err := alloc(main, mainDed); err != nil {
+		return nil, err
+	}
+
+	threadClasses := map[*Func]map[VReg]*vregClass{}
+	for _, region := range regions {
+		for _, th := range region.Threads {
+			ded, classes := dedicatedOf(th, nil)
+			threadClasses[th] = classes
+			if err := alloc(th, ded); err != nil {
+				return nil, err
+			}
+		}
+	}
+	dedicatedEnd := next
+
+	// Temps. Main temps use the whole remaining space; each region's
+	// threads partition the remaining space among themselves.
+	tempSpace := isa.NumRegs - dedicatedEnd
+	if tempSpace < 1 {
+		return nil, fmt.Errorf("compiler: out of registers (no temp space left)")
+	}
+	if err := allocTemps(main, schedules[main], mainClasses, al, dedicatedEnd, isa.NumRegs-1); err != nil {
+		return nil, err
+	}
+	for _, region := range regions {
+		k := len(region.Threads)
+		share := tempSpace / k
+		if share < 1 {
+			return nil, fmt.Errorf("compiler: out of registers partitioning temp space among %d threads", k)
+		}
+		for i, th := range region.Threads {
+			lo := dedicatedEnd + i*share
+			hi := lo + share - 1
+			if err := allocTemps(th, schedules[th], threadClasses[th], al, lo, hi); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Resolve captures: a thread's captured alias uses main's physical
+	// register directly.
+	for _, region := range regions {
+		for _, th := range region.Threads {
+			for alias, outer := range th.Captured {
+				p, ok := al.lookup(main, outer)
+				if !ok {
+					return nil, fmt.Errorf("compiler: captured vreg v%d has no physical register", outer)
+				}
+				al.phys[th][alias] = p
+			}
+		}
+	}
+	return al, nil
+}
+
+// allocTemps linear-scans each block's single-block vregs over the
+// physical range [lo, hi].
+func allocTemps(f *Func, sched map[BlockID]schedBlock, classes map[VReg]*vregClass, al *allocation, lo, hi int) error {
+	m := al.phys[f]
+	if m == nil {
+		m = map[VReg]uint8{}
+		al.phys[f] = m
+	}
+	for _, blk := range f.Blocks {
+		type interval struct {
+			v        VReg
+			def, use int
+		}
+		var ivs []interval
+		for v, c := range classes {
+			if len(c.blocks) != 1 || !c.blocks[blk.ID] {
+				continue
+			}
+			if _, already := m[v]; already {
+				continue // dedicated (captured) vregs were assigned earlier
+			}
+			def, hasDef := c.defRow[blk.ID]
+			use, hasUse := c.useRow[blk.ID]
+			if !hasDef {
+				// Used but never defined in its only block: an
+				// uninitialized value; give it the def row 0.
+				def = 0
+			}
+			if !hasUse || use < def {
+				use = def
+			}
+			ivs = append(ivs, interval{v: v, def: def, use: use})
+		}
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].def != ivs[j].def {
+				return ivs[i].def < ivs[j].def
+			}
+			return ivs[i].v < ivs[j].v
+		})
+		// Linear scan with a free list.
+		type active struct {
+			phys uint8
+			use  int
+		}
+		var act []active
+		var free []uint8
+		nextPhys := lo
+		for _, iv := range ivs {
+			// Expire strictly-finished intervals.
+			keep := act[:0]
+			for _, a := range act {
+				if a.use < iv.def {
+					free = append(free, a.phys)
+				} else {
+					keep = append(keep, a)
+				}
+			}
+			act = keep
+			var p uint8
+			if len(free) > 0 {
+				p = free[len(free)-1]
+				free = free[:len(free)-1]
+			} else {
+				if nextPhys > hi {
+					return fmt.Errorf("compiler: out of temp registers in block B%d of %s (range r%d..r%d)",
+						blk.ID, f.Name, lo, hi)
+				}
+				p = uint8(nextPhys)
+				nextPhys++
+			}
+			m[iv.v] = p
+			act = append(act, active{phys: p, use: iv.use})
+		}
+	}
+	return nil
+}

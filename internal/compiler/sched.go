@@ -1,0 +1,219 @@
+package compiler
+
+import (
+	"sort"
+
+	"ximd/internal/isa"
+)
+
+// DAG list scheduling.
+//
+// Every data operation completes in one cycle and results become visible
+// at the next cycle (the machine's synchronous semantics), so dependence
+// latencies are:
+//
+//	RAW (reg or memory through a store): 1 cycle
+//	WAW (two writes of one register, or two stores that may alias): 1
+//	WAR: 0 — a read and a write of the same register may share a cycle,
+//	     because operand reads observe start-of-cycle state
+//
+// Memory dependences use the symbol alias classes: loads of one symbol
+// commute; a store orders against every same-symbol access; accesses to
+// distinct symbols are independent.
+
+// schedOp is one scheduled operation; IsCmp marks the block terminator's
+// compare, whose column determines the branch condition code.
+type schedOp struct {
+	Inst  Inst
+	IsCmp bool
+}
+
+// schedBlock is the schedule of one basic block: rows of at most `width`
+// operations, one machine instruction per row.
+type schedBlock struct {
+	Rows [][]schedOp
+	// CmpRow/CmpCol locate the terminator compare (-1 when the block has
+	// no conditional terminator).
+	CmpRow, CmpCol int
+}
+
+type depEdge struct {
+	to      int
+	latency int
+}
+
+// scheduleBlock list-schedules the block's instructions (plus the
+// terminator compare, if any) into rows of at most width operations.
+func scheduleBlock(b *Block, width int) schedBlock {
+	insts := make([]schedOp, 0, len(b.Insts)+1)
+	for _, in := range b.Insts {
+		insts = append(insts, schedOp{Inst: in})
+	}
+	cmpIdx := -1
+	if b.Term.Kind == TermBr {
+		cmpIdx = len(insts)
+		insts = append(insts, schedOp{
+			Inst:  Inst{Op: b.Term.CmpOp, A: b.Term.A, B: b.Term.B, Line: b.Term.Line},
+			IsCmp: true,
+		})
+	}
+	n := len(insts)
+	if n == 0 {
+		return schedBlock{CmpRow: -1, CmpCol: -1}
+	}
+
+	// Build dependence edges.
+	edges := make([][]depEdge, n)
+	preds := make([]int, n)
+	addEdge := func(from, to, latency int) {
+		if from == to {
+			return
+		}
+		edges[from] = append(edges[from], depEdge{to: to, latency: latency})
+		preds[to]++
+	}
+
+	lastWrite := map[VReg]int{}
+	readersSince := map[VReg][]int{}
+	lastStore := map[int]int{}
+	loadsSince := map[int][]int{}
+
+	for i, op := range insts {
+		in := op.Inst
+		cl := isa.ClassOf(in.Op)
+		reads := func(a Arg) {
+			if a.IsConst || a.Reg == 0 {
+				return
+			}
+			if w, ok := lastWrite[a.Reg]; ok {
+				addEdge(w, i, 1) // RAW
+			}
+			readersSince[a.Reg] = append(readersSince[a.Reg], i)
+		}
+		if cl.ReadsA() {
+			reads(in.A)
+		}
+		if cl.ReadsB() {
+			reads(in.B)
+		}
+		if cl.WritesReg() && in.Dst != 0 {
+			if w, ok := lastWrite[in.Dst]; ok {
+				addEdge(w, i, 1) // WAW
+			}
+			for _, r := range readersSince[in.Dst] {
+				addEdge(r, i, 0) // WAR
+			}
+			lastWrite[in.Dst] = i
+			readersSince[in.Dst] = nil
+		}
+		if in.Sym > 0 {
+			switch in.Op {
+			case isa.OpLoad:
+				if s, ok := lastStore[in.Sym]; ok {
+					addEdge(s, i, 1) // memory RAW
+				}
+				loadsSince[in.Sym] = append(loadsSince[in.Sym], i)
+			case isa.OpStore:
+				if s, ok := lastStore[in.Sym]; ok {
+					addEdge(s, i, 1) // memory WAW
+				}
+				for _, l := range loadsSince[in.Sym] {
+					addEdge(l, i, 0) // memory WAR
+				}
+				lastStore[in.Sym] = i
+				loadsSince[in.Sym] = nil
+			}
+		}
+	}
+
+	// Priorities: longest latency-weighted path to any sink.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		for _, e := range edges[i] {
+			if h := height[e.to] + e.latency; h > height[i] {
+				height[i] = h
+			}
+		}
+	}
+
+	// List scheduling.
+	earliest := make([]int, n)
+	remaining := make([]int, n)
+	copy(remaining, preds)
+	scheduledRow := make([]int, n)
+	for i := range scheduledRow {
+		scheduledRow[i] = -1
+	}
+	var rows [][]schedOp
+	rowOf := make([][]int, 0) // indices per row, for locating the compare
+	done := 0
+	for cycle := 0; done < n; cycle++ {
+		// Ready: all preds scheduled and earliest <= cycle.
+		var ready []int
+		for i := 0; i < n; i++ {
+			if scheduledRow[i] < 0 && remaining[i] == 0 && earliest[i] <= cycle {
+				ready = append(ready, i)
+			}
+		}
+		sort.Slice(ready, func(a, b int) bool {
+			if height[ready[a]] != height[ready[b]] {
+				return height[ready[a]] > height[ready[b]]
+			}
+			return ready[a] < ready[b] // stable, deterministic
+		})
+		if len(ready) > width {
+			ready = ready[:width]
+		}
+		var row []schedOp
+		var idxRow []int
+		for _, i := range ready {
+			scheduledRow[i] = cycle
+			row = append(row, insts[i])
+			idxRow = append(idxRow, i)
+			done++
+			for _, e := range edges[i] {
+				remaining[e.to]--
+				if t := cycle + e.latency; t > earliest[e.to] {
+					earliest[e.to] = t
+				}
+			}
+		}
+		if row == nil {
+			// Nothing ready this cycle (latency gap): emit an empty row
+			// only if something will become ready; guaranteed because
+			// earliest times are finite.
+			row = []schedOp{}
+		}
+		rows = append(rows, row)
+		rowOf = append(rowOf, idxRow)
+	}
+
+	// Drop trailing/interior empty rows? Interior empty rows are real
+	// latency stalls and must stay (they become all-nop instructions);
+	// with unit latencies they cannot actually occur, but keep the
+	// general form.
+	sb := schedBlock{Rows: rows, CmpRow: -1, CmpCol: -1}
+	if cmpIdx >= 0 {
+		for r, idxs := range rowOf {
+			for c, idx := range idxs {
+				if idx == cmpIdx {
+					sb.CmpRow, sb.CmpCol = r, c
+				}
+			}
+		}
+	}
+	return sb
+}
+
+// scheduleFunc schedules every block of a function at the given width.
+func scheduleFunc(f *Func, width int) map[BlockID]schedBlock {
+	out := make(map[BlockID]schedBlock, len(f.Blocks))
+	for _, b := range f.Blocks {
+		out[b.ID] = scheduleBlock(b, width)
+	}
+	return out
+}
+
+// CriticalPath returns the schedule length (rows) of the block — used by
+// tile generation and tests.
+func (sb schedBlock) Len() int { return len(sb.Rows) }

@@ -1,0 +1,81 @@
+package tile
+
+// skyline tracks the occupied height of every functional-unit column of
+// the strip; tiles rest on the highest column they span.
+type skyline struct {
+	cols []int
+}
+
+func newSkyline(width int) *skyline {
+	return &skyline{cols: make([]int, width)}
+}
+
+func (s *skyline) height() int {
+	h := 0
+	for _, c := range s.cols {
+		if c > h {
+			h = c
+		}
+	}
+	return h
+}
+
+// spanTop returns the resting address for a tile of the given width at
+// column fu, plus the wasted area beneath it (columns lower than the
+// resting height).
+func (s *skyline) spanTop(fu, width int) (addr, waste int) {
+	top := 0
+	for c := fu; c < fu+width; c++ {
+		if s.cols[c] > top {
+			top = s.cols[c]
+		}
+	}
+	for c := fu; c < fu+width; c++ {
+		waste += top - s.cols[c]
+	}
+	return top, waste
+}
+
+// bestPosition returns the column placing a width-wide tile at the lowest
+// resting address (ties: least waste, then leftmost). Returns fu = -1
+// when the tile is wider than the strip.
+func (s *skyline) bestPosition(width int) (fu, addr, waste int) {
+	if width > len(s.cols) {
+		return -1, 0, 0
+	}
+	bestFU, bestAddr, bestWaste := -1, 1<<30, 1<<30
+	for f := 0; f+width <= len(s.cols); f++ {
+		a, w := s.spanTop(f, width)
+		if a < bestAddr || (a == bestAddr && w < bestWaste) {
+			bestFU, bestAddr, bestWaste = f, a, w
+		}
+	}
+	return bestFU, bestAddr, bestWaste
+}
+
+// positionAtOrAfter returns the column placing the tile at the lowest
+// address that is >= minAddr.
+func (s *skyline) positionAtOrAfter(width, minAddr int) (fu, addr int) {
+	if width > len(s.cols) {
+		return -1, 0
+	}
+	bestFU, bestAddr := -1, 1<<30
+	for f := 0; f+width <= len(s.cols); f++ {
+		a, _ := s.spanTop(f, width)
+		if a < minAddr {
+			a = minAddr
+		}
+		if a < bestAddr {
+			bestFU, bestAddr = f, a
+		}
+	}
+	return bestFU, bestAddr
+}
+
+// place records a tile occupying [fu, fu+width) up to the given top
+// address.
+func (s *skyline) place(fu, width, top int) {
+	for c := fu; c < fu+width; c++ {
+		s.cols[c] = top
+	}
+}

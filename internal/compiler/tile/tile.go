@@ -1,0 +1,457 @@
+// Package tile implements the Figure 13 compilation approach: each
+// program thread is compiled several times under different resource
+// constraints, producing a set of code tiles (width = functional units
+// required, length = static code size); a packing algorithm then places
+// one tile per thread into the instruction memory, a strip of the
+// machine's full functional-unit width.
+//
+// The paper notes the problem "is quite similar to the problem of
+// standard cell placement in VLSI CAD" and leaves the choice of placement
+// algorithm open; this package provides three — a shelf
+// first-fit-decreasing heuristic, a skyline best-fit heuristic, and an
+// exhaustive candidate-combination search for small thread counts — plus
+// a precedence-constrained variant that optimizes schedule makespan
+// instead of static code size.
+package tile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Candidate is one compiled variant of a thread: Width functional units
+// for Length static instructions.
+type Candidate struct {
+	Width  int
+	Length int
+}
+
+// Area returns the parcel area of the candidate.
+func (c Candidate) Area() int { return c.Width * c.Length }
+
+// Thread is one program thread with its compiled candidates.
+type Thread struct {
+	Name       string
+	Candidates []Candidate
+}
+
+// Placement locates one chosen tile in the strip.
+type Placement struct {
+	Thread int // index into the thread list
+	Choice int // index into the thread's candidates
+	FU     int // leftmost functional-unit column
+	Addr   int // first instruction row
+}
+
+// Packing is a complete placement of all threads.
+type Packing struct {
+	Algorithm    string
+	MachineWidth int
+	Placements   []Placement
+	// Height is the total strip height: the static code size in
+	// instructions (the optimization target of Figure 13's example).
+	Height int
+}
+
+// Area returns Height × MachineWidth, the occupied instruction-memory
+// footprint in parcels (used and wasted).
+func (p Packing) Area() int { return p.Height * p.MachineWidth }
+
+// UsedParcels sums the areas of the placed tiles.
+func (p Packing) UsedParcels(threads []Thread) int {
+	total := 0
+	for _, pl := range p.Placements {
+		total += threads[pl.Thread].Candidates[pl.Choice].Area()
+	}
+	return total
+}
+
+// Utilization is UsedParcels / Area.
+func (p Packing) Utilization(threads []Thread) float64 {
+	if p.Area() == 0 {
+		return 0
+	}
+	return float64(p.UsedParcels(threads)) / float64(p.Area())
+}
+
+// Validate checks that the packing places every thread exactly once,
+// inside the strip, without overlap, and (when deps are non-nil)
+// respecting precedence: a dependent tile must start after its
+// predecessor ends. deps[i] lists the thread indices i depends on.
+func (p Packing) Validate(threads []Thread, deps [][]int) error {
+	if len(p.Placements) != len(threads) {
+		return fmt.Errorf("tile: %d placements for %d threads", len(p.Placements), len(threads))
+	}
+	seen := make([]bool, len(threads))
+	type rect struct{ x0, x1, y0, y1 int }
+	rects := make([]rect, len(threads))
+	for _, pl := range p.Placements {
+		if pl.Thread < 0 || pl.Thread >= len(threads) {
+			return fmt.Errorf("tile: placement references thread %d", pl.Thread)
+		}
+		if seen[pl.Thread] {
+			return fmt.Errorf("tile: thread %d placed twice", pl.Thread)
+		}
+		seen[pl.Thread] = true
+		th := threads[pl.Thread]
+		if pl.Choice < 0 || pl.Choice >= len(th.Candidates) {
+			return fmt.Errorf("tile: thread %d uses undefined candidate %d", pl.Thread, pl.Choice)
+		}
+		c := th.Candidates[pl.Choice]
+		if pl.FU < 0 || pl.FU+c.Width > p.MachineWidth {
+			return fmt.Errorf("tile: thread %d at FU %d width %d exceeds machine width %d",
+				pl.Thread, pl.FU, c.Width, p.MachineWidth)
+		}
+		if pl.Addr < 0 || pl.Addr+c.Length > p.Height {
+			return fmt.Errorf("tile: thread %d at addr %d length %d exceeds height %d",
+				pl.Thread, pl.Addr, c.Length, p.Height)
+		}
+		rects[pl.Thread] = rect{x0: pl.FU, x1: pl.FU + c.Width, y0: pl.Addr, y1: pl.Addr + c.Length}
+	}
+	for i := range threads {
+		if !seen[i] {
+			return fmt.Errorf("tile: thread %d not placed", i)
+		}
+	}
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			a, b := rects[i], rects[j]
+			if a.x0 < b.x1 && b.x0 < a.x1 && a.y0 < b.y1 && b.y0 < a.y1 {
+				return fmt.Errorf("tile: threads %d and %d overlap", i, j)
+			}
+		}
+	}
+	if deps != nil {
+		for i, preds := range deps {
+			for _, p := range preds {
+				if rects[p].y1 > rects[i].y0 {
+					return fmt.Errorf("tile: thread %d starts at %d before dependency %d ends at %d",
+						i, rects[i].y0, p, rects[p].y1)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PackShelfFFD chooses, for each thread, the candidate with the smallest
+// area (ties: widest), sorts tiles by decreasing length, and packs them
+// onto shelves first-fit: a shelf is a horizontal band; each tile goes
+// onto the first shelf with enough free width, else opens a new shelf.
+func PackShelfFFD(threads []Thread, machineWidth int) (Packing, error) {
+	choices, err := minAreaChoices(threads, machineWidth)
+	if err != nil {
+		return Packing{}, err
+	}
+	order := sortedByLength(threads, choices)
+
+	type shelf struct {
+		addr, height, usedWidth int
+	}
+	var shelves []shelf
+	pk := Packing{Algorithm: "shelf-ffd", MachineWidth: machineWidth, Placements: make([]Placement, len(threads))}
+	height := 0
+	for _, ti := range order {
+		c := threads[ti].Candidates[choices[ti]]
+		placed := false
+		for si := range shelves {
+			s := &shelves[si]
+			if s.usedWidth+c.Width <= machineWidth && c.Length <= s.height {
+				pk.Placements[ti] = Placement{Thread: ti, Choice: choices[ti], FU: s.usedWidth, Addr: s.addr}
+				s.usedWidth += c.Width
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			shelves = append(shelves, shelf{addr: height, height: c.Length, usedWidth: c.Width})
+			pk.Placements[ti] = Placement{Thread: ti, Choice: choices[ti], FU: 0, Addr: height}
+			height += c.Length
+		}
+	}
+	pk.Height = height
+	return pk, nil
+}
+
+// PackSkyline places tiles by decreasing area onto a skyline, trying
+// every candidate of each thread at every skyline position and keeping
+// the placement that minimizes the resulting strip height (ties: least
+// wasted area under the tile).
+func PackSkyline(threads []Thread, machineWidth int) (Packing, error) {
+	if err := checkFeasible(threads, machineWidth); err != nil {
+		return Packing{}, err
+	}
+	// Process largest-first by the thread's minimal area.
+	order := make([]int, len(threads))
+	for i := range order {
+		order[i] = i
+	}
+	minArea := func(t Thread) int {
+		best := 1 << 30
+		for _, c := range t.Candidates {
+			if c.Width <= machineWidth && c.Area() < best {
+				best = c.Area()
+			}
+		}
+		return best
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return minArea(threads[order[a]]) > minArea(threads[order[b]])
+	})
+
+	sky := newSkyline(machineWidth)
+	pk := Packing{Algorithm: "skyline", MachineWidth: machineWidth, Placements: make([]Placement, len(threads))}
+	for _, ti := range order {
+		bestHeight, bestWaste := 1<<30, 1<<30
+		var best Placement
+		found := false
+		for ci, c := range threads[ti].Candidates {
+			if c.Width > machineWidth {
+				continue
+			}
+			fu, addr, waste := sky.bestPosition(c.Width)
+			if fu < 0 {
+				continue
+			}
+			newHeight := max(sky.height(), addr+c.Length)
+			if newHeight < bestHeight || (newHeight == bestHeight && waste < bestWaste) {
+				bestHeight, bestWaste = newHeight, waste
+				best = Placement{Thread: ti, Choice: ci, FU: fu, Addr: addr}
+				found = true
+			}
+		}
+		if !found {
+			return Packing{}, fmt.Errorf("tile: thread %d has no candidate fitting width %d", ti, machineWidth)
+		}
+		c := threads[ti].Candidates[best.Choice]
+		sky.place(best.FU, c.Width, best.Addr+c.Length)
+		pk.Placements[ti] = best
+	}
+	pk.Height = sky.height()
+	return pk, nil
+}
+
+// MaxExhaustiveThreads bounds the exhaustive search.
+const MaxExhaustiveThreads = 8
+
+// PackExhaustive tries every combination of candidate choices (bounded
+// by MaxExhaustiveThreads threads), packing each combination with the
+// skyline placer over tiles sorted by decreasing area, and returns the
+// minimum-height packing found.
+func PackExhaustive(threads []Thread, machineWidth int) (Packing, error) {
+	if len(threads) > MaxExhaustiveThreads {
+		return Packing{}, fmt.Errorf("tile: exhaustive search limited to %d threads, got %d",
+			MaxExhaustiveThreads, len(threads))
+	}
+	if err := checkFeasible(threads, machineWidth); err != nil {
+		return Packing{}, err
+	}
+	choices := make([]int, len(threads))
+	var best Packing
+	bestHeight := 1 << 30
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(threads) {
+			pk, ok := packFixedChoices(threads, choices, machineWidth)
+			if ok && pk.Height < bestHeight {
+				bestHeight = pk.Height
+				best = pk
+			}
+			return
+		}
+		for ci, c := range threads[i].Candidates {
+			if c.Width > machineWidth {
+				continue
+			}
+			choices[i] = ci
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	if bestHeight == 1<<30 {
+		return Packing{}, fmt.Errorf("tile: no feasible packing")
+	}
+	best.Algorithm = "exhaustive"
+	return best, nil
+}
+
+// packFixedChoices skyline-packs with the candidate of each thread fixed.
+func packFixedChoices(threads []Thread, choices []int, machineWidth int) (Packing, bool) {
+	order := make([]int, len(threads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca := threads[order[a]].Candidates[choices[order[a]]]
+		cb := threads[order[b]].Candidates[choices[order[b]]]
+		return ca.Area() > cb.Area()
+	})
+	sky := newSkyline(machineWidth)
+	pk := Packing{MachineWidth: machineWidth, Placements: make([]Placement, len(threads))}
+	for _, ti := range order {
+		c := threads[ti].Candidates[choices[ti]]
+		fu, addr, _ := sky.bestPosition(c.Width)
+		if fu < 0 {
+			return Packing{}, false
+		}
+		sky.place(fu, c.Width, addr+c.Length)
+		pk.Placements[ti] = Placement{Thread: ti, Choice: choices[ti], FU: fu, Addr: addr}
+	}
+	pk.Height = sky.height()
+	return pk, true
+}
+
+// PackWithDeps packs for execution time: deps[i] lists threads that must
+// complete before thread i starts; each tile is placed at the lowest
+// address satisfying its dependencies (list scheduling over the skyline,
+// threads in topological order, ties by decreasing area). Height is the
+// makespan.
+func PackWithDeps(threads []Thread, machineWidth int, deps [][]int) (Packing, error) {
+	if err := checkFeasible(threads, machineWidth); err != nil {
+		return Packing{}, err
+	}
+	order, err := topoOrder(len(threads), deps)
+	if err != nil {
+		return Packing{}, err
+	}
+	sky := newSkyline(machineWidth)
+	pk := Packing{Algorithm: "deps-list", MachineWidth: machineWidth, Placements: make([]Placement, len(threads))}
+	end := make([]int, len(threads))
+	for _, ti := range order {
+		ready := 0
+		for _, p := range deps[ti] {
+			if end[p] > ready {
+				ready = end[p]
+			}
+		}
+		bestEnd := 1 << 30
+		var best Placement
+		for ci, c := range threads[ti].Candidates {
+			if c.Width > machineWidth {
+				continue
+			}
+			fu, addr := sky.positionAtOrAfter(c.Width, ready)
+			if fu < 0 {
+				continue
+			}
+			if addr+c.Length < bestEnd {
+				bestEnd = addr + c.Length
+				best = Placement{Thread: ti, Choice: ci, FU: fu, Addr: addr}
+			}
+		}
+		if bestEnd == 1<<30 {
+			return Packing{}, fmt.Errorf("tile: thread %d has no feasible candidate", ti)
+		}
+		c := threads[ti].Candidates[best.Choice]
+		sky.place(best.FU, c.Width, best.Addr+c.Length)
+		pk.Placements[ti] = best
+		end[ti] = best.Addr + c.Length
+	}
+	pk.Height = sky.height()
+	return pk, nil
+}
+
+func topoOrder(n int, deps [][]int) ([]int, error) {
+	if deps == nil {
+		deps = make([][]int, n)
+	}
+	if len(deps) != n {
+		return nil, fmt.Errorf("tile: deps has %d entries for %d threads", len(deps), n)
+	}
+	state := make([]int, n) // 0 unvisited, 1 visiting, 2 done
+	var order []int
+	var visit func(int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("tile: dependency cycle through thread %d", i)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		for _, p := range deps[i] {
+			if p < 0 || p >= n {
+				return fmt.Errorf("tile: dependency on undefined thread %d", p)
+			}
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func minAreaChoices(threads []Thread, machineWidth int) ([]int, error) {
+	if err := checkFeasible(threads, machineWidth); err != nil {
+		return nil, err
+	}
+	choices := make([]int, len(threads))
+	for i, th := range threads {
+		best, bestArea, bestWidth := -1, 1<<30, -1
+		for ci, c := range th.Candidates {
+			if c.Width > machineWidth {
+				continue
+			}
+			if c.Area() < bestArea || (c.Area() == bestArea && c.Width > bestWidth) {
+				best, bestArea, bestWidth = ci, c.Area(), c.Width
+			}
+		}
+		choices[i] = best
+	}
+	return choices, nil
+}
+
+func sortedByLength(threads []Thread, choices []int) []int {
+	order := make([]int, len(threads))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca := threads[order[a]].Candidates[choices[order[a]]]
+		cb := threads[order[b]].Candidates[choices[order[b]]]
+		if ca.Length != cb.Length {
+			return ca.Length > cb.Length
+		}
+		return ca.Width > cb.Width
+	})
+	return order
+}
+
+func checkFeasible(threads []Thread, machineWidth int) error {
+	if machineWidth < 1 {
+		return fmt.Errorf("tile: machine width %d", machineWidth)
+	}
+	for i, th := range threads {
+		if len(th.Candidates) == 0 {
+			return fmt.Errorf("tile: thread %d (%s) has no candidates", i, th.Name)
+		}
+		ok := false
+		for _, c := range th.Candidates {
+			if c.Width < 1 || c.Length < 1 {
+				return fmt.Errorf("tile: thread %d has degenerate candidate %+v", i, c)
+			}
+			if c.Width <= machineWidth {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("tile: thread %d has no candidate within machine width %d", i, machineWidth)
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

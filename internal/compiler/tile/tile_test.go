@@ -1,0 +1,232 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// figure13Threads models the paper's Figure 13 scenario: six threads,
+// each compiled at several widths. Narrower variants are longer
+// (resource-constrained schedules stretch), mirroring real compilations.
+func figure13Threads() []Thread {
+	mk := func(name string, lens map[int]int) Thread {
+		t := Thread{Name: name}
+		for _, w := range []int{1, 2, 4, 8} {
+			if l, ok := lens[w]; ok {
+				t.Candidates = append(t.Candidates, Candidate{Width: w, Length: l})
+			}
+		}
+		return t
+	}
+	return []Thread{
+		mk("t1", map[int]int{1: 40, 2: 22, 4: 13, 8: 9}),
+		mk("t2", map[int]int{1: 30, 2: 17, 4: 10, 8: 8}),
+		mk("t3", map[int]int{1: 18, 2: 10, 4: 7}),
+		mk("t4", map[int]int{1: 12, 2: 7, 4: 5}),
+		mk("t5", map[int]int{1: 26, 2: 15, 4: 9}),
+		mk("t6", map[int]int{1: 8, 2: 5}),
+	}
+}
+
+func TestPackersProduceValidPackings(t *testing.T) {
+	threads := figure13Threads()
+	packers := []struct {
+		name string
+		f    func([]Thread, int) (Packing, error)
+	}{
+		{"shelf-ffd", PackShelfFFD},
+		{"skyline", PackSkyline},
+		{"exhaustive", PackExhaustive},
+	}
+	for _, width := range []int{4, 8} {
+		for _, p := range packers {
+			pk, err := p.f(threads, width)
+			if err != nil {
+				t.Fatalf("%s width %d: %v", p.name, width, err)
+			}
+			if err := pk.Validate(threads, nil); err != nil {
+				t.Errorf("%s width %d: invalid packing: %v", p.name, width, err)
+			}
+			if pk.Height <= 0 {
+				t.Errorf("%s width %d: height %d", p.name, width, pk.Height)
+			}
+			t.Logf("%s width %d: height=%d util=%.0f%%", p.name, width, pk.Height,
+				100*pk.Utilization(threads))
+		}
+	}
+}
+
+func TestExhaustiveAtLeastAsGoodAsHeuristics(t *testing.T) {
+	threads := figure13Threads()
+	for _, width := range []int{4, 8} {
+		ex, err := PackExhaustive(threads, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := PackShelfFFD(threads, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk, err := PackSkyline(threads, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex.Height > sh.Height || ex.Height > sk.Height {
+			t.Errorf("width %d: exhaustive height %d worse than shelf %d / skyline %d",
+				width, ex.Height, sh.Height, sk.Height)
+		}
+	}
+}
+
+func TestPackingBeatsSequentialLayout(t *testing.T) {
+	// Packing tiles side by side must beat laying every thread out at
+	// full machine width one after the other (the naive VLIW layout).
+	threads := figure13Threads()
+	naive := 0
+	for _, th := range threads {
+		best := 1 << 30
+		for _, c := range th.Candidates {
+			if c.Length < best {
+				best = c.Length
+			}
+		}
+		naive += best
+	}
+	pk, err := PackExhaustive(threads, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk.Height >= naive {
+		t.Errorf("packed height %d not better than sequential widest layout %d", pk.Height, naive)
+	}
+	t.Logf("static size: sequential=%d packed=%d (%.0f%% saved)",
+		naive, pk.Height, 100*(1-float64(pk.Height)/float64(naive)))
+}
+
+func TestPackWithDepsRespectsPrecedence(t *testing.T) {
+	threads := figure13Threads()
+	// t3 and t4 depend on t1; t6 depends on t3 and t5.
+	deps := [][]int{nil, nil, {0}, {0}, nil, {2, 4}}
+	pk, err := PackWithDeps(threads, 8, deps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pk.Validate(threads, deps); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// And an unconstrained packing is never worse informationally: the
+	// constrained makespan is at least the critical chain through the
+	// shortest candidates.
+	minLen := func(i int) int {
+		best := 1 << 30
+		for _, c := range threads[i].Candidates {
+			if c.Length < best {
+				best = c.Length
+			}
+		}
+		return best
+	}
+	chain := minLen(0) + minLen(2) + minLen(5)
+	if pk.Height < chain {
+		t.Errorf("makespan %d below critical chain %d", pk.Height, chain)
+	}
+}
+
+func TestPackWithDepsCycleDetected(t *testing.T) {
+	threads := figure13Threads()
+	deps := [][]int{{5}, nil, nil, nil, nil, {0}}
+	if _, err := PackWithDeps(threads, 8, deps); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestValidateCatchesOverlap(t *testing.T) {
+	threads := []Thread{
+		{Name: "a", Candidates: []Candidate{{Width: 2, Length: 2}}},
+		{Name: "b", Candidates: []Candidate{{Width: 2, Length: 2}}},
+	}
+	pk := Packing{
+		MachineWidth: 4,
+		Height:       2,
+		Placements: []Placement{
+			{Thread: 0, Choice: 0, FU: 0, Addr: 0},
+			{Thread: 1, Choice: 0, FU: 1, Addr: 0}, // overlaps column 1
+		},
+	}
+	if err := pk.Validate(threads, nil); err == nil {
+		t.Fatal("overlap not detected")
+	}
+}
+
+func TestValidateCatchesMissingAndOutOfStrip(t *testing.T) {
+	threads := []Thread{{Name: "a", Candidates: []Candidate{{Width: 2, Length: 2}}}}
+	bad := Packing{MachineWidth: 1, Height: 2,
+		Placements: []Placement{{Thread: 0, Choice: 0, FU: 0, Addr: 0}}}
+	if err := bad.Validate(threads, nil); err == nil {
+		t.Fatal("tile wider than strip not detected")
+	}
+	missing := Packing{MachineWidth: 4, Height: 2}
+	if err := missing.Validate(threads, nil); err == nil {
+		t.Fatal("missing placement not detected")
+	}
+}
+
+func TestInfeasibleInputs(t *testing.T) {
+	tooWide := []Thread{{Name: "w", Candidates: []Candidate{{Width: 9, Length: 1}}}}
+	for _, f := range []func([]Thread, int) (Packing, error){PackShelfFFD, PackSkyline, PackExhaustive} {
+		if _, err := f(tooWide, 8); err == nil {
+			t.Error("accepted thread wider than the machine")
+		}
+	}
+	none := []Thread{{Name: "n"}}
+	if _, err := PackSkyline(none, 8); err == nil {
+		t.Error("accepted thread without candidates")
+	}
+}
+
+// Property: on random instances every packer yields a valid packing and
+// the exhaustive packer is the best of the three.
+func TestRandomPackingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + r.Intn(5)
+		threads := make([]Thread, n)
+		for i := range threads {
+			base := 4 + r.Intn(40)
+			for _, w := range []int{1, 2, 4, 8} {
+				if r.Intn(4) == 0 {
+					continue
+				}
+				length := base/w + 1 + r.Intn(3)
+				threads[i].Candidates = append(threads[i].Candidates,
+					Candidate{Width: w, Length: length})
+			}
+			if len(threads[i].Candidates) == 0 {
+				threads[i].Candidates = []Candidate{{Width: 1, Length: base}}
+			}
+		}
+		hMin := 1 << 30
+		for _, f := range []func([]Thread, int) (Packing, error){PackShelfFFD, PackSkyline} {
+			pk, err := f(threads, 8)
+			if err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if err := pk.Validate(threads, nil); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+			if pk.Height < hMin {
+				hMin = pk.Height
+			}
+		}
+		ex, err := PackExhaustive(threads, 8)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if err := ex.Validate(threads, nil); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if ex.Height > hMin {
+			t.Fatalf("iter %d: exhaustive %d worse than best heuristic %d", iter, ex.Height, hMin)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package compiler
+
+import (
+	"fmt"
+
+	"ximd/internal/compiler/tile"
+)
+
+// TileCandidates compiles a par-free minic source at each of the given
+// functional-unit widths, returning one Figure 13 code tile per width:
+// the tile's width is the resource constraint and its length the static
+// code size of the resulting schedule.
+func TileCandidates(src string, widths []int) ([]tile.Candidate, error) {
+	var out []tile.Candidate
+	for _, w := range widths {
+		c, err := Compile(src, Options{Width: w})
+		if err != nil {
+			return nil, fmt.Errorf("width %d: %w", w, err)
+		}
+		if c.HasPar {
+			return nil, fmt.Errorf("tile candidates require par-free threads")
+		}
+		out = append(out, tile.Candidate{Width: w, Length: c.Rows})
+	}
+	return out, nil
+}

@@ -1,0 +1,259 @@
+package compiler
+
+import "fmt"
+
+// Unrolling widens the scheduling scope of counted loops: U copies of the
+// body execute per iteration of the unrolled loop, giving the DAG list
+// scheduler a window spanning U source iterations — the compiler-side
+// counterpart of the paper's observation that VLIW performance comes from
+// scheduling beyond single-iteration scopes.
+//
+// A for loop qualifies when:
+//
+//   - the condition is  i REL bound  with REL in {<, <=, >, >=},
+//   - the post is  i = i + C  or  i = i - C  with literal C,
+//   - the body never assigns i or any variable in bound, and contains no
+//     par statement or nested non-unrollable writes to the bound.
+//
+// The transformation (for REL "<", step +C) is:
+//
+//	for (i = e; i < b; i = i+C) body
+//	→ i = e;
+//	  while (i + (U-1)*C < b) { body; i=i+C; …×U }
+//	  while (i < b) { body; i=i+C; }
+//
+// Both loops preserve the source semantics for any trip count; the guard
+// assumes i + (U-1)*C does not overflow int32 (documented).
+
+// unrollFors rewrites qualifying for loops in the statement list.
+func unrollFors(stmts []Stmt, factor int) []Stmt {
+	if factor < 2 {
+		return stmts
+	}
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		out = append(out, unrollStmt(s, factor)...)
+	}
+	return out
+}
+
+func unrollStmt(s Stmt, factor int) []Stmt {
+	switch s := s.(type) {
+	case *ForStmt:
+		body := &BlockStmt{Stmts: unrollFors(s.Body.Stmts, factor)}
+		loop := &ForStmt{Init: s.Init, Cond: s.Cond, Post: s.Post, Body: body, Line: s.Line}
+		if un, ok := tryUnroll(loop, factor); ok {
+			return un
+		}
+		return []Stmt{loop}
+	case *WhileStmt:
+		return []Stmt{&WhileStmt{
+			Cond: s.Cond,
+			Body: &BlockStmt{Stmts: unrollFors(s.Body.Stmts, factor)},
+			Line: s.Line,
+		}}
+	case *IfStmt:
+		n := &IfStmt{Cond: s.Cond, Line: s.Line,
+			Then: &BlockStmt{Stmts: unrollFors(s.Then.Stmts, factor)}}
+		if s.Else != nil {
+			n.Else = &BlockStmt{Stmts: unrollFors(s.Else.Stmts, factor)}
+		}
+		return []Stmt{n}
+	case *ParStmt:
+		n := &ParStmt{Line: s.Line}
+		for _, th := range s.Threads {
+			n.Threads = append(n.Threads, &ThreadDecl{
+				Width: th.Width,
+				Body:  &BlockStmt{Stmts: unrollFors(th.Body.Stmts, factor)},
+				Line:  th.Line,
+			})
+		}
+		return []Stmt{n}
+	default:
+		return []Stmt{s}
+	}
+}
+
+func tryUnroll(s *ForStmt, factor int) ([]Stmt, bool) {
+	iv := s.Init.Name
+	cond, ok := s.Cond.(*BinExpr)
+	if !ok {
+		return nil, false
+	}
+	switch cond.Op {
+	case "<", "<=", ">", ">=":
+	default:
+		return nil, false
+	}
+	lhs, ok := cond.L.(*NameExpr)
+	if !ok || lhs.Name != iv {
+		return nil, false
+	}
+	step, ok := stepOf(s.Post, iv)
+	if !ok || step == 0 {
+		return nil, false
+	}
+	if assignsAny(s.Body.Stmts, namesOf(cond.R, iv)) {
+		return nil, false
+	}
+
+	// Guard condition: (i + (U-1)*step) REL bound.
+	offset := int32(factor-1) * step
+	guard := &BinExpr{
+		Op: cond.Op,
+		L: &BinExpr{Op: "+",
+			L:    &NameExpr{Name: iv, Line: s.Line},
+			R:    &NumExpr{Val: offset, Line: s.Line},
+			Line: s.Line},
+		R:    cond.R,
+		Line: s.Line,
+	}
+
+	var unrolledBody []Stmt
+	for u := 0; u < factor; u++ {
+		unrolledBody = append(unrolledBody, s.Body.Stmts...)
+		unrolledBody = append(unrolledBody, s.Post)
+	}
+	remBody := append(append([]Stmt{}, s.Body.Stmts...), s.Post)
+
+	return []Stmt{
+		s.Init,
+		&WhileStmt{Cond: guard, Body: &BlockStmt{Stmts: unrolledBody}, Line: s.Line},
+		&WhileStmt{Cond: s.Cond, Body: &BlockStmt{Stmts: remBody}, Line: s.Line},
+	}, true
+}
+
+// stepOf recognizes  i = i + C  /  i = i - C  / i = C + i  and returns
+// the signed literal step.
+func stepOf(post *AssignStmt, iv string) (int32, bool) {
+	if post.Name != iv {
+		return 0, false
+	}
+	b, ok := post.Val.(*BinExpr)
+	if !ok {
+		return 0, false
+	}
+	name, nameIsL := b.L.(*NameExpr)
+	num, numIsR := b.R.(*NumExpr)
+	if b.Op == "+" {
+		if nameIsL && name.Name == iv && numIsR {
+			return num.Val, true
+		}
+		if n2, ok := b.R.(*NameExpr); ok && n2.Name == iv {
+			if c, ok := b.L.(*NumExpr); ok {
+				return c.Val, true
+			}
+		}
+		return 0, false
+	}
+	if b.Op == "-" && nameIsL && name.Name == iv && numIsR {
+		return -num.Val, true
+	}
+	return 0, false
+}
+
+// namesOf collects the names referenced by e, plus the induction
+// variable itself: assignments to any of them disqualify unrolling.
+func namesOf(e Expr, iv string) map[string]bool {
+	names := map[string]bool{iv: true}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *NameExpr:
+			names[e.Name] = true
+		case *IndexExpr:
+			names[e.Name] = true
+			walk(e.Index)
+		case *BinExpr:
+			walk(e.L)
+			walk(e.R)
+		case *UnExpr:
+			walk(e.X)
+		}
+	}
+	walk(e)
+	return names
+}
+
+// assignsAny reports whether any statement assigns one of the names
+// (array element stores count as assigning the array's name).
+func assignsAny(stmts []Stmt, names map[string]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if names[s.Name] {
+				return true
+			}
+		case *StoreStmt:
+			if names[s.Name] {
+				return true
+			}
+		case *VarStmt:
+			for _, n := range s.Names {
+				if names[n] {
+					return true
+				}
+			}
+		case *IfStmt:
+			if assignsAny(s.Then.Stmts, names) {
+				return true
+			}
+			if s.Else != nil && assignsAny(s.Else.Stmts, names) {
+				return true
+			}
+		case *WhileStmt:
+			if assignsAny(s.Body.Stmts, names) {
+				return true
+			}
+		case *ForStmt:
+			if s.Init.Name != "" && names[s.Init.Name] {
+				return true
+			}
+			if names[s.Post.Name] {
+				return true
+			}
+			if assignsAny(s.Body.Stmts, names) {
+				return true
+			}
+		case *ParStmt:
+			for _, th := range s.Threads {
+				if assignsAny(th.Body.Stmts, names) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// validateWidths normalizes and checks par thread widths against the
+// machine width, distributing unspecified widths evenly.
+func validateWidths(region *ParRegion, machineWidth int, line int) error {
+	unspecified := 0
+	used := 0
+	for _, w := range region.Widths {
+		if w == 0 {
+			unspecified++
+		} else {
+			used += w
+		}
+	}
+	if unspecified > 0 {
+		share := (machineWidth - used) / unspecified
+		if share < 1 {
+			return &SyntaxError{Line: line, Msg: fmt.Sprintf(
+				"par threads need more functional units than the machine width %d provides", machineWidth)}
+		}
+		for i, w := range region.Widths {
+			if w == 0 {
+				region.Widths[i] = share
+				used += share
+			}
+		}
+	}
+	if used > machineWidth {
+		return &SyntaxError{Line: line, Msg: fmt.Sprintf(
+			"par thread widths total %d, machine width is %d", used, machineWidth)}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"ximd/internal/isa"
+)
+
+// ProgramStyle classifies a program against the state-machine models of
+// Figures 3–6: which traditional architecture the XIMD is being asked to
+// emulate. The classification is static (over the program text), matching
+// the paper's formal statements: "If for a given program, the functions
+// δ1..δn are identical and the initial values of the state variables
+// S1..Sn are identical, then the XIMD machine will be the functional
+// equivalent of a VLIW machine", and correspondingly for SIMD and MIMD.
+type ProgramStyle struct {
+	// SISD: the program uses a single functional unit.
+	SISD bool
+	// VLIW: every instruction carries the identical control operation in
+	// all parcels (identical δ), so a single instruction stream executes.
+	VLIW bool
+	// SIMD: VLIW and, additionally, every instruction carries the
+	// identical data operation in all parcels (identical λ).
+	SIMD bool
+	// MIMD: no parcel's control operation references another FU's
+	// condition code or synchronization signal (each δi disregards the
+	// state of other FUs), so the streams are fully independent.
+	MIMD bool
+}
+
+// Classify inspects prog and reports which traditional execution models
+// it conforms to. A program may conform to several (a single-FU program
+// is simultaneously SISD, VLIW, SIMD, and MIMD); a program that uses the
+// full variable-stream repertoire conforms to none and requires XIMD.
+func Classify(prog *isa.Program) ProgramStyle {
+	style := ProgramStyle{
+		SISD: prog.NumFU == 1,
+		VLIW: true,
+		SIMD: true,
+		MIMD: true,
+	}
+	for _, instr := range prog.Instrs {
+		lead := -1
+		for fu := 0; fu < prog.NumFU; fu++ {
+			p := instr[fu]
+			if p.Trap {
+				continue
+			}
+			if lead == -1 {
+				lead = fu
+			}
+			if !p.Ctrl.Equal(instr[lead].Ctrl) || p.Sync != instr[lead].Sync {
+				style.VLIW = false
+				style.SIMD = false
+			}
+			if p.Data != instr[lead].Data {
+				style.SIMD = false
+			}
+			if refersToOtherFU(p.Ctrl, fu) {
+				style.MIMD = false
+			}
+		}
+		// Instructions where some FUs have parcels and others have holes
+		// cannot execute as a single lock-step stream.
+		if lead >= 0 {
+			for fu := 0; fu < prog.NumFU; fu++ {
+				if instr[fu].Trap {
+					style.VLIW = false
+					style.SIMD = false
+					break
+				}
+			}
+		}
+	}
+	return style
+}
+
+// refersToOtherFU reports whether a control operation's condition reads
+// state produced by a functional unit other than fu.
+func refersToOtherFU(c isa.CtrlOp, fu int) bool {
+	if c.Kind != isa.CtrlCond {
+		return false
+	}
+	switch c.Cond {
+	case isa.CondCC, isa.CondNotCC, isa.CondSS, isa.CondNotSS:
+		return int(c.Idx) != fu
+	case isa.CondAllSS, isa.CondAnySS:
+		return true
+	case isa.CondAllSSMask, isa.CondAnySSMask:
+		return c.Mask&^(1<<uint(fu)) != 0
+	}
+	return false
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+func TestClassifySISD(t *testing.T) {
+	prog := seqProgram(t, isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(2), Dest: 1})
+	style := Classify(prog)
+	if !style.SISD || !style.VLIW || !style.SIMD || !style.MIMD {
+		t.Fatalf("single-FU program should conform to every model: %+v", style)
+	}
+}
+
+func TestClassifyVLIWStyle(t *testing.T) {
+	// Different data ops per FU, identical control: VLIW but not SIMD.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(2), Dest: 1}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpISub, A: isa.I(1), B: isa.I(2), Dest: 2}, isa.Goto(1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	style := Classify(b.MustBuild())
+	if !style.VLIW || style.SIMD || style.SISD {
+		t.Fatalf("style = %+v, want VLIW only (plus MIMD: no cross-FU conditions)", style)
+	}
+}
+
+func TestClassifySIMDStyle(t *testing.T) {
+	// Identical data AND control in every parcel.
+	b := isa.NewBuilder(4)
+	op := isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}
+	for fu := 0; fu < 4; fu++ {
+		b.Set(0, fu, par(op, isa.Goto(1)))
+		b.Set(1, fu, isa.HaltParcel)
+	}
+	style := Classify(b.MustBuild())
+	if !style.SIMD || !style.VLIW {
+		t.Fatalf("style = %+v, want SIMD (and therefore VLIW)", style)
+	}
+}
+
+func TestClassifyMIMDStyle(t *testing.T) {
+	// Each FU branches only on its own CC: independent streams.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpLt, A: isa.I(0), B: isa.I(1)}, isa.IfCC(0, 1, 1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpLt, A: isa.I(1), B: isa.I(0)}, isa.IfCC(1, 1, 1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	style := Classify(b.MustBuild())
+	if !style.MIMD {
+		t.Fatalf("style = %+v, want MIMD", style)
+	}
+	if style.VLIW {
+		t.Fatalf("style = %+v: per-FU conditions are not identical δ", style)
+	}
+}
+
+func TestClassifyXIMDRequiresNeither(t *testing.T) {
+	// A cross-FU condition (FU1 branches on cc0) breaks MIMD; differing
+	// controls break VLIW: the program needs the full XIMD repertoire.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpLt, A: isa.I(0), B: isa.I(1)}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.Nop, isa.IfCC(0, 1, 1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	style := Classify(b.MustBuild())
+	if style.VLIW || style.SIMD || style.MIMD || style.SISD {
+		t.Fatalf("style = %+v, want none", style)
+	}
+}
+
+func TestClassifyBarrierBreaksMIMD(t *testing.T) {
+	b := isa.NewBuilder(2)
+	for fu := 0; fu < 2; fu++ {
+		b.Set(0, fu, isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(1, 0), Sync: isa.Done})
+		b.Set(1, fu, isa.HaltParcel)
+	}
+	style := Classify(b.MustBuild())
+	if style.MIMD {
+		t.Fatal("ALL-SS condition reads other FUs' state; not MIMD")
+	}
+	if !style.VLIW {
+		t.Fatal("identical barrier parcels are identical δ; still VLIW-classifiable")
+	}
+}
+
+func TestClassifyHolesBreakVLIW(t *testing.T) {
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(1)))
+	b.Set(1, 0, par(isa.Nop, isa.Goto(2)))
+	// FU1 hole at addr 1.
+	b.Set(2, 0, isa.HaltParcel)
+	b.Set(2, 1, isa.HaltParcel)
+	style := Classify(b.MustBuild())
+	if style.VLIW {
+		t.Fatal("instruction with holes cannot be lock-step VLIW")
+	}
+}
+
+// TestVLIWEmulationEquivalence demonstrates the paper's Section 2.1 claim
+// operationally: a program with identical δ in every parcel executes with
+// all PCs in lock step and a single SSET for the whole run — the XIMD is
+// functionally a VLIW.
+func TestVLIWEmulationEquivalence(t *testing.T) {
+	b := isa.NewBuilder(4)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(5), B: isa.I(0), Dest: 1}, isa.Goto(1)))
+	b.Set(1, 0, par(isa.DataOp{Op: isa.OpISub, A: isa.R(1), B: isa.I(1), Dest: 1}, isa.Goto(2)))
+	b.Set(2, 0, par(isa.DataOp{Op: isa.OpGt, A: isa.R(1), B: isa.I(0)}, isa.Goto(3)))
+	b.Set(3, 0, par(isa.Nop, isa.IfCC(0, 1, 4)))
+	b.Set(4, 0, isa.HaltParcel)
+	b.FillVLIWControl()
+	prog := b.MustBuild()
+
+	if style := Classify(prog); !style.VLIW {
+		t.Fatalf("FillVLIWControl output not VLIW-classified: %+v", style)
+	}
+
+	tr := &recordingTracer{}
+	m, err := New(prog, Config{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, pcs := range tr.pcs {
+		for fu := 1; fu < 4; fu++ {
+			if pcs[fu] != pcs[0] {
+				t.Fatalf("cycle %d: PCs diverged: %v", i, pcs)
+			}
+		}
+		if tr.partitions[i] != "{0,1,2,3}" {
+			t.Fatalf("cycle %d: partition %s, want single SSET", i, tr.partitions[i])
+		}
+	}
+	if m.Regs().Peek(1).Int() != 0 {
+		t.Fatalf("r1 = %d, want 0 (loop ran to completion)", m.Regs().Peek(1).Int())
+	}
+}

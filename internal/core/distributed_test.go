@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// TestDistributedMemoryMachine runs an XIMD program over the prototype's
+// distributed memory (Section 4.3: 1MB per FU): each FU computes into its
+// own bank at the same addresses without conflicting, communicating only
+// through the global register file — the prototype's execution model.
+func TestDistributedMemoryMachine(t *testing.T) {
+	dist := mem.NewDistributed(4, 1024)
+	for fu := 0; fu < 4; fu++ {
+		dist.Poke(fu, 10, isa.WordFromInt(int32(100+fu)))
+	}
+	b := isa.NewBuilder(4)
+	for fu := 0; fu < 4; fu++ {
+		reg := uint8(1 + fu)
+		// Each FU: load its bank's word 10, scale by its own factor,
+		// store to word 20 of its own bank, leave a copy in a register.
+		b.Set(0, fu, par(isa.DataOp{Op: isa.OpLoad, A: isa.I(10), B: isa.I(0), Dest: reg}, isa.Goto(1)))
+		b.Set(1, fu, par(isa.DataOp{Op: isa.OpIMult, A: isa.R(reg), B: isa.I(int32(fu + 2)), Dest: reg}, isa.Goto(2)))
+		b.Set(2, fu, par(isa.DataOp{Op: isa.OpStore, A: isa.R(reg), B: isa.I(20)}, isa.Goto(3)))
+		b.Set(3, fu, isa.HaltParcel)
+	}
+	m, err := New(b.MustBuild(), Config{Memory: dist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for fu := 0; fu < 4; fu++ {
+		want := int32(100+fu) * int32(fu+2)
+		if got := dist.Peek(fu, 20).Int(); got != want {
+			t.Errorf("bank %d word 20 = %d, want %d", fu, got, want)
+		}
+		// The same-address stores in the same cycle were bank-private:
+		// no conflict error occurred (Run succeeded) and values differ.
+	}
+	// Cross-bank isolation: word 20 of bank 0 is not visible at bank 1.
+	if dist.Peek(0, 20) == dist.Peek(1, 20) {
+		t.Error("banks are not isolated")
+	}
+}
+
+// TestSharedMemorySameStoreConflicts is the contrast: on the research
+// model's shared memory the identical program faults on the same-cycle
+// stores to one address.
+func TestSharedMemorySameStoreConflicts(t *testing.T) {
+	b := isa.NewBuilder(2)
+	for fu := 0; fu < 2; fu++ {
+		b.Set(0, fu, par(isa.DataOp{Op: isa.OpStore, A: isa.I(int32(fu)), B: isa.I(20)}, isa.Goto(1)))
+		b.Set(1, fu, isa.HaltParcel)
+	}
+	m, err := New(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("same-cycle same-address stores did not conflict on shared memory")
+	}
+}

@@ -1,0 +1,468 @@
+// Package core implements the XIMD-1 machine model of Wolfe & Shen
+// (ASPLOS 1991), Sections 2.2–2.4: eight homogeneous functional units,
+// each with its own program counter and sequencer (the next-state
+// functions δ1..δn of Figure 5), a condition-code register CC_i per FU
+// (the data-path state abstraction sd_i), and a synchronization signal
+// SS_i per FU (the control-path state abstraction of S_i), all over a
+// shared multi-ported register file and an idealized one-cycle memory.
+//
+// Timing model. The machine is fully synchronous. During cycle t:
+//
+//   - operand reads and branch-condition reads of CC observe the state
+//     registered at the end of cycle t-1;
+//   - SS_i is combinational: it carries the Sync field of the parcel FU i
+//     executes at cycle t, and every sequencer sees it the same cycle
+//     (Figure 8 distributes SS directly into the condition PAL). This is
+//     what makes the ALL-SS barrier of Example 3 join all threads in a
+//     single cycle;
+//   - all register, memory, and CC writes become visible at cycle t+1.
+//
+// Termination. The paper's research model leaves program termination
+// undefined; this implementation adds an explicit halt control operation.
+// Simulation ends when every FU has halted. A halted FU drives SS = DONE
+// so that barriers involving it do not deadlock.
+package core
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// Config parameterizes a Machine.
+type Config struct {
+	// Memory is the memory model; nil selects an idealized shared memory
+	// of the default size (Section 2.3).
+	Memory mem.Memory
+	// MaxCycles aborts runaway simulations; 0 selects DefaultMaxCycles.
+	MaxCycles uint64
+	// TolerateConflicts makes same-cycle register/memory write conflicts
+	// non-fatal (they are still counted). The paper calls the outcome
+	// undefined; the tolerant resolution is documented last-staged-wins.
+	TolerateConflicts bool
+	// DetectLivelock stops the simulation with ErrLivelock when the
+	// architectural state reaches a fixed point with FUs still running.
+	// Leave it off for programs that poll memory-mapped devices, whose
+	// load values legitimately change with the cycle number.
+	DetectLivelock bool
+	// RegisteredSS is an ablation of the Figure 8 design decision: instead
+	// of the paper's combinational SS network (sequencers see the sync
+	// signals of the parcels executing this cycle), conditions read the SS
+	// values registered at the end of the previous cycle. Barriers then
+	// release one cycle after the last arrival instead of in the same
+	// cycle, and every SS-gated handoff pays one extra cycle — measured by
+	// the xbench ablation experiment.
+	RegisteredSS bool
+	// Tracer, if non-nil, receives one record per executed cycle.
+	Tracer Tracer
+}
+
+// DefaultMaxCycles bounds a simulation when Config.MaxCycles is zero.
+const DefaultMaxCycles = 50_000_000
+
+// Tracer observes machine execution cycle by cycle. The record and its
+// slices are reused across cycles; implementations must copy anything
+// they retain.
+type Tracer interface {
+	Cycle(rec *CycleRecord)
+}
+
+// CycleRecord is the observable state of one executed cycle.
+type CycleRecord struct {
+	// Cycle is the cycle number, counting from 0.
+	Cycle uint64
+	// PC[i] is FU i's program counter at the start of the cycle (the
+	// address of the parcel it executes this cycle).
+	PC []isa.Addr
+	// CC[i] is CC_i as registered at the start of the cycle — exactly the
+	// "condition code register contents ... as they exist at the beginning
+	// of each cycle" shown in Figure 10.
+	CC []bool
+	// CCValid[i] reports whether CC_i has been written since reset; the
+	// paper's traces print unwritten codes as X.
+	CCValid []bool
+	// SS[i] is the synchronization signal driven during the cycle.
+	SS []isa.Sync
+	// Halted[i] reports whether FU i had halted before this cycle.
+	Halted []bool
+	// Partition is the SSET partition in effect during this cycle.
+	Partition Partition
+	// Parcels[i] is the parcel FU i executed this cycle (zero value for
+	// halted FUs).
+	Parcels []isa.Parcel
+}
+
+// SimError wraps an execution fault with cycle and FU context.
+type SimError struct {
+	Cycle uint64
+	FU    int // -1 when not attributable to one FU
+	Err   error
+}
+
+func (e *SimError) Error() string {
+	if e.FU >= 0 {
+		return fmt.Sprintf("cycle %d, FU%d: %v", e.Cycle, e.FU, e.Err)
+	}
+	return fmt.Sprintf("cycle %d: %v", e.Cycle, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+// Sentinel errors returned (wrapped in SimError) by Step and Run.
+var (
+	ErrMaxCycles = fmt.Errorf("maximum cycle count exceeded")
+	ErrLivelock  = fmt.Errorf("livelock: architectural state reached a fixed point with FUs still running")
+)
+
+// Machine is an XIMD-1 processor instance.
+type Machine struct {
+	prog   *isa.Program
+	numFU  int
+	config Config
+
+	regs   *regfile.File
+	memory mem.Memory
+
+	pc      []isa.Addr
+	cc      []bool
+	ccValid []bool
+	halted  []bool
+	cycle   uint64
+	done    bool
+
+	tracker *partitionTracker
+	stats   Stats
+
+	// Per-cycle scratch, reused across cycles.
+	ss        []isa.Sync
+	prevSS    []isa.Sync // last cycle's SS values (RegisteredSS ablation)
+	parcels   []isa.Parcel
+	nextPC    []isa.Addr
+	willHalt  []bool
+	ccWrites  []ccWrite
+	trans     []transition
+	record    CycleRecord
+	prevState fingerprint
+}
+
+type ccWrite struct {
+	fu  int
+	val bool
+}
+
+type fingerprint struct {
+	valid  bool
+	pc     [isa.NumFU]isa.Addr
+	cc     [isa.NumFU]bool
+	ss     [isa.NumFU]isa.Sync
+	wrote  bool // any register/memory/CC write staged this cycle
+	halted [isa.NumFU]bool
+}
+
+// New creates a machine loaded with prog. Every FU starts at the program
+// entry address with cleared registers, condition codes, and memory.
+func New(prog *isa.Program, cfg Config) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid program: %w", err)
+	}
+	if cfg.Memory == nil {
+		cfg.Memory = mem.NewShared(0)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultMaxCycles
+	}
+	n := prog.NumFU
+	m := &Machine{
+		prog:    prog,
+		numFU:   n,
+		config:  cfg,
+		regs:    regfile.New(),
+		memory:  cfg.Memory,
+		pc:      make([]isa.Addr, n),
+		cc:      make([]bool, n),
+		ccValid: make([]bool, n),
+		halted:  make([]bool, n),
+		tracker: newPartitionTracker(n),
+
+		ss:       make([]isa.Sync, n),
+		prevSS:   make([]isa.Sync, n),
+		parcels:  make([]isa.Parcel, n),
+		nextPC:   make([]isa.Addr, n),
+		willHalt: make([]bool, n),
+		trans:    make([]transition, n),
+	}
+	for i := range m.pc {
+		m.pc[i] = prog.Entry
+	}
+	m.stats.init(n)
+	return m, nil
+}
+
+// NumFU returns the machine's functional-unit count.
+func (m *Machine) NumFU() int { return m.numFU }
+
+// Cycle returns the number of cycles executed so far.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Done reports whether every FU has halted.
+func (m *Machine) Done() bool { return m.done }
+
+// Regs exposes the global register file for host initialization and
+// inspection.
+func (m *Machine) Regs() *regfile.File { return m.regs }
+
+// Memory exposes the memory model.
+func (m *Machine) Memory() mem.Memory { return m.memory }
+
+// PC returns FU fu's current program counter.
+func (m *Machine) PC(fu int) isa.Addr { return m.pc[fu] }
+
+// CC returns FU fu's condition code register.
+func (m *Machine) CC(fu int) bool { return m.cc[fu] }
+
+// Partition returns the SSET partition currently in effect.
+func (m *Machine) Partition() Partition { return m.tracker.partition() }
+
+// Stats returns the accumulated execution statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Step executes one machine cycle. It returns (false, nil) once all FUs
+// have halted.
+func (m *Machine) Step() (running bool, err error) {
+	if m.done {
+		return false, nil
+	}
+	if m.cycle >= m.config.MaxCycles {
+		return false, &SimError{Cycle: m.cycle, FU: -1, Err: ErrMaxCycles}
+	}
+
+	m.regs.BeginCycle()
+	m.memory.BeginCycle(m.cycle)
+	m.ccWrites = m.ccWrites[:0]
+	wrote := false
+
+	// Phase 1: fetch. SS is combinational — derived from the fetched
+	// parcels — so it must be known before any control evaluation.
+	for fu := 0; fu < m.numFU; fu++ {
+		if m.halted[fu] {
+			m.ss[fu] = isa.Done // a halted FU holds its sync signal at DONE
+			m.parcels[fu] = isa.Parcel{}
+			continue
+		}
+		p := m.prog.Parcel(m.pc[fu], fu)
+		if p.Trap {
+			return false, &SimError{Cycle: m.cycle, FU: fu,
+				Err: fmt.Errorf("executed trap parcel at address %d (hole in instruction stream)", m.pc[fu])}
+		}
+		m.parcels[fu] = p
+		m.ss[fu] = p.Sync
+	}
+
+	// Phase 2: data path. Operand reads observe start-of-cycle state;
+	// writes are staged.
+	for fu := 0; fu < m.numFU; fu++ {
+		if m.halted[fu] {
+			continue
+		}
+		w, err := m.execData(fu, m.parcels[fu].Data)
+		wrote = wrote || w
+		if err != nil {
+			return false, err
+		}
+	}
+
+	// Phase 3: control path. Each sequencer evaluates its δi over the
+	// registered CCs and the SS network — combinational by default,
+	// registered (previous cycle's values) under the ablation.
+	condSS := m.ss
+	if m.config.RegisteredSS {
+		condSS = m.prevSS
+	}
+	for fu := 0; fu < m.numFU; fu++ {
+		if m.halted[fu] {
+			m.trans[fu] = transition{halted: true}
+			continue
+		}
+		ctrl := m.parcels[fu].Ctrl
+		var next isa.Addr
+		var halt bool
+		switch ctrl.Kind {
+		case isa.CtrlGoto:
+			next = ctrl.T1
+		case isa.CtrlHalt:
+			halt = true
+		case isa.CtrlCond:
+			taken := isa.EvalCond(ctrl, m.cc, condSS, m.numFU)
+			if taken {
+				next = ctrl.T1
+			} else {
+				next = ctrl.T2
+			}
+			m.stats.CondBranches++
+			if taken {
+				m.stats.TakenBranches++
+			}
+		}
+		m.nextPC[fu] = next
+		m.willHalt[fu] = halt
+		m.trans[fu] = transition{pc: m.pc[fu], ctrl: ctrl, next: next, halting: halt}
+	}
+
+	// Phase 4: trace the cycle as observed (pre-commit state).
+	if m.config.Tracer != nil {
+		m.record = CycleRecord{
+			Cycle:     m.cycle,
+			PC:        m.pc,
+			CC:        m.cc,
+			CCValid:   m.ccValid,
+			SS:        m.ss,
+			Halted:    m.halted,
+			Partition: m.tracker.partition(),
+			Parcels:   m.parcels,
+		}
+		m.config.Tracer.Cycle(&m.record)
+	}
+	m.stats.observeCycle(m.tracker.numSSETs(), m.parcels, m.halted)
+
+	// Phase 5: commit. Writes become visible; PCs advance; the partition
+	// tracker digests this cycle's transitions.
+	m.regs.Commit()
+	m.memory.Commit()
+	for _, w := range m.ccWrites {
+		m.cc[w.fu] = w.val
+		m.ccValid[w.fu] = true
+	}
+	wrote = wrote || len(m.ccWrites) > 0
+	allHalted := true
+	for fu := 0; fu < m.numFU; fu++ {
+		if m.halted[fu] {
+			continue
+		}
+		if m.willHalt[fu] {
+			m.halted[fu] = true
+		} else {
+			m.pc[fu] = m.nextPC[fu]
+			allHalted = false
+		}
+	}
+	m.tracker.update(m.trans)
+	copy(m.prevSS, m.ss)
+	m.cycle++
+	if allHalted {
+		m.done = true
+		return false, nil
+	}
+
+	if m.config.DetectLivelock {
+		if err := m.checkLivelock(wrote); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// execData executes one data operation for fu, staging all writes.
+// It reports whether any write was staged.
+func (m *Machine) execData(fu int, d isa.DataOp) (wrote bool, err error) {
+	cl := isa.ClassOf(d.Op)
+	var a, b isa.Word
+	if cl.ReadsA() {
+		if a, err = m.readOperand(fu, d.A); err != nil {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+	}
+	if cl.ReadsB() {
+		if b, err = m.readOperand(fu, d.B); err != nil {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+	}
+
+	switch d.Op {
+	case isa.OpNop:
+		return false, nil
+	case isa.OpLoad:
+		m.stats.Loads++
+		v, err := m.memory.Load(fu, uint32(a.Int()+b.Int()))
+		if err != nil {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+		return true, m.writeReg(fu, d.Dest, v)
+	case isa.OpStore:
+		m.stats.Stores++
+		if err := m.memory.Store(fu, uint32(b.Int()), a); err != nil {
+			if _, isConflict := err.(*mem.ConflictError); isConflict && m.config.TolerateConflicts {
+				m.stats.MemConflicts++
+				return true, nil
+			}
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+		return true, nil
+	default:
+		res, cc, err := isa.EvalALU(d.Op, a, b)
+		if err != nil {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+		if cl.WritesCC() {
+			m.ccWrites = append(m.ccWrites, ccWrite{fu: fu, val: cc})
+			return true, nil
+		}
+		if cl.WritesReg() {
+			return true, m.writeReg(fu, d.Dest, res)
+		}
+		return false, nil
+	}
+}
+
+func (m *Machine) readOperand(fu int, o isa.Operand) (isa.Word, error) {
+	if o.Kind == isa.Imm {
+		return o.Imm, nil
+	}
+	return m.regs.Read(fu, o.Reg)
+}
+
+func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
+	err := m.regs.Write(fu, reg, v)
+	if err != nil {
+		if _, isConflict := err.(*regfile.WriteConflictError); isConflict && m.config.TolerateConflicts {
+			m.stats.RegConflicts++
+			return nil
+		}
+		return &SimError{Cycle: m.cycle, FU: fu, Err: err}
+	}
+	return nil
+}
+
+// checkLivelock flags a fixed point: identical PCs, CCs, SS pattern and
+// halt state as the previous cycle with no writes staged in either.
+func (m *Machine) checkLivelock(wrote bool) error {
+	var fp fingerprint
+	fp.valid = true
+	fp.wrote = wrote
+	copy(fp.pc[:], m.pc)
+	copy(fp.cc[:], m.cc)
+	copy(fp.ss[:], m.ss)
+	copy(fp.halted[:], m.halted)
+	prev := m.prevState
+	m.prevState = fp
+	if prev.valid && !prev.wrote && !fp.wrote &&
+		prev.pc == fp.pc && prev.cc == fp.cc && prev.ss == fp.ss && prev.halted == fp.halted {
+		return &SimError{Cycle: m.cycle, FU: -1, Err: ErrLivelock}
+	}
+	return nil
+}
+
+// Run executes until every FU halts or an error occurs, returning the
+// total cycle count.
+func (m *Machine) Run() (cycles uint64, err error) {
+	for {
+		running, err := m.Step()
+		if err != nil {
+			return m.cycle, err
+		}
+		if !running {
+			return m.cycle, nil
+		}
+	}
+}

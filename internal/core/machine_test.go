@@ -1,0 +1,369 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// par builds a parcel with an explicit control op and BUSY sync.
+func par(d isa.DataOp, c isa.CtrlOp) isa.Parcel {
+	return isa.Parcel{Data: d, Ctrl: c}
+}
+
+// seqProgram builds a single-FU program from a list of data ops followed
+// by a halt; each op branches explicitly to the next address.
+func seqProgram(t *testing.T, ops ...isa.DataOp) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder(1)
+	for i, op := range ops {
+		b.Set(isa.Addr(i), 0, par(op, isa.Goto(isa.Addr(i+1))))
+	}
+	b.Set(isa.Addr(len(ops)), 0, isa.HaltParcel)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("seqProgram: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, prog *isa.Program, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func TestStraightLineExecution(t *testing.T) {
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(3), Dest: 1},
+		isa.DataOp{Op: isa.OpIMult, A: isa.R(1), B: isa.I(4), Dest: 2},
+		isa.DataOp{Op: isa.OpISub, A: isa.R(2), B: isa.R(1), Dest: 3},
+	)
+	m := run(t, prog, Config{})
+	if got := m.Regs().Peek(3).Int(); got != 15 {
+		t.Fatalf("r3 = %d, want (2+3)*4-(2+3) = 15", got)
+	}
+	if m.Cycle() != 4 {
+		t.Fatalf("cycles = %d, want 4 (3 ops + halt)", m.Cycle())
+	}
+	if !m.Done() {
+		t.Fatal("machine not done")
+	}
+}
+
+func TestWritesVisibleNextCycleOnly(t *testing.T) {
+	// r1 starts 0; cycle 0 writes r1=5 and r2=r1 (+0). r2 must capture the
+	// OLD r1 (0), not 5 — reads observe start-of-cycle state.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(5), B: isa.I(0), Dest: 1}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(0), Dest: 2}, isa.Goto(1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	m := run(t, b.MustBuild(), Config{})
+	if got := m.Regs().Peek(2).Int(); got != 0 {
+		t.Fatalf("r2 = %d, want 0 (start-of-cycle read)", got)
+	}
+	if got := m.Regs().Peek(1).Int(); got != 5 {
+		t.Fatalf("r1 = %d, want 5", got)
+	}
+}
+
+func TestCCRegisteredBranchTiming(t *testing.T) {
+	// Cycle 0: compare sets CC (visible cycle 1). The branch in the SAME
+	// cycle as the compare must use the stale CC.
+	b := isa.NewBuilder(1)
+	// addr 0: lt #1,#2 (CC_0 := true at end of cycle); branch on cc0 now
+	// (false, unwritten) -> must fall to T2 = addr 1.
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpLt, A: isa.I(1), B: isa.I(2)}, isa.IfCC(0, 3, 1)))
+	// addr 1: branch on cc0 (now true) -> T1 = addr 2.
+	b.Set(1, 0, par(isa.Nop, isa.IfCC(0, 2, 3)))
+	// addr 2: r1 = 42, halt path.
+	b.Set(2, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(42), B: isa.I(0), Dest: 1}, isa.Goto(4)))
+	// addr 3: r1 = 7 (wrong path).
+	b.Set(3, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(7), B: isa.I(0), Dest: 1}, isa.Goto(4)))
+	b.Set(4, 0, isa.HaltParcel)
+	m := run(t, b.MustBuild(), Config{})
+	if got := m.Regs().Peek(1).Int(); got != 42 {
+		t.Fatalf("r1 = %d, want 42 (branch must see registered CC)", got)
+	}
+}
+
+func TestLoadStoreThroughMemory(t *testing.T) {
+	shared := mem.NewShared(256)
+	shared.PokeInts(100, 11, 22, 33)
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpLoad, A: isa.I(100), B: isa.I(1), Dest: 1}, // r1 = M(101) = 22
+		isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 2},   // r2 = 23
+		isa.DataOp{Op: isa.OpStore, A: isa.R(2), B: isa.I(200)},         // M(200) = 23
+	)
+	m := run(t, prog, Config{Memory: shared})
+	if got := shared.Peek(200).Int(); got != 23 {
+		t.Fatalf("M(200) = %d, want 23", got)
+	}
+	if m.Stats().Loads != 1 || m.Stats().Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d", m.Stats().Loads, m.Stats().Stores)
+	}
+}
+
+func TestTrapParcelIsError(t *testing.T) {
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(1)))
+	b.Set(1, 0, isa.HaltParcel) // FU1 slot at addr 1 left as a hole
+	b.Set(2, 0, isa.HaltParcel)
+	b.Set(2, 1, isa.HaltParcel)
+	m, err := New(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	var se *SimError
+	if !errors.As(err, &se) || se.FU != 1 {
+		t.Fatalf("err = %v, want SimError on FU1", err)
+	}
+}
+
+func TestDivideByZeroSurfacesWithContext(t *testing.T) {
+	prog := seqProgram(t, isa.DataOp{Op: isa.OpIDiv, A: isa.I(1), B: isa.I(0), Dest: 1})
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	var se *SimError
+	if !errors.As(err, &se) || se.Cycle != 0 || se.FU != 0 {
+		t.Fatalf("err = %v, want SimError{cycle 0, FU0}", err)
+	}
+	var te *isa.TrapError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want wrapped TrapError", err)
+	}
+}
+
+func TestMaxCyclesEnforced(t *testing.T) {
+	b := isa.NewBuilder(1)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}, isa.Goto(0)))
+	m, err := New(b.MustBuild(), Config{MaxCycles: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if m.Cycle() != 100 {
+		t.Fatalf("stopped at cycle %d", m.Cycle())
+	}
+}
+
+func TestLivelockDetection(t *testing.T) {
+	// A barrier that can never be satisfied: FU0 spins BUSY on ALL-SS.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.IfAllSS(1, 0)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(0))) // forever BUSY self-loop
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	m, err := New(b.MustBuild(), Config{DetectLivelock: true, MaxCycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run()
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	if m.Cycle() > 10 {
+		t.Fatalf("livelock detected only at cycle %d", m.Cycle())
+	}
+}
+
+func TestLivelockNotFlaggedDuringProgress(t *testing.T) {
+	// A countdown loop writes a register every cycle: never a fixed point.
+	b := isa.NewBuilder(1)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(50), B: isa.I(0), Dest: 1}, isa.Goto(1)))
+	b.Set(1, 0, par(isa.DataOp{Op: isa.OpISub, A: isa.R(1), B: isa.I(1), Dest: 1}, isa.Goto(2)))
+	b.Set(2, 0, par(isa.DataOp{Op: isa.OpGt, A: isa.R(1), B: isa.I(0)}, isa.Goto(3)))
+	b.Set(3, 0, par(isa.Nop, isa.IfCC(0, 1, 4)))
+	b.Set(4, 0, isa.HaltParcel)
+	m := run(t, b.MustBuild(), Config{DetectLivelock: true})
+	if m.Regs().Peek(1).Int() != 0 {
+		t.Fatalf("r1 = %d, want 0", m.Regs().Peek(1).Int())
+	}
+}
+
+func TestRegisterConflictFatalByDefault(t *testing.T) {
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(0), Dest: 9}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(0), Dest: 9}, isa.Goto(1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	m, err := New(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = m.Run(); err == nil {
+		t.Fatal("same-cycle register write conflict not reported")
+	}
+	// Tolerant mode proceeds, counts the conflict, resolves deterministically.
+	m2 := run(t, b.MustBuild(), Config{TolerateConflicts: true})
+	if m2.Stats().RegConflicts != 1 {
+		t.Fatalf("RegConflicts = %d", m2.Stats().RegConflicts)
+	}
+	if got := m2.Regs().Peek(9).Int(); got != 2 {
+		t.Fatalf("r9 = %d, want 2 (last-staged-wins)", got)
+	}
+}
+
+func TestMemoryConflictTolerated(t *testing.T) {
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpStore, A: isa.I(1), B: isa.I(50)}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpStore, A: isa.I(2), B: isa.I(50)}, isa.Goto(1)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	m, err := New(b.MustBuild(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Fatal("same-cycle memory write conflict not reported")
+	}
+	m2 := run(t, b.MustBuild(), Config{TolerateConflicts: true})
+	if m2.Stats().MemConflicts != 1 {
+		t.Fatalf("MemConflicts = %d", m2.Stats().MemConflicts)
+	}
+}
+
+func TestHaltedFUDrivesDone(t *testing.T) {
+	// FU1 halts immediately; FU0 waits on ALL-SS, which must succeed
+	// because halted FUs hold SS = DONE.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 1, isa.HaltParcel)
+	b.Set(1, 0, isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(2, 1), Sync: isa.Done})
+	b.Set(2, 0, isa.HaltParcel)
+	m := run(t, b.MustBuild(), Config{MaxCycles: 100})
+	if m.Cycle() != 3 {
+		t.Fatalf("cycles = %d, want 3 (barrier passes immediately)", m.Cycle())
+	}
+}
+
+func TestBarrierJoinsInOneCycle(t *testing.T) {
+	// Two FUs reach a barrier at different times: FU0 via a 1-cycle path,
+	// FU1 via a 3-cycle path. The combinational SS network must let both
+	// leave the barrier in the same cycle the laggard arrives.
+	b := isa.NewBuilder(2)
+	barrier := isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(4, 3), Sync: isa.Done}
+	// FU0: addr 0 -> barrier at addr 3.
+	b.Set(0, 0, par(isa.Nop, isa.Goto(3)))
+	// FU1: addr 0 -> 1 -> 2 -> barrier at 3.
+	b.Set(0, 1, par(isa.Nop, isa.Goto(1)))
+	b.Set(1, 1, par(isa.Nop, isa.Goto(2)))
+	b.Set(1, 0, isa.TrapParcel) // never reached
+	b.Set(2, 1, par(isa.Nop, isa.Goto(3)))
+	b.Set(3, 0, barrier)
+	b.Set(3, 1, barrier)
+	b.Set(4, 0, isa.HaltParcel)
+	b.Set(4, 1, isa.HaltParcel)
+	// Builder refuses duplicate trap set at (1,0)? It was set explicitly; fine.
+	m := run(t, b.MustBuild(), Config{MaxCycles: 100})
+	// Timeline: c0 both at 0; c1 FU0@3(spin DONE, all? FU1@1 BUSY -> stay),
+	// c2 FU0@3 FU1@2; c3 both @3, both DONE -> both to 4; c4 halt.
+	if m.Cycle() != 5 {
+		t.Fatalf("cycles = %d, want 5", m.Cycle())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(2), Dest: 1},
+		isa.Nop,
+		isa.DataOp{Op: isa.OpLt, A: isa.R(1), B: isa.I(5)},
+	)
+	m := run(t, prog, Config{})
+	s := m.Stats()
+	if s.Cycles != 4 {
+		t.Fatalf("cycles = %d", s.Cycles)
+	}
+	if s.DataOps[0] != 2 || s.Nops[0] != 2 { // halt parcel data op is nop
+		t.Fatalf("dataops/nops = %d/%d", s.DataOps[0], s.Nops[0])
+	}
+	if s.OpsPerCycle() != 0.5 {
+		t.Fatalf("ops/cycle = %g", s.OpsPerCycle())
+	}
+	if s.Utilization() != 0.5 {
+		t.Fatalf("utilization = %g", s.Utilization())
+	}
+	if s.StreamHistogram[1] != 4 {
+		t.Fatalf("stream histogram = %v", s.StreamHistogram)
+	}
+	if s.MeanStreams() != 1 {
+		t.Fatalf("mean streams = %g", s.MeanStreams())
+	}
+}
+
+func TestStepAfterDoneIsNoop(t *testing.T) {
+	prog := seqProgram(t)
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cycles := m.Cycle()
+	running, err := m.Step()
+	if running || err != nil {
+		t.Fatalf("Step after done = %v, %v", running, err)
+	}
+	if m.Cycle() != cycles {
+		t.Fatal("cycle advanced after done")
+	}
+}
+
+func TestNewRejectsInvalidProgram(t *testing.T) {
+	bad := &isa.Program{Instrs: []isa.Instruction{{}}, NumFU: 0}
+	if _, err := New(bad, Config{}); err == nil {
+		t.Fatal("New accepted invalid program")
+	}
+}
+
+type recordingTracer struct {
+	cycles     []uint64
+	partitions []string
+	pcs        [][]isa.Addr
+}
+
+func (r *recordingTracer) Cycle(rec *CycleRecord) {
+	r.cycles = append(r.cycles, rec.Cycle)
+	r.partitions = append(r.partitions, rec.Partition.String())
+	pcs := make([]isa.Addr, len(rec.PC))
+	copy(pcs, rec.PC)
+	r.pcs = append(r.pcs, pcs)
+}
+
+func TestTracerSeesEveryCycle(t *testing.T) {
+	prog := seqProgram(t, isa.Nop, isa.Nop)
+	tr := &recordingTracer{}
+	m, err := New(prog, Config{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.cycles) != int(m.Cycle()) {
+		t.Fatalf("tracer saw %d cycles, machine ran %d", len(tr.cycles), m.Cycle())
+	}
+	for i, c := range tr.cycles {
+		if c != uint64(i) {
+			t.Fatalf("cycle records out of order: %v", tr.cycles)
+		}
+	}
+}

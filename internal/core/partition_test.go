@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+func TestPartitionString(t *testing.T) {
+	p, err := ParsePartition("{0,1}{2}{3,6,7}{4,5}", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.String(); got != "{0,1}{2}{3,6,7}{4,5}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if p.NumSSETs() != 4 {
+		t.Fatalf("NumSSETs = %d", p.NumSSETs())
+	}
+	if !p.SameSSET(3, 7) || p.SameSSET(0, 2) {
+		t.Fatal("SameSSET broken")
+	}
+}
+
+func TestParsePartitionRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",             // FUs missing
+		"{0,1}",        // incomplete cover for 4 FUs
+		"{0,1}{1,2,3}", // duplicate member
+		"{0,1}{2}{9}",  // out of range
+		"{0,1}{2,3",    // unterminated
+		"0,1}{2,3}",    // missing brace
+		"{0,1}{}{2,3}", // empty set
+		"{0,x}{1,2,3}", // not a number
+	}
+	for _, s := range bad {
+		if _, err := ParsePartition(s, 4); err == nil {
+			t.Errorf("ParsePartition(%q) accepted malformed input", s)
+		}
+	}
+}
+
+func TestParsePartitionEqual(t *testing.T) {
+	a, _ := ParsePartition("{0,1}{2,3}", 4)
+	b, _ := ParsePartition("{2,3}{0,1}", 4) // order of sets is irrelevant
+	c, _ := ParsePartition("{0,2}{1,3}", 4)
+	if !a.Equal(b) {
+		t.Error("equivalent partitions compare unequal")
+	}
+	if a.Equal(c) {
+		t.Error("different partitions compare equal")
+	}
+}
+
+// forkJoinProgram builds the canonical MINMAX-shaped fork/join on 4 FUs:
+//
+//	addr 0: all FUs: compares on FU0/FU1 set cc0, cc1; all goto 1
+//	addr 1: FU0,FU1 goto 2; FU2 if cc0 -> 3 else 2; FU3 if cc1 -> 3 else 2
+//	addr 2: all goto 4      (short path)
+//	addr 3: all goto 4      (long path)
+//	addr 4: all halt
+func forkJoinProgram(t *testing.T, v0, v1 int32) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder(4)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpLt, A: isa.I(v0), B: isa.I(0)}, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpGt, A: isa.I(v1), B: isa.I(0)}, isa.Goto(1)))
+	b.Set(0, 2, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 3, par(isa.Nop, isa.Goto(1)))
+
+	b.Set(1, 0, par(isa.Nop, isa.Goto(2)))
+	b.Set(1, 1, par(isa.Nop, isa.Goto(2)))
+	b.Set(1, 2, par(isa.Nop, isa.IfCC(0, 3, 2)))
+	b.Set(1, 3, par(isa.Nop, isa.IfCC(1, 3, 2)))
+
+	for fu := 0; fu < 4; fu++ {
+		b.Set(2, fu, par(isa.Nop, isa.Goto(4)))
+		b.Set(3, fu, par(isa.Nop, isa.Goto(4)))
+		b.Set(4, fu, isa.HaltParcel)
+	}
+	return b.MustBuild()
+}
+
+func partitionTrace(t *testing.T, prog *isa.Program) []string {
+	t.Helper()
+	tr := &recordingTracer{}
+	m, err := New(prog, Config{Tracer: tr, MaxCycles: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return tr.partitions
+}
+
+func TestForkJoinPartitionSequence(t *testing.T) {
+	// v0 = -1: cc0 true; v1 = 1: cc1 true — both data-dependent branches
+	// take the long path.
+	got := partitionTrace(t, forkJoinProgram(t, -1, 1))
+	want := []string{
+		"{0,1,2,3}",   // cycle 0: single stream
+		"{0,1,2,3}",   // cycle 1: the forking branch executes this cycle
+		"{0,1}{2}{3}", // cycle 2: three data-dependent streams
+		"{0,1,2,3}",   // cycle 3: unconditional reconvergence at addr 4
+	}
+	if len(got) != len(want) {
+		t.Fatalf("trace length = %d (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d partition = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestForkJoinSplitsEvenWhenPathsCoincide(t *testing.T) {
+	// v0 = 1, v1 = -1: both conditions false, every FU lands on addr 2 —
+	// yet the partition must still show three SSETs, exactly as Figure 10
+	// reports {0,1}{2}{3} at cycle 9 with all FUs at address 03.
+	got := partitionTrace(t, forkJoinProgram(t, 1, -1))
+	if got[2] != "{0,1}{2}{3}" {
+		t.Fatalf("cycle 2 partition = %s, want {0,1}{2}{3} (split is control-dependence, not PC, based)", got[2])
+	}
+	if got[3] != "{0,1,2,3}" {
+		t.Fatalf("cycle 3 partition = %s, want rejoined", got[3])
+	}
+}
+
+func TestIdenticalConditionalsStayTogether(t *testing.T) {
+	// All four FUs branch on the SAME condition (cc0): outcome is common,
+	// so they remain one SSET through the branch.
+	b := isa.NewBuilder(4)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpLt, A: isa.I(0), B: isa.I(1)}, isa.Goto(1)))
+	for fu := 1; fu < 4; fu++ {
+		b.Set(0, fu, par(isa.Nop, isa.Goto(1)))
+	}
+	for fu := 0; fu < 4; fu++ {
+		b.Set(1, fu, par(isa.Nop, isa.IfCC(0, 2, 3)))
+		b.Set(2, fu, par(isa.Nop, isa.Goto(4)))
+		b.Set(3, fu, par(isa.Nop, isa.Goto(4)))
+		b.Set(4, fu, isa.HaltParcel)
+	}
+	got := partitionTrace(t, b.MustBuild())
+	for i, p := range got {
+		if p != "{0,1,2,3}" {
+			t.Fatalf("cycle %d partition = %s, want single SSET throughout (identical δ)", i, p)
+		}
+	}
+}
+
+func TestBarrierMergesWaitingFUs(t *testing.T) {
+	// FU0 reaches the ALL-SS barrier 2 cycles before FU1. While waiting
+	// they must merge into one SSET when both spin on the identical
+	// barrier parcel, and leave as one.
+	b := isa.NewBuilder(2)
+	barrier := isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(4, 3), Sync: isa.Done}
+	b.Set(0, 0, par(isa.Nop, isa.Goto(3)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(1)))
+	b.Set(1, 1, par(isa.Nop, isa.Goto(2)))
+	b.Set(2, 1, par(isa.Nop, isa.Goto(3)))
+	b.Set(1, 0, isa.TrapParcel)
+	b.Set(2, 0, isa.TrapParcel)
+	b.Set(3, 0, barrier)
+	b.Set(3, 1, barrier)
+	b.Set(4, 0, isa.HaltParcel)
+	b.Set(4, 1, isa.HaltParcel)
+	got := partitionTrace(t, b.MustBuild())
+	// c0 {0,1} (start), c1 {0}{1} (different gotos from addr 0)...
+	// Actually the split happens when they execute different ctrl at the
+	// same address: at c0 FU0 goto 3, FU1 goto 1 -> split for c1.
+	if got[1] != "{0}{1}" {
+		t.Fatalf("cycle 1 partition = %s, want {0}{1}", got[1])
+	}
+	// c3: both at the barrier executing the identical parcel -> merged.
+	last := got[len(got)-1]
+	if last != "{0,1}" {
+		t.Fatalf("final partition = %s, want {0,1} (barrier join)", last)
+	}
+}
+
+func TestHaltedFUsBecomeFrozenSingletons(t *testing.T) {
+	// FU1 halts early; FU0 keeps running. The partition must show them
+	// apart and never merge a running FU with a halted one.
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 1, isa.HaltParcel)
+	b.Set(1, 0, par(isa.Nop, isa.Goto(2)))
+	b.Set(2, 0, isa.HaltParcel)
+	got := partitionTrace(t, b.MustBuild())
+	if got[1] != "{0}{1}" || got[2] != "{0}{1}" {
+		t.Fatalf("partitions after halt = %v, want {0}{1} from cycle 1", got)
+	}
+}
+
+func TestMeanStreamsReflectsFork(t *testing.T) {
+	m, err := New(forkJoinProgram(t, -1, 1), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	// 4 cycles: three with 1 stream, one with 3 streams.
+	if s.StreamHistogram[1] != 3 || s.StreamHistogram[3] != 1 {
+		t.Fatalf("stream histogram = %v", s.StreamHistogram)
+	}
+	if got := s.MeanStreams(); got != 1.5 {
+		t.Fatalf("mean streams = %g, want 1.5", got)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// barrierProgram builds a 2-FU program where FU1 takes `lag` extra
+// cycles to reach the ALL-SS barrier.
+func barrierProgram(t *testing.T, lag int) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder(2)
+	barAddr := isa.Addr(lag + 1)
+	endAddr := barAddr + 1
+	barrier := isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(endAddr, barAddr), Sync: isa.Done}
+	b.Set(0, 0, par(isa.Nop, isa.Goto(barAddr)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(1)))
+	for i := 1; i <= lag; i++ {
+		b.Set(isa.Addr(i), 1, par(isa.Nop, isa.Goto(isa.Addr(i)+1)))
+	}
+	b.Set(barAddr, 0, barrier)
+	b.Set(barAddr, 1, barrier)
+	b.Set(endAddr, 0, isa.HaltParcel)
+	b.Set(endAddr, 1, isa.HaltParcel)
+	return b.MustBuild()
+}
+
+// TestRegisteredSSCostsOneCycle is the ablation of the Figure 8 design
+// decision: with the paper's combinational SS network, a barrier
+// releases in the very cycle the last FU arrives; with a registered SS
+// network every barrier costs exactly one extra cycle.
+func TestRegisteredSSCostsOneCycle(t *testing.T) {
+	for lag := 1; lag <= 4; lag++ {
+		prog := barrierProgram(t, lag)
+		comb, err := New(prog, Config{MaxCycles: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		combCycles, err := comb.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg, err := New(prog, Config{MaxCycles: 1000, RegisteredSS: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regCycles, err := reg.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if regCycles != combCycles+1 {
+			t.Errorf("lag %d: combinational %d cycles, registered %d; want exactly +1",
+				lag, combCycles, regCycles)
+		}
+	}
+}
+
+// TestRegisteredSSStillCorrect: the ablated machine is slower but must
+// compute the same results (the barrier never deadlocks because waiting
+// FUs hold DONE).
+func TestRegisteredSSStillCorrect(t *testing.T) {
+	b := isa.NewBuilder(2)
+	// FU0 computes 6*7 after the barrier; FU1 provides 7 in r2 before it.
+	b.Set(0, 0, par(isa.Nop, isa.Goto(1)))
+	b.Set(0, 1, par(isa.DataOp{Op: isa.OpIAdd, A: isa.I(7), B: isa.I(0), Dest: 2}, isa.Goto(1)))
+	bar := isa.Parcel{Data: isa.Nop, Ctrl: isa.IfAllSS(2, 1), Sync: isa.Done}
+	b.Set(1, 0, bar)
+	b.Set(1, 1, bar)
+	b.Set(2, 0, par(isa.DataOp{Op: isa.OpIMult, A: isa.I(6), B: isa.R(2), Dest: 3}, isa.Goto(3)))
+	b.Set(2, 1, par(isa.Nop, isa.Goto(3)))
+	b.Set(3, 0, isa.HaltParcel)
+	b.Set(3, 1, isa.HaltParcel)
+	prog := b.MustBuild()
+	m, err := New(prog, Config{MaxCycles: 100, RegisteredSS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Regs().Peek(3).Int(); got != 42 {
+		t.Fatalf("r3 = %d, want 42", got)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/isa"
+)
+
+// Stats accumulates execution statistics across a run. The stream-count
+// histogram records how many cycles the machine spent executing each
+// number of concurrent instruction streams — the paper's defining
+// observable ("The number of streams can vary from cycle to cycle").
+type Stats struct {
+	// Cycles is the number of executed cycles.
+	Cycles uint64
+	// DataOps[fu] counts non-nop data operations executed by FU fu.
+	DataOps []uint64
+	// Nops[fu] counts explicit nops executed by FU fu.
+	Nops []uint64
+	// HaltedCycles[fu] counts cycles FU fu spent halted.
+	HaltedCycles []uint64
+	// CondBranches counts conditional control operations evaluated;
+	// TakenBranches counts those that selected T1.
+	CondBranches  uint64
+	TakenBranches uint64
+	// Loads and Stores count memory operations.
+	Loads  uint64
+	Stores uint64
+	// RegConflicts and MemConflicts count tolerated same-cycle write
+	// conflicts (only populated with Config.TolerateConflicts).
+	RegConflicts uint64
+	MemConflicts uint64
+	// StreamHistogram[k] is the number of cycles executed with exactly k
+	// concurrent instruction streams (SSETs), k in 1..NumFU.
+	StreamHistogram []uint64
+}
+
+func (s *Stats) init(numFU int) {
+	s.DataOps = make([]uint64, numFU)
+	s.Nops = make([]uint64, numFU)
+	s.HaltedCycles = make([]uint64, numFU)
+	s.StreamHistogram = make([]uint64, numFU+1)
+}
+
+func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) {
+	s.Cycles++
+	if numSSETs >= 1 && numSSETs < len(s.StreamHistogram) {
+		s.StreamHistogram[numSSETs]++
+	}
+	for fu := range parcels {
+		if halted[fu] {
+			s.HaltedCycles[fu]++
+			continue
+		}
+		if parcels[fu].Data.Op == isa.OpNop {
+			s.Nops[fu]++
+		} else {
+			s.DataOps[fu]++
+		}
+	}
+}
+
+// TotalDataOps returns the total non-nop data operations across all FUs.
+func (s Stats) TotalDataOps() uint64 {
+	var total uint64
+	for _, v := range s.DataOps {
+		total += v
+	}
+	return total
+}
+
+// Utilization returns the fraction of FU-cycles that performed useful
+// (non-nop, non-halted) data work, in [0, 1].
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 || len(s.DataOps) == 0 {
+		return 0
+	}
+	return float64(s.TotalDataOps()) / float64(s.Cycles*uint64(len(s.DataOps)))
+}
+
+// OpsPerCycle returns the average useful data operations per cycle.
+func (s Stats) OpsPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalDataOps()) / float64(s.Cycles)
+}
+
+// MeanStreams returns the cycle-weighted average number of concurrent
+// instruction streams.
+func (s Stats) MeanStreams() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	var sum uint64
+	for k, cycles := range s.StreamHistogram {
+		sum += uint64(k) * cycles
+	}
+	return float64(sum) / float64(s.Cycles)
+}
+
+// String renders a short human-readable summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles=%d ops=%d ops/cycle=%.2f util=%.1f%% streams(mean)=%.2f",
+		s.Cycles, s.TotalDataOps(), s.OpsPerCycle(), 100*s.Utilization(), s.MeanStreams())
+	fmt.Fprintf(&b, " branches=%d/%d loads=%d stores=%d",
+		s.TakenBranches, s.CondBranches, s.Loads, s.Stores)
+	return b.String()
+}

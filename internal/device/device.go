@@ -1,0 +1,126 @@
+// Package device provides memory-mapped peripheral models for the
+// unpredictable processor interfaces discussed in Sections 1.3 and 3.4 of
+// the paper (Figure 12).
+//
+// The paper's Figure 12 workload reads an I/O port "until the port
+// returns a non-zero, valid value"; when and in what order ports become
+// ready is beyond the compiler's control. These devices reproduce that
+// behaviour deterministically: readiness times come from a seeded
+// generator, so every experiment is repeatable per seed while still being
+// unpredictable to the scheduled code.
+package device
+
+import (
+	"math/rand"
+
+	"ximd/internal/isa"
+)
+
+// PortItem is one datum an input port will deliver.
+type PortItem struct {
+	ReadyCycle uint64 // first cycle at which a load returns the value
+	Value      isa.Word
+}
+
+// InPort is a polled input port. A load returns 0 until the current item's
+// ready cycle, then returns the (non-zero) value; the successful load
+// consumes the item and the port moves to the next one. This matches the
+// Figure 12 protocol, where a process polls a port until it returns a
+// non-zero valid value.
+//
+// The port supports a single consumer: the consuming load mutates port
+// state, so two functional units polling the same port in one cycle is a
+// program bug (only the first load in FU order consumes).
+type InPort struct {
+	items []PortItem
+	next  int
+	polls uint64 // total loads, ready or not
+}
+
+// NewInPort creates an input port that will deliver the given items in
+// order. Item values must be non-zero (zero means "not ready" on the
+// wire).
+func NewInPort(items []PortItem) *InPort {
+	for _, it := range items {
+		if it.Value == 0 {
+			panic("device: InPort item value must be non-zero")
+		}
+	}
+	cp := make([]PortItem, len(items))
+	copy(cp, items)
+	return &InPort{items: cp}
+}
+
+// Load implements mem.Device. Offset is ignored: the port occupies a
+// single word.
+func (p *InPort) Load(cycle uint64, offset uint32) isa.Word {
+	p.polls++
+	if p.next >= len(p.items) {
+		return 0
+	}
+	it := p.items[p.next]
+	if cycle < it.ReadyCycle {
+		return 0
+	}
+	p.next++
+	return it.Value
+}
+
+// Store implements mem.Device; writes to an input port are ignored.
+func (p *InPort) Store(cycle uint64, offset uint32, v isa.Word) {}
+
+// Polls returns how many loads the port has seen (busy-wait cost metric).
+func (p *InPort) Polls() uint64 { return p.polls }
+
+// Remaining returns how many items have not yet been consumed.
+func (p *InPort) Remaining() int { return len(p.items) - p.next }
+
+// OutPort records every word written to it along with the cycle of the
+// write, modeling the Figure 12 output ports.
+type OutPort struct {
+	writes []OutWrite
+}
+
+// OutWrite is one recorded output-port write.
+type OutWrite struct {
+	Cycle uint64
+	Value isa.Word
+}
+
+// NewOutPort creates an empty output port.
+func NewOutPort() *OutPort { return &OutPort{} }
+
+// Load implements mem.Device; reading an output port returns 0.
+func (p *OutPort) Load(cycle uint64, offset uint32) isa.Word { return 0 }
+
+// Store implements mem.Device.
+func (p *OutPort) Store(cycle uint64, offset uint32, v isa.Word) {
+	p.writes = append(p.writes, OutWrite{Cycle: cycle, Value: v})
+}
+
+// Writes returns the recorded writes in order.
+func (p *OutPort) Writes() []OutWrite { return p.writes }
+
+// Schedule generates n port items with deterministic pseudo-random ready
+// times: item i becomes ready at a cycle drawn uniformly from
+// [i*minGap, i*maxGap] (non-decreasing across items), with value base+i+1
+// (guaranteed non-zero for any base >= 0). The same seed always yields the
+// same schedule — the substitution rule for the paper's genuinely
+// nondeterministic peripherals.
+func Schedule(seed int64, n int, minGap, maxGap uint64, base int32) []PortItem {
+	if maxGap < minGap {
+		maxGap = minGap
+	}
+	r := rand.New(rand.NewSource(seed))
+	items := make([]PortItem, n)
+	var ready uint64
+	for i := range items {
+		gap := minGap
+		if maxGap > minGap {
+			gap += uint64(r.Int63n(int64(maxGap - minGap + 1)))
+		}
+		ready += gap
+		items[i] = PortItem{ReadyCycle: ready, Value: isa.WordFromInt(base + int32(i) + 1)}
+	}
+	return items
+}

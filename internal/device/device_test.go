@@ -1,0 +1,118 @@
+package device
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+func TestInPortDeliversInOrder(t *testing.T) {
+	p := NewInPort([]PortItem{
+		{ReadyCycle: 3, Value: isa.WordFromInt(10)},
+		{ReadyCycle: 5, Value: isa.WordFromInt(20)},
+	})
+	if v := p.Load(0, 0); v != 0 {
+		t.Fatalf("cycle 0 load = %d, want 0 (not ready)", v.Int())
+	}
+	if v := p.Load(2, 0); v != 0 {
+		t.Fatalf("cycle 2 load = %d, want 0", v.Int())
+	}
+	if v := p.Load(3, 0); v.Int() != 10 {
+		t.Fatalf("cycle 3 load = %d, want 10", v.Int())
+	}
+	// Item consumed; next item not ready until cycle 5.
+	if v := p.Load(4, 0); v != 0 {
+		t.Fatalf("cycle 4 load = %d, want 0", v.Int())
+	}
+	if v := p.Load(6, 0); v.Int() != 20 {
+		t.Fatalf("cycle 6 load = %d, want 20", v.Int())
+	}
+	// Exhausted.
+	if v := p.Load(100, 0); v != 0 {
+		t.Fatalf("exhausted load = %d, want 0", v.Int())
+	}
+	if p.Polls() != 6 {
+		t.Fatalf("polls = %d, want 6", p.Polls())
+	}
+	if p.Remaining() != 0 {
+		t.Fatalf("remaining = %d", p.Remaining())
+	}
+}
+
+func TestInPortRejectsZeroValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewInPort accepted a zero item value")
+		}
+	}()
+	NewInPort([]PortItem{{ReadyCycle: 1, Value: 0}})
+}
+
+func TestInPortIgnoresStores(t *testing.T) {
+	p := NewInPort(nil)
+	p.Store(0, 0, isa.WordFromInt(5)) // must not panic or change anything
+	if p.Polls() != 0 {
+		t.Fatal("store affected poll count")
+	}
+}
+
+func TestOutPortRecordsWrites(t *testing.T) {
+	p := NewOutPort()
+	p.Store(4, 0, isa.WordFromInt(7))
+	p.Store(9, 0, isa.WordFromInt(8))
+	w := p.Writes()
+	if len(w) != 2 || w[0] != (OutWrite{Cycle: 4, Value: isa.WordFromInt(7)}) ||
+		w[1] != (OutWrite{Cycle: 9, Value: isa.WordFromInt(8)}) {
+		t.Fatalf("writes = %+v", w)
+	}
+	if p.Load(0, 0) != 0 {
+		t.Fatal("output port load should return 0")
+	}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	a := Schedule(42, 10, 2, 9, 100)
+	b := Schedule(42, 10, 2, 9, 100)
+	if len(a) != 10 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("item %d differs across identical seeds: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Schedule(43, 10, 2, 9, 100)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleProperties(t *testing.T) {
+	items := Schedule(7, 50, 3, 8, 0)
+	var prev uint64
+	for i, it := range items {
+		if it.Value.Int() != int32(i+1) {
+			t.Fatalf("item %d value = %d", i, it.Value.Int())
+		}
+		gap := it.ReadyCycle - prev
+		if gap < 3 || gap > 8 {
+			t.Fatalf("item %d gap = %d, want in [3,8]", i, gap)
+		}
+		prev = it.ReadyCycle
+	}
+}
+
+func TestScheduleDegenerateGapRange(t *testing.T) {
+	items := Schedule(1, 5, 4, 2, 0) // maxGap < minGap clamps to minGap
+	for i, it := range items {
+		if it.ReadyCycle != uint64(4*(i+1)) {
+			t.Fatalf("item %d ready = %d, want %d", i, it.ReadyCycle, 4*(i+1))
+		}
+	}
+}

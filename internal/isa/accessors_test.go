@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAccessors(t *testing.T) {
+	b := NewBuilder(3)
+	if b.NumFU() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh builder: NumFU=%d Len=%d", b.NumFU(), b.Len())
+	}
+	b.Set(2, 0, HaltParcel)
+	if b.Len() != 3 {
+		t.Fatalf("Len after Set(2,...) = %d", b.Len())
+	}
+	b.Label("x", 2)
+	if a, ok := b.LabelAddr("x"); !ok || a != 2 {
+		t.Fatalf("LabelAddr = %d, %v", a, ok)
+	}
+	if _, ok := b.LabelAddr("y"); ok {
+		t.Fatal("LabelAddr found undefined label")
+	}
+	b.Set(0, 0, HaltParcel)
+	b.Set(1, 0, HaltParcel)
+	p := b.MustBuild()
+	if p.Len() != 3 {
+		t.Fatalf("program length %d", p.Len())
+	}
+}
+
+func TestNewBuilderPanicsOnBadWidth(t *testing.T) {
+	for _, n := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBuilder(%d) did not panic", n)
+				}
+			}()
+			NewBuilder(n)
+		}()
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, Parcel{Data: Nop, Ctrl: Goto(9)}) // out-of-range target
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid program")
+		}
+	}()
+	b.MustBuild()
+}
+
+func TestOperandIsReg(t *testing.T) {
+	if !R(3).IsReg() || I(3).IsReg() {
+		t.Fatal("IsReg broken")
+	}
+}
+
+func TestTrapErrorMessage(t *testing.T) {
+	e := &TrapError{Reason: "integer divide by zero"}
+	if !strings.Contains(e.Error(), "divide by zero") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestParcelStringForms(t *testing.T) {
+	if got := TrapParcel.String(); got != "trap" {
+		t.Fatalf("trap parcel = %q", got)
+	}
+	p := Parcel{
+		Data: DataOp{Op: OpIAdd, A: R(1), B: I(2), Dest: 3},
+		Ctrl: IfCC(0, 4, 5),
+		Sync: Done,
+	}
+	want := "iadd r1, #2, r3 ; if cc0 4 5 ; DONE"
+	if got := p.String(); got != want {
+		t.Fatalf("parcel = %q, want %q", got, want)
+	}
+}
+
+func TestCtrlValidate(t *testing.T) {
+	cases := []struct {
+		c  CtrlOp
+		ok bool
+	}{
+		{Goto(0), true},
+		{Halt(), true},
+		{IfCC(3, 0, 0), true},
+		{IfCC(4, 0, 0), false},                               // FU out of range for 4-FU machine
+		{CtrlOp{Kind: CtrlKind(9)}, false},                   // bad kind
+		{CtrlOp{Kind: CtrlCond, Cond: CondKind(9)}, false},   // bad cond
+		{CtrlOp{Kind: CtrlCond, Cond: CondAllSSMask}, false}, // empty mask
+		{IfAllSSMask(0b1, 0, 0), true},
+		{IfAllSS(0, 0), true},
+	}
+	for _, c := range cases {
+		err := c.c.Validate(4)
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.c, err, c.ok)
+		}
+	}
+}
+
+func TestWriteProgramRejectsInvalid(t *testing.T) {
+	var sb strings.Builder
+	bad := &Program{NumFU: 0}
+	if err := WriteProgram(discardWriter{&sb}, bad); err == nil {
+		t.Fatal("WriteProgram accepted invalid program")
+	}
+}
+
+type discardWriter struct{ sb *strings.Builder }
+
+func (d discardWriter) Write(p []byte) (int, error) { return d.sb.Write(p) }

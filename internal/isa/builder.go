@@ -1,0 +1,218 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder constructs programs programmatically with symbolic labels and
+// forward references. It is the code-generation backend used by the
+// workload library and the compiler; the textual assembler lowers onto it
+// as well.
+//
+// Usage: emit parcels per (address, FU) slot with At/Emit, bind labels with
+// Label, reference them with unresolved targets via RefT1/RefT2, then call
+// Build to resolve references and produce a validated Program.
+type Builder struct {
+	numFU  int
+	rows   []builderRow
+	labels map[string]Addr
+	refs   []labelRef
+	errs   []error
+}
+
+type builderRow struct {
+	parcels [NumFU]Parcel
+	used    [NumFU]bool
+}
+
+type labelRef struct {
+	addr   Addr
+	fu     int
+	target int // 1 or 2
+	label  string
+}
+
+// NewBuilder creates a builder for a machine with numFU functional units.
+func NewBuilder(numFU int) *Builder {
+	if numFU < 1 || numFU > NumFU {
+		panic(fmt.Sprintf("isa: NewBuilder(%d): FU count must be 1..%d", numFU, NumFU))
+	}
+	return &Builder{numFU: numFU, labels: make(map[string]Addr)}
+}
+
+// NumFU returns the functional-unit count the builder targets.
+func (b *Builder) NumFU() int { return b.numFU }
+
+// Len returns the current number of instruction addresses.
+func (b *Builder) Len() int { return len(b.rows) }
+
+func (b *Builder) grow(addr Addr) {
+	for len(b.rows) <= int(addr) {
+		var row builderRow
+		for fu := range row.parcels {
+			row.parcels[fu] = TrapParcel
+		}
+		b.rows = append(b.rows, row)
+	}
+}
+
+// Set places a parcel at (addr, fu), growing the program as needed.
+// Setting an already-occupied slot is recorded as a build error.
+func (b *Builder) Set(addr Addr, fu int, p Parcel) {
+	if fu < 0 || fu >= b.numFU {
+		b.errs = append(b.errs, fmt.Errorf("parcel at addr %d targets FU %d on a %d-FU program", addr, fu, b.numFU))
+		return
+	}
+	if addr > MaxAddr {
+		b.errs = append(b.errs, fmt.Errorf("address %d exceeds MaxAddr %d", addr, MaxAddr))
+		return
+	}
+	b.grow(addr)
+	if b.rows[addr].used[fu] {
+		b.errs = append(b.errs, fmt.Errorf("duplicate parcel at addr %d fu %d", addr, fu))
+		return
+	}
+	b.rows[addr].parcels[fu] = Normalize(p)
+	b.rows[addr].used[fu] = true
+}
+
+// Label binds name to addr. Rebinding a label to a different address is a
+// build error.
+func (b *Builder) Label(name string, addr Addr) {
+	if prev, ok := b.labels[name]; ok && prev != addr {
+		b.errs = append(b.errs, fmt.Errorf("label %q bound to both %d and %d", name, prev, addr))
+		return
+	}
+	b.labels[name] = addr
+}
+
+// LabelAddr returns the address a label is bound to.
+func (b *Builder) LabelAddr(name string) (Addr, bool) {
+	a, ok := b.labels[name]
+	return a, ok
+}
+
+// RefT1 records that the T1 target of the parcel at (addr, fu) should be
+// resolved to the given label at Build time.
+func (b *Builder) RefT1(addr Addr, fu int, label string) {
+	b.refs = append(b.refs, labelRef{addr: addr, fu: fu, target: 1, label: label})
+}
+
+// RefT2 records that the T2 target of the parcel at (addr, fu) should be
+// resolved to the given label at Build time.
+func (b *Builder) RefT2(addr Addr, fu int, label string) {
+	b.refs = append(b.refs, labelRef{addr: addr, fu: fu, target: 2, label: label})
+}
+
+// Build resolves label references, validates, and returns the program.
+// The entry point is address 0 unless a label named "start" exists.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{
+		Instrs: make([]Instruction, len(b.rows)),
+		NumFU:  b.numFU,
+		Labels: make(map[string]Addr, len(b.labels)),
+	}
+	for addr, row := range b.rows {
+		p.Instrs[addr] = row.parcels
+	}
+	for name, a := range b.labels {
+		p.Labels[name] = a
+	}
+	// Resolve references deterministically.
+	refs := make([]labelRef, len(b.refs))
+	copy(refs, b.refs)
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].addr != refs[j].addr {
+			return refs[i].addr < refs[j].addr
+		}
+		if refs[i].fu != refs[j].fu {
+			return refs[i].fu < refs[j].fu
+		}
+		return refs[i].target < refs[j].target
+	})
+	for _, ref := range refs {
+		target, ok := b.labels[ref.label]
+		if !ok {
+			return nil, fmt.Errorf("undefined label %q referenced at addr %d fu %d", ref.label, ref.addr, ref.fu)
+		}
+		if int(ref.addr) >= len(p.Instrs) {
+			return nil, fmt.Errorf("label reference at out-of-range addr %d", ref.addr)
+		}
+		parcel := &p.Instrs[ref.addr][ref.fu]
+		if ref.target == 1 {
+			parcel.Ctrl.T1 = target
+		} else {
+			parcel.Ctrl.T2 = target
+		}
+	}
+	if start, ok := b.labels["start"]; ok {
+		p.Entry = start
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and static
+// workload construction where failure is a programming bug.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic("isa: MustBuild: " + err.Error())
+	}
+	return p
+}
+
+// FillVLIWControl copies the control operation and sync signal of the
+// lowest-numbered occupied parcel at each address into every other parcel
+// at that address, and fills unoccupied slots with nop parcels carrying
+// the same control. This is the transformation the paper describes for
+// running VLIW-style code on an XIMD: "the control path instruction fields
+// must be duplicated in each instruction parcel, so that each functional
+// unit will execute the same control" (Section 3.1).
+func (b *Builder) FillVLIWControl() {
+	for addr := range b.rows {
+		row := &b.rows[addr]
+		lead := -1
+		for fu := 0; fu < b.numFU; fu++ {
+			if row.used[fu] {
+				lead = fu
+				break
+			}
+		}
+		if lead < 0 {
+			continue
+		}
+		ctrl := row.parcels[lead].Ctrl
+		sync := row.parcels[lead].Sync
+		for fu := 0; fu < b.numFU; fu++ {
+			if fu == lead {
+				continue
+			}
+			if row.used[fu] {
+				row.parcels[fu].Ctrl = ctrl
+				row.parcels[fu].Sync = sync
+			} else {
+				row.parcels[fu] = Normalize(Parcel{Data: Nop, Ctrl: ctrl, Sync: sync})
+				row.used[fu] = true
+			}
+		}
+		// Duplicate any label references on the lead parcel for the others.
+		var dup []labelRef
+		for _, ref := range b.refs {
+			if ref.addr == Addr(addr) && ref.fu == lead {
+				for fu := 0; fu < b.numFU; fu++ {
+					if fu != lead {
+						dup = append(dup, labelRef{addr: ref.addr, fu: fu, target: ref.target, label: ref.label})
+					}
+				}
+			}
+		}
+		b.refs = append(b.refs, dup...)
+	}
+}

@@ -1,0 +1,177 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderLabelsAndRefs(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, Parcel{Data: Nop, Ctrl: Goto(0)})
+	b.RefT1(0, 0, "end")
+	b.Set(1, 0, Parcel{Data: Nop, Ctrl: IfCC(0, 0, 0)})
+	b.RefT1(1, 0, "end")
+	b.RefT2(1, 0, "top")
+	b.Label("top", 0)
+	b.Label("end", 2)
+	b.Set(2, 0, HaltParcel)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if p.Instrs[0][0].Ctrl.T1 != 2 {
+		t.Errorf("forward ref not resolved: T1 = %d", p.Instrs[0][0].Ctrl.T1)
+	}
+	if p.Instrs[1][0].Ctrl.T1 != 2 || p.Instrs[1][0].Ctrl.T2 != 0 {
+		t.Errorf("cond refs = %d/%d", p.Instrs[1][0].Ctrl.T1, p.Instrs[1][0].Ctrl.T2)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, Parcel{Data: Nop, Ctrl: Goto(0)})
+	b.RefT1(0, 0, "nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v, want undefined-label error", err)
+	}
+}
+
+func TestBuilderDuplicateParcel(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, HaltParcel)
+	b.Set(0, 0, HaltParcel)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v, want duplicate error", err)
+	}
+}
+
+func TestBuilderConflictingLabel(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, HaltParcel)
+	b.Label("x", 0)
+	b.Label("x", 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted conflicting label binding")
+	}
+}
+
+func TestBuilderFUOutOfRange(t *testing.T) {
+	b := NewBuilder(2)
+	b.Set(0, 2, HaltParcel)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted FU out of range")
+	}
+}
+
+func TestBuilderEntryFromStartLabel(t *testing.T) {
+	b := NewBuilder(1)
+	b.Set(0, 0, HaltParcel)
+	b.Set(1, 0, HaltParcel)
+	b.Label("start", 1)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != 1 {
+		t.Errorf("Entry = %d, want 1", p.Entry)
+	}
+}
+
+func TestBuilderUnsetSlotsAreTraps(t *testing.T) {
+	b := NewBuilder(4)
+	b.Set(0, 0, HaltParcel)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fu := 1; fu < 4; fu++ {
+		if !p.Instrs[0][fu].Trap {
+			t.Errorf("fu %d: unset slot is not a trap parcel", fu)
+		}
+	}
+	if p.OccupiedParcels() != 1 {
+		t.Errorf("OccupiedParcels = %d, want 1", p.OccupiedParcels())
+	}
+}
+
+func TestFillVLIWControl(t *testing.T) {
+	b := NewBuilder(4)
+	b.Set(0, 0, Parcel{Data: DataOp{Op: OpIAdd, A: R(1), B: R(2), Dest: 3}, Ctrl: IfCC(2, 0, 0)})
+	b.RefT1(0, 0, "end")
+	b.RefT2(0, 0, "next")
+	b.Set(0, 2, Parcel{Data: DataOp{Op: OpISub, A: R(4), B: R(5), Dest: 6}, Ctrl: Goto(0)})
+	b.Label("next", 1)
+	b.Set(1, 0, HaltParcel)
+	b.Label("end", 2)
+	b.Set(2, 0, HaltParcel)
+	b.FillVLIWControl()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := p.Instrs[0][0].Ctrl
+	for fu := 0; fu < 4; fu++ {
+		got := p.Instrs[0][fu]
+		if got.Trap {
+			t.Fatalf("fu %d still trap after FillVLIWControl", fu)
+		}
+		if !got.Ctrl.Equal(lead) {
+			t.Errorf("fu %d ctrl = %v, want %v", fu, got.Ctrl, lead)
+		}
+	}
+	// FU2's data op must be preserved.
+	if p.Instrs[0][2].Data.Op != OpISub {
+		t.Errorf("fu2 data op = %v", p.Instrs[0][2].Data.Op)
+	}
+	// Label refs must have been duplicated: every parcel branches to 2/1.
+	for fu := 0; fu < 4; fu++ {
+		if p.Instrs[0][fu].Ctrl.T1 != 2 || p.Instrs[0][fu].Ctrl.T2 != 1 {
+			t.Errorf("fu %d targets = %d/%d, want 2/1", fu, p.Instrs[0][fu].Ctrl.T1, p.Instrs[0][fu].Ctrl.T2)
+		}
+	}
+	// All parcels at the halt rows must carry the halt control.
+	for fu := 0; fu < 4; fu++ {
+		if p.Instrs[2][fu].Ctrl.Kind != CtrlHalt {
+			t.Errorf("fu %d at end: ctrl = %v", fu, p.Instrs[2][fu].Ctrl)
+		}
+	}
+}
+
+func TestProgramValidateCatchesBadTargets(t *testing.T) {
+	p := &Program{
+		Instrs: []Instruction{{}},
+		NumFU:  1,
+	}
+	p.Instrs[0][0] = Parcel{Data: Nop, Ctrl: Goto(5)}
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range branch target")
+	}
+}
+
+func TestProgramParcelOutOfRange(t *testing.T) {
+	p := buildTinyProgram(t)
+	if got := p.Parcel(99, 0); !got.Trap {
+		t.Error("out-of-range fetch should trap")
+	}
+	if got := p.Parcel(0, 99); !got.Trap {
+		t.Error("out-of-range FU fetch should trap")
+	}
+}
+
+func TestProgramLabelAtDeterministic(t *testing.T) {
+	p := buildTinyProgram(t)
+	p.Labels["zz"] = 0
+	p.Labels["aa"] = 0
+	name, ok := p.LabelAt(0)
+	if !ok || name != "aa" {
+		t.Errorf("LabelAt = %q, %v; want aa (lexically smallest)", name, ok)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := buildTinyProgram(t)
+	s := p.String()
+	if !strings.Contains(s, "start:") || !strings.Contains(s, "iadd #1, #2, r1") {
+		t.Errorf("listing missing content:\n%s", s)
+	}
+}

@@ -1,0 +1,268 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sync is the value of a functional unit's synchronization signal SS_i
+// while it executes a parcel (Section 2.2). The signal is combinational:
+// during cycle t, SS_i carries the Sync field of the parcel FU i executes
+// at cycle t, and every sequencer sees it that same cycle.
+type Sync uint8
+
+const (
+	// Busy indicates the FU has not reached a synchronization point.
+	Busy Sync = iota
+	// Done indicates the FU has reached a synchronization point (or that
+	// the guarded value it produces is available, Figure 12).
+	Done
+)
+
+// String returns the assembler spelling of the sync value.
+func (s Sync) String() string {
+	if s == Done {
+		return "DONE"
+	}
+	return "BUSY"
+}
+
+// CondKind selects which condition the branch-target multiplexer evaluates
+// (Figure 8). XIMD-1 defines branches on a single condition code, a single
+// sync signal, all sync signals, and any sync signal; the masked variants
+// generalize the ALL/ANY forms to a subset of FUs, supporting the partial
+// barriers mentioned at the end of Section 3.3 ("synchronizations between
+// only some of the program threads").
+type CondKind uint8
+
+const (
+	// CondCC is true when CC_Idx == TRUE.
+	CondCC CondKind = iota
+	// CondNotCC is true when CC_Idx == FALSE.
+	CondNotCC
+	// CondSS is true when SS_Idx == DONE.
+	CondSS
+	// CondNotSS is true when SS_Idx == BUSY.
+	CondNotSS
+	// CondAllSS is true when every SS_i == DONE (the paper's ∏ form).
+	CondAllSS
+	// CondAnySS is true when at least one SS_i == DONE (the paper's Σ form).
+	CondAnySS
+	// CondAllSSMask is true when SS_i == DONE for every FU i in Mask.
+	CondAllSSMask
+	// CondAnySSMask is true when SS_i == DONE for some FU i in Mask.
+	CondAnySSMask
+
+	numCondKinds
+)
+
+// NumCondKinds is the number of defined condition kinds.
+const NumCondKinds = int(numCondKinds)
+
+// Valid reports whether k is a defined condition kind.
+func (k CondKind) Valid() bool { return k < numCondKinds }
+
+// CtrlKind is the top-level shape of a parcel's control operation.
+type CtrlKind uint8
+
+const (
+	// CtrlGoto unconditionally selects branch target T1 (the paper's
+	// "Target 1"/"Target 2" operations are both expressed as CtrlGoto with
+	// the desired address in T1).
+	CtrlGoto CtrlKind = iota
+	// CtrlCond selects T1 when the condition holds, else T2.
+	CtrlCond
+	// CtrlHalt stops the functional unit. The paper's research model does
+	// not define program termination; CtrlHalt is this implementation's
+	// termination convention (simulation ends when every FU has halted).
+	CtrlHalt
+
+	numCtrlKinds
+)
+
+// Valid reports whether k is a defined control kind.
+func (k CtrlKind) Valid() bool { return k < numCtrlKinds }
+
+// Addr is an instruction-memory address. Each address holds one
+// instruction (one parcel per FU).
+type Addr uint16
+
+// MaxAddr is the largest encodable instruction address (12-bit target
+// fields in the binary parcel encoding).
+const MaxAddr Addr = 1<<12 - 1
+
+// CtrlOp is one control-path operation: the next-state function δi for the
+// cycle (Figure 8). It carries two explicit branch targets and a condition
+// selector. The research model has no PC incrementer, so sequential flow is
+// expressed as an explicit goto to the next address.
+type CtrlOp struct {
+	Kind   CtrlKind
+	Cond   CondKind // meaningful when Kind == CtrlCond
+	Idx    uint8    // FU index for CondCC/CondNotCC/CondSS/CondNotSS
+	Mask   uint8    // FU bitmask for CondAllSSMask/CondAnySSMask
+	T1, T2 Addr
+}
+
+// Goto returns an unconditional branch to addr.
+func Goto(addr Addr) CtrlOp { return CtrlOp{Kind: CtrlGoto, T1: addr} }
+
+// Halt returns the halt control operation.
+func Halt() CtrlOp { return CtrlOp{Kind: CtrlHalt} }
+
+// IfCC returns a branch on CC_fu: taken to t1 when TRUE, else t2.
+func IfCC(fu uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondCC, Idx: fu, T1: t1, T2: t2}
+}
+
+// IfNotCC returns a branch taken to t1 when CC_fu is FALSE, else t2.
+func IfNotCC(fu uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondNotCC, Idx: fu, T1: t1, T2: t2}
+}
+
+// IfSS returns a branch taken to t1 when SS_fu == DONE, else t2.
+func IfSS(fu uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondSS, Idx: fu, T1: t1, T2: t2}
+}
+
+// IfNotSS returns a branch taken to t1 when SS_fu == BUSY, else t2.
+func IfNotSS(fu uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondNotSS, Idx: fu, T1: t1, T2: t2}
+}
+
+// IfAllSS returns a branch taken to t1 when every SS_i == DONE, else t2.
+// This is the paper's barrier condition (Example 3).
+func IfAllSS(t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondAllSS, T1: t1, T2: t2}
+}
+
+// IfAnySS returns a branch taken to t1 when any SS_i == DONE, else t2.
+func IfAnySS(t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondAnySS, T1: t1, T2: t2}
+}
+
+// IfAllSSMask returns a branch taken to t1 when SS_i == DONE for every FU
+// in mask, else t2 (partial barrier).
+func IfAllSSMask(mask uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondAllSSMask, Mask: mask, T1: t1, T2: t2}
+}
+
+// IfAnySSMask returns a branch taken to t1 when SS_i == DONE for some FU
+// in mask, else t2.
+func IfAnySSMask(mask uint8, t1, t2 Addr) CtrlOp {
+	return CtrlOp{Kind: CtrlCond, Cond: CondAnySSMask, Mask: mask, T1: t1, T2: t2}
+}
+
+// Targets returns the set of addresses control may transfer to: one
+// address for gotos, two for conditionals, none for halt.
+func (c CtrlOp) Targets() []Addr {
+	switch c.Kind {
+	case CtrlGoto:
+		return []Addr{c.T1}
+	case CtrlCond:
+		return []Addr{c.T1, c.T2}
+	default:
+		return nil
+	}
+}
+
+// Equal reports whether two control operations are identical in every
+// meaningful field (fields unused by the kind are ignored).
+func (c CtrlOp) Equal(d CtrlOp) bool {
+	if c.Kind != d.Kind {
+		return false
+	}
+	switch c.Kind {
+	case CtrlHalt:
+		return true
+	case CtrlGoto:
+		return c.T1 == d.T1
+	}
+	if c.Cond != d.Cond || c.T1 != d.T1 || c.T2 != d.T2 {
+		return false
+	}
+	switch c.Cond {
+	case CondCC, CondNotCC, CondSS, CondNotSS:
+		return c.Idx == d.Idx
+	case CondAllSSMask, CondAnySSMask:
+		return c.Mask == d.Mask
+	}
+	return true
+}
+
+// Validate checks structural validity of the control operation.
+func (c CtrlOp) Validate(numFU int) error {
+	if !c.Kind.Valid() {
+		return fmt.Errorf("invalid control kind %d", uint8(c.Kind))
+	}
+	if c.Kind != CtrlCond {
+		return nil
+	}
+	if !c.Cond.Valid() {
+		return fmt.Errorf("invalid condition kind %d", uint8(c.Cond))
+	}
+	switch c.Cond {
+	case CondCC, CondNotCC, CondSS, CondNotSS:
+		if int(c.Idx) >= numFU {
+			return fmt.Errorf("condition references FU %d on a %d-FU machine", c.Idx, numFU)
+		}
+	case CondAllSSMask, CondAnySSMask:
+		if c.Mask == 0 {
+			return fmt.Errorf("masked sync condition with empty mask")
+		}
+	}
+	return nil
+}
+
+// condName renders the condition selector in assembler syntax.
+func (c CtrlOp) condName() string {
+	switch c.Cond {
+	case CondCC:
+		return fmt.Sprintf("cc%d", c.Idx)
+	case CondNotCC:
+		return fmt.Sprintf("!cc%d", c.Idx)
+	case CondSS:
+		return fmt.Sprintf("ss%d", c.Idx)
+	case CondNotSS:
+		return fmt.Sprintf("!ss%d", c.Idx)
+	case CondAllSS:
+		return "allss"
+	case CondAnySS:
+		return "anyss"
+	case CondAllSSMask:
+		return fmt.Sprintf("allss&%s", maskString(c.Mask))
+	case CondAnySSMask:
+		return fmt.Sprintf("anyss&%s", maskString(c.Mask))
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c.Cond))
+}
+
+func maskString(mask uint8) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i < 8; i++ {
+		if mask&(1<<i) != 0 {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", i)
+			first = false
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String renders the control operation in assembler syntax:
+// "goto 5", "if cc2 8 2", "halt".
+func (c CtrlOp) String() string {
+	switch c.Kind {
+	case CtrlGoto:
+		return fmt.Sprintf("goto %d", c.T1)
+	case CtrlHalt:
+		return "halt"
+	case CtrlCond:
+		return fmt.Sprintf("if %s %d %d", c.condName(), c.T1, c.T2)
+	}
+	return fmt.Sprintf("ctrl(%d)", uint8(c.Kind))
+}

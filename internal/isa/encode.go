@@ -1,0 +1,233 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary parcel encoding.
+//
+// Each parcel encodes into four 32-bit words (128 bits); an eight-FU
+// instruction is therefore 1024 bits, a plausible width for a very long
+// instruction word machine of this class. Layout:
+//
+//	w0  [ 7:0]  opcode
+//	    [ 9:8]  control kind
+//	    [12:10] condition kind
+//	    [15:13] condition FU index
+//	    [23:16] condition FU mask
+//	    [24]    sync (0 = BUSY, 1 = DONE)
+//	    [25]    operand A is immediate
+//	    [26]    operand B is immediate
+//	    [27]    trap
+//	    [31:28] reserved (must be zero)
+//	w1  [11:0]  branch target T1
+//	    [23:12] branch target T2
+//	    [31:24] destination register
+//	w2  operand A: register number (low 8 bits) or full 32-bit immediate
+//	w3  operand B: register number (low 8 bits) or full 32-bit immediate
+//
+// The 12-bit target fields bound programs to 4096 instructions (MaxAddr).
+
+// ParcelWords is the number of 32-bit words in an encoded parcel.
+const ParcelWords = 4
+
+// EncodeParcel packs a parcel into its four-word binary form.
+func EncodeParcel(p Parcel) ([ParcelWords]uint32, error) {
+	var w [ParcelWords]uint32
+	if p.Trap {
+		w[0] = 1 << 27
+		return w, nil
+	}
+	if err := p.Data.Validate(); err != nil {
+		return w, err
+	}
+	if !p.Ctrl.Kind.Valid() {
+		return w, fmt.Errorf("invalid control kind %d", uint8(p.Ctrl.Kind))
+	}
+	if p.Ctrl.Kind == CtrlCond && !p.Ctrl.Cond.Valid() {
+		return w, fmt.Errorf("invalid condition kind %d", uint8(p.Ctrl.Cond))
+	}
+	if p.Ctrl.T1 > MaxAddr || p.Ctrl.T2 > MaxAddr {
+		return w, fmt.Errorf("branch target exceeds MaxAddr: T1=%d T2=%d", p.Ctrl.T1, p.Ctrl.T2)
+	}
+	if p.Ctrl.Idx >= NumFU {
+		return w, fmt.Errorf("condition FU index %d exceeds %d", p.Ctrl.Idx, NumFU-1)
+	}
+
+	w[0] = uint32(p.Data.Op) |
+		uint32(p.Ctrl.Kind)<<8 |
+		uint32(p.Ctrl.Cond)<<10 |
+		uint32(p.Ctrl.Idx)<<13 |
+		uint32(p.Ctrl.Mask)<<16
+	if p.Sync == Done {
+		w[0] |= 1 << 24
+	}
+	if p.Data.A.Kind == Imm {
+		w[0] |= 1 << 25
+	}
+	if p.Data.B.Kind == Imm {
+		w[0] |= 1 << 26
+	}
+	w[1] = uint32(p.Ctrl.T1) | uint32(p.Ctrl.T2)<<12 | uint32(p.Data.Dest)<<24
+	w[2] = operandBits(p.Data.A)
+	w[3] = operandBits(p.Data.B)
+	return w, nil
+}
+
+func operandBits(o Operand) uint32 {
+	if o.Kind == Imm {
+		return uint32(o.Imm)
+	}
+	return uint32(o.Reg)
+}
+
+// DecodeParcel unpacks a parcel from its four-word binary form.
+func DecodeParcel(w [ParcelWords]uint32) (Parcel, error) {
+	if w[0]&(1<<27) != 0 {
+		return TrapParcel, nil
+	}
+	if w[0]>>28 != 0 {
+		return Parcel{}, fmt.Errorf("reserved bits set in parcel word 0: %#x", w[0])
+	}
+	var p Parcel
+	p.Data.Op = Opcode(w[0] & 0xff)
+	if !p.Data.Op.Valid() {
+		return Parcel{}, fmt.Errorf("undefined opcode %d", w[0]&0xff)
+	}
+	p.Ctrl.Kind = CtrlKind(w[0] >> 8 & 0x3)
+	if !p.Ctrl.Kind.Valid() {
+		return Parcel{}, fmt.Errorf("undefined control kind %d", w[0]>>8&0x3)
+	}
+	p.Ctrl.Cond = CondKind(w[0] >> 10 & 0x7)
+	p.Ctrl.Idx = uint8(w[0] >> 13 & 0x7)
+	p.Ctrl.Mask = uint8(w[0] >> 16 & 0xff)
+	if w[0]&(1<<24) != 0 {
+		p.Sync = Done
+	}
+	p.Ctrl.T1 = Addr(w[1] & 0xfff)
+	p.Ctrl.T2 = Addr(w[1] >> 12 & 0xfff)
+	p.Data.Dest = uint8(w[1] >> 24)
+	p.Data.A = decodeOperand(w[2], w[0]&(1<<25) != 0)
+	p.Data.B = decodeOperand(w[3], w[0]&(1<<26) != 0)
+
+	// Normalize fields the canonical form leaves zero so that
+	// encode/decode round-trips compare equal with ==.
+	normalizeParcel(&p)
+	return p, nil
+}
+
+func decodeOperand(bits uint32, isImm bool) Operand {
+	if isImm {
+		return Operand{Kind: Imm, Imm: Word(bits)}
+	}
+	return Operand{Kind: Reg, Reg: uint8(bits)}
+}
+
+// Normalize zeroes the fields of p that its opcode class and control kind
+// do not use, producing the canonical form emitted by the assembler. Two
+// normalized parcels with identical behaviour compare equal with ==.
+func Normalize(p Parcel) Parcel {
+	normalizeParcel(&p)
+	return p
+}
+
+func normalizeParcel(p *Parcel) {
+	if p.Trap {
+		*p = TrapParcel
+		return
+	}
+	c := ClassOf(p.Data.Op)
+	if !c.ReadsA() {
+		p.Data.A = Operand{}
+	}
+	if !c.ReadsB() {
+		p.Data.B = Operand{}
+	}
+	if !c.WritesReg() {
+		p.Data.Dest = 0
+	}
+	switch p.Ctrl.Kind {
+	case CtrlGoto:
+		p.Ctrl.Cond, p.Ctrl.Idx, p.Ctrl.Mask, p.Ctrl.T2 = 0, 0, 0, 0
+	case CtrlHalt:
+		p.Ctrl = CtrlOp{Kind: CtrlHalt}
+	case CtrlCond:
+		switch p.Ctrl.Cond {
+		case CondCC, CondNotCC, CondSS, CondNotSS:
+			p.Ctrl.Mask = 0
+		case CondAllSS, CondAnySS:
+			p.Ctrl.Idx, p.Ctrl.Mask = 0, 0
+		case CondAllSSMask, CondAnySSMask:
+			p.Ctrl.Idx = 0
+		}
+	}
+}
+
+// WriteProgram serializes a program image (magic, geometry, entry point,
+// then all parcels) in little-endian binary form. Labels are not
+// serialized; the image is the machine-loadable artifact.
+func WriteProgram(w io.Writer, p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	hdr := [4]uint32{programMagic, uint32(len(p.Instrs)), uint32(p.NumFU), uint32(p.Entry)}
+	if err := binary.Write(w, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	for addr, instr := range p.Instrs {
+		for fu := 0; fu < NumFU; fu++ {
+			words, err := EncodeParcel(instr[fu])
+			if err != nil {
+				return fmt.Errorf("addr %d fu %d: %w", addr, fu, err)
+			}
+			if err := binary.Write(w, binary.LittleEndian, words[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+const programMagic = 0x58494d44 // "XIMD"
+
+// ReadProgram deserializes a program image written by WriteProgram.
+func ReadProgram(r io.Reader) (*Program, error) {
+	var hdr [4]uint32
+	if err := binary.Read(r, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != programMagic {
+		return nil, fmt.Errorf("bad program magic %#x", hdr[0])
+	}
+	n, numFU, entry := hdr[1], hdr[2], hdr[3]
+	if n == 0 || n > uint32(MaxAddr)+1 {
+		return nil, fmt.Errorf("bad program length %d", n)
+	}
+	if numFU < 1 || numFU > NumFU {
+		return nil, fmt.Errorf("bad FU count %d", numFU)
+	}
+	p := &Program{
+		Instrs: make([]Instruction, n),
+		NumFU:  int(numFU),
+		Entry:  Addr(entry),
+	}
+	for addr := range p.Instrs {
+		for fu := 0; fu < NumFU; fu++ {
+			var words [ParcelWords]uint32
+			if err := binary.Read(r, binary.LittleEndian, words[:]); err != nil {
+				return nil, err
+			}
+			parcel, err := DecodeParcel(words)
+			if err != nil {
+				return nil, fmt.Errorf("addr %d fu %d: %w", addr, fu, err)
+			}
+			p.Instrs[addr][fu] = parcel
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,246 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeBasic(t *testing.T) {
+	parcels := []Parcel{
+		{Data: Nop, Ctrl: Goto(5)},
+		{Data: DataOp{Op: OpIAdd, A: R(1), B: R(2), Dest: 3}, Ctrl: Goto(1), Sync: Done},
+		{Data: DataOp{Op: OpLt, A: R(10), B: I(-42)}, Ctrl: IfCC(2, 8, 2)},
+		{Data: DataOp{Op: OpLoad, A: I(100), B: R(4), Dest: 9}, Ctrl: IfAllSS(11, 10), Sync: Done},
+		{Data: DataOp{Op: OpStore, A: R(1), B: R(2)}, Ctrl: Halt()},
+		{Data: DataOp{Op: OpFMult, A: F(1.5), B: F(-2.0), Dest: 200}, Ctrl: IfAnySSMask(0b1010, 3, 4)},
+		TrapParcel,
+	}
+	for _, p := range parcels {
+		p = Normalize(p)
+		words, err := EncodeParcel(p)
+		if err != nil {
+			t.Fatalf("encode %v: %v", p, err)
+		}
+		got, err := DecodeParcel(words)
+		if err != nil {
+			t.Fatalf("decode %v: %v", p, err)
+		}
+		if got != p {
+			t.Errorf("round trip:\n got %+v\nwant %+v", got, p)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []Parcel{
+		{Data: DataOp{Op: Opcode(99)}, Ctrl: Goto(0)},
+		{Data: Nop, Ctrl: CtrlOp{Kind: CtrlKind(3)}},
+		{Data: Nop, Ctrl: CtrlOp{Kind: CtrlCond, Cond: CondKind(200), T1: 0, T2: 0}},
+		{Data: Nop, Ctrl: Goto(MaxAddr + 1)},
+		{Data: Nop, Ctrl: CtrlOp{Kind: CtrlCond, Cond: CondCC, Idx: 9, T1: 0, T2: 0}},
+	}
+	for i, p := range cases {
+		if _, err := EncodeParcel(p); err == nil {
+			t.Errorf("case %d: EncodeParcel accepted invalid parcel %+v", i, p)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][ParcelWords]uint32{
+		{0xf0000000, 0, 0, 0}, // reserved bits set
+		{200, 0, 0, 0},        // undefined opcode
+		{3 << 8, 0, 0, 0},     // undefined control kind
+	}
+	for i, w := range cases {
+		if _, err := DecodeParcel(w); err == nil {
+			t.Errorf("case %d: DecodeParcel accepted garbage %v", i, w)
+		}
+	}
+}
+
+// randomParcel generates a structurally valid random parcel.
+func randomParcel(r *rand.Rand, numFU int) Parcel {
+	var p Parcel
+	if r.Intn(20) == 0 {
+		return TrapParcel
+	}
+	p.Data.Op = Opcode(r.Intn(NumOpcodes))
+	p.Data.A = randomOperand(r)
+	p.Data.B = randomOperand(r)
+	p.Data.Dest = uint8(r.Intn(NumRegs))
+	switch r.Intn(3) {
+	case 0:
+		p.Ctrl = Goto(Addr(r.Intn(int(MaxAddr) + 1)))
+	case 1:
+		p.Ctrl = Halt()
+	default:
+		p.Ctrl = CtrlOp{
+			Kind: CtrlCond,
+			Cond: CondKind(r.Intn(NumCondKinds)),
+			Idx:  uint8(r.Intn(numFU)),
+			Mask: uint8(1 + r.Intn(255)),
+			T1:   Addr(r.Intn(int(MaxAddr) + 1)),
+			T2:   Addr(r.Intn(int(MaxAddr) + 1)),
+		}
+	}
+	if r.Intn(2) == 0 {
+		p.Sync = Done
+	}
+	return Normalize(p)
+}
+
+func randomOperand(r *rand.Rand) Operand {
+	if r.Intn(2) == 0 {
+		return R(uint8(r.Intn(NumRegs)))
+	}
+	return I(int32(r.Uint32()))
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		p := randomParcel(r, NumFU)
+		words, err := EncodeParcel(p)
+		if err != nil {
+			t.Fatalf("iter %d: encode %+v: %v", i, p, err)
+		}
+		got, err := DecodeParcel(words)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if got != p {
+			t.Fatalf("iter %d:\n got %+v\nwant %+v", i, got, p)
+		}
+	}
+}
+
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		p := randomParcel(r, NumFU)
+		if q := Normalize(p); q != p {
+			t.Fatalf("Normalize not idempotent: %+v -> %+v", p, q)
+		}
+	}
+}
+
+func TestCtrlOpEqualIgnoresUnusedFields(t *testing.T) {
+	a := CtrlOp{Kind: CtrlGoto, T1: 5, T2: 99, Idx: 3, Mask: 7}
+	b := CtrlOp{Kind: CtrlGoto, T1: 5}
+	if !a.Equal(b) {
+		t.Error("goto equality should ignore T2/Idx/Mask")
+	}
+	c := IfAllSS(1, 2)
+	d := c
+	d.Idx = 5 // unused for CondAllSS
+	if !c.Equal(d) {
+		t.Error("allss equality should ignore Idx")
+	}
+	e := IfCC(1, 2, 3)
+	f := IfCC(2, 2, 3)
+	if e.Equal(f) {
+		t.Error("cc conditions on different FUs must differ")
+	}
+}
+
+func TestCtrlOpTargets(t *testing.T) {
+	if got := Goto(7).Targets(); !reflect.DeepEqual(got, []Addr{7}) {
+		t.Errorf("goto targets = %v", got)
+	}
+	if got := IfCC(0, 3, 4).Targets(); !reflect.DeepEqual(got, []Addr{3, 4}) {
+		t.Errorf("cond targets = %v", got)
+	}
+	if got := Halt().Targets(); got != nil {
+		t.Errorf("halt targets = %v", got)
+	}
+}
+
+func TestCtrlOpStrings(t *testing.T) {
+	cases := []struct {
+		c    CtrlOp
+		want string
+	}{
+		{Goto(5), "goto 5"},
+		{Halt(), "halt"},
+		{IfCC(2, 8, 2), "if cc2 8 2"},
+		{IfNotCC(1, 0, 1), "if !cc1 0 1"},
+		{IfSS(3, 1, 2), "if ss3 1 2"},
+		{IfAllSS(11, 10), "if allss 11 10"},
+		{IfAnySS(1, 2), "if anyss 1 2"},
+		{IfAllSSMask(0b101, 1, 2), "if allss&{0,2} 1 2"},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func buildTinyProgram(t *testing.T) *Program {
+	t.Helper()
+	b := NewBuilder(2)
+	b.Label("start", 0)
+	b.Set(0, 0, Parcel{Data: DataOp{Op: OpIAdd, A: I(1), B: I(2), Dest: 1}, Ctrl: Goto(1)})
+	b.Set(0, 1, Parcel{Data: Nop, Ctrl: Goto(1)})
+	b.Set(1, 0, HaltParcel)
+	b.Set(1, 1, HaltParcel)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestProgramSerializationRoundTrip(t *testing.T) {
+	p := buildTinyProgram(t)
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatalf("WriteProgram: %v", err)
+	}
+	q, err := ReadProgram(&buf)
+	if err != nil {
+		t.Fatalf("ReadProgram: %v", err)
+	}
+	if q.NumFU != p.NumFU || q.Entry != p.Entry || len(q.Instrs) != len(p.Instrs) {
+		t.Fatalf("geometry mismatch: %+v vs %+v", q, p)
+	}
+	for addr := range p.Instrs {
+		if q.Instrs[addr] != p.Instrs[addr] {
+			t.Errorf("addr %d differs", addr)
+		}
+	}
+}
+
+func TestReadProgramRejectsBadMagic(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := ReadProgram(buf); err == nil {
+		t.Fatal("ReadProgram accepted bad magic")
+	}
+}
+
+func TestReadProgramRejectsTruncated(t *testing.T) {
+	p := buildTinyProgram(t)
+	var buf bytes.Buffer
+	if err := WriteProgram(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadProgram(bytes.NewReader(data[:len(data)-7])); err == nil {
+		t.Fatal("ReadProgram accepted truncated image")
+	}
+}
+
+func TestQuickOperandEncoding(t *testing.T) {
+	f := func(v int32, reg uint8) bool {
+		imm := decodeOperand(operandBits(I(v)), true)
+		r := decodeOperand(operandBits(R(reg)), false)
+		return imm.Equal(I(v)) && r.Equal(R(reg))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package isa
+
+import "fmt"
+
+// TrapError describes a data-path execution fault (divide by zero, or
+// executing a trap parcel). The simulators wrap it with cycle and FU
+// context.
+type TrapError struct {
+	Reason string
+}
+
+func (e *TrapError) Error() string { return "trap: " + e.Reason }
+
+// EvalALU computes the pure result of a non-memory data operation on
+// operand values a and b. It returns the destination value (for classes
+// that write a register) and the condition-code value (for compares).
+// Memory operations (OpLoad/OpStore) are not handled here; the simulators
+// perform them against their memory model.
+func EvalALU(op Opcode, a, b Word) (result Word, cc bool, err error) {
+	switch op {
+	case OpNop:
+		return 0, false, nil
+
+	case OpIAdd:
+		return WordFromInt(a.Int() + b.Int()), false, nil
+	case OpISub:
+		return WordFromInt(a.Int() - b.Int()), false, nil
+	case OpIMult:
+		return WordFromInt(a.Int() * b.Int()), false, nil
+	case OpIDiv:
+		if b.Int() == 0 {
+			return 0, false, &TrapError{Reason: "integer divide by zero"}
+		}
+		return WordFromInt(a.Int() / b.Int()), false, nil
+	case OpIMod:
+		if b.Int() == 0 {
+			return 0, false, &TrapError{Reason: "integer modulo by zero"}
+		}
+		return WordFromInt(a.Int() % b.Int()), false, nil
+	case OpINeg:
+		return WordFromInt(-a.Int()), false, nil
+	case OpIAbs:
+		v := a.Int()
+		if v < 0 {
+			v = -v
+		}
+		return WordFromInt(v), false, nil
+
+	case OpAnd:
+		return a & b, false, nil
+	case OpOr:
+		return a | b, false, nil
+	case OpXor:
+		return a ^ b, false, nil
+	case OpNot:
+		return ^a, false, nil
+	case OpShl:
+		return a << (uint32(b) & 31), false, nil
+	case OpShr:
+		return a >> (uint32(b) & 31), false, nil
+	case OpSra:
+		return WordFromInt(a.Int() >> (uint32(b) & 31)), false, nil
+
+	case OpEq:
+		return 0, a.Int() == b.Int(), nil
+	case OpNe:
+		return 0, a.Int() != b.Int(), nil
+	case OpLt:
+		return 0, a.Int() < b.Int(), nil
+	case OpLe:
+		return 0, a.Int() <= b.Int(), nil
+	case OpGt:
+		return 0, a.Int() > b.Int(), nil
+	case OpGe:
+		return 0, a.Int() >= b.Int(), nil
+
+	case OpFAdd:
+		return WordFromFloat(a.Float() + b.Float()), false, nil
+	case OpFSub:
+		return WordFromFloat(a.Float() - b.Float()), false, nil
+	case OpFMult:
+		return WordFromFloat(a.Float() * b.Float()), false, nil
+	case OpFDiv:
+		// IEEE-754 semantics: x/0 is ±Inf or NaN, not a trap.
+		return WordFromFloat(a.Float() / b.Float()), false, nil
+	case OpFNeg:
+		return WordFromFloat(-a.Float()), false, nil
+	case OpFAbs:
+		v := a.Float()
+		if v < 0 {
+			v = -v
+		}
+		return WordFromFloat(v), false, nil
+
+	case OpFEq:
+		return 0, a.Float() == b.Float(), nil
+	case OpFNe:
+		return 0, a.Float() != b.Float(), nil
+	case OpFLt:
+		return 0, a.Float() < b.Float(), nil
+	case OpFLe:
+		return 0, a.Float() <= b.Float(), nil
+	case OpFGt:
+		return 0, a.Float() > b.Float(), nil
+	case OpFGe:
+		return 0, a.Float() >= b.Float(), nil
+
+	case OpItoF:
+		return WordFromFloat(float32(a.Int())), false, nil
+	case OpFtoI:
+		return WordFromInt(int32(a.Float())), false, nil
+
+	case OpLoad, OpStore:
+		return 0, false, fmt.Errorf("isa: EvalALU called on memory opcode %s", op)
+	}
+	return 0, false, fmt.Errorf("isa: EvalALU called on undefined opcode %d", uint8(op))
+}
+
+// EvalCond evaluates a branch condition against the global condition codes
+// and synchronization signals. cc[i] is CC_i at the start of the cycle;
+// ss[i] is SS_i during the cycle (combinational, per Figure 8). Slices are
+// indexed by FU number; numFU bounds the ALL/ANY reductions.
+func EvalCond(c CtrlOp, cc []bool, ss []Sync, numFU int) bool {
+	switch c.Cond {
+	case CondCC:
+		return cc[c.Idx]
+	case CondNotCC:
+		return !cc[c.Idx]
+	case CondSS:
+		return ss[c.Idx] == Done
+	case CondNotSS:
+		return ss[c.Idx] == Busy
+	case CondAllSS:
+		for i := 0; i < numFU; i++ {
+			if ss[i] != Done {
+				return false
+			}
+		}
+		return true
+	case CondAnySS:
+		for i := 0; i < numFU; i++ {
+			if ss[i] == Done {
+				return true
+			}
+		}
+		return false
+	case CondAllSSMask:
+		for i := 0; i < numFU; i++ {
+			if c.Mask&(1<<i) != 0 && ss[i] != Done {
+				return false
+			}
+		}
+		return true
+	case CondAnySSMask:
+		for i := 0; i < numFU; i++ {
+			if c.Mask&(1<<i) != 0 && ss[i] == Done {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

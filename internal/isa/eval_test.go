@@ -1,0 +1,248 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalInt(t *testing.T, op Opcode, a, b int32) int32 {
+	t.Helper()
+	r, _, err := EvalALU(op, WordFromInt(a), WordFromInt(b))
+	if err != nil {
+		t.Fatalf("EvalALU(%s, %d, %d): %v", op, a, b, err)
+	}
+	return r.Int()
+}
+
+func evalCC(t *testing.T, op Opcode, a, b Word) bool {
+	t.Helper()
+	_, cc, err := EvalALU(op, a, b)
+	if err != nil {
+		t.Fatalf("EvalALU(%s): %v", op, err)
+	}
+	return cc
+}
+
+func TestIntegerArithmetic(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b int32
+		want int32
+	}{
+		{OpIAdd, 2, 3, 5},
+		{OpIAdd, math.MaxInt32, 1, math.MinInt32}, // wraparound
+		{OpISub, 2, 3, -1},
+		{OpIMult, -4, 6, -24},
+		{OpIDiv, 7, 2, 3},
+		{OpIDiv, -7, 2, -3}, // Go/C truncating division
+		{OpIMod, 7, 3, 1},
+		{OpIMod, -7, 3, -1},
+		{OpINeg, 9, 0, -9},
+		{OpIAbs, -9, 0, 9},
+		{OpIAbs, 9, 0, 9},
+		{OpAnd, 0b1100, 0b1010, 0b1000},
+		{OpOr, 0b1100, 0b1010, 0b1110},
+		{OpXor, 0b1100, 0b1010, 0b0110},
+		{OpNot, 0, 0, -1},
+		{OpShl, 1, 4, 16},
+		{OpShl, 1, 36, 16}, // shift amount masked to 5 bits
+		{OpShr, -1, 28, 15},
+		{OpSra, -16, 2, -4},
+	}
+	for _, c := range cases {
+		if got := evalInt(t, c.op, c.a, c.b); got != c.want {
+			t.Errorf("%s(%d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	for _, op := range []Opcode{OpIDiv, OpIMod} {
+		_, _, err := EvalALU(op, WordFromInt(1), WordFromInt(0))
+		if _, ok := err.(*TrapError); !ok {
+			t.Errorf("%s by zero: err = %v, want TrapError", op, err)
+		}
+	}
+}
+
+func TestIntegerCompares(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b int32
+		want bool
+	}{
+		{OpEq, 3, 3, true}, {OpEq, 3, 4, false},
+		{OpNe, 3, 4, true}, {OpNe, 3, 3, false},
+		{OpLt, -1, 0, true}, {OpLt, 0, 0, false},
+		{OpLe, 0, 0, true}, {OpLe, 1, 0, false},
+		{OpGt, 1, 0, true}, {OpGt, 0, 0, false},
+		{OpGe, 0, 0, true}, {OpGe, -1, 0, false},
+	}
+	for _, c := range cases {
+		if got := evalCC(t, c.op, WordFromInt(c.a), WordFromInt(c.b)); got != c.want {
+			t.Errorf("%s(%d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	f := func(op Opcode, a, b float32) float32 {
+		r, _, err := EvalALU(op, WordFromFloat(a), WordFromFloat(b))
+		if err != nil {
+			t.Fatalf("EvalALU(%s): %v", op, err)
+		}
+		return r.Float()
+	}
+	if got := f(OpFAdd, 1.5, 2.25); got != 3.75 {
+		t.Errorf("fadd = %g", got)
+	}
+	if got := f(OpFSub, 1.5, 2.25); got != -0.75 {
+		t.Errorf("fsub = %g", got)
+	}
+	if got := f(OpFMult, 3, 0.5); got != 1.5 {
+		t.Errorf("fmult = %g", got)
+	}
+	if got := f(OpFDiv, 1, 4); got != 0.25 {
+		t.Errorf("fdiv = %g", got)
+	}
+	if got := f(OpFDiv, 1, 0); !math.IsInf(float64(got), 1) {
+		t.Errorf("fdiv by zero = %g, want +Inf (IEEE, no trap)", got)
+	}
+	if got := f(OpFNeg, 2, 0); got != -2 {
+		t.Errorf("fneg = %g", got)
+	}
+	if got := f(OpFAbs, -2, 0); got != 2 {
+		t.Errorf("fabs = %g", got)
+	}
+}
+
+func TestFloatCompares(t *testing.T) {
+	a, b := WordFromFloat(1.5), WordFromFloat(2.5)
+	if !evalCC(t, OpFLt, a, b) || evalCC(t, OpFGt, a, b) {
+		t.Error("float compare ordering broken")
+	}
+	nan := WordFromFloat(float32(math.NaN()))
+	if evalCC(t, OpFEq, nan, nan) {
+		t.Error("NaN == NaN should be false")
+	}
+	if !evalCC(t, OpFNe, nan, nan) {
+		t.Error("NaN != NaN should be true")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	r, _, err := EvalALU(OpItoF, WordFromInt(-3), 0)
+	if err != nil || r.Float() != -3.0 {
+		t.Errorf("itof(-3) = %g, %v", r.Float(), err)
+	}
+	r, _, err = EvalALU(OpFtoI, WordFromFloat(2.9), 0)
+	if err != nil || r.Int() != 2 {
+		t.Errorf("ftoi(2.9) = %d, %v (want truncation)", r.Int(), err)
+	}
+}
+
+func TestEvalALUMemoryOpsRejected(t *testing.T) {
+	for _, op := range []Opcode{OpLoad, OpStore} {
+		if _, _, err := EvalALU(op, 0, 0); err == nil {
+			t.Errorf("EvalALU(%s) should refuse memory opcodes", op)
+		}
+	}
+}
+
+func TestEvalALUNopIsIdentityZero(t *testing.T) {
+	r, cc, err := EvalALU(OpNop, WordFromInt(123), WordFromInt(456))
+	if err != nil || r != 0 || cc {
+		t.Errorf("nop = (%d, %v, %v)", r, cc, err)
+	}
+}
+
+// Property: iadd/isub are inverses modulo 2^32.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, _, _ := EvalALU(OpIAdd, WordFromInt(a), WordFromInt(b))
+		back, _, _ := EvalALU(OpISub, sum, WordFromInt(b))
+		return back.Int() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: compare trichotomy — exactly one of lt, eq, gt holds.
+func TestCompareTrichotomyProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		wa, wb := WordFromInt(a), WordFromInt(b)
+		_, lt, _ := EvalALU(OpLt, wa, wb)
+		_, eq, _ := EvalALU(OpEq, wa, wb)
+		_, gt, _ := EvalALU(OpGt, wa, wb)
+		n := 0
+		for _, v := range []bool{lt, eq, gt} {
+			if v {
+				n++
+			}
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every compare op and its negation partition all inputs.
+func TestCompareNegationProperty(t *testing.T) {
+	pairs := [][2]Opcode{{OpEq, OpNe}, {OpLt, OpGe}, {OpGt, OpLe}}
+	f := func(a, b int32) bool {
+		wa, wb := WordFromInt(a), WordFromInt(b)
+		for _, pr := range pairs {
+			_, x, _ := EvalALU(pr[0], wa, wb)
+			_, y, _ := EvalALU(pr[1], wa, wb)
+			if x == y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalCond(t *testing.T) {
+	cc := []bool{true, false, true, false, false, false, false, false}
+	ss := []Sync{Done, Busy, Done, Done, Busy, Busy, Busy, Busy}
+	n := 4
+	cases := []struct {
+		c    CtrlOp
+		want bool
+	}{
+		{IfCC(0, 1, 2), true},
+		{IfCC(1, 1, 2), false},
+		{IfNotCC(1, 1, 2), true},
+		{IfSS(0, 1, 2), true},
+		{IfSS(1, 1, 2), false},
+		{IfNotSS(1, 1, 2), true},
+		{IfAllSS(1, 2), false}, // SS1 is BUSY
+		{IfAnySS(1, 2), true},
+		{IfAllSSMask(0b1101, 1, 2), true},  // FUs 0,2,3 all DONE
+		{IfAllSSMask(0b0011, 1, 2), false}, // FU1 BUSY
+		{IfAnySSMask(0b0010, 1, 2), false},
+		{IfAnySSMask(0b0110, 1, 2), true},
+	}
+	for _, c := range cases {
+		if got := EvalCond(c.c, cc, ss, n); got != c.want {
+			t.Errorf("EvalCond(%s) = %v, want %v", c.c, got, c.want)
+		}
+	}
+}
+
+func TestEvalCondAllSSBoundedByNumFU(t *testing.T) {
+	// FUs beyond numFU must not affect the reduction.
+	ss := []Sync{Done, Done, Busy, Busy, Busy, Busy, Busy, Busy}
+	if !EvalCond(IfAllSS(1, 2), make([]bool, 8), ss, 2) {
+		t.Error("ALL-SS over first 2 FUs should be true")
+	}
+	if EvalCond(IfAllSS(1, 2), make([]bool, 8), ss, 3) {
+		t.Error("ALL-SS over first 3 FUs should be false")
+	}
+}

@@ -1,0 +1,252 @@
+// Package isa defines the XIMD-1 instruction set architecture from
+// Wolfe & Shen, "A Variable Instruction Stream Extension to the VLIW
+// Architecture" (ASPLOS 1991), Section 2.2.
+//
+// An XIMD instruction is composed of one instruction parcel per functional
+// unit (FU). Each parcel carries:
+//
+//   - one data-path operation (a 3-address register/constant operation,
+//     a memory operation, or a compare that sets the FU's condition code),
+//   - one control-path operation (two explicit branch targets T1 and T2
+//     selected by a condition over the global condition codes CC_0..CC_n-1
+//     and synchronization signals SS_0..SS_n-1), and
+//   - the synchronization signal value (BUSY or DONE) the FU drives while
+//     executing the parcel.
+//
+// The research model (XIMD-1) has no program-counter incrementer: every
+// parcel names its successor(s) explicitly. All operations complete in one
+// cycle. Two 32-bit data types are supported, int and float.
+package isa
+
+import "fmt"
+
+// Opcode identifies a data-path operation. The set is the closure of the
+// operations used by the paper's examples plus the "common integer and
+// floating point arithmetic, logical, and compare instructions" the paper
+// states are available (Figure 7 and surrounding text).
+type Opcode uint8
+
+const (
+	// OpNop performs no data-path operation.
+	OpNop Opcode = iota
+
+	// Integer arithmetic (Figure 7): a OP b -> d.
+	OpIAdd  // a + b -> d
+	OpISub  // a - b -> d
+	OpIMult // a * b -> d
+	OpIDiv  // a / b -> d (traps on divide by zero)
+	OpIMod  // a % b -> d (traps on divide by zero)
+	OpINeg  // -a -> d
+	OpIAbs  // |a| -> d
+
+	// Logical and shift operations: a OP b -> d.
+	OpAnd // a & b -> d
+	OpOr  // a | b -> d
+	OpXor // a ^ b -> d
+	OpNot // ^a -> d
+	OpShl // a << b -> d (b masked to 0..31)
+	OpShr // logical a >> b -> d
+	OpSra // arithmetic a >> b -> d
+
+	// Integer compares: set the executing FU's condition code register
+	// CC_i to the comparison result; d is unused.
+	OpEq // CC_i = (a == b)
+	OpNe // CC_i = (a != b)
+	OpLt // CC_i = (a < b)
+	OpLe // CC_i = (a <= b)
+	OpGt // CC_i = (a > b)
+	OpGe // CC_i = (a >= b)
+
+	// Floating point arithmetic: a OP b -> d on float32 values.
+	OpFAdd  // a + b -> d
+	OpFSub  // a - b -> d
+	OpFMult // a * b -> d
+	OpFDiv  // a / b -> d
+	OpFNeg  // -a -> d
+	OpFAbs  // |a| -> d
+
+	// Floating point compares: set CC_i; d is unused.
+	OpFEq // CC_i = (a == b)
+	OpFNe // CC_i = (a != b)
+	OpFLt // CC_i = (a < b)
+	OpFLe // CC_i = (a <= b)
+	OpFGt // CC_i = (a > b)
+	OpFGe // CC_i = (a >= b)
+
+	// Conversions.
+	OpItoF // float32(int32(a)) -> d
+	OpFtoI // int32(float32(a)) -> d (truncating)
+
+	// Memory operations (Figure 7). Addresses are word addresses into the
+	// shared address space.
+	OpLoad  // M(a + b) -> d
+	OpStore // a -> M(b); d is unused
+
+	numOpcodes // sentinel; must remain last
+)
+
+// NumOpcodes is the number of defined opcodes; valid opcodes are
+// in [0, NumOpcodes).
+const NumOpcodes = int(numOpcodes)
+
+var opcodeNames = [...]string{
+	OpNop:   "nop",
+	OpIAdd:  "iadd",
+	OpISub:  "isub",
+	OpIMult: "imult",
+	OpIDiv:  "idiv",
+	OpIMod:  "imod",
+	OpINeg:  "ineg",
+	OpIAbs:  "iabs",
+	OpAnd:   "and",
+	OpOr:    "or",
+	OpXor:   "xor",
+	OpNot:   "not",
+	OpShl:   "shl",
+	OpShr:   "shr",
+	OpSra:   "sra",
+	OpEq:    "eq",
+	OpNe:    "ne",
+	OpLt:    "lt",
+	OpLe:    "le",
+	OpGt:    "gt",
+	OpGe:    "ge",
+	OpFAdd:  "fadd",
+	OpFSub:  "fsub",
+	OpFMult: "fmult",
+	OpFDiv:  "fdiv",
+	OpFNeg:  "fneg",
+	OpFAbs:  "fabs",
+	OpFEq:   "feq",
+	OpFNe:   "fne",
+	OpFLt:   "flt",
+	OpFLe:   "fle",
+	OpFGt:   "fgt",
+	OpFGe:   "fge",
+	OpItoF:  "itof",
+	OpFtoI:  "ftoi",
+	OpLoad:  "load",
+	OpStore: "store",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("opcode(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// OpcodeByName returns the opcode with the given assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opcodeIndex[name]
+	return op, ok
+}
+
+var opcodeIndex = func() map[string]Opcode {
+	m := make(map[string]Opcode, len(opcodeNames))
+	for op, name := range opcodeNames {
+		m[name] = Opcode(op)
+	}
+	return m
+}()
+
+// Class describes the structural shape of a data operation: how many
+// source operands it reads and whether it writes a destination register,
+// the condition code, or memory.
+type Class uint8
+
+const (
+	// ClassNop has no operands and no effects.
+	ClassNop Class = iota
+	// ClassBinary reads a and b and writes register d.
+	ClassBinary
+	// ClassUnary reads a and writes register d (b unused).
+	ClassUnary
+	// ClassCompare reads a and b and writes the FU's condition code.
+	ClassCompare
+	// ClassLoad reads a and b as an address pair and writes register d.
+	ClassLoad
+	// ClassStore reads a (the value) and b (the address); no register
+	// destination.
+	ClassStore
+)
+
+var opcodeClasses = [...]Class{
+	OpNop:   ClassNop,
+	OpIAdd:  ClassBinary,
+	OpISub:  ClassBinary,
+	OpIMult: ClassBinary,
+	OpIDiv:  ClassBinary,
+	OpIMod:  ClassBinary,
+	OpINeg:  ClassUnary,
+	OpIAbs:  ClassUnary,
+	OpAnd:   ClassBinary,
+	OpOr:    ClassBinary,
+	OpXor:   ClassBinary,
+	OpNot:   ClassUnary,
+	OpShl:   ClassBinary,
+	OpShr:   ClassBinary,
+	OpSra:   ClassBinary,
+	OpEq:    ClassCompare,
+	OpNe:    ClassCompare,
+	OpLt:    ClassCompare,
+	OpLe:    ClassCompare,
+	OpGt:    ClassCompare,
+	OpGe:    ClassCompare,
+	OpFAdd:  ClassBinary,
+	OpFSub:  ClassBinary,
+	OpFMult: ClassBinary,
+	OpFDiv:  ClassBinary,
+	OpFNeg:  ClassUnary,
+	OpFAbs:  ClassUnary,
+	OpFEq:   ClassCompare,
+	OpFNe:   ClassCompare,
+	OpFLt:   ClassCompare,
+	OpFLe:   ClassCompare,
+	OpFGt:   ClassCompare,
+	OpFGe:   ClassCompare,
+	OpItoF:  ClassUnary,
+	OpFtoI:  ClassUnary,
+	OpLoad:  ClassLoad,
+	OpStore: ClassStore,
+}
+
+// ClassOf returns the structural class of the opcode.
+func ClassOf(op Opcode) Class {
+	if int(op) < len(opcodeClasses) {
+		return opcodeClasses[op]
+	}
+	return ClassNop
+}
+
+// ReadsA reports whether operations of class c read source operand a.
+func (c Class) ReadsA() bool { return c != ClassNop }
+
+// ReadsB reports whether operations of class c read source operand b.
+func (c Class) ReadsB() bool {
+	return c == ClassBinary || c == ClassCompare || c == ClassLoad || c == ClassStore
+}
+
+// WritesReg reports whether operations of class c write destination
+// register d.
+func (c Class) WritesReg() bool {
+	return c == ClassBinary || c == ClassUnary || c == ClassLoad
+}
+
+// WritesCC reports whether operations of class c write the executing FU's
+// condition code register.
+func (c Class) WritesCC() bool { return c == ClassCompare }
+
+// IsFloat reports whether the opcode interprets its operands as float32.
+func (op Opcode) IsFloat() bool {
+	switch op {
+	case OpFAdd, OpFSub, OpFMult, OpFDiv, OpFNeg, OpFAbs,
+		OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe, OpFtoI:
+		return true
+	}
+	return false
+}

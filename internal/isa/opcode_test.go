@@ -1,0 +1,168 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeNamesUniqueAndComplete(t *testing.T) {
+	seen := make(map[string]Opcode)
+	for op := Opcode(0); op.Valid(); op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, ok := seen[name]; ok {
+			t.Fatalf("opcodes %d and %d share name %q", prev, op, name)
+		}
+		seen[name] = op
+		got, ok := OpcodeByName(name)
+		if !ok || got != op {
+			t.Fatalf("OpcodeByName(%q) = %v, %v; want %v, true", name, got, ok, op)
+		}
+	}
+	if len(seen) != NumOpcodes {
+		t.Fatalf("got %d named opcodes, want %d", len(seen), NumOpcodes)
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Fatal("OpcodeByName accepted an undefined mnemonic")
+	}
+}
+
+func TestInvalidOpcodeString(t *testing.T) {
+	bad := Opcode(200)
+	if bad.Valid() {
+		t.Fatal("opcode 200 should be invalid")
+	}
+	if got := bad.String(); got != "opcode(200)" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestClassShapes(t *testing.T) {
+	cases := []struct {
+		op                  Opcode
+		readsA, readsB      bool
+		writesReg, writesCC bool
+	}{
+		{OpNop, false, false, false, false},
+		{OpIAdd, true, true, true, false},
+		{OpINeg, true, false, true, false},
+		{OpNot, true, false, true, false},
+		{OpLt, true, true, false, true},
+		{OpFGe, true, true, false, true},
+		{OpLoad, true, true, true, false},
+		{OpStore, true, true, false, false},
+		{OpItoF, true, false, true, false},
+	}
+	for _, c := range cases {
+		cl := ClassOf(c.op)
+		if cl.ReadsA() != c.readsA || cl.ReadsB() != c.readsB ||
+			cl.WritesReg() != c.writesReg || cl.WritesCC() != c.writesCC {
+			t.Errorf("%s: class shape = (%v,%v,%v,%v), want (%v,%v,%v,%v)",
+				c.op, cl.ReadsA(), cl.ReadsB(), cl.WritesReg(), cl.WritesCC(),
+				c.readsA, c.readsB, c.writesReg, c.writesCC)
+		}
+	}
+}
+
+func TestEveryOpcodeHasClass(t *testing.T) {
+	if len(opcodeClasses) != NumOpcodes {
+		t.Fatalf("opcodeClasses has %d entries, want %d", len(opcodeClasses), NumOpcodes)
+	}
+	for op := Opcode(0); op.Valid(); op++ {
+		cl := ClassOf(op)
+		switch cl {
+		case ClassNop, ClassBinary, ClassUnary, ClassCompare, ClassLoad, ClassStore:
+		default:
+			t.Errorf("%s: undefined class %d", op, cl)
+		}
+	}
+}
+
+func TestIsFloat(t *testing.T) {
+	floats := []Opcode{OpFAdd, OpFSub, OpFMult, OpFDiv, OpFNeg, OpFAbs, OpFEq, OpFNe, OpFLt, OpFLe, OpFGt, OpFGe, OpFtoI}
+	ints := []Opcode{OpIAdd, OpLt, OpLoad, OpStore, OpNop, OpItoF, OpShl}
+	for _, op := range floats {
+		if !op.IsFloat() {
+			t.Errorf("%s.IsFloat() = false, want true", op)
+		}
+	}
+	for _, op := range ints {
+		if op.IsFloat() {
+			t.Errorf("%s.IsFloat() = true, want false", op)
+		}
+	}
+}
+
+func TestWordConversions(t *testing.T) {
+	if got := WordFromInt(-7).Int(); got != -7 {
+		t.Errorf("int round trip = %d", got)
+	}
+	if got := WordFromFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("float round trip = %g", got)
+	}
+	// Int and float views of the same bits coexist.
+	w := WordFromFloat(1.0)
+	if w.Int() != 0x3f800000 {
+		t.Errorf("bits of 1.0f = %#x", uint32(w))
+	}
+}
+
+func TestWordIntRoundTripProperty(t *testing.T) {
+	f := func(v int32) bool { return WordFromInt(v).Int() == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		o    Operand
+		want string
+	}{
+		{R(0), "r0"},
+		{R(255), "r255"},
+		{I(42), "#42"},
+		{I(-3), "#-3"},
+	}
+	for _, c := range cases {
+		if got := c.o.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.o, got, c.want)
+		}
+	}
+}
+
+func TestOperandEqual(t *testing.T) {
+	if !R(5).Equal(R(5)) || R(5).Equal(R(6)) {
+		t.Error("register equality broken")
+	}
+	if !I(7).Equal(I(7)) || I(7).Equal(I(8)) {
+		t.Error("immediate equality broken")
+	}
+	if R(7).Equal(I(7)) {
+		t.Error("register equals immediate")
+	}
+}
+
+func TestDataOpString(t *testing.T) {
+	cases := []struct {
+		d    DataOp
+		want string
+	}{
+		{Nop, "nop"},
+		{DataOp{Op: OpIAdd, A: R(1), B: I(4), Dest: 3}, "iadd r1, #4, r3"},
+		{DataOp{Op: OpINeg, A: R(2), Dest: 9}, "ineg r2, r9"},
+		{DataOp{Op: OpLt, A: R(1), B: I(2)}, "lt r1, #2"},
+		{DataOp{Op: OpStore, A: R(4), B: R(5)}, "store r4, r5"},
+		{DataOp{Op: OpLoad, A: I(16), B: R(2), Dest: 7}, "load #16, r2, r7"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// NumRegs is the number of registers in the XIMD-1 global register file
+// (Section 4.3: 256 registers).
+const NumRegs = 256
+
+// Word is the 32-bit machine word. It holds either a two's-complement
+// integer or an IEEE-754 single-precision float; the interpretation is
+// chosen by the opcode, exactly as on the real datapath.
+type Word uint32
+
+// Int returns the word interpreted as a signed 32-bit integer.
+func (w Word) Int() int32 { return int32(w) }
+
+// Float returns the word interpreted as an IEEE-754 float32.
+func (w Word) Float() float32 { return math.Float32frombits(uint32(w)) }
+
+// WordFromInt builds a word from a signed integer.
+func WordFromInt(v int32) Word { return Word(uint32(v)) }
+
+// WordFromFloat builds a word from a float32.
+func WordFromFloat(v float32) Word { return Word(math.Float32bits(v)) }
+
+// OperandKind distinguishes register operands from constants. The research
+// model allows any operand to be a register or a constant ("The three
+// operands may be registers or constants", Section 2.2).
+type OperandKind uint8
+
+const (
+	// Reg is a register operand; Operand.Reg holds the register number.
+	Reg OperandKind = iota
+	// Imm is an immediate constant; Operand.Imm holds the raw 32 bits.
+	Imm
+)
+
+// Operand is a data-operation operand: either a register number or an
+// immediate 32-bit constant.
+type Operand struct {
+	Kind OperandKind
+	Reg  uint8 // register number when Kind == Reg
+	Imm  Word  // raw constant bits when Kind == Imm
+}
+
+// R returns a register operand.
+func R(n uint8) Operand { return Operand{Kind: Reg, Reg: n} }
+
+// I returns an integer immediate operand.
+func I(v int32) Operand { return Operand{Kind: Imm, Imm: WordFromInt(v)} }
+
+// F returns a float immediate operand.
+func F(v float32) Operand { return Operand{Kind: Imm, Imm: WordFromFloat(v)} }
+
+// IsReg reports whether the operand is a register.
+func (o Operand) IsReg() bool { return o.Kind == Reg }
+
+// String renders the operand in assembler syntax: registers as rN,
+// constants as #v (decimal integer, or #bits:0x… if the value is not
+// exactly representable in decimal integer form — i.e. never; integers
+// always render in decimal).
+func (o Operand) String() string {
+	if o.Kind == Reg {
+		return "r" + strconv.Itoa(int(o.Reg))
+	}
+	return "#" + strconv.Itoa(int(o.Imm.Int()))
+}
+
+// Equal reports whether two operands are identical.
+func (o Operand) Equal(p Operand) bool {
+	if o.Kind != p.Kind {
+		return false
+	}
+	if o.Kind == Reg {
+		return o.Reg == p.Reg
+	}
+	return o.Imm == p.Imm
+}
+
+// DataOp is one data-path operation: an opcode and three operand fields.
+// Fields that the opcode's class does not use are ignored (and should be
+// left zero). Dest must be a register operand when the class writes a
+// register.
+type DataOp struct {
+	Op   Opcode
+	A, B Operand
+	Dest uint8 // destination register number
+}
+
+// Nop is the canonical no-operation data op.
+var Nop = DataOp{Op: OpNop}
+
+// Validate checks structural validity of the data operation.
+func (d DataOp) Validate() error {
+	if !d.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", uint8(d.Op))
+	}
+	return nil
+}
+
+// String renders the operation in assembler syntax, e.g. "iadd r1, #4, r3".
+// Compares and stores render without a destination; unary ops render with
+// a single source.
+func (d DataOp) String() string {
+	c := ClassOf(d.Op)
+	switch c {
+	case ClassNop:
+		return d.Op.String()
+	case ClassUnary:
+		return fmt.Sprintf("%s %s, r%d", d.Op, d.A, d.Dest)
+	case ClassCompare, ClassStore:
+		return fmt.Sprintf("%s %s, %s", d.Op, d.A, d.B)
+	default: // ClassBinary, ClassLoad
+		return fmt.Sprintf("%s %s, %s, r%d", d.Op, d.A, d.B, d.Dest)
+	}
+}

@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumFU is the number of functional units in the XIMD-1 research model
+// (Section 2.2: "The model contains 8 homogeneous universal functional
+// units"). Machines may be configured narrower; NumFU is the architectural
+// maximum used by fixed-size structures.
+const NumFU = 8
+
+// Parcel is the set of instruction fields that controls one functional
+// unit for one cycle (Section 2.4: "Instruction Parcel"). Eight parcels
+// comprise one instruction, whether or not they are issued from the same
+// physical address.
+type Parcel struct {
+	// Data is the data-path operation.
+	Data DataOp
+	// Ctrl is the control-path operation (next-state function δi).
+	Ctrl CtrlOp
+	// Sync is the value driven on SS_i while this parcel executes.
+	Sync Sync
+	// Trap marks an unoccupied instruction-memory slot. The assembler
+	// fills addresses that a functional unit's stream does not define with
+	// trap parcels; executing one is a simulation error, which catches
+	// control-flow bugs instead of silently executing garbage.
+	Trap bool
+}
+
+// TrapParcel is the canonical filler for unoccupied instruction slots.
+var TrapParcel = Parcel{Trap: true, Ctrl: Halt()}
+
+// HaltParcel is a parcel that performs no operation and halts the FU.
+var HaltParcel = Parcel{Data: Nop, Ctrl: Halt(), Sync: Done}
+
+// Validate checks the parcel's structural validity for a machine with
+// numFU functional units.
+func (p Parcel) Validate(numFU int) error {
+	if p.Trap {
+		return nil
+	}
+	if err := p.Data.Validate(); err != nil {
+		return err
+	}
+	return p.Ctrl.Validate(numFU)
+}
+
+// String renders the parcel as "data ; ctrl ; SYNC" in assembler syntax.
+func (p Parcel) String() string {
+	if p.Trap {
+		return "trap"
+	}
+	return fmt.Sprintf("%s ; %s ; %s", p.Data, p.Ctrl, p.Sync)
+}
+
+// Instruction is one very long instruction word: one parcel per
+// functional unit, all stored at the same instruction-memory address.
+// Individual FUs fetch their parcel through their own program counter, so
+// the parcels actually executed in a cycle may come from different
+// instructions.
+type Instruction [NumFU]Parcel
+
+// Program is an assembled XIMD program: a dense instruction memory plus
+// symbolic metadata. The zero value is an empty program.
+type Program struct {
+	// Instrs is the instruction memory; Instrs[addr][fu] is the parcel
+	// fetched by functional unit fu at address addr.
+	Instrs []Instruction
+	// NumFU is the number of functional units the program was assembled
+	// for (1..8). Parcels for FUs >= NumFU are trap parcels.
+	NumFU int
+	// Entry is the common start address; every FU begins execution here
+	// ("Assume that in every example program, all functional units begin
+	// execution together at address 00:", Figure 9).
+	Entry Addr
+	// Labels maps symbolic labels to addresses (for traces and
+	// disassembly). May be nil.
+	Labels map[string]Addr
+}
+
+// Len returns the number of instruction-memory addresses used.
+func (p *Program) Len() int { return len(p.Instrs) }
+
+// Parcel returns the parcel for functional unit fu at address addr.
+// Out-of-range fetches return a trap parcel.
+func (p *Program) Parcel(addr Addr, fu int) Parcel {
+	if int(addr) >= len(p.Instrs) || fu < 0 || fu >= NumFU {
+		return TrapParcel
+	}
+	return p.Instrs[addr][fu]
+}
+
+// Validate checks every parcel and branch target in the program.
+func (p *Program) Validate() error {
+	if p.NumFU < 1 || p.NumFU > NumFU {
+		return fmt.Errorf("program NumFU = %d, want 1..%d", p.NumFU, NumFU)
+	}
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("empty program")
+	}
+	if int(p.Entry) >= len(p.Instrs) {
+		return fmt.Errorf("entry address %d outside program of length %d", p.Entry, len(p.Instrs))
+	}
+	for addr, instr := range p.Instrs {
+		for fu := 0; fu < p.NumFU; fu++ {
+			parcel := instr[fu]
+			if err := parcel.Validate(p.NumFU); err != nil {
+				return fmt.Errorf("addr %d fu %d: %w", addr, fu, err)
+			}
+			for _, t := range parcel.Ctrl.Targets() {
+				if int(t) >= len(p.Instrs) {
+					return fmt.Errorf("addr %d fu %d: branch target %d outside program of length %d",
+						addr, fu, t, len(p.Instrs))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LabelAt returns a label bound to addr, if any. When several labels bind
+// to the same address the lexically smallest is returned, so output is
+// deterministic.
+func (p *Program) LabelAt(addr Addr) (string, bool) {
+	best := ""
+	for name, a := range p.Labels {
+		if a == addr && (best == "" || name < best) {
+			best = name
+		}
+	}
+	return best, best != ""
+}
+
+// OccupiedParcels counts non-trap parcels, a static code-size measure used
+// by the Figure 13 tile-packing experiments.
+func (p *Program) OccupiedParcels() int {
+	n := 0
+	for _, instr := range p.Instrs {
+		for fu := 0; fu < p.NumFU; fu++ {
+			if !instr[fu].Trap {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String renders the whole program as a listing, one address per block.
+func (p *Program) String() string {
+	var b strings.Builder
+	for addr := range p.Instrs {
+		if name, ok := p.LabelAt(Addr(addr)); ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		for fu := 0; fu < p.NumFU; fu++ {
+			fmt.Fprintf(&b, "%04d.%d  %s\n", addr, fu, p.Instrs[addr][fu])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package mem
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+)
+
+// Distributed models the prototype's per-FU memory (Section 4.3:
+// "Distributed Memory (1MB per FU)"). Each functional unit addresses only
+// its own bank; the shared register file is the only datapath between
+// threads, and the SS/CC networks the only synchronization, exactly as on
+// the prototype.
+type Distributed struct {
+	banks   [][]isa.Word
+	pending []pendingStore
+	cycle   uint64
+}
+
+// DefaultBankWords is the default bank size: 256K words (1MB per FU).
+const DefaultBankWords = 1 << 18
+
+// NewDistributed creates numFU banks of the given size in words; size 0
+// selects DefaultBankWords.
+func NewDistributed(numFU int, size uint32) *Distributed {
+	if size == 0 {
+		size = DefaultBankWords
+	}
+	banks := make([][]isa.Word, numFU)
+	for i := range banks {
+		banks[i] = make([]isa.Word, size)
+	}
+	return &Distributed{banks: banks}
+}
+
+// Load implements Memory: the access goes to fu's own bank.
+func (m *Distributed) Load(fu int, addr uint32) (isa.Word, error) {
+	if fu < 0 || fu >= len(m.banks) {
+		return 0, fmt.Errorf("mem: load from undefined bank %d", fu)
+	}
+	bank := m.banks[fu]
+	if addr >= uint32(len(bank)) {
+		return 0, &OutOfRangeError{Addr: addr, Size: uint32(len(bank)), FU: fu}
+	}
+	return bank[addr], nil
+}
+
+// Store implements Memory. Distinct FUs can never conflict — banks are
+// private — so conflicts cannot occur by construction.
+func (m *Distributed) Store(fu int, addr uint32, v isa.Word) error {
+	if fu < 0 || fu >= len(m.banks) {
+		return fmt.Errorf("mem: store to undefined bank %d", fu)
+	}
+	if addr >= uint32(len(m.banks[fu])) {
+		return &OutOfRangeError{Addr: addr, Size: uint32(len(m.banks[fu])), FU: fu}
+	}
+	m.pending = append(m.pending, pendingStore{addr: addr, val: v, fu: fu})
+	return nil
+}
+
+// BeginCycle implements Memory.
+func (m *Distributed) BeginCycle(cycle uint64) {
+	m.cycle = cycle
+	m.pending = m.pending[:0]
+}
+
+// Commit implements Memory.
+func (m *Distributed) Commit() {
+	for _, p := range m.pending {
+		m.banks[p.fu][p.addr] = p.val
+	}
+}
+
+// Poke writes a bank directly, for host initialization.
+func (m *Distributed) Poke(fu int, addr uint32, v isa.Word) {
+	if fu >= 0 && fu < len(m.banks) && addr < uint32(len(m.banks[fu])) {
+		m.banks[fu][addr] = v
+	}
+}
+
+// Peek reads a bank directly.
+func (m *Distributed) Peek(fu int, addr uint32) isa.Word {
+	if fu >= 0 && fu < len(m.banks) && addr < uint32(len(m.banks[fu])) {
+		return m.banks[fu][addr]
+	}
+	return 0
+}

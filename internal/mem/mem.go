@@ -1,0 +1,220 @@
+// Package mem provides the memory models used by the XIMD and VLIW
+// simulators.
+//
+// The research model uses an idealized shared memory (Section 2.3): one
+// shared word-addressed space, every functional unit may read or write
+// every cycle, all operations complete in one cycle, and multiple writes
+// to the same location in one cycle are undefined (detected and reported
+// here). The prototype instead uses distributed memory, 1MB per FU
+// (Section 4.3), which Distributed models.
+//
+// Memory-mapped devices (package device) can be attached to address
+// ranges to model the unpredictable processor interfaces of Sections 1.3
+// and 3.4 (Figure 12).
+package mem
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+)
+
+// Device is a memory-mapped peripheral. Loads observe the device at the
+// current cycle; stores take effect at cycle commit, matching the
+// synchronous datapath.
+type Device interface {
+	// Load returns the device's value at the given address offset within
+	// its mapped range during the given cycle.
+	Load(cycle uint64, offset uint32) isa.Word
+	// Store delivers a write to the device at cycle commit time.
+	Store(cycle uint64, offset uint32, v isa.Word)
+}
+
+// Memory is the interface the simulators drive. Loads see the state at
+// the start of the cycle; stores are staged and become visible at Commit.
+type Memory interface {
+	// Load reads the word at addr on behalf of functional unit fu.
+	Load(fu int, addr uint32) (isa.Word, error)
+	// Store stages a write of v to addr on behalf of fu. A same-cycle
+	// store conflict is reported as a *ConflictError; the write is still
+	// staged (last-staged-wins in tolerant mode).
+	Store(fu int, addr uint32, v isa.Word) error
+	// BeginCycle starts cycle accounting for the given cycle number.
+	BeginCycle(cycle uint64)
+	// Commit applies staged stores.
+	Commit()
+}
+
+// ConflictError reports multiple writes to one location in one cycle —
+// undefined on the real machine (Section 2.3).
+type ConflictError struct {
+	Addr     uint32
+	FirstFU  int
+	SecondFU int
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("memory write conflict: FU%d and FU%d both write M(%d) in one cycle",
+		e.FirstFU, e.SecondFU, e.Addr)
+}
+
+// OutOfRangeError reports an access outside the configured address space.
+type OutOfRangeError struct {
+	Addr uint32
+	Size uint32
+	FU   int
+}
+
+func (e *OutOfRangeError) Error() string {
+	return fmt.Sprintf("FU%d accesses M(%d) outside memory of %d words", e.FU, e.Addr, e.Size)
+}
+
+type mapping struct {
+	base, size uint32
+	dev        Device
+}
+
+type pendingStore struct {
+	addr uint32
+	val  isa.Word
+	fu   int
+	dev  *mapping // nil for plain memory
+}
+
+// Shared is the idealized shared memory of the research model.
+type Shared struct {
+	words    []isa.Word
+	mappings []mapping
+	pending  []pendingStore
+	cycle    uint64
+
+	loads  uint64
+	stores uint64
+}
+
+// DefaultWords is the default shared-memory size: 1M 32-bit words (4MB).
+const DefaultWords = 1 << 20
+
+// NewShared returns a shared memory of the given size in words; size 0
+// selects DefaultWords.
+func NewShared(size uint32) *Shared {
+	if size == 0 {
+		size = DefaultWords
+	}
+	return &Shared{words: make([]isa.Word, size)}
+}
+
+// Size returns the memory size in words.
+func (m *Shared) Size() uint32 { return uint32(len(m.words)) }
+
+// Map attaches a device to the address range [base, base+size). Mapped
+// ranges must not overlap each other and must lie inside the address
+// space; loads and stores in the range go to the device instead of RAM.
+func (m *Shared) Map(base, size uint32, dev Device) error {
+	if size == 0 {
+		return fmt.Errorf("mem: zero-length device mapping at %d", base)
+	}
+	if base+size < base || base+size > m.Size() {
+		return fmt.Errorf("mem: device mapping [%d,%d) outside memory of %d words", base, base+size, m.Size())
+	}
+	for _, mp := range m.mappings {
+		if base < mp.base+mp.size && mp.base < base+size {
+			return fmt.Errorf("mem: device mapping [%d,%d) overlaps existing [%d,%d)",
+				base, base+size, mp.base, mp.base+mp.size)
+		}
+	}
+	m.mappings = append(m.mappings, mapping{base: base, size: size, dev: dev})
+	return nil
+}
+
+func (m *Shared) findMapping(addr uint32) *mapping {
+	for i := range m.mappings {
+		mp := &m.mappings[i]
+		if addr >= mp.base && addr < mp.base+mp.size {
+			return mp
+		}
+	}
+	return nil
+}
+
+// Load implements Memory.
+func (m *Shared) Load(fu int, addr uint32) (isa.Word, error) {
+	m.loads++
+	if mp := m.findMapping(addr); mp != nil {
+		return mp.dev.Load(m.cycle, addr-mp.base), nil
+	}
+	if addr >= m.Size() {
+		return 0, &OutOfRangeError{Addr: addr, Size: m.Size(), FU: fu}
+	}
+	return m.words[addr], nil
+}
+
+// Store implements Memory.
+func (m *Shared) Store(fu int, addr uint32, v isa.Word) error {
+	m.stores++
+	mp := m.findMapping(addr)
+	if mp == nil && addr >= m.Size() {
+		return &OutOfRangeError{Addr: addr, Size: m.Size(), FU: fu}
+	}
+	var conflict error
+	for _, p := range m.pending {
+		if p.addr == addr {
+			conflict = &ConflictError{Addr: addr, FirstFU: p.fu, SecondFU: fu}
+			break
+		}
+	}
+	m.pending = append(m.pending, pendingStore{addr: addr, val: v, fu: fu, dev: mp})
+	return conflict
+}
+
+// BeginCycle implements Memory.
+func (m *Shared) BeginCycle(cycle uint64) {
+	m.cycle = cycle
+	m.pending = m.pending[:0]
+}
+
+// Commit implements Memory.
+func (m *Shared) Commit() {
+	for _, p := range m.pending {
+		if p.dev != nil {
+			p.dev.dev.Store(m.cycle, p.addr-p.dev.base, p.val)
+		} else {
+			m.words[p.addr] = p.val
+		}
+	}
+}
+
+// Peek reads RAM directly, bypassing devices and accounting.
+func (m *Shared) Peek(addr uint32) isa.Word {
+	if addr >= m.Size() {
+		return 0
+	}
+	return m.words[addr]
+}
+
+// Poke writes RAM directly, bypassing devices and accounting; for host
+// initialization of workload data.
+func (m *Shared) Poke(addr uint32, v isa.Word) {
+	if addr < m.Size() {
+		m.words[addr] = v
+	}
+}
+
+// PokeInts writes consecutive integers starting at base.
+func (m *Shared) PokeInts(base uint32, vals ...int32) {
+	for i, v := range vals {
+		m.Poke(base+uint32(i), isa.WordFromInt(v))
+	}
+}
+
+// PeekInts reads n consecutive integers starting at base.
+func (m *Shared) PeekInts(base uint32, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = m.Peek(base + uint32(i)).Int()
+	}
+	return out
+}
+
+// Counters returns cumulative load/store counts.
+func (m *Shared) Counters() (loads, stores uint64) { return m.loads, m.stores }

@@ -1,0 +1,214 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ximd/internal/isa"
+)
+
+func TestSharedLoadStoreCycleSemantics(t *testing.T) {
+	m := NewShared(64)
+	m.Poke(5, isa.WordFromInt(11))
+	m.BeginCycle(0)
+	if err := m.Store(0, 5, isa.WordFromInt(99)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Load(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 11 {
+		t.Fatalf("load during cycle = %d, want start-of-cycle 11", v.Int())
+	}
+	m.Commit()
+	if m.Peek(5).Int() != 99 {
+		t.Fatalf("after commit = %d", m.Peek(5).Int())
+	}
+}
+
+func TestSharedWriteConflict(t *testing.T) {
+	m := NewShared(64)
+	m.BeginCycle(0)
+	if err := m.Store(2, 9, isa.WordFromInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Store(5, 9, isa.WordFromInt(2))
+	var ce *ConflictError
+	if !errors.As(err, &ce) || ce.Addr != 9 || ce.FirstFU != 2 || ce.SecondFU != 5 {
+		t.Fatalf("err = %v, want ConflictError{9,2,5}", err)
+	}
+	m.Commit()
+	if m.Peek(9).Int() != 2 {
+		t.Fatalf("tolerant resolution = %d, want last staged", m.Peek(9).Int())
+	}
+}
+
+func TestSharedOutOfRange(t *testing.T) {
+	m := NewShared(16)
+	m.BeginCycle(0)
+	var oor *OutOfRangeError
+	if _, err := m.Load(0, 16); !errors.As(err, &oor) {
+		t.Fatalf("load err = %v", err)
+	}
+	if err := m.Store(0, 99, 0); !errors.As(err, &oor) {
+		t.Fatalf("store err = %v", err)
+	}
+}
+
+func TestSharedPokePeekInts(t *testing.T) {
+	m := NewShared(64)
+	m.PokeInts(10, 5, 3, 4, 7)
+	got := m.PeekInts(10, 4)
+	want := []int32{5, 3, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PeekInts = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSharedCounters(t *testing.T) {
+	m := NewShared(64)
+	m.BeginCycle(0)
+	_, _ = m.Load(0, 1)
+	_ = m.Store(0, 2, 0)
+	_ = m.Store(1, 3, 0)
+	loads, stores := m.Counters()
+	if loads != 1 || stores != 2 {
+		t.Fatalf("counters = %d, %d", loads, stores)
+	}
+}
+
+type stubDevice struct {
+	loads  []uint32
+	stores []isa.Word
+	value  isa.Word
+}
+
+func (d *stubDevice) Load(cycle uint64, offset uint32) isa.Word {
+	d.loads = append(d.loads, offset)
+	return d.value
+}
+func (d *stubDevice) Store(cycle uint64, offset uint32, v isa.Word) {
+	d.stores = append(d.stores, v)
+}
+
+func TestDeviceMapping(t *testing.T) {
+	m := NewShared(256)
+	dev := &stubDevice{value: isa.WordFromInt(42)}
+	if err := m.Map(100, 4, dev); err != nil {
+		t.Fatal(err)
+	}
+	m.BeginCycle(7)
+	v, err := m.Load(0, 102)
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("device load = %d, %v", v.Int(), err)
+	}
+	if len(dev.loads) != 1 || dev.loads[0] != 2 {
+		t.Fatalf("device saw offsets %v, want [2]", dev.loads)
+	}
+	if err := m.Store(0, 101, isa.WordFromInt(9)); err != nil {
+		t.Fatal(err)
+	}
+	if len(dev.stores) != 0 {
+		t.Fatal("device store delivered before commit")
+	}
+	m.Commit()
+	if len(dev.stores) != 1 || dev.stores[0].Int() != 9 {
+		t.Fatalf("device stores = %v", dev.stores)
+	}
+	// RAM outside the mapping is unaffected.
+	if m.Peek(101) != 0 {
+		t.Fatal("device store leaked into RAM")
+	}
+}
+
+func TestDeviceMappingValidation(t *testing.T) {
+	m := NewShared(256)
+	dev := &stubDevice{}
+	if err := m.Map(10, 0, dev); err == nil {
+		t.Error("accepted zero-length mapping")
+	}
+	if err := m.Map(250, 10, dev); err == nil {
+		t.Error("accepted mapping outside memory")
+	}
+	if err := m.Map(10, 4, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Map(12, 4, dev); err == nil {
+		t.Error("accepted overlapping mapping")
+	}
+}
+
+func TestDistributedBanksArePrivate(t *testing.T) {
+	m := NewDistributed(4, 32)
+	m.BeginCycle(0)
+	for fu := 0; fu < 4; fu++ {
+		if err := m.Store(fu, 5, isa.WordFromInt(int32(fu+1))); err != nil {
+			t.Fatalf("fu %d: %v (same address, different banks, must not conflict)", fu, err)
+		}
+	}
+	m.Commit()
+	for fu := 0; fu < 4; fu++ {
+		if m.Peek(fu, 5).Int() != int32(fu+1) {
+			t.Fatalf("bank %d = %d", fu, m.Peek(fu, 5).Int())
+		}
+	}
+}
+
+func TestDistributedOutOfRange(t *testing.T) {
+	m := NewDistributed(2, 16)
+	m.BeginCycle(0)
+	if _, err := m.Load(0, 16); err == nil {
+		t.Error("accepted out-of-range load")
+	}
+	if _, err := m.Load(5, 0); err == nil {
+		t.Error("accepted undefined bank")
+	}
+	if err := m.Store(5, 0, 0); err == nil {
+		t.Error("accepted store to undefined bank")
+	}
+}
+
+func TestDistributedCycleSemantics(t *testing.T) {
+	m := NewDistributed(1, 16)
+	m.Poke(0, 3, isa.WordFromInt(7))
+	m.BeginCycle(0)
+	_ = m.Store(0, 3, isa.WordFromInt(8))
+	v, _ := m.Load(0, 3)
+	if v.Int() != 7 {
+		t.Fatalf("load during cycle = %d", v.Int())
+	}
+	m.Commit()
+	if m.Peek(0, 3).Int() != 8 {
+		t.Fatalf("after commit = %d", m.Peek(0, 3).Int())
+	}
+}
+
+// Property: non-conflicting stores all land, and loads in the next cycle
+// observe exactly the stored values.
+func TestSharedStoreLoadProperty(t *testing.T) {
+	fn := func(vals [6]int32) bool {
+		m := NewShared(64)
+		m.BeginCycle(0)
+		for i, v := range vals {
+			if err := m.Store(i%8, uint32(i), isa.WordFromInt(v)); err != nil {
+				return false
+			}
+		}
+		m.Commit()
+		m.BeginCycle(1)
+		for i, v := range vals {
+			got, err := m.Load(0, uint32(i))
+			if err != nil || got.Int() != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

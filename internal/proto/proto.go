@@ -1,0 +1,224 @@
+// Package proto models the XIMD hardware prototype of Section 4.3 and
+// Figure 14: eight universal functional units over the 24-ported global
+// register file, an 85ns cycle, a 3-stage data-path pipeline (operand
+// fetch – execute – write back), and distributed memory.
+//
+// Two artifacts are provided:
+//
+//   - the peak-performance arithmetic behind the paper's claim of "peak
+//     performance in excess of 90 MIPS/90 MFLOPS";
+//   - a pipelined VLIW machine that quantifies what the 3-stage data-path
+//     pipeline costs a schedule. The real prototype exposes the pipeline
+//     and relies on the compiler to insert nops; this model interlocks
+//     instead (a scoreboard stalls the single instruction stream until
+//     source operands are written back), which charges exactly the cycles
+//     a hazard-free recompilation would spend on nops. The stall count is
+//     therefore the pipeline penalty of the schedule as written.
+package proto
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+	"ximd/internal/vliw"
+)
+
+// Spec describes a prototype configuration.
+type Spec struct {
+	NumFU       int
+	CycleTimeNS float64
+	// ResultLatency is the number of cycles before a result is readable
+	// (1 = the research model's single-cycle datapath; 3 = the
+	// prototype's OF-EX-WB pipeline).
+	ResultLatency int
+}
+
+// Prototype is the Section 4.3 design point: 8 FUs at 85ns with the
+// 3-stage data-path pipeline.
+var Prototype = Spec{NumFU: 8, CycleTimeNS: 85, ResultLatency: 3}
+
+// ResearchModel is XIMD-1 as simulated: single-cycle everything.
+var ResearchModel = Spec{NumFU: 8, CycleTimeNS: 85, ResultLatency: 1}
+
+// ClockMHz returns the clock rate in MHz.
+func (s Spec) ClockMHz() float64 { return 1e3 / s.CycleTimeNS }
+
+// PeakMIPS returns the peak instruction rate in millions of operations
+// per second: every FU retires one data operation per cycle.
+func (s Spec) PeakMIPS() float64 { return float64(s.NumFU) * s.ClockMHz() }
+
+// PeakMFLOPS returns the peak floating-point rate; the universal
+// functional units each execute one FP operation per cycle, so it equals
+// PeakMIPS.
+func (s Spec) PeakMFLOPS() float64 { return s.PeakMIPS() }
+
+// RuntimeNS converts a cycle count to nanoseconds under this spec.
+func (s Spec) RuntimeNS(cycles uint64) float64 { return float64(cycles) * s.CycleTimeNS }
+
+// Result summarizes a pipelined run.
+type Result struct {
+	Cycles uint64
+	// Stalls is the number of cycles lost to data hazards — the pipeline
+	// penalty the compiler would otherwise pay in nops.
+	Stalls uint64
+	// Executed is the number of instructions actually issued.
+	Executed uint64
+}
+
+// StallFraction returns Stalls/Cycles.
+func (r Result) StallFraction() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stalls) / float64(r.Cycles)
+}
+
+// RunPipelined executes a VLIW program under the given result latency,
+// stalling on read-after-write hazards against in-flight results
+// (registers and condition codes alike). Latency 1 reproduces the
+// research model's timing exactly.
+func RunPipelined(p *vliw.Program, spec Spec, memory mem.Memory, init map[uint8]isa.Word, maxCycles uint64) (Result, *regfile.File, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	if spec.ResultLatency < 1 {
+		return Result{}, nil, fmt.Errorf("proto: result latency %d", spec.ResultLatency)
+	}
+	if memory == nil {
+		memory = mem.NewShared(0)
+	}
+	if maxCycles == 0 {
+		maxCycles = 50_000_000
+	}
+	regs := regfile.New()
+	for r, v := range init {
+		regs.Poke(r, v)
+	}
+
+	regReady := make([]uint64, isa.NumRegs)
+	ccReady := make([]uint64, p.NumFU)
+	cc := make([]bool, p.NumFU)
+	lat := uint64(spec.ResultLatency)
+
+	var res Result
+	pc := p.Entry
+	var cycle uint64
+	for ; cycle < maxCycles; cycle++ {
+		in := p.Instrs[pc]
+		// Hazard check: every source register and the branch condition
+		// must have been written back.
+		stall := false
+		for fu := 0; fu < p.NumFU; fu++ {
+			d := in.Ops[fu]
+			cl := isa.ClassOf(d.Op)
+			if cl.ReadsA() && d.A.Kind == isa.Reg && regReady[d.A.Reg] > cycle {
+				stall = true
+			}
+			if cl.ReadsB() && d.B.Kind == isa.Reg && regReady[d.B.Reg] > cycle {
+				stall = true
+			}
+		}
+		if in.Ctrl.Kind == isa.CtrlCond && ccReady[in.Ctrl.Idx] > cycle {
+			stall = true
+		}
+		if stall {
+			res.Stalls++
+			continue
+		}
+
+		memory.BeginCycle(cycle)
+		regs.BeginCycle()
+		type write struct {
+			reg uint8
+			val isa.Word
+		}
+		type ccWrite struct {
+			fu  int
+			val bool
+		}
+		var writes []write
+		var ccWrites []ccWrite
+		for fu := 0; fu < p.NumFU; fu++ {
+			d := in.Ops[fu]
+			cl := isa.ClassOf(d.Op)
+			if d.Op == isa.OpNop {
+				continue
+			}
+			read := func(o isa.Operand) (isa.Word, error) {
+				if o.Kind == isa.Imm {
+					return o.Imm, nil
+				}
+				return regs.Read(fu, o.Reg)
+			}
+			var a, b isa.Word
+			var err error
+			if cl.ReadsA() {
+				if a, err = read(d.A); err != nil {
+					return res, regs, fmt.Errorf("proto: cycle %d fu %d: %w", cycle, fu, err)
+				}
+			}
+			if cl.ReadsB() {
+				if b, err = read(d.B); err != nil {
+					return res, regs, fmt.Errorf("proto: cycle %d fu %d: %w", cycle, fu, err)
+				}
+			}
+			switch d.Op {
+			case isa.OpLoad:
+				v, err := memory.Load(fu, uint32(a.Int()+b.Int()))
+				if err != nil {
+					return res, regs, fmt.Errorf("proto: cycle %d fu %d: %w", cycle, fu, err)
+				}
+				writes = append(writes, write{reg: d.Dest, val: v})
+			case isa.OpStore:
+				if err := memory.Store(fu, uint32(b.Int()), a); err != nil {
+					return res, regs, fmt.Errorf("proto: cycle %d fu %d: %w", cycle, fu, err)
+				}
+			default:
+				v, c, err := isa.EvalALU(d.Op, a, b)
+				if err != nil {
+					return res, regs, fmt.Errorf("proto: cycle %d fu %d: %w", cycle, fu, err)
+				}
+				if cl.WritesCC() {
+					ccWrites = append(ccWrites, ccWrite{fu: fu, val: c})
+				} else if cl.WritesReg() {
+					writes = append(writes, write{reg: d.Dest, val: v})
+				}
+			}
+		}
+		res.Executed++
+
+		halt := false
+		next := pc
+		switch in.Ctrl.Kind {
+		case isa.CtrlGoto:
+			next = in.Ctrl.T1
+		case isa.CtrlHalt:
+			halt = true
+		case isa.CtrlCond:
+			if isa.EvalCond(in.Ctrl, cc, nil, p.NumFU) {
+				next = in.Ctrl.T1
+			} else {
+				next = in.Ctrl.T2
+			}
+		}
+
+		regs.Commit()
+		memory.Commit()
+		for _, w := range writes {
+			regs.Poke(w.reg, w.val) // committed above; Poke keeps the model simple
+			regReady[w.reg] = cycle + lat
+		}
+		for _, w := range ccWrites {
+			cc[w.fu] = w.val
+			ccReady[w.fu] = cycle + lat
+		}
+		if halt {
+			res.Cycles = cycle + 1
+			return res, regs, nil
+		}
+		pc = next
+	}
+	return res, regs, fmt.Errorf("proto: maximum cycle count %d exceeded", maxCycles)
+}

@@ -1,0 +1,179 @@
+package proto
+
+import (
+	"math"
+	"testing"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/vliw"
+	"ximd/internal/workloads"
+)
+
+func TestPeakPerformanceMatchesPaper(t *testing.T) {
+	// Section 4.3: "An initial performance analysis predicts a cycle time
+	// of 85ns. This will result in peak performance in excess of
+	// 90 MIPS/90 MFLOPS."
+	if got := Prototype.PeakMIPS(); got < 90 || got > 100 {
+		t.Errorf("PeakMIPS = %.1f, want in (90, 100)", got)
+	}
+	if Prototype.PeakMFLOPS() != Prototype.PeakMIPS() {
+		t.Error("universal FUs: MFLOPS must equal MIPS")
+	}
+	if got := Prototype.ClockMHz(); math.Abs(got-11.76) > 0.01 {
+		t.Errorf("clock = %.2f MHz, want 11.76", got)
+	}
+	if got := Prototype.RuntimeNS(1000); got != 85000 {
+		t.Errorf("RuntimeNS(1000) = %g", got)
+	}
+}
+
+func row(ctrl isa.CtrlOp, ops ...isa.DataOp) vliw.Instruction {
+	var in vliw.Instruction
+	copy(in.Ops[:], ops)
+	in.Ctrl = ctrl
+	return in
+}
+
+func TestLatencyOneMatchesVSim(t *testing.T) {
+	p := &vliw.Program{
+		NumFU: 2,
+		Instrs: []vliw.Instruction{
+			row(isa.Goto(1),
+				isa.DataOp{Op: isa.OpIAdd, A: isa.I(3), B: isa.I(4), Dest: 1}),
+			row(isa.Goto(2),
+				isa.DataOp{Op: isa.OpIMult, A: isa.R(1), B: isa.I(2), Dest: 2},
+				isa.DataOp{Op: isa.OpISub, A: isa.R(1), B: isa.I(1), Dest: 3}),
+			row(isa.Halt()),
+		},
+	}
+	res, regs, err := RunPipelined(p, ResearchModel, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalls != 0 {
+		t.Errorf("latency 1: %d stalls, want 0", res.Stalls)
+	}
+	if res.Cycles != 3 {
+		t.Errorf("cycles = %d", res.Cycles)
+	}
+	if regs.Peek(2).Int() != 14 || regs.Peek(3).Int() != 6 {
+		t.Errorf("r2=%d r3=%d", regs.Peek(2).Int(), regs.Peek(3).Int())
+	}
+
+	vm, err := vliw.New(p, vliw.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vCycles, err := vm.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vCycles != res.Cycles {
+		t.Errorf("latency-1 pipeline %d cycles, vsim %d", res.Cycles, vCycles)
+	}
+}
+
+func TestPipelineStallsOnRAW(t *testing.T) {
+	// Back-to-back dependent adds: each must wait latency-1 extra cycles.
+	p := &vliw.Program{
+		NumFU: 1,
+		Instrs: []vliw.Instruction{
+			row(isa.Goto(1), isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(0), Dest: 1}),
+			row(isa.Goto(2), isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}),
+			row(isa.Goto(3), isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}),
+			row(isa.Halt()),
+		},
+	}
+	res, regs, err := RunPipelined(p, Prototype, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs.Peek(1).Int() != 3 {
+		t.Errorf("r1 = %d, want 3", regs.Peek(1).Int())
+	}
+	if res.Stalls != 4 { // two dependent instructions × 2 stall cycles each
+		t.Errorf("stalls = %d, want 4", res.Stalls)
+	}
+	if res.Cycles != 8 { // 4 issues + 4 stalls
+		t.Errorf("cycles = %d, want 8", res.Cycles)
+	}
+}
+
+func TestPipelineStallsOnCCHazard(t *testing.T) {
+	p := &vliw.Program{
+		NumFU: 1,
+		Instrs: []vliw.Instruction{
+			row(isa.Goto(1), isa.DataOp{Op: isa.OpLt, A: isa.I(1), B: isa.I(2)}),
+			row(isa.IfCC(0, 2, 3)),
+			row(isa.Goto(3), isa.DataOp{Op: isa.OpIAdd, A: isa.I(9), B: isa.I(0), Dest: 1}),
+			row(isa.Halt()),
+		},
+	}
+	res, regs, err := RunPipelined(p, Prototype, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs.Peek(1).Int() != 9 {
+		t.Errorf("r1 = %d (branch read a stale condition code)", regs.Peek(1).Int())
+	}
+	if res.Stalls != 2 {
+		t.Errorf("stalls = %d, want 2 (branch one cycle after compare, latency 3)", res.Stalls)
+	}
+}
+
+func TestPipelinePenaltyOnPaperWorkloads(t *testing.T) {
+	// The software-pipelined LL12 kernel is dependence-dense at II=2, so
+	// the 3-stage pipeline costs it real stalls; the cost must be bounded
+	// (below 2x) and zero at latency 1.
+	y := make([]int32, 66)
+	for i := range y {
+		y[i] = int32(i * 3)
+	}
+	inst := workloads.LL12(y)
+	env := mem.NewShared(0)
+	env.PokeInts(256, y...)
+	init := map[uint8]isa.Word{
+		2: isa.WordFromInt(int32(len(y) - 1)),
+		3: isa.WordFromInt(int32(len(y) - 2)),
+	}
+	base, _, err := RunPipelined(inst.VLIW, ResearchModel, env, init, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := mem.NewShared(0)
+	env2.PokeInts(256, y...)
+	pipe, _, err := RunPipelined(inst.VLIW, Prototype, env2, init, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stalls != 0 {
+		t.Errorf("research model stalls = %d", base.Stalls)
+	}
+	if pipe.Stalls == 0 {
+		t.Error("prototype pipeline shows no stalls on a dependence-dense kernel")
+	}
+	ratio := float64(pipe.Cycles) / float64(base.Cycles)
+	if ratio <= 1 || ratio > 3 {
+		t.Errorf("pipeline stretch = %.2fx, want within (1, 3] (latency bound)", ratio)
+	}
+	t.Logf("LL12 pipeline stretch: %d -> %d cycles (%.2fx, %.0f%% stall)",
+		base.Cycles, pipe.Cycles, ratio, 100*pipe.StallFraction())
+}
+
+func TestRunPipelinedValidates(t *testing.T) {
+	bad := &vliw.Program{NumFU: 0}
+	if _, _, err := RunPipelined(bad, Prototype, nil, nil, 0); err == nil {
+		t.Error("invalid program accepted")
+	}
+	p := &vliw.Program{NumFU: 1, Instrs: []vliw.Instruction{row(isa.Goto(0))}}
+	if _, _, err := RunPipelined(p, Prototype, nil, nil, 100); err == nil {
+		t.Error("runaway program not stopped")
+	}
+	spec := Prototype
+	spec.ResultLatency = 0
+	q := &vliw.Program{NumFU: 1, Instrs: []vliw.Instruction{row(isa.Halt())}}
+	if _, _, err := RunPipelined(q, spec, nil, nil, 0); err == nil {
+		t.Error("zero latency accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package regfile
+
+import "fmt"
+
+// ChipSpec describes the custom register file chip of Section 4.4 as
+// fabricated: "Each chip supports 8 simultaneous reads and 8 simultaneous
+// writes. Two chips can be wired in parallel ... to provide 16 reads and
+// 8 writes. Each chip is two bits wide and contains 256 global registers."
+type ChipSpec struct {
+	ReadPorts  int // simultaneous reads per chip
+	WritePorts int // simultaneous writes per chip
+	BitsWide   int // data bits per chip
+	Registers  int // registers per chip
+	// Physical data from the paper, carried for reporting.
+	Transistors int     // approximate transistor count
+	DieWidthMM  float64 // die width in mm
+	DieHeightMM float64 // die height in mm
+	PackagePins int     // pin grid array pin count
+}
+
+// MOSISChip is the chip the paper reports fabricating on the MOSIS
+// 2-micron scalable CMOS process.
+var MOSISChip = ChipSpec{
+	ReadPorts:   8,
+	WritePorts:  8,
+	BitsWide:    2,
+	Registers:   256,
+	Transistors: 70000,
+	DieWidthMM:  7.9,
+	DieHeightMM: 9.2,
+	PackagePins: 132,
+}
+
+// MachineSpec describes the register file the prototype architecture
+// needs: for 8 FUs and 32-bit words, 16 reads and 8 writes per cycle over
+// 256 registers (Sections 2.2 and 4.3).
+type MachineSpec struct {
+	ReadPorts  int
+	WritePorts int
+	WordBits   int
+	Registers  int
+}
+
+// XIMD1Machine is the XIMD-1 prototype requirement.
+var XIMD1Machine = MachineSpec{
+	ReadPorts:  isaNumFU * ReadPortsPerFU,
+	WritePorts: isaNumFU * WritePortsPerFU,
+	WordBits:   32,
+	Registers:  256,
+}
+
+const isaNumFU = 8
+
+// Composition describes how chips are arrayed to realize a machine
+// register file: chips ganged in parallel to multiply read ports, and
+// sliced across the word width.
+type Composition struct {
+	ParallelChips int // chips wired in parallel per bit slice (read-port fanout)
+	BitSlices     int // chip columns across the word
+	TotalChips    int
+	// Effective ports of the composed array.
+	ReadPorts  int
+	WritePorts int
+}
+
+// Compose computes the minimum chip array that satisfies the machine
+// requirement using the given chip, mirroring the paper's analysis
+// ("a minimum requirement of 32 register file chips for the proposed
+// prototype architecture").
+//
+// Wiring chips in parallel (same write data, distinct read ports)
+// multiplies read ports but not write ports: every parallel chip must see
+// all writes so its copy of the register state stays coherent.
+func Compose(chip ChipSpec, machine MachineSpec) (Composition, error) {
+	if chip.ReadPorts <= 0 || chip.WritePorts <= 0 || chip.BitsWide <= 0 || chip.Registers <= 0 {
+		return Composition{}, fmt.Errorf("invalid chip spec %+v", chip)
+	}
+	if chip.WritePorts < machine.WritePorts {
+		return Composition{}, fmt.Errorf("chip provides %d write ports, machine needs %d: write ports cannot be multiplied by parallel wiring",
+			chip.WritePorts, machine.WritePorts)
+	}
+	if chip.Registers < machine.Registers {
+		return Composition{}, fmt.Errorf("chip holds %d registers, machine needs %d: depth expansion is not modeled",
+			chip.Registers, machine.Registers)
+	}
+	parallel := ceilDiv(machine.ReadPorts, chip.ReadPorts)
+	slices := ceilDiv(machine.WordBits, chip.BitsWide)
+	return Composition{
+		ParallelChips: parallel,
+		BitSlices:     slices,
+		TotalChips:    parallel * slices,
+		ReadPorts:     parallel * chip.ReadPorts,
+		WritePorts:    chip.WritePorts,
+	}, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// TotalTransistors estimates the transistor count of the composed array.
+func (c Composition) TotalTransistors(chip ChipSpec) int {
+	return c.TotalChips * chip.Transistors
+}

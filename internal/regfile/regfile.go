@@ -1,0 +1,185 @@
+// Package regfile models the XIMD-1 global register file and the custom
+// multi-port register file chip of Section 4.4.
+//
+// The research model's register file "simultaneously supports two reads
+// and one write per functional unit for a total of 16 reads and 8 writes
+// per cycle" (Section 2.2) across 256 registers (Section 4.3). This
+// package provides the architectural register state, per-cycle port
+// accounting, and write-conflict detection: the effect of two functional
+// units writing the same register in one cycle is undefined on the real
+// machine, so the simulator reports it as an error by default.
+package regfile
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+)
+
+// PortsPerFU is the number of read and write ports each functional unit
+// owns: 2 reads and 1 write per cycle.
+const (
+	ReadPortsPerFU  = 2
+	WritePortsPerFU = 1
+)
+
+// WriteConflictError reports two functional units writing the same
+// register in the same cycle — undefined behaviour on XIMD-1.
+type WriteConflictError struct {
+	Reg      uint8
+	FirstFU  int
+	SecondFU int
+}
+
+func (e *WriteConflictError) Error() string {
+	return fmt.Sprintf("register write conflict: FU%d and FU%d both write r%d in one cycle",
+		e.FirstFU, e.SecondFU, e.Reg)
+}
+
+// PortOverflowError reports a functional unit exceeding its per-cycle port
+// allocation. The simulators issue at most one 3-address operation per FU
+// per cycle, so this indicates an internal bug or a hand-built torture
+// test.
+type PortOverflowError struct {
+	FU     int
+	Kind   string // "read" or "write"
+	Limit  int
+	Wanted int
+}
+
+func (e *PortOverflowError) Error() string {
+	return fmt.Sprintf("FU%d exceeds %s port allocation: wanted %d, limit %d",
+		e.FU, e.Kind, e.Wanted, e.Limit)
+}
+
+// File is the global register file. It stages writes within a cycle and
+// commits them at cycle end, matching the synchronous datapath: all
+// operand reads in a cycle observe the register state at the start of the
+// cycle.
+type File struct {
+	regs [isa.NumRegs]isa.Word
+
+	// Per-cycle staging and accounting, reset by BeginCycle.
+	pendingWrites []pendingWrite
+	readsByFU     [isa.NumFU]int
+	writesByFU    [isa.NumFU]int
+
+	// Cumulative statistics.
+	totalReads    uint64
+	totalWrites   uint64
+	totalCycles   uint64
+	peakReads     int
+	peakWrites    int
+	cycleReads    int
+	cycleWrites   int
+	conflictCount uint64
+}
+
+type pendingWrite struct {
+	reg uint8
+	val isa.Word
+	fu  int
+}
+
+// New returns a register file with all registers zero.
+func New() *File { return &File{} }
+
+// Read returns the value of register reg as of the start of the current
+// cycle, charging one read port to fu.
+func (f *File) Read(fu int, reg uint8) (isa.Word, error) {
+	f.readsByFU[fu]++
+	f.cycleReads++
+	f.totalReads++
+	if f.readsByFU[fu] > ReadPortsPerFU {
+		return 0, &PortOverflowError{FU: fu, Kind: "read", Limit: ReadPortsPerFU, Wanted: f.readsByFU[fu]}
+	}
+	return f.regs[reg], nil
+}
+
+// Peek returns the current value of a register without charging a port;
+// for use by traces, tests, and host access.
+func (f *File) Peek(reg uint8) isa.Word { return f.regs[reg] }
+
+// Poke sets a register directly, outside cycle accounting; for host
+// initialization of machine state.
+func (f *File) Poke(reg uint8, v isa.Word) { f.regs[reg] = v }
+
+// Write stages a write of v to register reg by fu; the value becomes
+// visible after Commit. A same-cycle conflict with a previous staged write
+// to the same register is returned as a WriteConflictError (and also
+// counted, so a simulator configured to tolerate conflicts can proceed —
+// last staged write wins, deterministically by FU order of staging).
+func (f *File) Write(fu int, reg uint8, v isa.Word) error {
+	f.writesByFU[fu]++
+	f.cycleWrites++
+	f.totalWrites++
+	if f.writesByFU[fu] > WritePortsPerFU {
+		return &PortOverflowError{FU: fu, Kind: "write", Limit: WritePortsPerFU, Wanted: f.writesByFU[fu]}
+	}
+	for _, w := range f.pendingWrites {
+		if w.reg == reg {
+			f.conflictCount++
+			f.pendingWrites = append(f.pendingWrites, pendingWrite{reg: reg, val: v, fu: fu})
+			return &WriteConflictError{Reg: reg, FirstFU: w.fu, SecondFU: fu}
+		}
+	}
+	f.pendingWrites = append(f.pendingWrites, pendingWrite{reg: reg, val: v, fu: fu})
+	return nil
+}
+
+// BeginCycle resets per-cycle port accounting.
+func (f *File) BeginCycle() {
+	f.pendingWrites = f.pendingWrites[:0]
+	for i := range f.readsByFU {
+		f.readsByFU[i] = 0
+		f.writesByFU[i] = 0
+	}
+	f.cycleReads = 0
+	f.cycleWrites = 0
+}
+
+// Commit applies all staged writes in staging order, making them visible
+// to the next cycle, and folds this cycle into the cumulative port
+// statistics. The simulators stage writes in ascending FU order, so a
+// tolerated conflict deterministically resolves to the highest-numbered
+// staging FU ("last writer wins").
+func (f *File) Commit() {
+	for _, w := range f.pendingWrites {
+		f.regs[w.reg] = w.val
+	}
+	f.totalCycles++
+	if f.cycleReads > f.peakReads {
+		f.peakReads = f.cycleReads
+	}
+	if f.cycleWrites > f.peakWrites {
+		f.peakWrites = f.cycleWrites
+	}
+}
+
+// Stats summarizes cumulative port activity, used by the Section 4.4
+// register-file experiment.
+type Stats struct {
+	Cycles        uint64
+	TotalReads    uint64
+	TotalWrites   uint64
+	PeakReads     int // maximum reads observed in one cycle
+	PeakWrites    int // maximum writes observed in one cycle
+	WriteConflict uint64
+}
+
+// Stats returns the cumulative port statistics.
+func (f *File) Stats() Stats {
+	return Stats{
+		Cycles:        f.totalCycles,
+		TotalReads:    f.totalReads,
+		TotalWrites:   f.totalWrites,
+		PeakReads:     f.peakReads,
+		PeakWrites:    f.peakWrites,
+		WriteConflict: f.conflictCount,
+	}
+}
+
+// Reset zeroes all registers, staging, and statistics.
+func (f *File) Reset() {
+	*f = File{}
+}

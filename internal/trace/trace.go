@@ -1,0 +1,190 @@
+// Package trace records and formats XIMD execution traces in the styles
+// used by the paper: the Figure 10 address trace (per-cycle program
+// counters, condition codes, and SSET partition) and stream-count
+// timelines.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/core"
+	"ximd/internal/isa"
+)
+
+// Record is one captured cycle (a deep copy of core.CycleRecord, safe to
+// retain).
+type Record struct {
+	Cycle     uint64
+	PC        []isa.Addr
+	CC        []bool
+	CCValid   []bool
+	SS        []isa.Sync
+	Halted    []bool
+	Partition core.Partition
+}
+
+// Recorder captures every cycle of a run. It implements core.Tracer.
+type Recorder struct {
+	Records []Record
+}
+
+// Cycle implements core.Tracer by deep-copying the record.
+func (r *Recorder) Cycle(rec *core.CycleRecord) {
+	cp := Record{
+		Cycle:     rec.Cycle,
+		PC:        append([]isa.Addr(nil), rec.PC...),
+		CC:        append([]bool(nil), rec.CC...),
+		CCValid:   append([]bool(nil), rec.CCValid...),
+		SS:        append([]isa.Sync(nil), rec.SS...),
+		Halted:    append([]bool(nil), rec.Halted...),
+		Partition: rec.Partition,
+	}
+	r.Records = append(r.Records, cp)
+}
+
+// CCString renders the condition codes the way Figure 10 prints them:
+// one letter per FU, T or F, with X for a condition code that has never
+// been written.
+func (r Record) CCString() string {
+	var b strings.Builder
+	for i := range r.CC {
+		switch {
+		case !r.CCValid[i]:
+			b.WriteByte('X')
+		case r.CC[i]:
+			b.WriteByte('T')
+		default:
+			b.WriteByte('F')
+		}
+	}
+	return b.String()
+}
+
+// SSString renders the sync signals as one letter per FU: D or B.
+func (r Record) SSString() string {
+	var b strings.Builder
+	for i := range r.SS {
+		if r.SS[i] == isa.Done {
+			b.WriteByte('D')
+		} else {
+			b.WriteByte('B')
+		}
+	}
+	return b.String()
+}
+
+// Options controls address-trace formatting.
+type Options struct {
+	// Comments maps a cycle number to an annotation printed in the
+	// rightmost column, as in Figure 10.
+	Comments map[uint64]string
+	// ShowSS adds a sync-signal column (Figure 10 does not print one, but
+	// barrier traces are unreadable without it).
+	ShowSS bool
+}
+
+// FormatAddressTrace renders records as the paper's Figure 10 table:
+//
+//	Cycle     FU0   FU1   FU2   FU3   CC     Partition
+//	Cycle 0   00:   00:   00:   00:   XXXX   {0,1,2,3}
+//
+// Halted FUs print "--:".
+func FormatAddressTrace(records []Record, opts Options) string {
+	if len(records) == 0 {
+		return "(empty trace)\n"
+	}
+	numFU := len(records[0].PC)
+	var b strings.Builder
+
+	// Header.
+	fmt.Fprintf(&b, "%-9s", "Cycle")
+	for fu := 0; fu < numFU; fu++ {
+		fmt.Fprintf(&b, " %-5s", fmt.Sprintf("FU%d", fu))
+	}
+	fmt.Fprintf(&b, " %-*s", max(numFU, 2)+2, "CC")
+	if opts.ShowSS {
+		fmt.Fprintf(&b, " %-*s", max(numFU, 2)+2, "SS")
+	}
+	fmt.Fprintf(&b, " %-16s", "Partition")
+	if len(opts.Comments) > 0 {
+		fmt.Fprintf(&b, " %s", "Comment")
+	}
+	b.WriteByte('\n')
+
+	for _, rec := range records {
+		fmt.Fprintf(&b, "Cycle %-3d", rec.Cycle)
+		for fu := 0; fu < numFU; fu++ {
+			if rec.Halted[fu] {
+				fmt.Fprintf(&b, " %-5s", "--:")
+			} else {
+				fmt.Fprintf(&b, " %-5s", fmt.Sprintf("%02x:", uint16(rec.PC[fu])))
+			}
+		}
+		fmt.Fprintf(&b, " %-*s", max(numFU, 2)+2, rec.CCString())
+		if opts.ShowSS {
+			fmt.Fprintf(&b, " %-*s", max(numFU, 2)+2, rec.SSString())
+		}
+		fmt.Fprintf(&b, " %-16s", rec.Partition.String())
+		if c, ok := opts.Comments[rec.Cycle]; ok {
+			fmt.Fprintf(&b, " %s", c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// StreamTimeline returns the number of concurrent instruction streams in
+// each cycle — the observable the XIMD architecture varies dynamically.
+func StreamTimeline(records []Record) []int {
+	out := make([]int, len(records))
+	for i, rec := range records {
+		out[i] = rec.Partition.NumSSETs()
+	}
+	return out
+}
+
+// FormatStreamTimeline renders the stream count per cycle as a compact
+// strip chart, e.g. "1111333111", grouping long runs as counts.
+func FormatStreamTimeline(records []Record) string {
+	timeline := StreamTimeline(records)
+	if len(timeline) == 0 {
+		return "(empty trace)"
+	}
+	var b strings.Builder
+	run := 1
+	for i := 1; i <= len(timeline); i++ {
+		if i < len(timeline) && timeline[i] == timeline[i-1] {
+			run++
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d×%d", timeline[i-1], run)
+		run = 1
+	}
+	return b.String()
+}
+
+// PartitionChanges lists the cycles at which the partition changed, with
+// the new partition — the state-transition view of Figure 11.
+func PartitionChanges(records []Record) []string {
+	var out []string
+	prev := ""
+	for _, rec := range records {
+		cur := rec.Partition.String()
+		if cur != prev {
+			out = append(out, fmt.Sprintf("cycle %d: %s", rec.Cycle, cur))
+			prev = cur
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

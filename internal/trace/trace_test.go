@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/isa"
+)
+
+func sampleRecords(t *testing.T) []Record {
+	t.Helper()
+	part1, err := core.ParsePartition("{0,1,2,3}", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part3, err := core.ParsePartition("{0,1}{2}{3}", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Record{
+		{
+			Cycle: 0, PC: []isa.Addr{0, 0, 0, 0},
+			CC: make([]bool, 4), CCValid: make([]bool, 4),
+			SS: make([]isa.Sync, 4), Halted: make([]bool, 4), Partition: part1,
+		},
+		{
+			Cycle: 1, PC: []isa.Addr{3, 3, 4, 4},
+			CC: []bool{true, false, true, false}, CCValid: []bool{true, true, true, false},
+			SS:     []isa.Sync{isa.Done, isa.Busy, isa.Busy, isa.Busy},
+			Halted: []bool{false, false, false, true}, Partition: part3,
+		},
+	}
+}
+
+func TestCCString(t *testing.T) {
+	recs := sampleRecords(t)
+	if got := recs[0].CCString(); got != "XXXX" {
+		t.Errorf("unwritten CCs = %q, want XXXX", got)
+	}
+	if got := recs[1].CCString(); got != "TFTX" {
+		t.Errorf("CCs = %q, want TFTX", got)
+	}
+}
+
+func TestSSString(t *testing.T) {
+	if got := sampleRecords(t)[1].SSString(); got != "DBBB" {
+		t.Errorf("SS = %q, want DBBB", got)
+	}
+}
+
+func TestFormatAddressTrace(t *testing.T) {
+	out := FormatAddressTrace(sampleRecords(t), Options{
+		ShowSS:   true,
+		Comments: map[uint64]string{1: "fork"},
+	})
+	for _, needle := range []string{
+		"Cycle 0", "Cycle 1", "00:", "03:", "04:", "--:", // halted FU prints --:
+		"{0,1,2,3}", "{0,1}{2}{3}", "TFTX", "DBBB", "fork",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("trace missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestFormatEmptyTrace(t *testing.T) {
+	if got := FormatAddressTrace(nil, Options{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace = %q", got)
+	}
+	if got := FormatStreamTimeline(nil); !strings.Contains(got, "empty") {
+		t.Errorf("empty timeline = %q", got)
+	}
+}
+
+func TestStreamTimelineAndChanges(t *testing.T) {
+	recs := sampleRecords(t)
+	tl := StreamTimeline(recs)
+	if len(tl) != 2 || tl[0] != 1 || tl[1] != 3 {
+		t.Errorf("timeline = %v", tl)
+	}
+	changes := PartitionChanges(recs)
+	if len(changes) != 2 {
+		t.Fatalf("changes = %v", changes)
+	}
+	if !strings.Contains(changes[1], "{0,1}{2}{3}") {
+		t.Errorf("changes = %v", changes)
+	}
+}
+
+func TestFormatStreamTimelineRuns(t *testing.T) {
+	part1, _ := core.ParsePartition("{0}", 1)
+	recs := []Record{
+		{Cycle: 0, PC: []isa.Addr{0}, CC: []bool{false}, CCValid: []bool{false}, SS: []isa.Sync{0}, Halted: []bool{false}, Partition: part1},
+		{Cycle: 1, PC: []isa.Addr{0}, CC: []bool{false}, CCValid: []bool{false}, SS: []isa.Sync{0}, Halted: []bool{false}, Partition: part1},
+		{Cycle: 2, PC: []isa.Addr{0}, CC: []bool{false}, CCValid: []bool{false}, SS: []isa.Sync{0}, Halted: []bool{false}, Partition: part1},
+	}
+	if got := FormatStreamTimeline(recs); got != "1×3" {
+		t.Errorf("timeline = %q, want 1×3", got)
+	}
+}
+
+func TestRecorderDeepCopies(t *testing.T) {
+	rec := &Recorder{}
+	pc := []isa.Addr{1, 2}
+	cr := &core.CycleRecord{
+		Cycle: 0, PC: pc, CC: make([]bool, 2), CCValid: make([]bool, 2),
+		SS: make([]isa.Sync, 2), Halted: make([]bool, 2),
+	}
+	rec.Cycle(cr)
+	pc[0] = 99 // mutate the source; the record must be unaffected
+	if rec.Records[0].PC[0] != 1 {
+		t.Error("Recorder retained a live slice instead of copying")
+	}
+}

@@ -1,0 +1,406 @@
+// Package vliw implements the paper's VLIW baseline — the companion
+// simulator the authors call vsim (Section 4.1): "a VLIW processor with
+// similar characteristics" to XIMD-1. The datapath is identical (the same
+// functional units, global register file, condition codes, and idealized
+// memory); the control path is the single global sequencer of Figure 4.
+// Each instruction carries one data operation per functional unit and
+// exactly one control operation, so only one branch can execute per cycle
+// — the limitation Section 1.3 identifies and XIMD removes.
+package vliw
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// Instruction is one very long instruction word of the VLIW baseline: one
+// data operation per functional unit plus a single sequencer operation.
+// The sequencer condition may reference any functional unit's condition
+// code; synchronization-signal conditions do not exist on a VLIW.
+type Instruction struct {
+	Ops  [isa.NumFU]isa.DataOp
+	Ctrl isa.CtrlOp
+}
+
+// Program is an assembled VLIW program.
+type Program struct {
+	Instrs []Instruction
+	NumFU  int
+	Entry  isa.Addr
+	Labels map[string]isa.Addr
+}
+
+// Validate checks the program's structural validity.
+func (p *Program) Validate() error {
+	if p.NumFU < 1 || p.NumFU > isa.NumFU {
+		return fmt.Errorf("vliw: NumFU = %d, want 1..%d", p.NumFU, isa.NumFU)
+	}
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("vliw: empty program")
+	}
+	if int(p.Entry) >= len(p.Instrs) {
+		return fmt.Errorf("vliw: entry %d outside program", p.Entry)
+	}
+	for addr, in := range p.Instrs {
+		for fu := 0; fu < p.NumFU; fu++ {
+			if err := in.Ops[fu].Validate(); err != nil {
+				return fmt.Errorf("vliw: addr %d fu %d: %w", addr, fu, err)
+			}
+		}
+		if err := in.Ctrl.Validate(p.NumFU); err != nil {
+			return fmt.Errorf("vliw: addr %d: %w", addr, err)
+		}
+		if in.Ctrl.Kind == isa.CtrlCond {
+			switch in.Ctrl.Cond {
+			case isa.CondCC, isa.CondNotCC:
+			default:
+				return fmt.Errorf("vliw: addr %d: condition %s requires synchronization signals, which a VLIW has none of", addr, in.Ctrl)
+			}
+		}
+		for _, t := range in.Ctrl.Targets() {
+			if int(t) >= len(p.Instrs) {
+				return fmt.Errorf("vliw: addr %d: branch target %d outside program", addr, t)
+			}
+		}
+	}
+	return nil
+}
+
+// FromXIMD converts a VLIW-style XIMD program (identical control in every
+// parcel, per Section 3.1) into a native VLIW program. Holes (trap
+// parcels) become nops carrying the common control.
+func FromXIMD(p *isa.Program) (*Program, error) {
+	out := &Program{
+		Instrs: make([]Instruction, len(p.Instrs)),
+		NumFU:  p.NumFU,
+		Entry:  p.Entry,
+		Labels: p.Labels,
+	}
+	for addr, instr := range p.Instrs {
+		lead := -1
+		for fu := 0; fu < p.NumFU; fu++ {
+			if !instr[fu].Trap {
+				lead = fu
+				break
+			}
+		}
+		if lead < 0 {
+			return nil, fmt.Errorf("vliw: address %d has no parcels", addr)
+		}
+		out.Instrs[addr].Ctrl = instr[lead].Ctrl
+		for fu := 0; fu < p.NumFU; fu++ {
+			parcel := instr[fu]
+			if parcel.Trap {
+				out.Instrs[addr].Ops[fu] = isa.Nop
+				continue
+			}
+			if !parcel.Ctrl.Equal(instr[lead].Ctrl) {
+				return nil, fmt.Errorf("vliw: address %d: parcels carry different control operations (%s vs %s); program is not VLIW-style",
+					addr, parcel.Ctrl, instr[lead].Ctrl)
+			}
+			out.Instrs[addr].Ops[fu] = parcel.Data
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ToXIMD converts a VLIW program to an XIMD program by duplicating the
+// control operation into every parcel — the Section 3.1 recipe for
+// executing VLIW code on an XIMD.
+func (p *Program) ToXIMD() *isa.Program {
+	out := &isa.Program{
+		Instrs: make([]isa.Instruction, len(p.Instrs)),
+		NumFU:  p.NumFU,
+		Entry:  p.Entry,
+		Labels: p.Labels,
+	}
+	for addr, in := range p.Instrs {
+		for fu := 0; fu < isa.NumFU; fu++ {
+			if fu >= p.NumFU {
+				out.Instrs[addr][fu] = isa.TrapParcel
+				continue
+			}
+			out.Instrs[addr][fu] = isa.Normalize(isa.Parcel{Data: in.Ops[fu], Ctrl: in.Ctrl})
+		}
+	}
+	return out
+}
+
+// Config parameterizes a VLIW machine.
+type Config struct {
+	// Memory is the memory model; nil selects the default shared memory.
+	Memory mem.Memory
+	// MaxCycles bounds the simulation; 0 selects the default.
+	MaxCycles uint64
+	// TolerateConflicts tolerates same-cycle write conflicts.
+	TolerateConflicts bool
+	// Tracer, if non-nil, observes each cycle.
+	Tracer Tracer
+}
+
+// DefaultMaxCycles bounds a simulation when Config.MaxCycles is zero.
+const DefaultMaxCycles = 50_000_000
+
+// Tracer observes VLIW execution. Slices in the record are reused;
+// implementations must copy retained data.
+type Tracer interface {
+	Cycle(rec *CycleRecord)
+}
+
+// CycleRecord is one executed VLIW cycle.
+type CycleRecord struct {
+	Cycle uint64
+	PC    isa.Addr
+	CC    []bool
+	Instr Instruction
+}
+
+// Stats accumulates VLIW execution statistics.
+type Stats struct {
+	Cycles        uint64
+	DataOps       []uint64
+	Nops          []uint64
+	CondBranches  uint64
+	TakenBranches uint64
+	Loads         uint64
+	Stores        uint64
+	RegConflicts  uint64
+	MemConflicts  uint64
+}
+
+// TotalDataOps returns the total non-nop data operations.
+func (s Stats) TotalDataOps() uint64 {
+	var total uint64
+	for _, v := range s.DataOps {
+		total += v
+	}
+	return total
+}
+
+// Utilization returns the fraction of FU-cycles doing useful work.
+func (s Stats) Utilization() float64 {
+	if s.Cycles == 0 || len(s.DataOps) == 0 {
+		return 0
+	}
+	return float64(s.TotalDataOps()) / float64(s.Cycles*uint64(len(s.DataOps)))
+}
+
+// OpsPerCycle returns average useful operations per cycle.
+func (s Stats) OpsPerCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.TotalDataOps()) / float64(s.Cycles)
+}
+
+// Machine is a VLIW processor instance.
+type Machine struct {
+	prog   *Program
+	numFU  int
+	config Config
+	regs   *regfile.File
+	memory mem.Memory
+
+	pc      isa.Addr
+	cc      []bool
+	cycle   uint64
+	done    bool
+	stats   Stats
+	ccWrite []ccWrite
+	record  CycleRecord
+}
+
+type ccWrite struct {
+	fu  int
+	val bool
+}
+
+// New creates a VLIW machine loaded with prog.
+func New(prog *Program, cfg Config) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Memory == nil {
+		cfg.Memory = mem.NewShared(0)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = DefaultMaxCycles
+	}
+	m := &Machine{
+		prog:   prog,
+		numFU:  prog.NumFU,
+		config: cfg,
+		regs:   regfile.New(),
+		memory: cfg.Memory,
+		pc:     prog.Entry,
+		cc:     make([]bool, prog.NumFU),
+	}
+	m.stats.DataOps = make([]uint64, prog.NumFU)
+	m.stats.Nops = make([]uint64, prog.NumFU)
+	return m, nil
+}
+
+// Regs exposes the register file.
+func (m *Machine) Regs() *regfile.File { return m.regs }
+
+// Memory exposes the memory model.
+func (m *Machine) Memory() mem.Memory { return m.memory }
+
+// Cycle returns the executed cycle count.
+func (m *Machine) Cycle() uint64 { return m.cycle }
+
+// Done reports whether the machine has halted.
+func (m *Machine) Done() bool { return m.done }
+
+// PC returns the single global program counter.
+func (m *Machine) PC() isa.Addr { return m.pc }
+
+// Stats returns accumulated statistics.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// Step executes one cycle.
+func (m *Machine) Step() (running bool, err error) {
+	if m.done {
+		return false, nil
+	}
+	if m.cycle >= m.config.MaxCycles {
+		return false, fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle)
+	}
+	in := m.prog.Instrs[m.pc]
+
+	m.regs.BeginCycle()
+	m.memory.BeginCycle(m.cycle)
+	m.ccWrite = m.ccWrite[:0]
+
+	if m.config.Tracer != nil {
+		m.record = CycleRecord{Cycle: m.cycle, PC: m.pc, CC: m.cc, Instr: in}
+		m.config.Tracer.Cycle(&m.record)
+	}
+
+	for fu := 0; fu < m.numFU; fu++ {
+		if err := m.execData(fu, in.Ops[fu]); err != nil {
+			return false, err
+		}
+	}
+
+	halt := false
+	var next isa.Addr
+	switch in.Ctrl.Kind {
+	case isa.CtrlGoto:
+		next = in.Ctrl.T1
+	case isa.CtrlHalt:
+		halt = true
+	case isa.CtrlCond:
+		m.stats.CondBranches++
+		if isa.EvalCond(in.Ctrl, m.cc, nil, m.numFU) {
+			m.stats.TakenBranches++
+			next = in.Ctrl.T1
+		} else {
+			next = in.Ctrl.T2
+		}
+	}
+
+	m.regs.Commit()
+	m.memory.Commit()
+	for _, w := range m.ccWrite {
+		m.cc[w.fu] = w.val
+	}
+	m.stats.Cycles++
+	m.cycle++
+	if halt {
+		m.done = true
+		return false, nil
+	}
+	m.pc = next
+	return true, nil
+}
+
+func (m *Machine) execData(fu int, d isa.DataOp) error {
+	cl := isa.ClassOf(d.Op)
+	if d.Op == isa.OpNop {
+		m.stats.Nops[fu]++
+		return nil
+	}
+	m.stats.DataOps[fu]++
+	var a, b isa.Word
+	var err error
+	if cl.ReadsA() {
+		if a, err = m.readOperand(fu, d.A); err != nil {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+	}
+	if cl.ReadsB() {
+		if b, err = m.readOperand(fu, d.B); err != nil {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+	}
+	switch d.Op {
+	case isa.OpLoad:
+		m.stats.Loads++
+		v, err := m.memory.Load(fu, uint32(a.Int()+b.Int()))
+		if err != nil {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+		return m.writeReg(fu, d.Dest, v)
+	case isa.OpStore:
+		m.stats.Stores++
+		if err := m.memory.Store(fu, uint32(b.Int()), a); err != nil {
+			if _, ok := err.(*mem.ConflictError); ok && m.config.TolerateConflicts {
+				m.stats.MemConflicts++
+				return nil
+			}
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+		return nil
+	default:
+		res, cc, err := isa.EvalALU(d.Op, a, b)
+		if err != nil {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+		if cl.WritesCC() {
+			m.ccWrite = append(m.ccWrite, ccWrite{fu: fu, val: cc})
+			return nil
+		}
+		if cl.WritesReg() {
+			return m.writeReg(fu, d.Dest, res)
+		}
+		return nil
+	}
+}
+
+func (m *Machine) readOperand(fu int, o isa.Operand) (isa.Word, error) {
+	if o.Kind == isa.Imm {
+		return o.Imm, nil
+	}
+	return m.regs.Read(fu, o.Reg)
+}
+
+func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
+	if err := m.regs.Write(fu, reg, v); err != nil {
+		if _, ok := err.(*regfile.WriteConflictError); ok && m.config.TolerateConflicts {
+			m.stats.RegConflicts++
+			return nil
+		}
+		return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+	}
+	return nil
+}
+
+// Run executes until halt or error, returning total cycles.
+func (m *Machine) Run() (uint64, error) {
+	for {
+		running, err := m.Step()
+		if err != nil {
+			return m.cycle, err
+		}
+		if !running {
+			return m.cycle, nil
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// BitcountPadded is the Example 2 style alternative to BITCOUNT1: instead
+// of data-dependent inner loops joined by a barrier (Example 3), every
+// path is padded to the worst case — the inner bit loop is fully unrolled
+// to all 32 bit positions, branchlessly (b += d&1; d >>= 1), so all four
+// functional units stay in lock step and the program is pure VLIW-style
+// code with no synchronization at all.
+//
+// This is the paper's Section 3.2/3.3 design tradeoff made measurable:
+//
+//   - equal-length padding: no synchronization cost, but every element
+//     pays the 32-bit worst case, and the unrolled body inflates static
+//     code size;
+//   - barrier (Bitcount): early exit per element, but busy-wait cycles at
+//     the join and the barrier rows themselves.
+//
+// The crossover: sparse data (few set bits → early exits) favors the
+// barrier version; dense 32-bit data favors padding. The xbench ablation
+// experiment sweeps this.
+//
+// Semantics: data length must be a positive multiple of 4; B[k+i] is the
+// ones count of D[k..k+i] within each group of four (the same per-group
+// prefix the main loop of BITCOUNT1 computes). BitcountPaddedRef is the
+// reference.
+
+// bitcountPaddedSrc generates the fully unrolled VLIW source.
+func bitcountPaddedSrc() string {
+	var b strings.Builder
+	b.WriteString(`
+.machine vliw
+.fus 4
+.const D0 = 512
+.const D1 = 513
+.const D2 = 514
+.const D3 = 515
+.const B0 = 1024
+.const B1 = 1025
+.const B2 = 1026
+.const B3 = 1027
+.reg k  = r1
+.reg n  = r2
+.reg a  = r3
+.reg b  = r4
+.reg b0 = r10
+.reg b1 = r11
+.reg b2 = r12
+.reg b3 = r13
+.reg d0 = r20
+.reg d1 = r21
+.reg d2 = r22
+.reg d3 = r23
+.reg t0 = r30
+.reg t1 = r31
+.reg t2 = r32
+.reg t3 = r33
+
+W0: iadd #0, #0, k                                        => goto W1
+W1: nop | nop | ge k, n                                   => goto W2
+W2: nop                                                   => if cc2 FIN G0
+G0: iadd #0, #0, b0 | iadd #0, #0, b1 | iadd #0, #0, b2 | iadd #0, #0, b3 => goto G1
+G1: load #D0, k, d0 | load #D1, k, d1 | load #D2, k, d2 | load #D3, k, d3
+`)
+	// 32 unrolled, branchless bit steps; every row keeps all four FUs in
+	// lock step.
+	for i := 0; i < 32; i++ {
+		fmt.Fprintf(&b, "\tand d0, #1, t0 | and d1, #1, t1 | and d2, #1, t2 | and d3, #1, t3\n")
+		fmt.Fprintf(&b, "\tiadd b0, t0, b0 | iadd b1, t1, b1 | iadd b2, t2, b2 | iadd b3, t3, b3\n")
+		fmt.Fprintf(&b, "\tshr d0, #1, d0 | shr d1, #1, d1 | shr d2, #1, d2 | shr d3, #1, d3\n")
+	}
+	b.WriteString(`
+S0: iadd #0, #0, b                                        => goto S1
+S1: iadd b, b0, b | nop | iadd k, #B0, a                  => goto S2
+S2: iadd b, b1, b | store b, a | iadd k, #B1, a           => goto S3
+S3: iadd b, b2, b | store b, a | iadd k, #B2, a           => goto S4
+S4: iadd b, b3, b | store b, a | iadd k, #B3, a           => goto S5
+S5: iadd k, #4, k | store b, a                            => goto W1
+FIN: nop                                                  => halt
+`)
+	return b.String()
+}
+
+// BitcountPaddedRef computes per-group-of-4 prefix ones counts.
+func BitcountPaddedRef(data []int32) []int32 {
+	out := make([]int32, len(data))
+	for k := 0; k < len(data); k += 4 {
+		var b int32
+		for i := 0; i < 4 && k+i < len(data); i++ {
+			b += int32(bits.OnesCount32(uint32(data[k+i])))
+			out[k+i] = b
+		}
+	}
+	return out
+}
+
+// BitcountPadded builds the equal-path-length variant; len(data) must be
+// a positive multiple of 4 (no cleanup path exists in the padded code).
+func BitcountPadded(data []int32) *Instance {
+	if len(data) == 0 || len(data)%4 != 0 {
+		panic("workloads: BitcountPadded requires a positive multiple of 4 elements")
+	}
+	if len(data) > 512 {
+		panic("workloads: BitcountPadded data exceeds the 512-word region")
+	}
+	prog := mustAssemble("bitcount-padded", bitcountPaddedSrc())
+	inst := &Instance{
+		Name: "bitcount-padded",
+		XIMD: prog,
+		VLIW: mustVLIW("bitcount-padded", prog),
+		Regs: map[uint8]isa.Word{2: isa.WordFromInt(int32(len(data)))},
+	}
+	want := BitcountPaddedRef(data)
+	inst.NewEnv = func() *Env {
+		m := sharedMem(512, data)
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				return expectInts(m, 1024, want)
+			},
+		}
+	}
+	return inst
+}

@@ -1,0 +1,111 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitcountPaddedCorrect(t *testing.T) {
+	cases := [][]int32{
+		{0, 0, 0, 0},
+		{1, 2, 3, 4},
+		{-1, -1, -1, -1},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+	}
+	for _, data := range cases {
+		inst := BitcountPadded(data)
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Errorf("padded XIMD %v: %v", data, err)
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Errorf("padded VLIW %v: %v", data, err)
+		}
+	}
+}
+
+func TestBitcountPaddedRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 10; iter++ {
+		n := 4 * (1 + r.Intn(10))
+		data := make([]int32, n)
+		for i := range data {
+			data[i] = int32(r.Uint32())
+		}
+		if _, err := RunXIMD(BitcountPadded(data), nil); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}
+
+func TestBitcountPaddedRejectsBadLength(t *testing.T) {
+	for _, data := range [][]int32{nil, {1}, {1, 2, 3}, {1, 2, 3, 4, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("len %d accepted", len(data))
+				}
+			}()
+			BitcountPadded(data)
+		}()
+	}
+}
+
+// TestPaddingVsBarrierCrossover pins the Example 2 vs Example 3 design
+// tradeoff: on sparse data the barrier version's early exits win; on
+// dense 32-bit data the padded version's lock-step worst case wins.
+func TestPaddingVsBarrierCrossover(t *testing.T) {
+	const n = 24
+	sparse := make([]int32, n) // tiny values: inner loops exit after a few bits
+	dense := make([]int32, n)  // full-width values: inner loops run ~32 bits
+	r := rand.New(rand.NewSource(32))
+	for i := range sparse {
+		sparse[i] = int32(r.Intn(8))
+		dense[i] = int32(r.Uint32() | 0x80000000) // ensure bit 31 set
+	}
+
+	run := func(inst *Instance) uint64 {
+		t.Helper()
+		m, err := RunXIMD(inst, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycle()
+	}
+	sparseBarrier := run(Bitcount(sparse))
+	sparsePadded := run(BitcountPadded(sparse))
+	denseBarrier := run(Bitcount(dense))
+	densePadded := run(BitcountPadded(dense))
+
+	t.Logf("sparse: barrier=%d padded=%d | dense: barrier=%d padded=%d",
+		sparseBarrier, sparsePadded, denseBarrier, densePadded)
+	if sparseBarrier >= sparsePadded {
+		t.Errorf("sparse data: barrier (%d) should beat padding (%d)", sparseBarrier, sparsePadded)
+	}
+	if densePadded >= denseBarrier {
+		t.Errorf("dense data: padding (%d) should beat barrier (%d)", densePadded, denseBarrier)
+	}
+	// Padded cost is data-independent.
+	if sparsePadded != densePadded {
+		t.Errorf("padded version should be data-independent: %d vs %d", sparsePadded, densePadded)
+	}
+}
+
+// TestStaticSizeTradeoff: padding trades instruction memory for
+// synchronization — the unrolled padded program is much larger.
+func TestStaticSizeTradeoff(t *testing.T) {
+	barrier := Bitcount([]int32{1, 2, 3, 4}).XIMD
+	padded := BitcountPadded([]int32{1, 2, 3, 4}).XIMD
+	if padded.Len() <= barrier.Len() {
+		t.Errorf("padded static size %d not larger than barrier %d",
+			padded.Len(), barrier.Len())
+	}
+	// Occupied parcels magnify the gap: the unrolled body fills every
+	// column of every row, while the barrier version's address space is
+	// sparse.
+	if padded.OccupiedParcels() <= 2*barrier.OccupiedParcels() {
+		t.Errorf("padded parcels %d not substantially larger than barrier %d",
+			padded.OccupiedParcels(), barrier.OccupiedParcels())
+	}
+	t.Logf("static size: barrier=%d rows/%d parcels, padded=%d rows/%d parcels",
+		barrier.Len(), barrier.OccupiedParcels(), padded.Len(), padded.OccupiedParcels())
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"math/bits"
+
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// bitcountSrc is Example 3 — BITCOUNT1, the explicit barrier
+// synchronization program — transcribed from the paper's listing with the
+// same address layout (main loop 00–08, barrier and store pipeline at
+// 10–15, cleanup at 30). Four copies of the data-dependent inner bit-count
+// loop run as four independent instruction streams, then join at the
+// ALL-SS barrier, and the four outer-loop results are stored by a
+// software-pipelined sequence at 11–15.
+//
+// Indexing is zero-based (the paper's k starts at 1 with one-based
+// arrays); D0..D3 are the addresses of D[0..3] and B0..B3 of B[0..3], as
+// in the paper. Two small deviations from the listing, documented in
+// EXPERIMENTS.md: the outer-loop continuation test is "lt t, #8" rather
+// than the paper's "lt t, 4" (with t = n-k elements unprocessed at the
+// test, another full 4-element group exists only when t >= 8 — the
+// paper's own guard "le n, #8" at 00 uses the same threshold), and the
+// cleanup code at 30, which the paper omits ("Clean Up Code ... not
+// shown"), is implemented on FU0 with FU1-3 waiting on SS0.
+//
+// Result semantics (implied by the listing's "iadd #0,#0,b" reset at 15):
+// for each full group of four, B[k+i] holds the ones count of
+// D[k..k+i]; for the cleanup tail, B[j] holds the ones count from the
+// tail's start through D[j]. BitcountRef implements the same function.
+const bitcountSrc = `
+.fus 4
+.const D0 = 512
+.const D1 = 513
+.const D2 = 514
+.const D3 = 515
+.const B0 = 1024
+.const B1 = 1025
+.const B2 = 1026
+.const B3 = 1027
+.reg k  = r1
+.reg n  = r2
+.reg a  = r3
+.reg b  = r4
+.reg t  = r5
+.reg b0 = r10
+.reg b1 = r11
+.reg b2 = r12
+.reg b3 = r13
+.reg d0 = r20
+.reg d1 = r21
+.reg d2 = r22
+.reg d3 = r23
+.reg t0 = r30
+.reg t1 = r31
+.reg t2 = r32
+.reg t3 = r33
+
+.fu 0
+L00: le n, #8                              !done
+L01: nop               => if cc0 C30 L02   !done
+L02: iadd #0, #0, b0
+L03: load #D0, k, d0
+L04: eq d0, #0
+L05: and d0, #1, t0    => if cc0 L10 L06
+L06: eq #0, t0
+L07: shr d0, #1, d0    => if cc0 L04 L08
+L08: iadd b0, #1, b0   => goto L04
+.org 16
+L10: nop               => if allss L11 L10 !done
+L11: iadd b, b0, b                         !done
+L12: iadd b, b1, b                         !done
+L13: iadd b, b2, b                         !done
+L14: iadd b, b3, b                         !done
+L15: iadd k, #4, k     => if cc3 C30 L02   !done
+.org 48
+C30: ge k, n           => goto C31
+C31: nop               => if cc0 CFIN C32
+C32: load #D0, k, d0   => goto C33
+C33: eq d0, #0         => goto C34
+C34: and d0, #1, t0    => if cc0 C3A C35
+C35: eq #0, t0         => goto C36
+C36: shr d0, #1, d0    => if cc0 C33 C37
+C37: iadd b, #1, b     => goto C33
+C3A: iadd k, #B0, a    => goto C3B
+C3B: store b, a        => goto C3C
+C3C: iadd k, #1, k     => goto C30
+CFIN: nop              => if allss CEND CFIN !done
+CEND: nop              => halt
+
+.fu 1
+L00: iadd #0, #0, k                        !done
+L01: nop               => if cc0 C30 L02   !done
+L02: iadd #0, #0, b1
+L03: load #D1, k, d1
+L04: eq d1, #0
+L05: and d1, #1, t1    => if cc1 L10 L06
+L06: eq #0, t1
+L07: shr d1, #1, d1    => if cc1 L04 L08
+L08: iadd b1, #1, b1   => goto L04
+.org 16
+L10: nop               => if allss L11 L10 !done
+L11: nop                                   !done
+L12: store b, a                            !done
+L13: store b, a                            !done
+L14: store b, a                            !done
+L15: store b, a        => if cc3 C30 L02   !done
+.org 48
+C30: nop               => if ss0 CFIN C30
+.org 59
+CFIN: nop              => if allss CEND CFIN !done
+CEND: nop              => halt
+
+.fu 2
+L00: iadd #0, #0, b                        !done
+L01: nop               => if cc0 C30 L02   !done
+L02: iadd #0, #0, b2
+L03: load #D2, k, d2
+L04: eq d2, #0
+L05: and d2, #1, t2    => if cc2 L10 L06
+L06: eq #0, t2
+L07: shr d2, #1, d2    => if cc2 L04 L08
+L08: iadd b2, #1, b2   => goto L04
+.org 16
+L10: nop               => if allss L11 L10 !done
+L11: iadd k, #B0, a                        !done
+L12: iadd k, #B1, a                        !done
+L13: iadd k, #B2, a                        !done
+L14: iadd k, #B3, a                        !done
+L15: iadd #0, #0, b    => if cc3 C30 L02   !done
+.org 48
+C30: nop               => if ss0 CFIN C30
+.org 59
+CFIN: nop              => if allss CEND CFIN !done
+CEND: nop              => halt
+
+.fu 3
+L00: store #0, #B0                         !done
+L01: nop               => if cc0 C30 L02   !done
+L02: iadd #0, #0, b3
+L03: load #D3, k, d3
+L04: eq d3, #0
+L05: and d3, #1, t3    => if cc3 L10 L06
+L06: eq #0, t3
+L07: shr d3, #1, d3    => if cc3 L04 L08
+L08: iadd b3, #1, b3   => goto L04
+.org 16
+L10: nop               => if allss L11 L10 !done
+L11: nop                                   !done
+L12: nop                                   !done
+L13: isub n, k, t                          !done
+L14: lt t, #8                              !done
+L15: nop               => if cc3 C30 L02   !done
+.org 48
+C30: nop               => if ss0 CFIN C30
+.org 59
+CFIN: nop              => if allss CEND CFIN !done
+CEND: nop              => halt
+`
+
+// bitcountVLIWSrc is the single-stream VLIW baseline computing the same
+// function: the four data-dependent inner loops run one after another
+// through the single sequencer instead of concurrently.
+const bitcountVLIWSrc = `
+.machine vliw
+.fus 4
+.const D0 = 512
+.const B0 = 1024
+.reg k  = r1
+.reg n  = r2
+.reg a  = r3
+.reg b  = r4
+.reg t  = r5
+.reg j  = r7
+.reg d0 = r20
+.reg t0 = r30
+
+W0:  iadd #0, #0, k | iadd #0, #0, b          => goto W1
+W1:  nop | nop | le n, #8                     => goto W2
+W2:  nop                                      => if cc2 T1 G0
+
+G0:  iadd #0, #0, b | isub n, k, t            => goto G1
+G1:  iadd #0, #0, j | lt t, #8                => goto GE
+GE:  load #D0, k, d0                          => goto GB
+GB:  eq d0, #0                                => goto GB1
+GB1: and d0, #1, t0                           => if cc0 GS GB2
+GB2: eq #0, t0                                => goto GB3
+GB3: shr d0, #1, d0                           => if cc0 GB GB4
+GB4: iadd b, #1, b                            => goto GB
+GS:  iadd k, #B0, a                           => goto GS1
+GS1: store b, a | iadd k, #1, k | iadd j, #1, j => goto GS2
+GS2: nop | nop | nop | eq j, #4               => goto GS3
+GS3: nop                                      => if cc3 GDONE GE
+GDONE: nop                                    => if cc1 TR G0
+
+TR:  iadd #0, #0, b                           => goto T1
+T1:  nop | nop | ge k, n                      => goto T2
+T2:  nop                                      => if cc2 FIN TE
+TE:  load #D0, k, d0                          => goto TB
+TB:  eq d0, #0                                => goto TB1
+TB1: and d0, #1, t0                           => if cc0 TS TB2
+TB2: eq #0, t0                                => goto TB3
+TB3: shr d0, #1, d0                           => if cc0 TB TB4
+TB4: iadd b, #1, b                            => goto TB
+TS:  iadd k, #B0, a                           => goto TS1
+TS1: store b, a | iadd k, #1, k               => goto T1
+FIN: nop                                      => halt
+`
+
+// BitcountRef computes the reference output of BITCOUNT1: for each full
+// group of four elements, B[k+i] = popcount(D[k]..D[k+i]); the tail after
+// the last full group restarts the running count at the tail's first
+// element.
+func BitcountRef(data []int32) []int32 {
+	n := len(data)
+	out := make([]int32, n)
+	ones := func(v int32) int32 { return int32(bits.OnesCount32(uint32(v))) }
+	k := 0
+	if n > 8 {
+		for {
+			var b int32
+			for i := 0; i < 4; i++ {
+				b += ones(data[k+i])
+				out[k+i] = b
+			}
+			t := n - k
+			k += 4
+			if t < 8 {
+				break
+			}
+		}
+	}
+	var b int32
+	for ; k < n; k++ {
+		b += ones(data[k])
+		out[k] = b
+	}
+	return out
+}
+
+// Bitcount builds the Example 3 workload over the given data. The data
+// region begins at 512 and the output array B at 1024; data length is
+// capped by the gap (512 words).
+func Bitcount(data []int32) *Instance {
+	if len(data) > 512 {
+		panic("workloads: Bitcount data exceeds the 512-word region")
+	}
+	inst := &Instance{
+		Name: "bitcount",
+		XIMD: mustAssemble("bitcount", bitcountSrc),
+		VLIW: mustVLIW("bitcount-vliw", mustAssemble("bitcount-vliw", bitcountVLIWSrc)),
+		Regs: map[uint8]isa.Word{2: isa.WordFromInt(int32(len(data)))},
+	}
+	want := BitcountRef(data)
+	inst.NewEnv = func() *Env {
+		m := sharedMem(512, data)
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				return expectInts(m, 1024, want)
+			},
+		}
+	}
+	return inst
+}

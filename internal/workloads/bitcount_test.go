@@ -1,0 +1,115 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"ximd/internal/trace"
+)
+
+func TestBitcountRefAgainstNaive(t *testing.T) {
+	data := []int32{7, 0, -1, 1, 2, 3, 255, 256, 5, 6, 7, 8, 9}
+	got := BitcountRef(data)
+	if len(got) != len(data) {
+		t.Fatalf("length %d", len(got))
+	}
+	// Group 0 (0..3): prefix 3, 3, 35, 36; -1 has 32 ones.
+	want0 := []int32{3, 3, 35, 36}
+	for i, w := range want0 {
+		if got[i] != w {
+			t.Fatalf("B[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestBitcountXIMDMatchesReference(t *testing.T) {
+	cases := [][]int32{
+		nil,                         // empty: straight to cleanup
+		{5},                         // single element (cleanup path)
+		{1, 2, 3},                   // tail only
+		{1, 2, 3, 4, 5, 6, 7, 8},    // n = 8: all through cleanup
+		{1, 2, 3, 4, 5, 6, 7, 8, 9}, // n = 9: one group + tail
+		{0, 0, 0, 0, 0, 0, 0, 0, 0}, // zero data: inner loops exit at once
+		{-1, -1, -1, -1, 7, 7, 7, 7, 15, 15, 15, 15},                 // n = 12: groups only
+		{1, 3, 7, 15, 31, 63, 127, 255, 511, 1023, 2047, 4095, 8191}, // n = 13
+	}
+	for _, data := range cases {
+		inst := Bitcount(data)
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Errorf("bitcount XIMD %v: %v", data, err)
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Errorf("bitcount VLIW %v: %v", data, err)
+		}
+	}
+}
+
+func TestBitcountRandomizedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 20; iter++ {
+		n := r.Intn(40)
+		data := make([]int32, n)
+		for i := range data {
+			data[i] = int32(r.Uint32())
+		}
+		inst := Bitcount(data)
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Fatalf("iter %d (n=%d): %v", iter, n, err)
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Fatalf("iter %d VLIW (n=%d): %v", iter, n, err)
+		}
+	}
+}
+
+func TestBitcountBarrierPartitions(t *testing.T) {
+	// With data that drives the four inner loops to different iteration
+	// counts the partition must fan out to four streams and rejoin.
+	data := []int32{0, 3, 255, -1, 0, 3, 255, -1, 0, 3, 255, -1}
+	inst := Bitcount(data)
+	rec := &trace.Recorder{}
+	if _, err := RunXIMD(inst, rec); err != nil {
+		t.Fatal(err)
+	}
+	saw4 := false
+	saw1 := false
+	for _, r := range rec.Records {
+		switch r.Partition.NumSSETs() {
+		case 4:
+			saw4 = true
+		case 1:
+			saw1 = true
+		}
+	}
+	if !saw4 {
+		t.Error("never observed four concurrent streams (Figure 11 fork)")
+	}
+	if !saw1 {
+		t.Error("never observed a single joined stream (Figure 11 barrier)")
+	}
+}
+
+func TestBitcountXIMDFasterThanVLIW(t *testing.T) {
+	// Inner-loop-heavy data: XIMD runs the four bit loops concurrently.
+	data := make([]int32, 32)
+	r := rand.New(rand.NewSource(12))
+	for i := range data {
+		data[i] = int32(r.Uint32())
+	}
+	inst := Bitcount(data)
+	xm, err := RunXIMD(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := RunVLIW(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(vm.Cycle()) / float64(xm.Cycle())
+	if speedup < 1.5 {
+		t.Errorf("bitcount speedup = %.2f (XIMD %d, VLIW %d); expected well above 1.5x on random data",
+			speedup, xm.Cycle(), vm.Cycle())
+	}
+	t.Logf("bitcount n=32: XIMD %d cycles, VLIW %d cycles, speedup %.2fx",
+		xm.Cycle(), vm.Cycle(), speedup)
+}

@@ -1,0 +1,397 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ximd/internal/device"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// The Figure 12 workload: two concurrent processes on an 8-FU XIMD.
+// Process 1 (SSET {0,1,2,3}) reads values a, b, c in order from input
+// port IN1, polling until each is non-zero; Process 2 (SSET {4,5,6,7})
+// reads x, y, z from IN2. Each process also consumes the other's values
+// through the global register file and writes them, in order, to its own
+// output port. The availability of each value is published on one
+// synchronization bit, exactly as the paper encodes it:
+//
+//	a → SS0   b → SS1   c → SS2   x → SS4   y → SS5   z → SS6
+//
+// A producer FU acquires its value and then parks in a DONE self-loop at
+// the common hold address, holding its signal at DONE "whenever the
+// corresponding variable is ready to be used"; consumers test the bit in
+// a one-cycle non-blocking spin. A standard ALL-SS barrier at the hold
+// address ends the program.
+//
+// Memory map: IN1 = 4000, IN2 = 4001, OUT1 = 4010, OUT2 = 4011 (plus
+// FLAGA..FLAGZ at 4100.. for the memory-flag variant).
+const (
+	ioIN1   = 4000
+	ioIN2   = 4001
+	ioOUT1  = 4010
+	ioOUT2  = 4011
+	ioFLAGS = 4100 // a,b,c,x,y,z flags at 4100..4105
+)
+
+// ioportsSSSrc signals value availability on the synchronization bits
+// (the paper's preferred mechanism, Figure 12).
+const ioportsSSSrc = `
+.fus 8
+.const IN1  = 4000
+.const IN2  = 4001
+.const OUT1 = 4010
+.const OUT2 = 4011
+.reg ra = r1
+.reg rb = r2
+.reg rc = r3
+.reg rx = r4
+.reg ry = r5
+.reg rz = r6
+
+; ---- Process 1: FUs 0-3 ----
+.fu 0
+p0:  load #IN1, #0, ra
+p1:  ne ra, #0
+p2:  nop              => if cc0 hold p0
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 1
+g0:  nop              => if ss0 q0 g0
+q0:  load #IN1, #0, rb
+q1:  ne rb, #0
+q2:  nop              => if cc1 hold q0
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 2
+h0:  nop              => if ss1 s0 h0
+s0:  load #IN1, #0, rc
+s1:  ne rc, #0
+s2:  nop              => if cc2 hold s0
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 3
+w0:  nop              => if ss4 w1 w0
+w1:  store rx, #OUT1  => goto w2
+w2:  nop              => if ss5 w3 w2
+w3:  store ry, #OUT1  => goto w4
+w4:  nop              => if ss6 w5 w4
+w5:  store rz, #OUT1  => goto hold
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+; ---- Process 2: FUs 4-7 ----
+.fu 4
+u0:  load #IN2, #0, rx
+u1:  ne rx, #0
+u2:  nop              => if cc4 hold u0
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 5
+v0:  nop              => if ss4 v1 v0
+v1:  load #IN2, #0, ry
+v2:  ne ry, #0
+v3:  nop              => if cc5 hold v1
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 6
+m0:  nop              => if ss5 m1 m0
+m1:  load #IN2, #0, rz
+m2:  ne rz, #0
+m3:  nop              => if cc6 hold m1
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+
+.fu 7
+x0:  nop              => if ss0 x1 x0
+x1:  store ra, #OUT2  => goto x2
+x2:  nop              => if ss1 x3 x2
+x3:  store rb, #OUT2  => goto x4
+x4:  nop              => if ss2 x5 x4
+x5:  store rc, #OUT2  => goto hold
+.org 40
+hold: nop             => if allss end hold   !done
+end:  nop             => halt
+`
+
+// ioportsFlagSrc is the same computation with availability signaled
+// through memory flags instead of sync bits: each producer spends an
+// extra store publishing its flag, and each consumer needs a three-cycle
+// load/compare/branch poll instead of the one-cycle SS test. This is the
+// register/memory-flag alternative the paper's Figure 12 discussion
+// rejects for performance.
+const ioportsFlagSrc = `
+.fus 8
+.const IN1   = 4000
+.const IN2   = 4001
+.const OUT1  = 4010
+.const OUT2  = 4011
+.const FLAGA = 4100
+.const FLAGB = 4101
+.const FLAGC = 4102
+.const FLAGX = 4103
+.const FLAGY = 4104
+.const FLAGZ = 4105
+.reg ra = r1
+.reg rb = r2
+.reg rc = r3
+.reg rx = r4
+.reg ry = r5
+.reg rz = r6
+.reg t1 = r11
+.reg t2 = r12
+.reg t3 = r13
+.reg t5 = r15
+.reg t6 = r16
+.reg t7 = r17
+
+.fu 0
+p0:  load #IN1, #0, ra
+p1:  ne ra, #0
+p2:  nop               => if cc0 p3 p0
+p3:  store #1, #FLAGA  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 1
+g0:  load #FLAGA, #0, t1
+g1:  ne t1, #0
+g2:  nop               => if cc1 q0 g0
+q0:  load #IN1, #0, rb
+q1:  ne rb, #0
+q2:  nop               => if cc1 q3 q0
+q3:  store #1, #FLAGB  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 2
+h0:  load #FLAGB, #0, t2
+h1:  ne t2, #0
+h2:  nop               => if cc2 s0 h0
+s0:  load #IN1, #0, rc
+s1:  ne rc, #0
+s2:  nop               => if cc2 s3 s0
+s3:  store #1, #FLAGC  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 3
+w0:  load #FLAGX, #0, t3
+w1:  ne t3, #0
+w2:  nop               => if cc3 w3 w0
+w3:  store rx, #OUT1   => goto w4
+w4:  load #FLAGY, #0, t3
+w5:  ne t3, #0
+w6:  nop               => if cc3 w7 w4
+w7:  store ry, #OUT1   => goto w8
+w8:  load #FLAGZ, #0, t3
+w9:  ne t3, #0
+wa:  nop               => if cc3 wb w8
+wb:  store rz, #OUT1   => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 4
+u0:  load #IN2, #0, rx
+u1:  ne rx, #0
+u2:  nop               => if cc4 u3 u0
+u3:  store #1, #FLAGX  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 5
+v0:  load #FLAGX, #0, t5
+v1:  ne t5, #0
+v2:  nop               => if cc5 v3 v0
+v3:  load #IN2, #0, ry
+v4:  ne ry, #0
+v5:  nop               => if cc5 v6 v3
+v6:  store #1, #FLAGY  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 6
+m0:  load #FLAGY, #0, t6
+m1:  ne t6, #0
+m2:  nop               => if cc6 m3 m0
+m3:  load #IN2, #0, rz
+m4:  ne rz, #0
+m5:  nop               => if cc6 m6 m3
+m6:  store #1, #FLAGZ  => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+
+.fu 7
+x0:  load #FLAGA, #0, t7
+x1:  ne t7, #0
+x2:  nop               => if cc7 x3 x0
+x3:  store ra, #OUT2   => goto x4
+x4:  load #FLAGB, #0, t7
+x5:  ne t7, #0
+x6:  nop               => if cc7 x7 x4
+x7:  store rb, #OUT2   => goto x8
+x8:  load #FLAGC, #0, t7
+x9:  ne t7, #0
+xa:  nop               => if cc7 xb x8
+xb:  store rc, #OUT2   => goto hold
+.org 40
+hold: nop              => if allss end hold   !done
+end:  nop              => halt
+`
+
+// ioportsVLIWSrc is the single-stream baseline: one sequencer polls the
+// ports in a fixed static order — the pessimistic serialization that
+// Section 1.3 ascribes to VLIW processors facing unpredictable
+// interfaces.
+const ioportsVLIWSrc = `
+.machine vliw
+.fus 8
+.const IN1  = 4000
+.const IN2  = 4001
+.const OUT1 = 4010
+.const OUT2 = 4011
+.reg ra = r1
+.reg rb = r2
+.reg rc = r3
+.reg rx = r4
+.reg ry = r5
+.reg rz = r6
+
+a0: load #IN1, #0, ra   => goto a1
+a1: ne ra, #0           => goto a2
+a2: nop                 => if cc0 b0 a0
+b0: load #IN2, #0, rx   => goto b1
+b1: ne rx, #0           => goto b2
+b2: nop                 => if cc0 b3 b0
+b3: store rx, #OUT1 | store ra, #OUT2 => goto c0
+c0: load #IN1, #0, rb   => goto c1
+c1: ne rb, #0           => goto c2
+c2: nop                 => if cc0 d0 c0
+d0: load #IN2, #0, ry   => goto d1
+d1: ne ry, #0           => goto d2
+d2: nop                 => if cc0 d3 d0
+d3: store ry, #OUT1 | store rb, #OUT2 => goto e0
+e0: load #IN1, #0, rc   => goto e1
+e1: ne rc, #0           => goto e2
+e2: nop                 => if cc0 f0 e0
+f0: load #IN2, #0, rz   => goto f1
+f1: ne rz, #0           => goto f2
+f2: nop                 => if cc0 f3 f0
+f3: store rz, #OUT1 | store rc, #OUT2 => goto fin
+fin: nop                => halt
+`
+
+// IOPortsVariant selects the synchronization mechanism of the Figure 12
+// workload.
+type IOPortsVariant int
+
+const (
+	// IOPortsSS publishes value availability on the sync bits (XIMD).
+	IOPortsSS IOPortsVariant = iota
+	// IOPortsFlags publishes availability through memory flags (XIMD).
+	IOPortsFlags
+	// IOPortsVLIW polls ports in a fixed order on a single stream.
+	IOPortsVLIW
+)
+
+// String returns the variant name.
+func (v IOPortsVariant) String() string {
+	switch v {
+	case IOPortsSS:
+		return "ss"
+	case IOPortsFlags:
+		return "memflags"
+	case IOPortsVLIW:
+		return "vliw"
+	}
+	return "unknown"
+}
+
+// IOPorts builds the Figure 12 workload. Port readiness schedules are
+// drawn deterministically from the seed with inter-arrival gaps in
+// [minGap, maxGap] cycles; IN1 delivers the values 101, 102, 103 (a, b,
+// c) and IN2 delivers 201, 202, 203 (x, y, z). The checker verifies that
+// OUT1 received exactly x, y, z in order and OUT2 exactly a, b, c.
+func IOPorts(variant IOPortsVariant, seed int64, minGap, maxGap uint64) *Instance {
+	var src, name string
+	switch variant {
+	case IOPortsSS:
+		src, name = ioportsSSSrc, "ioports-ss"
+	case IOPortsFlags:
+		src, name = ioportsFlagSrc, "ioports-memflags"
+	case IOPortsVLIW:
+		src, name = ioportsVLIWSrc, "ioports-vliw"
+	default:
+		panic("workloads: unknown IOPorts variant")
+	}
+	prog := mustAssemble(name, src)
+	inst := &Instance{Name: name, XIMD: prog}
+	if variant == IOPortsVLIW {
+		inst.VLIW = mustVLIW(name, prog)
+	}
+	inst.NewEnv = func() *Env {
+		in1 := device.NewInPort(device.Schedule(seed, 3, minGap, maxGap, 100))
+		in2 := device.NewInPort(device.Schedule(seed+1, 3, minGap, maxGap, 200))
+		out1 := device.NewOutPort()
+		out2 := device.NewOutPort()
+		m := mem.NewShared(0)
+		mustMap(m, ioIN1, in1)
+		mustMap(m, ioIN2, in2)
+		mustMap(m, ioOUT1, out1)
+		mustMap(m, ioOUT2, out2)
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				if err := expectPort(out1, []int32{201, 202, 203}); err != nil {
+					return fmt.Errorf("OUT1: %w", err)
+				}
+				if err := expectPort(out2, []int32{101, 102, 103}); err != nil {
+					return fmt.Errorf("OUT2: %w", err)
+				}
+				if in1.Remaining() != 0 || in2.Remaining() != 0 {
+					return fmt.Errorf("unconsumed port items: IN1 %d, IN2 %d", in1.Remaining(), in2.Remaining())
+				}
+				return nil
+			},
+		}
+	}
+	return inst
+}
+
+func mustMap(m *mem.Shared, base uint32, dev mem.Device) {
+	if err := m.Map(base, 1, dev); err != nil {
+		panic("workloads: " + err.Error())
+	}
+}
+
+func expectPort(p *device.OutPort, want []int32) error {
+	got := p.Writes()
+	if len(got) != len(want) {
+		return fmt.Errorf("received %d writes, want %d", len(got), len(want))
+	}
+	for i, w := range got {
+		if w.Value.Int() != want[i] {
+			return fmt.Errorf("write %d = %d, want %d", i, w.Value.Int(), want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"testing"
+
+	"ximd/internal/trace"
+)
+
+func TestLL12MatchesReference(t *testing.T) {
+	cases := [][]int32{
+		{1, 2},
+		{5, 3, 8},
+		{0, 0, 0, 0},
+		{10, 7, 3, -2, -8, -15, 100, 2, 4},
+	}
+	for _, y := range cases {
+		if _, err := RunXIMD(LL12(y), nil); err != nil {
+			t.Errorf("ll12 XIMD %v: %v", y, err)
+		}
+		if _, err := RunVLIW(LL12(y), nil); err != nil {
+			t.Errorf("ll12 VLIW %v: %v", y, err)
+		}
+		if _, err := RunXIMD(LL12Scalar(y), nil); err != nil {
+			t.Errorf("ll12 scalar %v: %v", y, err)
+		}
+	}
+}
+
+func TestLL12PipelineSpeedupAndParity(t *testing.T) {
+	y := make([]int32, 101)
+	for i := range y {
+		y[i] = int32(i * i % 97)
+	}
+	pipe, err := RunXIMD(LL12(y), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := RunXIMD(LL12Scalar(y), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2 cycles/iteration pipelined vs ~8 scalar.
+	if speedup := float64(scalar.Cycle()) / float64(pipe.Cycle()); speedup < 3 {
+		t.Errorf("software pipelining speedup = %.2f (pipe %d, scalar %d), want > 3",
+			speedup, pipe.Cycle(), scalar.Cycle())
+	}
+	// Vectorizable code: VLIW and XIMD execute the identical program in
+	// the identical number of cycles (Section 3.1).
+	vm, err := RunVLIW(LL12(y), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Cycle() != pipe.Cycle() {
+		t.Errorf("VLIW %d cycles != XIMD %d cycles on VLIW-style code", vm.Cycle(), pipe.Cycle())
+	}
+}
+
+func TestIOPortsAllVariantsCorrect(t *testing.T) {
+	for _, variant := range []IOPortsVariant{IOPortsSS, IOPortsFlags, IOPortsVLIW} {
+		for seed := int64(0); seed < 8; seed++ {
+			inst := IOPorts(variant, seed, 5, 60)
+			if _, err := RunXIMD(inst, nil); err != nil {
+				t.Errorf("%s seed %d: %v", variant, seed, err)
+			}
+		}
+	}
+}
+
+func TestIOPortsVLIWVariantOnVSim(t *testing.T) {
+	inst := IOPorts(IOPortsVLIW, 3, 5, 40)
+	if _, err := RunVLIW(inst, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIOPortsSSBeatsFlagsAndVLIW(t *testing.T) {
+	// Averaged over seeds, the sync-bit implementation must beat the
+	// memory-flag implementation (Figure 12: "This will result in
+	// increased performance"), and both XIMD variants must beat the
+	// serialized VLIW schedule.
+	// Small inter-arrival gaps put the runs in the synchronization-
+	// overhead-dominated regime, where the mechanisms differ; with large
+	// gaps every variant converges to the last port arrival time.
+	var ssTotal, flagTotal, vliwTotal uint64
+	const seeds = 10
+	for seed := int64(0); seed < seeds; seed++ {
+		ss, err := RunXIMD(IOPorts(IOPortsSS, seed, 1, 8), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl, err := RunXIMD(IOPorts(IOPortsFlags, seed, 1, 8), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vl, err := RunXIMD(IOPorts(IOPortsVLIW, seed, 1, 8), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssTotal += ss.Cycle()
+		flagTotal += fl.Cycle()
+		vliwTotal += vl.Cycle()
+	}
+	t.Logf("ioports mean cycles over %d seeds: ss=%d flags=%d vliw=%d",
+		seeds, ssTotal/seeds, flagTotal/seeds, vliwTotal/seeds)
+	if ssTotal >= flagTotal {
+		t.Errorf("sync bits (%d) not faster than memory flags (%d)", ssTotal, flagTotal)
+	}
+	if ssTotal >= vliwTotal {
+		t.Errorf("sync bits (%d) not faster than serialized VLIW polling (%d)", ssTotal, vliwTotal)
+	}
+}
+
+func TestIOPortsTwoProcessPartition(t *testing.T) {
+	inst := IOPorts(IOPortsSS, 1, 5, 40)
+	rec := &trace.Recorder{}
+	if _, err := RunXIMD(inst, rec); err != nil {
+		t.Fatal(err)
+	}
+	// The workload runs many concurrent streams (producers and writers
+	// diverge immediately) and must end fully joined at the barrier.
+	peak := 0
+	for _, r := range rec.Records {
+		if k := r.Partition.NumSSETs(); k > peak {
+			peak = k
+		}
+	}
+	if peak < 4 {
+		t.Errorf("peak concurrent streams = %d, want >= 4", peak)
+	}
+	last := rec.Records[len(rec.Records)-1]
+	if last.Partition.NumSSETs() != 1 {
+		t.Errorf("final partition = %s, want fully joined", last.Partition)
+	}
+}

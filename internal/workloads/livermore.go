@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ximd/internal/compiler"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// Compiler-generated Livermore-style kernels (integer forms of loops 1,
+// 3, and 7), broadening the Section 4.1 "many programs" suite. These are
+// produced by the real minic compiler at full width with unrolling, so
+// they double as end-to-end compiler validation; being par-free they are
+// VLIW-convertible and demonstrate the vectorizable-code parity between
+// the two machines.
+
+// ll1Src is Livermore loop 1 (hydro fragment), integer form:
+//
+//	x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])
+const ll1Src = `
+var x[512], y[512], z[512], n, q, r, t;
+func main() {
+    var k, nn = n, qq = q, rr = r, tt = t;
+    for (k = 0; k < nn; k = k + 1) {
+        x[k] = qq + y[k]*(rr*z[k+10] + tt*z[k+11]);
+    }
+}`
+
+// ll3Src is Livermore loop 3 (inner product):
+//
+//	q = sum x[k]*z[k]
+const ll3Src = `
+var x[512], z[512], n, q;
+func main() {
+    var k, s = 0, nn = n;
+    for (k = 0; k < nn; k = k + 1) {
+        s = s + x[k]*z[k];
+    }
+    q = s;
+}`
+
+// ll7Src is Livermore loop 7 (equation of state fragment), integer form.
+const ll7Src = `
+var x[512], y[512], z[512], u[512], n, r, t;
+func main() {
+    var k, nn = n, rr = r, tt = t;
+    for (k = 0; k < nn; k = k + 1) {
+        x[k] = u[k] + rr*(z[k] + rr*y[k])
+             + tt*(u[k+3] + rr*(u[k+2] + rr*u[k+1])
+             + tt*(u[k+6] + rr*(u[k+5] + rr*u[k+4])));
+    }
+}`
+
+// LivermoreParams holds kernel scalar inputs.
+type LivermoreParams struct {
+	N       int32
+	Q, R, T int32
+}
+
+// compiledInstance compiles minic source and wraps it as a workload.
+func compiledInstance(name, src string, width, unroll int,
+	setup func(c *compiler.Compiled, m *mem.Shared),
+	check func(c *compiler.Compiled, m *mem.Shared) error) *Instance {
+	c, err := compiler.Compile(src, compiler.Options{Width: width, Unroll: unroll})
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s does not compile: %v", name, err))
+	}
+	vp, err := c.VLIW()
+	if err != nil {
+		panic(fmt.Sprintf("workloads: %s not VLIW-convertible: %v", name, err))
+	}
+	inst := &Instance{Name: name, XIMD: c.Prog, VLIW: vp, Regs: map[uint8]isa.Word{}}
+	inst.NewEnv = func() *Env {
+		m := mem.NewShared(0)
+		setup(c, m)
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				return check(c, m)
+			},
+		}
+	}
+	return inst
+}
+
+func pokeGlobal(c *compiler.Compiled, m *mem.Shared, name string, vals ...int32) {
+	sym, ok := c.Syms.Lookup(name)
+	if !ok {
+		panic("workloads: unknown global " + name)
+	}
+	m.PokeInts(sym.Addr, vals...)
+}
+
+func peekGlobal(c *compiler.Compiled, m *mem.Shared, name string, n int) []int32 {
+	sym, ok := c.Syms.Lookup(name)
+	if !ok {
+		panic("workloads: unknown global " + name)
+	}
+	return m.PeekInts(sym.Addr, n)
+}
+
+// LL1 builds the hydro-fragment kernel over the given y, z and params.
+func LL1(y, z []int32, p LivermoreParams) *Instance {
+	if int(p.N)+11 > len(z) || int(p.N) > len(y) || p.N > 490 {
+		panic("workloads: LL1 inputs too short for n")
+	}
+	want := make([]int32, p.N)
+	for k := range want {
+		want[k] = p.Q + y[k]*(p.R*z[k+10]+p.T*z[k+11])
+	}
+	return compiledInstance("ll1-hydro", ll1Src, 8, 4,
+		func(c *compiler.Compiled, m *mem.Shared) {
+			pokeGlobal(c, m, "y", y...)
+			pokeGlobal(c, m, "z", z...)
+			pokeGlobal(c, m, "n", p.N)
+			pokeGlobal(c, m, "q", p.Q)
+			pokeGlobal(c, m, "r", p.R)
+			pokeGlobal(c, m, "t", p.T)
+		},
+		func(c *compiler.Compiled, m *mem.Shared) error {
+			got := peekGlobal(c, m, "x", len(want))
+			for k := range want {
+				if got[k] != want[k] {
+					return fmt.Errorf("x[%d] = %d, want %d", k, got[k], want[k])
+				}
+			}
+			return nil
+		})
+}
+
+// LL3 builds the inner-product kernel.
+func LL3(x, z []int32, n int32) *Instance {
+	if int(n) > len(x) || int(n) > len(z) || n > 512 {
+		panic("workloads: LL3 inputs too short for n")
+	}
+	var want int32
+	for k := int32(0); k < n; k++ {
+		want += x[k] * z[k]
+	}
+	return compiledInstance("ll3-innerprod", ll3Src, 8, 4,
+		func(c *compiler.Compiled, m *mem.Shared) {
+			pokeGlobal(c, m, "x", x...)
+			pokeGlobal(c, m, "z", z...)
+			pokeGlobal(c, m, "n", n)
+		},
+		func(c *compiler.Compiled, m *mem.Shared) error {
+			if got := peekGlobal(c, m, "q", 1)[0]; got != want {
+				return fmt.Errorf("q = %d, want %d", got, want)
+			}
+			return nil
+		})
+}
+
+// LL7 builds the equation-of-state kernel.
+func LL7(y, z, u []int32, p LivermoreParams) *Instance {
+	if int(p.N)+6 > len(u) || int(p.N) > len(y) || int(p.N) > len(z) || p.N > 500 {
+		panic("workloads: LL7 inputs too short for n")
+	}
+	want := make([]int32, p.N)
+	for k := range want {
+		r, t := p.R, p.T
+		want[k] = u[k] + r*(z[k]+r*y[k]) +
+			t*(u[k+3]+r*(u[k+2]+r*u[k+1])+
+				t*(u[k+6]+r*(u[k+5]+r*u[k+4])))
+	}
+	return compiledInstance("ll7-eos", ll7Src, 8, 2,
+		func(c *compiler.Compiled, m *mem.Shared) {
+			pokeGlobal(c, m, "y", y...)
+			pokeGlobal(c, m, "z", z...)
+			pokeGlobal(c, m, "u", u...)
+			pokeGlobal(c, m, "n", p.N)
+			pokeGlobal(c, m, "r", p.R)
+			pokeGlobal(c, m, "t", p.T)
+		},
+		func(c *compiler.Compiled, m *mem.Shared) error {
+			got := peekGlobal(c, m, "x", len(want))
+			for k := range want {
+				if got[k] != want[k] {
+					return fmt.Errorf("x[%d] = %d, want %d", k, got[k], want[k])
+				}
+			}
+			return nil
+		})
+}

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func livermoreVectors(n int) (y, z, u []int32) {
+	r := rand.New(rand.NewSource(41))
+	y = make([]int32, n+16)
+	z = make([]int32, n+16)
+	u = make([]int32, n+16)
+	for i := range y {
+		y[i] = int32(r.Intn(200) - 100)
+		z[i] = int32(r.Intn(200) - 100)
+		u[i] = int32(r.Intn(200) - 100)
+	}
+	return
+}
+
+func TestLivermoreKernelsCorrect(t *testing.T) {
+	y, z, u := livermoreVectors(64)
+	params := LivermoreParams{N: 64, Q: 5, R: 3, T: -2}
+	for _, inst := range []*Instance{
+		LL1(y, z, params),
+		LL3(y, z, 64),
+		LL7(y, z, u, params),
+	} {
+		mx, err := RunXIMD(inst, nil)
+		if err != nil {
+			t.Errorf("%s XIMD: %v", inst.Name, err)
+			continue
+		}
+		mv, err := RunVLIW(inst, nil)
+		if err != nil {
+			t.Errorf("%s VLIW: %v", inst.Name, err)
+			continue
+		}
+		// Vectorizable compiler output: the two machines agree exactly.
+		if mx.Cycle() != mv.Cycle() {
+			t.Errorf("%s: XIMD %d cycles != VLIW %d", inst.Name, mx.Cycle(), mv.Cycle())
+		}
+		t.Logf("%s: %d cycles, %.2f ops/cycle", inst.Name, mx.Cycle(), mx.Stats().OpsPerCycle())
+	}
+}
+
+func TestLivermoreSmallN(t *testing.T) {
+	y, z, u := livermoreVectors(8)
+	params := LivermoreParams{N: 3, Q: 1, R: 1, T: 1}
+	for _, inst := range []*Instance{
+		LL1(y, z, params),
+		LL3(y, z, 3),
+		LL7(y, z, u, params),
+	} {
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Errorf("%s: %v", inst.Name, err)
+		}
+	}
+}
+
+func TestLivermoreILP(t *testing.T) {
+	// LL7's wide expression tree should sustain clearly more than one
+	// operation per cycle on the 8-FU machine.
+	y, z, u := livermoreVectors(128)
+	m, err := RunXIMD(LL7(y, z, u, LivermoreParams{N: 128, R: 3, T: 7}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opc := m.Stats().OpsPerCycle(); opc < 2 {
+		t.Errorf("LL7 ops/cycle = %.2f, want >= 2 (wide expression tree)", opc)
+	}
+}

@@ -1,0 +1,112 @@
+package workloads
+
+import (
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// ll12Src is Livermore Loop 12 (Section 3.1),
+//
+//	DO 12 k = 1, n
+//	12  X(k) = Y(k+1) - Y(k)
+//
+// software-pipelined onto four functional units: the two-instruction
+// kernel (K1, K0) retires one loop iteration every two cycles, with the
+// store of iteration i overlapped with the load and exit test of
+// iteration i+1. Control is identical in every parcel — this is the
+// fully synchronous VLIW-style execution model the paper prescribes for
+// vectorizable code, so the identical program runs on both machines.
+//
+// Y is at 256 (n+2 words, the pipelined epilogue reads one word past the
+// live data), X at 2048. Host initialization: r2 = n, r3 = n-1.
+const ll12Src = `
+.machine vliw
+.fus 4
+.const YB  = 256
+.const YB1 = 257
+.const XB  = 2048
+.reg k  = r1
+.reg n  = r2
+.reg nl = r3
+.reg y0 = r10
+.reg y1 = r11
+.reg t  = r12
+.reg xa = r13
+
+start: load #YB, #0, y0 | nop | nop | iadd #0, #0, k               => goto P0
+P0:    load #YB1, k, y1 | nop | eq k, nl                           => goto K1
+K1:    isub y1, y0, t | iadd y1, #0, y0 | iadd k, #XB, xa | iadd k, #1, k => goto K0
+K0:    load #YB1, k, y1 | store t, xa | eq k, nl                   => if cc2 E K1
+E:     nop                                                         => halt
+`
+
+// ll12ScalarSrc is the sequential single-FU baseline: eight cycles per
+// iteration with no overlap.
+const ll12ScalarSrc = `
+.fus 1
+.const YB  = 256
+.const YB1 = 257
+.const XB  = 2048
+.reg k  = r1
+.reg n  = r2
+.reg y0 = r10
+.reg y1 = r11
+.reg t  = r12
+.reg xa = r13
+
+.fu 0
+s0:  iadd #0, #0, k
+s1:  load #YB, k, y0
+s2:  load #YB1, k, y1
+s3:  isub y1, y0, t
+s4:  iadd k, #XB, xa
+s5:  store t, xa
+s6:  iadd k, #1, k
+s7:  ge k, n
+s8:  nop => if cc0 fin s1
+fin: nop => halt
+`
+
+// LL12Ref computes the reference X for Livermore Loop 12.
+func LL12Ref(y []int32) []int32 {
+	x := make([]int32, len(y)-1)
+	for k := range x {
+		x[k] = y[k+1] - y[k]
+	}
+	return x
+}
+
+func ll12Instance(name, src string, y []int32) *Instance {
+	if len(y) < 2 {
+		panic("workloads: LL12 requires at least two Y elements")
+	}
+	n := int32(len(y) - 1) // number of X elements produced
+	prog := mustAssemble(name, src)
+	inst := &Instance{
+		Name: name,
+		XIMD: prog,
+		VLIW: mustVLIW(name, prog),
+		Regs: map[uint8]isa.Word{
+			2: isa.WordFromInt(n),
+			3: isa.WordFromInt(n - 1),
+		},
+	}
+	want := LL12Ref(y)
+	inst.NewEnv = func() *Env {
+		m := sharedMem(256, y)
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				return expectInts(m, 2048, want)
+			},
+		}
+	}
+	return inst
+}
+
+// LL12 builds the software-pipelined Livermore Loop 12 workload: X has
+// len(y)-1 elements.
+func LL12(y []int32) *Instance { return ll12Instance("ll12", ll12Src, y) }
+
+// LL12Scalar builds the sequential single-FU baseline.
+func LL12Scalar(y []int32) *Instance { return ll12Instance("ll12-scalar", ll12ScalarSrc, y) }

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// minmaxSrc is Example 2 — the implicit-barrier (equal path length)
+// fork/join MINMAX search — transcribed from the paper's listing. The
+// program scans IZ[0..n-1] keeping the running minimum and maximum; the
+// two data-dependent updates fork the machine into three instruction
+// streams each iteration ({0,1}{2}{3}) and rejoin one cycle later.
+//
+// Addresses match the paper (00–05, 08–0a); address 0b is this
+// implementation's termination row (the paper leaves termination
+// undefined, so its trace ends one row earlier — see EXPERIMENTS.md).
+// One deliberate deviation: the paper's final fix-up parcels at 09
+// branch unconditionally to 0a; here 09 and 0a carry the same ALL-SS
+// join so the run ends in a common halt. Register/constant names follow
+// the paper.
+const minmaxSrc = `
+.fus 4
+.const z      = 256
+.const maxint = 2147483647
+.const minint = -2147483648
+.reg k   = r1
+.reg n   = r2
+.reg tn  = r3
+.reg tz  = r4
+.reg min = r5
+.reg max = r6
+
+.fu 0
+L0:  load #z, #0, tz
+L1:  lt tz, #maxint        => if cc2 L8 L2
+L2:  nop                   => goto L3
+L3:  load #z, k, tz        => goto L5
+.org 5
+L5:  lt tz, min            => if cc2 L8 L2
+.org 8
+L8:  nop                   => goto La
+.org 10
+La:  nop                   => if allss Lb La   !done
+Lb:  nop                   => halt
+
+.fu 1
+L0:  iadd #1, #0, k
+L1:  gt tz, #minint        => if cc2 L8 L2
+L2:  nop                   => goto L3
+L3:  iadd #1, k, k         => goto L5
+.org 5
+L5:  gt tz, max            => if cc2 L8 L2
+.org 8
+L8:  nop                   => goto La
+.org 10
+La:  nop                   => if allss Lb La   !done
+Lb:  nop                   => halt
+
+.fu 2
+L0:  lt n, #2
+L1:  nop                   => if cc2 L8 L2
+L2:  eq k, tn              => if cc0 L4 L3
+L3:  nop                   => goto L5
+L4:  iadd tz, #0, min      => goto L5
+L5:  nop                   => if cc2 L8 L2
+.org 8
+L8:  nop                   => if cc0 L9 La
+L9:  iadd tz, #0, min      => if allss Lb La
+La:  nop                   => if allss Lb La   !done
+Lb:  nop                   => halt
+
+.fu 3
+L0:  iadd n, #0, tn
+L1:  isub tn, #1, tn       => if cc2 L8 L2
+L2:  nop                   => if cc1 L4 L3
+L3:  nop                   => goto L5
+L4:  iadd tz, #0, max      => goto L5
+L5:  nop                   => if cc2 L8 L2
+.org 8
+L8:  nop                   => if cc1 L9 La
+L9:  iadd tz, #0, max      => if allss Lb La
+La:  nop                   => if allss Lb La   !done
+Lb:  nop                   => halt
+`
+
+// minmaxVLIWSrc is the single-stream VLIW baseline: the same search with
+// the two conditional updates serialized through the single sequencer —
+// the Section 1.3 limitation ("a VLIW processor can generally only
+// perform one control operation at a time").
+const minmaxVLIWSrc = `
+.machine vliw
+.fus 4
+.const z      = 256
+.const maxint = 2147483647
+.const minint = -2147483648
+.reg k   = r1
+.reg n   = r2
+.reg tz  = r4
+.reg min = r5
+.reg max = r6
+
+pre0: load #z, #0, tz | iadd #1, #0, k
+pre1: lt tz, #maxint | gt tz, #minint      => goto L0
+L0:   nop | nop | eq k, n                  => if cc0 U1 L1
+U1:   iadd tz, #0, min                     => if cc1 U2 L2
+L1:   nop                                  => if cc1 U2 L2
+U2:   iadd tz, #0, max                     => goto L2
+L2:   load #z, k, tz | iadd k, #1, k       => if cc2 FIN L3
+L3:   lt tz, min | gt tz, max              => goto L0
+FIN:  nop                                  => halt
+`
+
+// MinMaxResult computes the reference minimum and maximum.
+func MinMaxResult(data []int32) (min, max int32) {
+	min, max = math.MaxInt32, math.MinInt32
+	for _, v := range data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// minmaxCheck verifies registers min (r5) and max (r6).
+func minmaxCheck(data []int32) func(regs *regfile.File) error {
+	wantMin, wantMax := MinMaxResult(data)
+	return func(regs *regfile.File) error {
+		if got := regs.Peek(5).Int(); got != wantMin {
+			return fmt.Errorf("min = %d, want %d", got, wantMin)
+		}
+		if got := regs.Peek(6).Int(); got != wantMax {
+			return fmt.Errorf("max = %d, want %d", got, wantMax)
+		}
+		return nil
+	}
+}
+
+// MinMax builds the Example 2 workload over the given data (n = len).
+// The XIMD variant is the paper's three-stream fork/join; the VLIW
+// variant serializes the two updates. Data must not contain
+// math.MaxInt32/MinInt32 sentinels and must have at least one element.
+func MinMax(data []int32) *Instance {
+	if len(data) == 0 {
+		panic("workloads: MinMax requires at least one element")
+	}
+	xprog := mustAssemble("minmax", minmaxSrc)
+	vprogX := mustAssemble("minmax-vliw", minmaxVLIWSrc)
+	inst := &Instance{
+		Name: "minmax",
+		XIMD: xprog,
+		VLIW: mustVLIW("minmax-vliw", vprogX),
+		Regs: map[uint8]isa.Word{2: isa.WordFromInt(int32(len(data)))},
+		Comments: map[uint64]string{
+			0: "Load initial values",
+			1: "compare to maxint, minint",
+			2: "Branch - form 3 threads",
+			3: "Update min & max",
+			4: "compare next element",
+		},
+	}
+	inst.NewEnv = func() *Env {
+		return &Env{
+			Mem:   sharedMem(256, data),
+			Check: minmaxCheck(data),
+		}
+	}
+	return inst
+}
+
+// Figure10Data is the sample data set of the paper's Figure 10 address
+// trace: IZ() = (5, 3, 4, 7).
+var Figure10Data = []int32{5, 3, 4, 7}
+
+// Figure10Comments annotates the Figure 10 trace rows with the paper's
+// comment column.
+var Figure10Comments = map[uint64]string{
+	0:  "Load initial values",
+	1:  "compare to maxint, minint",
+	2:  "Branch - form 3 threads",
+	3:  "Update min & max",
+	4:  "compare next element",
+	5:  "Branch - form 3 threads",
+	6:  "Update min",
+	7:  "compare next element",
+	8:  "Branch - form 3 threads",
+	9:  "No update",
+	10: "compare last element",
+	11: "Branch - form 3 threads",
+	12: "Update max",
+	13: "Finished",
+	14: "(termination, not in the paper's trace)",
+}

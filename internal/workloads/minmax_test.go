@@ -1,0 +1,199 @@
+package workloads
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ximd/internal/trace"
+)
+
+func TestTPROCMatchesReference(t *testing.T) {
+	cases := [][4]int32{
+		{1, 2, 3, 4},
+		{0, 0, 0, 0},
+		{-5, 7, -11, 13},
+		{100, -200, 300, -400},
+	}
+	for _, c := range cases {
+		inst := TPROC(c[0], c[1], c[2], c[3])
+		m, err := RunXIMD(inst, nil)
+		if err != nil {
+			t.Fatalf("tproc(%v): %v", c, err)
+		}
+		// The paper's schedule is 5 instructions + halt.
+		if m.Cycle() != 6 {
+			t.Errorf("tproc(%v): %d cycles, want 6", c, m.Cycle())
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Fatalf("tproc(%v) on VLIW: %v", c, err)
+		}
+	}
+}
+
+func TestTPROCScalarMatchesReference(t *testing.T) {
+	inst := TPROCScalar(3, -4, 5, -6)
+	m, err := RunXIMD(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycle() != 13 {
+		t.Errorf("scalar tproc: %d cycles, want 13", m.Cycle())
+	}
+}
+
+func TestTPROCSpeedup(t *testing.T) {
+	par, err := RunXIMD(TPROC(1, 2, 3, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunXIMD(TPROCScalar(1, 2, 3, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Cycle() >= seq.Cycle() {
+		t.Errorf("4-FU schedule (%d cycles) not faster than scalar (%d cycles)",
+			par.Cycle(), seq.Cycle())
+	}
+}
+
+func TestMinMaxCorrectAcrossDataSets(t *testing.T) {
+	cases := [][]int32{
+		{5, 3, 4, 7},
+		{1},
+		{2, 1},
+		{-4, -4, -4},
+		{7, 6, 5, 4, 3, 2, 1, 0, -1},
+		{0, 100, -100, 50, -50, 99, -99},
+	}
+	for _, data := range cases {
+		inst := MinMax(data)
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Errorf("minmax XIMD %v: %v", data, err)
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Errorf("minmax VLIW %v: %v", data, err)
+		}
+	}
+}
+
+func TestMinMaxRandomizedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 25; iter++ {
+		n := 1 + r.Intn(40)
+		data := make([]int32, n)
+		for i := range data {
+			data[i] = int32(r.Intn(20001) - 10000)
+		}
+		inst := MinMax(data)
+		if _, err := RunXIMD(inst, nil); err != nil {
+			t.Fatalf("iter %d (%v): %v", iter, data, err)
+		}
+		if _, err := RunVLIW(inst, nil); err != nil {
+			t.Fatalf("iter %d VLIW (%v): %v", iter, data, err)
+		}
+	}
+}
+
+func TestMinMaxXIMDFasterThanVLIW(t *testing.T) {
+	data := make([]int32, 64)
+	r := rand.New(rand.NewSource(6))
+	for i := range data {
+		data[i] = int32(r.Intn(1000))
+	}
+	inst := MinMax(data)
+	xm, err := RunXIMD(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := RunVLIW(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xm.Cycle() >= vm.Cycle() {
+		t.Errorf("XIMD (%d cycles) not faster than VLIW (%d cycles)", xm.Cycle(), vm.Cycle())
+	}
+	t.Logf("minmax n=64: XIMD %d cycles, VLIW %d cycles, speedup %.2fx",
+		xm.Cycle(), vm.Cycle(), float64(vm.Cycle())/float64(xm.Cycle()))
+}
+
+// figure10Want is the paper's Figure 10 address trace for IZ=(5,3,4,7):
+// per-cycle PCs, condition codes, and partition. One known misprint in
+// the paper is corrected here: cycles 11 and 13 print "FITX" — not a
+// possible value of four two-state condition codes — where the code
+// semantics give "FTTX" (cc1 = TRUE from `gt 7,max`; the paper's own
+// cycle-12 row prints FTTX and agrees). See EXPERIMENTS.md E-F10 for the
+// cell-by-cell comparison.
+var figure10Want = []struct {
+	pcs       [4]uint16
+	cc        string
+	partition string
+}{
+	{[4]uint16{0x00, 0x00, 0x00, 0x00}, "XXXX", "{0,1,2,3}"},   // Cycle 0
+	{[4]uint16{0x01, 0x01, 0x01, 0x01}, "XXFX", "{0,1,2,3}"},   // Cycle 1
+	{[4]uint16{0x02, 0x02, 0x02, 0x02}, "TTFX", "{0,1,2,3}"},   // Cycle 2
+	{[4]uint16{0x03, 0x03, 0x04, 0x04}, "TTFX", "{0,1}{2}{3}"}, // Cycle 3
+	{[4]uint16{0x05, 0x05, 0x05, 0x05}, "TTFX", "{0,1,2,3}"},   // Cycle 4
+	{[4]uint16{0x02, 0x02, 0x02, 0x02}, "TFFX", "{0,1,2,3}"},   // Cycle 5
+	{[4]uint16{0x03, 0x03, 0x04, 0x03}, "TFFX", "{0,1}{2}{3}"}, // Cycle 6
+	{[4]uint16{0x05, 0x05, 0x05, 0x05}, "TFFX", "{0,1,2,3}"},   // Cycle 7
+	{[4]uint16{0x02, 0x02, 0x02, 0x02}, "FFFX", "{0,1,2,3}"},   // Cycle 8
+	{[4]uint16{0x03, 0x03, 0x03, 0x03}, "FFTX", "{0,1}{2}{3}"}, // Cycle 9
+	{[4]uint16{0x05, 0x05, 0x05, 0x05}, "FFTX", "{0,1,2,3}"},   // Cycle 10
+	{[4]uint16{0x08, 0x08, 0x08, 0x08}, "FTTX", "{0,1,2,3}"},   // Cycle 11
+	{[4]uint16{0x0a, 0x0a, 0x0a, 0x09}, "FTTX", "{0,1}{2}{3}"}, // Cycle 12
+	{[4]uint16{0x0a, 0x0a, 0x0a, 0x0a}, "FTTX", "{0,1,2,3}"},   // Cycle 13
+}
+
+func TestFigure10AddressTraceGolden(t *testing.T) {
+	inst := MinMax(Figure10Data)
+	rec := &trace.Recorder{}
+	if _, err := RunXIMD(inst, rec); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's trace has 14 rows (cycles 0–13); this implementation
+	// adds one explicit termination cycle.
+	if len(rec.Records) != len(figure10Want)+1 {
+		t.Fatalf("trace has %d rows, want %d (+1 termination)", len(rec.Records), len(figure10Want))
+	}
+	for i, want := range figure10Want {
+		got := rec.Records[i]
+		for fu := 0; fu < 4; fu++ {
+			if uint16(got.PC[fu]) != want.pcs[fu] {
+				t.Errorf("cycle %d FU%d: PC = %02x, want %02x", i, fu, uint16(got.PC[fu]), want.pcs[fu])
+			}
+		}
+		if got.CCString() != want.cc {
+			t.Errorf("cycle %d: CC = %s, want %s", i, got.CCString(), want.cc)
+		}
+		if got.Partition.String() != want.partition {
+			t.Errorf("cycle %d: partition = %s, want %s", i, got.Partition.String(), want.partition)
+		}
+	}
+	// The formatted table must carry the figure's hex addresses.
+	table := trace.FormatAddressTrace(rec.Records, trace.Options{Comments: Figure10Comments})
+	for _, needle := range []string{"Cycle 0", "0a:", "{0,1}{2}{3}", "Update max", "Finished"} {
+		if !strings.Contains(table, needle) {
+			t.Errorf("formatted trace missing %q:\n%s", needle, table)
+		}
+	}
+}
+
+func TestMinMaxStreamTimeline(t *testing.T) {
+	inst := MinMax(Figure10Data)
+	rec := &trace.Recorder{}
+	if _, err := RunXIMD(inst, rec); err != nil {
+		t.Fatal(err)
+	}
+	timeline := trace.StreamTimeline(rec.Records)
+	threes := 0
+	for _, k := range timeline {
+		if k == 3 {
+			threes++
+		}
+	}
+	// Figure 10: cycles 3, 6, 9, 12 run three streams.
+	if threes != 4 {
+		t.Errorf("three-stream cycles = %d, want 4 (timeline %v)", threes, timeline)
+	}
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// PartialBarrier exercises the generalization at the end of Section 3.3:
+// "The barrier synchronization mechanism can be generalized to include
+// synchronizations between only some of the program threads. Also,
+// multiple barrier synchronizations can take place among different
+// program threads."
+//
+// Two independent producer/consumer groups run concurrently on a 4-FU
+// machine: group A = {FU0 producer, FU1 consumer} synchronizes on
+// allss{0,1}, group B = {FU2, FU3} on allss{2,3}, at the same barrier
+// address but with different condition masks. Each producer accumulates
+// over a parameterized loop; each consumer waits at its group's partial
+// barrier and then consumes the produced value over its own loop. A full
+// ALL-SS barrier ends the program.
+//
+// The Full variant replaces both partial barriers with plain ALL-SS:
+// every consumer then waits for the slower group's producer, serializing
+// the groups' critical paths — the measurable cost of not having partial
+// barriers.
+//
+// Parameters (host-poked): r10 = producer-A iterations, r14 = consumer-A
+// iterations, r12 = producer-B iterations, r15 = consumer-B iterations
+// (all >= 1). Results: r21 = 3*a0*la, r23 = 5*b0*lb.
+
+func partialBarrierSrc(full bool) string {
+	groupA, groupB := "allss{0,1}", "allss{2,3}"
+	if full {
+		groupA, groupB = "allss", "allss"
+	}
+	src := `
+.fus 4
+.fu 0
+	iadd #0, #0, r11
+PL:	isub r10, #1, r10
+	iadd r11, #3, r11
+	gt r10, #0
+	nop => if cc0 PL BAR
+BAR:	nop => if @GA@ REST BAR   !done
+REST:	nop => goto GBAR
+.org 11
+GBAR:	nop => if allss END GBAR   !done
+END:	nop => halt
+
+.fu 1
+	nop => goto BAR
+.org 5
+BAR:	nop => if @GA@ CL BAR   !done
+CL:	iadd #0, #0, r21
+CB:	iadd r21, r11, r21
+	isub r14, #1, r14
+	gt r14, #0
+	nop => if cc1 CB GBAR
+GBAR:	nop => if allss END GBAR   !done
+END:	nop => halt
+
+.fu 2
+	iadd #0, #0, r13
+QL:	isub r12, #1, r12
+	iadd r13, #5, r13
+	gt r12, #0
+	nop => if cc2 QL BAR
+BAR:	nop => if @GB@ REST2 BAR   !done
+REST2:	nop => goto GBAR
+.org 11
+GBAR:	nop => if allss END GBAR   !done
+END:	nop => halt
+
+.fu 3
+	nop => goto BAR
+.org 5
+BAR:	nop => if @GB@ DL BAR   !done
+DL:	iadd #0, #0, r23
+DB:	iadd r23, r13, r23
+	isub r15, #1, r15
+	gt r15, #0
+	nop => if cc3 DB GBAR
+GBAR:	nop => if allss END GBAR   !done
+END:	nop => halt
+`
+	src = strings.ReplaceAll(src, "@GA@", groupA)
+	src = strings.ReplaceAll(src, "@GB@", groupB)
+	return src
+}
+
+// PartialBarrierResult is the expected consumer outputs.
+func PartialBarrierResult(a0, la, b0, lb int32) (r21, r23 int32) {
+	return 3 * a0 * la, 5 * b0 * lb
+}
+
+func partialBarrierInstance(name string, full bool, a0, la, b0, lb int32) *Instance {
+	if a0 < 1 || la < 1 || b0 < 1 || lb < 1 {
+		panic("workloads: PartialBarrier parameters must be >= 1")
+	}
+	prog := mustAssemble(name, partialBarrierSrc(full))
+	wantA, wantB := PartialBarrierResult(a0, la, b0, lb)
+	inst := &Instance{
+		Name: name,
+		XIMD: prog,
+		Regs: map[uint8]isa.Word{
+			10: isa.WordFromInt(a0),
+			14: isa.WordFromInt(la),
+			12: isa.WordFromInt(b0),
+			15: isa.WordFromInt(lb),
+		},
+	}
+	inst.NewEnv = func() *Env {
+		return &Env{
+			Mem: sharedMem(0, nil),
+			Check: func(regs *regfile.File) error {
+				if got := regs.Peek(21).Int(); got != wantA {
+					return fmt.Errorf("group A result r21 = %d, want %d", got, wantA)
+				}
+				if got := regs.Peek(23).Int(); got != wantB {
+					return fmt.Errorf("group B result r23 = %d, want %d", got, wantB)
+				}
+				return nil
+			},
+		}
+	}
+	return inst
+}
+
+// PartialBarrier builds the two-group workload with per-group partial
+// barriers.
+func PartialBarrier(a0, la, b0, lb int32) *Instance {
+	return partialBarrierInstance("partial-barrier", false, a0, la, b0, lb)
+}
+
+// PartialBarrierFull is the ablation: the same program with full ALL-SS
+// barriers at the group synchronization points.
+func PartialBarrierFull(a0, la, b0, lb int32) *Instance {
+	return partialBarrierInstance("partial-barrier-full", true, a0, la, b0, lb)
+}

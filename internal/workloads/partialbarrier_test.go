@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"testing"
+
+	"ximd/internal/trace"
+)
+
+func TestPartialBarrierCorrect(t *testing.T) {
+	cases := [][4]int32{
+		{1, 1, 1, 1},
+		{3, 5, 7, 2},
+		{10, 2, 2, 10},
+		{4, 4, 4, 4},
+	}
+	for _, c := range cases {
+		if _, err := RunXIMD(PartialBarrier(c[0], c[1], c[2], c[3]), nil); err != nil {
+			t.Errorf("partial %v: %v", c, err)
+		}
+		if _, err := RunXIMD(PartialBarrierFull(c[0], c[1], c[2], c[3]), nil); err != nil {
+			t.Errorf("full %v: %v", c, err)
+		}
+	}
+}
+
+// TestPartialBarrierOverlapsGroups: with asymmetric groups (A: short
+// produce + long consume; B: long produce + short consume), the partial
+// barriers let group A's consumer start while group B still produces;
+// full barriers serialize the critical paths.
+func TestPartialBarrierOverlapsGroups(t *testing.T) {
+	const a0, la, b0, lb = 2, 40, 40, 2
+	mp, err := RunXIMD(PartialBarrier(a0, la, b0, lb), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := RunXIMD(PartialBarrierFull(a0, la, b0, lb), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Cycle() >= mf.Cycle() {
+		t.Errorf("partial barriers (%d cycles) not faster than full barriers (%d cycles)",
+			mp.Cycle(), mf.Cycle())
+	}
+	t.Logf("asymmetric groups: partial=%d full=%d (%.2fx)",
+		mp.Cycle(), mf.Cycle(), float64(mf.Cycle())/float64(mp.Cycle()))
+	// With symmetric work the two variants should be near-identical.
+	sp, err := RunXIMD(PartialBarrier(10, 10, 10, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := RunXIMD(PartialBarrierFull(10, 10, 10, 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := int64(sf.Cycle()) - int64(sp.Cycle()); diff < 0 || diff > 2 {
+		t.Errorf("symmetric groups: partial=%d full=%d, want within 2 cycles", sp.Cycle(), sf.Cycle())
+	}
+}
+
+// TestPartialBarrierGroupJoin: the trace must show group A joined (its
+// two FUs in one SSET) while group B is still split — two concurrent
+// barrier scopes, as Section 3.3 describes.
+func TestPartialBarrierGroupJoin(t *testing.T) {
+	rec := &trace.Recorder{}
+	if _, err := RunXIMD(PartialBarrier(2, 30, 30, 2), rec); err != nil {
+		t.Fatal(err)
+	}
+	sawOverlap := false
+	for _, r := range rec.Records {
+		if r.Partition.SameSSET(0, 1) && !r.Partition.SameSSET(2, 3) && !r.Partition.SameSSET(0, 2) {
+			sawOverlap = true
+			break
+		}
+	}
+	if !sawOverlap {
+		t.Error("never observed group A joined while group B split")
+	}
+}

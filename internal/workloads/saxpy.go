@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// SAXPY exercises the floating-point datapath (the second of the two
+// data types of Section 2.2, "32-bit float and 32-bit integer"):
+// y[k] = a*x[k] + y[k] over float32 vectors, scheduled VLIW-style at
+// four cycles per element with the loads, multiply/address, add/index,
+// and store/branch overlapped across functional units.
+//
+// Verification is bit-exact: the simulator's fmult/fadd are IEEE-754
+// single precision in the same evaluation order as the Go reference.
+const saxpySrc = `
+.machine vliw
+.fus 4
+.const XB = 256
+.const YB = 2048
+.reg k    = r1
+.reg nl   = r3
+.reg a    = r4
+.reg x    = r10
+.reg y    = r11
+.reg t    = r12
+.reg t2   = r13
+.reg addr = r14
+
+pre: iadd #0, #0, k                                    => goto L0
+L0:  load #XB, k, x | load #YB, k, y | nop | eq k, nl  => goto L1
+L1:  fmult x, a, t | iadd k, #YB, addr                 => goto L2
+L2:  fadd t, y, t2 | iadd k, #1, k                     => goto L3
+L3:  store t2, addr                                    => if cc3 E L0
+E:   nop                                               => halt
+`
+
+// SaxpyRef computes the reference result in the simulator's evaluation
+// order.
+func SaxpyRef(a float32, x, y []float32) []float32 {
+	out := make([]float32, len(x))
+	for k := range x {
+		t := x[k] * a
+		out[k] = t + y[k]
+	}
+	return out
+}
+
+// Saxpy builds the float workload; x and y must have equal positive
+// length (at most 512 elements).
+func Saxpy(a float32, x, y []float32) *Instance {
+	if len(x) == 0 || len(x) != len(y) || len(x) > 512 {
+		panic("workloads: Saxpy needs equal-length vectors of 1..512 elements")
+	}
+	prog := mustAssemble("saxpy", saxpySrc)
+	inst := &Instance{
+		Name: "saxpy",
+		XIMD: prog,
+		VLIW: mustVLIW("saxpy", prog),
+		Regs: map[uint8]isa.Word{
+			3: isa.WordFromInt(int32(len(x) - 1)),
+			4: isa.WordFromFloat(a),
+		},
+	}
+	want := SaxpyRef(a, x, y)
+	inst.NewEnv = func() *Env {
+		m := mem.NewShared(0)
+		for i, v := range x {
+			m.Poke(256+uint32(i), isa.WordFromFloat(v))
+		}
+		for i, v := range y {
+			m.Poke(2048+uint32(i), isa.WordFromFloat(v))
+		}
+		return &Env{
+			Mem: m,
+			Check: func(regs *regfile.File) error {
+				for k, w := range want {
+					got := m.Peek(2048 + uint32(k))
+					if got != isa.WordFromFloat(w) {
+						return fmt.Errorf("y[%d] = %g (%#x), want %g (%#x)",
+							k, got.Float(), uint32(got), w, uint32(isa.WordFromFloat(w)))
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return inst
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/regfile"
+)
+
+// tprocSrc is the Example 1 schedule verbatim: the Percolation-Scheduling
+// compiler's 4-FU, 5-cycle schedule for
+//
+//	tproc(a,b,c,d) {
+//	    e = a + b;
+//	    f = e + c * a;
+//	    g = a - (b + c);
+//	    e = d - e;
+//	    return (a + b + c) + d + e + (f + g);
+//	}
+//
+// The result is left in f. Control is identical in every parcel, so the
+// program is VLIW-style (Section 3.1) and runs unchanged on both
+// machines.
+const tprocSrc = `
+.fus 4
+.reg a = r1
+.reg b = r2
+.reg c = r3
+.reg d = r4
+.reg e = r5
+.reg f = r6
+.reg g = r7
+
+.fu 0
+	iadd a, b, e       ; 00: e = a+b
+	iadd f, e, f       ; 01: f = c*a + e
+	iadd a, d, a       ; 02: a = (a+b+c) + d
+	iadd a, e, a       ; 03: a += e
+	iadd a, g, f       ; 04: f = a + (f+g)  (the return value)
+	=> halt
+
+.fu 1
+	imult c, a, f      ; 00: f = c*a
+	isub a, g, g       ; 01: g = a - (b+c)
+	iadd f, g, g       ; 02: g = f + g
+	nop
+	nop
+	=> halt
+
+.fu 2
+	iadd c, b, g       ; 00: g = b+c
+	iadd e, c, a       ; 01: a = (a+b) + c
+	nop
+	nop
+	nop
+	=> halt
+
+.fu 3
+	nop
+	isub d, e, e       ; 01: e = d - (a+b)
+	nop
+	nop
+	nop
+	=> halt
+`
+
+// tprocScalarSrc is the sequential single-FU schedule of the same
+// procedure, the SISD baseline for Example 1.
+const tprocScalarSrc = `
+.fus 1
+.reg a = r1
+.reg b = r2
+.reg c = r3
+.reg d = r4
+.reg e = r5
+.reg f = r6
+.reg g = r7
+.reg t = r8
+.reg s = r9
+
+.fu 0
+	iadd a, b, e
+	imult c, a, t
+	iadd e, t, f
+	iadd b, c, g
+	isub a, g, g
+	isub d, e, e
+	iadd a, b, s
+	iadd s, c, s
+	iadd s, d, s
+	iadd s, e, s
+	iadd f, g, t
+	iadd s, t, f
+	=> halt
+`
+
+// TPROCResult computes the reference result of the Example 1 procedure.
+func TPROCResult(a, b, c, d int32) int32 {
+	e := a + b
+	f := e + c*a
+	g := a - (b + c)
+	e = d - e
+	return (a + b + c) + d + e + (f + g)
+}
+
+func tprocInstance(name, src string, a, b, c, d int32) *Instance {
+	prog := mustAssemble(name, src)
+	inst := &Instance{
+		Name: name,
+		XIMD: prog,
+		Regs: map[uint8]isa.Word{
+			1: isa.WordFromInt(a),
+			2: isa.WordFromInt(b),
+			3: isa.WordFromInt(c),
+			4: isa.WordFromInt(d),
+		},
+	}
+	want := TPROCResult(a, b, c, d)
+	inst.NewEnv = func() *Env {
+		return &Env{
+			Mem: sharedMem(0, nil),
+			Check: func(regs *regfile.File) error {
+				if got := regs.Peek(6).Int(); got != want {
+					return fmt.Errorf("tproc f = %d, want %d", got, want)
+				}
+				return nil
+			},
+		}
+	}
+	return inst
+}
+
+// TPROC builds the Example 1 workload: the paper's 4-FU percolation
+// schedule, with the VLIW variant attached.
+func TPROC(a, b, c, d int32) *Instance {
+	inst := tprocInstance("tproc", tprocSrc, a, b, c, d)
+	inst.VLIW = mustVLIW("tproc", inst.XIMD)
+	return inst
+}
+
+// TPROCScalar builds the sequential single-FU baseline of Example 1.
+func TPROCScalar(a, b, c, d int32) *Instance {
+	inst := tprocInstance("tproc-scalar", tprocScalarSrc, a, b, c, d)
+	inst.VLIW = mustVLIW("tproc-scalar", inst.XIMD)
+	return inst
+}

@@ -1,0 +1,132 @@
+package ximd_test
+
+import (
+	"strings"
+	"testing"
+
+	"ximd"
+)
+
+// TestPublicAPIQuickstart exercises the assemble/run flow end to end
+// through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prog, err := ximd.Assemble(`
+.fus 2
+.fu 0
+	iadd #2, #40, r1
+	store r1, #100   => halt
+.fu 1
+	nop
+	nop              => halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := ximd.NewSharedMemory(0)
+	m, err := ximd.NewMachine(prog, ximd.Config{Memory: memory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles != 2 {
+		t.Errorf("cycles = %d", cycles)
+	}
+	if got := memory.Peek(100).Int(); got != 42 {
+		t.Errorf("M(100) = %d, want 42", got)
+	}
+}
+
+func TestPublicAPICompileAndTrace(t *testing.T) {
+	c, err := ximd.Compile(`
+var out[1];
+func main() {
+    var i, s = 0;
+    for (i = 1; i <= 4; i = i + 1) { s = s + i; }
+    out[0] = s;
+}`, ximd.CompileOptions{Width: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := ximd.NewSharedMemory(0)
+	rec := &ximd.TraceRecorder{}
+	m, err := ximd.NewMachine(c.Prog, ximd.Config{Memory: memory, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sym, ok := c.Syms.Lookup("out")
+	if !ok {
+		t.Fatal("missing symbol out")
+	}
+	if got := memory.Peek(sym.Addr).Int(); got != 10 {
+		t.Errorf("out[0] = %d, want 10", got)
+	}
+	table := ximd.FormatAddressTrace(rec, ximd.TraceOptions{})
+	if !strings.Contains(table, "Cycle 0") || !strings.Contains(table, "Partition") {
+		t.Errorf("trace table malformed:\n%s", table)
+	}
+	if tl := ximd.StreamTimeline(rec); len(tl) == 0 || tl[0] != 1 {
+		t.Errorf("timeline = %v", tl)
+	}
+}
+
+func TestPublicAPIWorkloadsAndConversion(t *testing.T) {
+	inst := ximd.MinMax([]int32{4, -2, 9, 0})
+	m, err := ximd.RunWorkload(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Cycles == 0 {
+		t.Error("no cycles recorded")
+	}
+	vm, err := ximd.RunWorkloadVLIW(inst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Cycle() <= m.Cycle() {
+		t.Errorf("VLIW (%d) should be slower than XIMD (%d) on minmax", vm.Cycle(), m.Cycle())
+	}
+
+	// Round-trip a VLIW-style program through both converters.
+	c, err := ximd.Compile(`var o[1]; func main() { o[0] = 6 * 7; }`, ximd.CompileOptions{Width: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := ximd.ToVLIW(c.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ximd.FromVLIW(vp)
+	if back.NumFU != c.Prog.NumFU || len(back.Instrs) != len(c.Prog.Instrs) {
+		t.Error("conversion changed geometry")
+	}
+}
+
+func TestPublicAPIDisassembleRoundTrip(t *testing.T) {
+	prog, err := ximd.Assemble(`
+.fus 1
+.fu 0
+a:	iadd r1, #1, r1
+	lt r1, #10
+	nop => if cc0 a b
+b:	nop => halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ximd.Disassemble(prog)
+	again, err := ximd.Assemble(src)
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, src)
+	}
+	for addr := range prog.Instrs {
+		if again.Instrs[addr] != prog.Instrs[addr] {
+			t.Fatalf("round trip changed addr %d", addr)
+		}
+	}
+}
