@@ -6,7 +6,9 @@
 package ximd_test
 
 import (
+	"context"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"ximd"
@@ -14,6 +16,7 @@ import (
 	"ximd/internal/compiler/tile"
 	"ximd/internal/proto"
 	"ximd/internal/regfile"
+	"ximd/internal/sweep"
 	"ximd/internal/workloads"
 )
 
@@ -182,6 +185,79 @@ func main() {
 	}
 	b.ReportMetric(float64(rows), "static-rows")
 }
+
+// E-§4.1 (batch) — the whole evaluation suite as one sweep through the
+// internal/sweep worker pool: the speedup-table workload pairs, the
+// bitcount data-set ablation, the LL12 n-sweep, and the ioports seed
+// sweep. Serial (1 worker) vs parallel (GOMAXPROCS) measures the
+// harness speedup on multi-core hosts; machine-cycles is the summed
+// simulated work, identical at any width.
+func sweepSuiteTasks() []sweep.Task {
+	r := rand.New(rand.NewSource(13))
+	minmaxData := make([]int32, 128)
+	for i := range minmaxData {
+		minmaxData[i] = int32(r.Intn(100000) - 50000)
+	}
+	var tasks []sweep.Task
+	// Speedup-table pairs.
+	for _, inst := range []*workloads.Instance{
+		workloads.TPROC(1, 2, 3, 4),
+		workloads.MinMax(minmaxData),
+		workloads.Bitcount(bitcountData()),
+	} {
+		tasks = append(tasks, sweep.XIMD(inst), sweep.VLIW(inst))
+	}
+	// Bitcount data sets (the ablation's density sweep).
+	for _, gen := range []func(*rand.Rand) int32{
+		func(r *rand.Rand) int32 { return int32(r.Intn(8)) },
+		func(r *rand.Rand) int32 { return int32(r.Intn(1 << 16)) },
+		func(r *rand.Rand) int32 { return int32(r.Uint32() | 0x80000000) },
+	} {
+		rr := rand.New(rand.NewSource(23))
+		vals := make([]int32, 24)
+		for i := range vals {
+			vals[i] = gen(rr)
+		}
+		tasks = append(tasks,
+			sweep.XIMD(workloads.Bitcount(vals)),
+			sweep.XIMD(workloads.BitcountPadded(vals)))
+	}
+	// LL12 n-sweep.
+	for _, n := range []int{8, 32, 128} {
+		y := make([]int32, n+1)
+		for i := range y {
+			y[i] = int32(i * i % 1013)
+		}
+		tasks = append(tasks, sweep.XIMD(workloads.LL12(y)), sweep.XIMD(workloads.LL12Scalar(y)))
+	}
+	// IOPorts seed sweep.
+	for seed := int64(0); seed < 8; seed++ {
+		tasks = append(tasks, sweep.XIMD(workloads.IOPorts(workloads.IOPortsSS, seed, 1, 8)))
+	}
+	return tasks
+}
+
+func benchSweepSuite(b *testing.B, workers int) {
+	tasks := sweepSuiteTasks()
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), tasks, sweep.Options{
+			Workers: workers, Policy: sweep.FailFast,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = 0
+		for _, r := range res {
+			cycles += r.Cycles
+		}
+	}
+	b.ReportMetric(float64(cycles), "machine-cycles")
+}
+
+func BenchmarkSweepSuiteSerial(b *testing.B)   { benchSweepSuite(b, 1) }
+func BenchmarkSweepSuiteParallel(b *testing.B) { benchSweepSuite(b, runtime.GOMAXPROCS(0)) }
 
 // Raw simulator throughput: host nanoseconds per simulated machine cycle
 // on an 8-FU machine running a long arithmetic loop.

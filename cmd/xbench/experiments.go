@@ -11,6 +11,7 @@ import (
 	"ximd/internal/isa"
 	"ximd/internal/proto"
 	"ximd/internal/regfile"
+	"ximd/internal/sweep"
 	"ximd/internal/trace"
 	"ximd/internal/workloads"
 )
@@ -124,22 +125,24 @@ func expTPROC() error {
 }
 
 func expLL12() error {
-	fmt.Printf("%-6s %14s %14s %10s\n", "n", "pipelined", "scalar", "speedup")
-	for _, n := range []int{8, 32, 128, 512} {
+	ns := []int{8, 32, 128, 512}
+	var tasks []sweep.Task
+	for _, n := range ns {
 		y := make([]int32, n+1)
 		for i := range y {
 			y[i] = int32(i * i % 1013)
 		}
-		mp, err := workloads.RunXIMD(workloads.LL12(y), nil)
-		if err != nil {
-			return err
-		}
-		ms, err := workloads.RunXIMD(workloads.LL12Scalar(y), nil)
-		if err != nil {
-			return err
-		}
+		tasks = append(tasks, sweep.XIMD(workloads.LL12(y)), sweep.XIMD(workloads.LL12Scalar(y)))
+	}
+	res, err := runSweep(tasks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %14s %14s %10s\n", "n", "pipelined", "scalar", "speedup")
+	for i, n := range ns {
+		mp, ms := res[2*i], res[2*i+1]
 		fmt.Printf("%-6d %8d cycles %8d cycles %9.2fx\n",
-			n, mp.Cycle(), ms.Cycle(), float64(ms.Cycle())/float64(mp.Cycle()))
+			n, mp.Cycles, ms.Cycles, float64(ms.Cycles)/float64(mp.Cycles))
 	}
 	fmt.Println("(the pipelined kernel retires one iteration every 2 cycles; VLIW == XIMD on this code)")
 	return nil
@@ -147,24 +150,26 @@ func expLL12() error {
 
 func expMinMax() error {
 	r := rand.New(rand.NewSource(7))
-	fmt.Printf("%-6s %12s %12s %10s %14s\n", "n", "XIMD", "VLIW", "speedup", "mean streams")
-	for _, n := range []int{4, 16, 64, 256} {
+	ns := []int{4, 16, 64, 256}
+	var tasks []sweep.Task
+	for _, n := range ns {
 		data := make([]int32, n)
 		for i := range data {
 			data[i] = int32(r.Intn(100000) - 50000)
 		}
 		inst := workloads.MinMax(data)
-		mx, err := workloads.RunXIMD(inst, nil)
-		if err != nil {
-			return err
-		}
-		mv, err := workloads.RunVLIW(inst, nil)
-		if err != nil {
-			return err
-		}
+		tasks = append(tasks, sweep.XIMD(inst), sweep.VLIW(inst))
+	}
+	res, err := runSweep(tasks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %12s %12s %10s %14s\n", "n", "XIMD", "VLIW", "speedup", "mean streams")
+	for i, n := range ns {
+		mx, mv := res[2*i], res[2*i+1]
 		fmt.Printf("%-6d %6d cycles %6d cycles %9.2fx %14.2f\n",
-			n, mx.Cycle(), mv.Cycle(), float64(mv.Cycle())/float64(mx.Cycle()),
-			mx.Stats().MeanStreams())
+			n, mx.Cycles, mv.Cycles, float64(mv.Cycles)/float64(mx.Cycles),
+			mx.Stats.MeanStreams())
 	}
 	return nil
 }
@@ -230,23 +235,26 @@ func expIOPorts() error {
 		{"arrival-dominated (gaps 20-120)", 20, 120},
 	}
 	const seeds = 20
+	variants := []workloads.IOPortsVariant{workloads.IOPortsSS, workloads.IOPortsFlags, workloads.IOPortsVLIW}
+	var tasks []sweep.Task
 	for _, reg := range regimes {
-		var ss, fl, vl uint64
 		for seed := int64(0); seed < seeds; seed++ {
-			for _, v := range []struct {
-				variant workloads.IOPortsVariant
-				total   *uint64
-			}{
-				{workloads.IOPortsSS, &ss},
-				{workloads.IOPortsFlags, &fl},
-				{workloads.IOPortsVLIW, &vl},
-			} {
-				m, err := workloads.RunXIMD(workloads.IOPorts(v.variant, seed, reg.minGap, reg.maxGap), nil)
-				if err != nil {
-					return err
-				}
-				*v.total += m.Cycle()
+			for _, variant := range variants {
+				tasks = append(tasks, sweep.XIMD(workloads.IOPorts(variant, seed, reg.minGap, reg.maxGap)))
 			}
+		}
+	}
+	res, err := runSweep(tasks)
+	if err != nil {
+		return err
+	}
+	for ri, reg := range regimes {
+		var ss, fl, vl uint64
+		for seed := 0; seed < seeds; seed++ {
+			base := ri*seeds*len(variants) + seed*len(variants)
+			ss += res[base].Cycles
+			fl += res[base+1].Cycles
+			vl += res[base+2].Cycles
 		}
 		fmt.Printf("%s, mean cycles over %d seeds:\n", reg.name, seeds)
 		fmt.Printf("  %-22s %6d\n", "XIMD sync bits", ss/seeds)
@@ -423,24 +431,14 @@ func expSpeedup() error {
 		meanStreams float64
 		note        string
 	}
-	var rows []rowT
-	add := func(name string, inst *workloads.Instance, note string) error {
-		mx, err := workloads.RunXIMD(inst, nil)
-		if err != nil {
-			return err
-		}
-		mv, err := workloads.RunVLIW(inst, nil)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, rowT{name, mx.Cycle(), mv.Cycle(), mx.Stats().MeanStreams(), note})
-		return nil
+	type specT struct {
+		name string
+		inst *workloads.Instance
+		note string
 	}
-	if err := add("tproc", workloads.TPROC(1, 2, 3, 4), "scalar code: parity"); err != nil {
-		return err
-	}
-	if err := add("ll12 n=128", workloads.LL12(y), "vectorizable: parity"); err != nil {
-		return err
+	specs := []specT{
+		{"tproc", workloads.TPROC(1, 2, 3, 4), "scalar code: parity"},
+		{"ll12 n=128", workloads.LL12(y), "vectorizable: parity"},
 	}
 	yv := make([]int32, 144)
 	zv := make([]int32, 144)
@@ -451,36 +449,40 @@ func expSpeedup() error {
 		uv[i] = int32(r.Intn(200) - 100)
 	}
 	lp := workloads.LivermoreParams{N: 128, Q: 5, R: 3, T: -2}
-	if err := add("ll1 hydro n=128", workloads.LL1(yv, zv, lp), "compiled, vectorizable: parity"); err != nil {
-		return err
-	}
-	if err := add("ll3 inner n=128", workloads.LL3(yv, zv, 128), "compiled, reduction: parity"); err != nil {
-		return err
-	}
-	if err := add("ll7 eos n=128", workloads.LL7(yv, zv, uv, lp), "compiled, wide tree: parity"); err != nil {
-		return err
-	}
-	if err := add("minmax n=128", workloads.MinMax(minmaxData), "2 control ops/iter in parallel"); err != nil {
-		return err
-	}
-	if err := add("bitcount n=32", workloads.Bitcount(bitData), "4 concurrent inner loops"); err != nil {
-		return err
+	specs = append(specs,
+		specT{"ll1 hydro n=128", workloads.LL1(yv, zv, lp), "compiled, vectorizable: parity"},
+		specT{"ll3 inner n=128", workloads.LL3(yv, zv, 128), "compiled, reduction: parity"},
+		specT{"ll7 eos n=128", workloads.LL7(yv, zv, uv, lp), "compiled, wide tree: parity"},
+		specT{"minmax n=128", workloads.MinMax(minmaxData), "2 control ops/iter in parallel"},
+		specT{"bitcount n=32", workloads.Bitcount(bitData), "4 concurrent inner loops"},
+	)
+	var tasks []sweep.Task
+	for _, s := range specs {
+		tasks = append(tasks, sweep.XIMD(s.inst), sweep.VLIW(s.inst))
 	}
 	// ioports: XIMD variant vs VLIW variant (overhead regime, seed mean).
-	var ssT, vlT uint64
-	for seed := int64(0); seed < 10; seed++ {
-		ms, err := workloads.RunXIMD(workloads.IOPorts(workloads.IOPortsSS, seed, 1, 8), nil)
-		if err != nil {
-			return err
-		}
-		mv, err := workloads.RunXIMD(workloads.IOPorts(workloads.IOPortsVLIW, seed, 1, 8), nil)
-		if err != nil {
-			return err
-		}
-		ssT += ms.Cycle()
-		vlT += mv.Cycle()
+	const ioSeeds = 10
+	for seed := int64(0); seed < ioSeeds; seed++ {
+		tasks = append(tasks,
+			sweep.XIMD(workloads.IOPorts(workloads.IOPortsSS, seed, 1, 8)),
+			sweep.XIMD(workloads.IOPorts(workloads.IOPortsVLIW, seed, 1, 8)))
 	}
-	rows = append(rows, rowT{"ioports (10 seeds)", ssT / 10, vlT / 10, 0, "unpredictable interfaces"})
+	res, err := runSweep(tasks)
+	if err != nil {
+		return err
+	}
+	var rows []rowT
+	for i, s := range specs {
+		mx, mv := res[2*i], res[2*i+1]
+		rows = append(rows, rowT{s.name, mx.Cycles, mv.Cycles, mx.Stats.MeanStreams(), s.note})
+	}
+	var ssT, vlT uint64
+	for seed := 0; seed < ioSeeds; seed++ {
+		base := 2*len(specs) + 2*seed
+		ssT += res[base].Cycles
+		vlT += res[base+1].Cycles
+	}
+	rows = append(rows, rowT{"ioports (10 seeds)", ssT / ioSeeds, vlT / ioSeeds, 0, "unpredictable interfaces"})
 
 	fmt.Printf("%-20s %10s %10s %9s %14s  %s\n", "workload", "XIMD", "VLIW", "speedup", "mean streams", "note")
 	for _, row := range rows {

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+
+	"ximd/internal/sweep"
 )
 
 type experiment struct {
@@ -39,10 +43,29 @@ var experiments = []experiment{
 	{"ablation", "design-decision ablations: combinational SS, barrier vs padding", expAblation},
 }
 
+// parallelism is the worker count for experiment sweeps, set by the
+// -parallel flag. Experiments batch their independent simulation runs
+// through runSweep, so tables are deterministic (results are collected
+// in task order) at any width; -parallel 1 reproduces the serial
+// execution exactly.
+var parallelism = runtime.NumCPU()
+
+// runSweep executes tasks across the configured worker pool, stopping
+// at the first failure.
+func runSweep(tasks []sweep.Task) ([]sweep.Result, error) {
+	return sweep.Run(context.Background(), tasks, sweep.Options{
+		Workers: parallelism,
+		Policy:  sweep.FailFast,
+	})
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (or 'all')")
 	list := flag.Bool("list", false, "list experiments")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker goroutines for simulation sweeps (1 = fully serial)")
 	flag.Parse()
+	parallelism = *parallel
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.name, e.about)

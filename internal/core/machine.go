@@ -131,6 +131,7 @@ type Machine struct {
 	halted  []bool
 	cycle   uint64
 	done    bool
+	failure error // terminal error latched by the first failing Step
 
 	tracker *partitionTracker
 	stats   Stats
@@ -225,17 +226,35 @@ func (m *Machine) CC(fu int) bool { return m.cc[fu] }
 // Partition returns the SSET partition currently in effect.
 func (m *Machine) Partition() Partition { return m.tracker.partition() }
 
-// Stats returns the accumulated execution statistics.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a deep-copied snapshot of the accumulated execution
+// statistics. The snapshot shares no state with the machine: it stays
+// valid (and immutable) across further Step calls and may be handed to
+// other goroutines.
+func (m *Machine) Stats() Stats { return m.stats.Clone() }
+
+// Err returns the terminal error latched by a failed Step, or nil.
+func (m *Machine) Err() error { return m.failure }
+
+// fail latches err as the machine's terminal state: every subsequent
+// Step or Run returns the same error instead of resuming execution past
+// the failure point.
+func (m *Machine) fail(err error) error {
+	m.failure = err
+	return err
+}
 
 // Step executes one machine cycle. It returns (false, nil) once all FUs
-// have halted.
+// have halted. After any error the machine is dead: subsequent Step
+// calls return the same error rather than executing past the failure.
 func (m *Machine) Step() (running bool, err error) {
+	if m.failure != nil {
+		return false, m.failure
+	}
 	if m.done {
 		return false, nil
 	}
 	if m.cycle >= m.config.MaxCycles {
-		return false, &SimError{Cycle: m.cycle, FU: -1, Err: ErrMaxCycles}
+		return false, m.fail(&SimError{Cycle: m.cycle, FU: -1, Err: ErrMaxCycles})
 	}
 
 	m.regs.BeginCycle()
@@ -253,8 +272,8 @@ func (m *Machine) Step() (running bool, err error) {
 		}
 		p := m.prog.Parcel(m.pc[fu], fu)
 		if p.Trap {
-			return false, &SimError{Cycle: m.cycle, FU: fu,
-				Err: fmt.Errorf("executed trap parcel at address %d (hole in instruction stream)", m.pc[fu])}
+			return false, m.fail(&SimError{Cycle: m.cycle, FU: fu,
+				Err: fmt.Errorf("executed trap parcel at address %d (hole in instruction stream)", m.pc[fu])})
 		}
 		m.parcels[fu] = p
 		m.ss[fu] = p.Sync
@@ -269,7 +288,7 @@ func (m *Machine) Step() (running bool, err error) {
 		w, err := m.execData(fu, m.parcels[fu].Data)
 		wrote = wrote || w
 		if err != nil {
-			return false, err
+			return false, m.fail(err)
 		}
 	}
 
@@ -357,7 +376,7 @@ func (m *Machine) Step() (running bool, err error) {
 
 	if m.config.DetectLivelock {
 		if err := m.checkLivelock(wrote); err != nil {
-			return false, err
+			return false, m.fail(err)
 		}
 	}
 	return true, nil

@@ -34,6 +34,18 @@ type Stats struct {
 	// StreamHistogram[k] is the number of cycles executed with exactly k
 	// concurrent instruction streams (SSETs), k in 1..NumFU.
 	StreamHistogram []uint64
+	// StreamClamped counts cycles whose observed SSET count fell outside
+	// the histogram's 1..NumFU range and was clamped to the nearest bound.
+	// A non-zero value indicates a partition-tracker bug; the cycles are
+	// still counted so that MeanStreams never silently undercounts.
+	StreamClamped uint64
+}
+
+// NewStats returns a zeroed Stats sized for a numFU-wide machine.
+func NewStats(numFU int) Stats {
+	var s Stats
+	s.init(numFU)
+	return s
 }
 
 func (s *Stats) init(numFU int) {
@@ -43,11 +55,33 @@ func (s *Stats) init(numFU int) {
 	s.StreamHistogram = make([]uint64, numFU+1)
 }
 
+// Clone returns a deep copy: the slice fields of the copy share no
+// backing arrays with s, so a clone taken mid-run is immutable under
+// further machine steps and safe to hand to another goroutine.
+func (s Stats) Clone() Stats {
+	c := s
+	c.DataOps = append([]uint64(nil), s.DataOps...)
+	c.Nops = append([]uint64(nil), s.Nops...)
+	c.HaltedCycles = append([]uint64(nil), s.HaltedCycles...)
+	c.StreamHistogram = append([]uint64(nil), s.StreamHistogram...)
+	return c
+}
+
 func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) {
 	s.Cycles++
-	if numSSETs >= 1 && numSSETs < len(s.StreamHistogram) {
-		s.StreamHistogram[numSSETs]++
+	// Every executed cycle must land in the histogram: an out-of-range
+	// SSET count is clamped to the nearest bound and flagged, so the
+	// invariant Cycles == sum(StreamHistogram) holds and MeanStreams
+	// cannot silently undercount.
+	k := numSSETs
+	if k < 1 {
+		k = 1
+		s.StreamClamped++
+	} else if k >= len(s.StreamHistogram) {
+		k = len(s.StreamHistogram) - 1
+		s.StreamClamped++
 	}
+	s.StreamHistogram[k]++
 	for fu := range parcels {
 		if halted[fu] {
 			s.HaltedCycles[fu]++

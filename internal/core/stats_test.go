@@ -1,0 +1,143 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// TestStatsSnapshotImmutable is the regression test for the
+// slice-aliasing bug: a Stats snapshot taken mid-run must not change
+// when the machine keeps stepping.
+func TestStatsSnapshotImmutable(t *testing.T) {
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(2), Dest: 1},
+		isa.Nop,
+		isa.DataOp{Op: isa.OpIMult, A: isa.R(1), B: isa.I(3), Dest: 2},
+		isa.DataOp{Op: isa.OpISub, A: isa.R(2), B: isa.R(1), Dest: 3},
+	)
+	m, err := New(prog, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := m.Stats()
+	frozen := snap.Clone()
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, frozen) {
+		t.Fatalf("mid-run snapshot mutated by further execution:\n got %+v\nwant %+v", snap, frozen)
+	}
+	final := m.Stats()
+	if reflect.DeepEqual(final, snap) {
+		t.Fatal("final stats equal the mid-run snapshot; machine did not keep counting")
+	}
+	// Mutating a snapshot must not write through to the machine.
+	final.DataOps[0] += 100
+	final.StreamHistogram[1] += 100
+	if m.Stats().DataOps[0] == final.DataOps[0] {
+		t.Fatal("writing a snapshot's DataOps mutated the live machine")
+	}
+}
+
+func TestStatsCloneDeepCopies(t *testing.T) {
+	s := NewStats(4)
+	s.DataOps[2] = 7
+	s.Nops[1] = 3
+	s.HaltedCycles[0] = 9
+	s.StreamHistogram[4] = 11
+	c := s.Clone()
+	if !reflect.DeepEqual(s, c) {
+		t.Fatalf("clone differs: %+v vs %+v", s, c)
+	}
+	c.DataOps[2]++
+	c.Nops[1]++
+	c.HaltedCycles[0]++
+	c.StreamHistogram[4]++
+	if s.DataOps[2] != 7 || s.Nops[1] != 3 || s.HaltedCycles[0] != 9 || s.StreamHistogram[4] != 11 {
+		t.Fatalf("clone shares backing arrays with original: %+v", s)
+	}
+}
+
+// TestObserveCycleClampsOutOfRange pins the clamp-and-count fix: an
+// out-of-range SSET count lands on the nearest histogram bound and is
+// flagged, so Cycles == sum(StreamHistogram) always holds.
+func TestObserveCycleClampsOutOfRange(t *testing.T) {
+	s := NewStats(2) // histogram indexes 0..2
+	parcels := make([]isa.Parcel, 2)
+	halted := make([]bool, 2)
+	s.observeCycle(0, parcels, halted) // below range: clamp to 1
+	s.observeCycle(5, parcels, halted) // above range: clamp to 2
+	s.observeCycle(1, parcels, halted) // in range
+	if s.StreamClamped != 2 {
+		t.Fatalf("StreamClamped = %d, want 2", s.StreamClamped)
+	}
+	if s.StreamHistogram[1] != 2 || s.StreamHistogram[2] != 1 {
+		t.Fatalf("histogram = %v, want [0 2 1]", s.StreamHistogram)
+	}
+	var sum uint64
+	for _, c := range s.StreamHistogram {
+		sum += c
+	}
+	if sum != s.Cycles {
+		t.Fatalf("sum(histogram) = %d, Cycles = %d; MeanStreams would undercount", sum, s.Cycles)
+	}
+}
+
+// TestTerminalErrorLatched pins the resumability bug: after Step
+// returns ErrMaxCycles (or any failure), further Step/Run calls must
+// return the same error instead of executing past the failure.
+func TestTerminalErrorLatched(t *testing.T) {
+	b := isa.NewBuilder(1)
+	b.Set(0, 0, par(isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}, isa.Goto(0)))
+	m, err := New(b.MustBuild(), Config{MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first := m.Run()
+	if !errors.Is(first, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", first)
+	}
+	cycleAtFailure := m.Cycle()
+	for i := 0; i < 3; i++ {
+		running, err := m.Step()
+		if running || err != first {
+			t.Fatalf("Step after failure: (%v, %v), want (false, latched %v)", running, err, first)
+		}
+	}
+	if _, err := m.Run(); err != first {
+		t.Fatalf("Run after failure: %v, want latched %v", err, first)
+	}
+	if m.Cycle() != cycleAtFailure {
+		t.Fatalf("machine executed %d cycles past its failure", m.Cycle()-cycleAtFailure)
+	}
+	if m.Err() != first {
+		t.Fatalf("Err() = %v, want %v", m.Err(), first)
+	}
+}
+
+func TestLivelockErrorLatched(t *testing.T) {
+	b := isa.NewBuilder(2)
+	b.Set(0, 0, par(isa.Nop, isa.IfAllSS(1, 0)))
+	b.Set(0, 1, par(isa.Nop, isa.Goto(0)))
+	b.Set(1, 0, isa.HaltParcel)
+	b.Set(1, 1, isa.HaltParcel)
+	m, err := New(b.MustBuild(), Config{DetectLivelock: true, MaxCycles: 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first := m.Run()
+	if !errors.Is(first, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", first)
+	}
+	if running, err := m.Step(); running || err != first {
+		t.Fatalf("Step after livelock: (%v, %v), want latched error", running, err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package sweep is the parallel execution engine for simulation
+// batches. XIMD experiments are embarrassingly parallel across
+// configurations — every point of a speedup table, ablation, or
+// parameter sweep is an independent machine run — so the engine fans a
+// task list out over a bounded worker pool, one goroutine per hardware
+// thread by default, and collects one Result per task.
+//
+// Guarantees:
+//
+//   - Results are returned in task order, regardless of completion
+//     order, so table-printing code is deterministic at any width.
+//   - Workers == 1 degenerates to a strict serial in-order loop,
+//     reproducing single-threaded behavior exactly.
+//   - Each task builds its own machine, memory, and stats; the engine
+//     never shares mutable state between tasks. Stats snapshots placed
+//     in Results are deep copies (core.Stats.Clone via Machine.Stats),
+//     safe to read after or during other runs.
+//   - Cancellation is cooperative via context: tasks not yet started
+//     when the context is cancelled are marked with the context error.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"ximd/internal/core"
+	"ximd/internal/workloads"
+)
+
+// Outcome is what one simulation run produces: the cycle count and a
+// snapshot of the execution statistics.
+type Outcome struct {
+	// Cycles is the simulated machine-cycle count of the run.
+	Cycles uint64
+	// Stats is a deep-copied statistics snapshot (shared between the
+	// XIMD and VLIW machines, which accumulate the same counters).
+	Stats core.Stats
+}
+
+// Task is one independent simulation to execute. Run must be
+// self-contained: it builds its own machine and environment, and must
+// not share mutable state with other tasks.
+type Task struct {
+	// Name labels the task in Results and error messages.
+	Name string
+	// Run executes the simulation. The context is advisory: the engine
+	// checks it between tasks, and long-running tasks may check it
+	// themselves.
+	Run func(ctx context.Context) (Outcome, error)
+}
+
+// Result is the per-run record for one task.
+type Result struct {
+	// Index is the task's position in the input slice; Results are
+	// always ordered by Index.
+	Index int
+	// Name echoes the task name.
+	Name string
+	// Outcome holds cycles and the stats snapshot (zero on error).
+	Outcome
+	// Err is the task's failure, nil on success. Tasks skipped due to
+	// fail-fast or cancellation carry the cancellation error.
+	Err error
+}
+
+// Policy selects how the engine reacts to a failing task.
+type Policy int
+
+const (
+	// CollectErrors runs every task to completion and records failures
+	// in their Results; Run returns the join of all task errors.
+	CollectErrors Policy = iota
+	// FailFast cancels outstanding work after the first failure; Run
+	// returns that first error (in task order among the tasks that ran).
+	FailFast
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Workers bounds concurrent tasks; <= 0 selects GOMAXPROCS.
+	// Workers == 1 executes tasks serially in order on the calling
+	// pattern of a plain loop.
+	Workers int
+	// Policy is the failure policy; the zero value is CollectErrors.
+	Policy Policy
+}
+
+// Run executes tasks across a worker pool and returns one Result per
+// task, in task order. The returned error is nil when every task
+// succeeded; under FailFast it is the first failure, under
+// CollectErrors the join of all failures.
+func Run(ctx context.Context, tasks []Task, opts Options) ([]Result, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	results := make([]Result, len(tasks))
+	for i, t := range tasks {
+		results[i] = Result{Index: i, Name: t.Name}
+	}
+	if len(tasks) == 0 {
+		return results, ctx.Err()
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		failOnce  sync.Once
+		failFirst error
+	)
+	runOne := func(i int) {
+		if err := runCtx.Err(); err != nil {
+			results[i].Err = err
+			return
+		}
+		out, err := tasks[i].Run(runCtx)
+		results[i].Outcome = out
+		results[i].Err = err
+		if err != nil && opts.Policy == FailFast {
+			failOnce.Do(func() {
+				failFirst = err
+				cancel()
+			})
+		}
+	}
+
+	if workers == 1 {
+		for i := range tasks {
+			runOne(i)
+		}
+	} else {
+		indexes := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range indexes {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range tasks {
+			indexes <- i
+		}
+		close(indexes)
+		wg.Wait()
+	}
+
+	if opts.Policy == FailFast {
+		if failFirst != nil {
+			return results, failFirst
+		}
+		return results, ctx.Err()
+	}
+	errs := make([]error, 0)
+	for i := range results {
+		if results[i].Err != nil {
+			errs = append(errs, results[i].Err)
+		}
+	}
+	return results, errors.Join(errs...)
+}
+
+// XIMD adapts a workload instance's XIMD variant into a Task: each
+// invocation builds a fresh environment and machine, runs it to
+// completion, verifies the result, and snapshots cycles and stats.
+func XIMD(inst *workloads.Instance) Task {
+	return Task{Name: inst.Name, Run: func(context.Context) (Outcome, error) {
+		m, err := workloads.RunXIMD(inst, nil)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Cycles: m.Cycle(), Stats: m.Stats()}, nil
+	}}
+}
+
+// VLIW adapts a workload instance's VLIW variant into a Task.
+func VLIW(inst *workloads.Instance) Task {
+	return Task{Name: inst.Name, Run: func(context.Context) (Outcome, error) {
+		m, err := workloads.RunVLIW(inst, nil)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Cycles: m.Cycle(), Stats: m.Stats()}, nil
+	}}
+}

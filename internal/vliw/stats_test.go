@@ -1,0 +1,95 @@
+package vliw
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// TestVLIWStatsSnapshotImmutable is the VLIW side of the slice-aliasing
+// regression: a snapshot taken mid-run must not change as the machine
+// keeps stepping.
+func TestVLIWStatsSnapshotImmutable(t *testing.T) {
+	p := vprog(t, 2, []Instruction{
+		row(isa.Goto(1),
+			isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(3), Dest: 1},
+			isa.DataOp{Op: isa.OpIMult, A: isa.I(4), B: isa.I(5), Dest: 2}),
+		row(isa.Goto(2),
+			isa.DataOp{Op: isa.OpISub, A: isa.R(1), B: isa.R(2), Dest: 3}),
+		row(isa.Halt()),
+	})
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Stats()
+	frozen := snap.Clone()
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, frozen) {
+		t.Fatalf("mid-run snapshot mutated by further execution:\n got %+v\nwant %+v", snap, frozen)
+	}
+	final := m.Stats()
+	final.DataOps[0] += 100
+	if m.Stats().DataOps[0] == final.DataOps[0] {
+		t.Fatal("writing a snapshot's DataOps mutated the live machine")
+	}
+}
+
+// TestVLIWStreamHistogram checks the shared-stats unification: a VLIW
+// run is all mass at one stream.
+func TestVLIWStreamHistogram(t *testing.T) {
+	p := vprog(t, 2, []Instruction{
+		row(isa.Goto(1), isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(1), Dest: 1}),
+		row(isa.Halt()),
+	})
+	m, err := New(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.StreamHistogram[1] != s.Cycles {
+		t.Fatalf("StreamHistogram = %v with %d cycles; VLIW must run exactly one stream", s.StreamHistogram, s.Cycles)
+	}
+	if got := s.MeanStreams(); got != 1.0 {
+		t.Fatalf("MeanStreams = %g, want 1.0", got)
+	}
+}
+
+// TestVLIWTerminalErrorLatched pins the resumability bug on the VLIW
+// machine: after a failure every Step/Run returns the same error.
+func TestVLIWTerminalErrorLatched(t *testing.T) {
+	p := vprog(t, 1, []Instruction{
+		row(isa.Goto(0), isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 1}),
+	})
+	m, err := New(p, Config{MaxCycles: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, first := m.Run()
+	if first == nil || !strings.Contains(first.Error(), "maximum cycle count") {
+		t.Fatalf("err = %v, want max-cycles failure", first)
+	}
+	cycleAtFailure := m.Cycle()
+	for i := 0; i < 3; i++ {
+		running, err := m.Step()
+		if running || err != first {
+			t.Fatalf("Step after failure: (%v, %v), want (false, latched %v)", running, err, first)
+		}
+	}
+	if m.Cycle() != cycleAtFailure {
+		t.Fatalf("machine executed %d cycles past its failure", m.Cycle()-cycleAtFailure)
+	}
+	if m.Err() != first {
+		t.Fatalf("Err() = %v, want %v", m.Err(), first)
+	}
+}

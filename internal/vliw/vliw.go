@@ -11,6 +11,7 @@ package vliw
 import (
 	"fmt"
 
+	"ximd/internal/core"
 	"ximd/internal/isa"
 	"ximd/internal/mem"
 	"ximd/internal/regfile"
@@ -161,43 +162,12 @@ type CycleRecord struct {
 	Instr Instruction
 }
 
-// Stats accumulates VLIW execution statistics.
-type Stats struct {
-	Cycles        uint64
-	DataOps       []uint64
-	Nops          []uint64
-	CondBranches  uint64
-	TakenBranches uint64
-	Loads         uint64
-	Stores        uint64
-	RegConflicts  uint64
-	MemConflicts  uint64
-}
-
-// TotalDataOps returns the total non-nop data operations.
-func (s Stats) TotalDataOps() uint64 {
-	var total uint64
-	for _, v := range s.DataOps {
-		total += v
-	}
-	return total
-}
-
-// Utilization returns the fraction of FU-cycles doing useful work.
-func (s Stats) Utilization() float64 {
-	if s.Cycles == 0 || len(s.DataOps) == 0 {
-		return 0
-	}
-	return float64(s.TotalDataOps()) / float64(s.Cycles*uint64(len(s.DataOps)))
-}
-
-// OpsPerCycle returns average useful operations per cycle.
-func (s Stats) OpsPerCycle() float64 {
-	if s.Cycles == 0 {
-		return 0
-	}
-	return float64(s.TotalDataOps()) / float64(s.Cycles)
-}
+// Stats is the shared execution-statistics type of core.Stats: the VLIW
+// baseline is the same datapath, so it accumulates the same counters
+// (HaltedCycles stays zero — the single sequencer halts all FUs at once
+// — and StreamHistogram is all mass at k=1, the defining contrast with
+// the XIMD's variable stream count).
+type Stats = core.Stats
 
 // Machine is a VLIW processor instance.
 type Machine struct {
@@ -211,6 +181,7 @@ type Machine struct {
 	cc      []bool
 	cycle   uint64
 	done    bool
+	failure error // terminal error latched by the first failing Step
 	stats   Stats
 	ccWrite []ccWrite
 	record  CycleRecord
@@ -241,8 +212,7 @@ func New(prog *Program, cfg Config) (*Machine, error) {
 		pc:     prog.Entry,
 		cc:     make([]bool, prog.NumFU),
 	}
-	m.stats.DataOps = make([]uint64, prog.NumFU)
-	m.stats.Nops = make([]uint64, prog.NumFU)
+	m.stats = core.NewStats(prog.NumFU)
 	return m, nil
 }
 
@@ -261,16 +231,33 @@ func (m *Machine) Done() bool { return m.done }
 // PC returns the single global program counter.
 func (m *Machine) PC() isa.Addr { return m.pc }
 
-// Stats returns accumulated statistics.
-func (m *Machine) Stats() Stats { return m.stats }
+// Stats returns a deep-copied snapshot of the accumulated statistics;
+// it stays valid across further Step calls and is safe to hand to other
+// goroutines.
+func (m *Machine) Stats() Stats { return m.stats.Clone() }
 
-// Step executes one cycle.
+// Err returns the terminal error latched by a failed Step, or nil.
+func (m *Machine) Err() error { return m.failure }
+
+// fail latches err so every subsequent Step or Run returns the same
+// error instead of resuming execution past the failure point.
+func (m *Machine) fail(err error) error {
+	m.failure = err
+	return err
+}
+
+// Step executes one cycle. After any error the machine is dead:
+// subsequent Step calls return the same error rather than executing
+// past the failure.
 func (m *Machine) Step() (running bool, err error) {
+	if m.failure != nil {
+		return false, m.failure
+	}
 	if m.done {
 		return false, nil
 	}
 	if m.cycle >= m.config.MaxCycles {
-		return false, fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle)
+		return false, m.fail(fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle))
 	}
 	in := m.prog.Instrs[m.pc]
 
@@ -285,7 +272,7 @@ func (m *Machine) Step() (running bool, err error) {
 
 	for fu := 0; fu < m.numFU; fu++ {
 		if err := m.execData(fu, in.Ops[fu]); err != nil {
-			return false, err
+			return false, m.fail(err)
 		}
 	}
 
@@ -312,6 +299,7 @@ func (m *Machine) Step() (running bool, err error) {
 		m.cc[w.fu] = w.val
 	}
 	m.stats.Cycles++
+	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
 	m.cycle++
 	if halt {
 		m.done = true
