@@ -261,7 +261,7 @@ func BenchmarkSweepSuiteParallel(b *testing.B) { benchSweepSuite(b, runtime.GOMA
 
 // Raw simulator throughput: host nanoseconds per simulated machine cycle
 // on an 8-FU machine running a long arithmetic loop.
-func BenchmarkSimulatorThroughput(b *testing.B) {
+func benchSimulatorThroughput(b *testing.B, engine ximd.EngineKind) {
 	src := `
 var out[1];
 func main() {
@@ -276,7 +276,7 @@ func main() {
 	var total uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := ximd.NewMachine(c.Prog, ximd.Config{})
+		m, err := ximd.NewMachine(c.Prog, ximd.Config{Engine: engine})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -290,4 +290,12 @@ func main() {
 	if total > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(total), "host-ns/machine-cycle")
 	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	benchSimulatorThroughput(b, ximd.EngineFast)
+}
+
+func BenchmarkSimulatorThroughputReference(b *testing.B) {
+	benchSimulatorThroughput(b, ximd.EngineReference)
 }

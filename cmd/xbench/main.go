@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -64,8 +65,38 @@ func main() {
 	list := flag.Bool("list", false, "list experiments")
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker goroutines for simulation sweeps (1 = fully serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
 	flag.Parse()
 	parallelism = *parallel
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "xbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "xbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-10s %s\n", e.name, e.about)

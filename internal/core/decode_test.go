@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// TestCompileCondMatchesEvalCond exhaustively checks that the bitmask
+// compilation of every valid condition kind agrees with the reference
+// evaluator isa.EvalCond over every reachable (CC, SS) state, for every
+// machine width. This is the foundation of the fast engine's control
+// equivalence: stepFast never calls EvalCond.
+func TestCompileCondMatchesEvalCond(t *testing.T) {
+	for _, numFU := range []int{1, 2, 3, 5, 8} {
+		var conds []isa.CtrlOp
+		for idx := uint8(0); idx < uint8(numFU); idx++ {
+			conds = append(conds,
+				isa.IfCC(idx, 1, 2), isa.IfNotCC(idx, 1, 2),
+				isa.IfSS(idx, 1, 2), isa.IfNotSS(idx, 1, 2))
+		}
+		conds = append(conds, isa.IfAllSS(1, 2), isa.IfAnySS(1, 2))
+		// Masks deliberately include bits above numFU: the reference
+		// evaluator's loop never examines them, and CompileCond must
+		// mask them off to match.
+		for _, mask := range []uint8{0x01, 0x55, 0xAA, 0xFF, uint8(1<<numFU - 1)} {
+			if mask == 0 {
+				continue
+			}
+			conds = append(conds, isa.IfAllSSMask(mask, 1, 2), isa.IfAnySSMask(mask, 1, 2))
+		}
+		cc := make([]bool, numFU)
+		ss := make([]isa.Sync, numFU)
+		for _, c := range conds {
+			compiled := CompileCond(c, numFU)
+			for ccBits := 0; ccBits < 1<<numFU; ccBits++ {
+				for ssBits := 0; ssBits < 1<<numFU; ssBits++ {
+					for i := 0; i < numFU; i++ {
+						cc[i] = ccBits&(1<<i) != 0
+						if ssBits&(1<<i) != 0 {
+							ss[i] = isa.Done
+						} else {
+							ss[i] = isa.Busy
+						}
+					}
+					want := isa.EvalCond(c, cc, ss, numFU)
+					got := compiled.Eval(uint8(ccBits), uint8(ssBits))
+					if got != want {
+						t.Fatalf("numFU=%d cond %v cc=%08b ss=%08b: compiled %v, reference %v",
+							numFU, c, ccBits, ssBits, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCtrlTagMatchesCtrlEqual checks that the packed control tag is a
+// perfect hash of control-op identity: ctrlTag(a) == ctrlTag(b) exactly
+// when a.Equal(b), over a set of valid control ops chosen to collide in
+// every unused field. The partition tracker's split/merge keys rely on
+// this equivalence.
+func TestCtrlTagMatchesCtrlEqual(t *testing.T) {
+	ops := []isa.CtrlOp{
+		isa.Halt(),
+		// A halt with junk in unused fields is still the same halt.
+		{Kind: isa.CtrlHalt, T1: 9, T2: 4, Idx: 3, Mask: 0xF0},
+		isa.Goto(0), isa.Goto(3), isa.Goto(7),
+		{Kind: isa.CtrlGoto, T1: 3, T2: 5, Idx: 1, Mask: 0x0F}, // Goto(3) with junk
+		isa.IfCC(0, 1, 2), isa.IfCC(1, 1, 2), isa.IfCC(0, 2, 1), isa.IfCC(0, 1, 3),
+		isa.IfNotCC(0, 1, 2),
+		isa.IfSS(0, 1, 2), isa.IfSS(2, 1, 2),
+		isa.IfNotSS(0, 1, 2),
+		isa.IfAllSS(1, 2), isa.IfAllSS(2, 1),
+		isa.IfAnySS(1, 2),
+		// All-reduction conds ignore Idx and Mask.
+		{Kind: isa.CtrlCond, Cond: isa.CondAllSS, T1: 1, T2: 2, Idx: 5, Mask: 0x3C},
+		isa.IfAllSSMask(0x03, 1, 2), isa.IfAllSSMask(0x0C, 1, 2),
+		isa.IfAnySSMask(0x03, 1, 2), isa.IfAnySSMask(0x03, 2, 1),
+		// Masked conds ignore Idx.
+		{Kind: isa.CtrlCond, Cond: isa.CondAllSSMask, Mask: 0x03, T1: 1, T2: 2, Idx: 7},
+	}
+	for i, a := range ops {
+		for j, b := range ops {
+			tagEq := ctrlTag(a) == ctrlTag(b)
+			if tagEq != a.Equal(b) {
+				t.Errorf("ops[%d]=%v vs ops[%d]=%v: tag equality %v, Equal %v",
+					i, a, j, b, tagEq, a.Equal(b))
+			}
+		}
+	}
+}
+
+// TestDecodeDataOpMatchesClassOf checks, for every opcode, that the
+// decoded flags agree with the structural class and that operand sources
+// resolve to the right register or immediate.
+func TestDecodeDataOpMatchesClassOf(t *testing.T) {
+	for op := isa.Opcode(0); op.Valid(); op++ {
+		cl := isa.ClassOf(op)
+		d := isa.DataOp{Op: op, A: isa.R(3), B: isa.I(-7), Dest: 9}
+		u := DecodeDataOp(d)
+		if u.ReadsA() != cl.ReadsA() || u.ReadsB() != cl.ReadsB() ||
+			u.WritesReg() != cl.WritesReg() || u.WritesCC() != cl.WritesCC() {
+			t.Errorf("%v: decoded flags disagree with ClassOf", op)
+		}
+		if u.IsNop() != (op == isa.OpNop) {
+			t.Errorf("%v: IsNop = %v", op, u.IsNop())
+		}
+		if cl.ReadsA() {
+			if !u.AFromReg() || u.AReg != 3 {
+				t.Errorf("%v: operand A should resolve to r3", op)
+			}
+		} else if u.AFromReg() || u.AImm != 0 {
+			t.Errorf("%v: unread operand A should be a zero immediate", op)
+		}
+		if cl.ReadsB() {
+			if u.BFromReg() || !u.BIsImm() || u.BImm != isa.WordFromInt(-7) {
+				t.Errorf("%v: operand B should resolve to immediate -7", op)
+			}
+		} else if u.BFromReg() || u.BImm != 0 {
+			t.Errorf("%v: unread operand B should be a zero immediate", op)
+		}
+	}
+}

@@ -31,8 +31,28 @@ import (
 	"ximd/internal/regfile"
 )
 
+// EngineKind selects the execution engine of a Machine.
+type EngineKind uint8
+
+const (
+	// EngineFast (the default) executes the program pre-decoded: at New
+	// the whole program is decoded into a flat micro-op table with operand
+	// kinds resolved, class flags baked in, and branch conditions compiled
+	// to bitmask compares. Cycle-for-cycle equivalent to EngineReference.
+	EngineFast EngineKind = iota
+	// EngineReference interprets parcels directly from the program each
+	// cycle — the original, obviously-correct interpreter, kept as the
+	// oracle for differential testing.
+	EngineReference
+)
+
 // Config parameterizes a Machine.
 type Config struct {
+	// Engine selects the execution engine; the zero value is EngineFast.
+	// Both engines implement the identical architectural semantics; the
+	// differential tests hold them to identical cycle counts, statistics,
+	// traces, and final state.
+	Engine EngineKind
 	// Memory is the memory model; nil selects an idealized shared memory
 	// of the default size (Section 2.3).
 	Memory mem.Memory
@@ -136,6 +156,18 @@ type Machine struct {
 	tracker *partitionTracker
 	stats   Stats
 
+	// Fast-engine state (nil / unused under EngineReference). The packed
+	// uint8 vectors mirror cc/ccValid/halted/SS bit i == FU i; the slice
+	// forms are materialized from them only for tracing and accessors.
+	code        []uop       // flat micro-op table, indexed [pc*numFU+fu]
+	uops        []*uop      // per-cycle fetched micro-ops
+	shared      *mem.Shared // devirtualized memory fast path, if applicable
+	ccBits      uint8
+	ccValidBits uint8
+	haltedBits  uint8
+	ssBits      uint8
+	prevSSBits  uint8
+
 	// Per-cycle scratch, reused across cycles.
 	ss        []isa.Sync
 	prevSS    []isa.Sync // last cycle's SS values (RegisteredSS ablation)
@@ -153,13 +185,17 @@ type ccWrite struct {
 	val bool
 }
 
+// fingerprint is the livelock-detection digest of one committed cycle.
+// CC, SS, and halt state are packed one bit per FU; SS_i is binary
+// (BUSY/DONE), so the mask compare is equivalent to comparing the Sync
+// values themselves.
 type fingerprint struct {
 	valid  bool
-	pc     [isa.NumFU]isa.Addr
-	cc     [isa.NumFU]bool
-	ss     [isa.NumFU]isa.Sync
 	wrote  bool // any register/memory/CC write staged this cycle
-	halted [isa.NumFU]bool
+	pc     [isa.NumFU]isa.Addr
+	cc     uint8
+	ss     uint8
+	halted uint8
 }
 
 // New creates a machine loaded with prog. Every FU starts at the program
@@ -198,6 +234,13 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		m.pc[i] = prog.Entry
 	}
 	m.stats.init(n)
+	if cfg.Engine == EngineFast {
+		m.code = decodeProgram(prog)
+		m.uops = make([]*uop, n)
+		if sh, ok := cfg.Memory.(*mem.Shared); ok {
+			m.shared = sh
+		}
+	}
 	return m, nil
 }
 
@@ -221,7 +264,12 @@ func (m *Machine) Memory() mem.Memory { return m.memory }
 func (m *Machine) PC(fu int) isa.Addr { return m.pc[fu] }
 
 // CC returns FU fu's condition code register.
-func (m *Machine) CC(fu int) bool { return m.cc[fu] }
+func (m *Machine) CC(fu int) bool {
+	if m.code != nil {
+		return m.ccBits&(1<<fu) != 0
+	}
+	return m.cc[fu]
+}
 
 // Partition returns the SSET partition currently in effect.
 func (m *Machine) Partition() Partition { return m.tracker.partition() }
@@ -247,6 +295,9 @@ func (m *Machine) fail(err error) error {
 // have halted. After any error the machine is dead: subsequent Step
 // calls return the same error rather than executing past the failure.
 func (m *Machine) Step() (running bool, err error) {
+	if m.code != nil {
+		return m.stepFast()
+	}
 	if m.failure != nil {
 		return false, m.failure
 	}
@@ -326,7 +377,7 @@ func (m *Machine) Step() (running bool, err error) {
 		}
 		m.nextPC[fu] = next
 		m.willHalt[fu] = halt
-		m.trans[fu] = transition{pc: m.pc[fu], ctrl: ctrl, next: next, halting: halt}
+		m.trans[fu] = transition{pc: m.pc[fu], next: next, halting: halt, tag: ctrlTag(ctrl)}
 	}
 
 	// Phase 4: trace the cycle as observed (pre-commit state).
@@ -375,7 +426,20 @@ func (m *Machine) Step() (running bool, err error) {
 	}
 
 	if m.config.DetectLivelock {
-		if err := m.checkLivelock(wrote); err != nil {
+		var cc, ss, halted uint8
+		for fu := 0; fu < m.numFU; fu++ {
+			bit := uint8(1) << fu
+			if m.cc[fu] {
+				cc |= bit
+			}
+			if m.ss[fu] == isa.Done {
+				ss |= bit
+			}
+			if m.halted[fu] {
+				halted |= bit
+			}
+		}
+		if err := m.checkLivelock(wrote, cc, ss, halted); err != nil {
 			return false, m.fail(err)
 		}
 	}
@@ -454,15 +518,14 @@ func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
 }
 
 // checkLivelock flags a fixed point: identical PCs, CCs, SS pattern and
-// halt state as the previous cycle with no writes staged in either.
-func (m *Machine) checkLivelock(wrote bool) error {
+// halt state as the previous cycle with no writes staged in either. The
+// caller supplies the post-commit CC/SS/halt state packed one bit per FU.
+func (m *Machine) checkLivelock(wrote bool, cc, ss, halted uint8) error {
 	var fp fingerprint
 	fp.valid = true
 	fp.wrote = wrote
 	copy(fp.pc[:], m.pc)
-	copy(fp.cc[:], m.cc)
-	copy(fp.ss[:], m.ss)
-	copy(fp.halted[:], m.halted)
+	fp.cc, fp.ss, fp.halted = cc, ss, halted
 	prev := m.prevState
 	m.prevState = fp
 	if prev.valid && !prev.wrote && !fp.wrote &&

@@ -165,13 +165,17 @@ func (e *partitionSyntaxError) Error() string {
 	return "core: malformed partition notation " + strconv.Quote(e.s)
 }
 
-// transition describes what one FU's sequencer did in a cycle.
+// transition describes what one FU's sequencer did in a cycle. The
+// control operation is carried as its ctrlTag — the packed normalized
+// form — so the tracker compares single integers instead of CtrlOp
+// structs (this loop dominated the whole-simulator profile before the
+// switch to packed keys).
 type transition struct {
 	halted  bool // FU was already halted before the cycle
 	halting bool // FU executes halt this cycle
 	pc      isa.Addr
-	ctrl    isa.CtrlOp
 	next    isa.Addr
+	tag     uint64 // ctrlTag of the executed control operation
 }
 
 // partitionTracker maintains the SSET partition across cycles. The
@@ -185,12 +189,12 @@ type partitionTracker struct {
 }
 
 type splitEntry struct {
-	key splitKey
+	key uint64
 	id  int
 }
 
 type mergeEntry struct {
-	key mergeKey
+	key uint64
 	id  int
 }
 
@@ -222,25 +226,21 @@ func (t *partitionTracker) numSSETs() int {
 	return n
 }
 
-// splitKey identifies the subgroup an FU belongs to after the split step:
-// members of one SSET stay together only if they executed from the same
-// address with the identical control operation.
-type splitKey struct {
-	sset int
-	pc   isa.Addr
-	ctrl isa.CtrlOp
-}
-
-// mergeKey identifies reconvergence classes: subgroups whose control
+// Key packing. A split key identifies the subgroup an FU belongs to
+// after the split step: members of one SSET stay together only if they
+// executed from the same address with the identical control operation —
+// (sset, pc, tag), packed as tag | pc<<45 | sset<<61. ctrlTag uses bits
+// 0..44, pc is a 16-bit address at 45..60, and a running FU's sset id is
+// a first-member FU index < 8, fitting the top 3 bits exactly.
+//
+// A merge key identifies reconvergence classes: subgroups whose control
 // transfer is mutually determined merge into one SSET. Unconditional
 // transfers merge by target address; conditional transfers merge only
 // with subgroups executing the identical control operation (whose global
-// outcome is necessarily shared).
-type mergeKey struct {
-	uncond bool
-	next   isa.Addr
-	ctrl   isa.CtrlOp
-}
+// outcome is necessarily shared). The ctrlTag alone expresses both: a
+// goto's tag is exactly (kind, target) — tr.next equals the goto's T1 —
+// and a conditional's tag is the identical-control class, with the kind
+// bits keeping the two classes disjoint.
 
 func (t *partitionTracker) update(trans []transition) {
 	n := len(t.sset)
@@ -250,12 +250,13 @@ func (t *partitionTracker) update(trans []transition) {
 	// a frozen singleton (id offset past the running range so it can never
 	// collide with a running group's id).
 	t.splits = t.splits[:0]
-	for fu, tr := range trans {
+	for fu := range trans {
+		tr := &trans[fu]
 		if tr.halted || tr.halting {
 			newSset[fu] = n + fu
 			continue
 		}
-		k := splitKey{sset: t.sset[fu], pc: tr.pc, ctrl: isa.Normalize(isa.Parcel{Ctrl: tr.ctrl}).Ctrl}
+		k := tr.tag | uint64(tr.pc)<<45 | uint64(t.sset[fu])<<61
 		id := -1
 		for _, e := range t.splits {
 			if e.key == k {
@@ -273,17 +274,12 @@ func (t *partitionTracker) update(trans []transition) {
 	// Pass 2: merge reconverging subgroups (union by relabeling; groups
 	// are tiny, at most 8 members).
 	t.merges = t.merges[:0]
-	for fu, tr := range trans {
+	for fu := range trans {
+		tr := &trans[fu]
 		if tr.halted || tr.halting {
 			continue
 		}
-		ctrl := isa.Normalize(isa.Parcel{Ctrl: tr.ctrl}).Ctrl
-		var mk mergeKey
-		if ctrl.Kind == isa.CtrlGoto {
-			mk = mergeKey{uncond: true, next: tr.next}
-		} else {
-			mk = mergeKey{uncond: false, ctrl: ctrl}
-		}
+		mk := tr.tag
 		id := newSset[fu]
 		found := -1
 		for i := range t.merges {

@@ -67,12 +67,13 @@ func (s Stats) Clone() Stats {
 	return c
 }
 
-func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) {
+// observeStreams counts one executed cycle into the stream histogram.
+// Every executed cycle must land in the histogram: an out-of-range SSET
+// count is clamped to the nearest bound and flagged, so the invariant
+// Cycles == sum(StreamHistogram) holds and MeanStreams cannot silently
+// undercount.
+func (s *Stats) observeStreams(numSSETs int) {
 	s.Cycles++
-	// Every executed cycle must land in the histogram: an out-of-range
-	// SSET count is clamped to the nearest bound and flagged, so the
-	// invariant Cycles == sum(StreamHistogram) holds and MeanStreams
-	// cannot silently undercount.
 	k := numSSETs
 	if k < 1 {
 		k = 1
@@ -82,6 +83,10 @@ func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) 
 		s.StreamClamped++
 	}
 	s.StreamHistogram[k]++
+}
+
+func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) {
+	s.observeStreams(numSSETs)
 	for fu := range parcels {
 		if halted[fu] {
 			s.HaltedCycles[fu]++

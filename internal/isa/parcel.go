@@ -41,6 +41,9 @@ func (p Parcel) Validate(numFU int) error {
 	if p.Trap {
 		return nil
 	}
+	if p.Sync != Busy && p.Sync != Done {
+		return fmt.Errorf("invalid sync value %d", uint8(p.Sync))
+	}
 	if err := p.Data.Validate(); err != nil {
 		return err
 	}

@@ -167,6 +167,31 @@ func (m *Shared) Store(fu int, addr uint32, v isa.Word) error {
 	return conflict
 }
 
+// LoadFast is the devirtualized load path for simulators that hold a
+// concrete *Shared: the common case — no device mappings, address in
+// range — is simple enough to inline into the caller's cycle loop.
+// Anything unusual falls back to the general Load.
+func (m *Shared) LoadFast(fu int, addr uint32) (isa.Word, error) {
+	if len(m.mappings) == 0 && addr < uint32(len(m.words)) {
+		m.loads++
+		return m.words[addr], nil
+	}
+	return m.Load(fu, addr)
+}
+
+// StoreFast is the devirtualized store path: the first in-range store of
+// a cycle with no device mappings stages directly; later stores (which
+// must scan for same-cycle conflicts), device ranges, and out-of-range
+// addresses fall back to the general Store.
+func (m *Shared) StoreFast(fu int, addr uint32, v isa.Word) error {
+	if len(m.mappings) == 0 && len(m.pending) == 0 && addr < uint32(len(m.words)) {
+		m.stores++
+		m.pending = append(m.pending, pendingStore{addr: addr, val: v, fu: fu})
+		return nil
+	}
+	return m.Store(fu, addr, v)
+}
+
 // BeginCycle implements Memory.
 func (m *Shared) BeginCycle(cycle uint64) {
 	m.cycle = cycle

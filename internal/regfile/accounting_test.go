@@ -1,0 +1,70 @@
+package regfile
+
+import (
+	"errors"
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// Regression test for the port-accounting bug where failed accesses were
+// counted before the overflow check, inflating the Section 4.4 port
+// statistics: only successful accesses (including tolerated write
+// conflicts, which do stage a value and consume a port) may appear in
+// the totals.
+func TestPortAccountingCountsOnlySuccessfulAccesses(t *testing.T) {
+	f := New()
+	f.BeginCycle()
+
+	// Exactly ReadPortsPerFU reads succeed; the overflowing read fails
+	// and must not be counted.
+	for i := 0; i < ReadPortsPerFU; i++ {
+		if _, err := f.Read(0, uint8(i)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	var overflow *PortOverflowError
+	if _, err := f.Read(0, 9); !errors.As(err, &overflow) {
+		t.Fatalf("overflowing read: got %v, want PortOverflowError", err)
+	}
+
+	// One write succeeds; the same FU's second write overflows its single
+	// port and must not be counted or staged.
+	if err := f.Write(0, 5, isa.WordFromInt(111)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Write(0, 6, isa.WordFromInt(222)); !errors.As(err, &overflow) {
+		t.Fatalf("overflowing write: got %v, want PortOverflowError", err)
+	}
+
+	// A conflicting write from another FU consumes that FU's port and
+	// stages its value (last staged wins), so it is counted.
+	var conflict *WriteConflictError
+	if err := f.Write(1, 5, isa.WordFromInt(333)); !errors.As(err, &conflict) {
+		t.Fatalf("conflicting write: got %v, want WriteConflictError", err)
+	}
+	if conflict.FirstFU != 0 || conflict.SecondFU != 1 || conflict.Reg != 5 {
+		t.Fatalf("conflict attribution: %+v", conflict)
+	}
+
+	f.Commit()
+	s := f.Stats()
+	if s.TotalReads != ReadPortsPerFU {
+		t.Errorf("TotalReads = %d, want %d (failed reads must not count)", s.TotalReads, ReadPortsPerFU)
+	}
+	if s.TotalWrites != 2 {
+		t.Errorf("TotalWrites = %d, want 2 (overflowed write must not count, conflicting write must)", s.TotalWrites)
+	}
+	if s.PeakReads != ReadPortsPerFU || s.PeakWrites != 2 {
+		t.Errorf("peaks = %d reads/%d writes, want %d/2", s.PeakReads, s.PeakWrites, ReadPortsPerFU)
+	}
+	if s.WriteConflict != 1 {
+		t.Errorf("WriteConflict = %d, want 1", s.WriteConflict)
+	}
+	if got := f.Peek(5).Int(); got != 333 {
+		t.Errorf("r5 = %d, want 333 (last staged write wins)", got)
+	}
+	if got := f.Peek(6).Int(); got != 0 {
+		t.Errorf("r6 = %d, want 0 (overflowed write must not be staged)", got)
+	}
+}

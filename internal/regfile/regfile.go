@@ -59,8 +59,12 @@ func (e *PortOverflowError) Error() string {
 type File struct {
 	regs [isa.NumRegs]isa.Word
 
-	// Per-cycle staging and accounting, reset by BeginCycle.
+	// Per-cycle staging and accounting, reset by BeginCycle. dirty is a
+	// 256-bit bitmap of registers with a staged write this cycle, so
+	// conflict detection is one mask test instead of a scan of the
+	// staged-write list.
 	pendingWrites []pendingWrite
+	dirty         [isa.NumRegs / 64]uint64
 	readsByFU     [isa.NumFU]int
 	writesByFU    [isa.NumFU]int
 
@@ -85,15 +89,22 @@ type pendingWrite struct {
 func New() *File { return &File{} }
 
 // Read returns the value of register reg as of the start of the current
-// cycle, charging one read port to fu.
+// cycle, charging one read port to fu. A read past the port allocation
+// fails and is not counted in the port statistics (only successful
+// accesses appear in the Section 4.4 numbers).
 func (f *File) Read(fu int, reg uint8) (isa.Word, error) {
-	f.readsByFU[fu]++
+	n := f.readsByFU[fu] + 1
+	f.readsByFU[fu] = n
+	if n > ReadPortsPerFU {
+		return 0, f.readOverflow(fu, n)
+	}
 	f.cycleReads++
 	f.totalReads++
-	if f.readsByFU[fu] > ReadPortsPerFU {
-		return 0, &PortOverflowError{FU: fu, Kind: "read", Limit: ReadPortsPerFU, Wanted: f.readsByFU[fu]}
-	}
 	return f.regs[reg], nil
+}
+
+func (f *File) readOverflow(fu, wanted int) error {
+	return &PortOverflowError{FU: fu, Kind: "read", Limit: ReadPortsPerFU, Wanted: wanted}
 }
 
 // Peek returns the current value of a register without charging a port;
@@ -110,26 +121,48 @@ func (f *File) Poke(reg uint8, v isa.Word) { f.regs[reg] = v }
 // counted, so a simulator configured to tolerate conflicts can proceed —
 // last staged write wins, deterministically by FU order of staging).
 func (f *File) Write(fu int, reg uint8, v isa.Word) error {
-	f.writesByFU[fu]++
+	n := f.writesByFU[fu] + 1
+	f.writesByFU[fu] = n
+	if n > WritePortsPerFU {
+		return f.writeOverflow(fu, n)
+	}
 	f.cycleWrites++
 	f.totalWrites++
-	if f.writesByFU[fu] > WritePortsPerFU {
-		return &PortOverflowError{FU: fu, Kind: "write", Limit: WritePortsPerFU, Wanted: f.writesByFU[fu]}
+	word, bit := reg>>6, uint64(1)<<(reg&63)
+	if f.dirty[word]&bit != 0 {
+		return f.writeConflict(fu, reg, v)
 	}
-	for _, w := range f.pendingWrites {
-		if w.reg == reg {
-			f.conflictCount++
-			f.pendingWrites = append(f.pendingWrites, pendingWrite{reg: reg, val: v, fu: fu})
-			return &WriteConflictError{Reg: reg, FirstFU: w.fu, SecondFU: fu}
-		}
-	}
+	f.dirty[word] |= bit
 	f.pendingWrites = append(f.pendingWrites, pendingWrite{reg: reg, val: v, fu: fu})
 	return nil
 }
 
-// BeginCycle resets per-cycle port accounting.
+// writeOverflow builds the port-overflow error off the hot path. An
+// overflowed write is rejected outright: nothing is staged or counted.
+func (f *File) writeOverflow(fu, wanted int) error {
+	return &PortOverflowError{FU: fu, Kind: "write", Limit: WritePortsPerFU, Wanted: wanted}
+}
+
+// writeConflict handles the rare dirty-bit hit: the conflicting write is
+// still staged (last staged wins in tolerant mode) and the first staging
+// FU is recovered from the pending list for the error report.
+func (f *File) writeConflict(fu int, reg uint8, v isa.Word) error {
+	f.conflictCount++
+	first := fu
+	for _, w := range f.pendingWrites {
+		if w.reg == reg {
+			first = w.fu
+			break
+		}
+	}
+	f.pendingWrites = append(f.pendingWrites, pendingWrite{reg: reg, val: v, fu: fu})
+	return &WriteConflictError{Reg: reg, FirstFU: first, SecondFU: fu}
+}
+
+// BeginCycle resets per-cycle port accounting and the dirty bitmap.
 func (f *File) BeginCycle() {
 	f.pendingWrites = f.pendingWrites[:0]
+	f.dirty = [isa.NumRegs / 64]uint64{}
 	for i := range f.readsByFU {
 		f.readsByFU[i] = 0
 		f.writesByFU[i] = 0

@@ -1,0 +1,192 @@
+package vliw
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// This file is the VLIW fast execution engine, the single-sequencer
+// analogue of the XIMD core's pre-decoded engine: instructions execute
+// from the flat vop table built at New, condition codes live in a packed
+// uint8 vector, and the common *mem.Shared memory is driven through its
+// concrete fast paths. Every observable effect — statistics counters,
+// error text, trace records, commit order — matches the reference Step
+// in vliw.go exactly; the differential tests hold the two engines to
+// identical outcomes. Error construction lives in the fault helpers so
+// the hot loop allocates nothing in steady state.
+
+// stepFast executes one cycle on the pre-decoded engine.
+func (m *Machine) stepFast() (running bool, err error) {
+	if m.failure != nil {
+		return false, m.failure
+	}
+	if m.done {
+		return false, nil
+	}
+	if m.cycle >= m.config.MaxCycles {
+		return false, m.fail(fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle))
+	}
+	u := &m.code[m.pc]
+
+	m.regs.BeginCycle()
+	shared := m.shared
+	if shared != nil {
+		shared.BeginCycle(m.cycle)
+	} else {
+		m.memory.BeginCycle(m.cycle)
+	}
+
+	if m.config.Tracer != nil {
+		for fu := 0; fu < m.numFU; fu++ {
+			m.cc[fu] = m.ccBits&(uint8(1)<<fu) != 0
+		}
+		m.record = CycleRecord{Cycle: m.cycle, PC: m.pc, CC: m.cc, Instr: m.prog.Instrs[m.pc]}
+		m.config.Tracer.Cycle(&m.record)
+	}
+
+	var ccSet, ccVal uint8
+	for fu := 0; fu < m.numFU; fu++ {
+		op := &u.ops[fu]
+		if op.IsNop() {
+			m.stats.Nops[fu]++
+			continue
+		}
+		m.stats.DataOps[fu]++
+		var a, b isa.Word
+		if op.AFromReg() {
+			v, rerr := m.regs.Read(fu, op.AReg)
+			if rerr != nil {
+				return false, m.failFU(fu, rerr)
+			}
+			a = v
+		} else {
+			a = op.AImm
+		}
+		if op.BFromReg() {
+			v, rerr := m.regs.Read(fu, op.BReg)
+			if rerr != nil {
+				return false, m.failFU(fu, rerr)
+			}
+			b = v
+		} else {
+			b = op.BImm
+		}
+		switch op.Op {
+		case isa.OpLoad:
+			m.stats.Loads++
+			addr := uint32(a.Int() + b.Int())
+			var v isa.Word
+			var lerr error
+			if shared != nil {
+				v, lerr = shared.LoadFast(fu, addr)
+			} else {
+				v, lerr = m.memory.Load(fu, addr)
+			}
+			if lerr != nil {
+				return false, m.failFU(fu, lerr)
+			}
+			if werr := m.stageRegWrite(fu, op.Dest, v); werr != nil {
+				return false, m.fail(werr)
+			}
+		case isa.OpStore:
+			m.stats.Stores++
+			var serr error
+			if shared != nil {
+				serr = shared.StoreFast(fu, uint32(b.Int()), a)
+			} else {
+				serr = m.memory.Store(fu, uint32(b.Int()), a)
+			}
+			if serr != nil {
+				if serr = m.storeFault(fu, serr); serr != nil {
+					return false, m.fail(serr)
+				}
+			}
+		default:
+			res, cc, aerr := isa.EvalALU(op.Op, a, b)
+			if aerr != nil {
+				return false, m.failFU(fu, aerr)
+			}
+			if op.WritesCC() {
+				bit := uint8(1) << fu
+				ccSet |= bit
+				if cc {
+					ccVal |= bit
+				}
+			} else if op.WritesReg() {
+				if werr := m.stageRegWrite(fu, op.Dest, res); werr != nil {
+					return false, m.fail(werr)
+				}
+			}
+		}
+	}
+
+	halt := false
+	var next isa.Addr
+	switch u.kind {
+	case isa.CtrlGoto:
+		next = u.t1
+	case isa.CtrlHalt:
+		halt = true
+	case isa.CtrlCond:
+		m.stats.CondBranches++
+		if u.cond.Eval(m.ccBits, 0) {
+			m.stats.TakenBranches++
+			next = u.t1
+		} else {
+			next = u.t2
+		}
+	}
+
+	m.regs.Commit()
+	if shared != nil {
+		shared.Commit()
+	} else {
+		m.memory.Commit()
+	}
+	m.ccBits = (m.ccBits &^ ccSet) | ccVal
+	m.stats.Cycles++
+	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
+	m.cycle++
+	if halt {
+		m.done = true
+		return false, nil
+	}
+	m.pc = next
+	return true, nil
+}
+
+// stageRegWrite stages a register write, deferring failure handling to
+// the cold path so the call inlines into the step loop.
+func (m *Machine) stageRegWrite(fu int, reg uint8, v isa.Word) error {
+	if err := m.regs.Write(fu, reg, v); err != nil {
+		return m.regWriteFault(fu, err)
+	}
+	return nil
+}
+
+// regWriteFault resolves a failed register write: a tolerated conflict
+// is counted and absorbed; anything else gains cycle/FU context.
+func (m *Machine) regWriteFault(fu int, err error) error {
+	if _, ok := err.(*regfile.WriteConflictError); ok && m.config.TolerateConflicts {
+		m.stats.RegConflicts++
+		return nil
+	}
+	return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+}
+
+// storeFault resolves a failed memory store, mirroring regWriteFault.
+func (m *Machine) storeFault(fu int, err error) error {
+	if _, ok := err.(*mem.ConflictError); ok && m.config.TolerateConflicts {
+		m.stats.MemConflicts++
+		return nil
+	}
+	return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+}
+
+// failFU latches an execution fault with cycle and FU context.
+func (m *Machine) failFU(fu int, err error) error {
+	return m.fail(fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err))
+}

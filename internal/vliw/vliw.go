@@ -135,6 +135,10 @@ func (p *Program) ToXIMD() *isa.Program {
 
 // Config parameterizes a VLIW machine.
 type Config struct {
+	// Engine selects the execution engine (shared with the XIMD core);
+	// the zero value is core.EngineFast, which pre-decodes the program at
+	// New. core.EngineReference interprets instructions directly.
+	Engine core.EngineKind
 	// Memory is the memory model; nil selects the default shared memory.
 	Memory mem.Memory
 	// MaxCycles bounds the simulation; 0 selects the default.
@@ -185,6 +189,42 @@ type Machine struct {
 	stats   Stats
 	ccWrite []ccWrite
 	record  CycleRecord
+
+	// Fast-engine state (nil / unused under core.EngineReference). ccBits
+	// packs the condition codes one bit per FU; the cc slice is
+	// materialized from it only for tracing.
+	code   []vop
+	shared *mem.Shared
+	ccBits uint8
+}
+
+// vop is one pre-decoded very long instruction word: the decoded data
+// operation per FU plus the compiled sequencer operation, built once at
+// New by the fast engine (the same decode layer as the XIMD core).
+type vop struct {
+	ops    [isa.NumFU]core.DecodedOp
+	cond   core.CompiledCond
+	t1, t2 isa.Addr
+	kind   isa.CtrlKind
+}
+
+// decodeVLIW builds the flat decoded-instruction table for a validated
+// program.
+func decodeVLIW(p *Program) []vop {
+	code := make([]vop, len(p.Instrs))
+	for addr := range p.Instrs {
+		in := &p.Instrs[addr]
+		u := &code[addr]
+		for fu := 0; fu < p.NumFU; fu++ {
+			u.ops[fu] = core.DecodeDataOp(in.Ops[fu])
+		}
+		u.kind = in.Ctrl.Kind
+		u.t1, u.t2 = in.Ctrl.T1, in.Ctrl.T2
+		if in.Ctrl.Kind == isa.CtrlCond {
+			u.cond = core.CompileCond(in.Ctrl, p.NumFU)
+		}
+	}
+	return code
 }
 
 type ccWrite struct {
@@ -213,6 +253,12 @@ func New(prog *Program, cfg Config) (*Machine, error) {
 		cc:     make([]bool, prog.NumFU),
 	}
 	m.stats = core.NewStats(prog.NumFU)
+	if cfg.Engine == core.EngineFast {
+		m.code = decodeVLIW(prog)
+		if sh, ok := cfg.Memory.(*mem.Shared); ok {
+			m.shared = sh
+		}
+	}
 	return m, nil
 }
 
@@ -250,6 +296,9 @@ func (m *Machine) fail(err error) error {
 // subsequent Step calls return the same error rather than executing
 // past the failure.
 func (m *Machine) Step() (running bool, err error) {
+	if m.code != nil {
+		return m.stepFast()
+	}
 	if m.failure != nil {
 		return false, m.failure
 	}

@@ -49,6 +49,19 @@ type (
 	Word = isa.Word
 	// Addr is an instruction-memory address.
 	Addr = isa.Addr
+	// EngineKind selects a simulator execution engine (Config.Engine).
+	EngineKind = core.EngineKind
+)
+
+// Execution engines selectable via Config.Engine. The pre-decoded fast
+// engine is the default; the reference interpreter is retained for
+// differential testing and as executable documentation of the
+// architecture's semantics.
+const (
+	// EngineFast executes from a pre-decoded micro-op table.
+	EngineFast = core.EngineFast
+	// EngineReference executes by interpreting parcels directly.
+	EngineReference = core.EngineReference
 )
 
 // VLIW baseline types (the paper's vsim).
