@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"regfile", "Section 4.4: register file chip composition", expRegfile},
 	{"speedup", "Section 4.1: XIMD vs VLIW across the workload suite", expSpeedup},
 	{"ablation", "design-decision ablations: combinational SS, barrier vs padding", expAblation},
+	{"chaos", "fault injection: XIMD vs VLIW degradation under latency, transients, FU failure", expChaos},
 }
 
 // parallelism is the worker count for experiment sweeps, set by the
@@ -67,8 +68,14 @@ func main() {
 		"worker goroutines for simulation sweeps (1 = fully serial)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
+	chaos := flag.Bool("chaos", false, "shorthand for -exp chaos")
+	flag.Int64Var(&chaosSeed, "seed", chaosSeed, "seed for the chaos fault-injection campaigns")
+	flag.StringVar(&chaosJSON, "json", "", "write chaos results as JSON to `file`")
 	flag.Parse()
 	parallelism = *parallel
+	if *chaos {
+		*exp = "chaos"
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {

@@ -12,7 +12,12 @@
 //	-peek 1024:4      print memory words after the run (repeatable)
 //	-trace            print the address trace (Figure 10 format)
 //	-timeline         print the concurrent-stream timeline
-//	-max N            cycle limit
+//	-max-cycles N     cycle limit (-max is an alias)
+//	-seed N           fault-injection seed (with -inject)
+//	-inject SPEC      fault injection, e.g. lat=uniform:0:4,nak=0.001
+//
+// Exit codes: 0 success, 1 simulation fault, 2 usage or configuration
+// error, 3 program load error.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"ximd/internal/asm"
 	"ximd/internal/core"
 	"ximd/internal/hostcfg"
+	"ximd/internal/inject"
 	"ximd/internal/isa"
 	"ximd/internal/mem"
 	"ximd/internal/trace"
@@ -37,46 +43,58 @@ func main() {
 	doTrace := flag.Bool("trace", false, "print the Figure 10 style address trace")
 	timeline := flag.Bool("timeline", false, "print the concurrent-stream timeline")
 	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
+	flag.Uint64Var(maxCycles, "max-cycles", 0, "cycle limit (0 = default; alias of -max)")
 	tolerate := flag.Bool("tolerate-conflicts", false, "do not stop on same-cycle write conflicts")
+	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
+	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: xsim [flags] prog.xasm|prog.img")
 		flag.PrintDefaults()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
 	prog, err := loadProgram(flag.Arg(0))
 	if err != nil {
-		fatal(err)
+		fatal(exitLoad, err)
 	}
 	rp, err := hostcfg.ParseRegPokes(pokeRegs)
 	if err != nil {
-		fatal(err)
+		fatal(exitUsage, err)
 	}
 	mp, err := hostcfg.ParseMemPokes(pokeMems)
 	if err != nil {
-		fatal(err)
+		fatal(exitUsage, err)
 	}
 	pk, err := hostcfg.ParseMemPeeks(peeks)
 	if err != nil {
-		fatal(err)
+		fatal(exitUsage, err)
 	}
 
 	memory := mem.NewShared(0)
 	rec := &trace.Recorder{}
 	cfg := core.Config{Memory: memory, MaxCycles: *maxCycles, TolerateConflicts: *tolerate}
+	if *injectSpec != "" {
+		icfg, err := inject.ParseSpec(*injectSpec, *seed)
+		if err != nil {
+			fatal(exitUsage, err)
+		}
+		if cfg.Inject, err = inject.New(icfg); err != nil {
+			fatal(exitUsage, err)
+		}
+	}
 	if *doTrace || *timeline {
 		cfg.Tracer = rec
 	}
 	m, err := core.New(prog, cfg)
 	if err != nil {
-		fatal(err)
+		fatal(exitUsage, err)
 	}
 	hostcfg.Apply(m.Regs(), memory, rp, mp)
 
 	cycles, err := m.Run()
 	if err != nil {
-		fatal(err)
+		fatal(exitSim, err)
 	}
 	if *doTrace {
 		fmt.Print(trace.FormatAddressTrace(rec.Records, trace.Options{ShowSS: true}))
@@ -103,7 +121,15 @@ func loadProgram(path string) (*isa.Program, error) {
 	return asm.Assemble(string(data))
 }
 
-func fatal(err error) {
+// Exit codes distinguish why a run stopped, so scripts and the sweep
+// driver can tell bad inputs from injected or architectural faults.
+const (
+	exitSim   = 1 // the simulation itself faulted
+	exitUsage = 2 // bad flags or host configuration
+	exitLoad  = 3 // the program failed to load or assemble
+)
+
+func fatal(code int, err error) {
 	fmt.Fprintln(os.Stderr, "xsim:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

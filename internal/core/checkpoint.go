@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// Snapshot is a between-cycles checkpoint of a Machine: the complete
+// architectural state (PCs, CCs, halt state, registers, memory, the SSET
+// partition, statistics, and any injection state), sufficient to rewind
+// the machine and replay deterministically. Snapshots are taken between
+// Step calls; the sweep retry policy uses them to recover a
+// transiently-faulted run without restarting from cycle 0.
+//
+// A snapshot is engine-portable — the packed fast-engine state is
+// canonicalized to slice form — but program-bound: restoring it onto a
+// machine running a different program silently resumes that program from
+// the snapshotted control state.
+type Snapshot struct {
+	cycle     uint64
+	done      bool
+	failure   error
+	pc        []isa.Addr
+	cc        []bool
+	ccValid   []bool
+	halted    []bool
+	prevSS    []isa.Sync
+	prevState fingerprint
+	sset      []int
+	stats     Stats
+	regs      *regfile.Snapshot
+	memory    mem.State
+	stall     []uint32
+	failed    []bool
+	nFailed   int
+}
+
+// Cycle returns the cycle number at which the snapshot was taken.
+func (s *Snapshot) Cycle() uint64 { return s.cycle }
+
+// Snapshot captures the machine's state between cycles. It fails when
+// the memory model cannot be checkpointed (e.g. devices are mapped).
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	ckpt, ok := m.memory.(mem.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("core: memory model %T does not support checkpointing", m.memory)
+	}
+	memState, err := ckpt.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot: %w", err)
+	}
+	n := m.numFU
+	s := &Snapshot{
+		cycle:     m.cycle,
+		done:      m.done,
+		failure:   m.failure,
+		pc:        append([]isa.Addr(nil), m.pc...),
+		cc:        make([]bool, n),
+		ccValid:   make([]bool, n),
+		halted:    make([]bool, n),
+		prevSS:    make([]isa.Sync, n),
+		prevState: m.prevState,
+		sset:      append([]int(nil), m.tracker.sset...),
+		stats:     m.stats.Clone(),
+		regs:      m.regs.Snapshot(),
+		memory:    memState,
+		nFailed:   m.nFailed,
+	}
+	if m.code != nil {
+		for fu := 0; fu < n; fu++ {
+			bit := uint8(1) << fu
+			s.cc[fu] = m.ccBits&bit != 0
+			s.ccValid[fu] = m.ccValidBits&bit != 0
+			s.halted[fu] = m.haltedBits&bit != 0
+			if m.prevSSBits&bit != 0 {
+				s.prevSS[fu] = isa.Done
+			}
+		}
+	} else {
+		copy(s.cc, m.cc)
+		copy(s.ccValid, m.ccValid)
+		copy(s.halted, m.halted)
+		copy(s.prevSS, m.prevSS)
+	}
+	if m.inject != nil {
+		s.stall = append([]uint32(nil), m.stall...)
+		s.failed = append([]bool(nil), m.failed...)
+	}
+	return s, nil
+}
+
+// Restore rewinds the machine to a snapshot, including any latched
+// terminal error (restoring a pre-failure snapshot clears the failure,
+// which is what makes checkpoint-retry possible). The injector's retry
+// attempt is deliberately NOT architectural state: the caller bumps it
+// via Injector.NextAttempt so the replay draws fresh transient faults.
+func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.pc) != m.numFU {
+		return fmt.Errorf("core: snapshot of %d FUs does not fit machine of %d", len(s.pc), m.numFU)
+	}
+	ckpt, ok := m.memory.(mem.Checkpointable)
+	if !ok {
+		return fmt.Errorf("core: memory model %T does not support checkpointing", m.memory)
+	}
+	if err := ckpt.RestoreState(s.memory); err != nil {
+		return fmt.Errorf("core: restore: %w", err)
+	}
+	m.regs.Restore(s.regs)
+	m.cycle = s.cycle
+	m.done = s.done
+	m.failure = s.failure
+	copy(m.pc, s.pc)
+	copy(m.cc, s.cc)
+	copy(m.ccValid, s.ccValid)
+	copy(m.halted, s.halted)
+	copy(m.prevSS, s.prevSS)
+	m.prevState = s.prevState
+	copy(m.tracker.sset, s.sset)
+	m.stats = s.stats.Clone()
+	if m.code != nil {
+		m.ccBits, m.ccValidBits, m.haltedBits, m.prevSSBits = 0, 0, 0, 0
+		for fu := 0; fu < m.numFU; fu++ {
+			bit := uint8(1) << fu
+			if s.cc[fu] {
+				m.ccBits |= bit
+			}
+			if s.ccValid[fu] {
+				m.ccValidBits |= bit
+			}
+			if s.halted[fu] {
+				m.haltedBits |= bit
+			}
+			if s.prevSS[fu] == isa.Done {
+				m.prevSSBits |= bit
+			}
+		}
+	}
+	if m.inject != nil {
+		if s.stall != nil {
+			copy(m.stall, s.stall)
+			copy(m.failed, s.failed)
+		} else {
+			for fu := range m.stall {
+				m.stall[fu] = 0
+				m.failed[fu] = false
+			}
+		}
+		m.nFailed = s.nFailed
+	}
+	return nil
+}

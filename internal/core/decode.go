@@ -190,6 +190,14 @@ func ctrlTag(c isa.CtrlOp) uint64 {
 	}
 }
 
+// stallTag is the transition tag of an FU spending a cycle stalled on an
+// in-flight load. Kind value 3 is unused by isa.CtrlKind, so a stall can
+// never collide with a real control operation's tag. The program counter
+// is folded in so that only FUs stalled at the same address are treated
+// as one reconvergence class (mirroring the unconditional-merge rule);
+// distinct stalled streams stay split.
+func stallTag(pc isa.Addr) uint64 { return uint64(3)<<43 | uint64(pc) }
+
 // uop is one decoded instruction parcel of the XIMD fast engine: the
 // decoded data operation plus the compiled control operation and sync
 // signal. The table is indexed [addr*numFU + fu].

@@ -31,6 +31,8 @@ func (c *captureTracer) Cycle(rec *CycleRecord) {
 	cp.SS = append([]isa.Sync(nil), rec.SS...)
 	cp.Halted = append([]bool(nil), rec.Halted...)
 	cp.Parcels = append([]isa.Parcel(nil), rec.Parcels...)
+	cp.Stalled = append([]bool(nil), rec.Stalled...)
+	cp.Failed = append([]bool(nil), rec.Failed...)
 	c.recs = append(c.recs, cp)
 }
 

@@ -39,6 +39,10 @@ func (m *Machine) stepFast() (running bool, err error) {
 	if m.cycle >= m.config.MaxCycles {
 		return false, m.fail(&SimError{Cycle: m.cycle, FU: -1, Err: ErrMaxCycles})
 	}
+	inj := m.inject
+	if inj != nil {
+		m.markFailures()
+	}
 
 	m.regs.BeginCycle()
 	shared := m.shared
@@ -53,12 +57,24 @@ func (m *Machine) stepFast() (running bool, err error) {
 
 	// Phase 1: fetch. SS is combinational — derived from the fetched
 	// micro-ops — so it must be known before any control evaluation. A
-	// halted FU holds its sync signal at DONE.
+	// halted FU holds its sync signal at DONE; hard-failed and stalled
+	// FUs fetch nothing and hold BUSY (their ss bit stays clear).
 	ssBits := haltedBits
 	for fu := 0; fu < n; fu++ {
 		bit := uint8(1) << fu
 		if haltedBits&bit != 0 {
 			continue
+		}
+		if inj != nil {
+			if m.failed[fu] {
+				m.stalledNow[fu] = false
+				continue
+			}
+			if m.stall[fu] > 0 {
+				m.stalledNow[fu] = true
+				continue
+			}
+			m.stalledNow[fu] = false
 		}
 		u := &m.code[int(m.pc[fu])*n+fu]
 		if u.trap {
@@ -81,7 +97,15 @@ func (m *Machine) stepFast() (running bool, err error) {
 		if haltedBits&bit != 0 {
 			continue
 		}
+		if inj != nil && (m.failed[fu] || m.stalledNow[fu]) {
+			continue
+		}
 		u := m.uops[fu]
+		if inj != nil &&
+			(u.Flags&(flagReadsA|flagAImm) == flagReadsA || u.Flags&(flagReadsB|flagBImm) == flagReadsB) &&
+			inj.DropRegPort(m.cycle, fu) {
+			return false, m.failFU(fu, errRegPortDrop())
+		}
 		// Operand sources: a register when the read flag is set without
 		// the immediate flag; otherwise the decoded immediate, which is
 		// zero for operands the class does not read.
@@ -111,6 +135,9 @@ func (m *Machine) stepFast() (running bool, err error) {
 		case isa.OpLoad:
 			m.stats.Loads++
 			addr := uint32(a.Int() + b.Int())
+			if inj != nil && inj.MemNAK(m.cycle, fu, addr) {
+				return false, m.failFU(fu, errMemNAK(addr))
+			}
 			var v isa.Word
 			var lerr error
 			if shared != nil {
@@ -121,12 +148,22 @@ func (m *Machine) stepFast() (running bool, err error) {
 			if lerr != nil {
 				return false, m.failFU(fu, lerr)
 			}
+			if inj != nil {
+				if mask := inj.FlipMask(m.cycle, fu, addr); mask != 0 {
+					v ^= isa.Word(mask)
+					m.stats.BitFlips++
+				}
+				m.stall[fu] = inj.LoadLatency(m.cycle, fu, addr)
+			}
 			if werr := m.stageRegWrite(fu, u.Dest, v); werr != nil {
 				return false, m.fail(werr)
 			}
 			wrote = true
 		case isa.OpStore:
 			m.stats.Stores++
+			if inj != nil && inj.MemNAK(m.cycle, fu, uint32(b.Int())) {
+				return false, m.failFU(fu, errMemNAK(uint32(b.Int())))
+			}
 			var serr error
 			if shared != nil {
 				serr = shared.StoreFast(fu, uint32(b.Int()), a)
@@ -173,6 +210,20 @@ func (m *Machine) stepFast() (running bool, err error) {
 			m.trans[fu] = transition{halted: true}
 			continue
 		}
+		if inj != nil {
+			if m.failed[fu] {
+				// A dead FU's control state determines nothing: it leaves
+				// its SSET and freezes as a singleton, like a halted FU.
+				m.trans[fu] = transition{halted: true}
+				continue
+			}
+			if m.stalledNow[fu] {
+				m.trans[fu] = transition{pc: m.pc[fu], next: m.pc[fu], tag: stallTag(m.pc[fu])}
+				m.nextPC[fu] = m.pc[fu]
+				m.willHalt[fu] = false
+				continue
+			}
+		}
 		u := m.uops[fu]
 		var next isa.Addr
 		halt := false
@@ -203,11 +254,16 @@ func (m *Machine) stepFast() (running bool, err error) {
 	m.stats.observeStreams(m.tracker.numSSETs())
 	for fu := 0; fu < n; fu++ {
 		bit := uint8(1) << fu
-		if haltedBits&bit != 0 {
+		switch {
+		case haltedBits&bit != 0:
 			m.stats.HaltedCycles[fu]++
-		} else if m.uops[fu].Flags&flagNop != 0 {
+		case inj != nil && m.failed[fu]:
+			m.stats.FailedCycles[fu]++
+		case inj != nil && m.stalledNow[fu]:
+			m.stats.StallCycles[fu]++
+		case m.uops[fu].Flags&flagNop != 0:
 			m.stats.Nops[fu]++
-		} else {
+		default:
 			m.stats.DataOps[fu]++
 		}
 	}
@@ -224,16 +280,33 @@ func (m *Machine) stepFast() (running bool, err error) {
 	m.ccValidBits |= ccSet
 	wrote = wrote || ccSet != 0
 	allHalted := true
+	allSettled := true // every FU halted or hard-failed
 	for fu := 0; fu < n; fu++ {
 		bit := uint8(1) << fu
 		if haltedBits&bit != 0 {
 			continue
+		}
+		if inj != nil {
+			if m.failed[fu] {
+				allHalted = false
+				continue
+			}
+			if m.stalledNow[fu] {
+				m.stall[fu]--
+				// A draining stall counter is progress: suppress the
+				// livelock fingerprint while any load is in flight.
+				wrote = true
+				allHalted = false
+				allSettled = false
+				continue
+			}
 		}
 		if m.willHalt[fu] {
 			haltedBits |= bit
 		} else {
 			m.pc[fu] = m.nextPC[fu]
 			allHalted = false
+			allSettled = false
 		}
 	}
 	m.haltedBits = haltedBits
@@ -243,6 +316,12 @@ func (m *Machine) stepFast() (running bool, err error) {
 	if allHalted {
 		m.done = true
 		return false, nil
+	}
+	if inj != nil && allSettled && m.nFailed > 0 {
+		// Degraded completion: every surviving stream has halted; only
+		// hard-failed FUs remain. Report the failure after the survivors'
+		// work is architecturally committed.
+		return false, m.fail(&SimError{Cycle: m.cycle - 1, FU: m.firstFailedFU(), Err: errDegraded()})
 	}
 
 	if m.config.DetectLivelock {
@@ -263,10 +342,14 @@ func (m *Machine) traceFast() {
 		m.ccValid[fu] = m.ccValidBits&bit != 0
 		halted := m.haltedBits&bit != 0
 		m.halted[fu] = halted
-		if halted {
+		switch {
+		case halted:
 			m.ss[fu] = isa.Done
 			m.parcels[fu] = isa.Parcel{}
-		} else {
+		case m.inject != nil && (m.failed[fu] || m.stalledNow[fu]):
+			m.ss[fu] = isa.Busy
+			m.parcels[fu] = isa.Parcel{}
+		default:
 			p := m.prog.Parcel(m.pc[fu], fu)
 			m.ss[fu] = p.Sync
 			m.parcels[fu] = p
@@ -281,6 +364,10 @@ func (m *Machine) traceFast() {
 		Halted:    m.halted,
 		Partition: m.tracker.partition(),
 		Parcels:   m.parcels,
+	}
+	if m.inject != nil {
+		m.record.Stalled = m.stalledNow
+		m.record.Failed = m.failed
 	}
 	m.config.Tracer.Cycle(&m.record)
 }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ximd/internal/inject"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// Differential testing under fault injection: the fast and reference
+// engines interrogate the injector at the same architectural points, so
+// any seeded combination of variable latency, transient faults, and
+// hard FU failures must leave them bit-identical — cycles, error text,
+// statistics (including stall/failed-cycle counters and bit flips),
+// traces with the Stalled/Failed vectors, registers, and memory.
+
+// randomInjectConfig draws an injection campaign with at least one
+// surface enabled. Probabilities are kept small enough that most runs
+// execute a meaningful number of cycles before any transient abort.
+func randomInjectConfig(r *rand.Rand) inject.Config {
+	cfg := inject.Config{Seed: r.Int63()}
+	for !cfg.Enabled() {
+		switch r.Intn(4) {
+		case 0: // latency only on this draw; loop if nothing else lands
+		case 1:
+			cfg.Latency = inject.LatencyModel{Kind: inject.LatencyFixed, Fixed: uint32(1 + r.Intn(4))}
+		case 2:
+			lo := uint32(r.Intn(3))
+			cfg.Latency = inject.LatencyModel{
+				Kind: inject.LatencyUniform, Min: lo, Max: lo + uint32(r.Intn(7)),
+			}
+		case 3:
+			cfg.Latency = inject.LatencyModel{
+				Kind: inject.LatencyBanked, BankBits: uint8(1 + r.Intn(4)),
+				Hot: uint32(r.Intn(2)), Cold: uint32(2 + r.Intn(6)),
+			}
+		}
+		if r.Intn(2) == 0 {
+			cfg.Transient.RegPortDrop = float64(r.Intn(3)) * 0.004
+			cfg.Transient.MemNAK = float64(r.Intn(3)) * 0.004
+			cfg.Transient.BitFlip = float64(r.Intn(3)) * 0.02
+		}
+		if r.Intn(3) == 0 {
+			for i, n := 0, 1+r.Intn(2); i < n; i++ {
+				cfg.FUFailures = append(cfg.FUFailures, inject.FUFailure{
+					FU: r.Intn(isa.NumFU), Cycle: uint64(r.Intn(80)),
+				})
+			}
+		}
+	}
+	return cfg
+}
+
+// TestDifferentialInjection runs well over 200 seeded injection
+// campaigns (the PR's acceptance floor) against random programs and
+// holds both engines to identical outcomes.
+func TestDifferentialInjection(t *testing.T) {
+	r := rand.New(rand.NewSource(20260805))
+	for iter := 0; iter < 240; iter++ {
+		prog := randomXIMDProgram(r)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("iter %d: generated invalid program: %v", iter, err)
+		}
+		icfg := randomInjectConfig(r)
+		inj, err := inject.New(icfg)
+		if err != nil {
+			t.Fatalf("iter %d: invalid injection config %+v: %v", iter, icfg, err)
+		}
+		cfg := Config{
+			MaxCycles:         400,
+			TolerateConflicts: r.Intn(2) == 0,
+			DetectLivelock:    r.Intn(2) == 0,
+			RegisteredSS:      r.Intn(2) == 0,
+			Inject:            inj,
+		}
+		assertEnginesAgree(t, fmt.Sprintf("iter %d (inject %s)", iter, inj), prog, cfg)
+	}
+}
+
+// TestInjectionDisabledIdentical asserts the zero-injection guarantee:
+// a machine built with a disabled injector behaves byte-identically to
+// one built with no injector at all.
+func TestInjectionDisabledIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 40; iter++ {
+		prog := randomXIMDProgram(r)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid program: %v", iter, err)
+		}
+		base := Config{MaxCycles: 300, DetectLivelock: iter%2 == 0}
+		withOff := base
+		withOff.Inject = inject.MustNew(inject.Config{Seed: 99})
+		for _, engine := range []EngineKind{EngineFast, EngineReference} {
+			_, atr, amem, acyc, aerr := runEngine(t, "plain", prog, base, engine)
+			_, btr, bmem, bcyc, berr := runEngine(t, "disabled-inject", prog, withOff, engine)
+			if acyc != bcyc || errString(aerr) != errString(berr) {
+				t.Fatalf("iter %d engine %d: disabled injector changed outcome: %d/%v vs %d/%v",
+					iter, engine, acyc, aerr, bcyc, berr)
+			}
+			if len(atr.recs) != len(btr.recs) {
+				t.Fatalf("iter %d engine %d: trace length changed", iter, engine)
+			}
+			for a := uint32(0); a < diffMemWords; a++ {
+				if amem.Peek(a) != bmem.Peek(a) {
+					t.Fatalf("iter %d engine %d: M(%d) changed", iter, engine, a)
+				}
+			}
+		}
+	}
+}
+
+// snapshotFinal captures the observable end state of a finished run.
+type snapshotFinal struct {
+	cycles uint64
+	err    string
+	regs   [isa.NumRegs]isa.Word
+	mem    [diffMemWords]isa.Word
+}
+
+func finish(m *Machine, memory *mem.Shared) snapshotFinal {
+	cycles, err := m.Run()
+	f := snapshotFinal{cycles: cycles, err: errString(err)}
+	for i := 0; i < isa.NumRegs; i++ {
+		f.regs[i] = m.Regs().Peek(uint8(i))
+	}
+	for a := uint32(0); a < diffMemWords; a++ {
+		f.mem[a] = memory.Peek(a)
+	}
+	return f
+}
+
+// TestSnapshotRestoreDeterminism takes a mid-run checkpoint under
+// injection, lets the run finish, then rewinds and replays: the replay
+// must reproduce the first completion exactly. The snapshot is also
+// restored onto a fresh machine of the *other* engine, which must reach
+// the same end state (snapshots are engine-portable).
+func TestSnapshotRestoreDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for iter := 0; iter < 60; iter++ {
+		prog := randomXIMDProgram(r)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid program: %v", iter, err)
+		}
+		inj := inject.MustNew(randomInjectConfig(r))
+		build := func(engine EngineKind) (*Machine, *mem.Shared) {
+			memory := mem.NewShared(diffMemWords)
+			for i := uint32(0); i < diffMemWords; i++ {
+				memory.Poke(i, isa.WordFromInt(int32(i)*3-700))
+			}
+			m, err := New(prog, Config{Engine: engine, Memory: memory, MaxCycles: 400, Inject: inj})
+			if err != nil {
+				t.Fatalf("iter %d: New: %v", iter, err)
+			}
+			for i := uint8(0); i < 24; i++ {
+				m.Regs().Poke(i, isa.WordFromInt(int32(i)*7-40))
+			}
+			return m, memory
+		}
+
+		m, memory := build(EngineFast)
+		for i := 0; i < 5+r.Intn(20); i++ {
+			if running, _ := m.Step(); !running {
+				break
+			}
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			t.Fatalf("iter %d: Snapshot: %v", iter, err)
+		}
+		first := finish(m, memory)
+
+		if err := m.Restore(snap); err != nil {
+			t.Fatalf("iter %d: Restore: %v", iter, err)
+		}
+		if m.Cycle() != snap.Cycle() {
+			t.Fatalf("iter %d: restored cycle %d, snapshot %d", iter, m.Cycle(), snap.Cycle())
+		}
+		if replay := finish(m, memory); replay != first {
+			t.Fatalf("iter %d: replay diverged from first completion:\nfirst:  %d %s\nreplay: %d %s",
+				iter, first.cycles, first.err, replay.cycles, replay.err)
+		}
+
+		other, otherMem := build(EngineReference)
+		if err := other.Restore(snap); err != nil {
+			t.Fatalf("iter %d: cross-engine Restore: %v", iter, err)
+		}
+		if cross := finish(other, otherMem); cross != first {
+			t.Fatalf("iter %d: cross-engine replay diverged:\nfast: %d %s\nref:  %d %s",
+				iter, first.cycles, first.err, cross.cycles, cross.err)
+		}
+	}
+}
+
+// TestSnapshotRetryRedraw is the checkpoint-retry contract: after a
+// transient abort, restoring the pre-fault snapshot and bumping the
+// injector attempt redraws the transient stream; with a high NAK
+// probability the first run faults, and the attempt salt makes a later
+// attempt (usually the next) draw differently. Latency draws must NOT
+// move between attempts.
+func TestSnapshotRetryRedraw(t *testing.T) {
+	inj := inject.MustNew(inject.Config{
+		Seed:      31,
+		Latency:   inject.LatencyModel{Kind: inject.LatencyUniform, Min: 0, Max: 3},
+		Transient: inject.Transient{MemNAK: 0.9},
+	})
+	if lat0 := inj.LoadLatency(7, 2, 123); true {
+		inj.NextAttempt()
+		if inj.LoadLatency(7, 2, 123) != lat0 {
+			t.Fatal("latency draw moved with the attempt counter")
+		}
+	}
+	nak0 := inj.MemNAK(7, 2, 123)
+	changed := false
+	for i := 0; i < 64 && !changed; i++ {
+		inj.NextAttempt()
+		changed = inj.MemNAK(7, 2, 123) != nak0
+	}
+	if !changed {
+		t.Fatal("NAK draw never redrew across 64 attempts")
+	}
+}

@@ -24,8 +24,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"ximd/internal/inject"
 	"ximd/internal/isa"
 	"ximd/internal/mem"
 	"ximd/internal/regfile"
@@ -67,6 +69,12 @@ type Config struct {
 	// Leave it off for programs that poll memory-mapped devices, whose
 	// load values legitimately change with the cycle number.
 	DetectLivelock bool
+	// Inject, if non-nil and enabled, perturbs the datapath with seeded
+	// variable memory latency, transient faults, and hard FU failures.
+	// The injector is architectural state: both engines interrogate it at
+	// the same points and remain cycle-identical under any campaign. A
+	// nil or disabled injector is byte-identical to the idealized model.
+	Inject *inject.Injector
 	// RegisteredSS is an ablation of the Figure 8 design decision: instead
 	// of the paper's combinational SS network (sequencers see the sync
 	// signals of the parcels executing this cycle), conditions read the SS
@@ -112,6 +120,11 @@ type CycleRecord struct {
 	// Parcels[i] is the parcel FU i executed this cycle (zero value for
 	// halted FUs).
 	Parcels []isa.Parcel
+	// Stalled[i] reports whether FU i spent this cycle stalled on an
+	// in-flight load (injected memory latency); Failed[i] whether it is
+	// hard-failed. Both are nil when injection is disabled.
+	Stalled []bool
+	Failed  []bool
 }
 
 // SimError wraps an execution fault with cycle and FU context.
@@ -130,11 +143,36 @@ func (e *SimError) Error() string {
 
 func (e *SimError) Unwrap() error { return e.Err }
 
-// Sentinel errors returned (wrapped in SimError) by Step and Run.
+// Sentinel errors returned (wrapped in SimError) by Step and Run. Match
+// them through the SimError wrapper with errors.Is.
 var (
-	ErrMaxCycles = fmt.Errorf("maximum cycle count exceeded")
-	ErrLivelock  = fmt.Errorf("livelock: architectural state reached a fixed point with FUs still running")
+	ErrMaxCycles = errors.New("maximum cycle count exceeded")
+	ErrLivelock  = errors.New("livelock: architectural state reached a fixed point with FUs still running")
+	// ErrTransient marks an injected transient fault (register read-port
+	// drop, memory NAK). A transiently-faulted run is retryable: restore
+	// a checkpoint, bump the injector attempt, and re-run.
+	ErrTransient = errors.New("transient fault injected")
+	// ErrFUFailed marks an injected hard functional-unit failure. On the
+	// XIMD it is reported only after every surviving stream has finished
+	// (degraded completion); the VLIW latches it the moment the failure
+	// lands, since every instruction word needs every FU.
+	ErrFUFailed = errors.New("functional unit hard failure injected")
 )
+
+// Transient-fault and degradation error text, built by one helper per
+// fault so the fast and reference engines stay byte-identical.
+
+func errRegPortDrop() error {
+	return fmt.Errorf("register read ports dropped: %w", ErrTransient)
+}
+
+func errMemNAK(addr uint32) error {
+	return fmt.Errorf("memory access to address %d not acknowledged: %w", addr, ErrTransient)
+}
+
+func errDegraded() error {
+	return fmt.Errorf("surviving streams completed after hard FU failure: %w", ErrFUFailed)
+}
 
 // Machine is an XIMD-1 processor instance.
 type Machine struct {
@@ -155,6 +193,16 @@ type Machine struct {
 
 	tracker *partitionTracker
 	stats   Stats
+
+	// Injection state (nil / zero unless Config.Inject is enabled).
+	// stall[fu] counts the remaining stall cycles of an in-flight load;
+	// failed[fu] latches a hard FU failure; stalledNow[fu] marks FUs
+	// spending the current cycle stalled.
+	inject     *inject.Injector
+	stall      []uint32
+	failed     []bool
+	stalledNow []bool
+	nFailed    int
 
 	// Fast-engine state (nil / unused under EngineReference). The packed
 	// uint8 vectors mirror cc/ccValid/halted/SS bit i == FU i; the slice
@@ -234,6 +282,12 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		m.pc[i] = prog.Entry
 	}
 	m.stats.init(n)
+	if cfg.Inject.Enabled() {
+		m.inject = cfg.Inject
+		m.stall = make([]uint32, n)
+		m.failed = make([]bool, n)
+		m.stalledNow = make([]bool, n)
+	}
 	if cfg.Engine == EngineFast {
 		m.code = decodeProgram(prog)
 		m.uops = make([]*uop, n)
@@ -274,6 +328,10 @@ func (m *Machine) CC(fu int) bool {
 // Partition returns the SSET partition currently in effect.
 func (m *Machine) Partition() Partition { return m.tracker.partition() }
 
+// HardFailed reports whether FU fu has been retired by an injected hard
+// failure. Always false when injection is disabled.
+func (m *Machine) HardFailed(fu int) bool { return m.failed != nil && m.failed[fu] }
+
 // Stats returns a deep-copied snapshot of the accumulated execution
 // statistics. The snapshot shares no state with the machine: it stays
 // valid (and immutable) across further Step calls and may be handed to
@@ -307,6 +365,9 @@ func (m *Machine) Step() (running bool, err error) {
 	if m.cycle >= m.config.MaxCycles {
 		return false, m.fail(&SimError{Cycle: m.cycle, FU: -1, Err: ErrMaxCycles})
 	}
+	if m.inject != nil {
+		m.markFailures()
+	}
 
 	m.regs.BeginCycle()
 	m.memory.BeginCycle(m.cycle)
@@ -321,6 +382,21 @@ func (m *Machine) Step() (running bool, err error) {
 			m.parcels[fu] = isa.Parcel{}
 			continue
 		}
+		if m.inject != nil {
+			if m.failed[fu] {
+				m.stalledNow[fu] = false
+				m.ss[fu] = isa.Busy // a hard-failed FU's SS sticks at BUSY
+				m.parcels[fu] = isa.Parcel{}
+				continue
+			}
+			if m.stall[fu] > 0 {
+				m.stalledNow[fu] = true
+				m.ss[fu] = isa.Busy // an in-flight load holds its FU at BUSY
+				m.parcels[fu] = isa.Parcel{}
+				continue
+			}
+			m.stalledNow[fu] = false
+		}
 		p := m.prog.Parcel(m.pc[fu], fu)
 		if p.Trap {
 			return false, m.fail(&SimError{Cycle: m.cycle, FU: fu,
@@ -331,9 +407,9 @@ func (m *Machine) Step() (running bool, err error) {
 	}
 
 	// Phase 2: data path. Operand reads observe start-of-cycle state;
-	// writes are staged.
+	// writes are staged. Stalled and failed FUs execute nothing.
 	for fu := 0; fu < m.numFU; fu++ {
-		if m.halted[fu] {
+		if m.halted[fu] || (m.inject != nil && (m.failed[fu] || m.stalledNow[fu])) {
 			continue
 		}
 		w, err := m.execData(fu, m.parcels[fu].Data)
@@ -354,6 +430,20 @@ func (m *Machine) Step() (running bool, err error) {
 		if m.halted[fu] {
 			m.trans[fu] = transition{halted: true}
 			continue
+		}
+		if m.inject != nil {
+			if m.failed[fu] {
+				// A dead FU's control state determines nothing: it leaves
+				// its SSET and freezes as a singleton, like a halted FU.
+				m.trans[fu] = transition{halted: true}
+				continue
+			}
+			if m.stalledNow[fu] {
+				m.trans[fu] = transition{pc: m.pc[fu], next: m.pc[fu], tag: stallTag(m.pc[fu])}
+				m.nextPC[fu] = m.pc[fu]
+				m.willHalt[fu] = false
+				continue
+			}
 		}
 		ctrl := m.parcels[fu].Ctrl
 		var next isa.Addr
@@ -392,9 +482,31 @@ func (m *Machine) Step() (running bool, err error) {
 			Partition: m.tracker.partition(),
 			Parcels:   m.parcels,
 		}
+		if m.inject != nil {
+			m.record.Stalled = m.stalledNow
+			m.record.Failed = m.failed
+		}
 		m.config.Tracer.Cycle(&m.record)
 	}
-	m.stats.observeCycle(m.tracker.numSSETs(), m.parcels, m.halted)
+	if m.inject == nil {
+		m.stats.observeCycle(m.tracker.numSSETs(), m.parcels, m.halted)
+	} else {
+		m.stats.observeStreams(m.tracker.numSSETs())
+		for fu := 0; fu < m.numFU; fu++ {
+			switch {
+			case m.halted[fu]:
+				m.stats.HaltedCycles[fu]++
+			case m.failed[fu]:
+				m.stats.FailedCycles[fu]++
+			case m.stalledNow[fu]:
+				m.stats.StallCycles[fu]++
+			case m.parcels[fu].Data.Op == isa.OpNop:
+				m.stats.Nops[fu]++
+			default:
+				m.stats.DataOps[fu]++
+			}
+		}
+	}
 
 	// Phase 5: commit. Writes become visible; PCs advance; the partition
 	// tracker digests this cycle's transitions.
@@ -406,15 +518,32 @@ func (m *Machine) Step() (running bool, err error) {
 	}
 	wrote = wrote || len(m.ccWrites) > 0
 	allHalted := true
+	allSettled := true // every FU halted or hard-failed
 	for fu := 0; fu < m.numFU; fu++ {
 		if m.halted[fu] {
 			continue
+		}
+		if m.inject != nil {
+			if m.failed[fu] {
+				allHalted = false
+				continue
+			}
+			if m.stalledNow[fu] {
+				m.stall[fu]--
+				// A draining stall counter is progress: suppress the
+				// livelock fingerprint while any load is in flight.
+				wrote = true
+				allHalted = false
+				allSettled = false
+				continue
+			}
 		}
 		if m.willHalt[fu] {
 			m.halted[fu] = true
 		} else {
 			m.pc[fu] = m.nextPC[fu]
 			allHalted = false
+			allSettled = false
 		}
 	}
 	m.tracker.update(m.trans)
@@ -423,6 +552,12 @@ func (m *Machine) Step() (running bool, err error) {
 	if allHalted {
 		m.done = true
 		return false, nil
+	}
+	if m.inject != nil && allSettled && m.nFailed > 0 {
+		// Degraded completion: every surviving stream has halted; only
+		// hard-failed FUs remain. Report the failure after the survivors'
+		// work is architecturally committed.
+		return false, m.fail(&SimError{Cycle: m.cycle - 1, FU: m.firstFailedFU(), Err: errDegraded()})
 	}
 
 	if m.config.DetectLivelock {
@@ -446,10 +581,44 @@ func (m *Machine) Step() (running bool, err error) {
 	return true, nil
 }
 
+// markFailures latches newly-due hard FU failures at the top of a cycle.
+func (m *Machine) markFailures() {
+	for fu := 0; fu < m.numFU; fu++ {
+		if !m.failed[fu] && !m.haltedFU(fu) && m.inject.FUFailed(fu, m.cycle) {
+			m.failed[fu] = true
+			m.nFailed++
+		}
+	}
+}
+
+// haltedFU reads FU fu's halt state on either engine.
+func (m *Machine) haltedFU(fu int) bool {
+	if m.code != nil {
+		return m.haltedBits&(1<<fu) != 0
+	}
+	return m.halted[fu]
+}
+
+// firstFailedFU returns the lowest-numbered hard-failed FU (the one a
+// degraded-completion error is attributed to), or -1.
+func (m *Machine) firstFailedFU() int {
+	for fu, f := range m.failed {
+		if f {
+			return fu
+		}
+	}
+	return -1
+}
+
 // execData executes one data operation for fu, staging all writes.
 // It reports whether any write was staged.
 func (m *Machine) execData(fu int, d isa.DataOp) (wrote bool, err error) {
 	cl := isa.ClassOf(d.Op)
+	if m.inject != nil &&
+		(cl.ReadsA() && d.A.Kind != isa.Imm || cl.ReadsB() && d.B.Kind != isa.Imm) &&
+		m.inject.DropRegPort(m.cycle, fu) {
+		return false, &SimError{Cycle: m.cycle, FU: fu, Err: errRegPortDrop()}
+	}
 	var a, b isa.Word
 	if cl.ReadsA() {
 		if a, err = m.readOperand(fu, d.A); err != nil {
@@ -467,13 +636,27 @@ func (m *Machine) execData(fu int, d isa.DataOp) (wrote bool, err error) {
 		return false, nil
 	case isa.OpLoad:
 		m.stats.Loads++
-		v, err := m.memory.Load(fu, uint32(a.Int()+b.Int()))
+		addr := uint32(a.Int() + b.Int())
+		if m.inject != nil && m.inject.MemNAK(m.cycle, fu, addr) {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: errMemNAK(addr)}
+		}
+		v, err := m.memory.Load(fu, addr)
 		if err != nil {
 			return false, &SimError{Cycle: m.cycle, FU: fu, Err: err}
+		}
+		if m.inject != nil {
+			if mask := m.inject.FlipMask(m.cycle, fu, addr); mask != 0 {
+				v ^= isa.Word(mask)
+				m.stats.BitFlips++
+			}
+			m.stall[fu] = m.inject.LoadLatency(m.cycle, fu, addr)
 		}
 		return true, m.writeReg(fu, d.Dest, v)
 	case isa.OpStore:
 		m.stats.Stores++
+		if m.inject != nil && m.inject.MemNAK(m.cycle, fu, uint32(b.Int())) {
+			return false, &SimError{Cycle: m.cycle, FU: fu, Err: errMemNAK(uint32(b.Int()))}
+		}
 		if err := m.memory.Store(fu, uint32(b.Int()), a); err != nil {
 			if _, isConflict := err.(*mem.ConflictError); isConflict && m.config.TolerateConflicts {
 				m.stats.MemConflicts++

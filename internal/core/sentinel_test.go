@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"ximd/internal/inject"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// Contract tests for the error taxonomy: every sentinel must match with
+// errors.Is through the SimError wrapper Run returns, and errors.As
+// must recover the *SimError carrying cycle and FU attribution.
+
+// sentinelRun builds a single/multi-FU machine, runs it, and returns
+// the error.
+func sentinelRun(t *testing.T, prog *isa.Program, cfg Config) error {
+	t.Helper()
+	if cfg.Memory == nil {
+		cfg.Memory = mem.NewShared(256)
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 100
+	}
+	m, err := New(prog, cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, runErr := m.Run()
+	return runErr
+}
+
+func spinProgram() *isa.Program {
+	p := &isa.Program{NumFU: 1, Instrs: make([]isa.Instruction, 1)}
+	p.Instrs[0][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Goto(0)}
+	return p
+}
+
+func TestSentinelContracts(t *testing.T) {
+	cases := []struct {
+		name     string
+		sentinel error
+		err      error
+		wantFU   int
+	}{
+		{
+			name:     "ErrMaxCycles",
+			sentinel: ErrMaxCycles,
+			err:      sentinelRun(t, spinProgram(), Config{MaxCycles: 7}),
+			wantFU:   -1,
+		},
+		{
+			name:     "ErrLivelock",
+			sentinel: ErrLivelock,
+			err:      sentinelRun(t, spinProgram(), Config{DetectLivelock: true}),
+			wantFU:   -1,
+		},
+		{
+			name:     "ErrTransient",
+			sentinel: ErrTransient,
+			err: func() error {
+				p := &isa.Program{NumFU: 1, Instrs: make([]isa.Instruction, 1)}
+				p.Instrs[0][0] = isa.Parcel{
+					Data: isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(1), Dest: 2},
+					Ctrl: isa.Halt(),
+				}
+				inj := inject.MustNew(inject.Config{Transient: inject.Transient{RegPortDrop: 1}})
+				return sentinelRun(t, p, Config{Inject: inj})
+			}(),
+			wantFU: 0,
+		},
+		{
+			name:     "ErrFUFailed",
+			sentinel: ErrFUFailed,
+			err: func() error {
+				p := &isa.Program{NumFU: 2, Instrs: make([]isa.Instruction, 1)}
+				p.Instrs[0][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Goto(0)}
+				p.Instrs[0][1] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Halt()}
+				inj := inject.MustNew(inject.Config{FUFailures: []inject.FUFailure{{FU: 0, Cycle: 0}}})
+				return sentinelRun(t, p, Config{Inject: inj})
+			}(),
+			wantFU: 0,
+		},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Fatalf("%s: run succeeded, expected a fault", tc.name)
+		}
+		if !errors.Is(tc.err, tc.sentinel) {
+			t.Errorf("%s: errors.Is failed through wrapper: %v", tc.name, tc.err)
+		}
+		var se *SimError
+		if !errors.As(tc.err, &se) {
+			t.Errorf("%s: errors.As(*SimError) failed: %v", tc.name, tc.err)
+			continue
+		}
+		if se.FU != tc.wantFU {
+			t.Errorf("%s: SimError.FU = %d, want %d (%v)", tc.name, se.FU, tc.wantFU, tc.err)
+		}
+		// Each sentinel must match only itself.
+		for _, other := range cases {
+			if other.sentinel != tc.sentinel && errors.Is(tc.err, other.sentinel) {
+				t.Errorf("%s: also matches %s", tc.name, other.name)
+			}
+		}
+	}
+}
+
+// TestDegradedCompletion pins the XIMD graceful-degradation contract: a
+// hard FU failure lets the surviving streams run to completion — their
+// memory results land — and only then does Run report the failure.
+func TestDegradedCompletion(t *testing.T) {
+	p := &isa.Program{NumFU: 2, Instrs: make([]isa.Instruction, 3)}
+	// FU0 dies at cycle 0; its program would spin forever.
+	p.Instrs[0][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Goto(0)}
+	p.Instrs[1][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Goto(1)}
+	p.Instrs[2][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Goto(2)}
+	// FU1 computes and stores a result, then halts.
+	p.Instrs[0][1] = isa.Parcel{
+		Data: isa.DataOp{Op: isa.OpIAdd, A: isa.I(40), B: isa.I(2), Dest: 10},
+		Ctrl: isa.Goto(1),
+	}
+	p.Instrs[1][1] = isa.Parcel{
+		Data: isa.DataOp{Op: isa.OpStore, A: isa.R(10), B: isa.I(50)},
+		Ctrl: isa.Goto(2),
+	}
+	p.Instrs[2][1] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Halt()}
+
+	inj := inject.MustNew(inject.Config{FUFailures: []inject.FUFailure{{FU: 0, Cycle: 0}}})
+	for _, engine := range []EngineKind{EngineFast, EngineReference} {
+		memory := mem.NewShared(256)
+		m, err := New(p, Config{Engine: engine, Memory: memory, MaxCycles: 100, Inject: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, runErr := m.Run()
+		if !errors.Is(runErr, ErrFUFailed) {
+			t.Fatalf("engine %d: err = %v, want ErrFUFailed", engine, runErr)
+		}
+		if got := memory.Peek(50); got.Int() != 42 {
+			t.Fatalf("engine %d: M(50) = %d, want 42 (surviving stream's result)", engine, got.Int())
+		}
+		if !m.HardFailed(0) || m.HardFailed(1) {
+			t.Fatalf("engine %d: HardFailed = %v/%v, want true/false",
+				engine, m.HardFailed(0), m.HardFailed(1))
+		}
+		if st := m.Stats(); st.FailedCycles[0] == 0 {
+			t.Fatalf("engine %d: no failed cycles counted for FU0", engine)
+		}
+	}
+}

@@ -31,6 +31,14 @@ type Stats struct {
 	// conflicts (only populated with Config.TolerateConflicts).
 	RegConflicts uint64
 	MemConflicts uint64
+	// StallCycles[fu] counts cycles FU fu spent stalled on an in-flight
+	// load under injected memory latency; FailedCycles[fu] counts cycles
+	// it spent hard-failed. Both stay zero with injection disabled.
+	StallCycles  []uint64
+	FailedCycles []uint64
+	// BitFlips counts loads whose value arrived with an injected bit
+	// inverted.
+	BitFlips uint64
 	// StreamHistogram[k] is the number of cycles executed with exactly k
 	// concurrent instruction streams (SSETs), k in 1..NumFU.
 	StreamHistogram []uint64
@@ -52,6 +60,8 @@ func (s *Stats) init(numFU int) {
 	s.DataOps = make([]uint64, numFU)
 	s.Nops = make([]uint64, numFU)
 	s.HaltedCycles = make([]uint64, numFU)
+	s.StallCycles = make([]uint64, numFU)
+	s.FailedCycles = make([]uint64, numFU)
 	s.StreamHistogram = make([]uint64, numFU+1)
 }
 
@@ -63,6 +73,8 @@ func (s Stats) Clone() Stats {
 	c.DataOps = append([]uint64(nil), s.DataOps...)
 	c.Nops = append([]uint64(nil), s.Nops...)
 	c.HaltedCycles = append([]uint64(nil), s.HaltedCycles...)
+	c.StallCycles = append([]uint64(nil), s.StallCycles...)
+	c.FailedCycles = append([]uint64(nil), s.FailedCycles...)
 	c.StreamHistogram = append([]uint64(nil), s.StreamHistogram...)
 	return c
 }

@@ -1,0 +1,353 @@
+// Package inject is the deterministic fault and variation injector of
+// the XIMD and VLIW simulators. It models the run-time dynamics the
+// paper's robustness argument is about (Section 1.3: "execution times
+// which cannot be predicted at compile-time") as seeded, perfectly
+// reproducible perturbations of the idealized Section 2.3 datapath:
+//
+//   - variable memory latency: a load takes 1+k cycles instead of 1,
+//     with k drawn from a pluggable latency model (fixed, uniform in a
+//     range, or per-bank hot/cold). On the XIMD only the issuing
+//     functional unit's stream stalls; on the VLIW the single sequencer
+//     stalls the whole instruction word — the measurable form of the
+//     paper's latency-tolerance claim.
+//   - transient faults: register-file read-port drops and memory NAKs
+//     abort the run with a retryable error; bit flips silently corrupt
+//     a loaded value (caught by workload checkers).
+//   - hard functional-unit failure: from a configured cycle on, an FU
+//     executes nothing and drives its synchronization signal stuck at
+//     BUSY. Independent XIMD streams keep running; the VLIW machine,
+//     whose every instruction word needs every FU, latches a terminal
+//     error immediately.
+//
+// Determinism is load-bearing: every decision is a pure function of
+// (seed, cycle, FU, address), never of host state or call order, so the
+// fast and reference engines — which interrogate the injector at the
+// same architectural points — observe identical faults, and a run can
+// be replayed exactly from its seed. Transient decisions additionally
+// mix in a retry-attempt counter (NextAttempt), which is deliberately
+// NOT part of the machine's architectural state: restoring a machine
+// snapshot and bumping the attempt replays the same program under a
+// fresh transient-fault draw, which is what makes checkpoint-retry
+// converge instead of deterministically re-faulting.
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// NumFU mirrors isa.NumFU; the package stays dependency-free so that
+// every simulator layer can import it.
+const NumFU = 8
+
+// LatencyKind selects the memory latency model.
+type LatencyKind uint8
+
+const (
+	// LatencyNone is the idealized one-cycle memory (no injection).
+	LatencyNone LatencyKind = iota
+	// LatencyFixed adds a constant number of extra cycles to every load.
+	LatencyFixed
+	// LatencyUniform draws the extra cycles per load uniformly from
+	// [Min, Max], keyed by (seed, cycle, FU, address).
+	LatencyUniform
+	// LatencyBanked divides memory into 1<<BankBits interleaved banks;
+	// each bank is seeded hot or cold and adds Hot or Cold extra cycles.
+	LatencyBanked
+)
+
+// LatencyModel parameterizes load latency. The zero value is the
+// idealized one-cycle memory.
+type LatencyModel struct {
+	Kind LatencyKind
+	// Fixed is the extra cycles per load under LatencyFixed.
+	Fixed uint32
+	// Min and Max bound the extra cycles under LatencyUniform.
+	Min, Max uint32
+	// BankBits sets the bank count (1<<BankBits) under LatencyBanked;
+	// banks are interleaved on the low address bits.
+	BankBits uint8
+	// Hot and Cold are the extra cycles of hot and cold banks.
+	Hot, Cold uint32
+}
+
+// Transient parameterizes the transient-fault surfaces as per-event
+// probabilities in [0, 1]. Each decision is drawn deterministically per
+// (seed, attempt, cycle, FU[, address]).
+type Transient struct {
+	// RegPortDrop is the probability that a functional unit's register
+	// read ports drop out for one cycle; an operation that needed a
+	// register operand that cycle faults with ErrTransient.
+	RegPortDrop float64
+	// MemNAK is the probability that a load or store is NAKed by the
+	// memory system, faulting with ErrTransient.
+	MemNAK float64
+	// BitFlip is the probability that a loaded word arrives with one
+	// seeded bit inverted. The run continues; corruption is observable.
+	BitFlip float64
+}
+
+// FUFailure schedules a hard failure: from Cycle on, functional unit FU
+// executes nothing and drives SS stuck at BUSY.
+type FUFailure struct {
+	FU    int
+	Cycle uint64
+}
+
+// Config describes one injection campaign. The zero value injects
+// nothing and is byte-for-byte equivalent to running without an
+// injector at all.
+type Config struct {
+	// Seed keys every deterministic draw.
+	Seed int64
+	// Latency is the load-latency model.
+	Latency LatencyModel
+	// Transient holds the transient-fault probabilities.
+	Transient Transient
+	// FUFailures schedules hard functional-unit failures.
+	FUFailures []FUFailure
+}
+
+// Enabled reports whether the configuration injects anything.
+func (c Config) Enabled() bool {
+	return c.Latency.Kind != LatencyNone ||
+		c.Transient.RegPortDrop > 0 || c.Transient.MemNAK > 0 || c.Transient.BitFlip > 0 ||
+		len(c.FUFailures) > 0
+}
+
+// Validate checks the configuration's structural validity.
+func (c Config) Validate() error {
+	switch c.Latency.Kind {
+	case LatencyNone, LatencyFixed:
+	case LatencyUniform:
+		if c.Latency.Min > c.Latency.Max {
+			return fmt.Errorf("inject: uniform latency Min %d > Max %d", c.Latency.Min, c.Latency.Max)
+		}
+	case LatencyBanked:
+		if c.Latency.BankBits > 16 {
+			return fmt.Errorf("inject: BankBits %d > 16", c.Latency.BankBits)
+		}
+	default:
+		return fmt.Errorf("inject: unknown latency kind %d", c.Latency.Kind)
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"RegPortDrop", c.Transient.RegPortDrop},
+		{"MemNAK", c.Transient.MemNAK},
+		{"BitFlip", c.Transient.BitFlip},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("inject: %s probability %g outside [0,1]", p.name, p.v)
+		}
+	}
+	for _, f := range c.FUFailures {
+		if f.FU < 0 || f.FU >= NumFU {
+			return fmt.Errorf("inject: FU failure on FU%d outside 0..%d", f.FU, NumFU-1)
+		}
+	}
+	return nil
+}
+
+// Domain salts keep the independent decision streams uncorrelated even
+// when they share (cycle, FU, address) coordinates.
+const (
+	saltLatency uint64 = 0xA24BAED4963EE407
+	saltDrop    uint64 = 0x9FB21C651E98DF25
+	saltNAK     uint64 = 0xD6E8FEB86659FD93
+	saltFlip    uint64 = 0xC2B2AE3D27D4EB4F
+	saltBank    uint64 = 0x165667B19E3779F9
+)
+
+// neverFails marks a functional unit with no scheduled hard failure.
+const neverFails = ^uint64(0)
+
+// Injector makes the per-cycle injection decisions for one machine.
+// All decision methods are pure functions of the configuration, the
+// attempt counter, and their arguments, so the same injector value can
+// drive the fast and reference engines to identical outcomes. An
+// Injector must not be shared between concurrently running machines
+// only because of NextAttempt; the decision methods themselves are
+// read-only and safe for concurrent use.
+type Injector struct {
+	cfg     Config
+	attempt uint64
+	failAt  [NumFU]uint64
+}
+
+// New builds an injector for the given campaign. The configuration must
+// validate; a zero configuration yields a disabled injector.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{cfg: cfg}
+	for i := range in.failAt {
+		in.failAt[i] = neverFails
+	}
+	for _, f := range cfg.FUFailures {
+		if f.Cycle < in.failAt[f.FU] {
+			in.failAt[f.FU] = f.Cycle
+		}
+	}
+	return in, nil
+}
+
+// MustNew is New for static configurations; it panics on invalid input.
+func MustNew(cfg Config) *Injector {
+	in, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Config returns the injector's campaign configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Enabled reports whether the injector injects anything. Machines treat
+// a nil or disabled injector as the idealized datapath.
+func (in *Injector) Enabled() bool { return in != nil && in.cfg.Enabled() }
+
+// Attempt returns the current retry attempt (0 for the first run).
+func (in *Injector) Attempt() uint64 { return in.attempt }
+
+// NextAttempt advances the retry salt. The sweep retry policy calls it
+// after restoring a machine checkpoint so the replay draws fresh
+// transient faults; latency and hard failures are attempt-independent
+// (they model the environment, not chance events).
+func (in *Injector) NextAttempt() { in.attempt++ }
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hash keys one decision on (seed, salt, cycle, fu, addr).
+func (in *Injector) hash(salt, cycle uint64, fu int, addr uint32) uint64 {
+	h := mix64(uint64(in.cfg.Seed) ^ salt)
+	h = mix64(h ^ cycle)
+	return mix64(h ^ uint64(fu)<<32 ^ uint64(addr))
+}
+
+// transientHash additionally mixes the retry attempt.
+func (in *Injector) transientHash(salt, cycle uint64, fu int, addr uint32) uint64 {
+	return mix64(in.hash(salt, cycle, fu, addr) ^ mix64(in.attempt^salt))
+}
+
+// chance converts a hash draw into an event with probability p.
+func chance(h uint64, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return float64(h>>11)*(1.0/(1<<53)) < p
+}
+
+// LoadLatency returns the extra stall cycles of a load issued by fu at
+// the given cycle and address; 0 is the idealized single-cycle load.
+func (in *Injector) LoadLatency(cycle uint64, fu int, addr uint32) uint32 {
+	m := &in.cfg.Latency
+	switch m.Kind {
+	case LatencyFixed:
+		return m.Fixed
+	case LatencyUniform:
+		span := uint64(m.Max-m.Min) + 1
+		return m.Min + uint32(in.hash(saltLatency, cycle, fu, addr)%span)
+	case LatencyBanked:
+		bank := addr & (1<<m.BankBits - 1)
+		if mix64(uint64(in.cfg.Seed)^saltBank^uint64(bank))&1 != 0 {
+			return m.Hot
+		}
+		return m.Cold
+	default:
+		return 0
+	}
+}
+
+// BankHot reports whether a banked-latency address falls in a hot bank
+// (for reporting; matches LoadLatency's draw).
+func (in *Injector) BankHot(addr uint32) bool {
+	bank := addr & (1<<in.cfg.Latency.BankBits - 1)
+	return mix64(uint64(in.cfg.Seed)^saltBank^uint64(bank))&1 != 0
+}
+
+// DropRegPort reports whether fu's register read ports drop this cycle.
+func (in *Injector) DropRegPort(cycle uint64, fu int) bool {
+	return chance(in.transientHash(saltDrop, cycle, fu, 0), in.cfg.Transient.RegPortDrop)
+}
+
+// MemNAK reports whether the memory system NAKs fu's access to addr.
+func (in *Injector) MemNAK(cycle uint64, fu int, addr uint32) bool {
+	return chance(in.transientHash(saltNAK, cycle, fu, addr), in.cfg.Transient.MemNAK)
+}
+
+// FlipMask returns a one-bit corruption mask for a load's value, or 0
+// when the value arrives intact.
+func (in *Injector) FlipMask(cycle uint64, fu int, addr uint32) uint32 {
+	h := in.transientHash(saltFlip, cycle, fu, addr)
+	if !chance(h, in.cfg.Transient.BitFlip) {
+		return 0
+	}
+	return 1 << (h >> 58 & 31)
+}
+
+// FUFailed reports whether fu is hard-failed at the given cycle.
+func (in *Injector) FUFailed(fu int, cycle uint64) bool {
+	at := in.failAt[fu]
+	return at != neverFails && cycle >= at
+}
+
+// FirstFailure returns the earliest scheduled hard failure at or before
+// cycle, or ok == false when no FU has failed yet. Ties resolve to the
+// lowest FU number. The VLIW machine uses it to latch its terminal
+// error the moment any FU it depends on dies.
+func (in *Injector) FirstFailure(cycle uint64) (fu int, ok bool) {
+	at := neverFails
+	fu = -1
+	for i, c := range in.failAt {
+		if c <= cycle && (c < at || fu < 0) {
+			at, fu = c, i
+		}
+	}
+	return fu, fu >= 0
+}
+
+// String summarizes the campaign for experiment headers.
+func (in *Injector) String() string {
+	var parts []string
+	switch in.cfg.Latency.Kind {
+	case LatencyFixed:
+		parts = append(parts, fmt.Sprintf("lat=fixed:%d", in.cfg.Latency.Fixed))
+	case LatencyUniform:
+		parts = append(parts, fmt.Sprintf("lat=uniform:%d:%d", in.cfg.Latency.Min, in.cfg.Latency.Max))
+	case LatencyBanked:
+		parts = append(parts, fmt.Sprintf("lat=banked:%d:%d:%d",
+			in.cfg.Latency.BankBits, in.cfg.Latency.Hot, in.cfg.Latency.Cold))
+	}
+	if p := in.cfg.Transient.RegPortDrop; p > 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	if p := in.cfg.Transient.MemNAK; p > 0 {
+		parts = append(parts, "nak="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	if p := in.cfg.Transient.BitFlip; p > 0 {
+		parts = append(parts, "flip="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	for _, f := range in.cfg.FUFailures {
+		parts = append(parts, fmt.Sprintf("fufail=%d@%d", f.FU, f.Cycle))
+	}
+	if len(parts) == 0 {
+		return "disabled"
+	}
+	return fmt.Sprintf("seed=%d %s", in.cfg.Seed, strings.Join(parts, ","))
+}

@@ -1,0 +1,292 @@
+package inject
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDisabled: the zero config injects nothing, and a nil injector is
+// safely reported as disabled.
+func TestDisabled(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	in := MustNew(Config{Seed: 42})
+	if in.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	if got := in.LoadLatency(10, 3, 0x80); got != 0 {
+		t.Fatalf("disabled LoadLatency = %d, want 0", got)
+	}
+	if in.DropRegPort(10, 3) || in.MemNAK(10, 3, 0x80) || in.FlipMask(10, 3, 0x80) != 0 {
+		t.Fatal("zero config fired a transient")
+	}
+	if in.FUFailed(0, math.MaxUint64) {
+		t.Fatal("zero config reports FU failure")
+	}
+	if in.String() != "disabled" {
+		t.Fatalf("String() = %q, want disabled", in.String())
+	}
+}
+
+// TestDeterminism: two injectors with the same config answer every
+// query identically; changing the seed changes the answers.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{
+		Seed:      1991,
+		Latency:   LatencyModel{Kind: LatencyUniform, Min: 0, Max: 7},
+		Transient: Transient{RegPortDrop: 0.05, MemNAK: 0.05, BitFlip: 0.05},
+	}
+	a, b := MustNew(cfg), MustNew(cfg)
+	other := MustNew(Config{Seed: 1992, Latency: cfg.Latency, Transient: cfg.Transient})
+	diverged := false
+	for cycle := uint64(0); cycle < 512; cycle++ {
+		for fu := 0; fu < NumFU; fu += 3 {
+			addr := uint32(cycle*7+uint64(fu)) & 0x3FF
+			if a.LoadLatency(cycle, fu, addr) != b.LoadLatency(cycle, fu, addr) ||
+				a.DropRegPort(cycle, fu) != b.DropRegPort(cycle, fu) ||
+				a.MemNAK(cycle, fu, addr) != b.MemNAK(cycle, fu, addr) ||
+				a.FlipMask(cycle, fu, addr) != b.FlipMask(cycle, fu, addr) {
+				t.Fatalf("same-config injectors disagree at cycle %d fu %d", cycle, fu)
+			}
+			if a.LoadLatency(cycle, fu, addr) != other.LoadLatency(cycle, fu, addr) ||
+				a.DropRegPort(cycle, fu) != other.DropRegPort(cycle, fu) {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged")
+	}
+}
+
+// TestAttemptSalt: bumping the attempt redraws transients but leaves
+// latency (the modeled environment) untouched.
+func TestAttemptSalt(t *testing.T) {
+	cfg := Config{
+		Seed:      7,
+		Latency:   LatencyModel{Kind: LatencyUniform, Min: 1, Max: 9},
+		Transient: Transient{RegPortDrop: 0.3, MemNAK: 0.3, BitFlip: 0.3},
+	}
+	in := MustNew(cfg)
+	type draw struct {
+		lat       uint32
+		drop, nak bool
+		flip      uint32
+	}
+	sample := func() []draw {
+		var out []draw
+		for cycle := uint64(0); cycle < 256; cycle++ {
+			addr := uint32(cycle) & 0xFF
+			out = append(out, draw{
+				lat:  in.LoadLatency(cycle, 2, addr),
+				drop: in.DropRegPort(cycle, 2),
+				nak:  in.MemNAK(cycle, 2, addr),
+				flip: in.FlipMask(cycle, 2, addr),
+			})
+		}
+		return out
+	}
+	first := sample()
+	in.NextAttempt()
+	if in.Attempt() != 1 {
+		t.Fatalf("Attempt() = %d after one NextAttempt", in.Attempt())
+	}
+	second := sample()
+	transientChanged := false
+	for i := range first {
+		if first[i].lat != second[i].lat {
+			t.Fatalf("latency changed across attempts at sample %d", i)
+		}
+		if first[i].drop != second[i].drop || first[i].nak != second[i].nak ||
+			first[i].flip != second[i].flip {
+			transientChanged = true
+		}
+	}
+	if !transientChanged {
+		t.Fatal("transients identical across attempts: retry would re-fault forever")
+	}
+}
+
+// TestLatencyModels: each model honours its bounds; banked latency is a
+// stable function of the address bank.
+func TestLatencyModels(t *testing.T) {
+	fixed := MustNew(Config{Seed: 1, Latency: LatencyModel{Kind: LatencyFixed, Fixed: 5}})
+	if got := fixed.LoadLatency(99, 4, 0x123); got != 5 {
+		t.Fatalf("fixed latency = %d, want 5", got)
+	}
+
+	uni := MustNew(Config{Seed: 1, Latency: LatencyModel{Kind: LatencyUniform, Min: 2, Max: 6}})
+	seen := map[uint32]bool{}
+	for cycle := uint64(0); cycle < 4096; cycle++ {
+		k := uni.LoadLatency(cycle, int(cycle)%NumFU, uint32(cycle)&0xFFF)
+		if k < 2 || k > 6 {
+			t.Fatalf("uniform latency %d outside [2,6]", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("uniform latency hit %d of 5 values", len(seen))
+	}
+
+	banked := MustNew(Config{Seed: 3, Latency: LatencyModel{
+		Kind: LatencyBanked, BankBits: 2, Hot: 8, Cold: 1}})
+	hot, cold := 0, 0
+	for bank := uint32(0); bank < 4; bank++ {
+		want := banked.LoadLatency(0, 0, bank)
+		if want != 8 && want != 1 {
+			t.Fatalf("banked latency %d not Hot or Cold", want)
+		}
+		if want == 8 {
+			hot++
+		} else {
+			cold++
+		}
+		if banked.BankHot(bank) != (want == 8) {
+			t.Fatalf("BankHot(%d) disagrees with LoadLatency", bank)
+		}
+		// Every address in the bank, any cycle/FU, draws the same value.
+		for off := uint32(0); off < 64; off += 4 {
+			if got := banked.LoadLatency(uint64(off), int(off)%NumFU, bank|off<<2); got != want {
+				t.Fatalf("bank %d latency unstable: %d then %d", bank, want, got)
+			}
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Skipf("seed 3 drew all banks one temperature (hot=%d cold=%d)", hot, cold)
+	}
+}
+
+// TestTransientRates: empirical event rates land near the configured
+// probabilities and flips are single-bit.
+func TestTransientRates(t *testing.T) {
+	const p = 0.1
+	in := MustNew(Config{Seed: 55, Transient: Transient{RegPortDrop: p, MemNAK: p, BitFlip: p}})
+	const trials = 20000
+	drops, naks, flips := 0, 0, 0
+	for cycle := uint64(0); cycle < trials; cycle++ {
+		fu := int(cycle) % NumFU
+		addr := uint32(cycle) & 0x3FF
+		if in.DropRegPort(cycle, fu) {
+			drops++
+		}
+		if in.MemNAK(cycle, fu, addr) {
+			naks++
+		}
+		if mask := in.FlipMask(cycle, fu, addr); mask != 0 {
+			flips++
+			if mask&(mask-1) != 0 {
+				t.Fatalf("flip mask %#x has more than one bit", mask)
+			}
+		}
+	}
+	for _, c := range []struct {
+		name string
+		n    int
+	}{{"drop", drops}, {"nak", naks}, {"flip", flips}} {
+		rate := float64(c.n) / trials
+		if rate < p*0.8 || rate > p*1.2 {
+			t.Errorf("%s rate %.4f far from %.2f", c.name, rate, p)
+		}
+	}
+	if in.DropRegPort(3, 1) != in.DropRegPort(3, 1) {
+		t.Fatal("DropRegPort not idempotent")
+	}
+}
+
+// TestFUFailure: failures latch at their cycle; FirstFailure picks the
+// earliest (lowest FU on ties).
+func TestFUFailure(t *testing.T) {
+	in := MustNew(Config{Seed: 9, FUFailures: []FUFailure{{FU: 5, Cycle: 100}, {FU: 2, Cycle: 40}}})
+	if !in.Enabled() {
+		t.Fatal("FU-failure config reports disabled")
+	}
+	if in.FUFailed(5, 99) || !in.FUFailed(5, 100) || !in.FUFailed(5, 1e6) {
+		t.Fatal("FU5 failure edge wrong")
+	}
+	if in.FUFailed(0, 1e6) {
+		t.Fatal("unconfigured FU failed")
+	}
+	if _, ok := in.FirstFailure(39); ok {
+		t.Fatal("FirstFailure before any failure")
+	}
+	if fu, ok := in.FirstFailure(40); !ok || fu != 2 {
+		t.Fatalf("FirstFailure(40) = %d,%v want 2,true", fu, ok)
+	}
+	if fu, ok := in.FirstFailure(500); !ok || fu != 2 {
+		t.Fatalf("FirstFailure(500) = %d,%v want 2 (earliest)", fu, ok)
+	}
+}
+
+// TestValidate rejects malformed configurations.
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Latency: LatencyModel{Kind: LatencyUniform, Min: 5, Max: 2}},
+		{Latency: LatencyModel{Kind: LatencyBanked, BankBits: 20}},
+		{Latency: LatencyModel{Kind: 99}},
+		{Transient: Transient{RegPortDrop: 1.5}},
+		{Transient: Transient{MemNAK: -0.1}},
+		{FUFailures: []FUFailure{{FU: 8, Cycle: 1}}},
+		{FUFailures: []FUFailure{{FU: -1, Cycle: 1}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d validated but should not", i)
+		}
+	}
+}
+
+// TestParseSpec round-trips the CLI grammar.
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("lat=uniform:0:8, drop=0.01,nak=0.02,flip=0.001,fufail=3@500,fufail=6@900", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed:       77,
+		Latency:    LatencyModel{Kind: LatencyUniform, Min: 0, Max: 8},
+		Transient:  Transient{RegPortDrop: 0.01, MemNAK: 0.02, BitFlip: 0.001},
+		FUFailures: []FUFailure{{FU: 3, Cycle: 500}, {FU: 6, Cycle: 900}},
+	}
+	if cfg.Seed != want.Seed || cfg.Latency != want.Latency || cfg.Transient != want.Transient ||
+		len(cfg.FUFailures) != 2 || cfg.FUFailures[0] != want.FUFailures[0] || cfg.FUFailures[1] != want.FUFailures[1] {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+
+	if cfg, err := ParseSpec("lat=fixed:4", 0); err != nil || cfg.Latency != (LatencyModel{Kind: LatencyFixed, Fixed: 4}) {
+		t.Fatalf("fixed spec: %+v, %v", cfg, err)
+	}
+	if cfg, err := ParseSpec("lat=banked:3:9:1", 0); err != nil ||
+		cfg.Latency != (LatencyModel{Kind: LatencyBanked, BankBits: 3, Hot: 9, Cold: 1}) {
+		t.Fatalf("banked spec: %+v, %v", cfg, err)
+	}
+	if cfg, err := ParseSpec("", 5); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", cfg, err)
+	}
+
+	for _, bad := range []string{
+		"lat=fixed", "lat=uniform:3", "lat=banked:1:2", "lat=warp:1",
+		"drop=2", "nak=x", "flip=-1",
+		"fufail=3", "fufail=9@5", "fufail=a@5", "fufail=1@x",
+		"bogus=1", "noequals",
+	} {
+		if _, err := ParseSpec(bad, 0); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+// TestString summarizes campaigns compactly.
+func TestString(t *testing.T) {
+	in := MustNew(Config{
+		Seed:       12,
+		Latency:    LatencyModel{Kind: LatencyFixed, Fixed: 3},
+		Transient:  Transient{MemNAK: 0.5},
+		FUFailures: []FUFailure{{FU: 1, Cycle: 10}},
+	})
+	want := "seed=12 lat=fixed:3,nak=0.5,fufail=1@10"
+	if got := in.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds an injection configuration from a compact
+// command-line spec. The spec is a comma-separated list of key=value
+// settings (keys may repeat where noted):
+//
+//	lat=fixed:K          every load takes K extra cycles
+//	lat=uniform:LO:HI    extra cycles drawn uniformly from [LO, HI]
+//	lat=banked:B:HOT:COLD  1<<B banks, seeded hot/cold extra cycles
+//	drop=P               register read-port drop probability
+//	nak=P                memory NAK probability
+//	flip=P               load bit-flip probability
+//	fufail=FU@CYCLE      hard-fail FU at CYCLE (repeatable)
+//
+// An empty spec yields a disabled configuration. The seed keys every
+// deterministic draw.
+func ParseSpec(spec string, seed int64) (Config, error) {
+	cfg := Config{Seed: seed}
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("inject: spec %q: want key=value", field)
+		}
+		var err error
+		switch key {
+		case "lat":
+			err = parseLatency(&cfg.Latency, val)
+		case "drop":
+			cfg.Transient.RegPortDrop, err = parseProb(val)
+		case "nak":
+			cfg.Transient.MemNAK, err = parseProb(val)
+		case "flip":
+			cfg.Transient.BitFlip, err = parseProb(val)
+		case "fufail":
+			var f FUFailure
+			f, err = parseFUFailure(val)
+			cfg.FUFailures = append(cfg.FUFailures, f)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("inject: spec %q: %v", field, err)
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+func parseLatency(m *LatencyModel, val string) error {
+	parts := strings.Split(val, ":")
+	bad := func() error {
+		return fmt.Errorf("want fixed:K, uniform:LO:HI, or banked:B:HOT:COLD, got %q", val)
+	}
+	switch parts[0] {
+	case "fixed":
+		if len(parts) != 2 {
+			return bad()
+		}
+		k, err := parseU32(parts[1])
+		if err != nil {
+			return err
+		}
+		*m = LatencyModel{Kind: LatencyFixed, Fixed: k}
+	case "uniform":
+		if len(parts) != 3 {
+			return bad()
+		}
+		lo, err := parseU32(parts[1])
+		if err != nil {
+			return err
+		}
+		hi, err := parseU32(parts[2])
+		if err != nil {
+			return err
+		}
+		*m = LatencyModel{Kind: LatencyUniform, Min: lo, Max: hi}
+	case "banked":
+		if len(parts) != 4 {
+			return bad()
+		}
+		bits, err := parseU32(parts[1])
+		if err != nil {
+			return err
+		}
+		hot, err := parseU32(parts[2])
+		if err != nil {
+			return err
+		}
+		cold, err := parseU32(parts[3])
+		if err != nil {
+			return err
+		}
+		if bits > 16 {
+			return fmt.Errorf("bank bits %d > 16", bits)
+		}
+		*m = LatencyModel{Kind: LatencyBanked, BankBits: uint8(bits), Hot: hot, Cold: cold}
+	default:
+		return bad()
+	}
+	return nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad probability %q", val)
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %g outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseU32(val string) (uint32, error) {
+	n, err := strconv.ParseUint(val, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad count %q", val)
+	}
+	return uint32(n), nil
+}
+
+func parseFUFailure(val string) (FUFailure, error) {
+	fuStr, cycStr, ok := strings.Cut(val, "@")
+	if !ok {
+		return FUFailure{}, fmt.Errorf("want FU@CYCLE, got %q", val)
+	}
+	fu, err := strconv.Atoi(fuStr)
+	if err != nil || fu < 0 || fu >= NumFU {
+		return FUFailure{}, fmt.Errorf("bad FU %q (want 0..%d)", fuStr, NumFU-1)
+	}
+	cyc, err := strconv.ParseUint(cycStr, 10, 64)
+	if err != nil {
+		return FUFailure{}, fmt.Errorf("bad cycle %q", cycStr)
+	}
+	return FUFailure{FU: fu, Cycle: cyc}, nil
+}

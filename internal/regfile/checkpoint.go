@@ -1,0 +1,44 @@
+package regfile
+
+import "ximd/internal/isa"
+
+// Snapshot is a between-cycles checkpoint of the register file: the
+// architectural register values plus the cumulative port statistics, so
+// a restored run re-reports exactly the Section 4.4 numbers of the
+// checkpointed timeline. Per-cycle staging is deliberately excluded —
+// snapshots are taken between cycles, where staging is dead state.
+type Snapshot struct {
+	regs          [isa.NumRegs]isa.Word
+	totalReads    uint64
+	totalWrites   uint64
+	totalCycles   uint64
+	peakReads     int
+	peakWrites    int
+	conflictCount uint64
+}
+
+// Snapshot captures the register file's state between cycles.
+func (f *File) Snapshot() *Snapshot {
+	return &Snapshot{
+		regs:          f.regs,
+		totalReads:    f.totalReads,
+		totalWrites:   f.totalWrites,
+		totalCycles:   f.totalCycles,
+		peakReads:     f.peakReads,
+		peakWrites:    f.peakWrites,
+		conflictCount: f.conflictCount,
+	}
+}
+
+// Restore rewinds the register file to a snapshot, discarding any staged
+// writes and per-cycle accounting of the abandoned timeline.
+func (f *File) Restore(s *Snapshot) {
+	f.regs = s.regs
+	f.totalReads = s.totalReads
+	f.totalWrites = s.totalWrites
+	f.totalCycles = s.totalCycles
+	f.peakReads = s.peakReads
+	f.peakWrites = s.peakWrites
+	f.conflictCount = s.conflictCount
+	f.BeginCycle()
+}

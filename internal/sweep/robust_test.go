@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ximd/internal/core"
+)
+
+// TestPanicDoesNotPoisonSiblings injects a panicking task into a batch
+// and requires every sibling to complete normally, with the panic
+// surfaced as that one task's *PanicError.
+func TestPanicDoesNotPoisonSiblings(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		ok := func(context.Context) (Outcome, error) {
+			ran.Add(1)
+			return Outcome{Cycles: 11}, nil
+		}
+		tasks := []Task{
+			{Name: "a", Run: ok},
+			{Name: "kaboom", Run: func(context.Context) (Outcome, error) {
+				panic("deliberate test panic")
+			}},
+			{Name: "b", Run: ok},
+			{Name: "c", Run: ok},
+		}
+		res, err := Run(context.Background(), tasks, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: expected joined error from panicking task", workers)
+		}
+		if ran.Load() != 3 {
+			t.Fatalf("workers=%d: %d siblings ran, want 3", workers, ran.Load())
+		}
+		var pe *PanicError
+		if !errors.As(res[1].Err, &pe) {
+			t.Fatalf("workers=%d: result err = %v, want *PanicError", workers, res[1].Err)
+		}
+		if pe.Name != "kaboom" || pe.Value != "deliberate test panic" {
+			t.Fatalf("workers=%d: PanicError = %+v", workers, pe)
+		}
+		if !bytes.Contains(pe.Stack, []byte("goroutine")) {
+			t.Fatalf("workers=%d: PanicError.Stack missing stack trace", workers)
+		}
+		for _, i := range []int{0, 2, 3} {
+			if res[i].Err != nil || res[i].Cycles != 11 {
+				t.Fatalf("workers=%d: sibling %d poisoned: %+v", workers, i, res[i])
+			}
+		}
+	}
+}
+
+// TestPanicNotRetried requires that a panicking task is not re-run even
+// under a permissive retry policy.
+func TestPanicNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	tasks := []Task{{Name: "p", Run: func(context.Context) (Outcome, error) {
+		calls.Add(1)
+		panic(core.ErrTransient) // even a "retryable-looking" panic value
+	}}}
+	res, _ := Run(context.Background(), tasks, Options{
+		Workers: 1,
+		Retry:   Retry{MaxAttempts: 5, Retryable: func(error) bool { return true }},
+	})
+	if calls.Load() != 1 {
+		t.Fatalf("panicking task ran %d times, want 1", calls.Load())
+	}
+	var pe *PanicError
+	if !errors.As(res[0].Err, &pe) {
+		t.Fatalf("result err = %v, want *PanicError", res[0].Err)
+	}
+}
+
+// TestRetryTransient exercises the default predicate: a task that fails
+// with wrapped core.ErrTransient twice then succeeds must be retried to
+// success, and its failures must not leak into the Result.
+func TestRetryTransient(t *testing.T) {
+	var calls atomic.Int32
+	tasks := []Task{{Name: "flaky", Run: func(context.Context) (Outcome, error) {
+		if calls.Add(1) < 3 {
+			return Outcome{}, fmt.Errorf("cycle 9, FU2: %w", core.ErrTransient)
+		}
+		return Outcome{Cycles: 42}, nil
+	}}}
+	res, err := Run(context.Background(), tasks, Options{
+		Workers: 1,
+		Retry:   Retry{MaxAttempts: 3},
+	})
+	if err != nil {
+		t.Fatalf("sweep error %v, want success after retries", err)
+	}
+	if calls.Load() != 3 || res[0].Cycles != 42 || res[0].Err != nil {
+		t.Fatalf("calls=%d result=%+v, want 3 attempts and success", calls.Load(), res[0])
+	}
+}
+
+// TestRetryExhausted requires the last transient error to surface after
+// MaxAttempts draws.
+func TestRetryExhausted(t *testing.T) {
+	boom := fmt.Errorf("always: %w", core.ErrTransient)
+	var calls atomic.Int32
+	tasks := []Task{{Name: "doomed", Run: func(context.Context) (Outcome, error) {
+		calls.Add(1)
+		return Outcome{}, boom
+	}}}
+	res, err := Run(context.Background(), tasks, Options{
+		Workers: 1,
+		Retry:   Retry{MaxAttempts: 4},
+	})
+	if calls.Load() != 4 {
+		t.Fatalf("task ran %d times, want 4", calls.Load())
+	}
+	if !errors.Is(err, core.ErrTransient) || !errors.Is(res[0].Err, boom) {
+		t.Fatalf("err=%v result=%v, want the transient failure", err, res[0].Err)
+	}
+}
+
+// TestRetrySkipsDeterministicErrors requires non-transient failures to
+// fail immediately under the default predicate.
+func TestRetrySkipsDeterministicErrors(t *testing.T) {
+	var calls atomic.Int32
+	tasks := []Task{{Name: "det", Run: func(context.Context) (Outcome, error) {
+		calls.Add(1)
+		return Outcome{}, errors.New("wrong answer")
+	}}}
+	Run(context.Background(), tasks, Options{Workers: 1, Retry: Retry{MaxAttempts: 5}})
+	if calls.Load() != 1 {
+		t.Fatalf("deterministic failure retried: %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestCancelDuringBackoff is the satellite regression: cancellation
+// arriving while a task sits in a retry backoff wait must return
+// promptly with the context error, not sleep out the full backoff.
+func TestCancelDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	entered := make(chan struct{}, 1)
+	tasks := []Task{{Name: "waiter", Run: func(context.Context) (Outcome, error) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		return Outcome{}, fmt.Errorf("flap: %w", core.ErrTransient)
+	}}}
+	go func() {
+		<-entered
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, tasks, Options{
+		Workers: 1,
+		Retry:   Retry{MaxAttempts: 3, Backoff: time.Hour},
+	})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("backoff wait did not abort on cancellation (took %v)", elapsed)
+	}
+	if !errors.Is(res[0].Err, context.Canceled) {
+		t.Fatalf("result err = %v, want context.Canceled", res[0].Err)
+	}
+	if !errors.Is(res[0].Err, core.ErrTransient) {
+		t.Fatalf("result err = %v, want last attempt's failure joined in", res[0].Err)
+	}
+	if err == nil {
+		t.Fatal("sweep error nil, want cancellation surfaced")
+	}
+}
+
+// TestTaskTimeout requires the per-attempt deadline to cancel a
+// cooperative task with context.DeadlineExceeded.
+func TestTaskTimeout(t *testing.T) {
+	tasks := []Task{{Name: "slow", Run: func(ctx context.Context) (Outcome, error) {
+		select {
+		case <-ctx.Done():
+			return Outcome{}, ctx.Err()
+		case <-time.After(time.Hour):
+			return Outcome{Cycles: 1}, nil
+		}
+	}}}
+	start := time.Now()
+	res, _ := Run(context.Background(), tasks, Options{
+		Workers:     1,
+		TaskTimeout: 10 * time.Millisecond,
+	})
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("timeout did not fire (took %v)", elapsed)
+	}
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("result err = %v, want context.DeadlineExceeded", res[0].Err)
+	}
+}

@@ -16,14 +16,21 @@
 //     in Results are deep copies (core.Stats.Clone via Machine.Stats),
 //     safe to read after or during other runs.
 //   - Cancellation is cooperative via context: tasks not yet started
-//     when the context is cancelled are marked with the context error.
+//     when the context is cancelled are marked with the context error,
+//     and retry backoff waits abort promptly when the context ends.
+//   - A panic inside a task's Run is recovered into that task's Result
+//     as a *PanicError; it never kills the worker pool or poisons
+//     sibling results.
 package sweep
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"ximd/internal/core"
 	"ximd/internal/workloads"
@@ -77,6 +84,44 @@ const (
 	FailFast
 )
 
+// PanicError records a panic recovered from a task's Run, carrying the
+// panic value and the goroutine stack at the point of the panic.
+type PanicError struct {
+	// Name is the name of the task that panicked.
+	Name string
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: task %q panicked: %v", e.Name, e.Value)
+}
+
+// Retry is the per-task retry policy. Retries exist for injected
+// transient faults: a run felled by a seeded bit-flip or NAK can be
+// redrawn (restore a checkpoint, bump Injector.NextAttempt) and often
+// completes on the next attempt.
+type Retry struct {
+	// MaxAttempts is the total number of attempts per task; values <= 1
+	// mean a single attempt with no retry.
+	MaxAttempts int
+	// Backoff is the base wait before a retry; attempt n waits
+	// n*Backoff. The wait aborts promptly when the context ends.
+	Backoff time.Duration
+	// Retryable reports whether an error warrants another attempt; nil
+	// selects TransientOnly. Panics are never retried.
+	Retryable func(error) bool
+}
+
+// TransientOnly is the default retry predicate: only injected transient
+// faults (core.ErrTransient) are worth a redraw; deterministic failures
+// would just fail again.
+func TransientOnly(err error) bool {
+	return errors.Is(err, core.ErrTransient)
+}
+
 // Options configures a sweep.
 type Options struct {
 	// Workers bounds concurrent tasks; <= 0 selects GOMAXPROCS.
@@ -85,6 +130,14 @@ type Options struct {
 	Workers int
 	// Policy is the failure policy; the zero value is CollectErrors.
 	Policy Policy
+	// Retry is the per-task retry policy; the zero value retries
+	// nothing.
+	Retry Retry
+	// TaskTimeout bounds each attempt: the attempt's context is
+	// cancelled with context.DeadlineExceeded after this long. Zero
+	// means no per-attempt deadline. Timeouts are only as effective as
+	// the task's cooperation — Run must watch its context.
+	TaskTimeout time.Duration
 }
 
 // Run executes tasks across a worker pool and returns one Result per
@@ -120,7 +173,7 @@ func Run(ctx context.Context, tasks []Task, opts Options) ([]Result, error) {
 			results[i].Err = err
 			return
 		}
-		out, err := tasks[i].Run(runCtx)
+		out, err := runWithRetry(runCtx, &tasks[i], &opts)
 		results[i].Outcome = out
 		results[i].Err = err
 		if err != nil && opts.Policy == FailFast {
@@ -167,6 +220,66 @@ func Run(ctx context.Context, tasks []Task, opts Options) ([]Result, error) {
 		}
 	}
 	return results, errors.Join(errs...)
+}
+
+// runWithRetry drives one task through the retry policy: panics are
+// recovered (and never retried), retryable errors get up to
+// MaxAttempts draws with linear backoff, and a context ending during a
+// backoff wait aborts promptly with the context error joined to the
+// last attempt's failure.
+func runWithRetry(ctx context.Context, t *Task, opts *Options) (Outcome, error) {
+	attempts := opts.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	retryable := opts.Retry.Retryable
+	if retryable == nil {
+		retryable = TransientOnly
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if wait := opts.Retry.Backoff * time.Duration(attempt-1); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					timer.Stop()
+					return Outcome{}, errors.Join(lastErr, ctx.Err())
+				case <-timer.C:
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				return Outcome{}, errors.Join(lastErr, err)
+			}
+		}
+		out, err := runAttempt(ctx, t, opts.TaskTimeout)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var pe *PanicError
+		if errors.As(err, &pe) || !retryable(err) {
+			break
+		}
+	}
+	return Outcome{}, lastErr
+}
+
+// runAttempt executes one attempt of a task's Run with panic recovery
+// and the optional per-attempt deadline.
+func runAttempt(ctx context.Context, t *Task, timeout time.Duration) (out Outcome, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{}
+			err = &PanicError{Name: t.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return t.Run(ctx)
 }
 
 // XIMD adapts a workload instance's XIMD variant into a Task: each

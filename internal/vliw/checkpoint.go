@@ -1,0 +1,95 @@
+package vliw
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// Snapshot is a between-cycles checkpoint of a VLIW machine, the
+// single-sequencer analogue of core.Snapshot: program counter, condition
+// codes, registers, memory, statistics, and any pending whole-word
+// stall. The sweep retry policy uses it to recover transiently-faulted
+// runs without replaying from cycle 0.
+type Snapshot struct {
+	cycle   uint64
+	pc      isa.Addr
+	done    bool
+	failure error
+	cc      []bool
+	stats   Stats
+	regs    *regfile.Snapshot
+	memory  mem.State
+	stall   uint32
+}
+
+// Cycle returns the cycle number at which the snapshot was taken.
+func (s *Snapshot) Cycle() uint64 { return s.cycle }
+
+// Snapshot captures the machine's state between cycles. It fails when
+// the memory model cannot be checkpointed (e.g. devices are mapped).
+func (m *Machine) Snapshot() (*Snapshot, error) {
+	ckpt, ok := m.memory.(mem.Checkpointable)
+	if !ok {
+		return nil, fmt.Errorf("vliw: memory model %T does not support checkpointing", m.memory)
+	}
+	memState, err := ckpt.SnapshotState()
+	if err != nil {
+		return nil, fmt.Errorf("vliw: snapshot: %w", err)
+	}
+	s := &Snapshot{
+		cycle:   m.cycle,
+		pc:      m.pc,
+		done:    m.done,
+		failure: m.failure,
+		cc:      make([]bool, m.numFU),
+		stats:   m.stats.Clone(),
+		regs:    m.regs.Snapshot(),
+		memory:  memState,
+		stall:   m.stall,
+	}
+	if m.code != nil {
+		for fu := 0; fu < m.numFU; fu++ {
+			s.cc[fu] = m.ccBits&(uint8(1)<<fu) != 0
+		}
+	} else {
+		copy(s.cc, m.cc)
+	}
+	return s, nil
+}
+
+// Restore rewinds the machine to a snapshot, including any latched
+// terminal error (restoring a pre-failure snapshot clears the failure).
+// The injector's retry attempt is not architectural state: bump it via
+// Injector.NextAttempt so the replay draws fresh transient faults.
+func (m *Machine) Restore(s *Snapshot) error {
+	if len(s.cc) != m.numFU {
+		return fmt.Errorf("vliw: snapshot of %d FUs does not fit machine of %d", len(s.cc), m.numFU)
+	}
+	ckpt, ok := m.memory.(mem.Checkpointable)
+	if !ok {
+		return fmt.Errorf("vliw: memory model %T does not support checkpointing", m.memory)
+	}
+	if err := ckpt.RestoreState(s.memory); err != nil {
+		return fmt.Errorf("vliw: restore: %w", err)
+	}
+	m.regs.Restore(s.regs)
+	m.cycle = s.cycle
+	m.pc = s.pc
+	m.done = s.done
+	m.failure = s.failure
+	copy(m.cc, s.cc)
+	m.stats = s.stats.Clone()
+	m.stall = s.stall
+	if m.code != nil {
+		m.ccBits = 0
+		for fu := 0; fu < m.numFU; fu++ {
+			if s.cc[fu] {
+				m.ccBits |= uint8(1) << fu
+			}
+		}
+	}
+	return nil
+}

@@ -27,7 +27,13 @@ func (m *Machine) stepFast() (running bool, err error) {
 		return false, nil
 	}
 	if m.cycle >= m.config.MaxCycles {
-		return false, m.fail(fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle))
+		return false, m.fail(m.errMaxCycles())
+	}
+	inj := m.inject
+	if inj != nil {
+		if consumed, running, err := m.injectPreCycle(); consumed {
+			return running, err
+		}
 	}
 	u := &m.code[m.pc]
 
@@ -55,6 +61,9 @@ func (m *Machine) stepFast() (running bool, err error) {
 			continue
 		}
 		m.stats.DataOps[fu]++
+		if inj != nil && (op.AFromReg() || op.BFromReg()) && inj.DropRegPort(m.cycle, fu) {
+			return false, m.failFU(fu, errRegPortDrop())
+		}
 		var a, b isa.Word
 		if op.AFromReg() {
 			v, rerr := m.regs.Read(fu, op.AReg)
@@ -78,6 +87,9 @@ func (m *Machine) stepFast() (running bool, err error) {
 		case isa.OpLoad:
 			m.stats.Loads++
 			addr := uint32(a.Int() + b.Int())
+			if inj != nil && inj.MemNAK(m.cycle, fu, addr) {
+				return false, m.failFU(fu, errMemNAK(addr))
+			}
 			var v isa.Word
 			var lerr error
 			if shared != nil {
@@ -88,11 +100,23 @@ func (m *Machine) stepFast() (running bool, err error) {
 			if lerr != nil {
 				return false, m.failFU(fu, lerr)
 			}
+			if inj != nil {
+				if mask := inj.FlipMask(m.cycle, fu, addr); mask != 0 {
+					v ^= isa.Word(mask)
+					m.stats.BitFlips++
+				}
+				if k := inj.LoadLatency(m.cycle, fu, addr); k > m.wordStall {
+					m.wordStall = k
+				}
+			}
 			if werr := m.stageRegWrite(fu, op.Dest, v); werr != nil {
 				return false, m.fail(werr)
 			}
 		case isa.OpStore:
 			m.stats.Stores++
+			if inj != nil && inj.MemNAK(m.cycle, fu, uint32(b.Int())) {
+				return false, m.failFU(fu, errMemNAK(uint32(b.Int())))
+			}
 			var serr error
 			if shared != nil {
 				serr = shared.StoreFast(fu, uint32(b.Int()), a)
@@ -150,6 +174,9 @@ func (m *Machine) stepFast() (running bool, err error) {
 	m.stats.Cycles++
 	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
 	m.cycle++
+	if inj != nil {
+		m.stall = m.wordStall
+	}
 	if halt {
 		m.done = true
 		return false, nil

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"ximd/internal/core"
+	"ximd/internal/inject"
 	"ximd/internal/isa"
 	"ximd/internal/mem"
 	"ximd/internal/regfile"
@@ -145,6 +146,13 @@ type Config struct {
 	MaxCycles uint64
 	// TolerateConflicts tolerates same-cycle write conflicts.
 	TolerateConflicts bool
+	// Inject, if non-nil and enabled, perturbs the datapath with the same
+	// seeded campaign the XIMD core accepts. The single sequencer makes
+	// the consequences architecture-defining: an injected load latency
+	// stalls the whole instruction word, and a hard FU failure is an
+	// immediate terminal error (wrapping core.ErrFUFailed), because every
+	// word needs every FU — the paper's Section 1.3 limitation.
+	Inject *inject.Injector
 	// Tracer, if non-nil, observes each cycle.
 	Tracer Tracer
 }
@@ -164,6 +172,9 @@ type CycleRecord struct {
 	PC    isa.Addr
 	CC    []bool
 	Instr Instruction
+	// Stalled marks a cycle the whole machine spent waiting on an
+	// in-flight load (injected memory latency); Instr is zero then.
+	Stalled bool
 }
 
 // Stats is the shared execution-statistics type of core.Stats: the VLIW
@@ -196,6 +207,13 @@ type Machine struct {
 	code   []vop
 	shared *mem.Shared
 	ccBits uint8
+
+	// Injection state (nil / zero unless Config.Inject is enabled).
+	// stall counts the remaining cycles the whole machine spends waiting
+	// on the slowest in-flight load of the last instruction word.
+	inject    *inject.Injector
+	stall     uint32
+	wordStall uint32 // slowest injected load latency of the current word
 }
 
 // vop is one pre-decoded very long instruction word: the decoded data
@@ -253,6 +271,9 @@ func New(prog *Program, cfg Config) (*Machine, error) {
 		cc:     make([]bool, prog.NumFU),
 	}
 	m.stats = core.NewStats(prog.NumFU)
+	if cfg.Inject.Enabled() {
+		m.inject = cfg.Inject
+	}
 	if cfg.Engine == core.EngineFast {
 		m.code = decodeVLIW(prog)
 		if sh, ok := cfg.Memory.(*mem.Shared); ok {
@@ -292,6 +313,67 @@ func (m *Machine) fail(err error) error {
 	return err
 }
 
+// Error construction shared by the fast and reference engines so the
+// text stays byte-identical. The sentinels are the core package's:
+// the VLIW baseline shares the XIMD's error taxonomy.
+
+func (m *Machine) errMaxCycles() error {
+	return fmt.Errorf("vliw: cycle %d: %w", m.cycle, core.ErrMaxCycles)
+}
+
+func (m *Machine) errFUFailure(fu int) error {
+	return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, core.ErrFUFailed)
+}
+
+func errRegPortDrop() error {
+	return fmt.Errorf("register read ports dropped: %w", core.ErrTransient)
+}
+
+func errMemNAK(addr uint32) error {
+	return fmt.Errorf("memory access to address %d not acknowledged: %w", addr, core.ErrTransient)
+}
+
+// stallCycle burns one whole-machine stall cycle: the single sequencer
+// is waiting out an injected load latency, so no FU executes and no
+// register or memory activity occurs. Every FU pays a stall cycle —
+// the architectural contrast with the XIMD, where only the issuing
+// FU's stream stalls.
+func (m *Machine) stallCycle() {
+	if m.config.Tracer != nil {
+		if m.code != nil {
+			for fu := 0; fu < m.numFU; fu++ {
+				m.cc[fu] = m.ccBits&(uint8(1)<<fu) != 0
+			}
+		}
+		m.record = CycleRecord{Cycle: m.cycle, PC: m.pc, CC: m.cc, Stalled: true}
+		m.config.Tracer.Cycle(&m.record)
+	}
+	m.stats.Cycles++
+	m.stats.StreamHistogram[1]++
+	for fu := 0; fu < m.numFU; fu++ {
+		m.stats.StallCycles[fu]++
+	}
+	m.stall--
+	m.cycle++
+}
+
+// injectPreCycle runs the cycle-top injection checks common to both
+// engines: a due hard FU failure is an immediate terminal error (every
+// instruction word needs every FU), and a pending whole-word stall
+// consumes the cycle. It reports whether the cycle was consumed and, if
+// so, the Step result to return.
+func (m *Machine) injectPreCycle() (consumed bool, running bool, err error) {
+	if fu, ok := m.inject.FirstFailure(m.cycle); ok {
+		return true, false, m.fail(m.errFUFailure(fu))
+	}
+	if m.stall > 0 {
+		m.stallCycle()
+		return true, true, nil
+	}
+	m.wordStall = 0
+	return false, false, nil
+}
+
 // Step executes one cycle. After any error the machine is dead:
 // subsequent Step calls return the same error rather than executing
 // past the failure.
@@ -306,7 +388,12 @@ func (m *Machine) Step() (running bool, err error) {
 		return false, nil
 	}
 	if m.cycle >= m.config.MaxCycles {
-		return false, m.fail(fmt.Errorf("vliw: cycle %d: maximum cycle count exceeded", m.cycle))
+		return false, m.fail(m.errMaxCycles())
+	}
+	if m.inject != nil {
+		if consumed, running, err := m.injectPreCycle(); consumed {
+			return running, err
+		}
 	}
 	in := m.prog.Instrs[m.pc]
 
@@ -350,6 +437,9 @@ func (m *Machine) Step() (running bool, err error) {
 	m.stats.Cycles++
 	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
 	m.cycle++
+	if m.inject != nil {
+		m.stall = m.wordStall
+	}
 	if halt {
 		m.done = true
 		return false, nil
@@ -365,6 +455,11 @@ func (m *Machine) execData(fu int, d isa.DataOp) error {
 		return nil
 	}
 	m.stats.DataOps[fu]++
+	if m.inject != nil &&
+		(cl.ReadsA() && d.A.Kind != isa.Imm || cl.ReadsB() && d.B.Kind != isa.Imm) &&
+		m.inject.DropRegPort(m.cycle, fu) {
+		return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, errRegPortDrop())
+	}
 	var a, b isa.Word
 	var err error
 	if cl.ReadsA() {
@@ -380,13 +475,29 @@ func (m *Machine) execData(fu int, d isa.DataOp) error {
 	switch d.Op {
 	case isa.OpLoad:
 		m.stats.Loads++
-		v, err := m.memory.Load(fu, uint32(a.Int()+b.Int()))
+		addr := uint32(a.Int() + b.Int())
+		if m.inject != nil && m.inject.MemNAK(m.cycle, fu, addr) {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, errMemNAK(addr))
+		}
+		v, err := m.memory.Load(fu, addr)
 		if err != nil {
 			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)
+		}
+		if m.inject != nil {
+			if mask := m.inject.FlipMask(m.cycle, fu, addr); mask != 0 {
+				v ^= isa.Word(mask)
+				m.stats.BitFlips++
+			}
+			if k := m.inject.LoadLatency(m.cycle, fu, addr); k > m.wordStall {
+				m.wordStall = k
+			}
 		}
 		return m.writeReg(fu, d.Dest, v)
 	case isa.OpStore:
 		m.stats.Stores++
+		if m.inject != nil && m.inject.MemNAK(m.cycle, fu, uint32(b.Int())) {
+			return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, errMemNAK(uint32(b.Int())))
+		}
 		if err := m.memory.Store(fu, uint32(b.Int()), a); err != nil {
 			if _, ok := err.(*mem.ConflictError); ok && m.config.TolerateConflicts {
 				m.stats.MemConflicts++

@@ -1,0 +1,172 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+)
+
+// CHAOS-STREAMS is the graceful-degradation workload for the fault
+// injection experiments: four fully independent reduction streams, one
+// per functional unit, each summing a private memory region through a
+// short load-bearing loop (~5 cycles per element, one load each pass)
+// and storing its partial sum to a per-FU output cell. The streams
+// never synchronize, so on the XIMD each stream rides out its own
+// injected memory stalls and a hard-failed FU costs exactly one
+// stream's result; the VLIW variant does the identical work in lockstep
+// lanes, so every lane's stall freezes the whole word and any FU
+// failure kills the entire run. The per-FU output cells let a checker
+// verify surviving streams individually after a degraded completion.
+
+const (
+	// ChaosLanes is the stream/lane count of the workload.
+	ChaosLanes = 4
+	// ChaosOutBase is the address of FU0's output cell; FU f stores its
+	// sum at ChaosOutBase+f.
+	ChaosOutBase = 50
+	// chaosRegionBase/chaosRegionCap lay out the per-FU input regions:
+	// FU f sums chaosRegionBase+f*chaosRegionCap onward.
+	chaosRegionBase = 100
+	chaosRegionCap  = 128
+)
+
+// chaosXIMDSrc assembles the four-stream XIMD variant. Each FU uses a
+// private register window (i=r8+f, s=r16+f, v=r24+f) and its own
+// condition code, so the streams share nothing but the length in r2.
+func chaosXIMDSrc() string {
+	var b strings.Builder
+	b.WriteString(".fus 4\n.reg n = r2\n")
+	for f := 0; f < ChaosLanes; f++ {
+		fmt.Fprintf(&b, ".reg i%d = r%d\n.reg s%d = r%d\n.reg v%d = r%d\n",
+			f, 8+f, f, 16+f, f, 24+f)
+	}
+	for f := 0; f < ChaosLanes; f++ {
+		base := chaosRegionBase + f*chaosRegionCap
+		fmt.Fprintf(&b, `
+.fu %[1]d
+A0: iadd #0, #0, s%[1]d
+A1: iadd #0, #0, i%[1]d
+LP: load #%[2]d, i%[1]d, v%[1]d
+A3: iadd s%[1]d, v%[1]d, s%[1]d
+A4: iadd i%[1]d, #1, i%[1]d
+A5: lt i%[1]d, n
+A6: nop => if cc%[1]d LP DN
+DN: store s%[1]d, #%[3]d
+DF: nop => halt
+`, f, base, ChaosOutBase+f)
+	}
+	return b.String()
+}
+
+// chaosVLIWSrc assembles the lockstep VLIW baseline: the same four
+// reductions advance together through the single sequencer, one element
+// per lane per loop pass.
+func chaosVLIWSrc() string {
+	lane := func(op func(f int) string) string {
+		parts := make([]string, ChaosLanes)
+		for f := 0; f < ChaosLanes; f++ {
+			parts[f] = op(f)
+		}
+		return strings.Join(parts, " | ")
+	}
+	var b strings.Builder
+	b.WriteString(".machine vliw\n.fus 4\n.reg i = r1\n.reg n = r2\n")
+	for f := 0; f < ChaosLanes; f++ {
+		fmt.Fprintf(&b, ".reg s%d = r%d\n.reg v%d = r%d\n", f, 16+f, f, 24+f)
+	}
+	fmt.Fprintf(&b, "W0: %s => goto W1\n",
+		lane(func(f int) string { return fmt.Sprintf("iadd #0, #0, s%d", f) }))
+	b.WriteString("W1: iadd #0, #0, i => goto LP\n")
+	fmt.Fprintf(&b, "LP: %s => goto L2\n",
+		lane(func(f int) string {
+			return fmt.Sprintf("load #%d, i, v%d", chaosRegionBase+f*chaosRegionCap, f)
+		}))
+	fmt.Fprintf(&b, "L2: %s => goto L3\n",
+		lane(func(f int) string { return fmt.Sprintf("iadd s%d, v%d, s%d", f, f, f) }))
+	b.WriteString("L3: iadd i, #1, i => goto L4\n")
+	b.WriteString("L4: lt i, n => goto L5\n")
+	b.WriteString("L5: nop => if cc0 LP ST\n")
+	fmt.Fprintf(&b, "ST: %s => goto FIN\n",
+		lane(func(f int) string { return fmt.Sprintf("store s%d, #%d", f, ChaosOutBase+f) }))
+	b.WriteString("FIN: nop => halt\n")
+	return b.String()
+}
+
+// ChaosSums returns the expected per-stream sums.
+func ChaosSums(data [ChaosLanes][]int32) [ChaosLanes]int32 {
+	var want [ChaosLanes]int32
+	for f := range data {
+		for _, v := range data[f] {
+			want[f] += v
+		}
+	}
+	return want
+}
+
+// ChaosData derives deterministic per-lane input data of length n from
+// a seed, without any host randomness.
+func ChaosData(n int, seed int64) [ChaosLanes][]int32 {
+	var data [ChaosLanes][]int32
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for f := range data {
+		data[f] = make([]int32, n)
+		for i := range data[f] {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			data[f][i] = int32(x%2001) - 1000
+		}
+	}
+	return data
+}
+
+// ChaosStreams builds the workload over per-lane data slices of equal
+// length 1..128.
+func ChaosStreams(data [ChaosLanes][]int32) *Instance {
+	n := len(data[0])
+	if n < 1 || n > chaosRegionCap {
+		panic(fmt.Sprintf("workloads: ChaosStreams length %d outside 1..%d", n, chaosRegionCap))
+	}
+	for f := range data {
+		if len(data[f]) != n {
+			panic("workloads: ChaosStreams lanes must have equal length")
+		}
+	}
+	inst := &Instance{
+		Name: fmt.Sprintf("chaos-streams-%d", n),
+		XIMD: mustAssemble("chaos-streams", chaosXIMDSrc()),
+		VLIW: mustVLIW("chaos-streams-vliw", mustAssemble("chaos-streams-vliw", chaosVLIWSrc())),
+		Regs: map[uint8]isa.Word{2: isa.WordFromInt(int32(n))},
+	}
+	inst.NewEnv = func() *Env {
+		m := mem.NewShared(0)
+		for f := range data {
+			m.PokeInts(uint32(chaosRegionBase+f*chaosRegionCap), data[f]...)
+		}
+		return &Env{
+			Mem: m,
+			Check: func(*regfile.File) error {
+				for f := 0; f < ChaosLanes; f++ {
+					if err := ChaosCheckLane(m, data, f); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return inst
+}
+
+// ChaosCheckLane verifies one stream's output cell, so degraded runs
+// can verify exactly the surviving streams.
+func ChaosCheckLane(m *mem.Shared, data [ChaosLanes][]int32, f int) error {
+	want := ChaosSums(data)[f]
+	if got := int32(m.Peek(ChaosOutBase + uint32(f)).Int()); got != want {
+		return fmt.Errorf("stream %d: OUT=%d, want %d", f, got, want)
+	}
+	return nil
+}

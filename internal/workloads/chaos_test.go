@@ -1,0 +1,35 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestChaosStreams(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 128} {
+		data := ChaosData(n, 17)
+		inst := ChaosStreams(data)
+		xm, err := RunXIMD(inst, nil)
+		if err != nil {
+			t.Fatalf("n=%d: XIMD: %v", n, err)
+		}
+		vm, err := RunVLIW(inst, nil)
+		if err != nil {
+			t.Fatalf("n=%d: VLIW: %v", n, err)
+		}
+		// Independent streams: the XIMD should never be slower than the
+		// lockstep word machine on this embarrassingly parallel loop.
+		if xm.Cycle() > vm.Cycle() {
+			t.Errorf("n=%d: XIMD %d cycles > VLIW %d", n, xm.Cycle(), vm.Cycle())
+		}
+	}
+}
+
+func TestChaosDataDeterministic(t *testing.T) {
+	a, b := ChaosData(16, 5), ChaosData(16, 5)
+	if ChaosSums(a) != ChaosSums(b) {
+		t.Fatal("same seed produced different data")
+	}
+	if ChaosSums(ChaosData(16, 5)) == ChaosSums(ChaosData(16, 6)) {
+		t.Fatal("different seeds produced identical sums (suspicious)")
+	}
+}
