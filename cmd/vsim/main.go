@@ -1,103 +1,23 @@
 // Command vsim is the VLIW baseline simulator — the reproduction of the
 // paper's vsim (Section 4.1). It accepts XIMD assembly whose parcels all
-// carry identical control (VLIW-style code, Section 3.1) or .machine
-// vliw sources, converts to the native single-sequencer machine, and
-// runs it.
+// carry identical control (VLIW-style code, Section 3.1), or a binary
+// image of such a program, converts to the native single-sequencer
+// machine, and runs it.
+//
+//	-poke r2=4        initialize a register (repeatable)
+//	-mem 256=5,3,4,7  initialize memory words (repeatable)
+//	-peek 1024:4      print memory words after the run (repeatable)
+//	-max-cycles N     cycle limit (-max is an alias)
+//	-seed N           fault-injection seed (with -inject)
+//	-inject SPEC      fault injection, e.g. lat=uniform:0:4,nak=0.001
+//	-json             emit the run result as the service's stats document
 //
 // Exit codes: 0 success, 1 simulation fault, 2 usage or configuration
 // error, 3 program load error.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"ximd/internal/asm"
-	"ximd/internal/hostcfg"
-	"ximd/internal/inject"
-	"ximd/internal/mem"
-	"ximd/internal/vliw"
-)
+import "ximd/internal/runner"
 
 func main() {
-	var pokeRegs, pokeMems, peeks hostcfg.StringsFlag
-	flag.Var(&pokeRegs, "poke", "register initialization rN=V (repeatable)")
-	flag.Var(&pokeMems, "mem", "memory initialization ADDR=V,V,... (repeatable)")
-	flag.Var(&peeks, "peek", "memory range to print after the run, ADDR:N (repeatable)")
-	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
-	flag.Uint64Var(maxCycles, "max-cycles", 0, "cycle limit (0 = default; alias of -max)")
-	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
-	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: vsim [flags] prog.xasm")
-		flag.PrintDefaults()
-		os.Exit(exitUsage)
-	}
-
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		fatal(exitLoad, err)
-	}
-	xprog, err := asm.Assemble(string(src))
-	if err != nil {
-		fatal(exitLoad, err)
-	}
-	prog, err := vliw.FromXIMD(xprog)
-	if err != nil {
-		fatal(exitLoad, fmt.Errorf("not VLIW-style code: %w", err))
-	}
-	rp, err := hostcfg.ParseRegPokes(pokeRegs)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	mp, err := hostcfg.ParseMemPokes(pokeMems)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	pk, err := hostcfg.ParseMemPeeks(peeks)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-
-	memory := mem.NewShared(0)
-	cfg := vliw.Config{Memory: memory, MaxCycles: *maxCycles}
-	if *injectSpec != "" {
-		icfg, err := inject.ParseSpec(*injectSpec, *seed)
-		if err != nil {
-			fatal(exitUsage, err)
-		}
-		if cfg.Inject, err = inject.New(icfg); err != nil {
-			fatal(exitUsage, err)
-		}
-	}
-	m, err := vliw.New(prog, cfg)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	hostcfg.Apply(m.Regs(), memory, rp, mp)
-	cycles, err := m.Run()
-	if err != nil {
-		fatal(exitSim, err)
-	}
-	s := m.Stats()
-	fmt.Printf("halted after %d cycles; ops=%d ops/cycle=%.2f util=%.1f%% branches=%d/%d\n",
-		cycles, s.TotalDataOps(), s.OpsPerCycle(), 100*s.Utilization(), s.TakenBranches, s.CondBranches)
-	for _, p := range pk {
-		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, memory.PeekInts(p.Base, p.N))
-	}
-}
-
-// Exit codes distinguish why a run stopped, so scripts and the sweep
-// driver can tell bad inputs from injected or architectural faults.
-const (
-	exitSim   = 1 // the simulation itself faulted
-	exitUsage = 2 // bad flags or host configuration
-	exitLoad  = 3 // the program failed to load or assemble
-)
-
-func fatal(code int, err error) {
-	fmt.Fprintln(os.Stderr, "vsim:", err)
-	os.Exit(code)
+	runner.CLIMain("vsim", runner.ArchVLIW)
 }

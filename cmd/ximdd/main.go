@@ -1,0 +1,87 @@
+// Command ximdd is the XIMD simulation-as-a-service daemon: the
+// internal/serve HTTP/JSON API (job queue, decoded-program cache,
+// backpressure, sweeps) behind a plain net/http server.
+//
+// Usage:
+//
+//	ximdd [flags]
+//
+//	-addr HOST:PORT    listen address (default 127.0.0.1:8412; port 0
+//	                   picks a free port, printed on startup)
+//	-queue N           submission queue depth (backpressure bound)
+//	-workers N         concurrent job executors (default GOMAXPROCS)
+//	-job-timeout D     per-job deadline (e.g. 30s)
+//	-drain-timeout D   graceful-shutdown drain budget (e.g. 30s)
+//
+// On SIGINT/SIGTERM the daemon stops accepting work (503), drains
+// queued and running jobs within the drain budget, then exits; a second
+// signal aborts immediately.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ximd/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8412", "listen address (port 0 picks a free port)")
+	queue := flag.Int("queue", 64, "submission queue depth")
+	workers := flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 30*time.Second, "per-job deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: ximdd [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	svc := serve.New(serve.Options{
+		QueueDepth: *queue,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ximdd: %v", err)
+	}
+	log.Printf("ximdd: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("ximdd: serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("ximdd: %v: draining (budget %v); signal again to abort", sig, *drainTimeout)
+	}
+	go func() {
+		<-sigc
+		log.Printf("ximdd: second signal: aborting")
+		os.Exit(1)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("ximdd: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("ximdd: http shutdown: %v", err)
+	}
+	log.Printf("ximdd: stopped")
+}

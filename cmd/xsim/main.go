@@ -15,121 +15,14 @@
 //	-max-cycles N     cycle limit (-max is an alias)
 //	-seed N           fault-injection seed (with -inject)
 //	-inject SPEC      fault injection, e.g. lat=uniform:0:4,nak=0.001
+//	-json             emit the run result as the service's stats document
 //
 // Exit codes: 0 success, 1 simulation fault, 2 usage or configuration
 // error, 3 program load error.
 package main
 
-import (
-	"bytes"
-	"flag"
-	"fmt"
-	"os"
-
-	"ximd/internal/asm"
-	"ximd/internal/core"
-	"ximd/internal/hostcfg"
-	"ximd/internal/inject"
-	"ximd/internal/isa"
-	"ximd/internal/mem"
-	"ximd/internal/trace"
-)
+import "ximd/internal/runner"
 
 func main() {
-	var pokeRegs, pokeMems, peeks hostcfg.StringsFlag
-	flag.Var(&pokeRegs, "poke", "register initialization rN=V (repeatable)")
-	flag.Var(&pokeMems, "mem", "memory initialization ADDR=V,V,... (repeatable)")
-	flag.Var(&peeks, "peek", "memory range to print after the run, ADDR:N (repeatable)")
-	doTrace := flag.Bool("trace", false, "print the Figure 10 style address trace")
-	timeline := flag.Bool("timeline", false, "print the concurrent-stream timeline")
-	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
-	flag.Uint64Var(maxCycles, "max-cycles", 0, "cycle limit (0 = default; alias of -max)")
-	tolerate := flag.Bool("tolerate-conflicts", false, "do not stop on same-cycle write conflicts")
-	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
-	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xsim [flags] prog.xasm|prog.img")
-		flag.PrintDefaults()
-		os.Exit(exitUsage)
-	}
-
-	prog, err := loadProgram(flag.Arg(0))
-	if err != nil {
-		fatal(exitLoad, err)
-	}
-	rp, err := hostcfg.ParseRegPokes(pokeRegs)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	mp, err := hostcfg.ParseMemPokes(pokeMems)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	pk, err := hostcfg.ParseMemPeeks(peeks)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-
-	memory := mem.NewShared(0)
-	rec := &trace.Recorder{}
-	cfg := core.Config{Memory: memory, MaxCycles: *maxCycles, TolerateConflicts: *tolerate}
-	if *injectSpec != "" {
-		icfg, err := inject.ParseSpec(*injectSpec, *seed)
-		if err != nil {
-			fatal(exitUsage, err)
-		}
-		if cfg.Inject, err = inject.New(icfg); err != nil {
-			fatal(exitUsage, err)
-		}
-	}
-	if *doTrace || *timeline {
-		cfg.Tracer = rec
-	}
-	m, err := core.New(prog, cfg)
-	if err != nil {
-		fatal(exitUsage, err)
-	}
-	hostcfg.Apply(m.Regs(), memory, rp, mp)
-
-	cycles, err := m.Run()
-	if err != nil {
-		fatal(exitSim, err)
-	}
-	if *doTrace {
-		fmt.Print(trace.FormatAddressTrace(rec.Records, trace.Options{ShowSS: true}))
-	}
-	if *timeline {
-		fmt.Println("streams:", trace.FormatStreamTimeline(rec.Records))
-	}
-	fmt.Printf("halted after %d cycles\n%s\n", cycles, m.Stats())
-	for _, p := range pk {
-		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, memory.PeekInts(p.Base, p.N))
-	}
-}
-
-// loadProgram reads assembly text or a binary image, selected by
-// content (images start with the XIMD magic).
-func loadProgram(path string) (*isa.Program, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	if len(data) >= 4 && bytes.Equal(data[:4], []byte{0x44, 0x4d, 0x49, 0x58}) { // "XIMD" little-endian
-		return isa.ReadProgram(bytes.NewReader(data))
-	}
-	return asm.Assemble(string(data))
-}
-
-// Exit codes distinguish why a run stopped, so scripts and the sweep
-// driver can tell bad inputs from injected or architectural faults.
-const (
-	exitSim   = 1 // the simulation itself faulted
-	exitUsage = 2 // bad flags or host configuration
-	exitLoad  = 3 // the program failed to load or assemble
-)
-
-func fatal(code int, err error) {
-	fmt.Fprintln(os.Stderr, "xsim:", err)
-	os.Exit(code)
+	runner.CLIMain("xsim", runner.ArchXIMD)
 }

@@ -75,6 +75,12 @@ type Config struct {
 	// the same points and remain cycle-identical under any campaign. A
 	// nil or disabled injector is byte-identical to the idealized model.
 	Inject *inject.Injector
+	// Decoded, if non-nil, supplies the program's pre-built fast-engine
+	// micro-op table (core.Predecode). New then skips re-validating and
+	// re-decoding the program — the ximdd decoded-program cache's hit
+	// path. The table must have been built from the same *isa.Program
+	// passed to New.
+	Decoded *Decoded
 	// RegisteredSS is an ablation of the Figure 8 design decision: instead
 	// of the paper's combinational SS network (sequencers see the sync
 	// signals of the parcels executing this cycle), conditions read the SS
@@ -249,7 +255,13 @@ type fingerprint struct {
 // New creates a machine loaded with prog. Every FU starts at the program
 // entry address with cleared registers, condition codes, and memory.
 func New(prog *isa.Program, cfg Config) (*Machine, error) {
-	if err := prog.Validate(); err != nil {
+	if cfg.Decoded != nil {
+		if prog == nil {
+			prog = cfg.Decoded.prog
+		} else if prog != cfg.Decoded.prog {
+			return nil, fmt.Errorf("core: Config.Decoded was built from a different program")
+		}
+	} else if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid program: %w", err)
 	}
 	if cfg.Memory == nil {
@@ -289,7 +301,11 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		m.stalledNow = make([]bool, n)
 	}
 	if cfg.Engine == EngineFast {
-		m.code = decodeProgram(prog)
+		if cfg.Decoded != nil {
+			m.code = cfg.Decoded.code
+		} else {
+			m.code = decodeProgram(prog)
+		}
 		m.uops = make([]*uop, n)
 		if sh, ok := cfg.Memory.(*mem.Shared); ok {
 			m.shared = sh

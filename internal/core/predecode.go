@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+)
+
+// This file exposes the fast engine's pre-decode step as a first-class,
+// shareable artifact. Decoding a program — validating it, resolving
+// operand kinds, baking class flags, and compiling branch conditions to
+// bitmask compares — is pure: the resulting micro-op table is never
+// written during execution, so one table can back any number of
+// machines, including machines running concurrently. A service that
+// executes the same program many times (the ximdd decoded-program
+// cache) pays the validate+decode cost once and constructs every
+// subsequent machine from the shared table.
+
+// Decoded is a validated program together with its fast-engine micro-op
+// table. It is immutable after Predecode and safe for concurrent use by
+// any number of machines.
+type Decoded struct {
+	prog *isa.Program
+	code []uop
+}
+
+// Predecode validates prog and builds its fast-engine micro-op table
+// once. Machines constructed with Config.Decoded skip both steps.
+func Predecode(prog *isa.Program) (*Decoded, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid program: %w", err)
+	}
+	return &Decoded{prog: prog, code: decodeProgram(prog)}, nil
+}
+
+// Program returns the validated program the table was decoded from. The
+// caller must not mutate it: the decoded table mirrors its contents.
+func (d *Decoded) Program() *isa.Program { return d.prog }

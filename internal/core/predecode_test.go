@@ -1,0 +1,79 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ximd/internal/isa"
+)
+
+// TestPredecodeEquivalence proves the cache hit path (a machine built
+// from a shared Decoded table) is architecturally identical to the cold
+// path (a machine that validates and decodes at New): same cycle count,
+// same statistics, same register results.
+func TestPredecodeEquivalence(t *testing.T) {
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(3), Dest: 1},
+		isa.DataOp{Op: isa.OpIMult, A: isa.R(1), B: isa.I(4), Dest: 2},
+		isa.DataOp{Op: isa.OpISub, A: isa.R(2), B: isa.R(1), Dest: 3},
+	)
+	d, err := Predecode(prog)
+	if err != nil {
+		t.Fatalf("Predecode: %v", err)
+	}
+	cold := run(t, prog, Config{})
+	hot := run(t, prog, Config{Decoded: d})
+	if cold.Cycle() != hot.Cycle() {
+		t.Fatalf("cycles: cold %d, hot %d", cold.Cycle(), hot.Cycle())
+	}
+	if !reflect.DeepEqual(cold.Stats(), hot.Stats()) {
+		t.Fatalf("stats diverge:\ncold %+v\nhot  %+v", cold.Stats(), hot.Stats())
+	}
+	for r := uint8(1); r <= 3; r++ {
+		if cold.Regs().Peek(r) != hot.Regs().Peek(r) {
+			t.Fatalf("r%d: cold %v, hot %v", r, cold.Regs().Peek(r), hot.Regs().Peek(r))
+		}
+	}
+}
+
+// TestPredecodeSharedConcurrently runs several machines off one Decoded
+// table at once; the race detector proves the table is read-only.
+func TestPredecodeSharedConcurrently(t *testing.T) {
+	prog := seqProgram(t,
+		isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(1), Dest: 1},
+		isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.R(1), Dest: 2},
+	)
+	d, err := Predecode(prog)
+	if err != nil {
+		t.Fatalf("Predecode: %v", err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			m, err := New(nil, Config{Decoded: d})
+			if err == nil {
+				_, err = m.Run()
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent run: %v", err)
+		}
+	}
+}
+
+// TestPredecodeMismatch rejects a Decoded table paired with a different
+// program.
+func TestPredecodeMismatch(t *testing.T) {
+	a := seqProgram(t, isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(1), Dest: 1})
+	b := seqProgram(t, isa.DataOp{Op: isa.OpIAdd, A: isa.I(2), B: isa.I(2), Dest: 1})
+	d, err := Predecode(a)
+	if err != nil {
+		t.Fatalf("Predecode: %v", err)
+	}
+	if _, err := New(b, Config{Decoded: d}); err == nil {
+		t.Fatal("New accepted a Decoded built from a different program")
+	}
+}

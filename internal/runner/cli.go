@@ -1,0 +1,107 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ximd/internal/hostcfg"
+	"ximd/internal/trace"
+)
+
+// CLIMain is the shared entry point of the xsim and vsim command-line
+// tools: one flag surface, one load/configure/run/report path, and one
+// exit-code taxonomy for both architectures (and the same Run path the
+// ximdd service uses for jobs). Flags that only make sense on the XIMD
+// (-trace, -timeline, -tolerate-conflicts) are registered only there,
+// preserving each tool's historical surface.
+func CLIMain(tool string, arch Arch) {
+	fatal := func(code int, err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(code)
+	}
+
+	var pokeRegs, pokeMems, peeks hostcfg.StringsFlag
+	flag.Var(&pokeRegs, "poke", "register initialization rN=V (repeatable)")
+	flag.Var(&pokeMems, "mem", "memory initialization ADDR=V,V,... (repeatable)")
+	flag.Var(&peeks, "peek", "memory range to print after the run, ADDR:N (repeatable)")
+	maxCycles := flag.Uint64("max", 0, "cycle limit (0 = default)")
+	flag.Uint64Var(maxCycles, "max-cycles", 0, "cycle limit (0 = default; alias of -max)")
+	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
+	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
+	jsonOut := flag.Bool("json", false, "emit the result as the ximdd service's stats JSON document")
+	var doTrace, timeline, tolerate *bool
+	if arch == ArchXIMD {
+		doTrace = flag.Bool("trace", false, "print the Figure 10 style address trace")
+		timeline = flag.Bool("timeline", false, "print the concurrent-stream timeline")
+		tolerate = flag.Bool("tolerate-conflicts", false, "do not stop on same-cycle write conflicts")
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] prog.xasm|prog.img\n", tool)
+		flag.PrintDefaults()
+		os.Exit(ExitUsage)
+	}
+
+	source, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(ExitLoad, err)
+	}
+	prog, err := Load(arch, source)
+	if err != nil {
+		fatal(ExitCode(err), err)
+	}
+
+	spec := Spec{MaxCycles: *maxCycles, Seed: *seed, Inject: *injectSpec}
+	if tolerate != nil {
+		spec.TolerateConflicts = *tolerate
+	}
+	if spec.RegPokes, err = hostcfg.ParseRegPokes(pokeRegs); err != nil {
+		fatal(ExitUsage, err)
+	}
+	if spec.MemPokes, err = hostcfg.ParseMemPokes(pokeMems); err != nil {
+		fatal(ExitUsage, err)
+	}
+	pk, err := hostcfg.ParseMemPeeks(peeks)
+	if err != nil {
+		fatal(ExitUsage, err)
+	}
+
+	opts := Options{}
+	if doTrace != nil && (*doTrace || *timeline) {
+		opts.Trace = true
+	}
+	res, err := Run(context.Background(), prog, spec, opts)
+	if err != nil {
+		fatal(ExitCode(err), err)
+	}
+
+	if *jsonOut {
+		doc := NewResultDoc(res, pk)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatal(ExitUsage, err)
+		}
+		return
+	}
+	if doTrace != nil && *doTrace {
+		fmt.Print(trace.FormatAddressTrace(res.Trace, trace.Options{ShowSS: true}))
+	}
+	if timeline != nil && *timeline {
+		fmt.Println("streams:", trace.FormatStreamTimeline(res.Trace))
+	}
+	switch arch {
+	case ArchVLIW:
+		s := res.Stats
+		fmt.Printf("halted after %d cycles; ops=%d ops/cycle=%.2f util=%.1f%% branches=%d/%d\n",
+			res.Cycles, s.TotalDataOps(), s.OpsPerCycle(), 100*s.Utilization(), s.TakenBranches, s.CondBranches)
+	default:
+		fmt.Printf("halted after %d cycles\n%s\n", res.Cycles, res.Stats)
+	}
+	for _, p := range pk {
+		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, res.Memory.PeekInts(p.Base, p.N))
+	}
+}

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"ximd/internal/core"
+	"ximd/internal/hostcfg"
+)
+
+// This file defines the canonical stats JSON document. The ximdd
+// service returns it as a job's result and the xsim/vsim -json mode
+// prints the identical document, so CLI and API runs are directly
+// diffable. Everything in it is a pure function of (program, arch,
+// seed, inject spec, pokes): no timestamps, hostnames, or map
+// iteration, so repeated runs marshal to byte-identical JSON — the
+// service's determinism contract is asserted against these bytes.
+
+// StatsDoc is the serialized statistics summary of one run.
+type StatsDoc struct {
+	// Arch is the simulated architecture, "ximd" or "vliw".
+	Arch string `json:"arch"`
+	// Cycles is the simulated machine-cycle count.
+	Cycles uint64 `json:"cycles"`
+	// TotalDataOps, OpsPerCycle, Utilization, and MeanStreams are the
+	// derived headline metrics (core.Stats accessors), precomputed so
+	// API consumers need no knowledge of the counter layout.
+	TotalDataOps uint64  `json:"total_data_ops"`
+	OpsPerCycle  float64 `json:"ops_per_cycle"`
+	Utilization  float64 `json:"utilization"`
+	MeanStreams  float64 `json:"mean_streams"`
+	// Stats is the full counter snapshot.
+	Stats core.Stats `json:"stats"`
+}
+
+// NewStatsDoc builds the document from a run's snapshot.
+func NewStatsDoc(arch Arch, cycles uint64, s core.Stats) StatsDoc {
+	return StatsDoc{
+		Arch:         string(arch),
+		Cycles:       cycles,
+		TotalDataOps: s.TotalDataOps(),
+		OpsPerCycle:  s.OpsPerCycle(),
+		Utilization:  s.Utilization(),
+		MeanStreams:  s.MeanStreams(),
+		Stats:        s,
+	}
+}
+
+// PeekDoc is one post-run memory range readout.
+type PeekDoc struct {
+	Base   uint32  `json:"base"`
+	Values []int32 `json:"values"`
+}
+
+// ResultDoc is the full result document: the stats summary plus any
+// requested memory peeks.
+type ResultDoc struct {
+	StatsDoc
+	Peeks []PeekDoc `json:"peeks,omitempty"`
+}
+
+// NewResultDoc builds the result document from a successful run.
+func NewResultDoc(res Result, peeks []hostcfg.MemPeek) ResultDoc {
+	doc := ResultDoc{StatsDoc: NewStatsDoc(res.Arch, res.Cycles, res.Stats)}
+	for _, p := range peeks {
+		doc.Peeks = append(doc.Peeks, PeekDoc{Base: p.Base, Values: res.Memory.PeekInts(p.Base, p.N)})
+	}
+	return doc
+}

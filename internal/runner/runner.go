@@ -1,0 +1,322 @@
+// Package runner is the one shared code path for executing a simulation
+// from external inputs: the xsim and vsim command-line tools and the
+// ximdd service all load programs, configure machines, run them, and
+// classify failures through this package, so the exit-code/error
+// taxonomy and the stats JSON document exist in exactly one place.
+//
+// The lifecycle is split in two so callers can cache the expensive half:
+//
+//   - Load assembles (or decodes) and validates a program for one
+//     architecture and pre-builds the fast-engine decode table. The
+//     resulting Program is immutable and safe to share between
+//     concurrent runs — it is the unit the ximdd decoded-program cache
+//     stores.
+//   - Run builds a fresh machine (registers, memory, injector) from a
+//     Spec, executes it to completion with cooperative context
+//     cancellation, and returns cycles, statistics, memory, and the
+//     optional trace.
+//
+// Error taxonomy (the CLI exit codes, also reported by the service):
+//
+//	0  success
+//	1  the simulation itself faulted (SimError, timeouts, cancellation)
+//	2  bad host configuration (Spec errors: inject spec, machine config)
+//	3  the program failed to load, assemble, or validate
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+
+	"ximd/internal/asm"
+	"ximd/internal/core"
+	"ximd/internal/hostcfg"
+	"ximd/internal/inject"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/trace"
+	"ximd/internal/vliw"
+)
+
+// Arch selects the simulated architecture.
+type Arch string
+
+const (
+	// ArchXIMD is the paper's XIMD-1 multi-sequencer machine (xsim).
+	ArchXIMD Arch = "ximd"
+	// ArchVLIW is the single-sequencer VLIW baseline (vsim).
+	ArchVLIW Arch = "vliw"
+)
+
+// ParseArch parses an architecture name; the empty string selects XIMD.
+func ParseArch(s string) (Arch, error) {
+	switch s {
+	case "", string(ArchXIMD):
+		return ArchXIMD, nil
+	case string(ArchVLIW):
+		return ArchVLIW, nil
+	}
+	return "", &UsageError{Err: fmt.Errorf("unknown architecture %q (want %q or %q)", s, ArchXIMD, ArchVLIW)}
+}
+
+// LoadError classifies a failure to read, assemble, convert, or
+// validate a program (exit code 3). Assembler failures preserve the
+// asm.ErrorList inside, so line numbers survive to the caller.
+type LoadError struct{ Err error }
+
+func (e *LoadError) Error() string { return e.Err.Error() }
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// UsageError classifies bad host configuration: malformed pokes, inject
+// specs, or machine configuration (exit code 2).
+type UsageError struct{ Err error }
+
+func (e *UsageError) Error() string { return e.Err.Error() }
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Exit codes shared by xsim, vsim, and the service's error taxonomy.
+const (
+	ExitOK    = 0 // successful run
+	ExitSim   = 1 // the simulation itself faulted
+	ExitUsage = 2 // bad flags or host configuration
+	ExitLoad  = 3 // the program failed to load or assemble
+)
+
+// ExitCode maps an error through the taxonomy: nil → 0, LoadError → 3,
+// UsageError → 2, anything else (simulation faults, deadlines,
+// cancellation) → 1.
+func ExitCode(err error) int {
+	var le *LoadError
+	var ue *UsageError
+	switch {
+	case err == nil:
+		return ExitOK
+	case errors.As(err, &ue):
+		return ExitUsage
+	case errors.As(err, &le):
+		return ExitLoad
+	default:
+		return ExitSim
+	}
+}
+
+// imageMagic is the first four bytes of an encoded program image
+// ("XIMD" little-endian); anything else is assembly text.
+var imageMagic = []byte{0x44, 0x4d, 0x49, 0x58}
+
+// Program is a loaded, validated, pre-decoded program for one
+// architecture — the immutable, shareable half of a run. Exactly one of
+// the decoded variants is set, matching Arch.
+type Program struct {
+	arch Arch
+	ximd *core.Decoded
+	vliw *vliw.Decoded
+}
+
+// Arch returns the architecture the program was loaded for.
+func (p *Program) Arch() Arch { return p.arch }
+
+// NumFU returns the functional-unit count of the loaded program.
+func (p *Program) NumFU() int {
+	if p.arch == ArchVLIW {
+		return p.vliw.Program().NumFU
+	}
+	return p.ximd.Program().NumFU
+}
+
+// Load builds a Program from source bytes: an encoded binary image
+// (detected by the XIMD magic) or assembly text. For ArchVLIW the
+// program must be VLIW-style (identical control in every parcel,
+// Section 3.1). All failures are LoadErrors.
+func Load(arch Arch, source []byte) (*Program, error) {
+	var xprog *isa.Program
+	var err error
+	if bytes.HasPrefix(source, imageMagic) {
+		xprog, err = isa.ReadProgram(bytes.NewReader(source))
+	} else {
+		xprog, err = asm.Assemble(string(source))
+	}
+	if err != nil {
+		return nil, &LoadError{Err: err}
+	}
+	switch arch {
+	case ArchVLIW:
+		vprog, err := vliw.FromXIMD(xprog)
+		if err != nil {
+			return nil, &LoadError{Err: fmt.Errorf("not VLIW-style code: %w", err)}
+		}
+		d, err := vliw.Predecode(vprog)
+		if err != nil {
+			return nil, &LoadError{Err: err}
+		}
+		return &Program{arch: ArchVLIW, vliw: d}, nil
+	default:
+		d, err := core.Predecode(xprog)
+		if err != nil {
+			return nil, &LoadError{Err: err}
+		}
+		return &Program{arch: ArchXIMD, ximd: d}, nil
+	}
+}
+
+// Spec is the runtime half of a run: everything besides the program
+// that determines the result. A run is a pure function of (Program,
+// Spec) — same program bytes, architecture, seed, and inject spec
+// reproduce the same cycles, statistics, and memory image.
+type Spec struct {
+	// MaxCycles bounds the run; 0 selects the machine default.
+	MaxCycles uint64
+	// TolerateConflicts makes same-cycle write conflicts non-fatal.
+	TolerateConflicts bool
+	// Seed is the fault-injection seed, used when Inject is non-empty.
+	Seed int64
+	// Inject is a fault-injection spec (inject.ParseSpec grammar), empty
+	// for an idealized run.
+	Inject string
+	// RegPokes and MemPokes initialize architectural state before the run.
+	RegPokes []hostcfg.RegPoke
+	MemPokes []hostcfg.MemPoke
+}
+
+// Options selects per-run observation that is not part of the result
+// contract.
+type Options struct {
+	// Trace records one trace.Record per executed cycle into
+	// Result.Trace. VLIW records carry a single-element PC vector and no
+	// SS/partition columns.
+	Trace bool
+}
+
+// Result is what a run produces. Stats is a deep-copied snapshot;
+// Memory is the run's private memory image (for peeks). On a
+// simulation fault the partial cycles/stats/trace up to the fault are
+// still populated.
+type Result struct {
+	Arch   Arch
+	Cycles uint64
+	Stats  core.Stats
+	Memory *mem.Shared
+	Trace  []trace.Record
+}
+
+// ctxCheckInterval is how many machine cycles run between cooperative
+// context checks; it bounds cancellation latency without measurably
+// slowing the hot loop.
+const ctxCheckInterval = 4096
+
+// Run executes spec against prog and returns the result. The context
+// is checked between cycle batches, so deadlines and cancellation
+// (sweep.Options.TaskTimeout, service shutdown) abort promptly; the
+// context's error is returned as a simulation-class failure.
+func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, error) {
+	res := Result{Arch: prog.arch, Memory: mem.NewShared(0)}
+	var injector *inject.Injector
+	if spec.Inject != "" {
+		icfg, err := inject.ParseSpec(spec.Inject, spec.Seed)
+		if err != nil {
+			return res, &UsageError{Err: err}
+		}
+		if injector, err = inject.New(icfg); err != nil {
+			return res, &UsageError{Err: err}
+		}
+	}
+
+	var rec *trace.Recorder
+	var vrec *vliwRecorder
+	var step func() (bool, error)
+	var cycles func() uint64
+	var stats func() core.Stats
+
+	switch prog.arch {
+	case ArchVLIW:
+		cfg := vliw.Config{
+			Memory:            res.Memory,
+			MaxCycles:         spec.MaxCycles,
+			TolerateConflicts: spec.TolerateConflicts,
+			Inject:            injector,
+			Decoded:           prog.vliw,
+		}
+		if opts.Trace {
+			vrec = &vliwRecorder{numFU: prog.NumFU()}
+			cfg.Tracer = vrec
+		}
+		m, err := vliw.New(nil, cfg)
+		if err != nil {
+			return res, &UsageError{Err: err}
+		}
+		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		step, cycles, stats = m.Step, m.Cycle, m.Stats
+	default:
+		cfg := core.Config{
+			Memory:            res.Memory,
+			MaxCycles:         spec.MaxCycles,
+			TolerateConflicts: spec.TolerateConflicts,
+			Inject:            injector,
+			Decoded:           prog.ximd,
+		}
+		if opts.Trace {
+			rec = &trace.Recorder{}
+			cfg.Tracer = rec
+		}
+		m, err := core.New(nil, cfg)
+		if err != nil {
+			return res, &UsageError{Err: err}
+		}
+		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		step, cycles, stats = m.Step, m.Cycle, m.Stats
+	}
+
+	err := runLoop(ctx, step)
+	res.Cycles = cycles()
+	res.Stats = stats()
+	if rec != nil {
+		res.Trace = rec.Records
+	}
+	if vrec != nil {
+		res.Trace = vrec.records
+	}
+	return res, err
+}
+
+// runLoop steps a machine to completion, checking the context every
+// ctxCheckInterval cycles.
+func runLoop(ctx context.Context, step func() (bool, error)) error {
+	for i := 0; ; i++ {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		running, err := step()
+		if err != nil {
+			return err
+		}
+		if !running {
+			return nil
+		}
+	}
+}
+
+// vliwRecorder adapts the vliw tracer to trace.Record: a single-element
+// PC vector, all condition codes reported valid (the VLIW machine does
+// not track validity), and no SS or partition columns (a VLIW has no
+// synchronization signals and always exactly one stream).
+type vliwRecorder struct {
+	numFU   int
+	records []trace.Record
+}
+
+func (r *vliwRecorder) Cycle(rec *vliw.CycleRecord) {
+	valid := make([]bool, r.numFU)
+	for i := range valid {
+		valid[i] = true
+	}
+	r.records = append(r.records, trace.Record{
+		Cycle:   rec.Cycle,
+		PC:      []isa.Addr{rec.PC},
+		CC:      append([]bool(nil), rec.CC...),
+		CCValid: valid,
+	})
+}

@@ -1,0 +1,243 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"ximd/internal/asm"
+	"ximd/internal/core"
+	"ximd/internal/hostcfg"
+	"ximd/internal/isa"
+)
+
+// tprocSrc is the Example 1 VLIW-style schedule (identical control in
+// every parcel), runnable on both architectures.
+const tprocSrc = `
+.fus 4
+.fu 0
+	iadd r1, r2, r5
+	iadd r6, r5, r6
+	iadd r1, r4, r1
+	iadd r1, r5, r1
+	iadd r1, r7, r6
+	=> halt
+.fu 1
+	imult r3, r1, r6
+	isub r1, r7, r7
+	iadd r6, r7, r7
+	nop
+	nop
+	=> halt
+.fu 2
+	iadd r3, r2, r7
+	iadd r5, r3, r1
+	nop
+	nop
+	nop
+	=> halt
+.fu 3
+	nop
+	isub r4, r5, r5
+	nop
+	nop
+	nop
+	=> halt
+`
+
+// spinSrc never halts on its own; it exists to exercise MaxCycles and
+// context cancellation.
+const spinSrc = `
+.fus 1
+.fu 0
+loop:
+	iadd r1, #1, r1
+	=> goto loop
+`
+
+func tprocSpec() Spec {
+	rp, _ := hostcfg.ParseRegPokes([]string{"r1=3", "r2=4", "r3=5", "r4=6"})
+	return Spec{RegPokes: rp}
+}
+
+func TestRunBothArches(t *testing.T) {
+	for _, arch := range []Arch{ArchXIMD, ArchVLIW} {
+		prog, err := Load(arch, []byte(tprocSrc))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", arch, err)
+		}
+		res, err := Run(context.Background(), prog, tprocSpec(), Options{})
+		if err != nil {
+			t.Fatalf("%s: Run: %v", arch, err)
+		}
+		if res.Cycles != 6 {
+			t.Errorf("%s: cycles = %d, want 6", arch, res.Cycles)
+		}
+		// tproc(3,4,5,6) = 46 in r6.
+		if got := res.Stats.TotalDataOps(); got == 0 {
+			t.Errorf("%s: no data ops recorded", arch)
+		}
+	}
+}
+
+func TestLoadErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Load(ArchXIMD, []byte(".fus 1\n.fu 0\n\tbogus r1, r2, r3\n\t=> halt\n"))
+	if err == nil {
+		t.Fatal("Load accepted a bogus opcode")
+	}
+	var le *LoadError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %T is not a LoadError", err)
+	}
+	var list asm.ErrorList
+	if !errors.As(err, &list) {
+		t.Fatalf("LoadError does not wrap asm.ErrorList: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error lost the line number: %v", err)
+	}
+	if ExitCode(err) != ExitLoad {
+		t.Fatalf("ExitCode = %d, want %d", ExitCode(err), ExitLoad)
+	}
+}
+
+func TestNonVLIWRejectedForVLIWArch(t *testing.T) {
+	// Per-FU control (one FU branches, the other halts later) is not
+	// VLIW-style.
+	src := `
+.fus 2
+.fu 0
+	iadd r1, #1, r1
+	=> halt
+.fu 1
+	nop
+	=> goto 1
+`
+	if _, err := Load(ArchVLIW, []byte(src)); err == nil {
+		t.Fatal("Load accepted non-VLIW code for the VLIW arch")
+	} else if ExitCode(err) != ExitLoad {
+		t.Fatalf("ExitCode = %d, want %d", ExitCode(err), ExitLoad)
+	}
+}
+
+func TestUsageErrorTaxonomy(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), prog, Spec{Inject: "lat=banana"}, Options{})
+	if ExitCode(err) != ExitUsage {
+		t.Fatalf("bad inject spec: ExitCode = %d (%v), want %d", ExitCode(err), err, ExitUsage)
+	}
+}
+
+func TestMaxCyclesIsSimError(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), prog, Spec{MaxCycles: 100}, Options{})
+	if !errors.Is(err, core.ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if ExitCode(err) != ExitSim {
+		t.Fatalf("ExitCode = %d, want %d", ExitCode(err), ExitSim)
+	}
+}
+
+func TestContextCancellationAborts(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = Run(ctx, prog, Spec{MaxCycles: 2_000_000_000}, Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestTraceRecordsBothArches(t *testing.T) {
+	for _, arch := range []Arch{ArchXIMD, ArchVLIW} {
+		prog, err := Load(arch, []byte(tprocSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), prog, tprocSpec(), Options{Trace: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uint64(len(res.Trace)) != res.Cycles {
+			t.Fatalf("%s: %d trace records for %d cycles", arch, len(res.Trace), res.Cycles)
+		}
+	}
+}
+
+func TestResultDocDeterministic(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeks, _ := hostcfg.ParseMemPeeks([]string{"0:4"})
+	var bodies [][]byte
+	for i := 0; i < 2; i++ {
+		res, err := Run(context.Background(), prog, tprocSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(NewResultDoc(res, peeks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies = append(bodies, b)
+	}
+	if string(bodies[0]) != string(bodies[1]) {
+		t.Fatalf("result documents differ:\n%s\n%s", bodies[0], bodies[1])
+	}
+}
+
+func TestBinaryImageRoundTrip(t *testing.T) {
+	textProg, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := encodeProgram(t, tprocSrc)
+	imgProg, err := Load(ArchXIMD, img)
+	if err != nil {
+		t.Fatalf("Load(image): %v", err)
+	}
+	a, err := Run(context.Background(), textProg, tprocSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), imgProg, tprocSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles {
+		t.Fatalf("cycles: text %d, image %d", a.Cycles, b.Cycles)
+	}
+}
+
+// encodeProgram assembles src and encodes it as a binary image.
+func encodeProgram(t *testing.T, src string) []byte {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := isa.WriteProgram(&buf, prog); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

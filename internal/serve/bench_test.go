@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ximd/internal/runner"
+)
+
+// largeSrc synthesizes a program big enough that assemble+validate+
+// predecode dominates: 8 FUs × 512 instructions.
+func largeSrc() []byte {
+	var b strings.Builder
+	b.WriteString(".fus 8\n")
+	for fu := 0; fu < 8; fu++ {
+		fmt.Fprintf(&b, ".fu %d\n", fu)
+		for i := 0; i < 512; i++ {
+			fmt.Fprintf(&b, "\tiadd r%d, #%d, r%d\n", (i%7)+1, i%16, (i%7)+1)
+		}
+		b.WriteString("\t=> halt\n")
+	}
+	return []byte(b.String())
+}
+
+// BenchmarkSubmitCold measures the cache-miss path of job submission:
+// hash + assemble + validate + pre-decode, exactly what
+// manager.loadProgram pays on a miss.
+func BenchmarkSubmitCold(b *testing.B) {
+	for _, bm := range []struct {
+		name string
+		src  []byte
+	}{
+		{"tproc", []byte(tprocSrc)},
+		{"large", largeSrc()},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = programKey(runner.ArchXIMD, bm.src)
+				if _, err := runner.Load(runner.ArchXIMD, bm.src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSubmitHot measures the cache-hit path: hash + LRU lookup,
+// sharing the pre-decoded program.
+func BenchmarkSubmitHot(b *testing.B) {
+	for _, bm := range []struct {
+		name string
+		src  []byte
+	}{
+		{"tproc", []byte(tprocSrc)},
+		{"large", largeSrc()},
+	} {
+		b.Run(bm.name, func(b *testing.B) {
+			m := newManager(Options{Workers: 1, QueueDepth: 1}.withDefaults())
+			defer m.cancel()
+			if _, _, hit, err := m.loadProgram(runner.ArchXIMD, bm.src); err != nil || hit {
+				b.Fatalf("warmup: hit=%v err=%v", hit, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, hit, err := m.loadProgram(runner.ArchXIMD, bm.src)
+				if err != nil || !hit {
+					b.Fatalf("hit=%v err=%v", hit, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// resultField extracts the raw "result" subdocument of a job status
+// body. Job ids differ between submissions, so determinism is asserted
+// on the result document, which carries everything the simulation
+// produced.
+func resultField(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var fields map[string]json.RawMessage
+	if err := json.Unmarshal(body, &fields); err != nil {
+		t.Fatalf("status body: %v: %s", err, body)
+	}
+	raw, ok := fields["result"]
+	if !ok {
+		t.Fatalf("status body has no result: %s", body)
+	}
+	return raw
+}
+
+// TestJobDeterminismColdVsCache is the issue's differential test: the
+// decoded-program cache hit path must be observationally equivalent to
+// the cold path. The same job (program, arch, seed, inject, pokes) is
+// run cold on one server and twice on another; all three result
+// documents must be byte-identical, and the repeat submission must be
+// served from the cache.
+func TestJobDeterminismColdVsCache(t *testing.T) {
+	job := JobRequest{
+		Arch:   "ximd",
+		Source: loadSrc,
+		Mem:    []string{"100=20", "101=22"},
+		Peeks:  []string{"102:1"},
+		Seed:   42,
+		Inject: "lat=uniform:1:5",
+	}
+
+	_, cold := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	coldSub := submit(t, cold, job)
+	if coldSub.CacheHit {
+		t.Fatal("cold server reported a cache hit")
+	}
+	_, coldBody := waitTerminal(t, cold, coldSub.ID)
+	coldRes := resultField(t, coldBody)
+
+	_, warm := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	first := submit(t, warm, job)
+	if first.CacheHit {
+		t.Fatal("first submission on fresh server reported a cache hit")
+	}
+	_, firstBody := waitTerminal(t, warm, first.ID)
+	second := submit(t, warm, job)
+	if !second.CacheHit {
+		t.Fatal("repeat submission missed the decoded-program cache")
+	}
+	if second.ProgramSHA256 != first.ProgramSHA256 {
+		t.Fatalf("program hash changed between submissions: %s vs %s",
+			first.ProgramSHA256, second.ProgramSHA256)
+	}
+	_, secondBody := waitTerminal(t, warm, second.ID)
+
+	firstRes := resultField(t, firstBody)
+	secondRes := resultField(t, secondBody)
+	if !bytes.Equal(firstRes, secondRes) {
+		t.Errorf("cache-hit result differs from first run:\n%s\n%s", firstRes, secondRes)
+	}
+	if !bytes.Equal(coldRes, firstRes) {
+		t.Errorf("results differ across servers:\n%s\n%s", coldRes, firstRes)
+	}
+}
+
+// TestStatusBodyStableAcrossPolls asserts a terminal job serves
+// byte-identical status bodies on every poll (the result document is
+// frozen once).
+func TestStatusBodyStableAcrossPolls(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	sr := submit(t, ts, tprocJob())
+	_, body1 := waitTerminal(t, ts, sr.ID)
+	_, body2 := getBody(t, ts.URL+"/v1/jobs/"+sr.ID)
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("status body changed between polls:\n%s\n%s", body1, body2)
+	}
+}
+
+// TestDeterminismAcrossArch sanity-checks that the two architectures
+// report their own arch tag but agree on the TPROC answer.
+func TestDeterminismAcrossArch(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
+	var cycles [2]uint64
+	for i, arch := range []string{"ximd", "vliw"} {
+		job := tprocJob()
+		job.Arch = arch
+		job.Peeks = nil
+		sr := submit(t, ts, job)
+		st, _ := waitTerminal(t, ts, sr.ID)
+		if st.Status != StateDone {
+			t.Fatalf("%s job failed: %s", arch, st.Error)
+		}
+		if st.Result.Arch != arch {
+			t.Fatalf("result arch = %q, want %q", st.Result.Arch, arch)
+		}
+		cycles[i] = st.Result.Cycles
+	}
+	if cycles[0] != cycles[1] {
+		t.Errorf("tproc cycles differ across arch: ximd=%d vliw=%d", cycles[0], cycles[1])
+	}
+}

@@ -1,0 +1,312 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"ximd/internal/hostcfg"
+	"ximd/internal/runner"
+	"ximd/internal/sweep"
+	"ximd/internal/trace"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// queued → running → done|failed; a terminal job never changes again.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Errors the submission path maps to HTTP statuses.
+var (
+	// ErrQueueFull is the backpressure signal: the bounded submission
+	// queue is at capacity (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: submission queue full")
+	// ErrShuttingDown rejects submissions during graceful shutdown
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrUnknownJob reports a job id that was never issued (HTTP 404).
+	ErrUnknownJob = errors.New("serve: unknown job")
+)
+
+// job is the manager's record of one submitted simulation.
+type job struct {
+	id       string
+	prog     *runner.Program
+	progSHA  string
+	cacheHit bool
+	spec     runner.Spec
+	peeks    []hostcfg.MemPeek
+	trace    bool
+
+	// Mutated under the manager's lock only.
+	state  State
+	result runner.Result
+	err    error
+	doc    *runner.ResultDoc
+	recs   []trace.Record
+}
+
+// manager owns the job table, the bounded submission queue, the worker
+// pool, and the decoded-program cache. Per-job execution is layered on
+// internal/sweep: each job runs as a single-task sweep with the
+// configured TaskTimeout, inheriting sweep's panic recovery and
+// deadline semantics.
+type manager struct {
+	queueDepth int
+	workers    int
+	jobTimeout time.Duration
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	nextID uint64
+	queue  chan *job
+	closed bool
+	cache  *progCache
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	// Metrics, all surfaced through /varz.
+	vars           *expvar.Map
+	queued         *expvar.Int
+	running        *expvar.Int
+	done           *expvar.Int
+	failed         *expvar.Int
+	cacheHits      *expvar.Int
+	cacheMisses    *expvar.Int
+	cyclesSimmed   *expvar.Int
+	sweepsRun      *expvar.Int
+	sweepTasks     *expvar.Int
+	rejectedFull   *expvar.Int
+	rejectedClosed *expvar.Int
+}
+
+func newManager(opts Options) *manager {
+	m := &manager{
+		queueDepth: opts.QueueDepth,
+		workers:    opts.Workers,
+		jobTimeout: opts.JobTimeout,
+		jobs:       make(map[string]*job),
+		queue:      make(chan *job, opts.QueueDepth),
+		vars:       new(expvar.Map),
+
+		queued:         new(expvar.Int),
+		running:        new(expvar.Int),
+		done:           new(expvar.Int),
+		failed:         new(expvar.Int),
+		cacheHits:      new(expvar.Int),
+		cacheMisses:    new(expvar.Int),
+		cyclesSimmed:   new(expvar.Int),
+		sweepsRun:      new(expvar.Int),
+		sweepTasks:     new(expvar.Int),
+		rejectedFull:   new(expvar.Int),
+		rejectedClosed: new(expvar.Int),
+	}
+	m.cache = newProgCache(opts.CacheEntries, m.cacheHits, m.cacheMisses)
+	m.rootCtx, m.cancel = context.WithCancel(context.Background())
+
+	m.vars.Set("jobs_queued", m.queued)
+	m.vars.Set("jobs_running", m.running)
+	m.vars.Set("jobs_done", m.done)
+	m.vars.Set("jobs_failed", m.failed)
+	m.vars.Set("cache_hits", m.cacheHits)
+	m.vars.Set("cache_misses", m.cacheMisses)
+	m.vars.Set("cycles_simulated", m.cyclesSimmed)
+	m.vars.Set("sweeps_run", m.sweepsRun)
+	m.vars.Set("sweep_tasks", m.sweepTasks)
+	m.vars.Set("rejected_queue_full", m.rejectedFull)
+	m.vars.Set("rejected_shutting_down", m.rejectedClosed)
+	m.vars.Set("queue_capacity", intVar(int64(opts.QueueDepth)))
+	m.vars.Set("workers", intVar(int64(m.workers)))
+	m.vars.Set("queue_depth", expvar.Func(func() any { return len(m.queue) }))
+	m.vars.Set("cache_entries", expvar.Func(func() any {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.cache.len()
+	}))
+
+	m.wg.Add(m.workers)
+	for i := 0; i < m.workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+func intVar(v int64) *expvar.Int {
+	i := new(expvar.Int)
+	i.Set(v)
+	return i
+}
+
+// loadProgram resolves the submitted program bytes through the
+// decoded-program cache: a hit reuses the shared pre-decoded program,
+// a miss pays the assemble+validate+predecode cost once and populates
+// the cache. Returns the program, its content hash, and whether this
+// was a hit.
+func (m *manager) loadProgram(arch runner.Arch, source []byte) (*runner.Program, string, bool, error) {
+	key := programKey(arch, source)
+	m.mu.Lock()
+	prog, ok := m.cache.get(key)
+	m.mu.Unlock()
+	if ok {
+		return prog, key, true, nil
+	}
+	prog, err := runner.Load(arch, source)
+	if err != nil {
+		return nil, key, false, err
+	}
+	m.mu.Lock()
+	m.cache.put(key, prog)
+	m.mu.Unlock()
+	return prog, key, false, nil
+}
+
+// submit enqueues a prepared job. It fails with ErrShuttingDown after
+// Shutdown began and ErrQueueFull when the bounded queue is at
+// capacity — the caller maps those to 503 and 429.
+func (m *manager) submit(j *job) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.rejectedClosed.Add(1)
+		return ErrShuttingDown
+	}
+	m.nextID++
+	j.id = "j-" + strconv.FormatUint(m.nextID, 10)
+	j.state = StateQueued
+	select {
+	case m.queue <- j:
+	default:
+		m.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.queued.Add(1)
+	return nil
+}
+
+// worker drains the queue until it is closed, executing each job as a
+// single-task sweep so per-job deadlines (TaskTimeout) and panic
+// recovery come from the sweep engine.
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.setRunning(j)
+		var res runner.Result
+		task := sweep.Task{Name: j.id, Run: func(ctx context.Context) (sweep.Outcome, error) {
+			var err error
+			res, err = runner.Run(ctx, j.prog, j.spec, runner.Options{Trace: j.trace})
+			if err != nil {
+				return sweep.Outcome{}, err
+			}
+			return sweep.Outcome{Cycles: res.Cycles, Stats: res.Stats}, nil
+		}}
+		results, _ := sweep.Run(m.rootCtx, []sweep.Task{task}, sweep.Options{
+			Workers:     1,
+			TaskTimeout: m.jobTimeout,
+		})
+		m.finish(j, res, results[0].Err)
+	}
+}
+
+func (m *manager) setRunning(j *job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.state = StateRunning
+	m.queued.Add(-1)
+	m.running.Add(1)
+}
+
+// finish moves a job to its terminal state and freezes its result
+// document (built once, so repeated GETs serve identical bytes).
+func (m *manager) finish(j *job, res runner.Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.result = res
+	j.err = err
+	j.recs = res.Trace
+	m.running.Add(-1)
+	m.cyclesSimmed.Add(int64(res.Cycles))
+	if err != nil {
+		j.state = StateFailed
+		m.failed.Add(1)
+		return
+	}
+	doc := runner.NewResultDoc(res, j.peeks)
+	j.doc = &doc
+	j.state = StateDone
+	m.done.Add(1)
+}
+
+// get returns the job record for id.
+func (m *manager) get(id string) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// snapshot copies the fields a status response needs under the lock.
+func (m *manager) snapshot(j *job) (state State, doc *runner.ResultDoc, jerr error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.state, j.doc, j.err
+}
+
+// traceRecords returns the captured trace once a job is terminal.
+func (m *manager) traceRecords(j *job) (State, []trace.Record) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.state, j.recs
+}
+
+// shuttingDown reports whether Shutdown has begun.
+func (m *manager) shuttingDown() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Shutdown drains gracefully: new submissions are rejected immediately,
+// queued and running jobs are completed, and the call returns when the
+// workers are idle. If ctx expires first, the in-flight runs are
+// cancelled (they abort at their next cooperative check and are marked
+// failed with the cancellation error — never dropped, never rerun) and
+// the context error is returned.
+func (m *manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		m.cancel()
+		return nil
+	case <-ctx.Done():
+		m.cancel()
+		<-idle
+		return ctx.Err()
+	}
+}

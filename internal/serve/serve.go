@@ -1,0 +1,395 @@
+// Package serve is the simulation-as-a-service layer: it turns the
+// one-shot simulators into a long-lived HTTP/JSON daemon (cmd/ximdd)
+// with a bounded job queue, a worker pool layered on internal/sweep,
+// a content-addressed decoded-program cache, explicit backpressure,
+// and graceful drain on shutdown. Everything is stdlib-only.
+//
+// API:
+//
+//	POST /v1/jobs            submit a simulation; 202 + job id,
+//	                         429 + Retry-After when the queue is full,
+//	                         400 for malformed programs/specs (assembler
+//	                         diagnostics with line numbers pass through),
+//	                         503 while shutting down
+//	GET  /v1/jobs/{id}       job status + result document when terminal
+//	GET  /v1/jobs/{id}/trace per-cycle trace as NDJSON (trace=true jobs)
+//	POST /v1/sweeps          synchronous batch fan-out over the sweep
+//	                         pool; results in submission order
+//	GET  /healthz            liveness ("ok", 503 while draining)
+//	GET  /varz               queue/job/cache/cycle metrics (expvar JSON)
+//
+// Determinism contract: a job's result document is a pure function of
+// (program bytes, arch, seed, inject spec, pokes, max_cycles). The
+// response carries no timestamps or host state, so resubmitting the
+// same job yields byte-identical result JSON whether it is served cold
+// or from the decoded-program cache.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"ximd/internal/hostcfg"
+	"ximd/internal/inject"
+	"ximd/internal/runner"
+	"ximd/internal/trace"
+)
+
+// Options configures a Server. The zero value selects sane defaults.
+type Options struct {
+	// QueueDepth bounds the submission queue; a full queue answers 429.
+	// <= 0 selects 64.
+	QueueDepth int
+	// Workers is the number of concurrent job executors; <= 0 selects
+	// GOMAXPROCS.
+	Workers int
+	// JobTimeout is the per-job deadline, enforced through the sweep
+	// engine's TaskTimeout; <= 0 selects 30s.
+	JobTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses; <= 0 selects 1s.
+	RetryAfter time.Duration
+	// CacheEntries caps the decoded-program cache; <= 0 selects 256.
+	CacheEntries int
+	// MaxSourceBytes caps a submitted program; <= 0 selects 1 MiB.
+	MaxSourceBytes int64
+	// MaxSweepTasks caps one sweep request's fan-out; <= 0 selects 1024.
+	MaxSweepTasks int
+	// MaxConcurrentSweeps bounds simultaneous sweep requests (they run
+	// synchronously on the caller's connection); excess answers 429.
+	// <= 0 selects 2.
+	MaxConcurrentSweeps int
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 30 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxSourceBytes <= 0 {
+		o.MaxSourceBytes = 1 << 20
+	}
+	if o.MaxSweepTasks <= 0 {
+		o.MaxSweepTasks = 1024
+	}
+	if o.MaxConcurrentSweeps <= 0 {
+		o.MaxConcurrentSweeps = 2
+	}
+	return o
+}
+
+// Server is the simulation service. Create with New, mount Handler on
+// an http.Server, and drain with Shutdown.
+type Server struct {
+	opts     Options
+	mgr      *manager
+	mux      *http.ServeMux
+	sweepSem chan struct{}
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		mgr:      newManager(opts),
+		mux:      http.NewServeMux(),
+		sweepSem: make(chan struct{}, opts.MaxConcurrentSweeps),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /varz", s.handleVarz)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown gracefully drains the job queue (see manager.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.Shutdown(ctx) }
+
+// JobRequest is the body of POST /v1/jobs. Exactly one of Source
+// (assembly text) and Image (binary program image, base64 in JSON)
+// must be set.
+type JobRequest struct {
+	// Arch is "ximd" (default) or "vliw".
+	Arch string `json:"arch,omitempty"`
+	// Source is XIMD assembly text.
+	Source string `json:"source,omitempty"`
+	// Image is an encoded binary program image.
+	Image []byte `json:"image,omitempty"`
+	// Seed and Inject select a deterministic fault-injection campaign.
+	Seed   int64  `json:"seed,omitempty"`
+	Inject string `json:"inject,omitempty"`
+	// MaxCycles bounds the run (0 = machine default).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// TolerateConflicts makes same-cycle write conflicts non-fatal.
+	TolerateConflicts bool `json:"tolerate_conflicts,omitempty"`
+	// Pokes ("rN=V"), Mem ("ADDR=V,V"), and Peeks ("ADDR:N") reuse the
+	// CLI host-configuration grammar (internal/hostcfg).
+	Pokes []string `json:"pokes,omitempty"`
+	Mem   []string `json:"mem,omitempty"`
+	Peeks []string `json:"peeks,omitempty"`
+	// Trace records the per-cycle trace, served at /v1/jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// SubmitResponse is the 202 body of POST /v1/jobs.
+type SubmitResponse struct {
+	ID            string `json:"id"`
+	Status        State  `json:"status"`
+	ProgramSHA256 string `json:"program_sha256"`
+	CacheHit      bool   `json:"cache_hit"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID            string            `json:"id"`
+	Status        State             `json:"status"`
+	ProgramSHA256 string            `json:"program_sha256"`
+	CacheHit      bool              `json:"cache_hit"`
+	Error         string            `json:"error,omitempty"`
+	ExitCode      *int              `json:"exit_code,omitempty"`
+	Result        *runner.ResultDoc `json:"result,omitempty"`
+}
+
+// errorBody is every non-2xx JSON body.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// buildJob validates a JobRequest into a runnable job, resolving the
+// program through the decoded-program cache. Validation failures are
+// returned with the HTTP status they deserve: 400 for bad programs
+// (assembler line numbers preserved) and bad host configuration.
+func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
+	arch, err := runner.ParseArch(req.Arch)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	var source []byte
+	switch {
+	case req.Source != "" && len(req.Image) > 0:
+		return nil, http.StatusBadRequest, errors.New("request sets both source and image")
+	case req.Source != "":
+		source = []byte(req.Source)
+	case len(req.Image) > 0:
+		source = req.Image
+	default:
+		return nil, http.StatusBadRequest, errors.New("request needs source (assembly text) or image (binary program)")
+	}
+	if int64(len(source)) > s.opts.MaxSourceBytes {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("program is %d bytes, limit %d", len(source), s.opts.MaxSourceBytes)
+	}
+
+	prog, key, hit, err := s.mgr.loadProgram(arch, source)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	spec := runner.Spec{
+		MaxCycles:         req.MaxCycles,
+		TolerateConflicts: req.TolerateConflicts,
+		Seed:              req.Seed,
+		Inject:            req.Inject,
+	}
+	if spec.RegPokes, err = hostcfg.ParseRegPokes(req.Pokes); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if spec.MemPokes, err = hostcfg.ParseMemPokes(req.Mem); err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	peeks, err := hostcfg.ParseMemPeeks(req.Peeks)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	if req.Inject != "" {
+		// Validate the inject spec at submit so the client gets a 400
+		// instead of a queued job that fails at run time.
+		if _, err := inject.ParseSpec(req.Inject, req.Seed); err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+	}
+	return &job{
+		prog:     prog,
+		progSHA:  key,
+		cacheHit: hit,
+		spec:     spec,
+		peeks:    peeks,
+		trace:    req.Trace,
+	}, 0, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	j, status, err := s.buildJob(&req)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	if err := s.mgr.submit(j); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{
+		ID:            j.id,
+		Status:        StateQueued,
+		ProgramSHA256: j.progSHA,
+		CacheHit:      j.cacheHit,
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	state, doc, jerr := s.mgr.snapshot(j)
+	st := JobStatus{
+		ID:            j.id,
+		Status:        state,
+		ProgramSHA256: j.progSHA,
+		CacheHit:      j.cacheHit,
+		Result:        doc,
+	}
+	if state == StateDone || state == StateFailed {
+		code := runner.ExitCode(jerr)
+		st.ExitCode = &code
+	}
+	if jerr != nil {
+		st.Error = jerr.Error()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// TraceLine is one NDJSON record of GET /v1/jobs/{id}/trace.
+type TraceLine struct {
+	Cycle uint64 `json:"cycle"`
+	// PC has one entry per FU (XIMD) or a single entry (VLIW).
+	PC []uint16 `json:"pc"`
+	// CC and SS are the Figure 10 strings ("TFXX", "DBBD"); SS and
+	// Partition are empty for VLIW jobs.
+	CC        string `json:"cc"`
+	SS        string `json:"ss,omitempty"`
+	Partition string `json:"partition,omitempty"`
+	// Halted has one letter per FU: H for halted, . for live; empty when
+	// no FU has halted yet.
+	Halted string `json:"halted,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	if !j.trace {
+		writeError(w, http.StatusNotFound, errors.New("job was submitted without trace=true"))
+		return
+	}
+	state, recs := s.mgr.traceRecords(j)
+	if state != StateDone && state != StateFailed {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; trace is available once it is terminal", state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(traceLine(&recs[i])); err != nil {
+			return // client went away
+		}
+	}
+}
+
+func traceLine(rec *trace.Record) TraceLine {
+	line := TraceLine{
+		Cycle: rec.Cycle,
+		PC:    make([]uint16, len(rec.PC)),
+		CC:    rec.CCString(),
+	}
+	for i, pc := range rec.PC {
+		line.PC[i] = uint16(pc)
+	}
+	if len(rec.SS) > 0 {
+		line.SS = rec.SSString()
+		line.Partition = rec.Partition.String()
+	}
+	any := false
+	halted := make([]byte, len(rec.Halted))
+	for i, h := range rec.Halted {
+		if h {
+			halted[i] = 'H'
+			any = true
+		} else {
+			halted[i] = '.'
+		}
+	}
+	if any {
+		line.Halted = string(halted)
+	}
+	return line
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.shuttingDown() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleVarz serves the manager's expvar map as JSON — the same
+// rendering expvar's own handler uses, but scoped to this server
+// instance so tests and multi-server processes do not share counters.
+func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, s.mgr.vars.String())
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ximd/internal/inject"
+	"ximd/internal/runner"
+	"ximd/internal/sweep"
+)
+
+// SweepRequest is the body of POST /v1/sweeps: one base job plus the
+// axes to vary. The expanded task list is the cross product of Injects
+// and Seeds (inject outer, seed inner); an empty axis falls back to the
+// base value, so {seeds:[1,2,3]} runs three seeds of the base spec and
+// {} degenerates to a single run. Results always come back in
+// submission order, one entry per task, regardless of which worker
+// finished first — the sweep engine's ordering guarantee.
+type SweepRequest struct {
+	Base JobRequest `json:"base"`
+	// Seeds are fault-injection seed variations.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Injects are fault-injection spec variations.
+	Injects []string `json:"injects,omitempty"`
+}
+
+// SweepTaskResult is one entry of a sweep response, in submission order.
+type SweepTaskResult struct {
+	Name   string            `json:"name"`
+	Seed   int64             `json:"seed"`
+	Inject string            `json:"inject,omitempty"`
+	Error  string            `json:"error,omitempty"`
+	Result *runner.ResultDoc `json:"result,omitempty"`
+}
+
+// SweepResponse is the body of a completed sweep.
+type SweepResponse struct {
+	ProgramSHA256 string            `json:"program_sha256"`
+	CacheHit      bool              `json:"cache_hit"`
+	Results       []SweepTaskResult `json:"results"`
+}
+
+// handleSweep fans a batch of (seed, inject) variations of one program
+// out over the sweep worker pool and answers synchronously with the
+// results in submission order. Concurrent sweep requests beyond the
+// configured bound get 429 + Retry-After, the same backpressure
+// contract as the job queue.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.shuttingDown() {
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	default:
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusTooManyRequests, errors.New("serve: sweep capacity in use"))
+		return
+	}
+
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Base.Trace {
+		writeError(w, http.StatusBadRequest, errors.New("sweeps do not support trace=true"))
+		return
+	}
+	base, status, err := s.buildJob(&req.Base)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{req.Base.Seed}
+	}
+	injects := req.Injects
+	if len(injects) == 0 {
+		injects = []string{req.Base.Inject}
+	}
+	n := len(seeds) * len(injects)
+	if n > s.opts.MaxSweepTasks {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("sweep expands to %d tasks, limit %d", n, s.opts.MaxSweepTasks))
+		return
+	}
+
+	type variant struct {
+		name   string
+		seed   int64
+		inject string
+		spec   runner.Spec
+	}
+	variants := make([]variant, 0, n)
+	tasks := make([]sweep.Task, 0, n)
+	docs := make([]*runner.ResultDoc, n)
+	for i, inj := range injects {
+		if inj != "" {
+			// Each inject variation must parse; reject the whole batch
+			// up front so a sweep never partially validates.
+			if err := validInject(inj); err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("injects[%d]: %w", i, err))
+				return
+			}
+		}
+		for _, seed := range seeds {
+			v := variant{
+				name:   fmt.Sprintf("inject=%q/seed=%d", inj, seed),
+				seed:   seed,
+				inject: inj,
+				spec:   base.spec,
+			}
+			v.spec.Seed = seed
+			v.spec.Inject = inj
+			idx := len(variants)
+			variants = append(variants, v)
+			spec := v.spec
+			tasks = append(tasks, sweep.Task{Name: v.name, Run: func(ctx context.Context) (sweep.Outcome, error) {
+				res, err := runner.Run(ctx, base.prog, spec, runner.Options{})
+				if err != nil {
+					return sweep.Outcome{}, err
+				}
+				doc := runner.NewResultDoc(res, base.peeks)
+				docs[idx] = &doc
+				return sweep.Outcome{Cycles: res.Cycles, Stats: res.Stats}, nil
+			}})
+		}
+	}
+
+	results, _ := sweep.Run(s.mgr.rootCtx, tasks, sweep.Options{
+		Workers:     s.opts.Workers,
+		TaskTimeout: s.opts.JobTimeout,
+	})
+	s.mgr.sweepsRun.Add(1)
+	s.mgr.sweepTasks.Add(int64(len(tasks)))
+
+	resp := SweepResponse{ProgramSHA256: base.progSHA, CacheHit: base.cacheHit}
+	for i, res := range results {
+		out := SweepTaskResult{
+			Name:   variants[i].name,
+			Seed:   variants[i].seed,
+			Inject: variants[i].inject,
+			Result: docs[i],
+		}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+			out.Result = nil
+		}
+		s.mgr.cyclesSimmed.Add(int64(res.Cycles))
+		resp.Results = append(resp.Results, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validInject reports whether an inject spec parses (seed 0 is enough:
+// the grammar does not depend on the seed).
+func validInject(spec string) error {
+	_, err := inject.ParseSpec(spec, 0)
+	return err
+}

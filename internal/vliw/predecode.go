@@ -1,0 +1,32 @@
+package vliw
+
+import "fmt"
+
+// Decoded is a validated VLIW program together with its fast-engine
+// decoded-instruction table — the vliw counterpart of core.Decoded. It
+// is immutable after Predecode and safe for concurrent use by any
+// number of machines, which is what lets the ximdd decoded-program
+// cache serve repeat submissions without re-validating or re-decoding.
+type Decoded struct {
+	prog *Program
+	code []vop
+}
+
+// Predecode validates prog and builds its decoded-instruction table
+// once. Machines constructed with Config.Decoded skip both steps.
+func Predecode(prog *Program) (*Decoded, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoded{prog: prog, code: decodeVLIW(prog)}, nil
+}
+
+// Program returns the validated program the table was decoded from. The
+// caller must not mutate it: the decoded table mirrors its contents.
+func (d *Decoded) Program() *Program { return d.prog }
+
+// errDecodedMismatch reports a Config.Decoded built from a different
+// program than the one passed to New.
+func errDecodedMismatch() error {
+	return fmt.Errorf("vliw: Config.Decoded was built from a different program")
+}

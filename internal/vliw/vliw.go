@@ -153,6 +153,11 @@ type Config struct {
 	// immediate terminal error (wrapping core.ErrFUFailed), because every
 	// word needs every FU — the paper's Section 1.3 limitation.
 	Inject *inject.Injector
+	// Decoded, if non-nil, supplies the program's pre-built decoded
+	// instruction table (Predecode). New then skips re-validating and
+	// re-decoding the program. The table must have been built from the
+	// same *Program passed to New.
+	Decoded *Decoded
 	// Tracer, if non-nil, observes each cycle.
 	Tracer Tracer
 }
@@ -252,7 +257,13 @@ type ccWrite struct {
 
 // New creates a VLIW machine loaded with prog.
 func New(prog *Program, cfg Config) (*Machine, error) {
-	if err := prog.Validate(); err != nil {
+	if cfg.Decoded != nil {
+		if prog == nil {
+			prog = cfg.Decoded.prog
+		} else if prog != cfg.Decoded.prog {
+			return nil, errDecodedMismatch()
+		}
+	} else if err := prog.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Memory == nil {
@@ -275,7 +286,11 @@ func New(prog *Program, cfg Config) (*Machine, error) {
 		m.inject = cfg.Inject
 	}
 	if cfg.Engine == core.EngineFast {
-		m.code = decodeVLIW(prog)
+		if cfg.Decoded != nil {
+			m.code = cfg.Decoded.code
+		} else {
+			m.code = decodeVLIW(prog)
+		}
 		if sh, ok := cfg.Memory.(*mem.Shared); ok {
 			m.shared = sh
 		}

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# service_smoke.sh — end-to-end smoke test of the ximdd daemon, as run
+# by CI. Builds ximdd, starts it on a random port, submits the TPROC
+# job from testdata/tproc.xasm, polls until it completes, and asserts
+# the job finished with the expected cycle count. Requires curl.
+#
+# Usage: scripts/service_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+ximdd_pid=""
+cleanup() {
+  if [ -n "$ximdd_pid" ]; then
+    kill "$ximdd_pid" 2>/dev/null || true
+    wait "$ximdd_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$workdir/ximdd" ./cmd/ximdd
+
+echo "== start"
+"$workdir/ximdd" -addr 127.0.0.1:0 >"$workdir/ximdd.log" 2>&1 &
+ximdd_pid=$!
+
+# The daemon prints "ximdd: listening on 127.0.0.1:PORT" on startup.
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$workdir/ximdd.log" | head -n1)
+  [ -n "$addr" ] && break
+  kill -0 "$ximdd_pid" 2>/dev/null || { echo "ximdd died:"; cat "$workdir/ximdd.log"; exit 1; }
+  sleep 0.1
+done
+if [ -z "$addr" ]; then
+  echo "ximdd never reported its address:"; cat "$workdir/ximdd.log"; exit 1
+fi
+base="http://$addr"
+echo "   ximdd at $base"
+
+echo "== healthz"
+curl -fsS "$base/healthz" | grep -q ok
+
+echo "== submit TPROC"
+req=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/tproc.xasm").read_text()
+print(json.dumps({
+    "arch": "ximd",
+    "source": src,
+    "pokes": ["r1=3", "r2=4", "r3=5", "r4=6"],
+}))
+EOF
+)
+submit=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/jobs")
+echo "   $submit"
+id=$(echo "$submit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+if [ -z "$id" ]; then
+  echo "submit returned no job id"; exit 1
+fi
+
+echo "== poll $id"
+status=""
+for _ in $(seq 1 100); do
+  body=$(curl -fsS "$base/v1/jobs/$id")
+  status=$(echo "$body" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  case "$status" in
+    done) break ;;
+    failed) echo "job failed: $body"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+if [ "$status" != "done" ]; then
+  echo "job never completed: $body"; exit 1
+fi
+echo "   $body"
+echo "$body" | grep -q '"cycles":6' || { echo "expected 6 cycles"; exit 1; }
+
+echo "== varz"
+curl -fsS "$base/varz" | grep -q '"jobs_done": *1'
+
+echo "== graceful shutdown"
+kill -TERM "$ximdd_pid"
+wait "$ximdd_pid"
+ximdd_pid=""
+grep -q "stopped" "$workdir/ximdd.log" || { echo "no clean shutdown:"; cat "$workdir/ximdd.log"; exit 1; }
+
+echo "service smoke OK"
