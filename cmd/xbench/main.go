@@ -43,6 +43,7 @@ var experiments = []experiment{
 	{"speedup", "Section 4.1: XIMD vs VLIW across the workload suite", expSpeedup},
 	{"ablation", "design-decision ablations: combinational SS, barrier vs padding", expAblation},
 	{"chaos", "fault injection: XIMD vs VLIW degradation under latency, transients, FU failure", expChaos},
+	{"profile", "stall attribution: per-FU busy/sync-wait/stall breakdown, idealized and under latency faults", expProfile},
 }
 
 // parallelism is the worker count for experiment sweeps, set by the
@@ -69,12 +70,16 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
 	chaos := flag.Bool("chaos", false, "shorthand for -exp chaos")
+	profile := flag.Bool("profile", false, "shorthand for -exp profile")
 	flag.Int64Var(&chaosSeed, "seed", chaosSeed, "seed for the chaos fault-injection campaigns")
 	flag.StringVar(&chaosJSON, "json", "", "write chaos results as JSON to `file`")
 	flag.Parse()
 	parallelism = *parallel
 	if *chaos {
 		*exp = "chaos"
+	}
+	if *profile {
+		*exp = "profile"
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

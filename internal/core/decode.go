@@ -208,6 +208,7 @@ type uop struct {
 	tag      uint64 // ctrlTag of the parcel's control op (tracker key)
 	kind     isa.CtrlKind
 	syncDone bool // parcel drives SS = DONE
+	syncCond bool // branch condition reads the SS network (sync-wait class)
 	trap     bool // unoccupied slot; executing it is a simulation error
 }
 
@@ -228,6 +229,7 @@ func decodeProgram(p *isa.Program) []uop {
 			u.t1, u.t2 = parcel.Ctrl.T1, parcel.Ctrl.T2
 			if parcel.Ctrl.Kind == isa.CtrlCond {
 				u.ctrl = CompileCond(parcel.Ctrl, n)
+				u.syncCond = parcel.Ctrl.Cond.ReadsSS()
 			}
 			u.tag = ctrlTag(parcel.Ctrl)
 			u.syncDone = parcel.Sync == isa.Done

@@ -263,6 +263,9 @@ func (m *Machine) stepFast() (running bool, err error) {
 			m.stats.StallCycles[fu]++
 		case m.uops[fu].Flags&flagNop != 0:
 			m.stats.Nops[fu]++
+			if m.uops[fu].syncCond {
+				m.stats.SyncWaitCycles[fu]++
+			}
 		default:
 			m.stats.DataOps[fu]++
 		}
@@ -386,6 +389,7 @@ func (m *Machine) stageRegWrite(fu int, reg uint8, v isa.Word) error {
 func (m *Machine) regWriteFault(fu int, err error) error {
 	if _, isConflict := err.(*regfile.WriteConflictError); isConflict && m.config.TolerateConflicts {
 		m.stats.RegConflicts++
+		m.stats.PortConflicts[fu]++
 		return nil
 	}
 	return &SimError{Cycle: m.cycle, FU: fu, Err: err}

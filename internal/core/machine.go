@@ -518,6 +518,9 @@ func (m *Machine) Step() (running bool, err error) {
 				m.stats.StallCycles[fu]++
 			case m.parcels[fu].Data.Op == isa.OpNop:
 				m.stats.Nops[fu]++
+				if syncWaitParcel(m.parcels[fu]) {
+					m.stats.SyncWaitCycles[fu]++
+				}
 			default:
 				m.stats.DataOps[fu]++
 			}
@@ -709,6 +712,7 @@ func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
 	if err != nil {
 		if _, isConflict := err.(*regfile.WriteConflictError); isConflict && m.config.TolerateConflicts {
 			m.stats.RegConflicts++
+			m.stats.PortConflicts[fu]++
 			return nil
 		}
 		return &SimError{Cycle: m.cycle, FU: fu, Err: err}

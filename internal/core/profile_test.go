@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ximd/internal/inject"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// checkAttribution asserts the profiler's stall-attribution invariant on
+// a finished machine: every executed cycle put each FU in exactly one
+// class, so busy + nops + halted + mem-stalled + failed == cycles×NumFU,
+// and the sync-wait counter never exceeds the nop class it refines.
+func checkAttribution(t *testing.T, tag string, s Stats, numFU int) {
+	t.Helper()
+	if got, want := s.AttributedFUCycles(), s.Cycles*uint64(numFU); got != want {
+		t.Errorf("%s: attributed FU-cycles = %d, want cycles×NumFU = %d (stats %+v)", tag, got, want, s)
+	}
+	for fu := 0; fu < numFU; fu++ {
+		if s.SyncWaitCycles[fu] > s.Nops[fu] {
+			t.Errorf("%s: FU%d sync-wait %d exceeds nops %d", tag, fu, s.SyncWaitCycles[fu], s.Nops[fu])
+		}
+	}
+}
+
+// TestStallAttributionInvariant holds the attribution invariant across
+// the random-program corpus on both engines, for clean runs, faulting
+// runs, and seeded injection campaigns alike: whatever way a run ends,
+// the counted cycles are fully attributed.
+func TestStallAttributionInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(510))
+	for iter := 0; iter < 300; iter++ {
+		prog := randomXIMDProgram(r)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid program: %v", iter, err)
+		}
+		cfg := Config{
+			MaxCycles:         300,
+			TolerateConflicts: r.Intn(2) == 0,
+			DetectLivelock:    r.Intn(2) == 0,
+		}
+		if iter%2 == 1 {
+			cfg.Inject = inject.MustNew(randomInjectConfig(r))
+			cfg.MaxCycles = 400
+		}
+		for _, engine := range []EngineKind{EngineFast, EngineReference} {
+			memory := mem.NewShared(diffMemWords)
+			ecfg := cfg
+			ecfg.Engine = engine
+			ecfg.Memory = memory
+			m, err := New(prog, ecfg)
+			if err != nil {
+				t.Fatalf("iter %d: New: %v", iter, err)
+			}
+			m.Run() // faulting runs are part of the corpus
+			checkAttribution(t, tagFor(iter, engine), m.Stats(), prog.NumFU)
+		}
+	}
+}
+
+func tagFor(iter int, engine EngineKind) string {
+	if engine == EngineFast {
+		return "iter " + itoa(iter) + " fast"
+	}
+	return "iter " + itoa(iter) + " reference"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestSyncWaitAttribution pins the sync-wait classification on a
+// two-stream handshake: FU1 spins on `if ss0` with a nop data op until
+// FU0 signals DONE, so every spin cycle must land in SyncWaitCycles.
+func TestSyncWaitAttribution(t *testing.T) {
+	// FU0: three adds, then signals DONE and halts.
+	// FU1: spins at address 0 on SS0 (nop + if ss0), then halts.
+	p := &isa.Program{NumFU: 2, Instrs: make([]isa.Instruction, 4)}
+	add := isa.DataOp{Op: isa.OpIAdd, A: isa.I(1), B: isa.I(2), Dest: 64}
+	for a := 0; a < 3; a++ {
+		p.Instrs[a][0] = isa.Parcel{Data: add, Ctrl: isa.Goto(isa.Addr(a + 1))}
+		p.Instrs[a][1] = isa.Parcel{Data: isa.Nop, Ctrl: isa.IfSS(0, 3, isa.Addr(a))}
+	}
+	p.Instrs[3][0] = isa.Parcel{Data: isa.Nop, Sync: isa.Done, Ctrl: isa.Halt()}
+	p.Instrs[3][1] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Halt()}
+
+	for _, engine := range []EngineKind{EngineFast, EngineReference} {
+		m, err := New(p, Config{Engine: engine, Memory: mem.NewShared(64), MaxCycles: 100})
+		if err != nil {
+			t.Fatalf("engine %d: New: %v", engine, err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("engine %d: Run: %v", engine, err)
+		}
+		s := m.Stats()
+		// FU1 spends cycles 0..3 spinning on SS0 (the cycle the condition
+		// finally holds still evaluates SS), then halts at address 3.
+		if s.SyncWaitCycles[1] != 4 {
+			t.Errorf("engine %d: FU1 sync-wait = %d, want 4 (stats %+v)", engine, s.SyncWaitCycles[1], s)
+		}
+		if s.SyncWaitCycles[0] != 0 {
+			t.Errorf("engine %d: FU0 sync-wait = %d, want 0", engine, s.SyncWaitCycles[0])
+		}
+		checkAttribution(t, "handshake", s, 2)
+	}
+}
+
+// TestPortConflictAttribution pins the per-FU tolerated-conflict view:
+// under TolerateConflicts, the losing FU of a same-cycle register write
+// conflict is charged a port conflict.
+func TestPortConflictAttribution(t *testing.T) {
+	p := &isa.Program{NumFU: 2, Instrs: make([]isa.Instruction, 2)}
+	w := func(v int32) isa.DataOp { return isa.DataOp{Op: isa.OpIAdd, A: isa.I(v), B: isa.I(0), Dest: 5} }
+	p.Instrs[0][0] = isa.Parcel{Data: w(1), Ctrl: isa.Goto(1)}
+	p.Instrs[0][1] = isa.Parcel{Data: w(2), Ctrl: isa.Goto(1)}
+	p.Instrs[1][0] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Halt()}
+	p.Instrs[1][1] = isa.Parcel{Data: isa.Nop, Ctrl: isa.Halt()}
+
+	for _, engine := range []EngineKind{EngineFast, EngineReference} {
+		m, err := New(p, Config{Engine: engine, Memory: mem.NewShared(64), MaxCycles: 10, TolerateConflicts: true})
+		if err != nil {
+			t.Fatalf("engine %d: New: %v", engine, err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("engine %d: Run: %v", engine, err)
+		}
+		s := m.Stats()
+		if s.RegConflicts != 1 {
+			t.Fatalf("engine %d: RegConflicts = %d, want 1", engine, s.RegConflicts)
+		}
+		if s.PortConflicts[0]+s.PortConflicts[1] != 1 {
+			t.Errorf("engine %d: per-FU port conflicts %v, want exactly one", engine, s.PortConflicts)
+		}
+	}
+}

@@ -31,6 +31,17 @@ type Stats struct {
 	// conflicts (only populated with Config.TolerateConflicts).
 	RegConflicts uint64
 	MemConflicts uint64
+	// SyncWaitCycles[fu] counts the subset of Nops[fu] spent spinning on
+	// the synchronization-signal network: the parcel's data operation is
+	// a nop and its branch condition reads SS. This is the profiler's
+	// sync-wait stall class; Nops[fu]-SyncWaitCycles[fu] is idle padding.
+	// Always zero on the VLIW baseline, which has no SS network.
+	SyncWaitCycles []uint64
+	// PortConflicts[fu] counts tolerated same-cycle register write
+	// conflicts attributed to the FU whose write lost (the per-FU view of
+	// RegConflicts). These are events, not cycles: the FU still executed
+	// its data operation that cycle.
+	PortConflicts []uint64
 	// StallCycles[fu] counts cycles FU fu spent stalled on an in-flight
 	// load under injected memory latency; FailedCycles[fu] counts cycles
 	// it spent hard-failed. Both stay zero with injection disabled.
@@ -62,6 +73,8 @@ func (s *Stats) init(numFU int) {
 	s.HaltedCycles = make([]uint64, numFU)
 	s.StallCycles = make([]uint64, numFU)
 	s.FailedCycles = make([]uint64, numFU)
+	s.SyncWaitCycles = make([]uint64, numFU)
+	s.PortConflicts = make([]uint64, numFU)
 	s.StreamHistogram = make([]uint64, numFU+1)
 }
 
@@ -75,6 +88,8 @@ func (s Stats) Clone() Stats {
 	c.HaltedCycles = append([]uint64(nil), s.HaltedCycles...)
 	c.StallCycles = append([]uint64(nil), s.StallCycles...)
 	c.FailedCycles = append([]uint64(nil), s.FailedCycles...)
+	c.SyncWaitCycles = append([]uint64(nil), s.SyncWaitCycles...)
+	c.PortConflicts = append([]uint64(nil), s.PortConflicts...)
 	c.StreamHistogram = append([]uint64(nil), s.StreamHistogram...)
 	return c
 }
@@ -106,10 +121,33 @@ func (s *Stats) observeCycle(numSSETs int, parcels []isa.Parcel, halted []bool) 
 		}
 		if parcels[fu].Data.Op == isa.OpNop {
 			s.Nops[fu]++
+			if syncWaitParcel(parcels[fu]) {
+				s.SyncWaitCycles[fu]++
+			}
 		} else {
 			s.DataOps[fu]++
 		}
 	}
+}
+
+// syncWaitParcel reports whether executing p is a synchronization spin:
+// no data-path work, branch condition watching the SS network.
+func syncWaitParcel(p isa.Parcel) bool {
+	return p.Ctrl.Kind == isa.CtrlCond && p.Ctrl.Cond.ReadsSS()
+}
+
+// AttributedFUCycles returns the number of FU-cycles the profiler has
+// attributed to a class: busy (DataOps), nop (Nops, of which
+// SyncWaitCycles are sync spins), halted, memory-stalled, or failed.
+// Every executed cycle lands each FU in exactly one class, so
+// AttributedFUCycles == Cycles × NumFU for every run — the attribution
+// invariant the profiler tests enforce.
+func (s Stats) AttributedFUCycles() uint64 {
+	var total uint64
+	for fu := range s.DataOps {
+		total += s.DataOps[fu] + s.Nops[fu] + s.HaltedCycles[fu] + s.StallCycles[fu] + s.FailedCycles[fu]
+	}
+	return total
 }
 
 // TotalDataOps returns the total non-nop data operations across all FUs.

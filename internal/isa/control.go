@@ -62,6 +62,18 @@ const NumCondKinds = int(numCondKinds)
 // Valid reports whether k is a defined condition kind.
 func (k CondKind) Valid() bool { return k < numCondKinds }
 
+// ReadsSS reports whether the condition observes the synchronization-
+// signal network (any of the SS/ALL/ANY forms). A parcel whose data
+// operation is a nop and whose branch condition reads SS is a
+// synchronization spin — the profiler's sync-wait stall class.
+func (k CondKind) ReadsSS() bool {
+	switch k {
+	case CondSS, CondNotSS, CondAllSS, CondAnySS, CondAllSSMask, CondAnySSMask:
+		return true
+	}
+	return false
+}
+
 // CtrlKind is the top-level shape of a parcel's control operation.
 type CtrlKind uint8
 

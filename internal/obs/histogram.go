@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram buckets for latency in seconds,
+// matching the Prometheus client default so dashboards transfer.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket histogram. Observations are attributed to
+// the first bucket whose upper bound is >= the value (the Prometheus
+// le-semantics: bucket bounds are inclusive upper bounds); values above
+// every bound land in the implicit +Inf bucket. Counts and the running
+// sum are atomics, so Observe is safe from any goroutine and
+// allocation-free.
+//
+// Consistency note: a concurrent scrape may observe a bucket increment
+// before the matching sum update (or vice versa). Each individual
+// counter is monotone, which is all Prometheus rate math requires.
+type Histogram struct {
+	help    string
+	bounds  []float64       // strictly increasing upper bounds, +Inf implicit
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+func newHistogram(help string, buckets []float64) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram buckets not strictly increasing at %v, %v",
+				buckets[i-1], buckets[i]))
+		}
+	}
+	if n := len(buckets); n > 0 && math.IsInf(buckets[n-1], +1) {
+		panic("obs: +Inf bucket is implicit; do not pass it")
+	}
+	h := &Histogram{
+		help:   help,
+		bounds: append([]float64(nil), buckets...),
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the implicit +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) metricType() string { return "histogram" }
+func (h *Histogram) helpText() string   { return h.help }
+
+func (h *Histogram) writeSamples(w *bufio.Writer, name string) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %s\n", name, formatFloat(bound), strconv.FormatUint(cum, 10))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %s\n", name, strconv.FormatUint(cum, 10))
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %s\n", name, strconv.FormatUint(h.count.Load(), 10))
+}

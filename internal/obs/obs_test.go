@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries pins the le-semantics: a value equal to
+// a bucket's upper bound lands in that bucket (inclusive upper bounds),
+// a value above every bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2.5, 10})
+	for _, v := range []float64{
+		0,    // -> le=1
+		1,    // -> le=1 (boundary is inclusive)
+		1.01, // -> le=2.5
+		2.5,  // -> le=2.5
+		10,   // -> le=10
+		10.5, // -> +Inf
+		-3,   // -> le=1 (below the first bound still lands in it)
+	} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []uint64{3, 2, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d count = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	if sum, want := h.Sum(), 0+1+1.01+2.5+10+10.5-3; math.Abs(sum-want) > 1e-9 {
+		t.Errorf("Sum = %v, want %v", sum, want)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing buckets did not panic")
+		}
+	}()
+	NewRegistry().Histogram("bad", "", []float64{1, 1})
+}
+
+// TestRegistryConcurrent races registration-as-lookup against
+// increments: 16 goroutines all get-or-create the same counter,
+// gauge, and histogram names and bang on them. Run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Counter("shared_total", "shared").Inc()
+				r.Gauge("shared_gauge", "").Add(1)
+				r.Histogram("shared_seconds", "", DefBuckets).Observe(float64(i) / perG)
+				r.Counter(fmt.Sprintf("per_goroutine_%d_total", g), "").Inc()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if v := r.Counter("shared_total", "").Value(); v != goroutines*perG {
+		t.Errorf("shared_total = %d, want %d", v, goroutines*perG)
+	}
+	if v := r.Gauge("shared_gauge", "").Value(); v != goroutines*perG {
+		t.Errorf("shared_gauge = %d, want %d", v, goroutines*perG)
+	}
+	if v := r.Histogram("shared_seconds", "", nil).Count(); v != goroutines*perG {
+		t.Errorf("shared_seconds count = %d, want %d", v, goroutines*perG)
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "shared_total 16000") {
+		t.Errorf("exposition missing shared_total:\n%s", sb.String())
+	}
+}
+
+func TestRegistryTypeCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestRegistryRejectsInvalidName(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	NewRegistry().Counter("1bad-name", "")
+}
+
+// TestExpositionGolden holds the Prometheus text format byte-for-byte:
+// HELP/TYPE headers, name-sorted series, cumulative histogram buckets
+// with inclusive le labels, the implicit +Inf bucket, and _sum/_count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ximdd_jobs_total", "Jobs accepted into the queue.")
+	c.Add(3)
+	g := r.Gauge("ximdd_jobs_running", "Jobs currently executing.")
+	g.Set(2)
+	r.GaugeFunc("ximdd_queue_depth", "Submitted jobs waiting for a worker.", func() float64 { return 5 })
+	h := r.Histogram("ximdd_job_queue_wait_seconds", "Time from submit to execution start.", []float64{0.01, 0.1, 1})
+	h.Observe(0.01) // inclusive: lands in le="0.01"
+	h.Observe(0.5)
+	h.Observe(7)
+	// "anon" sorts first and has no help: no HELP line, TYPE only.
+	r.Counter("anon_total", "").Inc()
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE anon_total counter
+anon_total 1
+# HELP ximdd_job_queue_wait_seconds Time from submit to execution start.
+# TYPE ximdd_job_queue_wait_seconds histogram
+ximdd_job_queue_wait_seconds_bucket{le="0.01"} 1
+ximdd_job_queue_wait_seconds_bucket{le="0.1"} 1
+ximdd_job_queue_wait_seconds_bucket{le="1"} 2
+ximdd_job_queue_wait_seconds_bucket{le="+Inf"} 3
+ximdd_job_queue_wait_seconds_sum 7.51
+ximdd_job_queue_wait_seconds_count 3
+# HELP ximdd_jobs_running Jobs currently executing.
+# TYPE ximdd_jobs_running gauge
+ximdd_jobs_running 2
+# HELP ximdd_jobs_total Jobs accepted into the queue.
+# TYPE ximdd_jobs_total counter
+ximdd_jobs_total 3
+# HELP ximdd_queue_depth Submitted jobs waiting for a worker.
+# TYPE ximdd_queue_depth gauge
+ximdd_queue_depth 5
+`
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+// TestRingWraparound drives a ring past its capacity and checks the
+// snapshot window slides correctly at every step.
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := NewRing[int](capacity)
+	if r.Cap() != capacity || r.Len() != 0 {
+		t.Fatalf("fresh ring: cap=%d len=%d", r.Cap(), r.Len())
+	}
+	for i := 0; i < 11; i++ {
+		r.Append(i)
+		wantLen := i + 1
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if r.Len() != wantLen {
+			t.Fatalf("after %d appends: Len = %d, want %d", i+1, r.Len(), wantLen)
+		}
+		snap := r.Snapshot()
+		if len(snap) != wantLen {
+			t.Fatalf("after %d appends: snapshot len = %d, want %d", i+1, len(snap), wantLen)
+		}
+		for j, v := range snap {
+			want := i + 1 - wantLen + j
+			if v != want {
+				t.Fatalf("after %d appends: snapshot[%d] = %d, want %d (%v)", i+1, j, v, want, snap)
+			}
+		}
+	}
+	// Snapshot is a copy: mutating it does not corrupt the ring.
+	snap := r.Snapshot()
+	snap[0] = -1
+	if r.Snapshot()[0] == -1 {
+		t.Fatal("snapshot aliases ring storage")
+	}
+}
+
+func TestRingRejectsZeroCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewRing[int](0)
+}

@@ -1,0 +1,257 @@
+// Package obs is the observability layer of the XIMD reproduction: a
+// stdlib-only concurrent metrics registry (counters, gauges, fixed-
+// bucket histograms) with Prometheus text exposition, and the bounded
+// flight-recorder ring the simulators use for crash postmortems.
+//
+// Design constraints, in priority order:
+//
+//   - Zero overhead when unused. Nothing in this package touches the
+//     simulators' Step path; instrumented layers (the ximdd service,
+//     the runner) observe around runs, never inside the cycle loop.
+//     Metric updates are single atomic operations, safe from any
+//     goroutine, and allocation-free.
+//   - Deterministic exposition. /metrics output is sorted by metric
+//     name and formatted with strconv (never maps or %v float noise),
+//     so golden tests can hold the format byte-for-byte.
+//   - No dependencies. The package imports only the standard library,
+//     mirroring the rest of the repository's stdlib-only service stack.
+//
+// Registration is get-or-create: calling Counter twice with one name
+// returns the same *Counter, so concurrently-initialized layers can
+// share series without coordination. Registering one name as two
+// different metric types is a programming error and panics.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one registered series: its metadata plus the sample lines
+// it contributes to an exposition.
+type metric interface {
+	metricType() string // "counter", "gauge", or "histogram"
+	helpText() string
+	// writeSamples appends the metric's sample lines (without HELP/TYPE
+	// headers) for the given metric name.
+	writeSamples(w *bufio.Writer, name string)
+}
+
+// Registry holds a set of named metrics. The zero value is not usable;
+// create with NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byName map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// validName reports whether name is a legal Prometheus metric name:
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register get-or-creates the named metric: if name is free, build
+// constructs it; if name is taken by the same type, the existing metric
+// is returned. A name collision across types panics — that is a
+// programming error, not a runtime condition.
+func (r *Registry) register(name string, build func() metric) metric {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[name]; ok {
+		fresh := build()
+		if existing.metricType() != fresh.metricType() {
+			panic(fmt.Sprintf("obs: metric %q registered as both %s and %s",
+				name, existing.metricType(), fresh.metricType()))
+		}
+		return existing
+	}
+	m := build()
+	r.byName[name] = m
+	return m
+}
+
+// Counter returns the registered counter named name, creating it if
+// needed. help is used only on first registration.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, func() metric { return &Counter{help: help} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a counter", name))
+	}
+	return c
+}
+
+// Gauge returns the registered gauge named name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, func() metric { return &Gauge{help: help} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a gauge", name))
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at
+// exposition time (queue depths, cache sizes — state owned elsewhere).
+// fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	m := r.register(name, func() metric { return &gaugeFunc{help: help, fn: fn} })
+	if _, ok := m.(*gaugeFunc); !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a gauge func", name))
+	}
+}
+
+// Histogram returns the registered histogram named name, creating it
+// with the given bucket upper bounds if needed. Bounds must be strictly
+// increasing; the implicit +Inf bucket is always present and must not
+// be passed. Buckets are fixed at creation — re-registration reuses the
+// first bounds and ignores later ones.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	m := r.register(name, func() metric { return newHistogram(help, buckets) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q is not a histogram", name))
+	}
+	return h
+}
+
+// WriteText writes every registered metric in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.byName))
+	for name := range r.byName {
+		names = append(names, name)
+	}
+	metrics := make([]metric, len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		metrics[i] = r.byName[name]
+	}
+	r.mu.RUnlock()
+
+	bw := bufio.NewWriter(w)
+	for i, name := range names {
+		m := metrics[i]
+		if help := m.helpText(); help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, m.metricType())
+		m.writeSamples(bw, name)
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving WriteText — the GET /metrics
+// endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}
+
+// formatFloat renders a sample value the way Prometheus clients do:
+// shortest representation that round-trips, "+Inf"/"-Inf" for
+// infinities.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v    atomic.Uint64
+	help string
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) helpText() string   { return c.help }
+func (c *Counter) writeSamples(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, strconv.FormatUint(c.v.Load(), 10))
+}
+
+// Gauge is an integer-valued metric that can go up and down.
+type Gauge struct {
+	v    atomic.Int64
+	help string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) helpText() string   { return g.help }
+func (g *Gauge) writeSamples(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, strconv.FormatInt(g.v.Load(), 10))
+}
+
+// gaugeFunc is a gauge computed at exposition time.
+type gaugeFunc struct {
+	help string
+	fn   func() float64
+}
+
+func (g *gaugeFunc) metricType() string { return "gauge" }
+func (g *gaugeFunc) helpText() string   { return g.help }
+func (g *gaugeFunc) writeSamples(w *bufio.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.fn()))
+}

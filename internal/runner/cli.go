@@ -32,6 +32,7 @@ func CLIMain(tool string, arch Arch) {
 	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
 	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
 	jsonOut := flag.Bool("json", false, "emit the result as the ximdd service's stats JSON document")
+	profile := flag.Bool("profile", false, "report the per-FU stall-attribution profile (table, or a profile block with -json)")
 	var doTrace, timeline, tolerate *bool
 	if arch == ArchXIMD {
 		doTrace = flag.Bool("trace", false, "print the Figure 10 style address trace")
@@ -79,7 +80,7 @@ func CLIMain(tool string, arch Arch) {
 	}
 
 	if *jsonOut {
-		doc := NewResultDoc(res, pk)
+		doc := NewResultDoc(res, pk, *profile)
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -100,6 +101,9 @@ func CLIMain(tool string, arch Arch) {
 			res.Cycles, s.TotalDataOps(), s.OpsPerCycle(), 100*s.Utilization(), s.TakenBranches, s.CondBranches)
 	default:
 		fmt.Printf("halted after %d cycles\n%s\n", res.Cycles, res.Stats)
+	}
+	if *profile {
+		fmt.Print(FormatProfile(NewProfileDoc(res.Cycles, res.Stats)))
 	}
 	for _, p := range pk {
 		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, res.Memory.PeekInts(p.Base, p.N))

@@ -50,17 +50,27 @@ type PeekDoc struct {
 }
 
 // ResultDoc is the full result document: the stats summary plus any
-// requested memory peeks.
+// requested memory peeks and, when requested, the per-FU
+// stall-attribution profile. The profile block is behind the xsim/vsim
+// -profile flag and the ximdd job "profile" option because it is a
+// derived view of Stats; everything in it remains a pure function of
+// the run inputs, so enabling it keeps the document deterministic.
 type ResultDoc struct {
 	StatsDoc
-	Peeks []PeekDoc `json:"peeks,omitempty"`
+	Peeks   []PeekDoc   `json:"peeks,omitempty"`
+	Profile *ProfileDoc `json:"profile,omitempty"`
 }
 
 // NewResultDoc builds the result document from a successful run.
-func NewResultDoc(res Result, peeks []hostcfg.MemPeek) ResultDoc {
+// profile attaches the per-FU stall-attribution block.
+func NewResultDoc(res Result, peeks []hostcfg.MemPeek, profile bool) ResultDoc {
 	doc := ResultDoc{StatsDoc: NewStatsDoc(res.Arch, res.Cycles, res.Stats)}
 	for _, p := range peeks {
 		doc.Peeks = append(doc.Peeks, PeekDoc{Base: p.Base, Values: res.Memory.PeekInts(p.Base, p.N)})
+	}
+	if profile {
+		p := NewProfileDoc(res.Cycles, res.Stats)
+		doc.Profile = &p
 	}
 	return doc
 }

@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ximd/internal/core"
+)
+
+// TestFlightRecorderOnError is the dump-on-error contract: a run that
+// dies mid-flight still hands back its last FlightCycles cycles, ending
+// at the cycle of death, without having recorded the whole run.
+func TestFlightRecorderOnError(t *testing.T) {
+	for _, arch := range []Arch{ArchXIMD, ArchVLIW} {
+		prog, err := Load(arch, []byte(tprocSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A guaranteed hard FU failure at cycle 3 kills both machines
+		// (XIMD: degraded completion or fault; VLIW: immediate).
+		spec := tprocSpec()
+		spec.Inject = "fufail=0@3"
+		res, err := Run(context.Background(), prog, spec, Options{FlightCycles: 2})
+		if err == nil {
+			t.Fatalf("%s: injected FU failure did not fail the run", arch)
+		}
+		if len(res.Flight) != 2 {
+			t.Fatalf("%s: flight window = %d records, want 2", arch, len(res.Flight))
+		}
+		last := res.Flight[len(res.Flight)-1]
+		if last.Cycle+1 < res.Cycles {
+			t.Errorf("%s: flight window ends at cycle %d, run died at %d", arch, last.Cycle, res.Cycles)
+		}
+		if res.Flight[0].Cycle >= last.Cycle {
+			t.Errorf("%s: flight window not oldest-first: %d then %d", arch, res.Flight[0].Cycle, last.Cycle)
+		}
+	}
+}
+
+// TestFlightWindowMatchesTraceTail pins the two flight paths to each
+// other: with a full trace on, the flight window must be the trace's
+// tail; without one, the ring must produce the same records.
+func TestFlightWindowMatchesTraceTail(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	traced, err := Run(context.Background(), prog, tprocSpec(), Options{Trace: true, FlightCycles: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringed, err := Run(context.Background(), prog, tprocSpec(), Options{FlightCycles: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Flight) != n || len(ringed.Flight) != n {
+		t.Fatalf("flight lengths %d/%d, want %d", len(traced.Flight), len(ringed.Flight), n)
+	}
+	for i := range traced.Flight {
+		if traced.Flight[i].Cycle != ringed.Flight[i].Cycle {
+			t.Errorf("record %d: traced cycle %d, ringed cycle %d",
+				i, traced.Flight[i].Cycle, ringed.Flight[i].Cycle)
+		}
+	}
+	if want := traced.Trace[len(traced.Trace)-1].Cycle; traced.Flight[n-1].Cycle != want {
+		t.Errorf("flight tail cycle %d, trace tail cycle %d", traced.Flight[n-1].Cycle, want)
+	}
+}
+
+// TestFlightDisabledByDefault holds the zero-overhead contract: without
+// FlightCycles the result carries no flight window and no tracer ran.
+func TestFlightDisabledByDefault(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), prog, tprocSpec(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flight != nil || res.Trace != nil {
+		t.Fatalf("disabled observation produced flight=%d trace=%d records",
+			len(res.Flight), len(res.Trace))
+	}
+}
+
+// TestProfileDocTilesRun holds the profile projection to the
+// attribution invariant: per FU, the classes sum to the cycle count,
+// and the XIMD profile of a sync-heavy program shows sync-wait cycles.
+func TestProfileDocTilesRun(t *testing.T) {
+	for _, arch := range []Arch{ArchXIMD, ArchVLIW} {
+		prog, err := Load(arch, []byte(tprocSrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(context.Background(), prog, tprocSpec(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := NewProfileDoc(res.Cycles, res.Stats)
+		if len(p.FUs) != prog.NumFU() {
+			t.Fatalf("%s: %d FU rows, want %d", arch, len(p.FUs), prog.NumFU())
+		}
+		for _, d := range p.FUs {
+			if sum := d.Busy + d.SyncWait + d.IdleNop + d.MemStall + d.Failed + d.Halted; sum != p.Cycles {
+				t.Errorf("%s: FU%d classes sum to %d, want %d", arch, d.FU, sum, p.Cycles)
+			}
+		}
+	}
+}
+
+// TestMaxCyclesFlight exercises the ring wraparound through the runner:
+// a spin capped at 100 cycles with a 5-cycle window keeps cycles 95..99.
+func TestMaxCyclesFlight(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(spinSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), prog, Spec{MaxCycles: 100}, Options{FlightCycles: 5})
+	if !errors.Is(err, core.ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	if len(res.Flight) != 5 {
+		t.Fatalf("flight window = %d records, want 5", len(res.Flight))
+	}
+	for i, rec := range res.Flight {
+		if want := uint64(95 + i); rec.Cycle != want {
+			t.Errorf("flight[%d].Cycle = %d, want %d", i, rec.Cycle, want)
+		}
+	}
+}

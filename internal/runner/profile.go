@@ -1,0 +1,94 @@
+package runner
+
+import (
+	"fmt"
+	"strings"
+
+	"ximd/internal/core"
+)
+
+// This file defines the per-FU stall-attribution profile: the JSON block
+// behind xsim/vsim -profile and the ximdd "profile" job option, plus the
+// Figure-10-style table xbench prints. The profile is a pure projection
+// of core.Stats — it adds no run overhead and no new determinism
+// concerns — and its classes tile the run exactly: for every FU,
+// busy + sync_wait + idle_nop + mem_stall + failed + halted == cycles.
+
+// FUProfileDoc is the cycle attribution of one functional unit.
+type FUProfileDoc struct {
+	// FU is the functional-unit index.
+	FU int `json:"fu"`
+	// Busy counts cycles executing a non-nop data operation.
+	Busy uint64 `json:"busy"`
+	// SyncWait counts nop cycles spent spinning on the SS network (the
+	// paper's synchronization wait; always zero on the VLIW baseline).
+	SyncWait uint64 `json:"sync_wait"`
+	// IdleNop counts the remaining nop cycles: schedule padding.
+	IdleNop uint64 `json:"idle_nop"`
+	// MemStall counts cycles stalled on injected memory latency.
+	MemStall uint64 `json:"mem_stall"`
+	// Failed counts cycles spent hard-failed (fault injection).
+	Failed uint64 `json:"failed"`
+	// Halted counts cycles after the FU's stream halted.
+	Halted uint64 `json:"halted"`
+	// PortConflicts counts tolerated same-cycle register write conflicts
+	// this FU lost (events within busy cycles, not a cycle class).
+	PortConflicts uint64 `json:"port_conflicts"`
+	// Utilization is Busy / total cycles, in [0, 1].
+	Utilization float64 `json:"utilization"`
+}
+
+// ProfileDoc is the per-FU stall-attribution profile of one run.
+type ProfileDoc struct {
+	Cycles uint64         `json:"cycles"`
+	FUs    []FUProfileDoc `json:"fus"`
+}
+
+// NewProfileDoc projects a run's statistics into the profile document.
+func NewProfileDoc(cycles uint64, s core.Stats) ProfileDoc {
+	doc := ProfileDoc{Cycles: cycles, FUs: make([]FUProfileDoc, len(s.DataOps))}
+	for fu := range s.DataOps {
+		d := &doc.FUs[fu]
+		d.FU = fu
+		d.Busy = s.DataOps[fu]
+		d.SyncWait = s.SyncWaitCycles[fu]
+		d.IdleNop = s.Nops[fu] - s.SyncWaitCycles[fu]
+		d.MemStall = s.StallCycles[fu]
+		d.Failed = s.FailedCycles[fu]
+		d.Halted = s.HaltedCycles[fu]
+		d.PortConflicts = s.PortConflicts[fu]
+		if cycles > 0 {
+			d.Utilization = float64(d.Busy) / float64(cycles)
+		}
+	}
+	return doc
+}
+
+// FormatProfile renders the profile as the paper's Figure 10 style
+// per-FU table, one row per functional unit plus a totals row:
+//
+//	FU     busy  syncwait   idle  memstall  failed  halted   util
+//	FU0     312        41     17         0       0      30  78.0%
+func FormatProfile(p ProfileDoc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %9s %9s %9s %9s %7s %7s %6s\n",
+		"FU", "busy", "syncwait", "idle", "memstall", "failed", "halted", "util")
+	var t FUProfileDoc
+	for _, d := range p.FUs {
+		fmt.Fprintf(&b, "FU%-3d %9d %9d %9d %9d %7d %7d %5.1f%%\n",
+			d.FU, d.Busy, d.SyncWait, d.IdleNop, d.MemStall, d.Failed, d.Halted, 100*d.Utilization)
+		t.Busy += d.Busy
+		t.SyncWait += d.SyncWait
+		t.IdleNop += d.IdleNop
+		t.MemStall += d.MemStall
+		t.Failed += d.Failed
+		t.Halted += d.Halted
+	}
+	util := 0.0
+	if n := p.Cycles * uint64(len(p.FUs)); n > 0 {
+		util = float64(t.Busy) / float64(n)
+	}
+	fmt.Fprintf(&b, "%-5s %9d %9d %9d %9d %7d %7d %5.1f%%\n",
+		"all", t.Busy, t.SyncWait, t.IdleNop, t.MemStall, t.Failed, t.Halted, 100*util)
+	return b.String()
+}

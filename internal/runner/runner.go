@@ -36,6 +36,7 @@ import (
 	"ximd/internal/inject"
 	"ximd/internal/isa"
 	"ximd/internal/mem"
+	"ximd/internal/obs"
 	"ximd/internal/trace"
 	"ximd/internal/vliw"
 )
@@ -187,6 +188,12 @@ type Options struct {
 	// Result.Trace. VLIW records carry a single-element PC vector and no
 	// SS/partition columns.
 	Trace bool
+	// FlightCycles, when positive, runs a flight recorder: the last
+	// FlightCycles executed cycles are retained in Result.Flight
+	// (oldest first) whatever way the run ends, so a faulting run's
+	// final window of architectural state is available postmortem
+	// without recording the whole run.
+	FlightCycles int
 }
 
 // Result is what a run produces. Stats is a deep-copied snapshot;
@@ -199,6 +206,8 @@ type Result struct {
 	Stats  core.Stats
 	Memory *mem.Shared
 	Trace  []trace.Record
+	// Flight is the flight recorder's window (Options.FlightCycles).
+	Flight []trace.Record
 }
 
 // ctxCheckInterval is how many machine cycles run between cooperative
@@ -225,9 +234,17 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 
 	var rec *trace.Recorder
 	var vrec *vliwRecorder
+	var flight *obs.Ring[trace.Record]
 	var step func() (bool, error)
 	var cycles func() uint64
 	var stats func() core.Stats
+
+	// The flight recorder only needs its own tracer when a full trace is
+	// not already being recorded; with Trace on, the flight window is the
+	// tail of the trace.
+	if opts.FlightCycles > 0 && !opts.Trace {
+		flight = obs.NewRing[trace.Record](opts.FlightCycles)
+	}
 
 	switch prog.arch {
 	case ArchVLIW:
@@ -241,6 +258,8 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 		if opts.Trace {
 			vrec = &vliwRecorder{numFU: prog.NumFU()}
 			cfg.Tracer = vrec
+		} else if flight != nil {
+			cfg.Tracer = &vliwFlightTracer{numFU: prog.NumFU(), ring: flight}
 		}
 		m, err := vliw.New(nil, cfg)
 		if err != nil {
@@ -259,6 +278,8 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 		if opts.Trace {
 			rec = &trace.Recorder{}
 			cfg.Tracer = rec
+		} else if flight != nil {
+			cfg.Tracer = &flightTracer{ring: flight}
 		}
 		m, err := core.New(nil, cfg)
 		if err != nil {
@@ -276,6 +297,16 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 	}
 	if vrec != nil {
 		res.Trace = vrec.records
+	}
+	switch {
+	case flight != nil:
+		res.Flight = flight.Snapshot()
+	case opts.FlightCycles > 0 && len(res.Trace) > 0:
+		tail := res.Trace
+		if len(tail) > opts.FlightCycles {
+			tail = tail[len(tail)-opts.FlightCycles:]
+		}
+		res.Flight = append([]trace.Record(nil), tail...)
 	}
 	return res, err
 }
@@ -299,24 +330,51 @@ func runLoop(ctx context.Context, step func() (bool, error)) error {
 	}
 }
 
-// vliwRecorder adapts the vliw tracer to trace.Record: a single-element
+// vliwRecord adapts one vliw cycle to trace.Record: a single-element
 // PC vector, all condition codes reported valid (the VLIW machine does
 // not track validity), and no SS or partition columns (a VLIW has no
-// synchronization signals and always exactly one stream).
+// synchronization signals and always exactly one stream). A whole-word
+// stall marks every FU stalled — the single sequencer waits as one.
+func vliwRecord(rec *vliw.CycleRecord, numFU int) trace.Record {
+	valid := make([]bool, numFU)
+	for i := range valid {
+		valid[i] = true
+	}
+	out := trace.Record{
+		Cycle:   rec.Cycle,
+		PC:      []isa.Addr{rec.PC},
+		CC:      append([]bool(nil), rec.CC...),
+		CCValid: valid,
+	}
+	if rec.Stalled {
+		out.Stalled = make([]bool, numFU)
+		for i := range out.Stalled {
+			out.Stalled[i] = true
+		}
+	}
+	return out
+}
+
+// vliwRecorder captures every cycle of a VLIW run as trace.Records.
 type vliwRecorder struct {
 	numFU   int
 	records []trace.Record
 }
 
 func (r *vliwRecorder) Cycle(rec *vliw.CycleRecord) {
-	valid := make([]bool, r.numFU)
-	for i := range valid {
-		valid[i] = true
-	}
-	r.records = append(r.records, trace.Record{
-		Cycle:   rec.Cycle,
-		PC:      []isa.Addr{rec.PC},
-		CC:      append([]bool(nil), rec.CC...),
-		CCValid: valid,
-	})
+	r.records = append(r.records, vliwRecord(rec, r.numFU))
 }
+
+// flightTracer feeds the XIMD core's cycle records into the flight
+// recorder's bounded ring.
+type flightTracer struct{ ring *obs.Ring[trace.Record] }
+
+func (f *flightTracer) Cycle(rec *core.CycleRecord) { f.ring.Append(trace.Copy(rec)) }
+
+// vliwFlightTracer is the VLIW counterpart of flightTracer.
+type vliwFlightTracer struct {
+	numFU int
+	ring  *obs.Ring[trace.Record]
+}
+
+func (f *vliwFlightTracer) Cycle(rec *vliw.CycleRecord) { f.ring.Append(vliwRecord(rec, f.numFU)) }

@@ -194,7 +194,7 @@ func TestResultDocDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := json.Marshal(NewResultDoc(res, peeks))
+		b, err := json.Marshal(NewResultDoc(res, peeks, false))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,8 +4,8 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
-	"expvar"
 
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 )
 
@@ -33,8 +33,8 @@ type progCache struct {
 	max     int
 	entries map[string]*list.Element
 	lru     list.List // front = most recently used
-	hits    *expvar.Int
-	misses  *expvar.Int
+	hits    *obs.Counter
+	misses  *obs.Counter
 }
 
 type cacheEntry struct {
@@ -42,7 +42,7 @@ type cacheEntry struct {
 	prog *runner.Program
 }
 
-func newProgCache(max int, hits, misses *expvar.Int) *progCache {
+func newProgCache(max int, hits, misses *obs.Counter) *progCache {
 	return &progCache{
 		max:     max,
 		entries: make(map[string]*list.Element),
@@ -67,11 +67,11 @@ func programKey(arch runner.Arch, source []byte) string {
 func (c *progCache) get(key string) (*runner.Program, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
-	c.hits.Add(1)
+	c.hits.Inc()
 	return el.Value.(*cacheEntry).prog, true
 }
 

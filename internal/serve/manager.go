@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"errors"
-	"expvar"
 	"fmt"
 	"strconv"
 	"sync"
@@ -40,20 +39,31 @@ var (
 
 // job is the manager's record of one submitted simulation.
 type job struct {
-	id       string
-	prog     *runner.Program
-	progSHA  string
-	cacheHit bool
-	spec     runner.Spec
-	peeks    []hostcfg.MemPeek
-	trace    bool
+	id        string
+	prog      *runner.Program
+	progSHA   string
+	cacheHit  bool
+	spec      runner.Spec
+	peeks     []hostcfg.MemPeek
+	trace     bool
+	profile   bool
+	flight    int
+	decodeDur time.Duration
 
-	// Mutated under the manager's lock only.
-	state  State
-	result runner.Result
-	err    error
-	doc    *runner.ResultDoc
-	recs   []trace.Record
+	// Mutated under the manager's lock only. The time.Time fields keep
+	// their monotonic reading (they are only ever subtracted, never
+	// serialized), so span durations are immune to wall-clock steps.
+	submitted time.Time
+	started   time.Time
+	state     State
+	result    runner.Result
+	err       error
+	doc       *runner.ResultDoc
+	recs      []trace.Record
+	flightRec []trace.Record
+	spans     []SpanLine
+	queuedMS  float64
+	runMS     float64
 }
 
 // manager owns the job table, the bounded submission queue, the worker
@@ -77,19 +87,9 @@ type manager struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
-	// Metrics, all surfaced through /varz.
-	vars           *expvar.Map
-	queued         *expvar.Int
-	running        *expvar.Int
-	done           *expvar.Int
-	failed         *expvar.Int
-	cacheHits      *expvar.Int
-	cacheMisses    *expvar.Int
-	cyclesSimmed   *expvar.Int
-	sweepsRun      *expvar.Int
-	sweepTasks     *expvar.Int
-	rejectedFull   *expvar.Int
-	rejectedClosed *expvar.Int
+	// met is the per-server metrics registry, surfaced raw at /metrics
+	// and through the legacy /varz view.
+	met *serveMetrics
 }
 
 func newManager(opts Options) *manager {
@@ -99,54 +99,26 @@ func newManager(opts Options) *manager {
 		jobTimeout: opts.JobTimeout,
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, opts.QueueDepth),
-		vars:       new(expvar.Map),
-
-		queued:         new(expvar.Int),
-		running:        new(expvar.Int),
-		done:           new(expvar.Int),
-		failed:         new(expvar.Int),
-		cacheHits:      new(expvar.Int),
-		cacheMisses:    new(expvar.Int),
-		cyclesSimmed:   new(expvar.Int),
-		sweepsRun:      new(expvar.Int),
-		sweepTasks:     new(expvar.Int),
-		rejectedFull:   new(expvar.Int),
-		rejectedClosed: new(expvar.Int),
+		met:        newServeMetrics(),
 	}
-	m.cache = newProgCache(opts.CacheEntries, m.cacheHits, m.cacheMisses)
+	m.met.queueCapacity.Set(int64(opts.QueueDepth))
+	m.met.workers.Set(int64(opts.Workers))
+	m.met.reg.GaugeFunc("ximdd_queue_depth", "Jobs currently buffered in the submission queue channel.",
+		func() float64 { return float64(len(m.queue)) })
+	m.met.reg.GaugeFunc("ximdd_cache_entries", "Decoded programs currently cached.",
+		func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(m.cache.len())
+		})
+	m.cache = newProgCache(opts.CacheEntries, m.met.cacheHits, m.met.cacheMisses)
 	m.rootCtx, m.cancel = context.WithCancel(context.Background())
-
-	m.vars.Set("jobs_queued", m.queued)
-	m.vars.Set("jobs_running", m.running)
-	m.vars.Set("jobs_done", m.done)
-	m.vars.Set("jobs_failed", m.failed)
-	m.vars.Set("cache_hits", m.cacheHits)
-	m.vars.Set("cache_misses", m.cacheMisses)
-	m.vars.Set("cycles_simulated", m.cyclesSimmed)
-	m.vars.Set("sweeps_run", m.sweepsRun)
-	m.vars.Set("sweep_tasks", m.sweepTasks)
-	m.vars.Set("rejected_queue_full", m.rejectedFull)
-	m.vars.Set("rejected_shutting_down", m.rejectedClosed)
-	m.vars.Set("queue_capacity", intVar(int64(opts.QueueDepth)))
-	m.vars.Set("workers", intVar(int64(m.workers)))
-	m.vars.Set("queue_depth", expvar.Func(func() any { return len(m.queue) }))
-	m.vars.Set("cache_entries", expvar.Func(func() any {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		return m.cache.len()
-	}))
 
 	m.wg.Add(m.workers)
 	for i := 0; i < m.workers; i++ {
 		go m.worker()
 	}
 	return m
-}
-
-func intVar(v int64) *expvar.Int {
-	i := new(expvar.Int)
-	i.Set(v)
-	return i
 }
 
 // loadProgram resolves the submitted program bytes through the
@@ -179,20 +151,22 @@ func (m *manager) submit(j *job) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
-		m.rejectedClosed.Add(1)
+		m.met.rejectedClosed.Inc()
 		return ErrShuttingDown
 	}
 	m.nextID++
 	j.id = "j-" + strconv.FormatUint(m.nextID, 10)
 	j.state = StateQueued
+	j.submitted = time.Now()
 	select {
 	case m.queue <- j:
 	default:
-		m.rejectedFull.Add(1)
+		m.met.rejectedFull.Inc()
 		return ErrQueueFull
 	}
 	m.jobs[j.id] = j
-	m.queued.Add(1)
+	m.met.jobsTotal.Inc()
+	m.met.queued.Add(1)
 	return nil
 }
 
@@ -206,7 +180,10 @@ func (m *manager) worker() {
 		var res runner.Result
 		task := sweep.Task{Name: j.id, Run: func(ctx context.Context) (sweep.Outcome, error) {
 			var err error
-			res, err = runner.Run(ctx, j.prog, j.spec, runner.Options{Trace: j.trace})
+			res, err = runner.Run(ctx, j.prog, j.spec, runner.Options{
+				Trace:        j.trace,
+				FlightCycles: j.flight,
+			})
 			if err != nil {
 				return sweep.Outcome{}, err
 			}
@@ -216,7 +193,7 @@ func (m *manager) worker() {
 			Workers:     1,
 			TaskTimeout: m.jobTimeout,
 		})
-		m.finish(j, res, results[0].Err)
+		m.finish(j, res, results[0].Err, results[0].Duration)
 	}
 }
 
@@ -224,29 +201,54 @@ func (m *manager) setRunning(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.state = StateRunning
-	m.queued.Add(-1)
-	m.running.Add(1)
+	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
+	j.queuedMS = ms(wait)
+	m.met.queueWait.Observe(wait.Seconds())
+	m.met.queued.Add(-1)
+	m.met.running.Add(1)
 }
 
-// finish moves a job to its terminal state and freezes its result
-// document (built once, so repeated GETs serve identical bytes).
-func (m *manager) finish(j *job, res runner.Result, err error) {
+// ms converts a duration to fractional milliseconds for span docs.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// finish moves a job to its terminal state, freezes its result
+// document (built once, so repeated GETs serve identical bytes), and
+// freezes the span breakdown. execDur is the sweep engine's measured
+// task duration.
+func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Duration) {
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.result = res
 	j.err = err
 	j.recs = res.Trace
-	m.running.Add(-1)
-	m.cyclesSimmed.Add(int64(res.Cycles))
+	j.flightRec = res.Flight
+	j.runMS = ms(execDur)
+	total := now.Sub(j.submitted)
+	detail := "cache_miss"
+	if j.cacheHit {
+		detail = "cache_hit"
+	}
+	j.spans = []SpanLine{
+		{Span: "queue_wait", Ms: j.queuedMS},
+		{Span: "decode", Ms: ms(j.decodeDur), Detail: detail},
+		{Span: "execute", Ms: j.runMS},
+		{Span: "total", Ms: ms(total)},
+	}
+	m.met.running.Add(-1)
+	m.met.cyclesSimmed.Add(res.Cycles)
+	m.met.execute.Observe(execDur.Seconds())
+	m.met.total.Observe(total.Seconds())
 	if err != nil {
 		j.state = StateFailed
-		m.failed.Add(1)
+		m.met.jobsFailed.Inc()
 		return
 	}
-	doc := runner.NewResultDoc(res, j.peeks)
+	doc := runner.NewResultDoc(res, j.peeks, j.profile)
 	j.doc = &doc
 	j.state = StateDone
-	m.done.Add(1)
+	m.met.jobsDone.Inc()
 }
 
 // get returns the job record for id.
@@ -260,11 +262,34 @@ func (m *manager) get(id string) (*job, error) {
 	return j, nil
 }
 
+// statusView is the lock-consistent copy of everything a status
+// response needs. The duration fields are only set once the job is
+// terminal (they are frozen in finish, so repeated polls serve
+// identical bytes); flight is only set for failed jobs — the flight
+// recorder is a postmortem artifact, and a successful run's window is
+// dropped.
+type statusView struct {
+	state    State
+	doc      *runner.ResultDoc
+	err      error
+	queuedMS *float64
+	runMS    *float64
+	flight   []trace.Record
+}
+
 // snapshot copies the fields a status response needs under the lock.
-func (m *manager) snapshot(j *job) (state State, doc *runner.ResultDoc, jerr error) {
+func (m *manager) snapshot(j *job) statusView {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return j.state, j.doc, j.err
+	v := statusView{state: j.state, doc: j.doc, err: j.err}
+	if j.state == StateDone || j.state == StateFailed {
+		q, r := j.queuedMS, j.runMS
+		v.queuedMS, v.runMS = &q, &r
+	}
+	if j.state == StateFailed {
+		v.flight = j.flightRec
+	}
+	return v
 }
 
 // traceRecords returns the captured trace once a job is terminal.
@@ -272,6 +297,13 @@ func (m *manager) traceRecords(j *job) (State, []trace.Record) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return j.state, j.recs
+}
+
+// spanLines returns the frozen span breakdown once a job is terminal.
+func (m *manager) spanLines(j *job) (State, []SpanLine) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.state, j.spans
 }
 
 // shuttingDown reports whether Shutdown has begun.

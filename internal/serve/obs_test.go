@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// metricValue extracts the value of a single-sample series (counter or
+// gauge) from a Prometheus text exposition body.
+func metricValue(t *testing.T, body []byte, name string) (string, bool) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			return strings.TrimPrefix(line, name+" "), true
+		}
+	}
+	return "", false
+}
+
+// TestMetricsExposition drives a warm job, a cache-hit job, and a
+// failing job through the service and holds GET /metrics to the
+// expected counter values, histogram series, and content type.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+	waitTerminal(t, ts, submit(t, ts, tprocJob()).ID)
+	waitTerminal(t, ts, submit(t, ts, tprocJob()).ID) // decoded-program cache hit
+	fail := submit(t, ts, JobRequest{Source: spinSrc, MaxCycles: 100})
+	waitTerminal(t, ts, fail.ID)
+
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content-type = %q", ct)
+	}
+
+	wantValues := map[string]string{
+		"ximdd_jobs_total":             "3",
+		"ximdd_jobs_done_total":        "2",
+		"ximdd_jobs_failed_total":      "1",
+		"ximdd_cache_hits_total":       "1",
+		"ximdd_cache_misses_total":     "2",
+		"ximdd_cycles_simulated_total": "112", // 6 + 6 + 100
+		"ximdd_jobs_running":           "0",
+		"ximdd_queue_capacity":         "8",
+		"ximdd_workers":                "1",
+		"ximdd_cache_entries":          "2",
+	}
+	for name, want := range wantValues {
+		got, ok := metricValue(t, body, name)
+		if !ok {
+			t.Errorf("metric %s missing from exposition", name)
+		} else if got != want {
+			t.Errorf("%s = %s, want %s", name, got, want)
+		}
+	}
+	for _, hist := range []string{
+		"ximdd_job_queue_wait_seconds",
+		"ximdd_job_execute_seconds",
+		"ximdd_job_total_seconds",
+	} {
+		if got, ok := metricValue(t, body, hist+"_count"); !ok || got != "3" {
+			t.Errorf("%s_count = %q (found=%v), want 3", hist, got, ok)
+		}
+		if !bytes.Contains(body, []byte(hist+`_bucket{le="+Inf"} 3`)) {
+			t.Errorf("%s has no +Inf bucket for 3 observations", hist)
+		}
+		if !bytes.Contains(body, []byte("# TYPE "+hist+" histogram")) {
+			t.Errorf("%s has no TYPE header", hist)
+		}
+	}
+	if got, ok := metricValue(t, body, "ximdd_job_decode_miss_seconds_count"); !ok || got != "2" {
+		t.Errorf("decode miss count = %q (found=%v), want 2", got, ok)
+	}
+	if got, ok := metricValue(t, body, "ximdd_job_decode_hit_seconds_count"); !ok || got != "1" {
+		t.Errorf("decode hit count = %q (found=%v), want 1", got, ok)
+	}
+}
+
+// TestVarzByteCompatibleWithExpvar holds the /varz view to the old
+// wire format: rebuilding the document as a real expvar.Map must
+// reproduce the served bytes exactly (sorted keys, `{"k": v, ...}`
+// rendering), and the counter values must be right.
+func TestVarzByteCompatibleWithExpvar(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	waitTerminal(t, ts, submit(t, ts, tprocJob()).ID)
+
+	resp, body := getBody(t, ts.URL+"/varz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("varz status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var vars map[string]int64
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("varz is not flat int JSON: %v: %s", err, body)
+	}
+	for key, want := range map[string]int64{
+		"jobs_done": 1, "jobs_failed": 0, "cache_misses": 1,
+		"cycles_simulated": 6, "queue_capacity": 2, "workers": 1,
+	} {
+		if vars[key] != want {
+			t.Errorf("varz %s = %d, want %d", key, vars[key], want)
+		}
+	}
+	// Byte-for-byte: the same keys and values rendered by expvar.Map
+	// (the implementation the old handler delegated to) must reproduce
+	// the response exactly.
+	m := new(expvar.Map)
+	for key, val := range vars {
+		i := new(expvar.Int)
+		i.Set(val)
+		m.Set(key, i)
+	}
+	if want := m.String(); string(body) != want {
+		t.Errorf("varz rendering diverged from expvar.Map:\n got %s\nwant %s", body, want)
+	}
+}
+
+// TestJobSpansNDJSON checks the span breakdown of a completed job:
+// four named spans, non-negative durations, and the decode span
+// labelled with its cache outcome.
+func TestJobSpansNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	sr := submit(t, ts, tprocJob())
+	st, _ := waitTerminal(t, ts, sr.ID)
+	if st.Status != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.QueuedMS == nil || st.RunMS == nil {
+		t.Fatalf("terminal status missing durations: queued_ms=%v run_ms=%v", st.QueuedMS, st.RunMS)
+	}
+	if *st.QueuedMS < 0 || *st.RunMS < 0 {
+		t.Fatalf("negative durations: queued_ms=%v run_ms=%v", *st.QueuedMS, *st.RunMS)
+	}
+
+	resp, body := getBody(t, ts.URL+"/v1/jobs/"+sr.ID+"/spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spans status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var spans []SpanLine
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	for sc.Scan() {
+		var line SpanLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, line)
+	}
+	wantOrder := []string{"queue_wait", "decode", "execute", "total"}
+	if len(spans) != len(wantOrder) {
+		t.Fatalf("%d spans, want %d: %+v", len(spans), len(wantOrder), spans)
+	}
+	for i, want := range wantOrder {
+		if spans[i].Span != want {
+			t.Errorf("spans[%d] = %q, want %q", i, spans[i].Span, want)
+		}
+		if spans[i].Ms < 0 {
+			t.Errorf("span %s has negative duration %v", spans[i].Span, spans[i].Ms)
+		}
+	}
+	if spans[1].Detail != "cache_miss" {
+		t.Errorf("decode detail = %q, want cache_miss (fresh server)", spans[1].Detail)
+	}
+	if spans[0].Ms != *st.QueuedMS || spans[2].Ms != *st.RunMS {
+		t.Errorf("spans disagree with status: queue %v vs %v, execute %v vs %v",
+			spans[0].Ms, *st.QueuedMS, spans[2].Ms, *st.RunMS)
+	}
+
+	// A second submission decodes from the cache; its span says so.
+	again := submit(t, ts, tprocJob())
+	waitTerminal(t, ts, again.ID)
+	_, body = getBody(t, ts.URL+"/v1/jobs/"+again.ID+"/spans")
+	if !bytes.Contains(body, []byte(`"detail":"cache_hit"`)) {
+		t.Errorf("cached job's decode span not labelled cache_hit: %s", body)
+	}
+
+	// Unknown jobs 404.
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/j-999/spans")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job spans status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSpansConflictBeforeTerminal asserts spans answer 409 +
+// Retry-After while the job is still running.
+func TestSpansConflictBeforeTerminal(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 2,
+		JobTimeout: time.Minute,
+		RetryAfter: 5 * time.Second,
+	})
+	sr := submit(t, ts, JobRequest{Source: spinSrc, MaxCycles: 4_000_000_000})
+	resp, body := getBody(t, ts.URL+"/v1/jobs/"+sr.ID+"/spans")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("running job spans status = %d: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "5" {
+		t.Errorf("Retry-After = %q, want \"5\"", ra)
+	}
+	// Cancel the spin job so the deferred cleanup is instant.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+// TestFlightDumpOnFailure is the service-level postmortem contract: a
+// failing job that asked for a flight window gets its last N cycles in
+// the status document; a successful job does not.
+func TestFlightDumpOnFailure(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	sr := submit(t, ts, JobRequest{Source: spinSrc, MaxCycles: 100, Flight: 5})
+	st, _ := waitTerminal(t, ts, sr.ID)
+	if st.Status != StateFailed {
+		t.Fatalf("status = %s, want failed", st.Status)
+	}
+	if len(st.Flight) != 5 {
+		t.Fatalf("flight window = %d records, want 5", len(st.Flight))
+	}
+	for i, rec := range st.Flight {
+		if want := uint64(95 + i); rec.Cycle != want {
+			t.Errorf("flight[%d].Cycle = %d, want %d", i, rec.Cycle, want)
+		}
+		if len(rec.PC) != 1 {
+			t.Errorf("flight[%d] has %d PCs, want 1", i, len(rec.PC))
+		}
+	}
+
+	ok := tprocJob()
+	ok.Flight = 5
+	st, _ = waitTerminal(t, ts, submit(t, ts, ok).ID)
+	if st.Status != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Flight != nil {
+		t.Errorf("successful job leaked its flight window (%d records)", len(st.Flight))
+	}
+
+	// Negative flight is a 400 at submission.
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", JobRequest{Source: spinSrc, Flight: -1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("flight=-1 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestProfileOption asserts the profile block rides the result
+// document when requested — for jobs and for sweeps — and stays off
+// otherwise.
+func TestProfileOption(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 4})
+	plain := submit(t, ts, tprocJob())
+	st, _ := waitTerminal(t, ts, plain.ID)
+	if st.Result.Profile != nil {
+		t.Error("profile block present without profile=true")
+	}
+
+	prof := tprocJob()
+	prof.Profile = true
+	st, _ = waitTerminal(t, ts, submit(t, ts, prof).ID)
+	if st.Status != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.Result.Profile == nil {
+		t.Fatal("profile=true produced no profile block")
+	}
+	if got := len(st.Result.Profile.FUs); got != 4 {
+		t.Fatalf("profile has %d FU rows, want 4", got)
+	}
+	for _, fu := range st.Result.Profile.FUs {
+		sum := fu.Busy + fu.SyncWait + fu.IdleNop + fu.MemStall + fu.Failed + fu.Halted
+		if sum != st.Result.Cycles {
+			t.Errorf("FU%d classes sum to %d, want %d", fu.FU, sum, st.Result.Cycles)
+		}
+	}
+
+	sweepReq := SweepRequest{Base: prof, Seeds: []int64{1, 2}}
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", sweepReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status = %d: %s", resp.StatusCode, body)
+	}
+	var sw SweepResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range sw.Results {
+		if r.Result == nil || r.Result.Profile == nil {
+			t.Errorf("sweep result %d missing profile block", i)
+		}
+	}
+}

@@ -13,16 +13,23 @@
 //	                         503 while shutting down
 //	GET  /v1/jobs/{id}       job status + result document when terminal
 //	GET  /v1/jobs/{id}/trace per-cycle trace as NDJSON (trace=true jobs)
+//	GET  /v1/jobs/{id}/spans span breakdown (queue wait, decode,
+//	                         execute, total) as NDJSON once terminal
 //	POST /v1/sweeps          synchronous batch fan-out over the sweep
 //	                         pool; results in submission order
 //	GET  /healthz            liveness ("ok", 503 while draining)
-//	GET  /varz               queue/job/cache/cycle metrics (expvar JSON)
+//	GET  /metrics            Prometheus text exposition (internal/obs)
+//	GET  /varz               queue/job/cache/cycle metrics — the legacy
+//	                         JSON view over the same registry, key- and
+//	                         byte-compatible with the old expvar output
 //
 // Determinism contract: a job's result document is a pure function of
 // (program bytes, arch, seed, inject spec, pokes, max_cycles). The
 // response carries no timestamps or host state, so resubmitting the
 // same job yields byte-identical result JSON whether it is served cold
-// or from the decoded-program cache.
+// or from the decoded-program cache. Wall-clock measurement (the
+// queued_ms/run_ms status fields, the span breakdown, the latency
+// histograms) lives strictly outside the result document.
 package serve
 
 import (
@@ -115,8 +122,10 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.mgr.met.reg.Handler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	return s
 }
@@ -151,7 +160,18 @@ type JobRequest struct {
 	Peeks []string `json:"peeks,omitempty"`
 	// Trace records the per-cycle trace, served at /v1/jobs/{id}/trace.
 	Trace bool `json:"trace,omitempty"`
+	// Profile attaches the per-FU stall-attribution block to the result
+	// document (a derived view of the stats — the result stays
+	// deterministic).
+	Profile bool `json:"profile,omitempty"`
+	// Flight keeps a bounded ring of the last N cycle records and dumps
+	// it into the job status if the run fails — a crash postmortem
+	// without full-trace cost. Capped at MaxFlightCycles.
+	Flight int `json:"flight,omitempty"`
 }
+
+// MaxFlightCycles caps a job's flight-recorder window.
+const MaxFlightCycles = 1024
 
 // SubmitResponse is the 202 body of POST /v1/jobs.
 type SubmitResponse struct {
@@ -170,6 +190,15 @@ type JobStatus struct {
 	Error         string            `json:"error,omitempty"`
 	ExitCode      *int              `json:"exit_code,omitempty"`
 	Result        *runner.ResultDoc `json:"result,omitempty"`
+	// QueuedMS and RunMS are monotonic-clock measurements (queue wait
+	// and execution time), present once the job is terminal. They live
+	// beside — never inside — the result document, which must stay a
+	// pure function of the job inputs.
+	QueuedMS *float64 `json:"queued_ms,omitempty"`
+	RunMS    *float64 `json:"run_ms,omitempty"`
+	// Flight is the flight-recorder window (last flight=N cycles),
+	// present only for failed jobs that requested one.
+	Flight []TraceLine `json:"flight,omitempty"`
 }
 
 // errorBody is every non-2xx JSON body.
@@ -214,10 +243,21 @@ func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
 			fmt.Errorf("program is %d bytes, limit %d", len(source), s.opts.MaxSourceBytes)
 	}
 
+	if req.Flight < 0 {
+		return nil, http.StatusBadRequest, fmt.Errorf("flight must be >= 0, got %d", req.Flight)
+	}
+	flight := req.Flight
+	if flight > MaxFlightCycles {
+		flight = MaxFlightCycles
+	}
+
+	decodeStart := time.Now()
 	prog, key, hit, err := s.mgr.loadProgram(arch, source)
+	decodeDur := time.Since(decodeStart)
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
+	s.mgr.met.observeDecode(decodeDur, hit)
 	spec := runner.Spec{
 		MaxCycles:         req.MaxCycles,
 		TolerateConflicts: req.TolerateConflicts,
@@ -242,12 +282,15 @@ func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
 		}
 	}
 	return &job{
-		prog:     prog,
-		progSHA:  key,
-		cacheHit: hit,
-		spec:     spec,
-		peeks:    peeks,
-		trace:    req.Trace,
+		prog:      prog,
+		progSHA:   key,
+		cacheHit:  hit,
+		spec:      spec,
+		peeks:     peeks,
+		trace:     req.Trace,
+		profile:   req.Profile,
+		flight:    flight,
+		decodeDur: decodeDur,
 	}, 0, nil
 }
 
@@ -290,20 +333,25 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	state, doc, jerr := s.mgr.snapshot(j)
+	v := s.mgr.snapshot(j)
 	st := JobStatus{
 		ID:            j.id,
-		Status:        state,
+		Status:        v.state,
 		ProgramSHA256: j.progSHA,
 		CacheHit:      j.cacheHit,
-		Result:        doc,
+		Result:        v.doc,
+		QueuedMS:      v.queuedMS,
+		RunMS:         v.runMS,
 	}
-	if state == StateDone || state == StateFailed {
-		code := runner.ExitCode(jerr)
+	if v.state == StateDone || v.state == StateFailed {
+		code := runner.ExitCode(v.err)
 		st.ExitCode = &code
 	}
-	if jerr != nil {
-		st.Error = jerr.Error()
+	if v.err != nil {
+		st.Error = v.err.Error()
+	}
+	for i := range v.flight {
+		st.Flight = append(st.Flight, traceLine(&v.flight[i]))
 	}
 	writeJSON(w, http.StatusOK, st)
 }
@@ -377,6 +425,39 @@ func traceLine(rec *trace.Record) TraceLine {
 	return line
 }
 
+// SpanLine is one NDJSON record of GET /v1/jobs/{id}/spans: a named
+// phase of the job's wall-clock lifetime in fractional milliseconds.
+// Spans are "queue_wait" (acceptance to execution start), "decode"
+// (program resolution at submit; Detail says whether the decoded-
+// program cache hit), "execute" (the run itself, as measured by the
+// sweep engine), and "total" (acceptance to terminal state).
+type SpanLine struct {
+	Span   string  `json:"span"`
+	Ms     float64 `json:"ms"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j, err := s.mgr.get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	state, spans := s.mgr.spanLines(j)
+	if state != StateDone && state != StateFailed {
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; spans are available once it is terminal", state))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(spans[i]); err != nil {
+			return // client went away
+		}
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.mgr.shuttingDown() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -386,10 +467,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleVarz serves the manager's expvar map as JSON — the same
-// rendering expvar's own handler uses, but scoped to this server
-// instance so tests and multi-server processes do not share counters.
+// handleVarz serves the legacy metrics view: the same key set and the
+// same rendering the old expvar.Map-backed handler produced, now
+// projected from the obs registry (see varzJSON).
 func (s *Server) handleVarz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprint(w, s.mgr.vars.String())
+	fmt.Fprint(w, s.mgr.varzJSON())
 }

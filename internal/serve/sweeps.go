@@ -130,7 +130,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				if err != nil {
 					return sweep.Outcome{}, err
 				}
-				doc := runner.NewResultDoc(res, base.peeks)
+				doc := runner.NewResultDoc(res, base.peeks, base.profile)
 				docs[idx] = &doc
 				return sweep.Outcome{Cycles: res.Cycles, Stats: res.Stats}, nil
 			}})
@@ -141,8 +141,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Workers:     s.opts.Workers,
 		TaskTimeout: s.opts.JobTimeout,
 	})
-	s.mgr.sweepsRun.Add(1)
-	s.mgr.sweepTasks.Add(int64(len(tasks)))
+	s.mgr.met.sweepsRun.Inc()
+	s.mgr.met.sweepTasks.Add(uint64(len(tasks)))
 
 	resp := SweepResponse{ProgramSHA256: base.progSHA, CacheHit: base.cacheHit}
 	for i, res := range results {
@@ -156,7 +156,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			out.Error = res.Err.Error()
 			out.Result = nil
 		}
-		s.mgr.cyclesSimmed.Add(int64(res.Cycles))
+		s.mgr.met.cyclesSimmed.Add(res.Cycles)
+		s.mgr.met.sweepTask.Observe(res.Duration.Seconds())
 		resp.Results = append(resp.Results, out)
 	}
 	writeJSON(w, http.StatusOK, resp)

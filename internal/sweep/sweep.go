@@ -70,6 +70,11 @@ type Result struct {
 	// Err is the task's failure, nil on success. Tasks skipped due to
 	// fail-fast or cancellation carry the cancellation error.
 	Err error
+	// Duration is the wall-clock time spent executing the task,
+	// including retries and backoff waits; zero for tasks skipped by
+	// cancellation. It is measurement, not outcome: two runs of one
+	// task agree on Outcome but not on Duration.
+	Duration time.Duration
 }
 
 // Policy selects how the engine reacts to a failing task.
@@ -173,7 +178,9 @@ func Run(ctx context.Context, tasks []Task, opts Options) ([]Result, error) {
 			results[i].Err = err
 			return
 		}
+		start := time.Now()
 		out, err := runWithRetry(runCtx, &tasks[i], &opts)
+		results[i].Duration = time.Since(start)
 		results[i].Outcome = out
 		results[i].Err = err
 		if err != nil && opts.Policy == FailFast {

@@ -22,6 +22,25 @@ type Record struct {
 	SS        []isa.Sync
 	Halted    []bool
 	Partition core.Partition
+	// Stalled and Failed mirror the injection columns of
+	// core.CycleRecord; both stay nil on runs without fault injection.
+	Stalled []bool
+	Failed  []bool
+}
+
+// Copy deep-copies a live cycle record into a retainable Record.
+func Copy(rec *core.CycleRecord) Record {
+	return Record{
+		Cycle:     rec.Cycle,
+		PC:        append([]isa.Addr(nil), rec.PC...),
+		CC:        append([]bool(nil), rec.CC...),
+		CCValid:   append([]bool(nil), rec.CCValid...),
+		SS:        append([]isa.Sync(nil), rec.SS...),
+		Halted:    append([]bool(nil), rec.Halted...),
+		Partition: rec.Partition,
+		Stalled:   append([]bool(nil), rec.Stalled...),
+		Failed:    append([]bool(nil), rec.Failed...),
+	}
 }
 
 // Recorder captures every cycle of a run. It implements core.Tracer.
@@ -31,16 +50,7 @@ type Recorder struct {
 
 // Cycle implements core.Tracer by deep-copying the record.
 func (r *Recorder) Cycle(rec *core.CycleRecord) {
-	cp := Record{
-		Cycle:     rec.Cycle,
-		PC:        append([]isa.Addr(nil), rec.PC...),
-		CC:        append([]bool(nil), rec.CC...),
-		CCValid:   append([]bool(nil), rec.CCValid...),
-		SS:        append([]isa.Sync(nil), rec.SS...),
-		Halted:    append([]bool(nil), rec.Halted...),
-		Partition: rec.Partition,
-	}
-	r.Records = append(r.Records, cp)
+	r.Records = append(r.Records, Copy(rec))
 }
 
 // CCString renders the condition codes the way Figure 10 prints them:

@@ -57,10 +57,8 @@ func (m *Machine) stepFast() (running bool, err error) {
 	for fu := 0; fu < m.numFU; fu++ {
 		op := &u.ops[fu]
 		if op.IsNop() {
-			m.stats.Nops[fu]++
 			continue
 		}
-		m.stats.DataOps[fu]++
 		if inj != nil && (op.AFromReg() || op.BFromReg()) && inj.DropRegPort(m.cycle, fu) {
 			return false, m.failFU(fu, errRegPortDrop())
 		}
@@ -173,6 +171,15 @@ func (m *Machine) stepFast() (running bool, err error) {
 	m.ccBits = (m.ccBits &^ ccSet) | ccVal
 	m.stats.Cycles++
 	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
+	// Commit-time attribution, matching the reference Step: a faulted
+	// mid-word cycle contributes no partial per-FU counts.
+	for fu := 0; fu < m.numFU; fu++ {
+		if u.ops[fu].IsNop() {
+			m.stats.Nops[fu]++
+		} else {
+			m.stats.DataOps[fu]++
+		}
+	}
 	m.cycle++
 	if inj != nil {
 		m.stall = m.wordStall
@@ -199,6 +206,7 @@ func (m *Machine) stageRegWrite(fu int, reg uint8, v isa.Word) error {
 func (m *Machine) regWriteFault(fu int, err error) error {
 	if _, ok := err.(*regfile.WriteConflictError); ok && m.config.TolerateConflicts {
 		m.stats.RegConflicts++
+		m.stats.PortConflicts[fu]++
 		return nil
 	}
 	return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)

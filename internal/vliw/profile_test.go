@@ -1,0 +1,57 @@
+package vliw
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/inject"
+	"ximd/internal/mem"
+)
+
+// TestVLIWStallAttributionInvariant holds the profiler's attribution
+// invariant on the single-sequencer baseline across the random corpus:
+// busy + nops + mem-stalled + failed + halted == cycles × NumFU on both
+// engines, clean and injected runs alike. Per-FU op counting happens at
+// word commit, so a cycle that faults mid-word leaves no partial
+// counts; whole-word stall cycles charge every FU a stall. The VLIW has
+// no SS network, so the sync-wait class must stay zero.
+func TestVLIWStallAttributionInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(1105))
+	for iter := 0; iter < 200; iter++ {
+		p := randomVLIWProgram(r)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid program: %v", iter, err)
+		}
+		var inj *inject.Injector
+		if iter%2 == 1 {
+			inj = inject.MustNew(randomVLIWInjectConfig(r))
+		}
+		for _, engine := range []core.EngineKind{core.EngineFast, core.EngineReference} {
+			m, err := New(p, Config{
+				Engine:            engine,
+				Memory:            mem.NewShared(1024),
+				MaxCycles:         500,
+				TolerateConflicts: iter%3 == 0,
+				Inject:            inj,
+			})
+			if err != nil {
+				t.Fatalf("iter %d: New: %v", iter, err)
+			}
+			m.Run() // faulting runs are part of the corpus
+			s := m.Stats()
+			tag := fmt.Sprintf("iter %d engine %d", iter, engine)
+			if got, want := s.AttributedFUCycles(), s.Cycles*uint64(p.NumFU); got != want {
+				t.Errorf("%s: attributed FU-cycles = %d, want cycles×NumFU = %d (stats %+v)",
+					tag, got, want, s)
+			}
+			for fu := 0; fu < p.NumFU; fu++ {
+				if s.SyncWaitCycles[fu] != 0 {
+					t.Errorf("%s: FU%d sync-wait = %d on a VLIW (no SS network)",
+						tag, fu, s.SyncWaitCycles[fu])
+				}
+			}
+		}
+	}
+}

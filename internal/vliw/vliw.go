@@ -451,6 +451,17 @@ func (m *Machine) Step() (running bool, err error) {
 	}
 	m.stats.Cycles++
 	m.stats.StreamHistogram[1]++ // a VLIW always runs exactly one stream
+	// Per-FU op attribution happens here, at commit, not during execData:
+	// a cycle that faults mid-word contributes no partial counts, so
+	// every counted cycle attributes all NumFU FU-cycles (the profiler's
+	// attribution invariant, shared with the XIMD core).
+	for fu := 0; fu < m.numFU; fu++ {
+		if in.Ops[fu].Op == isa.OpNop {
+			m.stats.Nops[fu]++
+		} else {
+			m.stats.DataOps[fu]++
+		}
+	}
 	m.cycle++
 	if m.inject != nil {
 		m.stall = m.wordStall
@@ -466,10 +477,8 @@ func (m *Machine) Step() (running bool, err error) {
 func (m *Machine) execData(fu int, d isa.DataOp) error {
 	cl := isa.ClassOf(d.Op)
 	if d.Op == isa.OpNop {
-		m.stats.Nops[fu]++
 		return nil
 	}
-	m.stats.DataOps[fu]++
 	if m.inject != nil &&
 		(cl.ReadsA() && d.A.Kind != isa.Imm || cl.ReadsB() && d.B.Kind != isa.Imm) &&
 		m.inject.DropRegPort(m.cycle, fu) {
@@ -548,6 +557,7 @@ func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
 	if err := m.regs.Write(fu, reg, v); err != nil {
 		if _, ok := err.(*regfile.WriteConflictError); ok && m.config.TolerateConflicts {
 			m.stats.RegConflicts++
+			m.stats.PortConflicts[fu]++
 			return nil
 		}
 		return fmt.Errorf("vliw: cycle %d, FU%d: %w", m.cycle, fu, err)

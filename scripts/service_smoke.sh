@@ -2,7 +2,9 @@
 # service_smoke.sh — end-to-end smoke test of the ximdd daemon, as run
 # by CI. Builds ximdd, starts it on a random port, submits the TPROC
 # job from testdata/tproc.xasm, polls until it completes, and asserts
-# the job finished with the expected cycle count. Requires curl.
+# the job finished with the expected cycle count, the legacy /varz view
+# and the Prometheus /metrics exposition agree, and the job's span log
+# is served. Requires curl.
 #
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
@@ -81,6 +83,22 @@ echo "$body" | grep -q '"cycles":6' || { echo "expected 6 cycles"; exit 1; }
 
 echo "== varz"
 curl -fsS "$base/varz" | grep -q '"jobs_done": *1'
+
+echo "== metrics"
+metrics=$(curl -fsS "$base/metrics")
+# One job ran: the counter families, the queue-wait histogram, and the
+# cache hit/miss series must all be present and well-formed.
+echo "$metrics" | grep -q '^# TYPE ximdd_jobs_total counter$' || { echo "missing TYPE line for ximdd_jobs_total"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_jobs_total 1$' || { echo "expected ximdd_jobs_total 1"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_jobs_done_total 1$' || { echo "expected ximdd_jobs_done_total 1"; exit 1; }
+echo "$metrics" | grep -q '^# TYPE ximdd_job_queue_wait_seconds histogram$' || { echo "missing queue-wait histogram TYPE"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_job_queue_wait_seconds_bucket{le="+Inf"} 1$' || { echo "expected one queue-wait observation"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_job_queue_wait_seconds_count 1$' || { echo "expected queue-wait count 1"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_cache_hits_total 0$' || { echo "expected ximdd_cache_hits_total 0"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_cache_misses_total 1$' || { echo "expected ximdd_cache_misses_total 1"; exit 1; }
+
+echo "== spans"
+curl -fsS "$base/v1/jobs/$id/spans" | grep -q '"span":"total"' || { echo "missing total span"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$ximdd_pid"
