@@ -1,0 +1,64 @@
+package main
+
+import (
+	"testing"
+
+	"ximd/internal/archive"
+)
+
+// TestBaselineGateAgainstGolden holds the current engine to the
+// checked-in golden archive: any behavioural drift in the simulator —
+// cycle counts, exit codes, peeks, stall profiles — fails this test
+// before it can silently land.
+func TestBaselineGateAgainstGolden(t *testing.T) {
+	if code := baselineCompare("testdata/baseline"); code != 0 {
+		t.Fatalf("baseline gate exit = %d, want 0 — the engine's behaviour drifted "+
+			"from testdata/baseline/archive.log (regenerate with -baseline-record "+
+			"only if the change is intentional)", code)
+	}
+}
+
+// TestBaselineGateFlagsDrift records a fresh baseline, overwrites one
+// key with a perturbed record, and expects the gate to fail.
+func TestBaselineGateFlagsDrift(t *testing.T) {
+	dir := t.TempDir()
+	if code := baselineRecord(dir); code != 0 {
+		t.Fatalf("baseline record exit = %d", code)
+	}
+	if code := baselineCompare(dir); code != 0 {
+		t.Fatalf("self-compare exit = %d, want 0", code)
+	}
+
+	// Append a newer, perturbed record for an existing key; Latest
+	// returns it, so the gate must now see a cycles delta.
+	a, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, runErr := runBaselineCase(baselineCases[0])
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if rec.Result == nil {
+		t.Fatal("first baseline case produced no result doc")
+	}
+	doc := *rec.Result
+	doc.Cycles++
+	rec.Result = &doc
+	if err := a.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+
+	if code := baselineCompare(dir); code != 1 {
+		t.Fatalf("perturbed gate exit = %d, want 1", code)
+	}
+}
+
+// TestBaselineGateFailsOnMissingBaseline runs the gate against an
+// empty archive: unverified must not pass.
+func TestBaselineGateFailsOnMissingBaseline(t *testing.T) {
+	if code := baselineCompare(t.TempDir()); code != 1 {
+		t.Fatalf("empty-archive gate exit = %d, want 1", code)
+	}
+}

@@ -7,6 +7,11 @@
 //	xbench -exp all          run everything
 //	xbench -exp trace10      reproduce the Figure 10 address trace
 //	xbench -list             list experiments
+//	xbench -baseline DIR     regression gate: re-run the pinned suite
+//	                         and diff it against the archived baseline
+//	                         in DIR (exit 1 on any drift)
+//	xbench -baseline-record DIR
+//	                         (re)write the baseline archive in DIR
 package main
 
 import (
@@ -71,10 +76,18 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
 	chaos := flag.Bool("chaos", false, "shorthand for -exp chaos")
 	profile := flag.Bool("profile", false, "shorthand for -exp profile")
+	baseline := flag.String("baseline", "", "run the regression gate against the baseline archive in `dir`")
+	baselineRec := flag.String("baseline-record", "", "(re)write the baseline archive in `dir`")
 	flag.Int64Var(&chaosSeed, "seed", chaosSeed, "seed for the chaos fault-injection campaigns")
 	flag.StringVar(&chaosJSON, "json", "", "write chaos results as JSON to `file`")
 	flag.Parse()
 	parallelism = *parallel
+	if *baseline != "" {
+		os.Exit(baselineCompare(*baseline))
+	}
+	if *baselineRec != "" {
+		os.Exit(baselineRecord(*baselineRec))
+	}
 	if *chaos {
 		*exp = "chaos"
 	}

@@ -12,6 +12,10 @@
 //	-workers N         concurrent job executors (default GOMAXPROCS)
 //	-job-timeout D     per-job deadline (e.g. 30s)
 //	-drain-timeout D   graceful-shutdown drain budget (e.g. 30s)
+//	-archive DIR       durable run archive directory: terminal jobs and
+//	                   sweep tasks are recorded, GET /v1/runs queries
+//	                   history, POST /v1/regress gates fresh runs
+//	                   against the archived baselines (empty = disabled)
 //
 // On SIGINT/SIGTERM the daemon stops accepting work (503), drains
 // queued and running jobs within the drain budget, then exits; a second
@@ -30,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"ximd/internal/archive"
 	"ximd/internal/serve"
 )
 
@@ -39,6 +44,7 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent job executors (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 30*time.Second, "per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	archiveDir := flag.String("archive", "", "durable run archive directory (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: ximdd [flags]")
@@ -46,10 +52,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	var arch *archive.Archive
+	if *archiveDir != "" {
+		var err error
+		arch, err = archive.Open(*archiveDir)
+		if err != nil {
+			log.Fatalf("ximdd: %v", err)
+		}
+		defer arch.Close()
+		if n := arch.Skipped(); n > 0 {
+			log.Printf("ximdd: archive: truncated %d torn record(s) at the log tail", n)
+		}
+		log.Printf("ximdd: archive: %d record(s) in %s", arch.Len(), *archiveDir)
+	}
+
 	svc := serve.New(serve.Options{
 		QueueDepth: *queue,
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,
+		Archive:    arch,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

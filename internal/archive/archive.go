@@ -1,0 +1,348 @@
+// Package archive is the durable, queryable run archive: an
+// append-only persistent store of simulation results keyed by
+// (program digest, architecture, seed, canonical inject spec). Because
+// every run is reproducible from that key alone (the service's
+// determinism contract), an archived record is a baseline: re-running
+// the same key must reproduce the same cycles, exit code, statistics,
+// and memory peeks, and any drift is an engine regression. The compare
+// half of the package (Compare, Report) is that gate; the ximdd
+// service exposes it at POST /v1/regress and xbench exposes it offline
+// as -baseline.
+//
+// Storage format: a single file, archive.log, holding a sequence of
+// length-prefixed JSON records. Each frame is
+//
+//	[4-byte big-endian payload length][4-byte big-endian IEEE CRC32
+//	of the payload][payload JSON]
+//
+// Appends write one frame and fsync, so a crash can only ever leave a
+// truncated or torn frame at the tail. Open rebuilds the in-memory
+// index by scanning frames from the start; the first frame that is
+// incomplete, fails its CRC, or does not unmarshal ends the scan — the
+// valid prefix is kept, the torn tail is counted (Skipped) and
+// truncated away so the next append extends a well-formed file.
+// Everything is stdlib-only.
+package archive
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ximd/internal/inject"
+	"ximd/internal/runner"
+)
+
+// LogName is the archive's single append-only file inside its
+// directory.
+const LogName = "archive.log"
+
+// maxRecordBytes bounds one frame's payload; a length prefix beyond it
+// is treated as corruption, not an allocation request.
+const maxRecordBytes = 16 << 20
+
+// frameHeaderLen is the byte length of the length+CRC frame header.
+const frameHeaderLen = 8
+
+// Key identifies one reproducible run: everything the result is a pure
+// function of. Inject must be in canonical form (inject.Canonicalize)
+// so that trivially reordered spec strings share one baseline; NewKey
+// enforces that.
+type Key struct {
+	// ProgramSHA256 is the content digest of the submitted program
+	// (ProgramDigest), the same value the service reports as
+	// program_sha256.
+	ProgramSHA256 string `json:"program_sha256"`
+	// Arch is "ximd" or "vliw".
+	Arch string `json:"arch"`
+	// Seed is the fault-injection seed.
+	Seed int64 `json:"seed"`
+	// Inject is the canonical fault-injection spec, "" for an idealized
+	// run.
+	Inject string `json:"inject,omitempty"`
+}
+
+// NewKey builds a Key, canonicalizing the inject spec through the
+// parsed form so equivalent spec strings produce identical keys.
+func NewKey(programSHA256 string, arch runner.Arch, seed int64, injectSpec string) (Key, error) {
+	canon, err := inject.Canonicalize(injectSpec)
+	if err != nil {
+		return Key{}, err
+	}
+	return Key{
+		ProgramSHA256: programSHA256,
+		Arch:          string(arch),
+		Seed:          seed,
+		Inject:        canon,
+	}, nil
+}
+
+// ID renders the key as the index string. The fields are joined with
+// '|', which cannot appear in a hex digest, an arch name, a decimal
+// seed, or the inject grammar.
+func (k Key) ID() string {
+	return fmt.Sprintf("%s|%s|%d|%s", k.ProgramSHA256, k.Arch, k.Seed, k.Inject)
+}
+
+// ProgramDigest is the content address of a program: sha256 over the
+// architecture name, a zero separator, and the program bytes exactly
+// as submitted (assembly text or binary image). It matches the
+// program_sha256 the ximdd service reports, so archive keys line up
+// with submit responses.
+func ProgramDigest(arch runner.Arch, source []byte) string {
+	h := sha256.New()
+	h.Write([]byte(arch))
+	h.Write([]byte{0})
+	h.Write(source)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Span is one named wall-clock phase of the archived run (queue wait,
+// decode, execute, total). Spans are context, never compared: they are
+// host measurements, not part of the deterministic result.
+type Span struct {
+	Name   string  `json:"name"`
+	Ms     float64 `json:"ms"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Record is one archived run: the key, the outcome through the shared
+// exit-code taxonomy, and — for completed runs — the full deterministic
+// result document with the stall-attribution profile attached.
+type Record struct {
+	Key Key `json:"key"`
+	// ExitCode is runner.ExitCode of the run's error (0 = success).
+	ExitCode int `json:"exit_code"`
+	// Error is the run's error text for non-zero exit codes. Runs are
+	// deterministic, so the text is reproducible and compared exactly.
+	Error string `json:"error,omitempty"`
+	// Result is the deterministic result document (stats, peeks,
+	// profile); nil when the run failed before producing one.
+	Result *runner.ResultDoc `json:"result,omitempty"`
+	// Spans is the run's wall-clock phase breakdown (not compared).
+	Spans []Span `json:"spans,omitempty"`
+	// UnixMS is the wall-clock append time in milliseconds (not
+	// compared; 0 when the writer wants byte-stable output, e.g. the
+	// checked-in golden baselines).
+	UnixMS int64 `json:"unix_ms,omitempty"`
+}
+
+// Archive is an open run archive: the append-only log plus the
+// in-memory index rebuilt from it. All methods are safe for concurrent
+// use.
+type Archive struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	recs    []Record
+	byKey   map[string][]int // Key.ID() → indices into recs, append order
+	skipped int
+}
+
+// Open opens (creating if needed) the archive in dir and rebuilds its
+// index. A torn frame at the tail — the footprint of a crash mid-append
+// — is detected, counted (Skipped), and truncated away so the earlier
+// records stay intact and subsequent appends extend a well-formed file.
+func Open(dir string) (*Archive, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	recs, valid, skipped := scanRecords(data)
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	if valid < int64(len(data)) {
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("archive: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+
+	a := &Archive{
+		dir:     dir,
+		f:       f,
+		recs:    recs,
+		byKey:   make(map[string][]int),
+		skipped: skipped,
+	}
+	for i := range recs {
+		id := recs[i].Key.ID()
+		a.byKey[id] = append(a.byKey[id], i)
+	}
+	return a, nil
+}
+
+// scanRecords walks the frame sequence in data, returning the decoded
+// records, the byte length of the valid prefix, and how many torn
+// frames were skipped (0 or 1 — the scan stops at the first).
+func scanRecords(data []byte) (recs []Record, valid int64, skipped int) {
+	rest := data
+	for len(rest) > 0 {
+		if len(rest) < frameHeaderLen {
+			return recs, valid, skipped + 1
+		}
+		n := binary.BigEndian.Uint32(rest[0:4])
+		sum := binary.BigEndian.Uint32(rest[4:8])
+		if n == 0 || n > maxRecordBytes || len(rest) < frameHeaderLen+int(n) {
+			return recs, valid, skipped + 1
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, valid, skipped + 1
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, valid, skipped + 1
+		}
+		recs = append(recs, rec)
+		valid += int64(frameHeaderLen + int(n))
+		rest = rest[frameHeaderLen+int(n):]
+	}
+	return recs, valid, skipped
+}
+
+// Append writes one record to the log (frame + fsync) and indexes it.
+// History is kept: appending the same key again adds a newer record;
+// Latest returns the most recent one.
+func (a *Archive) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("archive: record is %d bytes, limit %d", len(payload), maxRecordBytes)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return fmt.Errorf("archive: closed")
+	}
+	if _, err := a.f.Write(frame); err != nil {
+		// A short write leaves a torn frame; the next Open detects and
+		// truncates it, so earlier records are never poisoned.
+		return fmt.Errorf("archive: %w", err)
+	}
+	if err := a.f.Sync(); err != nil {
+		return fmt.Errorf("archive: %w", err)
+	}
+	a.recs = append(a.recs, rec)
+	id := rec.Key.ID()
+	a.byKey[id] = append(a.byKey[id], len(a.recs)-1)
+	return nil
+}
+
+// Latest returns the most recently appended record for key.
+func (a *Archive) Latest(key Key) (Record, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := a.byKey[key.ID()]
+	if len(idx) == 0 {
+		return Record{}, false
+	}
+	return a.recs[idx[len(idx)-1]], true
+}
+
+// History returns every record for key, oldest first.
+func (a *Archive) History(key Key) []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx := a.byKey[key.ID()]
+	out := make([]Record, len(idx))
+	for i, j := range idx {
+		out[i] = a.recs[j]
+	}
+	return out
+}
+
+// Query filters archived records. Zero-valued fields match anything;
+// Seed and Inject are pointers so "seed 0" and "no injection" remain
+// expressible filters. Inject is matched against the canonical form.
+type Query struct {
+	ProgramSHA256 string
+	Arch          string
+	Seed          *int64
+	Inject        *string
+	// Limit caps the result count, keeping the newest matches; <= 0
+	// means no cap.
+	Limit int
+}
+
+// Select returns the matching records in append order (oldest first).
+func (a *Archive) Select(q Query) []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Record
+	for i := range a.recs {
+		k := &a.recs[i].Key
+		if q.ProgramSHA256 != "" && k.ProgramSHA256 != q.ProgramSHA256 {
+			continue
+		}
+		if q.Arch != "" && k.Arch != q.Arch {
+			continue
+		}
+		if q.Seed != nil && k.Seed != *q.Seed {
+			continue
+		}
+		if q.Inject != nil && k.Inject != *q.Inject {
+			continue
+		}
+		out = append(out, a.recs[i])
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[len(out)-q.Limit:]
+	}
+	return out
+}
+
+// Len returns the number of indexed records.
+func (a *Archive) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.recs)
+}
+
+// Skipped returns how many torn tail frames Open discarded.
+func (a *Archive) Skipped() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.skipped
+}
+
+// Dir returns the archive's directory.
+func (a *Archive) Dir() string { return a.dir }
+
+// Close closes the log file. Further appends fail; reads keep working
+// off the in-memory index.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.f == nil {
+		return nil
+	}
+	err := a.f.Close()
+	a.f = nil
+	return err
+}

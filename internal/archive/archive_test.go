@@ -1,0 +1,367 @@
+package archive
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ximd/internal/runner"
+)
+
+func testRecord(seed int64, injectSpec string, cycles uint64) Record {
+	key, err := NewKey("ab12", runner.ArchXIMD, seed, injectSpec)
+	if err != nil {
+		panic(err)
+	}
+	doc := runner.ResultDoc{
+		StatsDoc: runner.StatsDoc{
+			Arch:         "ximd",
+			Cycles:       cycles,
+			TotalDataOps: cycles * 3,
+			OpsPerCycle:  3,
+			Utilization:  0.75,
+			MeanStreams:  1.5,
+		},
+		Peeks: []runner.PeekDoc{{Base: 300, Values: []int32{1, 2}}},
+	}
+	return Record{
+		Key:      key,
+		ExitCode: 0,
+		Result:   &doc,
+		Spans:    []Span{{Name: "execute", Ms: 1.25}},
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		testRecord(0, "", 100),
+		testRecord(1, "lat=fixed:4", 140),
+		testRecord(0, "", 100), // same key again: history
+	}
+	for _, r := range recs {
+		if err := a.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	before, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-open: the index rebuilds, appends extend the same bytes.
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 3 || b.Skipped() != 0 {
+		t.Fatalf("reopen: Len=%d Skipped=%d, want 3, 0", b.Len(), b.Skipped())
+	}
+	got, ok := b.Latest(recs[1].Key)
+	if !ok || !reflect.DeepEqual(got, recs[1]) {
+		t.Fatalf("Latest after reopen = %+v (ok=%v), want %+v", got, ok, recs[1])
+	}
+	if h := b.History(recs[0].Key); len(h) != 2 {
+		t.Fatalf("History = %d records, want 2", len(h))
+	}
+	if err := b.Append(testRecord(2, "", 90)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(after, before) {
+		t.Fatal("append after reopen did not extend the existing bytes byte-identically")
+	}
+	if len(after) <= len(before) {
+		t.Fatal("append after reopen wrote nothing")
+	}
+}
+
+// TestTornTailSkippedOnOpen is the crash-safety contract: a record
+// truncated mid-write is detected and skipped on open, earlier records
+// survive, and the torn bytes are truncated so the next append
+// produces a well-formed file.
+func TestTornTailSkippedOnOpen(t *testing.T) {
+	for _, cut := range []struct {
+		name  string
+		bytes int // how many bytes of the final frame to keep
+	}{
+		{"mid_header", 3},
+		{"header_only", frameHeaderLen},
+		{"mid_payload", frameHeaderLen + 11},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir := t.TempDir()
+			a, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keep := testRecord(0, "", 100)
+			if err := a.Append(keep); err != nil {
+				t.Fatal(err)
+			}
+			sizeAfterFirst := fileSize(t, dir)
+			if err := a.Append(testRecord(1, "", 120)); err != nil {
+				t.Fatal(err)
+			}
+			a.Close()
+
+			// Cut the second frame mid-write.
+			path := filepath.Join(dir, LogName)
+			if err := os.Truncate(path, sizeAfterFirst+int64(cut.bytes)); err != nil {
+				t.Fatal(err)
+			}
+
+			b, err := Open(dir)
+			if err != nil {
+				t.Fatalf("open with torn tail: %v", err)
+			}
+			defer b.Close()
+			if b.Len() != 1 {
+				t.Fatalf("Len = %d, want 1 (earlier record must survive)", b.Len())
+			}
+			if b.Skipped() != 1 {
+				t.Errorf("Skipped = %d, want 1", b.Skipped())
+			}
+			if got, ok := b.Latest(keep.Key); !ok || !reflect.DeepEqual(got, keep) {
+				t.Fatalf("surviving record = %+v (ok=%v), want %+v", got, ok, keep)
+			}
+			if got := fileSize(t, dir); got != sizeAfterFirst {
+				t.Errorf("torn tail not truncated: file is %d bytes, want %d", got, sizeAfterFirst)
+			}
+
+			// Appends after recovery extend a clean file.
+			next := testRecord(2, "", 90)
+			if err := b.Append(next); err != nil {
+				t.Fatal(err)
+			}
+			b.Close()
+			c, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if c.Len() != 2 || c.Skipped() != 0 {
+				t.Fatalf("after recovery+append: Len=%d Skipped=%d, want 2, 0", c.Len(), c.Skipped())
+			}
+		})
+	}
+}
+
+// TestCorruptPayloadDetectedByCRC flips a payload byte (same length, no
+// truncation) and expects the CRC to catch it.
+func TestCorruptPayloadDetectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(testRecord(0, "", 100)); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	path := filepath.Join(dir, LogName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[frameHeaderLen+5] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Len() != 0 || b.Skipped() != 1 {
+		t.Fatalf("Len=%d Skipped=%d, want 0, 1", b.Len(), b.Skipped())
+	}
+}
+
+func fileSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, LogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// TestKeyCanonicalization: equivalent inject specs map to one key, so
+// no duplicate baselines.
+func TestKeyCanonicalization(t *testing.T) {
+	a, err := NewKey("d1", runner.ArchXIMD, 7, "lat=fixed:4,drop=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewKey("d1", runner.ArchXIMD, 7, "drop=0.10, lat=fixed:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != b.ID() {
+		t.Errorf("equivalent specs produced different keys:\n %s\n %s", a.ID(), b.ID())
+	}
+	c, _ := NewKey("d1", runner.ArchXIMD, 8, "lat=fixed:4,drop=0.1")
+	if a.ID() == c.ID() {
+		t.Error("different seeds share a key")
+	}
+	d, _ := NewKey("d1", runner.ArchVLIW, 7, "lat=fixed:4,drop=0.1")
+	if a.ID() == d.ID() {
+		t.Error("different arches share a key")
+	}
+	if _, err := NewKey("d1", runner.ArchXIMD, 0, "lat=warp:1"); err == nil {
+		t.Error("NewKey accepted a bad inject spec")
+	}
+}
+
+func TestArchivedEquivalentSpecsShareBaseline(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Append(testRecord(3, "lat=fixed:4,drop=0.1", 100)); err != nil {
+		t.Fatal(err)
+	}
+	key, err := NewKey("ab12", runner.ArchXIMD, 3, "drop=0.1,lat=fixed:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Latest(key); !ok {
+		t.Error("reordered spec missed the archived baseline")
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d, want 1", a.Len())
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := testRecord(0, "", 100)
+	tol := Tolerance{}
+
+	t.Run("identical passes", func(t *testing.T) {
+		c := Compare(base, testRecord(0, "", 100), tol)
+		if c.Status != StatusPass || len(c.Deltas) != 0 {
+			t.Fatalf("identical records: %+v", c)
+		}
+	})
+
+	t.Run("cycle drift fails exactly", func(t *testing.T) {
+		cur := testRecord(0, "", 101)
+		c := Compare(base, cur, tol)
+		if c.Status != StatusFail {
+			t.Fatalf("cycle drift passed: %+v", c)
+		}
+		found := false
+		for _, d := range c.Deltas {
+			if d.Field == "cycles" && d.Baseline == "100" && d.Current == "101" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no cycles delta in %+v", c.Deltas)
+		}
+	})
+
+	t.Run("ratio within tolerance passes", func(t *testing.T) {
+		cur := testRecord(0, "", 100)
+		cur.Result.Utilization = base.Result.Utilization + 0.004
+		if c := Compare(base, cur, Tolerance{Ratio: 0.005}); c.Status != StatusPass {
+			t.Fatalf("in-tolerance drift failed: %+v", c)
+		}
+		cur.Result.Utilization = base.Result.Utilization + 0.02
+		if c := Compare(base, cur, Tolerance{Ratio: 0.005}); c.Status != StatusFail {
+			t.Fatalf("out-of-tolerance drift passed: %+v", c)
+		}
+	})
+
+	t.Run("exit code and error compared for failed runs", func(t *testing.T) {
+		b := Record{Key: base.Key, ExitCode: 1, Error: "sim: livelock"}
+		if c := Compare(b, Record{Key: base.Key, ExitCode: 1, Error: "sim: livelock"}, tol); c.Status != StatusPass {
+			t.Fatalf("matching failures did not pass: %+v", c)
+		}
+		if c := Compare(b, Record{Key: base.Key, ExitCode: 0, Result: base.Result}, tol); c.Status != StatusFail {
+			t.Fatalf("exit-code flip passed: %+v", c)
+		}
+	})
+
+	t.Run("peek drift fails", func(t *testing.T) {
+		cur := testRecord(0, "", 100)
+		vals := append([]int32(nil), cur.Result.Peeks[0].Values...)
+		vals[1] = 99
+		cur.Result.Peeks = []runner.PeekDoc{{Base: 300, Values: vals}}
+		if c := Compare(base, cur, tol); c.Status != StatusFail {
+			t.Fatalf("peek drift passed: %+v", c)
+		}
+	})
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := NewReport(Tolerance{})
+	if !r.Pass || r.Tolerance != DefaultRatioTolerance {
+		t.Fatalf("fresh report: %+v", r)
+	}
+	r.Add(Comparison{Status: StatusPass})
+	if !r.Pass {
+		t.Error("pass flipped the report")
+	}
+	r.Add(Comparison{Status: StatusMissingBaseline})
+	if r.Pass || r.MissingBaseline != 1 {
+		t.Errorf("missing baseline did not fail the gate: %+v", r)
+	}
+	r.Add(Comparison{Status: StatusFail})
+	if r.Failed != 1 || r.Compared != 3 {
+		t.Errorf("counts: %+v", r)
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for seed := int64(0); seed < 3; seed++ {
+		if err := a.Append(testRecord(seed, "", 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Append(testRecord(0, "lat=fixed:4", 140)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Select(Query{ProgramSHA256: "ab12"}); len(got) != 4 {
+		t.Errorf("by digest: %d, want 4", len(got))
+	}
+	seed := int64(0)
+	if got := a.Select(Query{Seed: &seed}); len(got) != 2 {
+		t.Errorf("by seed 0: %d, want 2", len(got))
+	}
+	none := ""
+	if got := a.Select(Query{Inject: &none}); len(got) != 3 {
+		t.Errorf("by empty inject: %d, want 3", len(got))
+	}
+	if got := a.Select(Query{Limit: 2}); len(got) != 2 || got[1].Key.Inject != "lat=fixed:4" {
+		t.Errorf("limit keeps newest: %+v", got)
+	}
+	if got := a.Select(Query{Arch: "vliw"}); len(got) != 0 {
+		t.Errorf("by wrong arch: %d, want 0", len(got))
+	}
+}

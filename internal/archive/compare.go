@@ -1,0 +1,244 @@
+package archive
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"ximd/internal/runner"
+)
+
+// This file is the regression gate: Compare diffs a fresh run against
+// its archived baseline under the tolerance policy, and Report
+// aggregates a batch of comparisons into one pass/fail verdict
+// (POST /v1/regress, xbench -baseline).
+//
+// Tolerance policy: runs are deterministic, so everything integral is
+// compared exactly — exit code, error text, cycle count, operation
+// counts, memory peeks. Derived ratio metrics (utilization, ops/cycle,
+// mean streams, the per-FU stall-attribution shares) get a small
+// absolute tolerance so a legitimate change in float formatting or
+// derivation order cannot fail the gate while a real behavioural shift
+// still does.
+
+// DefaultRatioTolerance is the absolute tolerance applied to
+// utilization-like fractions when Tolerance.Ratio is unset.
+const DefaultRatioTolerance = 0.005
+
+// Tolerance parameterizes Compare.
+type Tolerance struct {
+	// Ratio is the absolute tolerance for ratio metrics in [0, 1)
+	// (utilization, ops/cycle, mean streams, profile shares); <= 0
+	// selects DefaultRatioTolerance.
+	Ratio float64
+}
+
+func (t Tolerance) ratio() float64 {
+	if t.Ratio > 0 {
+		return t.Ratio
+	}
+	return DefaultRatioTolerance
+}
+
+// Status classifies one comparison.
+type Status string
+
+const (
+	// StatusPass: the fresh run matches its baseline.
+	StatusPass Status = "pass"
+	// StatusFail: at least one field drifted beyond tolerance.
+	StatusFail Status = "fail"
+	// StatusMissingBaseline: the archive has no record for the key.
+	StatusMissingBaseline Status = "missing_baseline"
+)
+
+// Delta is one diverging field, rendered as strings so integers,
+// floats, and error texts share a shape.
+type Delta struct {
+	Field    string `json:"field"`
+	Baseline string `json:"baseline"`
+	Current  string `json:"current"`
+}
+
+// Comparison is the verdict on one key.
+type Comparison struct {
+	Key    Key     `json:"key"`
+	Status Status  `json:"status"`
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// Compare diffs current against baseline. The records are expected to
+// share a key (the caller looked baseline up by current's key); the
+// key recorded on the comparison is current's.
+func Compare(baseline, current Record, tol Tolerance) Comparison {
+	c := comparer{tol: tol.ratio()}
+	c.exactInt("exit_code", int64(baseline.ExitCode), int64(current.ExitCode))
+	c.exactStr("error", baseline.Error, current.Error)
+	switch {
+	case baseline.Result == nil && current.Result == nil:
+		// Both failed before producing a document; exit code and error
+		// already compared.
+	case baseline.Result == nil || current.Result == nil:
+		c.add("result", present(baseline.Result != nil), present(current.Result != nil))
+	default:
+		c.compareResult(baseline.Result, current.Result)
+	}
+	status := StatusPass
+	if len(c.deltas) > 0 {
+		status = StatusFail
+	}
+	return Comparison{Key: current.Key, Status: status, Deltas: c.deltas}
+}
+
+func present(p bool) string {
+	if p {
+		return "present"
+	}
+	return "absent"
+}
+
+type comparer struct {
+	tol    float64
+	deltas []Delta
+}
+
+func (c *comparer) add(field, baseline, current string) {
+	c.deltas = append(c.deltas, Delta{Field: field, Baseline: baseline, Current: current})
+}
+
+func (c *comparer) exactInt(field string, b, cur int64) {
+	if b != cur {
+		c.add(field, strconv.FormatInt(b, 10), strconv.FormatInt(cur, 10))
+	}
+}
+
+func (c *comparer) exactUint(field string, b, cur uint64) {
+	if b != cur {
+		c.add(field, strconv.FormatUint(b, 10), strconv.FormatUint(cur, 10))
+	}
+}
+
+func (c *comparer) exactStr(field, b, cur string) {
+	if b != cur {
+		c.add(field, b, cur)
+	}
+}
+
+func (c *comparer) ratioWithin(field string, b, cur float64) {
+	if math.Abs(b-cur) > c.tol {
+		c.add(field,
+			strconv.FormatFloat(b, 'g', -1, 64),
+			strconv.FormatFloat(cur, 'g', -1, 64))
+	}
+}
+
+func (c *comparer) compareResult(b, cur *runner.ResultDoc) {
+	c.exactStr("arch", b.Arch, cur.Arch)
+	c.exactUint("cycles", b.Cycles, cur.Cycles)
+	c.exactUint("total_data_ops", b.TotalDataOps, cur.TotalDataOps)
+	c.ratioWithin("ops_per_cycle", b.OpsPerCycle, cur.OpsPerCycle)
+	c.ratioWithin("utilization", b.Utilization, cur.Utilization)
+	c.ratioWithin("mean_streams", b.MeanStreams, cur.MeanStreams)
+	c.comparePeeks(b.Peeks, cur.Peeks)
+	c.compareProfiles(b.Profile, cur.Profile)
+}
+
+func (c *comparer) comparePeeks(b, cur []runner.PeekDoc) {
+	if len(b) != len(cur) {
+		c.add("peeks", fmt.Sprintf("%d ranges", len(b)), fmt.Sprintf("%d ranges", len(cur)))
+		return
+	}
+	for i := range b {
+		if b[i].Base != cur[i].Base {
+			c.add(fmt.Sprintf("peeks[%d].base", i),
+				strconv.FormatUint(uint64(b[i].Base), 10),
+				strconv.FormatUint(uint64(cur[i].Base), 10))
+			continue
+		}
+		if len(b[i].Values) != len(cur[i].Values) {
+			c.add(fmt.Sprintf("peeks[%d]", i),
+				fmt.Sprintf("%d values", len(b[i].Values)),
+				fmt.Sprintf("%d values", len(cur[i].Values)))
+			continue
+		}
+		for j := range b[i].Values {
+			if b[i].Values[j] != cur[i].Values[j] {
+				c.add(fmt.Sprintf("peeks[%d][%d]@%d", i, j, b[i].Base+uint32(j)),
+					strconv.FormatInt(int64(b[i].Values[j]), 10),
+					strconv.FormatInt(int64(cur[i].Values[j]), 10))
+			}
+		}
+	}
+}
+
+// compareProfiles diffs the stall-attribution blocks as per-FU cycle
+// shares: each class (busy, sync wait, idle, mem stall, failed,
+// halted) is normalized by the run's cycle count and held to the ratio
+// tolerance, per the tolerance policy. A missing block on either side
+// is skipped — archived service records always carry one, but older or
+// hand-built records may not.
+func (c *comparer) compareProfiles(b, cur *runner.ProfileDoc) {
+	if b == nil || cur == nil {
+		return
+	}
+	if len(b.FUs) != len(cur.FUs) {
+		c.add("profile.fus", fmt.Sprintf("%d FUs", len(b.FUs)), fmt.Sprintf("%d FUs", len(cur.FUs)))
+		return
+	}
+	for i := range b.FUs {
+		bf, cf := &b.FUs[i], &cur.FUs[i]
+		for _, cls := range []struct {
+			name   string
+			b, cur uint64
+		}{
+			{"busy", bf.Busy, cf.Busy},
+			{"sync_wait", bf.SyncWait, cf.SyncWait},
+			{"idle_nop", bf.IdleNop, cf.IdleNop},
+			{"mem_stall", bf.MemStall, cf.MemStall},
+			{"failed", bf.Failed, cf.Failed},
+			{"halted", bf.Halted, cf.Halted},
+		} {
+			c.ratioWithin(fmt.Sprintf("profile.fu%d.%s_share", bf.FU, cls.name),
+				share(cls.b, b.Cycles), share(cls.cur, cur.Cycles))
+		}
+	}
+}
+
+func share(n, cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(n) / float64(cycles)
+}
+
+// Report aggregates a batch of comparisons into the gate's verdict:
+// Pass is true only when every comparison passed (a missing baseline
+// fails the gate — a run with nothing to diff against is unverified,
+// not verified).
+type Report struct {
+	Pass            bool         `json:"pass"`
+	Tolerance       float64      `json:"tolerance"`
+	Compared        int          `json:"compared"`
+	Failed          int          `json:"failed"`
+	MissingBaseline int          `json:"missing_baseline"`
+	Results         []Comparison `json:"results"`
+}
+
+// NewReport starts an empty passing report at the given tolerance.
+func NewReport(tol Tolerance) *Report {
+	return &Report{Pass: true, Tolerance: tol.ratio()}
+}
+
+// Add folds one comparison into the report.
+func (r *Report) Add(c Comparison) {
+	r.Results = append(r.Results, c)
+	r.Compared++
+	switch c.Status {
+	case StatusFail:
+		r.Failed++
+		r.Pass = false
+	case StatusMissingBaseline:
+		r.MissingBaseline++
+		r.Pass = false
+	}
+}

@@ -1,0 +1,62 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CanonicalSpec renders the configuration back into the ParseSpec
+// grammar in canonical form: fixed key order (lat, drop, nak, flip,
+// fufail), FU failures sorted by (FU, cycle), probabilities in their
+// shortest round-tripping decimal form, and no whitespace. Any two
+// spec strings that parse to the same Config canonicalize to the same
+// string — `drop=0.1,lat=fixed:4` and `lat=fixed:4, drop=0.10` both
+// become `lat=fixed:4,drop=0.1` — which is what lets the run archive
+// key on the spec without creating duplicate baselines for trivially
+// reordered inputs. A configuration that injects nothing canonicalizes
+// to the empty string. The seed is not part of the rendering; it is a
+// separate axis of the archive key.
+func (c Config) CanonicalSpec() string {
+	var parts []string
+	switch c.Latency.Kind {
+	case LatencyFixed:
+		parts = append(parts, fmt.Sprintf("lat=fixed:%d", c.Latency.Fixed))
+	case LatencyUniform:
+		parts = append(parts, fmt.Sprintf("lat=uniform:%d:%d", c.Latency.Min, c.Latency.Max))
+	case LatencyBanked:
+		parts = append(parts, fmt.Sprintf("lat=banked:%d:%d:%d",
+			c.Latency.BankBits, c.Latency.Hot, c.Latency.Cold))
+	}
+	if p := c.Transient.RegPortDrop; p > 0 {
+		parts = append(parts, "drop="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	if p := c.Transient.MemNAK; p > 0 {
+		parts = append(parts, "nak="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	if p := c.Transient.BitFlip; p > 0 {
+		parts = append(parts, "flip="+strconv.FormatFloat(p, 'g', -1, 64))
+	}
+	failures := append([]FUFailure(nil), c.FUFailures...)
+	sort.Slice(failures, func(i, j int) bool {
+		if failures[i].FU != failures[j].FU {
+			return failures[i].FU < failures[j].FU
+		}
+		return failures[i].Cycle < failures[j].Cycle
+	})
+	for _, f := range failures {
+		parts = append(parts, fmt.Sprintf("fufail=%d@%d", f.FU, f.Cycle))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Canonicalize parses spec and renders it canonically. An empty or
+// all-whitespace spec canonicalizes to the empty string.
+func Canonicalize(spec string) (string, error) {
+	cfg, err := ParseSpec(spec, 0)
+	if err != nil {
+		return "", err
+	}
+	return cfg.CanonicalSpec(), nil
+}

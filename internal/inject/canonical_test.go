@@ -1,0 +1,83 @@
+package inject
+
+import "testing"
+
+func TestCanonicalizeEquivalentOrderings(t *testing.T) {
+	groups := [][]string{
+		{
+			"lat=fixed:4,drop=0.1",
+			"drop=0.1,lat=fixed:4",
+			" drop=0.10 , lat=fixed:4 ",
+			"drop=0.1,,lat=fixed:4",
+		},
+		{
+			"nak=0.01,flip=0.5,lat=uniform:0:8",
+			"lat=uniform:0:8,flip=0.50,nak=0.010",
+		},
+		{
+			"fufail=2@30,fufail=1@10",
+			"fufail=1@10,fufail=2@30",
+		},
+		{"", "  ", ","},
+	}
+	for _, g := range groups {
+		want, err := Canonicalize(g[0])
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", g[0], err)
+		}
+		for _, spec := range g[1:] {
+			got, err := Canonicalize(spec)
+			if err != nil {
+				t.Fatalf("Canonicalize(%q): %v", spec, err)
+			}
+			if got != want {
+				t.Errorf("Canonicalize(%q) = %q, want %q (from %q)", spec, got, want, g[0])
+			}
+		}
+	}
+}
+
+func TestCanonicalizeDistinguishesDifferentConfigs(t *testing.T) {
+	a, _ := Canonicalize("lat=fixed:4")
+	b, _ := Canonicalize("lat=fixed:5")
+	if a == b {
+		t.Errorf("lat=fixed:4 and lat=fixed:5 both canonicalize to %q", a)
+	}
+	c, _ := Canonicalize("lat=fixed:4,drop=0.1")
+	if a == c {
+		t.Errorf("adding drop=0.1 did not change the canonical form %q", a)
+	}
+}
+
+// TestCanonicalSpecRoundTrips asserts the canonical form re-parses to
+// the same configuration (modulo FU-failure ordering, which the
+// canonical form sorts).
+func TestCanonicalSpecRoundTrips(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"lat=fixed:4",
+		"lat=uniform:0:8,nak=0.002",
+		"lat=banked:3:0:9,drop=0.25,flip=1e-05",
+		"fufail=2@30,fufail=0@5,nak=0.01",
+	} {
+		canon, err := Canonicalize(spec)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q): %v", spec, err)
+		}
+		again, err := Canonicalize(canon)
+		if err != nil {
+			t.Fatalf("Canonicalize(%q) (canonical of %q): %v", canon, spec, err)
+		}
+		if again != canon {
+			t.Errorf("canonical form is not a fixed point: %q -> %q -> %q", spec, canon, again)
+		}
+	}
+}
+
+func TestCanonicalizeRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"lat=warp:3", "drop=2", "fufail=9@1", "bogus"} {
+		if _, err := Canonicalize(spec); err == nil {
+			t.Errorf("Canonicalize(%q) accepted a bad spec", spec)
+		}
+	}
+}

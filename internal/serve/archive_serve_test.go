@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ximd/internal/archive"
+	"ximd/internal/runner"
+)
+
+// newArchiveServer is newTestServer plus a durable run archive in a
+// temp dir.
+func newArchiveServer(t *testing.T, opts Options) (*Server, *httptest.Server, *archive.Archive) {
+	t.Helper()
+	a, err := archive.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	opts.Archive = a
+	s, ts := newTestServer(t, opts)
+	return s, ts, a
+}
+
+func TestJobsRecordedInArchive(t *testing.T) {
+	_, ts, a := newArchiveServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	req := tprocJob()
+	req.Seed = 3
+	sr := submit(t, ts, req)
+	st, _ := waitTerminal(t, ts, sr.ID)
+	if st.Status != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+
+	key, err := archive.NewKey(sr.ProgramSHA256, runner.ArchXIMD, 3, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := a.Latest(key)
+	if !ok {
+		t.Fatalf("no archive record for %s", key.ID())
+	}
+	if rec.ExitCode != 0 || rec.Error != "" {
+		t.Fatalf("record = exit %d error %q, want clean", rec.ExitCode, rec.Error)
+	}
+	if rec.Result == nil || rec.Result.Cycles != st.Result.Cycles {
+		t.Fatalf("archived result = %+v, want %d cycles", rec.Result, st.Result.Cycles)
+	}
+	// The archive always carries the stall-attribution profile, even
+	// though the job did not request one.
+	if rec.Result.Profile == nil {
+		t.Fatal("archived record has no profile block")
+	}
+	if len(rec.Spans) == 0 {
+		t.Fatal("archived record has no spans")
+	}
+	if rec.UnixMS == 0 {
+		t.Fatal("archived record has no timestamp")
+	}
+
+	// A failed job is archived too: exit code and error, no result doc.
+	fail := submit(t, ts, JobRequest{Source: spinSrc, MaxCycles: 100})
+	waitTerminal(t, ts, fail.ID)
+	fkey, err := archive.NewKey(fail.ProgramSHA256, runner.ArchXIMD, 0, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frec, ok := a.Latest(fkey)
+	if !ok {
+		t.Fatal("failed job not archived")
+	}
+	if frec.ExitCode == 0 || frec.Error == "" || frec.Result != nil {
+		t.Fatalf("failed record = %+v, want nonzero exit, error text, nil result", frec)
+	}
+}
+
+func TestEquivalentInjectSpecsShareArchiveKey(t *testing.T) {
+	_, ts, a := newArchiveServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	var sha string
+	for _, spec := range []string{"lat=fixed:4,drop=0.1", "drop=0.1,lat=fixed:4"} {
+		sr := submit(t, ts, JobRequest{Source: loadSrc, Seed: 7, Inject: spec})
+		waitTerminal(t, ts, sr.ID)
+		sha = sr.ProgramSHA256
+	}
+	key, err := archive.NewKey(sha, runner.ArchXIMD, 7, "drop=0.1,lat=fixed:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := a.History(key)
+	if len(hist) != 2 {
+		t.Fatalf("history for shared key = %d records, want 2 (keys not canonicalized?)", len(hist))
+	}
+	// Determinism: both runs carry the same spec, so the archived
+	// results must be identical.
+	if c := archive.Compare(hist[0], hist[1], archive.Tolerance{}); c.Status != archive.StatusPass {
+		t.Fatalf("same-key reruns differ: %+v", c.Deltas)
+	}
+}
+
+func TestRunsEndpoint(t *testing.T) {
+	_, ts, _ := newArchiveServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	req := tprocJob()
+	sr := submit(t, ts, req)
+	waitTerminal(t, ts, sr.ID)
+	req.Seed = 5
+	sr2 := submit(t, ts, req)
+	waitTerminal(t, ts, sr2.ID)
+
+	get := func(query string) RunsResponse {
+		t.Helper()
+		resp, body := getBody(t, ts.URL+"/v1/runs"+query)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/runs%s: %d: %s", query, resp.StatusCode, body)
+		}
+		var rr RunsResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatalf("runs body: %v: %s", err, body)
+		}
+		return rr
+	}
+
+	if rr := get("?digest=" + sr.ProgramSHA256); rr.Count != 2 {
+		t.Fatalf("digest filter: %d runs, want 2", rr.Count)
+	}
+	if rr := get("?digest=" + sr.ProgramSHA256 + "&seed=5"); rr.Count != 1 || rr.Runs[0].Key.Seed != 5 {
+		t.Fatalf("seed filter: %+v, want the seed-5 run", rr)
+	}
+	if rr := get("?digest=" + sr.ProgramSHA256 + "&limit=1"); rr.Count != 1 || rr.Runs[0].Key.Seed != 5 {
+		t.Fatalf("limit filter: %+v, want newest run only", rr)
+	}
+	if rr := get("?arch=vliw"); rr.Count != 0 {
+		t.Fatalf("arch filter: %d runs, want 0", rr.Count)
+	}
+	if rr := get("?inject="); rr.Count != 2 {
+		t.Fatalf("empty inject filter: %d runs, want 2 idealized", rr.Count)
+	}
+
+	resp, _ := getBody(t, ts.URL+"/v1/runs?seed=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad seed: %d, want 400", resp.StatusCode)
+	}
+	resp, _ = getBody(t, ts.URL+"/v1/runs?inject=lat=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad inject: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestArchiveEndpointsDisabledWithoutArchive(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	resp, body := getBody(t, ts.URL+"/v1/runs")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/runs without archive: %d: %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/regress", RegressRequest{Base: tprocJob()})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/regress without archive: %d: %s", resp.StatusCode, body)
+	}
+}
+
+// regress posts a RegressRequest and returns the parsed 200 response.
+func regress(t *testing.T, ts *httptest.Server, req RegressRequest) RegressResponse {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/v1/regress", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("regress: status %d: %s", resp.StatusCode, body)
+	}
+	var rr RegressResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("regress body: %v: %s", err, body)
+	}
+	return rr
+}
+
+func TestRegressGate(t *testing.T) {
+	_, ts, a := newArchiveServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	// Record the baseline through a sweep: loadSrc under fixed latency 1,
+	// seeds 1 and 2.
+	base := JobRequest{Source: loadSrc, Inject: "lat=fixed:1", Mem: []string{"100=20,22"}}
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{Base: base, Seeds: []int64{1, 2}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline sweep: %d: %s", resp.StatusCode, body)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("archive has %d records after sweep, want 2", a.Len())
+	}
+
+	// Re-running the same batch against its own baseline passes.
+	rr := regress(t, ts, RegressRequest{Base: base, Seeds: []int64{1, 2}})
+	if !rr.Report.Pass || rr.Report.Compared != 2 || rr.Report.Failed != 0 {
+		t.Fatalf("self-regress report = %+v, want clean pass", rr.Report)
+	}
+
+	// A perturbed run — slower memory than the archived baseline — is
+	// flagged with a cycles delta (exact compare: the runs are
+	// deterministic, so any drift is real).
+	slow := base
+	slow.Inject = "lat=fixed:8"
+	baseInj := "lat=fixed:1"
+	rr = regress(t, ts, RegressRequest{
+		Base:           slow,
+		Seeds:          []int64{1},
+		BaselineInject: &baseInj,
+	})
+	if rr.Report.Pass || rr.Report.Failed != 1 {
+		t.Fatalf("perturbed regress report = %+v, want failure", rr.Report)
+	}
+	found := false
+	for _, d := range rr.Report.Results[0].Deltas {
+		if d.Field == "cycles" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("perturbed deltas = %+v, want a cycles delta", rr.Report.Results[0].Deltas)
+	}
+
+	// A key with nothing archived fails the gate as missing_baseline:
+	// unverified is not verified.
+	rr = regress(t, ts, RegressRequest{Base: base, Seeds: []int64{99}})
+	if rr.Report.Pass || rr.Report.MissingBaseline != 1 {
+		t.Fatalf("missing-baseline report = %+v", rr.Report)
+	}
+	if rr.Report.Results[0].Status != archive.StatusMissingBaseline {
+		t.Fatalf("status = %s, want missing_baseline", rr.Report.Results[0].Status)
+	}
+
+	// record=true appends the fresh runs after comparing, so the next
+	// gate run for seed 99 has a baseline.
+	n := a.Len()
+	rr = regress(t, ts, RegressRequest{Base: base, Seeds: []int64{99}, Record: true})
+	if rr.Report.Pass {
+		t.Fatal("first seed-99 regress passed; comparison must precede recording")
+	}
+	if a.Len() != n+1 {
+		t.Fatalf("archive len = %d, want %d after record=true", a.Len(), n+1)
+	}
+	rr = regress(t, ts, RegressRequest{Base: base, Seeds: []int64{99}})
+	if !rr.Report.Pass {
+		t.Fatalf("seed-99 regress after recording = %+v, want pass", rr.Report)
+	}
+}
+
+func TestArchiveMetricsExposed(t *testing.T) {
+	_, ts, _ := newArchiveServer(t, Options{Workers: 1, QueueDepth: 4})
+	sr := submit(t, ts, tprocJob())
+	waitTerminal(t, ts, sr.ID)
+
+	_, body := getBody(t, ts.URL+"/metrics")
+	text := string(body)
+	for _, want := range []string{
+		"ximdd_archive_appends_total 1",
+		"ximdd_archive_append_errors_total 0",
+		"ximdd_archive_records 1",
+		"ximdd_archive_queries_total",
+		"ximdd_regress_total",
+		"ximdd_regress_failed_total",
+		"ximdd_archive_append_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics is missing %q", want)
+		}
+	}
+}
+
+func TestRetryAfterSecondsRoundsUpWithFloor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{time.Millisecond, "1"},
+		{100 * time.Millisecond, "1"},
+		{time.Second, "1"},
+		{1200 * time.Millisecond, "2"},
+		{2500 * time.Millisecond, "3"},
+		{5 * time.Second, "5"},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}
+
+// TestSubsecondRetryAfterNeverZero locks in the bugfix: a sub-second
+// RetryAfter configuration used to truncate to "Retry-After: 0",
+// telling backed-off clients to hammer immediately. Both backpressure
+// paths (429 queue full, 503 shutting down) must emit at least "1".
+func TestSubsecondRetryAfterNeverZero(t *testing.T) {
+	s, ts := newTestServer(t, Options{
+		Workers:    1,
+		QueueDepth: 1,
+		RetryAfter: 100 * time.Millisecond,
+		JobTimeout: time.Minute,
+	})
+	long := JobRequest{Source: spinSrc, MaxCycles: 4_000_000_000}
+	var got429 *http.Response
+	for i := 0; i < 5; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/jobs", long)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			got429 = resp
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if got429 == nil {
+		t.Fatal("queue never filled")
+	}
+	if ra := got429.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("429 Retry-After = %q, want \"1\"", ra)
+	}
+
+	// Begin shutdown (don't wait for the drain) and probe the 503 path.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", long)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("503 Retry-After = %q, want \"1\"", ra)
+	}
+}
+
+// TestSteppedClockNeverNegativeDurations swaps in a wall clock that
+// steps backward between every read (and carries no monotonic reading,
+// like a time restored from serialization). queued_ms, run_ms, and the
+// span breakdown must clamp to zero instead of going negative.
+func TestSteppedClockNeverNegativeDurations(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	base := time.Unix(1_700_000_000, 0) // wall-only: no monotonic reading
+	var step time.Duration
+	s.mgr.mu.Lock()
+	s.mgr.now = func() time.Time {
+		step += time.Second
+		return base.Add(-step)
+	}
+	s.mgr.mu.Unlock()
+
+	sr := submit(t, ts, tprocJob())
+	st, _ := waitTerminal(t, ts, sr.ID)
+	if st.Status != StateDone {
+		t.Fatalf("job failed: %s", st.Error)
+	}
+	if st.QueuedMS == nil || *st.QueuedMS < 0 {
+		t.Fatalf("queued_ms = %v, want >= 0", st.QueuedMS)
+	}
+	if st.RunMS == nil || *st.RunMS < 0 {
+		t.Fatalf("run_ms = %v, want >= 0", st.RunMS)
+	}
+
+	resp, body := getBody(t, ts.URL+"/v1/jobs/"+sr.ID+"/spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("spans: %d: %s", resp.StatusCode, body)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+		var sl SpanLine
+		if err := json.Unmarshal([]byte(line), &sl); err != nil {
+			t.Fatalf("span line %q: %v", line, err)
+		}
+		if sl.Ms < 0 {
+			t.Fatalf("span %s = %v ms, want >= 0", sl.Span, sl.Ms)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ximd/internal/archive"
 	"ximd/internal/hostcfg"
 	"ximd/internal/runner"
 	"ximd/internal/sweep"
@@ -39,16 +40,19 @@ var (
 
 // job is the manager's record of one submitted simulation.
 type job struct {
-	id        string
-	prog      *runner.Program
-	progSHA   string
-	cacheHit  bool
-	spec      runner.Spec
-	peeks     []hostcfg.MemPeek
-	trace     bool
-	profile   bool
-	flight    int
-	decodeDur time.Duration
+	id       string
+	prog     *runner.Program
+	progSHA  string
+	cacheHit bool
+	spec     runner.Spec
+	peeks    []hostcfg.MemPeek
+	trace    bool
+	profile  bool
+	flight   int
+	// canonInject is the canonical form of spec.Inject (the archive
+	// key's inject axis), fixed at submit.
+	canonInject string
+	decodeDur   time.Duration
 
 	// Mutated under the manager's lock only. The time.Time fields keep
 	// their monotonic reading (they are only ever subtracted, never
@@ -90,6 +94,19 @@ type manager struct {
 	// met is the per-server metrics registry, surfaced raw at /metrics
 	// and through the legacy /varz view.
 	met *serveMetrics
+
+	// arch is the durable run archive (nil = disabled); terminal jobs
+	// and sweep tasks are appended at completion.
+	arch *archive.Archive
+
+	// now is the clock for job timestamps, swappable in tests. It is
+	// only read under mu; the time.Time values it returns are only ever
+	// subtracted, so with the real clock span durations ride the
+	// monotonic reading and are immune to wall-clock steps. Durations
+	// are additionally clamped non-negative (see ms) so a clock that
+	// does step — or a fake without a monotonic reading — can never
+	// produce negative queued_ms/run_ms.
+	now func() time.Time
 }
 
 func newManager(opts Options) *manager {
@@ -100,6 +117,8 @@ func newManager(opts Options) *manager {
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, opts.QueueDepth),
 		met:        newServeMetrics(),
+		arch:       opts.Archive,
+		now:        time.Now,
 	}
 	m.met.queueCapacity.Set(int64(opts.QueueDepth))
 	m.met.workers.Set(int64(opts.Workers))
@@ -112,6 +131,10 @@ func newManager(opts Options) *manager {
 			return float64(m.cache.len())
 		})
 	m.cache = newProgCache(opts.CacheEntries, m.met.cacheHits, m.met.cacheMisses)
+	if m.arch != nil {
+		m.met.reg.GaugeFunc("ximdd_archive_records", "Records indexed in the durable run archive.",
+			func() float64 { return float64(m.arch.Len()) })
+	}
 	m.rootCtx, m.cancel = context.WithCancel(context.Background())
 
 	m.wg.Add(m.workers)
@@ -157,7 +180,7 @@ func (m *manager) submit(j *job) error {
 	m.nextID++
 	j.id = "j-" + strconv.FormatUint(m.nextID, 10)
 	j.state = StateQueued
-	j.submitted = time.Now()
+	j.submitted = m.now()
 	select {
 	case m.queue <- j:
 	default:
@@ -194,6 +217,7 @@ func (m *manager) worker() {
 			TaskTimeout: m.jobTimeout,
 		})
 		m.finish(j, res, results[0].Err, results[0].Duration)
+		m.archiveJob(j)
 	}
 }
 
@@ -201,23 +225,33 @@ func (m *manager) setRunning(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.state = StateRunning
-	j.started = time.Now()
+	j.started = m.now()
 	wait := j.started.Sub(j.submitted)
+	if wait < 0 {
+		wait = 0
+	}
 	j.queuedMS = ms(wait)
 	m.met.queueWait.Observe(wait.Seconds())
 	m.met.queued.Add(-1)
 	m.met.running.Add(1)
 }
 
-// ms converts a duration to fractional milliseconds for span docs.
-func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+// ms converts a duration to fractional milliseconds for span docs,
+// clamping negatives to zero: a wall-clock step between two reads of a
+// non-monotonic clock must never surface as a negative queued_ms or
+// run_ms.
+func ms(d time.Duration) float64 {
+	if d < 0 {
+		return 0
+	}
+	return float64(d) / float64(time.Millisecond)
+}
 
 // finish moves a job to its terminal state, freezes its result
 // document (built once, so repeated GETs serve identical bytes), and
 // freezes the span breakdown. execDur is the sweep engine's measured
 // task duration.
 func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Duration) {
-	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j.result = res
@@ -225,7 +259,10 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 	j.recs = res.Trace
 	j.flightRec = res.Flight
 	j.runMS = ms(execDur)
-	total := now.Sub(j.submitted)
+	total := m.now().Sub(j.submitted)
+	if total < 0 {
+		total = 0
+	}
 	detail := "cache_miss"
 	if j.cacheHit {
 		detail = "cache_hit"
@@ -249,6 +286,63 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 	j.doc = &doc
 	j.state = StateDone
 	m.met.jobsDone.Inc()
+}
+
+// archiveJob appends a terminal job's outcome to the durable run
+// archive. No-op when archiving is disabled; an append failure is
+// counted in metrics but never alters the job's outcome — archiving is
+// an observer of the run, not a participant.
+func (m *manager) archiveJob(j *job) {
+	if m.arch == nil {
+		return
+	}
+	m.mu.Lock()
+	rec := archive.Record{
+		Key: archive.Key{
+			ProgramSHA256: j.progSHA,
+			Arch:          string(j.prog.Arch()),
+			Seed:          j.spec.Seed,
+			Inject:        j.canonInject,
+		},
+		ExitCode: runner.ExitCode(j.err),
+		UnixMS:   m.now().UnixMilli(),
+	}
+	if j.err != nil {
+		rec.Error = j.err.Error()
+	}
+	if j.doc != nil {
+		// Archive the full document with the stall-attribution profile
+		// attached even when the client did not ask for one: the
+		// baseline should carry everything the gate can compare.
+		doc := runner.NewResultDoc(j.result, j.peeks, true)
+		rec.Result = &doc
+	}
+	for _, sp := range j.spans {
+		rec.Spans = append(rec.Spans, archive.Span{Name: sp.Span, Ms: sp.Ms, Detail: sp.Detail})
+	}
+	m.mu.Unlock()
+	m.appendArchive(rec)
+}
+
+// wallMS reads the manager's clock (under the lock, per its contract)
+// as a unix-milliseconds archive timestamp.
+func (m *manager) wallMS() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now().UnixMilli()
+}
+
+// appendArchive writes one record to the archive, tracking outcome
+// metrics. The caller must have checked m.arch != nil.
+func (m *manager) appendArchive(rec archive.Record) {
+	start := time.Now()
+	err := m.arch.Append(rec)
+	m.met.archiveAppendSecs.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.met.archiveAppendErrs.Inc()
+		return
+	}
+	m.met.archiveAppends.Inc()
 }
 
 // get returns the job record for id.

@@ -31,10 +31,18 @@ type serveMetrics struct {
 	sweepsRun      *obs.Counter
 	sweepTasks     *obs.Counter
 
+	archiveAppends    *obs.Counter
+	archiveAppendErrs *obs.Counter
+	archiveQueries    *obs.Counter
+	regressTotal      *obs.Counter
+	regressFailed     *obs.Counter
+
 	queued        *obs.Gauge
 	running       *obs.Gauge
 	queueCapacity *obs.Gauge
 	workers       *obs.Gauge
+
+	archiveAppendSecs *obs.Histogram
 
 	queueWait  *obs.Histogram
 	decodeHit  *obs.Histogram
@@ -68,10 +76,18 @@ func newServeMetrics() *serveMetrics {
 		sweepsRun:      reg.Counter("ximdd_sweeps_total", "Sweep requests executed."),
 		sweepTasks:     reg.Counter("ximdd_sweep_tasks_total", "Individual sweep tasks executed."),
 
+		archiveAppends:    reg.Counter("ximdd_archive_appends_total", "Records appended to the durable run archive."),
+		archiveAppendErrs: reg.Counter("ximdd_archive_append_errors_total", "Archive appends that failed (record dropped, run unaffected)."),
+		archiveQueries:    reg.Counter("ximdd_archive_queries_total", "GET /v1/runs archive queries served."),
+		regressTotal:      reg.Counter("ximdd_regress_total", "POST /v1/regress gate evaluations."),
+		regressFailed:     reg.Counter("ximdd_regress_failed_total", "Regression gate evaluations that did not pass."),
+
 		queued:        reg.Gauge("ximdd_jobs_queued", "Jobs currently waiting in the submission queue."),
 		running:       reg.Gauge("ximdd_jobs_running", "Jobs currently executing."),
 		queueCapacity: reg.Gauge("ximdd_queue_capacity", "Configured submission queue depth."),
 		workers:       reg.Gauge("ximdd_workers", "Configured worker pool size."),
+
+		archiveAppendSecs: reg.Histogram("ximdd_archive_append_seconds", "Durable run archive append latency (frame write + fsync).", latencyBuckets),
 
 		queueWait:  reg.Histogram("ximdd_job_queue_wait_seconds", "Time from job acceptance to execution start.", latencyBuckets),
 		decodeHit:  reg.Histogram("ximdd_job_decode_hit_seconds", "Program resolution time on a decoded-program cache hit.", latencyBuckets),

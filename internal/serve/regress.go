@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ximd/internal/archive"
+	"ximd/internal/inject"
+)
+
+// This file is the service half of the regression gate. GET /v1/runs
+// queries the durable run archive; POST /v1/regress re-runs a batch of
+// (seed, inject) variations and diffs each fresh run against its
+// archived baseline under the archive's tolerance policy. Both answer
+// 404 when the server was started without -archive.
+
+// RunsResponse is the body of GET /v1/runs.
+type RunsResponse struct {
+	Count int              `json:"count"`
+	Runs  []archive.Record `json:"runs"`
+}
+
+// handleRuns serves cross-run history from the archive. Filters:
+// digest (program_sha256), arch, seed, inject (matched in canonical
+// form; an explicitly empty inject= selects idealized runs), limit
+// (newest N).
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.arch == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: run archive disabled (start ximdd with -archive)"))
+		return
+	}
+	params := r.URL.Query()
+	q := archive.Query{
+		ProgramSHA256: params.Get("digest"),
+		Arch:          params.Get("arch"),
+	}
+	if v := params.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", v))
+			return
+		}
+		q.Seed = &seed
+	}
+	if vs, ok := params["inject"]; ok {
+		canon, err := inject.Canonicalize(vs[0])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("inject: %w", err))
+			return
+		}
+		q.Inject = &canon
+	}
+	if v := params.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		q.Limit = n
+	}
+	recs := s.mgr.arch.Select(q)
+	s.mgr.met.archiveQueries.Inc()
+	if recs == nil {
+		recs = []archive.Record{}
+	}
+	writeJSON(w, http.StatusOK, RunsResponse{Count: len(recs), Runs: recs})
+}
+
+// RegressRequest is the body of POST /v1/regress: the same shape as a
+// sweep — one base job plus seed/inject axes — evaluated as a
+// regression gate instead of returned as documents.
+type RegressRequest struct {
+	Base JobRequest `json:"base"`
+	// Seeds and Injects expand exactly like a sweep's axes.
+	Seeds   []int64  `json:"seeds,omitempty"`
+	Injects []string `json:"injects,omitempty"`
+	// BaselineSeed and BaselineInject, when set, override the matching
+	// axis of the baseline lookup key, diffing every fresh run against a
+	// different archived configuration (e.g. "does seed 7 still behave
+	// like the archived seed 1"). Left unset, each run is compared
+	// against the latest archived record for its own key.
+	BaselineSeed   *int64  `json:"baseline_seed,omitempty"`
+	BaselineInject *string `json:"baseline_inject,omitempty"`
+	// Tolerance is the absolute tolerance for ratio metrics; 0 selects
+	// archive.DefaultRatioTolerance. Integral fields are always exact.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Record appends the fresh runs to the archive after the comparison
+	// (so a passing gate can double as a baseline refresh). Comparison
+	// always happens first — a run never passes by matching itself.
+	Record bool `json:"record,omitempty"`
+}
+
+// RegressResponse is the body of a completed gate evaluation.
+type RegressResponse struct {
+	ProgramSHA256 string          `json:"program_sha256"`
+	Report        *archive.Report `json:"report"`
+}
+
+// handleRegress re-runs the requested batch on the sweep engine and
+// diffs each run against its archived baseline. The gate's verdict is
+// report.pass: false on any drift beyond tolerance or any missing
+// baseline. The HTTP status is 200 either way — a failing gate is a
+// successful evaluation.
+func (s *Server) handleRegress(w http.ResponseWriter, r *http.Request) {
+	if s.mgr.arch == nil {
+		writeError(w, http.StatusNotFound, errors.New("serve: run archive disabled (start ximdd with -archive)"))
+		return
+	}
+	if s.mgr.shuttingDown() {
+		s.setRetryAfter(w)
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	// Regressions fan out on the sweep engine and share its concurrency
+	// bound and backpressure contract.
+	select {
+	case s.sweepSem <- struct{}{}:
+		defer func() { <-s.sweepSem }()
+	default:
+		s.setRetryAfter(w)
+		writeError(w, http.StatusTooManyRequests, errors.New("serve: sweep capacity in use"))
+		return
+	}
+
+	var req RegressRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Base.Trace {
+		writeError(w, http.StatusBadRequest, errors.New("regressions do not support trace=true"))
+		return
+	}
+	if req.Tolerance < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tolerance must be >= 0, got %g", req.Tolerance))
+		return
+	}
+	var baselineInject *string
+	if req.BaselineInject != nil {
+		canon, err := inject.Canonicalize(*req.BaselineInject)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("baseline_inject: %w", err))
+			return
+		}
+		baselineInject = &canon
+	}
+	base, status, err := s.buildJob(&req.Base)
+	if err != nil {
+		writeError(w, status, err)
+		return
+	}
+	variants, err := s.expandSweep(base, req.Seeds, req.Injects)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	_, _, recs := s.runSweepVariants(base, variants)
+
+	tol := archive.Tolerance{Ratio: req.Tolerance}
+	report := archive.NewReport(tol)
+	for i := range recs {
+		lookup := recs[i].Key
+		if req.BaselineSeed != nil {
+			lookup.Seed = *req.BaselineSeed
+		}
+		if baselineInject != nil {
+			lookup.Inject = *baselineInject
+		}
+		baseline, ok := s.mgr.arch.Latest(lookup)
+		if !ok {
+			report.Add(archive.Comparison{Key: recs[i].Key, Status: archive.StatusMissingBaseline})
+			continue
+		}
+		report.Add(archive.Compare(baseline, recs[i], tol))
+	}
+	s.mgr.met.regressTotal.Inc()
+	if !report.Pass {
+		s.mgr.met.regressFailed.Inc()
+	}
+	if req.Record {
+		for i := range recs {
+			s.mgr.appendArchive(recs[i])
+		}
+	}
+	writeJSON(w, http.StatusOK, RegressResponse{ProgramSHA256: base.progSHA, Report: report})
+}

@@ -17,6 +17,11 @@
 //	                         execute, total) as NDJSON once terminal
 //	POST /v1/sweeps          synchronous batch fan-out over the sweep
 //	                         pool; results in submission order
+//	GET  /v1/runs            cross-run history from the durable run
+//	                         archive (digest/arch/seed/inject/limit
+//	                         filters); 404 without -archive
+//	POST /v1/regress         re-run a batch and diff it against the
+//	                         archived baselines; 404 without -archive
 //	GET  /healthz            liveness ("ok", 503 while draining)
 //	GET  /metrics            Prometheus text exposition (internal/obs)
 //	GET  /varz               queue/job/cache/cycle metrics — the legacy
@@ -42,6 +47,7 @@ import (
 	"strconv"
 	"time"
 
+	"ximd/internal/archive"
 	"ximd/internal/hostcfg"
 	"ximd/internal/inject"
 	"ximd/internal/runner"
@@ -71,6 +77,11 @@ type Options struct {
 	// synchronously on the caller's connection); excess answers 429.
 	// <= 0 selects 2.
 	MaxConcurrentSweeps int
+	// Archive, when non-nil, is the durable run archive: terminal jobs
+	// and sweep tasks are recorded into it at completion, GET /v1/runs
+	// queries it, and POST /v1/regress diffs fresh runs against its
+	// baselines. nil disables archiving and both endpoints.
+	Archive *archive.Archive
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +135,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("POST /v1/regress", s.handleRegress)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", s.mgr.met.reg.Handler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
@@ -218,6 +231,24 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// retryAfterSeconds renders a Retry-After hint in whole seconds,
+// rounding up with a floor of 1: the header's unit is integral
+// seconds, so truncating a sub-second configuration would emit
+// "Retry-After: 0" and tell backed-off clients to hammer immediately.
+func retryAfterSeconds(d time.Duration) string {
+	secs := (int64(d) + int64(time.Second) - 1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// setRetryAfter stamps the shared Retry-After hint on a backpressure
+// response (429, 503, and pre-terminal 409s).
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.opts.RetryAfter))
+}
+
 // buildJob validates a JobRequest into a runnable job, resolving the
 // program through the decoded-program cache. Validation failures are
 // returned with the HTTP status they deserve: 400 for bad programs
@@ -274,23 +305,25 @@ func (s *Server) buildJob(req *JobRequest) (*job, int, error) {
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	if req.Inject != "" {
-		// Validate the inject spec at submit so the client gets a 400
-		// instead of a queued job that fails at run time.
-		if _, err := inject.ParseSpec(req.Inject, req.Seed); err != nil {
-			return nil, http.StatusBadRequest, err
-		}
+	// Canonicalizing validates the inject spec at submit — the client
+	// gets a 400 instead of a queued job that fails at run time — and
+	// fixes the archive key's inject axis, so reordered-but-equivalent
+	// specs share one baseline.
+	canonInject, err := inject.Canonicalize(req.Inject)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
 	}
 	return &job{
-		prog:      prog,
-		progSHA:   key,
-		cacheHit:  hit,
-		spec:      spec,
-		peeks:     peeks,
-		trace:     req.Trace,
-		profile:   req.Profile,
-		flight:    flight,
-		decodeDur: decodeDur,
+		prog:        prog,
+		progSHA:     key,
+		cacheHit:    hit,
+		spec:        spec,
+		peeks:       peeks,
+		trace:       req.Trace,
+		profile:     req.Profile,
+		flight:      flight,
+		decodeDur:   decodeDur,
+		canonInject: canonInject,
 	}, 0, nil
 }
 
@@ -310,9 +343,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := s.mgr.submit(j); err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+			s.setRetryAfter(w)
 			writeError(w, http.StatusTooManyRequests, err)
 		case errors.Is(err, ErrShuttingDown):
+			s.setRetryAfter(w)
 			writeError(w, http.StatusServiceUnavailable, err)
 		default:
 			writeError(w, http.StatusInternalServerError, err)
@@ -383,7 +417,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	state, recs := s.mgr.traceRecords(j)
 	if state != StateDone && state != StateFailed {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		s.setRetryAfter(w)
 		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; trace is available once it is terminal", state))
 		return
 	}
@@ -445,7 +479,7 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	}
 	state, spans := s.mgr.spanLines(j)
 	if state != StateDone && state != StateFailed {
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		s.setRetryAfter(w)
 		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; spans are available once it is terminal", state))
 		return
 	}

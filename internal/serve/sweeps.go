@@ -6,8 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 
+	"ximd/internal/archive"
 	"ximd/internal/inject"
 	"ximd/internal/runner"
 	"ximd/internal/sweep"
@@ -44,6 +44,123 @@ type SweepResponse struct {
 	Results       []SweepTaskResult `json:"results"`
 }
 
+// sweepVariant is one expanded (seed, inject) point of a sweep or
+// regression batch.
+type sweepVariant struct {
+	name   string
+	seed   int64
+	inject string
+	// canon is the canonical form of inject — the archive key's inject
+	// axis.
+	canon string
+	spec  runner.Spec
+}
+
+// expandSweep crosses the inject axis (outer) with the seed axis
+// (inner) over a built base job; empty axes fall back to the base
+// value. Every inject variation is canonicalized up front, so the whole
+// batch is rejected on the first bad spec — a sweep never partially
+// validates — and each variant carries the archive key's inject axis.
+func (s *Server) expandSweep(base *job, seeds []int64, injects []string) ([]sweepVariant, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{base.spec.Seed}
+	}
+	if len(injects) == 0 {
+		injects = []string{base.spec.Inject}
+	}
+	if n := len(seeds) * len(injects); n > s.opts.MaxSweepTasks {
+		return nil, fmt.Errorf("sweep expands to %d tasks, limit %d", n, s.opts.MaxSweepTasks)
+	}
+	variants := make([]sweepVariant, 0, len(seeds)*len(injects))
+	for i, inj := range injects {
+		canon, err := inject.Canonicalize(inj)
+		if err != nil {
+			return nil, fmt.Errorf("injects[%d]: %w", i, err)
+		}
+		for _, seed := range seeds {
+			v := sweepVariant{
+				name:   fmt.Sprintf("inject=%q/seed=%d", inj, seed),
+				seed:   seed,
+				inject: inj,
+				canon:  canon,
+				spec:   base.spec,
+			}
+			v.spec.Seed = seed
+			v.spec.Inject = inj
+			variants = append(variants, v)
+		}
+	}
+	return variants, nil
+}
+
+// runSweepVariants executes the variants over the sweep worker pool.
+// It returns the engine results, the per-variant result documents for
+// the response (honouring the base job's profile flag; nil where the
+// task failed), and the prepared archive records — one per variant,
+// always carrying the fully profiled document, not yet appended. The
+// caller decides whether and when to append them: sweeps record
+// immediately, the regression gate compares first.
+func (s *Server) runSweepVariants(base *job, variants []sweepVariant) ([]sweep.Result, []*runner.ResultDoc, []archive.Record) {
+	n := len(variants)
+	tasks := make([]sweep.Task, 0, n)
+	docs := make([]*runner.ResultDoc, n)
+	archDocs := make([]*runner.ResultDoc, n)
+	for idx := range variants {
+		spec := variants[idx].spec
+		i := idx
+		tasks = append(tasks, sweep.Task{Name: variants[idx].name, Run: func(ctx context.Context) (sweep.Outcome, error) {
+			res, err := runner.Run(ctx, base.prog, spec, runner.Options{})
+			if err != nil {
+				return sweep.Outcome{}, err
+			}
+			// The archive always gets the stall-attribution profile —
+			// the baseline should carry everything the gate can compare
+			// — while the response honours the request's profile flag.
+			full := runner.NewResultDoc(res, base.peeks, true)
+			archDocs[i] = &full
+			doc := full
+			if !base.profile {
+				doc.Profile = nil
+			}
+			docs[i] = &doc
+			return sweep.Outcome{Cycles: res.Cycles, Stats: res.Stats}, nil
+		}})
+	}
+
+	results, _ := sweep.Run(s.mgr.rootCtx, tasks, sweep.Options{
+		Workers:     s.opts.Workers,
+		TaskTimeout: s.opts.JobTimeout,
+	})
+	s.mgr.met.sweepTasks.Add(uint64(len(tasks)))
+
+	now := s.mgr.wallMS()
+	recs := make([]archive.Record, n)
+	for i, res := range results {
+		s.mgr.met.cyclesSimmed.Add(res.Cycles)
+		s.mgr.met.sweepTask.Observe(res.Duration.Seconds())
+		if res.Err != nil {
+			// A failed task may have raced its document into place
+			// before the deadline fired; the failure verdict wins.
+			docs[i], archDocs[i] = nil, nil
+		}
+		recs[i] = archive.Record{
+			Key: archive.Key{
+				ProgramSHA256: base.progSHA,
+				Arch:          string(base.prog.Arch()),
+				Seed:          variants[i].seed,
+				Inject:        variants[i].canon,
+			},
+			ExitCode: runner.ExitCode(res.Err),
+			Result:   archDocs[i],
+			UnixMS:   now,
+		}
+		if res.Err != nil {
+			recs[i].Error = res.Err.Error()
+		}
+	}
+	return results, docs, recs
+}
+
 // handleSweep fans a batch of (seed, inject) variations of one program
 // out over the sweep worker pool and answers synchronously with the
 // results in submission order. Concurrent sweep requests beyond the
@@ -51,6 +168,7 @@ type SweepResponse struct {
 // contract as the job queue.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if s.mgr.shuttingDown() {
+		s.setRetryAfter(w)
 		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
 		return
 	}
@@ -58,7 +176,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case s.sweepSem <- struct{}{}:
 		defer func() { <-s.sweepSem }()
 	default:
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.opts.RetryAfter.Seconds())))
+		s.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, errors.New("serve: sweep capacity in use"))
 		return
 	}
@@ -79,70 +197,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-
-	seeds := req.Seeds
-	if len(seeds) == 0 {
-		seeds = []int64{req.Base.Seed}
-	}
-	injects := req.Injects
-	if len(injects) == 0 {
-		injects = []string{req.Base.Inject}
-	}
-	n := len(seeds) * len(injects)
-	if n > s.opts.MaxSweepTasks {
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("sweep expands to %d tasks, limit %d", n, s.opts.MaxSweepTasks))
+	variants, err := s.expandSweep(base, req.Seeds, req.Injects)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
-	type variant struct {
-		name   string
-		seed   int64
-		inject string
-		spec   runner.Spec
-	}
-	variants := make([]variant, 0, n)
-	tasks := make([]sweep.Task, 0, n)
-	docs := make([]*runner.ResultDoc, n)
-	for i, inj := range injects {
-		if inj != "" {
-			// Each inject variation must parse; reject the whole batch
-			// up front so a sweep never partially validates.
-			if err := validInject(inj); err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("injects[%d]: %w", i, err))
-				return
-			}
-		}
-		for _, seed := range seeds {
-			v := variant{
-				name:   fmt.Sprintf("inject=%q/seed=%d", inj, seed),
-				seed:   seed,
-				inject: inj,
-				spec:   base.spec,
-			}
-			v.spec.Seed = seed
-			v.spec.Inject = inj
-			idx := len(variants)
-			variants = append(variants, v)
-			spec := v.spec
-			tasks = append(tasks, sweep.Task{Name: v.name, Run: func(ctx context.Context) (sweep.Outcome, error) {
-				res, err := runner.Run(ctx, base.prog, spec, runner.Options{})
-				if err != nil {
-					return sweep.Outcome{}, err
-				}
-				doc := runner.NewResultDoc(res, base.peeks, base.profile)
-				docs[idx] = &doc
-				return sweep.Outcome{Cycles: res.Cycles, Stats: res.Stats}, nil
-			}})
-		}
-	}
-
-	results, _ := sweep.Run(s.mgr.rootCtx, tasks, sweep.Options{
-		Workers:     s.opts.Workers,
-		TaskTimeout: s.opts.JobTimeout,
-	})
+	results, docs, recs := s.runSweepVariants(base, variants)
 	s.mgr.met.sweepsRun.Inc()
-	s.mgr.met.sweepTasks.Add(uint64(len(tasks)))
+	if s.mgr.arch != nil {
+		for i := range recs {
+			s.mgr.appendArchive(recs[i])
+		}
+	}
 
 	resp := SweepResponse{ProgramSHA256: base.progSHA, CacheHit: base.cacheHit}
 	for i, res := range results {
@@ -154,18 +221,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.Err != nil {
 			out.Error = res.Err.Error()
-			out.Result = nil
 		}
-		s.mgr.met.cyclesSimmed.Add(res.Cycles)
-		s.mgr.met.sweepTask.Observe(res.Duration.Seconds())
 		resp.Results = append(resp.Results, out)
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// validInject reports whether an inject spec parses (seed 0 is enough:
-// the grammar does not depend on the seed).
-func validInject(spec string) error {
-	_, err := inject.ParseSpec(spec, 0)
-	return err
 }

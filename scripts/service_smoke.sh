@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # service_smoke.sh — end-to-end smoke test of the ximdd daemon, as run
-# by CI. Builds ximdd, starts it on a random port, submits the TPROC
-# job from testdata/tproc.xasm, polls until it completes, and asserts
-# the job finished with the expected cycle count, the legacy /varz view
-# and the Prometheus /metrics exposition agree, and the job's span log
-# is served. Requires curl.
+# by CI. Builds ximdd, starts it on a random port with a run archive,
+# submits the TPROC job from testdata/tproc.xasm, polls until it
+# completes, and asserts the job finished with the expected cycle
+# count, the legacy /varz view and the Prometheus /metrics exposition
+# agree, and the job's span log is served. Then it submits the same job
+# a second time and drives the regression gate: /v1/runs shows both
+# archived runs, /v1/regress against the job's own baseline passes, a
+# perturbed variant (different seed, so no baseline) is flagged, and
+# the ximdd_archive_* series appear on /metrics. Requires curl.
 #
 # Usage: scripts/service_smoke.sh
 set -euo pipefail
@@ -26,7 +30,7 @@ echo "== build"
 go build -o "$workdir/ximdd" ./cmd/ximdd
 
 echo "== start"
-"$workdir/ximdd" -addr 127.0.0.1:0 >"$workdir/ximdd.log" 2>&1 &
+"$workdir/ximdd" -addr 127.0.0.1:0 -archive "$workdir/archive" >"$workdir/ximdd.log" 2>&1 &
 ximdd_pid=$!
 
 # The daemon prints "ximdd: listening on 127.0.0.1:PORT" on startup.
@@ -99,6 +103,66 @@ echo "$metrics" | grep -q '^ximdd_cache_misses_total 1$' || { echo "expected xim
 
 echo "== spans"
 curl -fsS "$base/v1/jobs/$id/spans" | grep -q '"span":"total"' || { echo "missing total span"; exit 1; }
+
+echo "== resubmit (same job, second archive record)"
+submit2=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$req" "$base/v1/jobs")
+id2=$(echo "$submit2" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+status=""
+for _ in $(seq 1 100); do
+  body=$(curl -fsS "$base/v1/jobs/$id2")
+  status=$(echo "$body" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  [ "$status" = "done" ] && break
+  [ "$status" = "failed" ] && { echo "resubmitted job failed: $body"; exit 1; }
+  sleep 0.1
+done
+[ "$status" = "done" ] || { echo "resubmitted job never completed"; exit 1; }
+
+echo "== runs (cross-run history)"
+digest=$(echo "$submit" | sed -n 's/.*"program_sha256":"\([^"]*\)".*/\1/p')
+runs=$(curl -fsS "$base/v1/runs?digest=$digest&arch=ximd")
+echo "   $runs" | head -c 200; echo
+echo "$runs" | grep -q '"count":2' || { echo "expected 2 archived runs"; exit 1; }
+[ -f "$workdir/archive/archive.log" ] || { echo "archive log not written"; exit 1; }
+
+echo "== regress (rerun must match its own baseline)"
+reg=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/tproc.xasm").read_text()
+print(json.dumps({"base": {
+    "arch": "ximd",
+    "source": src,
+    "pokes": ["r1=3", "r2=4", "r3=5", "r4=6"],
+}}))
+EOF
+)
+verdict=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$reg" "$base/v1/regress")
+echo "   $verdict" | head -c 200; echo
+echo "$verdict" | grep -q '"pass":true' || { echo "self-regress did not pass: $verdict"; exit 1; }
+
+echo "== regress (perturbed run must be flagged)"
+regbad=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/tproc.xasm").read_text()
+print(json.dumps({"base": {
+    "arch": "ximd",
+    "source": src,
+    "pokes": ["r1=3", "r2=4", "r3=5", "r4=6"],
+}, "seeds": [42]}))
+EOF
+)
+verdict=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$regbad" "$base/v1/regress")
+echo "   $verdict" | head -c 200; echo
+echo "$verdict" | grep -q '"pass":false' || { echo "perturbed regress was not flagged: $verdict"; exit 1; }
+echo "$verdict" | grep -q '"missing_baseline":1' || { echo "expected a missing baseline: $verdict"; exit 1; }
+
+echo "== archive metrics"
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^ximdd_archive_appends_total 2$' || { echo "expected ximdd_archive_appends_total 2"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_archive_records 2$' || { echo "expected ximdd_archive_records 2"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_archive_queries_total 1$' || { echo "expected ximdd_archive_queries_total 1"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_regress_total 2$' || { echo "expected ximdd_regress_total 2"; exit 1; }
+echo "$metrics" | grep -q '^ximdd_regress_failed_total 1$' || { echo "expected ximdd_regress_failed_total 1"; exit 1; }
+echo "$metrics" | grep -q '^# TYPE ximdd_archive_append_seconds histogram$' || { echo "missing archive append histogram"; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$ximdd_pid"
