@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"ximd"
+	"ximd/internal/core"
+	"ximd/internal/mem"
+)
+
+// Flags for the throughput experiment: the lockstep batch width and the
+// superop-fusion toggle (set in main).
+var (
+	batchSize = 1
+	fusionOn  = true
+)
+
+// throughputSrc is the long arithmetic loop used as the throughput
+// workload — the same program as BenchmarkSimulatorThroughput, an 8-FU
+// schedule of ~100k iterations dominated by straight-line fusible words.
+const throughputSrc = `
+var out[1];
+func main() {
+    var i, s = 0;
+    for (i = 0; i < 100000; i = i + 1) { s = s + i * 3 - (i >> 1); }
+    out[0] = s;
+}`
+
+// expThroughput measures raw simulator throughput in host nanoseconds
+// per simulated machine cycle. -batch N runs N identical machines in
+// lockstep through one core.Batch (sharing one pre-decoded, pre-fused
+// program table); -fusion=false disables superop fusion so the
+// per-cycle fast engine runs instead. Together the two flags expose the
+// engine ladder from the command line:
+//
+//	xbench -exp throughput                      fused, single machine
+//	xbench -exp throughput -batch 64            fused, 64-machine lockstep
+//	xbench -exp throughput -fusion=false        per-cycle fast engine
+func expThroughput() error {
+	if batchSize < 1 {
+		return fmt.Errorf("-batch %d: batch size must be >= 1", batchSize)
+	}
+	c, err := ximd.Compile(throughputSrc, ximd.CompileOptions{Width: 8, Unroll: 4})
+	if err != nil {
+		return err
+	}
+	decoded, err := core.Predecode(c.Prog)
+	if err != nil {
+		return err
+	}
+
+	machines := make([]*core.Machine, batchSize)
+	for i := range machines {
+		m, err := core.New(nil, core.Config{
+			Decoded:       decoded,
+			Memory:        mem.NewShared(0),
+			DisableFusion: !fusionOn,
+		})
+		if err != nil {
+			return err
+		}
+		machines[i] = m
+	}
+
+	start := time.Now()
+	b := core.NewBatch(machines)
+	b.Run(4096)
+	elapsed := time.Since(start)
+
+	var total uint64
+	for i, m := range machines {
+		if err := b.Err(i); err != nil {
+			return fmt.Errorf("machine %d: %w", i, err)
+		}
+		total += m.Cycle()
+	}
+	fmt.Printf("batch %d, fusion %v: %d machine-cycles in %v = %.2f host-ns/machine-cycle\n",
+		batchSize, fusionOn, total, elapsed.Round(time.Millisecond),
+		float64(elapsed.Nanoseconds())/float64(total))
+	return nil
+}

@@ -1,0 +1,99 @@
+package core
+
+// Batch advances many machines through one amortized stepping loop —
+// the MASIM-style shape of running a whole sweep or regression batch of
+// XIMD machines in lockstep. Per-machine status lives in parallel
+// arrays (struct-of-arrays: a compacted index list of live machines
+// plus flat running/error/cycle-bound state) so a round touches only
+// live machines and scans no per-machine object headers; the machines
+// themselves advance through StepN, so every eligible straight-line
+// stretch executes on the fused superop engine.
+//
+// A Batch imposes no relationship between its machines: they may share
+// one Decoded table (the cheap, intended case — predecode and fusion
+// paid once) or run unrelated programs. Each machine owns its private
+// memory and register file exactly as when stepped individually, and
+// the outcome of every machine is byte-identical to running it alone:
+// a round is just StepN(chunk) per live machine, and StepN is
+// semantically a Step loop.
+type Batch struct {
+	machines []*Machine
+	active   []uint32 // indices of still-running machines, compacted in place
+	running  []bool   // running[i]: machine i has neither halted nor failed
+	errs     []error  // errs[i]: machine i's terminal error, if any
+}
+
+// NewBatch builds a batch over machines. Machines that are already done
+// or failed enter the batch retired; nil entries are treated as retired
+// with no error.
+func NewBatch(machines []*Machine) *Batch {
+	b := &Batch{
+		machines: machines,
+		active:   make([]uint32, 0, len(machines)),
+		running:  make([]bool, len(machines)),
+		errs:     make([]error, len(machines)),
+	}
+	for i, m := range machines {
+		if m == nil {
+			continue
+		}
+		if err := m.Err(); err != nil {
+			b.errs[i] = err
+			continue
+		}
+		if m.Done() {
+			continue
+		}
+		b.running[i] = true
+		b.active = append(b.active, uint32(i))
+	}
+	return b
+}
+
+// StepRound advances every live machine by up to chunk cycles — one
+// lockstep round — and returns the number of machines still running.
+// Machines that halt or fail during the round are retired from the
+// active set; their error (if any) is retained for Err. StepRound
+// allocates nothing in steady state.
+func (b *Batch) StepRound(chunk uint64) int {
+	w := 0
+	for _, idx := range b.active {
+		running, err := b.machines[idx].StepN(chunk)
+		if err != nil {
+			b.errs[idx] = err
+			b.running[idx] = false
+			continue
+		}
+		if !running {
+			b.running[idx] = false
+			continue
+		}
+		b.active[w] = idx
+		w++
+	}
+	b.active = b.active[:w]
+	return w
+}
+
+// Run drives lockstep rounds of chunk cycles until every machine has
+// halted or failed. Callers that need cooperative cancellation loop
+// over StepRound themselves and check their context between rounds.
+func (b *Batch) Run(chunk uint64) {
+	for b.StepRound(chunk) > 0 {
+	}
+}
+
+// Size returns the number of machines in the batch.
+func (b *Batch) Size() int { return len(b.machines) }
+
+// Live returns the number of machines still running.
+func (b *Batch) Live() int { return len(b.active) }
+
+// Machine returns machine i.
+func (b *Batch) Machine(i int) *Machine { return b.machines[i] }
+
+// Running reports whether machine i is still running.
+func (b *Batch) Running(i int) bool { return b.running[i] }
+
+// Err returns machine i's terminal error, or nil.
+func (b *Batch) Err(i int) error { return b.errs[i] }

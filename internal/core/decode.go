@@ -198,18 +198,52 @@ func ctrlTag(c isa.CtrlOp) uint64 {
 // distinct stalled streams stay split.
 func stallTag(pc isa.Addr) uint64 { return uint64(3)<<43 | uint64(pc) }
 
+// uop meta bits: the control kind in the low two bits (isa.CtrlKind is
+// 0..2) plus the three per-parcel booleans, packed into one byte so the
+// whole uop fits 32 bytes — two per cache line (enforced by
+// TestUopSize).
+const (
+	metaKindMask uint8 = 0b11
+	metaSyncDone uint8 = 1 << 2 // parcel drives SS = DONE
+	metaSyncCond uint8 = 1 << 3 // branch condition reads the SS network
+	metaTrap     uint8 = 1 << 4 // unoccupied slot; executing it is an error
+)
+
 // uop is one decoded instruction parcel of the XIMD fast engine: the
 // decoded data operation plus the compiled control operation and sync
-// signal. The table is indexed [addr*numFU + fu].
+// signal. The table is indexed [addr*numFU + fu]. The data-operation
+// fields mirror DecodedOp but are laid out flat (widest first, meta
+// booleans packed into one byte) so the struct is exactly 32 bytes.
 type uop struct {
-	DecodedOp
-	ctrl     CompiledCond
-	t1, t2   isa.Addr
-	tag      uint64 // ctrlTag of the parcel's control op (tracker key)
-	kind     isa.CtrlKind
-	syncDone bool // parcel drives SS = DONE
-	syncCond bool // branch condition reads the SS network (sync-wait class)
-	trap     bool // unoccupied slot; executing it is a simulation error
+	tag        uint64 // ctrlTag of the parcel's control op (tracker key)
+	AImm, BImm isa.Word
+	ctrl       CompiledCond
+	t1, t2     isa.Addr
+	Flags      uint8
+	Op         isa.Opcode
+	AReg, BReg uint8
+	Dest       uint8
+	meta       uint8
+}
+
+// kind returns the parcel's control kind.
+func (u *uop) kind() isa.CtrlKind { return isa.CtrlKind(u.meta & metaKindMask) }
+
+// syncDone reports whether the parcel drives SS = DONE.
+func (u *uop) syncDone() bool { return u.meta&metaSyncDone != 0 }
+
+// syncCond reports whether the branch condition reads the SS network
+// (the profiler's sync-wait class).
+func (u *uop) syncCond() bool { return u.meta&metaSyncCond != 0 }
+
+// trap reports an unoccupied slot; executing it is a simulation error.
+func (u *uop) trap() bool { return u.meta&metaTrap != 0 }
+
+// data reassembles the parcel's data operation as a DecodedOp (the form
+// shared with the VLIW decoder and the superop fuser).
+func (u *uop) data() DecodedOp {
+	return DecodedOp{Flags: u.Flags, Op: u.Op, AReg: u.AReg, BReg: u.BReg,
+		Dest: u.Dest, AImm: u.AImm, BImm: u.BImm}
 }
 
 // decodeProgram builds the flat micro-op table for a validated program.
@@ -221,18 +255,25 @@ func decodeProgram(p *isa.Program) []uop {
 			parcel := p.Instrs[addr][fu]
 			u := &code[addr*n+fu]
 			if parcel.Trap {
-				u.trap = true
+				u.meta = metaTrap
 				continue
 			}
-			u.DecodedOp = DecodeDataOp(parcel.Data)
-			u.kind = parcel.Ctrl.Kind
+			d := DecodeDataOp(parcel.Data)
+			u.Flags, u.Op = d.Flags, d.Op
+			u.AReg, u.BReg, u.Dest = d.AReg, d.BReg, d.Dest
+			u.AImm, u.BImm = d.AImm, d.BImm
+			u.meta = uint8(parcel.Ctrl.Kind) & metaKindMask
 			u.t1, u.t2 = parcel.Ctrl.T1, parcel.Ctrl.T2
 			if parcel.Ctrl.Kind == isa.CtrlCond {
 				u.ctrl = CompileCond(parcel.Ctrl, n)
-				u.syncCond = parcel.Ctrl.Cond.ReadsSS()
+				if parcel.Ctrl.Cond.ReadsSS() {
+					u.meta |= metaSyncCond
+				}
 			}
 			u.tag = ctrlTag(parcel.Ctrl)
-			u.syncDone = parcel.Sync == isa.Done
+			if parcel.Sync == isa.Done {
+				u.meta |= metaSyncDone
+			}
 		}
 	}
 	return code

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestUopSize pins the micro-op table entry at 32 bytes — two uops per
+// 64-byte cache line. The fields are ordered widest-first with the meta
+// booleans packed into one byte precisely to hit this size; growing the
+// struct (or letting padding creep back in) doubles the table's cache
+// footprint, so any layout change must keep this invariant or
+// consciously rewrite it.
+func TestUopSize(t *testing.T) {
+	if got := unsafe.Sizeof(uop{}); got != 32 {
+		t.Fatalf("unsafe.Sizeof(uop{}) = %d, want 32", got)
+	}
+}

@@ -77,10 +77,10 @@ func (m *Machine) stepFast() (running bool, err error) {
 			m.stalledNow[fu] = false
 		}
 		u := &m.code[int(m.pc[fu])*n+fu]
-		if u.trap {
+		if u.trap() {
 			return false, m.failTrap(fu)
 		}
-		if u.syncDone {
+		if u.syncDone() {
 			ssBits |= bit
 		}
 		m.uops[fu] = u
@@ -227,7 +227,7 @@ func (m *Machine) stepFast() (running bool, err error) {
 		u := m.uops[fu]
 		var next isa.Addr
 		halt := false
-		switch u.kind {
+		switch u.kind() {
 		case isa.CtrlGoto:
 			next = u.t1
 		case isa.CtrlHalt:
@@ -263,7 +263,7 @@ func (m *Machine) stepFast() (running bool, err error) {
 			m.stats.StallCycles[fu]++
 		case m.uops[fu].Flags&flagNop != 0:
 			m.stats.Nops[fu]++
-			if m.uops[fu].syncCond {
+			if m.uops[fu].syncCond() {
 				m.stats.SyncWaitCycles[fu]++
 			}
 		default:

@@ -1,0 +1,153 @@
+package core
+
+import "ximd/internal/isa"
+
+// This file is the superop fuser: the static-analysis half of the fused
+// execution engine (fastrun.go holds the runtime half). At predecode it
+// finds maximal straight-line runs of "linear" instruction words and
+// compiles each into a compact superop form — the executing slots as a
+// dense op list plus per-word accounting totals — so the runtime can
+// execute a whole run in one tight loop and reconstruct every
+// observable counter at run exit instead of per cycle.
+//
+// A word at address a is linear when every FU slot satisfies all of:
+//
+//   - the slot is occupied (no trap parcels);
+//   - its control operation is an unconditional goto to a+1 — no
+//     conditional branches (whose CC/SS reads are cycle-sensitive), no
+//     halts, and no control divergence of any kind;
+//   - no two register-writing slots (ALU writes and load destinations)
+//     name the same destination register.
+//
+// The last rule makes every linear word statically conflict-free: the
+// runtime can buffer register writes locally and apply them at word
+// end without re-running the register file's dirty-bitmap conflict
+// detection, and Stats.RegConflicts/PortConflicts provably stay zero
+// across the run. Words that would conflict simply stay unfused and
+// take the per-cycle path, which reports (or tolerates) the conflict
+// exactly as before.
+//
+// Because every slot of a linear word branches to a+1, a run is fully
+// described by suffix lengths: runLen[a] is the number of consecutive
+// linear words starting at a. A branch INTO the middle of a run needs
+// no special casing — the suffix starting at the branch target is
+// itself a run — and control can only leave a run at its end (or via a
+// fault), so the executed portion of a run entered at a is always the
+// prefix [a, a+j) of that suffix. The fused tables live inside Decoded:
+// they are immutable, shared by any number of machines, and ride along
+// with the ximdd decoded-program cache with no cache-key change.
+
+// fusedOp is one executing slot of a linear word: the decoded data
+// operation plus the slot's FU index (needed for CC writes, which are
+// per-FU).
+type fusedOp struct {
+	DecodedOp
+	fu uint8
+}
+
+// fusedWord is the superop metadata of one linear word. The accounting
+// fields are the word's statically-known contribution to the machine's
+// observable counters, folded in bulk at run exit; the op list holds
+// only the slots with data-path work (explicit nops are summarized by
+// nopMask).
+type fusedWord struct {
+	opStart, opEnd uint32 // index range into fuseInfo.ops
+	ssMask         uint8  // SS bits driven while executing this word
+	nopMask        uint8  // bit fu set: slot fu is an explicit nop
+	reads          uint8  // register read ports charged by the word
+	writes         uint8  // register writes staged by the word
+	loads          uint8  // memory loads issued by the word
+	stores         uint8  // memory stores issued by the word
+	wrote          bool   // any reg/mem/CC write staged (livelock digest)
+}
+
+// fuseInfo is the complete fusion table of a program, built once at
+// predecode and immutable afterwards.
+type fuseInfo struct {
+	runLen []uint32    // runLen[a]: linear words in the run starting at a
+	words  []fusedWord // per-address superop metadata (runLen[a] > 0 only)
+	ops    []fusedOp   // shared backing array for all words' op lists
+}
+
+// fuseProgram builds the fusion table for a decoded program. The uop
+// table is the one decodeProgram built for the same program.
+func fuseProgram(p *isa.Program, code []uop) *fuseInfo {
+	n := p.NumFU
+	plen := p.Len()
+	fi := &fuseInfo{
+		runLen: make([]uint32, plen),
+		words:  make([]fusedWord, plen),
+	}
+	linear := make([]bool, plen)
+	for addr := 0; addr < plen; addr++ {
+		linear[addr] = linearWord(code[addr*n:(addr+1)*n], isa.Addr(addr))
+	}
+	// Suffix run lengths, right to left. The last word is never linear
+	// (its goto target a+1 would be outside the program), so the
+	// recurrence never reads past the end.
+	for addr := plen - 1; addr >= 0; addr-- {
+		if linear[addr] && addr+1 < plen {
+			fi.runLen[addr] = fi.runLen[addr+1] + 1
+		}
+	}
+	for addr := 0; addr < plen; addr++ {
+		if !linear[addr] {
+			continue
+		}
+		w := &fi.words[addr]
+		w.opStart = uint32(len(fi.ops))
+		for fu := 0; fu < n; fu++ {
+			u := &code[addr*n+fu]
+			if u.syncDone() {
+				w.ssMask |= 1 << fu
+			}
+			if u.Flags&flagNop != 0 {
+				w.nopMask |= 1 << fu
+				continue
+			}
+			if u.Flags&(flagReadsA|flagAImm) == flagReadsA {
+				w.reads++
+			}
+			if u.Flags&(flagReadsB|flagBImm) == flagReadsB {
+				w.reads++
+			}
+			switch {
+			case u.Op == isa.OpLoad:
+				w.loads++
+				w.writes++
+				w.wrote = true
+			case u.Op == isa.OpStore:
+				w.stores++
+				w.wrote = true
+			case u.Flags&(flagWritesReg|flagWritesCC) != 0:
+				if u.Flags&flagWritesReg != 0 {
+					w.writes++
+				}
+				w.wrote = true
+			}
+			fi.ops = append(fi.ops, fusedOp{DecodedOp: u.data(), fu: uint8(fu)})
+		}
+		w.opEnd = uint32(len(fi.ops))
+	}
+	return fi
+}
+
+// linearWord reports whether the word whose slots are slots[0:n] (at
+// address addr) satisfies the fusion legality rules above.
+func linearWord(slots []uop, addr isa.Addr) bool {
+	var destSeen [isa.NumRegs / 64]uint64
+	for fu := range slots {
+		u := &slots[fu]
+		if u.trap() || u.kind() != isa.CtrlGoto || u.t1 != addr+1 {
+			return false
+		}
+		if u.Flags&flagWritesReg != 0 {
+			word, bit := u.Dest>>6, uint64(1)<<(u.Dest&63)
+			if destSeen[word]&bit != 0 {
+				return false // two slots write one register: stay unfused
+			}
+			destSeen[word] |= bit
+		}
+	}
+	return true
+}

@@ -81,6 +81,13 @@ type Config struct {
 	// path. The table must have been built from the same *isa.Program
 	// passed to New.
 	Decoded *Decoded
+	// DisableFusion turns off the fused superop execution engine: Run and
+	// StepN then execute strictly cycle by cycle even where straight-line
+	// runs could fuse. Semantics are identical either way (the
+	// differential nets hold fused and unfused runs byte-identical); the
+	// knob exists for those tests, for benchmarking the fusion win, and
+	// as an escape hatch.
+	DisableFusion bool
 	// RegisteredSS is an ablation of the Figure 8 design decision: instead
 	// of the paper's combinational SS network (sequencers see the sync
 	// signals of the parcels executing this cycle), conditions read the SS
@@ -222,6 +229,14 @@ type Machine struct {
 	ssBits      uint8
 	prevSSBits  uint8
 
+	// Fused-engine state (fastrun.go). fuse is the program's immutable
+	// superop table; fuseOK caches the static run preconditions (fast
+	// engine, fusion enabled, no injection, no tracer, plain shared
+	// memory) — device mappings and the dynamic machine state are
+	// checked at entry.
+	fuse   *fuseInfo
+	fuseOK bool
+
 	// Per-cycle scratch, reused across cycles.
 	ss        []isa.Sync
 	prevSS    []isa.Sync // last cycle's SS values (RegisteredSS ablation)
@@ -255,14 +270,36 @@ type fingerprint struct {
 // New creates a machine loaded with prog. Every FU starts at the program
 // entry address with cleared registers, condition codes, and memory.
 func New(prog *isa.Program, cfg Config) (*Machine, error) {
+	m := &Machine{}
+	if err := m.bind(prog, cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset rebinds the machine to a fresh run of prog under cfg, exactly
+// as if it had just been built by New, but reusing the register file,
+// statistics, and per-FU scratch allocations of the previous run. It is
+// the machine-pooling hook: a sweep that retires and re-acquires
+// machines through a sync.Pool allocates nothing per task in steady
+// state (beyond what the config itself demands). On error the machine
+// is left unusable and must be discarded, not pooled.
+func (m *Machine) Reset(prog *isa.Program, cfg Config) error {
+	return m.bind(prog, cfg)
+}
+
+// bind is the shared initialization of New and Reset: it validates the
+// program and configuration, then (re)initializes every field, reusing
+// existing allocations where their capacity allows.
+func (m *Machine) bind(prog *isa.Program, cfg Config) error {
 	if cfg.Decoded != nil {
 		if prog == nil {
 			prog = cfg.Decoded.prog
 		} else if prog != cfg.Decoded.prog {
-			return nil, fmt.Errorf("core: Config.Decoded was built from a different program")
+			return fmt.Errorf("core: Config.Decoded was built from a different program")
 		}
 	} else if err := prog.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid program: %w", err)
+		return fmt.Errorf("core: invalid program: %w", err)
 	}
 	if cfg.Memory == nil {
 		cfg.Memory = mem.NewShared(0)
@@ -271,47 +308,87 @@ func New(prog *isa.Program, cfg Config) (*Machine, error) {
 		cfg.MaxCycles = DefaultMaxCycles
 	}
 	n := prog.NumFU
-	m := &Machine{
-		prog:    prog,
-		numFU:   n,
-		config:  cfg,
-		regs:    regfile.New(),
-		memory:  cfg.Memory,
-		pc:      make([]isa.Addr, n),
-		cc:      make([]bool, n),
-		ccValid: make([]bool, n),
-		halted:  make([]bool, n),
-		tracker: newPartitionTracker(n),
-
-		ss:       make([]isa.Sync, n),
-		prevSS:   make([]isa.Sync, n),
-		parcels:  make([]isa.Parcel, n),
-		nextPC:   make([]isa.Addr, n),
-		willHalt: make([]bool, n),
-		trans:    make([]transition, n),
+	m.prog = prog
+	m.numFU = n
+	m.config = cfg
+	if m.regs == nil {
+		m.regs = regfile.New()
+	} else {
+		m.regs.Reset()
 	}
+	m.memory = cfg.Memory
+	m.pc = resetSlice(m.pc, n)
+	m.cc = resetSlice(m.cc, n)
+	m.ccValid = resetSlice(m.ccValid, n)
+	m.halted = resetSlice(m.halted, n)
+	m.cycle = 0
+	m.done = false
+	m.failure = nil
+	if m.tracker == nil {
+		m.tracker = newPartitionTracker(n)
+	} else {
+		m.tracker.reset(n)
+	}
+	m.ss = resetSlice(m.ss, n)
+	m.prevSS = resetSlice(m.prevSS, n)
+	m.parcels = resetSlice(m.parcels, n)
+	m.nextPC = resetSlice(m.nextPC, n)
+	m.willHalt = resetSlice(m.willHalt, n)
+	m.trans = resetSlice(m.trans, n)
+	m.ccWrites = m.ccWrites[:0]
+	m.record = CycleRecord{}
+	m.prevState = fingerprint{}
 	for i := range m.pc {
 		m.pc[i] = prog.Entry
 	}
-	m.stats.init(n)
+	m.stats.Reset(n)
+
+	m.inject = nil
+	m.nFailed = 0
 	if cfg.Inject.Enabled() {
 		m.inject = cfg.Inject
-		m.stall = make([]uint32, n)
-		m.failed = make([]bool, n)
-		m.stalledNow = make([]bool, n)
+		m.stall = resetSlice(m.stall, n)
+		m.failed = resetSlice(m.failed, n)
+		m.stalledNow = resetSlice(m.stalledNow, n)
+	} else {
+		m.stall, m.failed, m.stalledNow = nil, nil, nil
 	}
+
+	m.code = nil
+	m.shared = nil
+	m.fuse = nil
+	m.fuseOK = false
+	m.ccBits, m.ccValidBits, m.haltedBits, m.ssBits, m.prevSSBits = 0, 0, 0, 0, 0
 	if cfg.Engine == EngineFast {
 		if cfg.Decoded != nil {
 			m.code = cfg.Decoded.code
+			m.fuse = cfg.Decoded.fuse
 		} else {
 			m.code = decodeProgram(prog)
+			m.fuse = fuseProgram(prog, m.code)
 		}
-		m.uops = make([]*uop, n)
+		m.uops = resetSlice(m.uops, n)
 		if sh, ok := cfg.Memory.(*mem.Shared); ok {
 			m.shared = sh
 		}
+		m.fuseOK = m.fuse != nil && !cfg.DisableFusion &&
+			m.inject == nil && cfg.Tracer == nil && m.shared != nil
 	}
-	return m, nil
+	return nil
+}
+
+// resetSlice returns a zeroed n-element slice, reusing s's backing
+// array when it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
 }
 
 // NumFU returns the machine's functional-unit count.
@@ -739,10 +816,12 @@ func (m *Machine) checkLivelock(wrote bool, cc, ss, halted uint8) error {
 }
 
 // Run executes until every FU halts or an error occurs, returning the
-// total cycle count.
+// total cycle count. Run drives the machine through StepN, so eligible
+// straight-line stretches execute on the fused superop engine; the
+// observable outcome is identical to stepping cycle by cycle.
 func (m *Machine) Run() (cycles uint64, err error) {
 	for {
-		running, err := m.Step()
+		running, err := m.StepN(1 << 62)
 		if err != nil {
 			return m.cycle, err
 		}

@@ -17,22 +17,43 @@ import (
 // subsequent machine from the shared table.
 
 // Decoded is a validated program together with its fast-engine micro-op
-// table. It is immutable after Predecode and safe for concurrent use by
-// any number of machines.
+// table and superop fusion table. It is immutable after Predecode and
+// safe for concurrent use by any number of machines.
 type Decoded struct {
 	prog *isa.Program
 	code []uop
+	fuse *fuseInfo
 }
 
 // Predecode validates prog and builds its fast-engine micro-op table
-// once. Machines constructed with Config.Decoded skip both steps.
+// and superop fusion table once. Machines constructed with
+// Config.Decoded skip all three steps — so a decoded-program cache hit
+// gets fusion for free, with no change to the cache key.
 func Predecode(prog *isa.Program) (*Decoded, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid program: %w", err)
 	}
-	return &Decoded{prog: prog, code: decodeProgram(prog)}, nil
+	code := decodeProgram(prog)
+	return &Decoded{prog: prog, code: code, fuse: fuseProgram(prog, code)}, nil
 }
 
 // Program returns the validated program the table was decoded from. The
 // caller must not mutate it: the decoded table mirrors its contents.
 func (d *Decoded) Program() *isa.Program { return d.prog }
+
+// FusibleWords reports how many instruction words begin (or continue) a
+// fused superop run — words the fast engine can execute without
+// per-cycle dispatch. It is introspection for caches and tools; zero
+// means the program has no straight-line fusible stretches.
+func (d *Decoded) FusibleWords() int {
+	if d.fuse == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range d.fuse.runLen {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}

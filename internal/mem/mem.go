@@ -243,3 +243,26 @@ func (m *Shared) PeekInts(base uint32, n int) []int32 {
 
 // Counters returns cumulative load/store counts.
 func (m *Shared) Counters() (loads, stores uint64) { return m.loads, m.stores }
+
+// HasMappings reports whether any device is mapped. The fused execution
+// engines require plain RAM (device loads are cycle-dependent and
+// stores have commit-time side effects), so they check this before
+// entering a fused run.
+func (m *Shared) HasMappings() bool { return len(m.mappings) > 0 }
+
+// Raw exposes the RAM words directly, bypassing devices, staging, and
+// accounting. It exists for the fused execution engines, which buffer
+// stores themselves and account loads/stores in bulk via AddCounters;
+// any other caller should use Load/Store or Peek/Poke. The caller must
+// have checked HasMappings() == false.
+func (m *Shared) Raw() []isa.Word { return m.words }
+
+// AddCounters folds externally-accounted load/store counts into the
+// cumulative counters — the bulk half of the fused engines' deferred
+// accounting contract: fused runs access RAM via Raw and report the
+// operation counts here at run exit, so Counters() observes exactly
+// what the per-cycle paths would have counted.
+func (m *Shared) AddCounters(loads, stores uint64) {
+	m.loads += loads
+	m.stores += stores
+}

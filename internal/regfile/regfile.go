@@ -212,6 +212,31 @@ func (f *File) Stats() Stats {
 	}
 }
 
+// AddBulk folds externally-accounted cycles into the cumulative port
+// statistics: cycles committed cycles, each charging the given total
+// reads/writes, with peakReads/peakWrites the largest single-cycle read
+// and write counts among them. The fused execution engines account
+// whole straight-line runs this way — they read and write the register
+// array directly (the runs are statically conflict- and overflow-free)
+// and report the port traffic here at run exit, so Stats() observes
+// exactly what per-cycle Read/Write/Commit accounting would have.
+func (f *File) AddBulk(cycles, reads, writes uint64, peakReads, peakWrites int) {
+	f.totalCycles += cycles
+	f.totalReads += reads
+	f.totalWrites += writes
+	if peakReads > f.peakReads {
+		f.peakReads = peakReads
+	}
+	if peakWrites > f.peakWrites {
+		f.peakWrites = peakWrites
+	}
+}
+
+// Raw exposes the register array directly, bypassing staging, port
+// accounting, and conflict detection, for the fused execution engines
+// (see AddBulk). Any other caller should use Read/Write or Peek/Poke.
+func (f *File) Raw() *[isa.NumRegs]isa.Word { return &f.regs }
+
 // Reset zeroes all registers, staging, and statistics.
 func (f *File) Reset() {
 	*f = File{}

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ximd/internal/hostcfg"
+)
+
+// TestRunBatchMatchesRun: a batch of specs over one program must yield
+// per-spec results and errors identical to sequential Run calls,
+// including faulting specs (MaxCycles) and unbuildable specs.
+func TestRunBatchMatchesRun(t *testing.T) {
+	for _, arch := range []Arch{ArchXIMD, ArchVLIW} {
+		prog, err := Load(arch, []byte(tprocSrc))
+		if err != nil {
+			t.Fatalf("%s: Load: %v", arch, err)
+		}
+		spin, err := Load(arch, []byte(spinSrc))
+		if err != nil {
+			t.Fatalf("%s: Load spin: %v", arch, err)
+		}
+
+		base := tprocSpec()
+		specs := []Spec{
+			base,
+			{RegPokes: base.RegPokes, MaxCycles: 2}, // faults: cycle limit
+			{Inject: "not a spec"},                  // unbuildable: usage error
+			{RegPokes: base.RegPokes, TolerateConflicts: true},
+		}
+		results, errs := RunBatch(context.Background(), prog, specs)
+		if len(results) != len(specs) || len(errs) != len(specs) {
+			t.Fatalf("%s: RunBatch returned %d results, %d errors for %d specs",
+				arch, len(results), len(errs), len(specs))
+		}
+		for i, spec := range specs {
+			want, werr := Run(context.Background(), prog, spec, Options{})
+			if (errs[i] == nil) != (werr == nil) {
+				t.Fatalf("%s: spec %d: batch err %v, Run err %v", arch, i, errs[i], werr)
+			}
+			if errs[i] != nil && errs[i].Error() != werr.Error() {
+				t.Fatalf("%s: spec %d: batch err %q, Run err %q", arch, i, errs[i], werr)
+			}
+			if errs[i] != nil && ExitCode(errs[i]) != ExitCode(werr) {
+				t.Fatalf("%s: spec %d: exit %d vs %d", arch, i, ExitCode(errs[i]), ExitCode(werr))
+			}
+			if results[i].Cycles != want.Cycles {
+				t.Fatalf("%s: spec %d: cycles %d, want %d", arch, i, results[i].Cycles, want.Cycles)
+			}
+			if !reflect.DeepEqual(results[i].Stats, want.Stats) {
+				t.Fatalf("%s: spec %d: stats diverge\nbatch: %+v\nrun:   %+v",
+					arch, i, results[i].Stats, want.Stats)
+			}
+			for a := uint32(0); a < 64; a++ {
+				if results[i].Memory.Peek(a) != want.Memory.Peek(a) {
+					t.Fatalf("%s: spec %d: mem[%d] = %v, want %v",
+						arch, i, a, results[i].Memory.Peek(a), want.Memory.Peek(a))
+				}
+			}
+		}
+
+		// A cancelled context marks every still-running spec.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, cerrs := RunBatch(ctx, spin, []Spec{{MaxCycles: 1 << 40}})
+		if !errors.Is(cerrs[0], context.Canceled) {
+			t.Fatalf("%s: cancelled batch err = %v, want context.Canceled", arch, cerrs[0])
+		}
+	}
+}
+
+// TestRunBatchMixedPokes checks that per-spec host configuration stays
+// private to its machine inside a batch.
+func TestRunBatchMixedPokes(t *testing.T) {
+	prog, err := Load(ArchXIMD, []byte(tprocSrc))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	mkSpec := func(r1 string) Spec {
+		rp, err := hostcfg.ParseRegPokes([]string{"r1=" + r1, "r2=4", "r3=5", "r4=6"})
+		if err != nil {
+			t.Fatalf("ParseRegPokes: %v", err)
+		}
+		return Spec{RegPokes: rp}
+	}
+	specs := []Spec{mkSpec("3"), mkSpec("30"), mkSpec("300")}
+	results, errs := RunBatch(context.Background(), prog, specs)
+	for i, spec := range specs {
+		if errs[i] != nil {
+			t.Fatalf("spec %d: %v", i, errs[i])
+		}
+		want, werr := Run(context.Background(), prog, spec, Options{})
+		if werr != nil {
+			t.Fatalf("spec %d: Run: %v", i, werr)
+		}
+		if results[i].Cycles != want.Cycles || !reflect.DeepEqual(results[i].Stats, want.Stats) {
+			t.Fatalf("spec %d diverged from solo Run", i)
+		}
+	}
+}

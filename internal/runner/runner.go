@@ -127,6 +127,17 @@ func (p *Program) NumFU() int {
 	return p.ximd.Program().NumFU
 }
 
+// FusibleWords reports how many instruction words of the loaded program
+// begin or continue a fused superop run. Fusion tables are built by
+// Load as part of predecode, so a cached Program carries them already —
+// a decoded-program cache hit gets the fused fast path for free.
+func (p *Program) FusibleWords() int {
+	if p.arch == ArchVLIW {
+		return p.vliw.FusibleWords()
+	}
+	return p.ximd.FusibleWords()
+}
+
 // Load builds a Program from source bytes: an encoded binary image
 // (detected by the XIMD magic) or assembly text. For ArchVLIW the
 // program must be VLIW-style (identical control in every parcel,
@@ -221,21 +232,15 @@ const ctxCheckInterval = 4096
 // context's error is returned as a simulation-class failure.
 func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, error) {
 	res := Result{Arch: prog.arch, Memory: mem.NewShared(0)}
-	var injector *inject.Injector
-	if spec.Inject != "" {
-		icfg, err := inject.ParseSpec(spec.Inject, spec.Seed)
-		if err != nil {
-			return res, &UsageError{Err: err}
-		}
-		if injector, err = inject.New(icfg); err != nil {
-			return res, &UsageError{Err: err}
-		}
+	injector, err := specInjector(spec)
+	if err != nil {
+		return res, err
 	}
 
 	var rec *trace.Recorder
 	var vrec *vliwRecorder
 	var flight *obs.Ring[trace.Record]
-	var step func() (bool, error)
+	var stepN func(uint64) (bool, error)
 	var cycles func() uint64
 	var stats func() core.Stats
 
@@ -266,7 +271,7 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 			return res, &UsageError{Err: err}
 		}
 		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
-		step, cycles, stats = m.Step, m.Cycle, m.Stats
+		stepN, cycles, stats = m.StepN, m.Cycle, m.Stats
 	default:
 		cfg := core.Config{
 			Memory:            res.Memory,
@@ -286,10 +291,10 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 			return res, &UsageError{Err: err}
 		}
 		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
-		step, cycles, stats = m.Step, m.Cycle, m.Stats
+		stepN, cycles, stats = m.StepN, m.Cycle, m.Stats
 	}
 
-	err := runLoop(ctx, step)
+	err = runLoop(ctx, stepN)
 	res.Cycles = cycles()
 	res.Stats = stats()
 	if rec != nil {
@@ -311,16 +316,149 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 	return res, err
 }
 
-// runLoop steps a machine to completion, checking the context every
-// ctxCheckInterval cycles.
-func runLoop(ctx context.Context, step func() (bool, error)) error {
-	for i := 0; ; i++ {
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+// specInjector builds the fault injector a spec asks for, or nil for an
+// idealized run. Failures are usage errors.
+func specInjector(spec Spec) (*inject.Injector, error) {
+	if spec.Inject == "" {
+		return nil, nil
+	}
+	icfg, err := inject.ParseSpec(spec.Inject, spec.Seed)
+	if err != nil {
+		return nil, &UsageError{Err: err}
+	}
+	injector, err := inject.New(icfg)
+	if err != nil {
+		return nil, &UsageError{Err: err}
+	}
+	return injector, nil
+}
+
+// RunBatch executes many specs of one shared program as a single
+// lockstep batch: all machines are built up front (predecode and fusion
+// already paid once by Load) and advanced together in
+// ctxCheckInterval-cycle rounds, with the context checked between
+// rounds. Each spec's Result and error are exactly what Run would have
+// produced for it — a batch round is just bulk stepping — but the batch
+// amortizes scheduling and keeps every machine on the fused fast path.
+//
+// Per-run observation (Options.Trace, Options.FlightCycles) is not
+// supported in batch mode: tracing forces the reference per-cycle
+// engine and would serialize the batch's whole point. Use Run for
+// observed runs.
+//
+// A spec whose machine cannot be built gets a UsageError and never
+// runs; the rest of the batch proceeds. If the context expires
+// mid-batch, every still-running spec gets the context's error with its
+// partial cycles and stats populated.
+func RunBatch(ctx context.Context, prog *Program, specs []Spec) ([]Result, []error) {
+	results := make([]Result, len(specs))
+	errs := make([]error, len(specs))
+	for i := range results {
+		results[i].Arch = prog.arch
+		results[i].Memory = mem.NewShared(0)
+	}
+
+	// Build phase: one machine per viable spec.
+	xms := make([]*core.Machine, len(specs))
+	vms := make([]*vliw.Machine, len(specs))
+	for i, spec := range specs {
+		injector, err := specInjector(spec)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if prog.arch == ArchVLIW {
+			m, err := vliw.New(nil, vliw.Config{
+				Memory:            results[i].Memory,
+				MaxCycles:         spec.MaxCycles,
+				TolerateConflicts: spec.TolerateConflicts,
+				Inject:            injector,
+				Decoded:           prog.vliw,
+			})
+			if err != nil {
+				errs[i] = &UsageError{Err: err}
+				continue
+			}
+			hostcfg.Apply(m.Regs(), results[i].Memory, spec.RegPokes, spec.MemPokes)
+			vms[i] = m
+		} else {
+			m, err := core.New(nil, core.Config{
+				Memory:            results[i].Memory,
+				MaxCycles:         spec.MaxCycles,
+				TolerateConflicts: spec.TolerateConflicts,
+				Inject:            injector,
+				Decoded:           prog.ximd,
+			})
+			if err != nil {
+				errs[i] = &UsageError{Err: err}
+				continue
+			}
+			hostcfg.Apply(m.Regs(), results[i].Memory, spec.RegPokes, spec.MemPokes)
+			xms[i] = m
+		}
+	}
+
+	// Lockstep phase. NewBatch treats nil entries (failed builds) as
+	// retired with no error, so indices line up with specs throughout.
+	if prog.arch == ArchVLIW {
+		b := vliw.NewBatch(vms)
+		ctxErr := batchRounds(ctx, b.StepRound)
+		for i, m := range vms {
+			if m == nil {
+				continue
+			}
+			results[i].Cycles = m.Cycle()
+			results[i].Stats = m.Stats()
+			switch {
+			case b.Err(i) != nil:
+				errs[i] = b.Err(i)
+			case b.Running(i):
+				errs[i] = ctxErr
 			}
 		}
-		running, err := step()
+	} else {
+		b := core.NewBatch(xms)
+		ctxErr := batchRounds(ctx, b.StepRound)
+		for i, m := range xms {
+			if m == nil {
+				continue
+			}
+			results[i].Cycles = m.Cycle()
+			results[i].Stats = m.Stats()
+			switch {
+			case b.Err(i) != nil:
+				errs[i] = b.Err(i)
+			case b.Running(i):
+				errs[i] = ctxErr
+			}
+		}
+	}
+	return results, errs
+}
+
+// batchRounds drives lockstep rounds until the batch drains or the
+// context expires, returning the context's error in the latter case.
+func batchRounds(ctx context.Context, stepRound func(uint64) int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if stepRound(ctxCheckInterval) == 0 {
+			return nil
+		}
+	}
+}
+
+// runLoop steps a machine to completion in ctxCheckInterval-cycle
+// batches, checking the context between batches. Bulk stepping is what
+// lets the fused superop engine engage on untraced runs; cancellation
+// latency is unchanged (one batch, exactly as before).
+func runLoop(ctx context.Context, stepN func(uint64) (bool, error)) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		running, err := stepN(ctxCheckInterval)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"testing"
+
+	"ximd/internal/runner"
+)
+
+// fusibleSrc is a straight-line two-FU schedule whose interior words
+// all fall through to the next address: every word but the last is a
+// superop fusion candidate on both architectures.
+const fusibleSrc = `
+.fus 2
+.fu 0
+	iadd r1, #1, r1
+	iadd r1, r1, r2
+	imult r2, #3, r3
+	isub r3, r2, r4
+	iadd r4, r1, r5
+	=> halt
+.fu 1
+	isub r6, #1, r6
+	iadd r6, r6, r7
+	nop
+	nop
+	nop
+	=> halt
+`
+
+// TestCachedProgramCarriesFusionTables pins the serve-layer half of the
+// fusion rollout: the decoded-program cache stores runner.Programs
+// whose predecode already includes the superop fusion tables, under the
+// same content-addressed key as before. A repeat submission must hit
+// the cache and hand workers a program with a non-empty fusion table —
+// fusion rides the existing cache entry; no re-decode, no key change.
+func TestCachedProgramCarriesFusionTables(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	run := func() JobStatus {
+		sr := submit(t, ts, JobRequest{Arch: "ximd", Source: fusibleSrc})
+		st, _ := waitTerminal(t, ts, sr.ID)
+		if st.Status != StateDone {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		return st
+	}
+	first := run()
+
+	// The cache now holds the program; a second resolution must be a hit
+	// and return the identical pre-fused table.
+	prog, key, hit, err := s.mgr.loadProgram(runner.ArchXIMD, []byte(fusibleSrc))
+	if err != nil {
+		t.Fatalf("loadProgram: %v", err)
+	}
+	if !hit {
+		t.Fatal("second resolution of the same source missed the cache")
+	}
+	if got := prog.FusibleWords(); got != 5 {
+		t.Fatalf("cached program has %d fusible words, want 5", got)
+	}
+	if want := programKey(runner.ArchXIMD, []byte(fusibleSrc)); key != want {
+		t.Fatalf("cache key changed: %q != %q", key, want)
+	}
+
+	// And a repeat job through the full path reports the hit and
+	// reproduces the result exactly.
+	sr := submit(t, ts, JobRequest{Arch: "ximd", Source: fusibleSrc})
+	if !sr.CacheHit {
+		t.Error("repeat submission did not report a cache hit")
+	}
+	st, _ := waitTerminal(t, ts, sr.ID)
+	if st.Status != StateDone {
+		t.Fatalf("repeat job failed: %s", st.Error)
+	}
+	if st.Result.Cycles != first.Result.Cycles {
+		t.Fatalf("cache-hit run: %d cycles, first run: %d", st.Result.Cycles, first.Result.Cycles)
+	}
+
+	// The VLIW variant of the same source fuses too, under its own key.
+	vprog, _, _, err := s.mgr.loadProgram(runner.ArchVLIW, []byte(fusibleSrc))
+	if err != nil {
+		t.Fatalf("loadProgram vliw: %v", err)
+	}
+	if got := vprog.FusibleWords(); got != 5 {
+		t.Fatalf("cached VLIW program has %d fusible words, want 5", got)
+	}
+}

@@ -217,7 +217,6 @@ func (m *manager) worker() {
 			TaskTimeout: m.jobTimeout,
 		})
 		m.finish(j, res, results[0].Err, results[0].Duration)
-		m.archiveJob(j)
 	}
 }
 
@@ -247,13 +246,16 @@ func ms(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
 
-// finish moves a job to its terminal state, freezes its result
-// document (built once, so repeated GETs serve identical bytes), and
-// freezes the span breakdown. execDur is the sweep engine's measured
-// task duration.
+// finish freezes a job's result document and span breakdown (built
+// once, so repeated GETs serve identical bytes), archives the outcome,
+// and only then publishes the terminal state. The ordering is the
+// point: a client that observes done/failed may rely on the durable
+// archive (and its /metrics counters) already containing the run — the
+// status flip is the last thing that happens, never concurrent with
+// the fsync'd append. Frozen fields stay invisible to pollers in the
+// meantime because snapshot/traceRecords/spanLines gate on the state.
 func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j.result = res
 	j.err = err
 	j.recs = res.Trace
@@ -273,6 +275,16 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 		{Span: "execute", Ms: j.runMS},
 		{Span: "total", Ms: ms(total)},
 	}
+	if err == nil {
+		doc := runner.NewResultDoc(res, j.peeks, j.profile)
+		j.doc = &doc
+	}
+	m.mu.Unlock()
+
+	m.archiveJob(j)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.met.running.Add(-1)
 	m.met.cyclesSimmed.Add(res.Cycles)
 	m.met.execute.Observe(execDur.Seconds())
@@ -282,8 +294,6 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 		m.met.jobsFailed.Inc()
 		return
 	}
-	doc := runner.NewResultDoc(res, j.peeks, j.profile)
-	j.doc = &doc
 	j.state = StateDone
 	m.met.jobsDone.Inc()
 }
@@ -375,8 +385,9 @@ type statusView struct {
 func (m *manager) snapshot(j *job) statusView {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	v := statusView{state: j.state, doc: j.doc, err: j.err}
+	v := statusView{state: j.state}
 	if j.state == StateDone || j.state == StateFailed {
+		v.doc, v.err = j.doc, j.err
 		q, r := j.queuedMS, j.runMS
 		v.queuedMS, v.runMS = &q, &r
 	}

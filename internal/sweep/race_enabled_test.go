@@ -1,0 +1,8 @@
+//go:build race
+
+package sweep
+
+// raceEnabled reports whether the test binary was built with the race
+// detector, whose instrumentation allocates and so invalidates the
+// allocation regression tests.
+const raceEnabled = true

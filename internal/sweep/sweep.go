@@ -11,10 +11,13 @@
 //     order, so table-printing code is deterministic at any width.
 //   - Workers == 1 degenerates to a strict serial in-order loop,
 //     reproducing single-threaded behavior exactly.
-//   - Each task builds its own machine, memory, and stats; the engine
-//     never shares mutable state between tasks. Stats snapshots placed
-//     in Results are deep copies (core.Stats.Clone via Machine.Stats),
-//     safe to read after or during other runs.
+//   - Each task owns its machine, memory, and stats for the duration of
+//     its run; the engine never shares mutable state between concurrent
+//     tasks. Retired machines are recycled through shape-keyed pools
+//     (Machine.Reset rebinds all state; failed machines are discarded,
+//     see pool.go), and Stats snapshots placed in Results are deep
+//     copies (core.Stats.Clone via Machine.Stats), safe to read after
+//     or during other runs.
 //   - Cancellation is cooperative via context: tasks not yet started
 //     when the context is cancelled are marked with the context error,
 //     and retry backoff waits abort promptly when the context ends.
@@ -33,6 +36,7 @@ import (
 	"time"
 
 	"ximd/internal/core"
+	"ximd/internal/vliw"
 	"ximd/internal/workloads"
 )
 
@@ -290,25 +294,82 @@ func runAttempt(ctx context.Context, t *Task, timeout time.Duration) (out Outcom
 }
 
 // XIMD adapts a workload instance's XIMD variant into a Task: each
-// invocation builds a fresh environment and machine, runs it to
-// completion, verifies the result, and snapshots cycles and stats.
+// invocation builds a fresh environment, acquires a machine from the
+// shape-keyed pool (recycling retired machines through Reset), runs it
+// to completion, verifies the result, and snapshots cycles and stats.
+// The machine is recycled only on full success; any failure discards
+// it, so a fault can never leak state into a later task.
 func XIMD(inst *workloads.Instance) Task {
+	// Predecode (and fuse) once at adapter construction: every run of
+	// the task shares the immutable decode table, so per-task work is
+	// just a machine rebind plus the simulation itself.
+	var decoded *core.Decoded
+	var decodeErr error
+	if inst.XIMD != nil {
+		decoded, decodeErr = core.Predecode(inst.XIMD)
+	}
 	return Task{Name: inst.Name, Run: func(context.Context) (Outcome, error) {
-		m, err := workloads.RunXIMD(inst, nil)
-		if err != nil {
-			return Outcome{}, err
+		if inst.XIMD == nil {
+			return Outcome{}, fmt.Errorf("workload %s has no XIMD variant", inst.Name)
 		}
-		return Outcome{Cycles: m.Cycle(), Stats: m.Stats()}, nil
+		if decodeErr != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, decodeErr)
+		}
+		env := inst.NewEnv()
+		m, err := acquireXIMD(inst.XIMD, core.Config{Memory: env.Mem, Decoded: decoded})
+		if err != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		for r, v := range inst.Regs {
+			m.Regs().Poke(r, v)
+		}
+		if _, err := m.Run(); err != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		if env.Check != nil {
+			if err := env.Check(m.Regs()); err != nil {
+				return Outcome{}, fmt.Errorf("%s: result check: %w", inst.Name, err)
+			}
+		}
+		out := Outcome{Cycles: m.Cycle(), Stats: m.Stats()}
+		releaseXIMD(inst.XIMD.NumFU, m)
+		return out, nil
 	}}
 }
 
-// VLIW adapts a workload instance's VLIW variant into a Task.
+// VLIW adapts a workload instance's VLIW variant into a Task, with the
+// same pooled-machine lifecycle as XIMD.
 func VLIW(inst *workloads.Instance) Task {
+	var decoded *vliw.Decoded
+	var decodeErr error
+	if inst.VLIW != nil {
+		decoded, decodeErr = vliw.Predecode(inst.VLIW)
+	}
 	return Task{Name: inst.Name, Run: func(context.Context) (Outcome, error) {
-		m, err := workloads.RunVLIW(inst, nil)
-		if err != nil {
-			return Outcome{}, err
+		if inst.VLIW == nil {
+			return Outcome{}, fmt.Errorf("workload %s has no VLIW variant", inst.Name)
 		}
-		return Outcome{Cycles: m.Cycle(), Stats: m.Stats()}, nil
+		if decodeErr != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, decodeErr)
+		}
+		env := inst.NewEnv()
+		m, err := acquireVLIW(inst.VLIW, vliw.Config{Memory: env.Mem, Decoded: decoded})
+		if err != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		for r, v := range inst.Regs {
+			m.Regs().Poke(r, v)
+		}
+		if _, err := m.Run(); err != nil {
+			return Outcome{}, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		if env.Check != nil {
+			if err := env.Check(m.Regs()); err != nil {
+				return Outcome{}, fmt.Errorf("%s: result check: %w", inst.Name, err)
+			}
+		}
+		out := Outcome{Cycles: m.Cycle(), Stats: m.Stats()}
+		releaseVLIW(inst.VLIW.NumFU, m)
+		return out, nil
 	}}
 }

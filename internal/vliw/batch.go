@@ -1,0 +1,86 @@
+package vliw
+
+// Batch advances many VLIW machines through one amortized stepping loop
+// — the single-sequencer counterpart of core.Batch, with the same
+// struct-of-arrays status layout (compacted live-index list plus flat
+// running/error state) and the same contract: each machine's outcome is
+// byte-identical to running it alone, because a round is just
+// StepN(chunk) per live machine.
+type Batch struct {
+	machines []*Machine
+	active   []uint32
+	running  []bool
+	errs     []error
+}
+
+// NewBatch builds a batch over machines. Machines that are already done
+// or failed enter the batch retired; nil entries are treated as retired
+// with no error.
+func NewBatch(machines []*Machine) *Batch {
+	b := &Batch{
+		machines: machines,
+		active:   make([]uint32, 0, len(machines)),
+		running:  make([]bool, len(machines)),
+		errs:     make([]error, len(machines)),
+	}
+	for i, m := range machines {
+		if m == nil {
+			continue
+		}
+		if err := m.Err(); err != nil {
+			b.errs[i] = err
+			continue
+		}
+		if m.Done() {
+			continue
+		}
+		b.running[i] = true
+		b.active = append(b.active, uint32(i))
+	}
+	return b
+}
+
+// StepRound advances every live machine by up to chunk cycles — one
+// lockstep round — and returns the number of machines still running.
+// StepRound allocates nothing in steady state.
+func (b *Batch) StepRound(chunk uint64) int {
+	w := 0
+	for _, idx := range b.active {
+		running, err := b.machines[idx].StepN(chunk)
+		if err != nil {
+			b.errs[idx] = err
+			b.running[idx] = false
+			continue
+		}
+		if !running {
+			b.running[idx] = false
+			continue
+		}
+		b.active[w] = idx
+		w++
+	}
+	b.active = b.active[:w]
+	return w
+}
+
+// Run drives lockstep rounds of chunk cycles until every machine has
+// halted or failed.
+func (b *Batch) Run(chunk uint64) {
+	for b.StepRound(chunk) > 0 {
+	}
+}
+
+// Size returns the number of machines in the batch.
+func (b *Batch) Size() int { return len(b.machines) }
+
+// Live returns the number of machines still running.
+func (b *Batch) Live() int { return len(b.active) }
+
+// Machine returns machine i.
+func (b *Batch) Machine(i int) *Machine { return b.machines[i] }
+
+// Running reports whether machine i is still running.
+func (b *Batch) Running(i int) bool { return b.running[i] }
+
+// Err returns machine i's terminal error, or nil.
+func (b *Batch) Err(i int) error { return b.errs[i] }

@@ -1,0 +1,130 @@
+package vliw
+
+import (
+	"ximd/internal/core"
+	"ximd/internal/isa"
+)
+
+// This file is the VLIW superop fuser — the single-sequencer analogue of
+// the XIMD core's fuser (internal/core/fuse.go). A VLIW instruction word
+// is linear when its sequencer operation is an unconditional goto to the
+// next address and no two register-writing slots (ALU writes and load
+// destinations) name the same destination register; maximal runs of
+// linear words execute as one fused superop in fastrun.go. The single
+// sequencer makes the analysis strictly simpler than the XIMD's: there
+// is one control operation per word (no per-FU divergence to rule out),
+// no synchronization signals, and no partition tracking to reconstruct.
+//
+// The dup-dest rule makes every linear word statically conflict-free,
+// so the runtime buffers register writes locally and applies them at
+// word end without the register file's dirty-bitmap conflict detection;
+// Stats.RegConflicts/PortConflicts provably stay zero across a run.
+// Words that would conflict stay unfused and take the per-cycle path,
+// which reports (or tolerates) the conflict exactly as before.
+
+// vfusedOp is one executing slot of a linear word: the decoded data
+// operation plus its FU index (needed for CC writes, which are per-FU).
+type vfusedOp struct {
+	core.DecodedOp
+	fu uint8
+}
+
+// vfusedWord is the superop metadata of one linear word: the word's
+// statically-known contribution to the machine's observable counters,
+// folded in bulk at run exit. Explicit nops are summarized by nopMask;
+// the op list holds only the slots with data-path work.
+type vfusedWord struct {
+	opStart, opEnd uint32 // index range into vfuseInfo.ops
+	nopMask        uint8  // bit fu set: slot fu is an explicit nop
+	reads          uint8  // register read ports charged by the word
+	writes         uint8  // register writes staged by the word
+	loads          uint8  // memory loads issued by the word
+	stores         uint8  // memory stores issued by the word
+}
+
+// vfuseInfo is the complete fusion table of a program, built once at
+// predecode and immutable afterwards. runLen[a] is the number of
+// consecutive linear words starting at a; because every linear word
+// falls through to a+1, the executed portion of a run entered at a is
+// always a prefix of that suffix, and a branch into the middle of a run
+// needs no special casing.
+type vfuseInfo struct {
+	runLen []uint32
+	words  []vfusedWord
+	ops    []vfusedOp
+}
+
+// fuseVLIW builds the fusion table for a decoded program. The vop table
+// is the one decodeVLIW built for the same program.
+func fuseVLIW(p *Program, code []vop) *vfuseInfo {
+	n := p.NumFU
+	plen := len(p.Instrs)
+	fi := &vfuseInfo{
+		runLen: make([]uint32, plen),
+		words:  make([]vfusedWord, plen),
+	}
+	linear := make([]bool, plen)
+	for addr := 0; addr < plen; addr++ {
+		linear[addr] = linearVLIWWord(&code[addr], isa.Addr(addr), n, plen)
+	}
+	// Suffix run lengths, right to left. The last word is never linear
+	// (its goto target a+1 would be outside the program), so the
+	// recurrence never reads past the end.
+	for addr := plen - 1; addr >= 0; addr-- {
+		if linear[addr] && addr+1 < plen {
+			fi.runLen[addr] = fi.runLen[addr+1] + 1
+		}
+	}
+	for addr := 0; addr < plen; addr++ {
+		if !linear[addr] {
+			continue
+		}
+		w := &fi.words[addr]
+		w.opStart = uint32(len(fi.ops))
+		for fu := 0; fu < n; fu++ {
+			op := &code[addr].ops[fu]
+			if op.IsNop() {
+				w.nopMask |= 1 << fu
+				continue
+			}
+			if op.AFromReg() {
+				w.reads++
+			}
+			if op.BFromReg() {
+				w.reads++
+			}
+			switch {
+			case op.Op == isa.OpLoad:
+				w.loads++
+				w.writes++
+			case op.Op == isa.OpStore:
+				w.stores++
+			case op.WritesReg():
+				w.writes++
+			}
+			fi.ops = append(fi.ops, vfusedOp{DecodedOp: *op, fu: uint8(fu)})
+		}
+		w.opEnd = uint32(len(fi.ops))
+	}
+	return fi
+}
+
+// linearVLIWWord reports whether the decoded word at addr satisfies the
+// fusion legality rules above.
+func linearVLIWWord(u *vop, addr isa.Addr, numFU, plen int) bool {
+	if u.kind != isa.CtrlGoto || u.t1 != addr+1 || int(addr)+1 >= plen {
+		return false
+	}
+	var destSeen [isa.NumRegs / 64]uint64
+	for fu := 0; fu < numFU; fu++ {
+		op := &u.ops[fu]
+		if op.WritesReg() {
+			word, bit := op.Dest>>6, uint64(1)<<(op.Dest&63)
+			if destSeen[word]&bit != 0 {
+				return false // two slots write one register: stay unfused
+			}
+			destSeen[word] |= bit
+		}
+	}
+	return true
+}

@@ -10,20 +10,39 @@ import "fmt"
 type Decoded struct {
 	prog *Program
 	code []vop
+	fuse *vfuseInfo
 }
 
-// Predecode validates prog and builds its decoded-instruction table
-// once. Machines constructed with Config.Decoded skip both steps.
+// Predecode validates prog and builds its decoded-instruction table and
+// superop fusion table once. Machines constructed with Config.Decoded
+// skip all three steps — a decoded-program cache hit gets fusion for
+// free, with no change to the cache key.
 func Predecode(prog *Program) (*Decoded, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
-	return &Decoded{prog: prog, code: decodeVLIW(prog)}, nil
+	code := decodeVLIW(prog)
+	return &Decoded{prog: prog, code: code, fuse: fuseVLIW(prog, code)}, nil
 }
 
 // Program returns the validated program the table was decoded from. The
 // caller must not mutate it: the decoded table mirrors its contents.
 func (d *Decoded) Program() *Program { return d.prog }
+
+// FusibleWords reports how many instruction words begin (or continue) a
+// fused superop run; see core.Decoded.FusibleWords.
+func (d *Decoded) FusibleWords() int {
+	if d.fuse == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range d.fuse.runLen {
+		if r > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // errDecodedMismatch reports a Config.Decoded built from a different
 // program than the one passed to New.

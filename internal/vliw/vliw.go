@@ -146,6 +146,12 @@ type Config struct {
 	MaxCycles uint64
 	// TolerateConflicts tolerates same-cycle write conflicts.
 	TolerateConflicts bool
+	// DisableFusion turns off fused superop execution (fastrun.go) on
+	// the fast engine: StepN then takes the per-cycle path for every
+	// cycle. The observable outcome of a run is identical either way —
+	// the differential tests enforce it — so this is a debugging and
+	// testing lever, not a semantic switch.
+	DisableFusion bool
 	// Inject, if non-nil and enabled, perturbs the datapath with the same
 	// seeded campaign the XIMD core accepts. The single sequencer makes
 	// the consequences architecture-defining: an injected load latency
@@ -212,6 +218,8 @@ type Machine struct {
 	code   []vop
 	shared *mem.Shared
 	ccBits uint8
+	fuse   *vfuseInfo
+	fuseOK bool // static preconditions for fused superop runs hold
 
 	// Injection state (nil / zero unless Config.Inject is enabled).
 	// stall counts the remaining cycles the whole machine spends waiting
@@ -257,14 +265,32 @@ type ccWrite struct {
 
 // New creates a VLIW machine loaded with prog.
 func New(prog *Program, cfg Config) (*Machine, error) {
+	m := &Machine{}
+	if err := m.bind(prog, cfg); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset rebinds the machine to a fresh run of prog under cfg, exactly
+// as if it had just been built by New, but reusing the register file,
+// statistics, and scratch allocations of the previous run — the
+// machine-pooling hook (see core.Machine.Reset). On error the machine
+// is left unusable and must be discarded, not pooled.
+func (m *Machine) Reset(prog *Program, cfg Config) error {
+	return m.bind(prog, cfg)
+}
+
+// bind is the shared initialization of New and Reset.
+func (m *Machine) bind(prog *Program, cfg Config) error {
 	if cfg.Decoded != nil {
 		if prog == nil {
 			prog = cfg.Decoded.prog
 		} else if prog != cfg.Decoded.prog {
-			return nil, errDecodedMismatch()
+			return errDecodedMismatch()
 		}
 	} else if err := prog.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if cfg.Memory == nil {
 		cfg.Memory = mem.NewShared(0)
@@ -272,30 +298,58 @@ func New(prog *Program, cfg Config) (*Machine, error) {
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = DefaultMaxCycles
 	}
-	m := &Machine{
-		prog:   prog,
-		numFU:  prog.NumFU,
-		config: cfg,
-		regs:   regfile.New(),
-		memory: cfg.Memory,
-		pc:     prog.Entry,
-		cc:     make([]bool, prog.NumFU),
+	n := prog.NumFU
+	m.prog = prog
+	m.numFU = n
+	m.config = cfg
+	if m.regs == nil {
+		m.regs = regfile.New()
+	} else {
+		m.regs.Reset()
 	}
-	m.stats = core.NewStats(prog.NumFU)
+	m.memory = cfg.Memory
+	m.pc = prog.Entry
+	if cap(m.cc) < n {
+		m.cc = make([]bool, n)
+	} else {
+		m.cc = m.cc[:n]
+		for i := range m.cc {
+			m.cc[i] = false
+		}
+	}
+	m.cycle = 0
+	m.done = false
+	m.failure = nil
+	m.stats.Reset(n)
+	m.ccWrite = m.ccWrite[:0]
+	m.record = CycleRecord{}
+
+	m.inject = nil
+	m.stall, m.wordStall = 0, 0
 	if cfg.Inject.Enabled() {
 		m.inject = cfg.Inject
 	}
+
+	m.code = nil
+	m.shared = nil
+	m.ccBits = 0
+	m.fuse = nil
+	m.fuseOK = false
 	if cfg.Engine == core.EngineFast {
 		if cfg.Decoded != nil {
 			m.code = cfg.Decoded.code
+			m.fuse = cfg.Decoded.fuse
 		} else {
 			m.code = decodeVLIW(prog)
+			m.fuse = fuseVLIW(prog, m.code)
 		}
 		if sh, ok := cfg.Memory.(*mem.Shared); ok {
 			m.shared = sh
 		}
+		m.fuseOK = m.fuse != nil && !cfg.DisableFusion &&
+			m.inject == nil && cfg.Tracer == nil && m.shared != nil
 	}
-	return m, nil
+	return nil
 }
 
 // Regs exposes the register file.
@@ -565,10 +619,11 @@ func (m *Machine) writeReg(fu int, reg uint8, v isa.Word) error {
 	return nil
 }
 
-// Run executes until halt or error, returning total cycles.
+// Run executes until halt or error, returning total cycles. It steps in
+// bulk through StepN, so fused superop runs engage wherever eligible.
 func (m *Machine) Run() (uint64, error) {
 	for {
-		running, err := m.Step()
+		running, err := m.StepN(1 << 62)
 		if err != nil {
 			return m.cycle, err
 		}
