@@ -15,7 +15,15 @@
 //	-archive DIR       durable run archive directory: terminal jobs and
 //	                   sweep tasks are recorded, GET /v1/runs queries
 //	                   history, POST /v1/regress gates fresh runs
-//	                   against the archived baselines (empty = disabled)
+//	                   against the archived baselines (empty = disabled).
+//	                   The directory also holds durable job state: a
+//	                   write-ahead job journal (jobs.log) and periodic
+//	                   run checkpoints (ckpt/), replayed on startup so
+//	                   accepted jobs survive kill -9 — interrupted runs
+//	                   resume from their newest checkpoint under their
+//	                   original job ids
+//	-checkpoint-every N  checkpoint interval for durable jobs, in
+//	                   simulated machine cycles (default 8388608)
 //
 // On SIGINT/SIGTERM the daemon stops accepting work (503), drains
 // queued and running jobs within the drain budget, then exits; a second
@@ -45,6 +53,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 30*time.Second, "per-job deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	archiveDir := flag.String("archive", "", "durable run archive directory (empty = disabled)")
+	ckptEvery := flag.Uint64("checkpoint-every", serve.DefaultCheckpointEvery, "checkpoint interval for durable jobs, in machine cycles")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: ximdd [flags]")
@@ -67,11 +76,21 @@ func main() {
 	}
 
 	svc := serve.New(serve.Options{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		Archive:    arch,
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		JobTimeout:      *jobTimeout,
+		Archive:         arch,
+		StateDir:        *archiveDir,
+		CheckpointEvery: *ckptEvery,
 	})
+	if rec := svc.Recovery(); rec.Err != nil {
+		// A daemon that promised durability (-archive) but cannot keep it
+		// must not run and silently lose jobs.
+		log.Fatalf("ximdd: durable job state: %v", rec.Err)
+	} else if *archiveDir != "" {
+		log.Printf("ximdd: recovery: %d job(s) requeued, %d resumed from checkpoint, %d cold-rerun, %d dropped",
+			rec.Requeued, rec.Resumed, rec.ColdRerun, rec.Dropped)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("ximdd: %v", err)

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"ximd/internal/ckpt"
 	"ximd/internal/inject"
 	"ximd/internal/runner"
 )
@@ -164,6 +165,16 @@ func Open(dir string) (*Archive, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("archive: %w", err)
+	}
+	// A freshly created archive.log is only durable once its directory
+	// entry is: fsync the parent too, or a crash right after Open can
+	// roll back the file's very existence (and every fsynced append
+	// with it). See ckpt.SyncDir.
+	if len(data) == 0 {
+		if err := ckpt.SyncDir(dir); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("archive: %w", err)
+		}
 	}
 	if valid < int64(len(data)) {
 		if err := f.Truncate(valid); err != nil {

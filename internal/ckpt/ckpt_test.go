@@ -1,0 +1,249 @@
+package ckpt
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ximd/internal/core"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+)
+
+// testCheckpoint builds a real checkpoint by running a small XIMD
+// machine for a few cycles and snapshotting it.
+func testCheckpoint(t *testing.T, cycles int) *Checkpoint {
+	t.Helper()
+	p := &isa.Program{NumFU: 2, Instrs: make([]isa.Instruction, 4)}
+	for a := 0; a < 4; a++ {
+		for fu := 0; fu < 2; fu++ {
+			pc := isa.Parcel{Data: isa.DataOp{Op: isa.OpIAdd, A: isa.R(1), B: isa.I(int32(a + fu)), Dest: uint8(64 + fu)}}
+			if a == 3 {
+				pc.Ctrl = isa.Goto(0)
+			} else {
+				pc.Ctrl = isa.Goto(isa.Addr(a + 1))
+			}
+			p.Instrs[a][fu] = pc
+		}
+	}
+	m, err := core.New(p, core.Config{Memory: mem.NewShared(1024), MaxCycles: 10000})
+	if err != nil {
+		t.Fatalf("new machine: %v", err)
+	}
+	for i := 0; i < cycles; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return &Checkpoint{Arch: "ximd", Key: "k1", Cycle: m.Cycle(), Attempt: 3, Ximd: s}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := testCheckpoint(t, 5)
+	payload, err := c.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Arch != c.Arch || got.Key != c.Key || got.Cycle != c.Cycle || got.Attempt != c.Attempt {
+		t.Fatalf("header mismatch: got %+v want %+v", got, c)
+	}
+	if got.Ximd == nil || got.Vliw != nil {
+		t.Fatal("wrong snapshot slot populated")
+	}
+	// Re-encoding the decoded checkpoint must reproduce the bytes: the
+	// codec has one canonical form.
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(payload, again) {
+		t.Fatal("decode/encode is not byte-stable")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	c := testCheckpoint(t, 5)
+	payload, err := c.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if _, err := Decode(payload[:len(payload)/2]); err == nil {
+		t.Error("truncated payload decoded")
+	}
+	if _, err := Decode(append(append([]byte(nil), payload...), 0xff)); err == nil {
+		t.Error("payload with trailing garbage decoded")
+	}
+	bad := append([]byte(nil), payload...)
+	bad[0] ^= 0xff // magic
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic decoded")
+	}
+	bad = append([]byte(nil), payload...)
+	bad[len(Magic)+4] ^= 0xff // version (after magic's length prefix)
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version decoded")
+	}
+}
+
+func TestEncodeRefusesAmbiguousCheckpoint(t *testing.T) {
+	if _, err := (&Checkpoint{Arch: "ximd"}).Encode(); err == nil {
+		t.Error("checkpoint with no snapshot encoded")
+	}
+}
+
+func TestScanFramesTornTail(t *testing.T) {
+	var file []byte
+	p1 := []byte("first payload")
+	p2 := []byte("second payload")
+	file = AppendFrame(file, p1)
+	file = AppendFrame(file, p2)
+
+	payloads, valid, torn := ScanFrames(file)
+	if torn || len(payloads) != 2 || valid != int64(len(file)) {
+		t.Fatalf("clean scan: %d payloads, valid %d, torn %v", len(payloads), valid, torn)
+	}
+	if !bytes.Equal(payloads[0], p1) || !bytes.Equal(payloads[1], p2) {
+		t.Fatal("payload bytes corrupted")
+	}
+
+	// Every possible torn tail of a third frame: the first two frames
+	// always survive.
+	full := AppendFrame(append([]byte(nil), file...), []byte("third"))
+	for cut := len(file) + 1; cut < len(full); cut++ {
+		payloads, valid, torn := ScanFrames(full[:cut])
+		if !torn || len(payloads) != 2 || valid != int64(len(file)) {
+			t.Fatalf("cut %d: %d payloads, valid %d, torn %v", cut, len(payloads), valid, torn)
+		}
+	}
+
+	// A flipped byte in the middle frame cuts the scan there.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(file)-3] ^= 0x40
+	payloads, _, torn = ScanFrames(corrupt)
+	if !torn || len(payloads) != 1 {
+		t.Fatalf("corrupt middle: %d payloads, torn %v", len(payloads), torn)
+	}
+}
+
+func TestStoreSaveLoadDelete(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+
+	if c, err := st.Load("j-1"); err != nil || c != nil {
+		t.Fatalf("load of absent id: %v, %v", c, err)
+	}
+
+	c5 := testCheckpoint(t, 5)
+	c9 := testCheckpoint(t, 9)
+	if _, err := st.Save("j-1", c5); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := st.Save("j-1", c9); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := st.Load("j-1")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got == nil || got.Cycle != c9.Cycle {
+		t.Fatalf("load returned %+v, want newest (cycle %d)", got, c9.Cycle)
+	}
+
+	ids, err := st.List()
+	if err != nil || len(ids) != 1 || ids[0] != "j-1" {
+		t.Fatalf("list: %v, %v", ids, err)
+	}
+
+	if err := st.Delete("j-1"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if c, err := st.Load("j-1"); err != nil || c != nil {
+		t.Fatalf("load after delete: %v, %v", c, err)
+	}
+	if err := st.Delete("j-1"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestStoreLoadSurvivesTornTail(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+
+	c := testCheckpoint(t, 5)
+	if _, err := st.Save("j-2", c); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	// Simulate a crash mid-append: garbage half-frame at the tail.
+	path := filepath.Join(dir, "j-2.ckpt")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x12}); err != nil {
+		t.Fatalf("append garbage: %v", err)
+	}
+	f.Close()
+
+	got, err := st.Load("j-2")
+	if err != nil || got == nil || got.Cycle != c.Cycle {
+		t.Fatalf("torn-tail load: %+v, %v", got, err)
+	}
+
+	// A file of pure garbage is "no checkpoint", not an error.
+	if err := os.WriteFile(filepath.Join(dir, "j-3.ckpt"), []byte("not a frame"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := st.Load("j-3"); err != nil || c != nil {
+		t.Fatalf("garbage file load: %v, %v", c, err)
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	defer st.Close()
+
+	var last *Checkpoint
+	for i := 1; i <= 20; i++ {
+		last = testCheckpoint(t, i)
+		if _, err := st.Save("j-4", last); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	payload, err := last.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := int64(len(AppendFrame(nil, payload)))
+	info, err := os.Stat(filepath.Join(dir, "j-4.ckpt"))
+	if err != nil {
+		t.Fatalf("stat: %v", err)
+	}
+	if info.Size() > frame*(compactFactor+1) {
+		t.Fatalf("file grew to %d bytes (frame %d): compaction never ran", info.Size(), frame)
+	}
+	got, err := st.Load("j-4")
+	if err != nil || got == nil || got.Cycle != last.Cycle {
+		t.Fatalf("post-compaction load: %+v, %v", got, err)
+	}
+}

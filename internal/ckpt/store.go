@@ -1,0 +1,229 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is a directory of per-job checkpoint files. Each job id maps
+// to one append-only file DIR/<id>.ckpt holding a sequence of framed
+// checkpoint payloads; the newest valid frame wins on load. Appending
+// (rather than rewrite-and-rename) keeps the common-path cost to one
+// write + one fsync, and means a crash mid-save leaves the previous
+// checkpoint intact behind a torn tail. Files are compacted back to a
+// single frame once they grow past a multiple of their latest
+// checkpoint's size.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]*os.File // open append handles, keyed by job id
+}
+
+// compactFactor triggers compaction: when a checkpoint file exceeds
+// compactFactor times the size of the frame just appended, it is
+// rewritten to hold only that frame. Checkpoints of one job are all
+// roughly the same size, so this bounds each file to a small constant
+// number of frames without measuring history.
+const compactFactor = 4
+
+// OpenStore opens (creating if needed) the checkpoint directory.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	// Make the directory entry itself durable: MkdirAll may have just
+	// created it, and checkpoints saved under an unmentioned directory
+	// would not survive a crash.
+	if err := SyncDir(filepath.Dir(dir)); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	return &Store{dir: dir, files: make(map[string]*os.File)}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id+".ckpt")
+}
+
+// Save durably appends a checkpoint for job id. On return the
+// checkpoint has been fsynced: a crash at any later point recovers at
+// least this state.
+func (s *Store) Save(id string, c *Checkpoint) (int, error) {
+	payload, err := c.Encode()
+	if err != nil {
+		return 0, err
+	}
+	frame := AppendFrame(nil, payload)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, created, err := s.openLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(frame); err != nil {
+		return 0, fmt.Errorf("ckpt: save %s: %w", id, err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("ckpt: save %s: %w", id, err)
+	}
+	if created {
+		// First frame of a new file: fsync the directory so the file's
+		// own entry is durable, not just its bytes.
+		if err := SyncDir(s.dir); err != nil {
+			return 0, fmt.Errorf("ckpt: save %s: %w", id, err)
+		}
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > int64(len(frame))*compactFactor {
+		if err := s.compactLocked(id, frame); err != nil {
+			return 0, err
+		}
+	}
+	return len(frame), nil
+}
+
+// openLocked returns the open append handle for id, opening (and
+// reporting whether it created) the file on first use.
+func (s *Store) openLocked(id string) (f *os.File, created bool, err error) {
+	if f, ok := s.files[id]; ok {
+		return f, false, nil
+	}
+	path := s.path(id)
+	_, statErr := os.Stat(path)
+	created = os.IsNotExist(statErr)
+	f, err = os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, false, fmt.Errorf("ckpt: open %s: %w", id, err)
+	}
+	s.files[id] = f
+	return f, created, nil
+}
+
+// compactLocked rewrites id's checkpoint file to hold only frame,
+// via write-temp + fsync + rename + dir-fsync so every intermediate
+// crash state still loads: either the old multi-frame file or the new
+// single-frame file is in place, never a partial.
+func (s *Store) compactLocked(id string, frame []byte) error {
+	tmp := s.path(id) + ".tmp"
+	if err := writeFileSync(tmp, frame); err != nil {
+		return fmt.Errorf("ckpt: compact %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, s.path(id)); err != nil {
+		return fmt.Errorf("ckpt: compact %s: %w", id, err)
+	}
+	if err := SyncDir(s.dir); err != nil {
+		return fmt.Errorf("ckpt: compact %s: %w", id, err)
+	}
+	// The old handle now points at the unlinked pre-compaction inode;
+	// reopen on next save.
+	if f, ok := s.files[id]; ok {
+		f.Close()
+		delete(s.files, id)
+	}
+	return nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load returns the newest valid checkpoint for job id, or (nil, nil)
+// when none is usable — absent file, empty file, torn or corrupt
+// frames, undecodable payloads. The caller's fallback for every "no
+// checkpoint" shape is the same cold rerun, so unusable state is not
+// an error.
+func (s *Store) Load(id string) (*Checkpoint, error) {
+	data, err := os.ReadFile(s.path(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: load %s: %w", id, err)
+	}
+	payloads, _, _ := ScanFrames(data)
+	// Newest valid frame wins; skip backward past frames whose payload
+	// fails decode (framing intact but content corrupt or stale-version).
+	for i := len(payloads) - 1; i >= 0; i-- {
+		if c, err := Decode(payloads[i]); err == nil {
+			return c, nil
+		}
+	}
+	return nil, nil
+}
+
+// Delete removes job id's checkpoint file (a no-op when absent) and
+// makes the removal durable. Called when a job reaches a terminal
+// state: its result document is archived and the checkpoint must not
+// outlive it, or a crash-restart would "resume" a finished job.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	if f, ok := s.files[id]; ok {
+		f.Close()
+		delete(s.files, id)
+	}
+	s.mu.Unlock()
+	err := os.Remove(s.path(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ckpt: delete %s: %w", id, err)
+	}
+	if err == nil {
+		if err := SyncDir(s.dir); err != nil {
+			return fmt.Errorf("ckpt: delete %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// List returns the job ids with checkpoint files, sorted.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var ids []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if id, ok := strings.CutSuffix(name, ".ckpt"); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// Close closes all open file handles. Saved state is already durable;
+// Close only releases descriptors.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, f := range s.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.files, id)
+	}
+	return first
+}

@@ -220,6 +220,14 @@ func (in *Injector) Attempt() uint64 { return in.attempt }
 // (they model the environment, not chance events).
 func (in *Injector) NextAttempt() { in.attempt++ }
 
+// SetAttempt restores the retry salt to a checkpointed value. A
+// durable checkpoint (internal/ckpt) records the attempt alongside the
+// machine snapshot: transient draws are keyed on (seed, attempt,
+// cycle, FU, address), so a resumed run that restores both replays the
+// exact fault sequence of the interrupted timeline — the redraw
+// determinism the kill-and-resume byte-identity guarantee rests on.
+func (in *Injector) SetAttempt(a uint64) { in.attempt = a }
+
 // mix64 is the splitmix64 finalizer: a bijective avalanche over uint64.
 func mix64(x uint64) uint64 {
 	x ^= x >> 30

@@ -1,0 +1,51 @@
+package regfile
+
+import (
+	"fmt"
+
+	"ximd/internal/isa"
+	"ximd/internal/wire"
+)
+
+// Binary serialization of a register-file snapshot, used by the durable
+// checkpoint format (internal/ckpt). The encoding is the snapshot's
+// exact field set — register values plus cumulative port accounting —
+// so a decoded snapshot restores the identical Section 4.4 numbers.
+
+// Encode appends the snapshot to w.
+func (s *Snapshot) Encode(w *wire.Writer) {
+	for _, v := range s.regs {
+		w.U32(uint32(v))
+	}
+	w.U64(s.totalReads)
+	w.U64(s.totalWrites)
+	w.U64(s.totalCycles)
+	w.I64(int64(s.peakReads))
+	w.I64(int64(s.peakWrites))
+	w.U64(s.conflictCount)
+}
+
+// DecodeSnapshot reads a snapshot previously written by Encode. The
+// peak port counts are bounds-checked: they are per-cycle totals over
+// at most NumFU×ports accesses, so a wildly large value marks a
+// corrupt or foreign byte stream rather than a restorable state.
+func DecodeSnapshot(r *wire.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	for i := range s.regs {
+		s.regs[i] = isa.Word(r.U32())
+	}
+	s.totalReads = r.U64()
+	s.totalWrites = r.U64()
+	s.totalCycles = r.U64()
+	s.peakReads = int(r.I64())
+	s.peakWrites = int(r.I64())
+	s.conflictCount = r.U64()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("regfile: decode snapshot: %w", err)
+	}
+	maxPeak := isa.NumFU * (ReadPortsPerFU + WritePortsPerFU)
+	if s.peakReads < 0 || s.peakReads > maxPeak || s.peakWrites < 0 || s.peakWrites > maxPeak {
+		return nil, fmt.Errorf("regfile: decode snapshot: peak ports %d/%d out of range", s.peakReads, s.peakWrites)
+	}
+	return s, nil
+}

@@ -1,0 +1,336 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"ximd/internal/ckpt"
+	"ximd/internal/hostcfg"
+	"ximd/internal/isa"
+)
+
+// Kill-and-resume determinism: the checkpoint subsystem's load-bearing
+// guarantee is that a run interrupted at any checkpoint boundary and
+// resumed in a fresh process produces a result document byte-identical
+// to an uninterrupted run — including the error, when the program
+// faults, and including fault injection, whose transient draws must
+// replay across the restart. These tests drive that guarantee over
+// random programs on both architectures, round-tripping every
+// checkpoint through the durable byte format (Encode → frame → scan →
+// Decode) exactly as a crash-restart would.
+
+// genCkptXIMD builds a random XIMD program: mixed data ops, sync
+// signals, traps, spin-wait branches (long runs that cross many
+// checkpoint boundaries), divides that can fault.
+func genCkptXIMD(r *rand.Rand) *isa.Program {
+	numFU := 1 + r.Intn(isa.NumFU)
+	n := 4 + r.Intn(20)
+	p := &isa.Program{NumFU: numFU, Instrs: make([]isa.Instruction, n)}
+	operand := func() isa.Operand {
+		if r.Intn(2) == 0 {
+			return isa.R(uint8(r.Intn(24)))
+		}
+		return isa.I(int32(r.Intn(2001) - 1000))
+	}
+	dest := func(fu int) uint8 {
+		if r.Intn(10) < 7 {
+			return uint8(64 + fu*4 + r.Intn(4))
+		}
+		return uint8(r.Intn(12))
+	}
+	ops := []isa.Opcode{
+		isa.OpIAdd, isa.OpISub, isa.OpIMult, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpFAdd, isa.OpFMult,
+	}
+	cmps := []isa.Opcode{isa.OpEq, isa.OpNe, isa.OpLt, isa.OpGe}
+	for addr := 0; addr < n; addr++ {
+		for fu := 0; fu < numFU; fu++ {
+			if addr > 0 && r.Intn(60) == 0 {
+				p.Instrs[addr][fu] = isa.TrapParcel
+				continue
+			}
+			var pc isa.Parcel
+			switch r.Intn(10) {
+			case 0:
+				pc.Data = isa.Nop
+			case 1:
+				pc.Data = isa.DataOp{Op: cmps[r.Intn(len(cmps))], A: operand(), B: operand()}
+			case 2, 3:
+				if r.Intn(2) == 0 {
+					pc.Data = isa.DataOp{Op: isa.OpLoad, A: isa.I(int32(100 + fu*16 + r.Intn(16))), B: isa.I(0), Dest: dest(fu)}
+				} else {
+					pc.Data = isa.DataOp{Op: isa.OpStore, A: operand(), B: isa.I(int32(100 + fu*16 + r.Intn(16)))}
+				}
+			case 4:
+				pc.Data = isa.DataOp{Op: isa.OpIDiv, A: operand(), B: isa.I(int32(r.Intn(4) - 1)), Dest: dest(fu)}
+			default:
+				pc.Data = isa.DataOp{Op: ops[r.Intn(len(ops))], A: operand(), B: operand(), Dest: dest(fu)}
+			}
+			if r.Intn(3) == 0 {
+				pc.Sync = isa.Done
+			}
+			if addr == n-1 {
+				pc.Ctrl = isa.Halt()
+				p.Instrs[addr][fu] = pc
+				continue
+			}
+			fwd := func() isa.Addr { return isa.Addr(addr + 1 + r.Intn(n-addr-1)) }
+			tgt := func() isa.Addr {
+				if r.Intn(6) == 0 {
+					return isa.Addr(addr) // spin wait: long runs
+				}
+				return fwd()
+			}
+			switch r.Intn(8) {
+			case 0:
+				pc.Ctrl = isa.Halt()
+			case 1:
+				pc.Ctrl = isa.IfCC(uint8(r.Intn(numFU)), fwd(), tgt())
+			case 2:
+				pc.Ctrl = isa.IfNotCC(uint8(r.Intn(numFU)), fwd(), tgt())
+			case 3:
+				pc.Ctrl = isa.IfSS(uint8(r.Intn(numFU)), fwd(), tgt())
+			case 4:
+				pc.Ctrl = isa.IfAllSS(fwd(), tgt())
+			default:
+				pc.Ctrl = isa.Goto(fwd())
+			}
+			p.Instrs[addr][fu] = pc
+		}
+	}
+	return p
+}
+
+// genCkptVLIW builds a random VLIW-style XIMD program (identical
+// control in every parcel, distinct destinations per word) that
+// Load(ArchVLIW, ·) accepts, with spin-wait branches for long runs.
+func genCkptVLIW(r *rand.Rand) *isa.Program {
+	numFU := 1 + r.Intn(isa.NumFU)
+	n := 4 + r.Intn(20)
+	p := &isa.Program{NumFU: numFU, Instrs: make([]isa.Instruction, n)}
+	operand := func() isa.Operand {
+		if r.Intn(2) == 0 {
+			return isa.R(uint8(r.Intn(12)))
+		}
+		return isa.I(int32(r.Intn(2001) - 1000))
+	}
+	ops := []isa.Opcode{
+		isa.OpIAdd, isa.OpISub, isa.OpIMult, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpShl, isa.OpFAdd, isa.OpFMult,
+	}
+	cmps := []isa.Opcode{isa.OpEq, isa.OpNe, isa.OpLt, isa.OpGe}
+	for addr := 0; addr < n; addr++ {
+		usedDest := map[uint8]bool{}
+		freshDest := func() uint8 {
+			d := uint8(r.Intn(12))
+			for usedDest[d] {
+				d = uint8(r.Intn(12))
+			}
+			usedDest[d] = true
+			return d
+		}
+		var ctrl isa.CtrlOp
+		if addr == n-1 {
+			ctrl = isa.Halt()
+		} else {
+			fwd := isa.Addr(addr + 1 + r.Intn(n-addr-1))
+			switch r.Intn(8) {
+			case 0:
+				ctrl = isa.Halt()
+			case 1, 2:
+				tgt := fwd
+				if r.Intn(6) == 0 {
+					tgt = isa.Addr(addr) // spin wait: long runs
+				}
+				if r.Intn(2) == 0 {
+					ctrl = isa.IfCC(uint8(r.Intn(numFU)), fwd, tgt)
+				} else {
+					ctrl = isa.IfNotCC(uint8(r.Intn(numFU)), fwd, tgt)
+				}
+			default:
+				ctrl = isa.Goto(fwd)
+			}
+		}
+		for fu := 0; fu < numFU; fu++ {
+			var pc isa.Parcel
+			switch r.Intn(8) {
+			case 0:
+				pc.Data = isa.Nop
+			case 1:
+				pc.Data = isa.DataOp{Op: cmps[r.Intn(len(cmps))], A: operand(), B: operand()}
+			case 2:
+				if r.Intn(2) == 0 {
+					pc.Data = isa.DataOp{Op: isa.OpLoad, A: isa.I(int32(100 + fu*16 + r.Intn(16))), B: isa.I(0), Dest: freshDest()}
+				} else {
+					pc.Data = isa.DataOp{Op: isa.OpStore, A: operand(), B: isa.I(int32(100 + fu*16 + r.Intn(16)))}
+				}
+			case 3:
+				pc.Data = isa.DataOp{Op: isa.OpIDiv, A: operand(), B: isa.I(int32(r.Intn(4) - 1)), Dest: freshDest()}
+			default:
+				pc.Data = isa.DataOp{Op: ops[r.Intn(len(ops))], A: operand(), B: operand(), Dest: freshDest()}
+			}
+			pc.Ctrl = ctrl
+			p.Instrs[addr][fu] = pc
+		}
+	}
+	return p
+}
+
+// ckptDoc runs (or resumes) and returns the result document JSON plus
+// the error text — the full observable outcome of a run.
+func ckptDoc(t *testing.T, prog *Program, spec Spec, opts Options, from *ckpt.Checkpoint) (string, string) {
+	t.Helper()
+	peeks := []hostcfg.MemPeek{{Base: 100, N: 48}}
+	var res Result
+	var err error
+	if from != nil {
+		res, err = Resume(context.Background(), prog, spec, opts, from)
+	} else {
+		res, err = Run(context.Background(), prog, spec, opts)
+	}
+	doc := NewResultDoc(res, peeks, true)
+	b, merr := json.Marshal(doc)
+	if merr != nil {
+		t.Fatalf("marshal doc: %v", merr)
+	}
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	}
+	return string(b), errText
+}
+
+// TestKillAndResumeDeterminism exercises the resume guarantee over at
+// least 100 random programs that actually cross checkpoint boundaries,
+// split across both architectures and alternating fault injection.
+func TestKillAndResumeDeterminism(t *testing.T) {
+	r := rand.New(rand.NewSource(4021))
+	const want = 100
+	tested := 0
+	for iter := 0; tested < want; iter++ {
+		if iter >= 40*want {
+			t.Fatalf("only %d/%d generated programs crossed a checkpoint boundary", tested, want)
+		}
+		arch := ArchXIMD
+		gen := genCkptXIMD
+		if iter%2 == 1 {
+			arch = ArchVLIW
+			gen = genCkptVLIW
+		}
+		var buf bytes.Buffer
+		if err := isa.WriteProgram(&buf, gen(r)); err != nil {
+			continue // generator produced an invalid program; try another
+		}
+		image := buf.Bytes()
+		prog, err := Load(arch, image)
+		if err != nil {
+			continue
+		}
+		spec := Spec{
+			MaxCycles:         2000,
+			Seed:              int64(iter),
+			TolerateConflicts: iter%4 < 2,
+			RegPokes:          []hostcfg.RegPoke{{Reg: 1, Val: 7}, {Reg: 2, Val: -3}},
+			MemPokes:          []hostcfg.MemPoke{{Base: 100, Vals: []int32{5, 6, 7, 8}}},
+		}
+		if iter%4 >= 2 {
+			spec.Inject = "lat=uniform:0:3,drop=0.01,nak=0.005,flip=0.002"
+		}
+
+		refDoc, refErr := ckptDoc(t, prog, spec, Options{}, nil)
+
+		// Checkpointed run: every snapshot goes through the durable byte
+		// format, accumulating the exact file a crash would leave behind.
+		var file []byte
+		var count int
+		opts := Options{
+			CheckpointEvery: 128,
+			Checkpoint: func(c *ckpt.Checkpoint) {
+				payload, err := c.Encode()
+				if err != nil {
+					t.Fatalf("iter %d: encode checkpoint: %v", iter, err)
+				}
+				file = ckpt.AppendFrame(file, payload)
+				count++
+			},
+		}
+		ckDoc, ckErr := ckptDoc(t, prog, spec, opts, nil)
+		if ckDoc != refDoc || ckErr != refErr {
+			t.Fatalf("iter %d (%s): checkpointing perturbed the run:\nref doc %s err %q\nckp doc %s err %q",
+				iter, arch, refDoc, refErr, ckDoc, ckErr)
+		}
+		if count == 0 {
+			continue // run too short to checkpoint; doesn't count toward quota
+		}
+
+		payloads, _, torn := ckpt.ScanFrames(file)
+		if torn || len(payloads) != count {
+			t.Fatalf("iter %d: wrote %d frames, scanned %d (torn=%v)", iter, count, len(payloads), torn)
+		}
+		// Resume from the newest checkpoint (what a real crash-restart
+		// loads) and from a mid-run one (an older interruption point).
+		picks := []int{len(payloads) - 1}
+		if len(payloads) > 1 {
+			picks = append(picks, len(payloads)/2)
+		}
+		for _, pi := range picks {
+			c, err := ckpt.Decode(payloads[pi])
+			if err != nil {
+				t.Fatalf("iter %d: decode checkpoint %d: %v", iter, pi, err)
+			}
+			fresh, err := Load(arch, image) // a restarted process re-loads the program
+			if err != nil {
+				t.Fatalf("iter %d: reload: %v", iter, err)
+			}
+			gotDoc, gotErr := ckptDoc(t, fresh, spec, Options{}, c)
+			if gotDoc != refDoc || gotErr != refErr {
+				t.Fatalf("iter %d (%s): resume from checkpoint %d/%d (cycle %d) diverged:\nref doc %s err %q\ngot doc %s err %q",
+					iter, arch, pi, len(payloads), c.Cycle, refDoc, refErr, gotDoc, gotErr)
+			}
+		}
+		tested++
+	}
+}
+
+// TestResumeRejectsMismatches covers the guard rails: wrong
+// architecture, missing checkpoint, tracing.
+func TestResumeRejectsMismatches(t *testing.T) {
+	src := []byte(".fus 1\n.fu 0\nloop:\n\tiadd r1, #1, r1\n\t=> goto loop\n")
+	prog, err := Load(ArchXIMD, src)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	spec := Spec{MaxCycles: 200}
+	var last *ckpt.Checkpoint
+	_, err = Run(context.Background(), prog, spec, Options{
+		CheckpointEvery: 16,
+		Checkpoint:      func(c *ckpt.Checkpoint) { last = c },
+	})
+	if err == nil {
+		t.Fatal("expected cycle-limit error")
+	}
+	if last == nil {
+		t.Fatal("no checkpoint taken")
+	}
+
+	if _, err := Resume(context.Background(), prog, spec, Options{}, nil); ExitCode(err) != ExitUsage {
+		t.Errorf("nil checkpoint: got %v", err)
+	}
+	bad := *last
+	bad.Arch = string(ArchVLIW)
+	if _, err := Resume(context.Background(), prog, spec, Options{}, &bad); ExitCode(err) != ExitUsage {
+		t.Errorf("arch mismatch: got %v", err)
+	}
+	if _, err := Resume(context.Background(), prog, spec, Options{Trace: true}, last); ExitCode(err) != ExitUsage {
+		t.Errorf("trace on resume: got %v", err)
+	}
+	if _, err := Run(context.Background(), prog, spec, Options{Trace: true, CheckpointEvery: 8, Checkpoint: func(*ckpt.Checkpoint) {}}); ExitCode(err) != ExitUsage {
+		t.Errorf("trace with checkpointing: got %v", err)
+	}
+	if _, err := Run(context.Background(), prog, spec, Options{CheckpointEvery: 8}); ExitCode(err) != ExitUsage {
+		t.Errorf("missing sink: got %v", err)
+	}
+}

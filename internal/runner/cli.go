@@ -2,11 +2,14 @@ package runner
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"ximd/internal/ckpt"
 	"ximd/internal/hostcfg"
 	"ximd/internal/trace"
 )
@@ -31,6 +34,9 @@ func CLIMain(tool string, arch Arch) {
 	flag.Uint64Var(maxCycles, "max-cycles", 0, "cycle limit (0 = default; alias of -max)")
 	seed := flag.Int64("seed", 0, "fault-injection seed (used with -inject)")
 	injectSpec := flag.String("inject", "", "fault injection spec, e.g. lat=uniform:0:4,nak=0.001,fufail=2@100")
+	ckptFile := flag.String("checkpoint", "", "append periodic run checkpoints to FILE (resume with -resume)")
+	ckptEvery := flag.Uint64("checkpoint-every", defaultCLICheckpointEvery, "checkpoint interval in machine cycles (with -checkpoint)")
+	resumeFile := flag.String("resume", "", "resume the run from the newest checkpoint in FILE")
 	jsonOut := flag.Bool("json", false, "emit the result as the ximdd service's stats JSON document")
 	profile := flag.Bool("profile", false, "report the per-FU stall-attribution profile (table, or a profile block with -json)")
 	var doTrace, timeline, tolerate *bool
@@ -74,7 +80,56 @@ func CLIMain(tool string, arch Arch) {
 	if doTrace != nil && (*doTrace || *timeline) {
 		opts.Trace = true
 	}
-	res, err := Run(context.Background(), prog, spec, opts)
+
+	// The checkpoint binding key ties a checkpoint file to the run that
+	// wrote it: same program bytes, arch, and spec -> same key, so a
+	// -resume against a different invocation is refused instead of
+	// restoring state into the wrong machine.
+	key := cliCheckpointKey(arch, source, spec)
+	var from *ckpt.Checkpoint
+	if *resumeFile != "" {
+		if from, err = loadCLICheckpoint(*resumeFile); err != nil {
+			fatal(ExitCode(err), err)
+		}
+		if from.Key != key {
+			fatal(ExitUsage, fmt.Errorf("checkpoint %s was written by a different run (program, arch, or spec changed)", *resumeFile))
+		}
+	}
+	if *ckptFile != "" {
+		f, err := os.OpenFile(*ckptFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(ExitLoad, err)
+		}
+		defer f.Close()
+		opts.CheckpointEvery = *ckptEvery
+		failed := false
+		opts.Checkpoint = func(c *ckpt.Checkpoint) {
+			if failed {
+				return
+			}
+			c.Key = key
+			payload, err := c.Encode()
+			if err == nil {
+				_, err = f.Write(ckpt.AppendFrame(nil, payload))
+			}
+			if err == nil {
+				err = f.Sync()
+			}
+			if err != nil {
+				// Degrade the checkpoint cadence, never the run; a torn
+				// tail from a later crash is handled by -resume anyway.
+				fmt.Fprintf(os.Stderr, "%s: checkpoint: %v (checkpointing disabled)\n", tool, err)
+				failed = true
+			}
+		}
+	}
+
+	var res Result
+	if from != nil {
+		res, err = Resume(context.Background(), prog, spec, opts, from)
+	} else {
+		res, err = Run(context.Background(), prog, spec, opts)
+	}
 	if err != nil {
 		fatal(ExitCode(err), err)
 	}
@@ -108,4 +163,44 @@ func CLIMain(tool string, arch Arch) {
 	for _, p := range pk {
 		fmt.Printf("M(%d..%d) = %v\n", p.Base, p.Base+uint32(p.N)-1, res.Memory.PeekInts(p.Base, p.N))
 	}
+}
+
+// defaultCLICheckpointEvery matches the service's default interval
+// (serve.DefaultCheckpointEvery cannot be imported here — serve depends
+// on runner): under a second of simulated work lost at worst, save
+// cost well under the 2% overhead budget.
+const defaultCLICheckpointEvery = 1 << 23
+
+// cliCheckpointKey digests everything that determines the run's
+// outcome. Spec is a plain struct (fixed JSON field order, no maps), so
+// the digest is stable across invocations and platforms.
+func cliCheckpointKey(arch Arch, source []byte, spec Spec) string {
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		panic(fmt.Sprintf("runner: spec marshal: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(arch))
+	h.Write([]byte{0})
+	h.Write(source)
+	h.Write([]byte{0})
+	h.Write(specJSON)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadCLICheckpoint reads a -checkpoint file and returns its newest
+// decodable checkpoint, skipping a torn tail (the file is append-only,
+// so a crash mid-write only ever damages the end).
+func loadCLICheckpoint(path string) (*ckpt.Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &LoadError{Err: err}
+	}
+	payloads, _, _ := ckpt.ScanFrames(data)
+	for i := len(payloads) - 1; i >= 0; i-- {
+		if c, err := ckpt.Decode(payloads[i]); err == nil {
+			return c, nil
+		}
+	}
+	return nil, &LoadError{Err: fmt.Errorf("%s holds no usable checkpoint", path)}
 }

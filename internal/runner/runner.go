@@ -31,6 +31,7 @@ import (
 	"fmt"
 
 	"ximd/internal/asm"
+	"ximd/internal/ckpt"
 	"ximd/internal/core"
 	"ximd/internal/hostcfg"
 	"ximd/internal/inject"
@@ -205,6 +206,19 @@ type Options struct {
 	// final window of architectural state is available postmortem
 	// without recording the whole run.
 	FlightCycles int
+	// CheckpointEvery, when positive, takes a durable-checkpoint
+	// snapshot every CheckpointEvery cycles — at exact cycle boundaries,
+	// which bulk stepping honors (StepN clamps fused superop runs) — and
+	// hands each to the Checkpoint sink. Incompatible with Trace: a
+	// resumed run cannot reconstruct the trace records recorded before
+	// the snapshot, so a traced run could not honor the byte-identical
+	// resume contract.
+	CheckpointEvery uint64
+	// Checkpoint receives each periodic snapshot when CheckpointEvery is
+	// positive. The sink owns persistence and error accounting (the
+	// service binds it to a ckpt.Store); the runner continues regardless
+	// of what the sink does. Required when CheckpointEvery > 0.
+	Checkpoint func(*ckpt.Checkpoint)
 }
 
 // Result is what a run produces. Stats is a deep-copied snapshot;
@@ -231,10 +245,49 @@ const ctxCheckInterval = 4096
 // (sweep.Options.TaskTimeout, service shutdown) abort promptly; the
 // context's error is returned as a simulation-class failure.
 func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, error) {
+	return execute(ctx, prog, spec, opts, nil)
+}
+
+// Resume restores a durable checkpoint and continues the run to
+// completion. Because a run is a pure function of (program, spec) and
+// the checkpoint carries the complete machine state — including the
+// injector's attempt salt, so fault redraws replay — the returned
+// Result is byte-for-byte what an uninterrupted Run would have
+// produced. Spec and prog must be the run the checkpoint was taken
+// from; the caller binds them via Checkpoint.Key (the runner only
+// checks the architecture and state geometry). Trace is rejected as in
+// checkpointed runs; a flight recorder attaches but its window covers
+// only post-resume cycles.
+func Resume(ctx context.Context, prog *Program, spec Spec, opts Options, from *ckpt.Checkpoint) (Result, error) {
+	if from == nil {
+		return Result{Arch: prog.arch, Memory: mem.NewShared(0)}, &UsageError{Err: fmt.Errorf("resume without a checkpoint")}
+	}
+	if from.Arch != string(prog.arch) {
+		return Result{Arch: prog.arch, Memory: mem.NewShared(0)}, &UsageError{Err: fmt.Errorf("checkpoint is for arch %q, program is %q", from.Arch, prog.arch)}
+	}
+	return execute(ctx, prog, spec, opts, from)
+}
+
+// execute is the shared body of Run and Resume: build the machine,
+// optionally restore a checkpoint into it, and drive it to a terminal
+// state with periodic context checks and checkpoint snapshots.
+func execute(ctx context.Context, prog *Program, spec Spec, opts Options, from *ckpt.Checkpoint) (Result, error) {
 	res := Result{Arch: prog.arch, Memory: mem.NewShared(0)}
+	if opts.Trace && (opts.CheckpointEvery > 0 || from != nil) {
+		return res, &UsageError{Err: fmt.Errorf("tracing is incompatible with checkpoint/resume: pre-checkpoint trace records cannot be reconstructed")}
+	}
+	if opts.CheckpointEvery > 0 && opts.Checkpoint == nil {
+		return res, &UsageError{Err: fmt.Errorf("CheckpointEvery set without a Checkpoint sink")}
+	}
 	injector, err := specInjector(spec)
 	if err != nil {
 		return res, err
+	}
+	if from != nil && injector != nil {
+		// Restore the retry salt: transient fault draws are keyed on
+		// (seed, attempt, cycle, FU, addr), so the resumed timeline
+		// replays the interrupted one's faults exactly.
+		injector.SetAttempt(from.Attempt)
 	}
 
 	var rec *trace.Recorder
@@ -243,6 +296,14 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 	var stepN func(uint64) (bool, error)
 	var cycles func() uint64
 	var stats func() core.Stats
+	var snap func() (*ckpt.Checkpoint, error)
+
+	attempt := func() uint64 {
+		if injector != nil {
+			return injector.Attempt()
+		}
+		return 0
+	}
 
 	// The flight recorder only needs its own tracer when a full trace is
 	// not already being recorded; with Trace on, the flight window is the
@@ -270,8 +331,24 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 		if err != nil {
 			return res, &UsageError{Err: err}
 		}
-		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		if from != nil {
+			if from.Vliw == nil {
+				return res, &UsageError{Err: fmt.Errorf("checkpoint carries no vliw snapshot")}
+			}
+			if err := m.Restore(from.Vliw); err != nil {
+				return res, &UsageError{Err: err}
+			}
+		} else {
+			hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		}
 		stepN, cycles, stats = m.StepN, m.Cycle, m.Stats
+		snap = func() (*ckpt.Checkpoint, error) {
+			s, err := m.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return &ckpt.Checkpoint{Arch: string(ArchVLIW), Cycle: m.Cycle(), Attempt: attempt(), Vliw: s}, nil
+		}
 	default:
 		cfg := core.Config{
 			Memory:            res.Memory,
@@ -290,11 +367,31 @@ func Run(ctx context.Context, prog *Program, spec Spec, opts Options) (Result, e
 		if err != nil {
 			return res, &UsageError{Err: err}
 		}
-		hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		if from != nil {
+			if from.Ximd == nil {
+				return res, &UsageError{Err: fmt.Errorf("checkpoint carries no ximd snapshot")}
+			}
+			if err := m.Restore(from.Ximd); err != nil {
+				return res, &UsageError{Err: err}
+			}
+		} else {
+			hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
+		}
 		stepN, cycles, stats = m.StepN, m.Cycle, m.Stats
+		snap = func() (*ckpt.Checkpoint, error) {
+			s, err := m.Snapshot()
+			if err != nil {
+				return nil, err
+			}
+			return &ckpt.Checkpoint{Arch: string(ArchXIMD), Cycle: m.Cycle(), Attempt: attempt(), Ximd: s}, nil
+		}
 	}
 
-	err = runLoop(ctx, stepN)
+	if opts.CheckpointEvery > 0 {
+		err = checkpointLoop(ctx, stepN, cycles, snap, opts.CheckpointEvery, opts.Checkpoint)
+	} else {
+		err = runLoop(ctx, stepN)
+	}
 	res.Cycles = cycles()
 	res.Stats = stats()
 	if rec != nil {
@@ -464,6 +561,46 @@ func runLoop(ctx context.Context, stepN func(uint64) (bool, error)) error {
 		}
 		if !running {
 			return nil
+		}
+	}
+}
+
+// checkpointLoop is runLoop with periodic snapshots: batches are
+// clamped so the machine lands exactly on every multiple of `every`,
+// where a snapshot is taken and handed to the sink. Alignment is to
+// absolute cycle numbers, not to the loop's starting point, so a
+// resumed run checkpoints at the same boundaries the interrupted run
+// did. A snapshot failure (a memory model that cannot checkpoint)
+// disables further snapshots for the run rather than failing it:
+// losing resumability must not lose the result.
+func checkpointLoop(ctx context.Context, stepN func(uint64) (bool, error), cycles func() uint64, snap func() (*ckpt.Checkpoint, error), every uint64, sink func(*ckpt.Checkpoint)) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur := cycles()
+		n := uint64(ctxCheckInterval)
+		if every > 0 {
+			if toBoundary := every - cur%every; toBoundary < n {
+				n = toBoundary
+			}
+		}
+		running, err := stepN(n)
+		if err != nil {
+			return err
+		}
+		if !running {
+			return nil
+		}
+		if every > 0 {
+			if c := cycles(); c > 0 && c%every == 0 {
+				chk, err := snap()
+				if err != nil {
+					every = 0
+					continue
+				}
+				sink(chk)
+			}
 		}
 	}
 }

@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ximd/internal/ckpt"
+)
+
+// The write-ahead job journal. Every lifecycle transition of a job is
+// appended — and fsynced — to StateDir/jobs.log before the transition
+// is acknowledged to anyone:
+//
+//	accepted  written before the 202 response (carries the full
+//	          JobRequest, so a restarted process can rebuild the job)
+//	started   written before execution begins (tells recovery to look
+//	          for a checkpoint rather than plain re-enqueue)
+//	terminal  written after the run archive append, before the
+//	          done/failed state is published (tells recovery the job
+//	          needs nothing)
+//
+// The file uses the archive.log/ckpt frame format (length + CRC32 +
+// payload, payloads are single JSON objects), so kill -9 can only
+// leave a torn tail, which replay discards. Replay reduces the record
+// stream to the set of accepted-but-not-terminal jobs in acceptance
+// order; the journal is then compacted to exactly those records, so
+// its size is bounded by the live job set across restarts, and
+// compacted again periodically at runtime as terminal records
+// accumulate.
+
+// journalRecord is one journal entry. Req is only present on
+// "accepted" records.
+type journalRecord struct {
+	T   string      `json:"t"`
+	ID  string      `json:"id"`
+	Req *JobRequest `json:"req,omitempty"`
+}
+
+const (
+	journalAccepted = "accepted"
+	journalStarted  = "started"
+	journalTerminal = "terminal"
+)
+
+// journalCompactEvery bounds runtime growth: after this many appended
+// frames the manager rewrites the journal down to the live job set.
+const journalCompactEvery = 4096
+
+// replayJob is one journaled job that never reached a terminal state:
+// what a crash left behind and recovery must finish.
+type replayJob struct {
+	id      string
+	req     JobRequest
+	started bool
+}
+
+// journal is the open write-ahead log.
+type journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	appends int // frames since the last compaction
+}
+
+// openJournal opens (creating if absent) the journal, replays it, and
+// compacts it to the pending set it returns. maxID is the largest
+// numeric suffix among all journaled "j-N" ids, terminal ones
+// included — the restarted process must never reissue an id a client
+// may still be polling.
+func openJournal(path string) (j *journal, pending []replayJob, maxID uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, 0, fmt.Errorf("serve: journal: %w", err)
+	}
+	payloads, _, _ := ckpt.ScanFrames(data)
+
+	type entry struct {
+		req     JobRequest
+		started bool
+	}
+	order := []string{}
+	live := map[string]*entry{}
+	for _, p := range payloads {
+		var rec journalRecord
+		if err := json.Unmarshal(p, &rec); err != nil || rec.ID == "" {
+			continue // a corrupt-but-CRC-valid frame cannot occur from our writer; skip defensively
+		}
+		if n, ok := strings.CutPrefix(rec.ID, "j-"); ok {
+			if v, err := strconv.ParseUint(n, 10, 64); err == nil && v > maxID {
+				maxID = v
+			}
+		}
+		switch rec.T {
+		case journalAccepted:
+			if _, dup := live[rec.ID]; dup || rec.Req == nil {
+				continue
+			}
+			live[rec.ID] = &entry{req: *rec.Req}
+			order = append(order, rec.ID)
+		case journalStarted:
+			if e, ok := live[rec.ID]; ok {
+				e.started = true
+			}
+		case journalTerminal:
+			delete(live, rec.ID)
+		}
+	}
+	for _, id := range order {
+		if e, ok := live[id]; ok {
+			pending = append(pending, replayJob{id: id, req: e.req, started: e.started})
+		}
+	}
+
+	j = &journal{path: path}
+	// Compact to the pending set: replay-of-replay sees the same state,
+	// and the terminal records of finished jobs stop accumulating.
+	var buf []byte
+	for _, p := range pending {
+		req := p.req
+		buf = appendJournalFrame(buf, journalRecord{T: journalAccepted, ID: p.id, Req: &req})
+		if p.started {
+			buf = appendJournalFrame(buf, journalRecord{T: journalStarted, ID: p.id})
+		}
+	}
+	if err := j.rewrite(buf); err != nil {
+		return nil, nil, 0, err
+	}
+	return j, pending, maxID, nil
+}
+
+func appendJournalFrame(dst []byte, rec journalRecord) []byte {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		// journalRecord marshals unconditionally; a failure here is a
+		// programming error, not a runtime condition.
+		panic(fmt.Sprintf("serve: journal marshal: %v", err))
+	}
+	return ckpt.AppendFrame(dst, payload)
+}
+
+// rewrite atomically replaces the journal file with data and reopens
+// the append handle: temp + fsync + rename + dir fsync, so a crash at
+// any point leaves either the old or the new journal, never a partial.
+func (j *journal) rewrite(data []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+	tmp := j.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := ckpt.SyncDir(filepath.Dir(j.path)); err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	af, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("serve: journal: %w", err)
+	}
+	j.f = af
+	j.appends = 0
+	return nil
+}
+
+// append durably adds one record. On return the record is fsynced: the
+// transition it describes may now be acknowledged. Returns whether the
+// journal has grown enough that the owner should compact it.
+func (j *journal) append(rec journalRecord) (wantCompact bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return false, fmt.Errorf("serve: journal is closed")
+	}
+	if _, err := j.f.Write(appendJournalFrame(nil, rec)); err != nil {
+		return false, fmt.Errorf("serve: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return false, fmt.Errorf("serve: journal: %w", err)
+	}
+	j.appends++
+	return j.appends >= journalCompactEvery, nil
+}
+
+// compact rewrites the journal to exactly the given live set.
+func (j *journal) compact(pending []replayJob) error {
+	var buf []byte
+	for _, p := range pending {
+		req := p.req
+		buf = appendJournalFrame(buf, journalRecord{T: journalAccepted, ID: p.id, Req: &req})
+		if p.started {
+			buf = appendJournalFrame(buf, journalRecord{T: journalStarted, ID: p.id})
+		}
+	}
+	return j.rewrite(buf)
+}
+
+// close releases the append handle. Journaled state is already
+// durable.
+func (j *journal) close() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+		j.f = nil
+	}
+}

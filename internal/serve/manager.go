@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ximd/internal/archive"
+	"ximd/internal/ckpt"
 	"ximd/internal/hostcfg"
 	"ximd/internal/runner"
 	"ximd/internal/sweep"
@@ -53,6 +56,17 @@ type job struct {
 	// key's inject axis), fixed at submit.
 	canonInject string
 	decodeDur   time.Duration
+	// req is the validated request the job was built from, kept for the
+	// write-ahead journal: an "accepted" record carries it verbatim so a
+	// restarted process can rebuild this job. nil when journaling is off.
+	req *JobRequest
+	// ckptKey binds this job's durable checkpoints to its identity (a
+	// digest of the canonical request JSON). A checkpoint on disk whose
+	// Key differs belongs to a different run and must not be restored.
+	ckptKey string
+	// ckpt is the recovered checkpoint to resume from, set only on jobs
+	// rebuilt by crash recovery that had a valid checkpoint on disk.
+	ckpt *ckpt.Checkpoint
 
 	// Mutated under the manager's lock only. The time.Time fields keep
 	// their monotonic reading (they are only ever subtracted, never
@@ -99,6 +113,14 @@ type manager struct {
 	// and sweep tasks are appended at completion.
 	arch *archive.Archive
 
+	// Durable job state (nil = disabled): jnl is the write-ahead job
+	// journal, ckpts the per-job checkpoint store, ckptEvery the
+	// snapshot interval in cycles. Set before the workers start and
+	// never reassigned.
+	jnl       *journal
+	ckpts     *ckpt.Store
+	ckptEvery uint64
+
 	// now is the clock for job timestamps, swappable in tests. It is
 	// only read under mu; the time.Time values it returns are only ever
 	// subtracted, so with the real clock span durations ride the
@@ -136,12 +158,17 @@ func newManager(opts Options) *manager {
 			func() float64 { return float64(m.arch.Len()) })
 	}
 	m.rootCtx, m.cancel = context.WithCancel(context.Background())
+	return m
+}
 
+// start launches the worker pool. Separate from newManager so the
+// caller can attach durable job state (journal, checkpoint store,
+// recovered jobs) before any worker can observe it.
+func (m *manager) start() {
 	m.wg.Add(m.workers)
 	for i := 0; i < m.workers; i++ {
 		go m.worker()
 	}
-	return m
 }
 
 // loadProgram resolves the submitted program bytes through the
@@ -169,7 +196,14 @@ func (m *manager) loadProgram(arch runner.Arch, source []byte) (*runner.Program,
 
 // submit enqueues a prepared job. It fails with ErrShuttingDown after
 // Shutdown began and ErrQueueFull when the bounded queue is at
-// capacity — the caller maps those to 503 and 429.
+// capacity — the caller maps those to 503 and 429. With durable job
+// state enabled, the "accepted" journal record is fsynced before the
+// job becomes visible anywhere: a 202 response is a promise the job
+// survives kill -9, so the write-ahead append has to precede it. The
+// capacity check moves ahead of the append (only this function sends
+// on the queue, and it holds the lock, so the later send cannot
+// block): a 429'd submission must not leave a journaled ghost for
+// recovery to replay.
 func (m *manager) submit(j *job) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -177,20 +211,43 @@ func (m *manager) submit(j *job) error {
 		m.met.rejectedClosed.Inc()
 		return ErrShuttingDown
 	}
-	m.nextID++
-	j.id = "j-" + strconv.FormatUint(m.nextID, 10)
-	j.state = StateQueued
-	j.submitted = m.now()
-	select {
-	case m.queue <- j:
-	default:
+	if len(m.queue) == cap(m.queue) {
 		m.met.rejectedFull.Inc()
 		return ErrQueueFull
 	}
+	m.nextID++
+	j.id = "j-" + strconv.FormatUint(m.nextID, 10)
+	if m.jnl != nil {
+		if _, err := m.jnl.append(journalRecord{T: journalAccepted, ID: j.id, Req: j.req}); err != nil {
+			// The durability promise cannot be kept; reject rather than
+			// accept a job a crash would silently lose.
+			return fmt.Errorf("serve: write-ahead journal: %w", err)
+		}
+	}
+	j.state = StateQueued
+	j.submitted = m.now()
+	m.queue <- j
 	m.jobs[j.id] = j
 	m.met.jobsTotal.Inc()
 	m.met.queued.Add(1)
 	return nil
+}
+
+// requeue re-enqueues one crash-recovered job under its original id —
+// clients polling that id across the restart keep getting answers. No
+// journal append: the job's "accepted" record is exactly what replay
+// just read. The caller sized the queue to hold the full recovered
+// set, so the send cannot block.
+func (m *manager) requeue(j *job, id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.id = id
+	j.state = StateQueued
+	j.submitted = m.now()
+	m.queue <- j
+	m.jobs[j.id] = j
+	m.met.jobsTotal.Inc()
+	m.met.queued.Add(1)
 }
 
 // worker drains the queue until it is closed, executing each job as a
@@ -200,13 +257,40 @@ func (m *manager) worker() {
 	defer m.wg.Done()
 	for j := range m.queue {
 		m.setRunning(j)
+		if m.jnl != nil {
+			// Advisory: a lost "started" record only costs recovery the
+			// requeued-vs-rerun distinction, never correctness, so an
+			// append failure does not block the run.
+			_, _ = m.jnl.append(journalRecord{T: journalStarted, ID: j.id})
+		}
+		ropts := runner.Options{
+			Trace:        j.trace,
+			FlightCycles: j.flight,
+		}
+		if m.ckpts != nil && !j.trace {
+			// Traced jobs never checkpoint: a resumed run cannot
+			// reconstruct the pre-crash trace records, so recovery reruns
+			// them cold instead (deterministic, so the client cannot tell).
+			ropts.CheckpointEvery = m.ckptEvery
+			ropts.Checkpoint = func(c *ckpt.Checkpoint) { m.saveCheckpoint(j, c) }
+		}
 		var res runner.Result
 		task := sweep.Task{Name: j.id, Run: func(ctx context.Context) (sweep.Outcome, error) {
 			var err error
-			res, err = runner.Run(ctx, j.prog, j.spec, runner.Options{
-				Trace:        j.trace,
-				FlightCycles: j.flight,
-			})
+			if j.ckpt != nil {
+				res, err = runner.Resume(ctx, j.prog, j.spec, ropts, j.ckpt)
+				var ue *runner.UsageError
+				if errors.As(err, &ue) {
+					// The checkpoint did not fit the rebuilt machine
+					// (format drift the Key check could not see). The
+					// determinism contract makes rerunning from cycle 0
+					// indistinguishable, minus the saved work.
+					m.met.jobsColdRun.Inc()
+					res, err = runner.Run(ctx, j.prog, j.spec, ropts)
+				}
+			} else {
+				res, err = runner.Run(ctx, j.prog, j.spec, ropts)
+			}
 			if err != nil {
 				return sweep.Outcome{}, err
 			}
@@ -218,6 +302,21 @@ func (m *manager) worker() {
 		})
 		m.finish(j, res, results[0].Err, results[0].Duration)
 	}
+}
+
+// saveCheckpoint persists one periodic snapshot, stamping the job's
+// binding key first. Failures degrade resumability, never the run.
+func (m *manager) saveCheckpoint(j *job, c *ckpt.Checkpoint) {
+	c.Key = j.ckptKey
+	start := time.Now()
+	n, err := m.ckpts.Save(j.id, c)
+	m.met.ckptSaveSecs.Observe(time.Since(start).Seconds())
+	if err != nil {
+		m.met.ckptErrs.Inc()
+		return
+	}
+	m.met.ckptWrites.Inc()
+	m.met.ckptBytes.Add(uint64(n))
 }
 
 func (m *manager) setRunning(j *job) {
@@ -282,6 +381,24 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 	m.mu.Unlock()
 
 	m.archiveJob(j)
+
+	// Durable terminal protocol, still before the state flip: journal
+	// the terminal record, then delete the checkpoint. A crash between
+	// the two replays the job as terminal (correct — the archive append
+	// above already happened) and recovery sweeps the orphaned
+	// checkpoint file. The reverse order could journal nothing and
+	// delete the checkpoint, downgrading a resumable job to a cold
+	// rerun — safe too, but strictly worse.
+	if m.jnl != nil {
+		if wantCompact, err := m.jnl.append(journalRecord{T: journalTerminal, ID: j.id}); err == nil && wantCompact {
+			_ = m.jnl.compact(m.pendingForJournal())
+		}
+	}
+	if m.ckpts != nil {
+		if err := m.ckpts.Delete(j.id); err != nil {
+			m.met.ckptErrs.Inc()
+		}
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -411,6 +528,28 @@ func (m *manager) spanLines(j *job) (State, []SpanLine) {
 	return j.state, j.spans
 }
 
+// pendingForJournal snapshots the live (non-terminal) job set in id
+// order for journal compaction. A job racing from queued to running
+// around this snapshot may lose its "started" record to the rewrite;
+// recovery tolerates that — it probes the checkpoint store for every
+// pending job, started or not.
+func (m *manager) pendingForJournal() []replayJob {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []replayJob
+	for _, j := range m.jobs {
+		if (j.state == StateQueued || j.state == StateRunning) && j.req != nil {
+			out = append(out, replayJob{id: j.id, req: *j.req, started: j.state == StateRunning})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		na, _ := strconv.ParseUint(strings.TrimPrefix(out[a].id, "j-"), 10, 64)
+		nb, _ := strconv.ParseUint(strings.TrimPrefix(out[b].id, "j-"), 10, 64)
+		return na < nb
+	})
+	return out
+}
+
 // shuttingDown reports whether Shutdown has begun.
 func (m *manager) shuttingDown() bool {
 	m.mu.Lock()
@@ -437,13 +576,22 @@ func (m *manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(idle)
 	}()
+	var err error
 	select {
 	case <-idle:
 		m.cancel()
-		return nil
 	case <-ctx.Done():
 		m.cancel()
 		<-idle
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	// Workers are idle: release the durable-state handles. Everything
+	// they guarded is already fsynced.
+	if m.jnl != nil {
+		m.jnl.close()
+	}
+	if m.ckpts != nil {
+		m.ckpts.Close()
+	}
+	return err
 }

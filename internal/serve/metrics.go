@@ -37,12 +37,20 @@ type serveMetrics struct {
 	regressTotal      *obs.Counter
 	regressFailed     *obs.Counter
 
+	jobsRequeued *obs.Counter
+	jobsResumed  *obs.Counter
+	jobsColdRun  *obs.Counter
+	ckptWrites   *obs.Counter
+	ckptBytes    *obs.Counter
+	ckptErrs     *obs.Counter
+
 	queued        *obs.Gauge
 	running       *obs.Gauge
 	queueCapacity *obs.Gauge
 	workers       *obs.Gauge
 
 	archiveAppendSecs *obs.Histogram
+	ckptSaveSecs      *obs.Histogram
 
 	queueWait  *obs.Histogram
 	decodeHit  *obs.Histogram
@@ -82,12 +90,20 @@ func newServeMetrics() *serveMetrics {
 		regressTotal:      reg.Counter("ximdd_regress_total", "POST /v1/regress gate evaluations."),
 		regressFailed:     reg.Counter("ximdd_regress_failed_total", "Regression gate evaluations that did not pass."),
 
+		jobsRequeued: reg.Counter("ximdd_jobs_requeued_total", "Journaled jobs re-enqueued from scratch after a restart (never started, or no usable checkpoint and never run)."),
+		jobsResumed:  reg.Counter("ximdd_jobs_resumed_total", "Journaled jobs resumed from a durable checkpoint after a restart."),
+		jobsColdRun:  reg.Counter("ximdd_jobs_cold_rerun_total", "Journaled jobs rerun from cycle 0 after a restart because their checkpoint was missing, torn, or stale."),
+		ckptWrites:   reg.Counter("ximdd_checkpoint_writes_total", "Durable job checkpoints written (frame append + fsync)."),
+		ckptBytes:    reg.Counter("ximdd_checkpoint_bytes_total", "Bytes of framed checkpoint data written."),
+		ckptErrs:     reg.Counter("ximdd_checkpoint_errors_total", "Checkpoint writes or deletes that failed (job unaffected, resumability degraded)."),
+
 		queued:        reg.Gauge("ximdd_jobs_queued", "Jobs currently waiting in the submission queue."),
 		running:       reg.Gauge("ximdd_jobs_running", "Jobs currently executing."),
 		queueCapacity: reg.Gauge("ximdd_queue_capacity", "Configured submission queue depth."),
 		workers:       reg.Gauge("ximdd_workers", "Configured worker pool size."),
 
 		archiveAppendSecs: reg.Histogram("ximdd_archive_append_seconds", "Durable run archive append latency (frame write + fsync).", latencyBuckets),
+		ckptSaveSecs:      reg.Histogram("ximdd_checkpoint_save_seconds", "Durable checkpoint save latency (snapshot encode + frame write + fsync).", latencyBuckets),
 
 		queueWait:  reg.Histogram("ximdd_job_queue_wait_seconds", "Time from job acceptance to execution start.", latencyBuckets),
 		decodeHit:  reg.Histogram("ximdd_job_decode_hit_seconds", "Program resolution time on a decoded-program cache hit.", latencyBuckets),

@@ -1,0 +1,69 @@
+package vliw
+
+import (
+	"fmt"
+
+	"ximd/internal/core"
+	"ximd/internal/isa"
+	"ximd/internal/mem"
+	"ximd/internal/regfile"
+	"ximd/internal/wire"
+)
+
+// Binary serialization of VLIW machine snapshots for the durable
+// checkpoint format (internal/ckpt) — the single-sequencer analogue of
+// core's snapshot codec, with the same contract: only in-flight
+// snapshots encode (a terminal run is archived, never resumed), and
+// everything that encodes restores byte-identically.
+
+// Encode appends the snapshot to w. Snapshots of finished or faulted
+// machines do not encode: the latched error value cannot round-trip.
+func (s *Snapshot) Encode(w *wire.Writer) error {
+	if s.done || s.failure != nil {
+		return fmt.Errorf("vliw: cannot encode a terminal snapshot (done=%v, failure=%v)", s.done, s.failure)
+	}
+	w.U64(s.cycle)
+	w.U16(uint16(s.pc))
+	w.U32(uint32(len(s.cc)))
+	for _, v := range s.cc {
+		w.Bool(v)
+	}
+	core.EncodeStats(w, &s.stats)
+	s.regs.Encode(w)
+	if err := mem.EncodeState(w, s.memory); err != nil {
+		return err
+	}
+	w.U32(s.stall)
+	return nil
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r *wire.Reader) (*Snapshot, error) {
+	s := &Snapshot{}
+	s.cycle = r.U64()
+	s.pc = isa.Addr(r.U16())
+	n := r.Count(1)
+	s.cc = make([]bool, n)
+	for i := range s.cc {
+		s.cc[i] = r.Bool()
+	}
+	s.stats = core.DecodeStats(r)
+	regs, err := regfile.DecodeSnapshot(r)
+	if err != nil {
+		return nil, fmt.Errorf("vliw: decode snapshot: %w", err)
+	}
+	s.regs = regs
+	memState, err := mem.DecodeState(r)
+	if err != nil {
+		return nil, fmt.Errorf("vliw: decode snapshot: %w", err)
+	}
+	s.memory = memState
+	s.stall = r.U32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("vliw: decode snapshot: %w", err)
+	}
+	if n < 1 || n > isa.NumFU {
+		return nil, fmt.Errorf("vliw: decode snapshot: %d FUs out of range", n)
+	}
+	return s, nil
+}

@@ -1,0 +1,218 @@
+// Package wire is the minimal binary codec under the checkpoint
+// format: a little-endian append-only Writer and a bounds-checked,
+// error-latching Reader. It exists as its own dependency-free package
+// so that every state-owning layer (regfile, mem, core, vliw) can
+// serialize its own snapshot fields without importing the checkpoint
+// store that frames and persists them — internal/ckpt composes the
+// per-package encoders, never the other way around.
+//
+// The encoding is deliberately plain: fixed-width little-endian
+// integers and length-prefixed byte strings, no varints, no
+// reflection. Checkpoint portability and versioning are handled one
+// layer up (internal/ckpt owns the magic/version header); wire only
+// guarantees that a Reader over a Writer's bytes yields the values
+// back in order, and that a Reader over arbitrary bytes never panics
+// or over-reads — it latches an error and returns zero values instead.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated is latched by a Reader that runs out of bytes.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// Writer accumulates an encoded byte string.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded bytes accumulated so far.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the encoded length so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool appends a bool as one byte (0 or 1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 appends an int64 (two's complement, little-endian).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Bytes32 appends a uint32 length prefix followed by the bytes.
+func (w *Writer) Bytes32(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U64s appends a uint32 count followed by the values.
+func (w *Writer) U64s(vs []uint64) {
+	w.U32(uint32(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Reader decodes a Writer's byte string. The first decode failure
+// latches an error; every later read returns the zero value, so
+// decoders can run straight-line and check Err once at the end.
+type Reader struct {
+	data []byte
+	err  error
+}
+
+// NewReader returns a Reader over data.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the latched decode error, nil if every read succeeded.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.data) }
+
+// fail latches err (keeping the first) and empties the input.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+	r.data = nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if len(r.data) < n {
+		r.fail(ErrTruncated)
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool; any byte other than 0 or 1 is a decode error.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(errors.New("wire: invalid bool"))
+		return false
+	}
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Bytes32 reads a length-prefixed byte string. The length is checked
+// against the remaining input before allocating, so a corrupt prefix
+// cannot demand an arbitrary allocation.
+func (r *Reader) Bytes32() []byte {
+	n := r.U32()
+	if uint64(n) > uint64(len(r.data)) {
+		r.fail(fmt.Errorf("wire: length prefix %d exceeds %d remaining bytes", n, len(r.data)))
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes32()) }
+
+// Count reads a uint32 element count and validates it against the
+// remaining input at elemSize bytes per element, so corrupt counts
+// fail instead of allocating.
+func (r *Reader) Count(elemSize int) int {
+	n := r.U32()
+	if elemSize > 0 && uint64(n)*uint64(elemSize) > uint64(len(r.data)) {
+		r.fail(fmt.Errorf("wire: count %d exceeds remaining input", n))
+		return 0
+	}
+	if n > math.MaxInt32 {
+		r.fail(fmt.Errorf("wire: count %d out of range", n))
+		return 0
+	}
+	return int(n)
+}
+
+// U64s reads a count-prefixed []uint64; a zero count yields nil.
+func (r *Reader) U64s() []uint64 {
+	n := r.Count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.U64()
+	}
+	return out
+}

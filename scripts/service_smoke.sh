@@ -170,4 +170,115 @@ wait "$ximdd_pid"
 ximdd_pid=""
 grep -q "stopped" "$workdir/ximdd.log" || { echo "no clean shutdown:"; cat "$workdir/ximdd.log"; exit 1; }
 
+# ---------------------------------------------------------------------
+# Crash safety: kill -9 the daemon mid-job, restart it on the same
+# state directory, and require (a) the job resumes from its checkpoint
+# under its original id and (b) the result document is byte-identical
+# to an uninterrupted run of the same request.
+
+echo "== crash: start with durable state"
+crashdir="$workdir/crash"
+"$workdir/ximdd" -addr 127.0.0.1:0 -archive "$crashdir" -checkpoint-every 262144 >"$workdir/crash1.log" 2>&1 &
+ximdd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$workdir/crash1.log" | head -n1)
+  [ -n "$addr" ] && break
+  kill -0 "$ximdd_pid" 2>/dev/null || { echo "ximdd died:"; cat "$workdir/crash1.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "ximdd never reported its address:"; cat "$workdir/crash1.log"; exit 1; }
+base="http://$addr"
+echo "   ximdd at $base"
+
+echo "== crash: submit long job"
+longreq=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/longloop.xasm").read_text()
+print(json.dumps({
+    "arch": "ximd",
+    "source": src,
+    "max_cycles": 100000000,
+    "peeks": ["300:1"],
+    "profile": True,
+}))
+EOF
+)
+submit=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$longreq" "$base/v1/jobs")
+echo "   $submit"
+longid=$(echo "$submit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$longid" ] || { echo "crash submit returned no job id"; exit 1; }
+
+echo "== crash: wait for a checkpoint, then kill -9"
+ok=""
+for _ in $(seq 1 100); do
+  if [ -s "$crashdir/ckpt/$longid.ckpt" ]; then ok=1; break; fi
+  sleep 0.05
+done
+[ -n "$ok" ] || { echo "no checkpoint ever appeared for $longid"; ls -la "$crashdir/ckpt" 2>/dev/null; exit 1; }
+kill -9 "$ximdd_pid"
+wait "$ximdd_pid" 2>/dev/null || true
+ximdd_pid=""
+
+echo "== crash: restart on the same state dir"
+"$workdir/ximdd" -addr 127.0.0.1:0 -archive "$crashdir" -checkpoint-every 262144 >"$workdir/crash2.log" 2>&1 &
+ximdd_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$workdir/crash2.log" | head -n1)
+  [ -n "$addr" ] && break
+  kill -0 "$ximdd_pid" 2>/dev/null || { echo "ximdd died:"; cat "$workdir/crash2.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "restarted ximdd never reported its address:"; cat "$workdir/crash2.log"; exit 1; }
+base="http://$addr"
+grep -q "1 resumed from checkpoint" "$workdir/crash2.log" || {
+  echo "restart did not resume the job:"; cat "$workdir/crash2.log"; exit 1; }
+
+echo "== crash: poll $longid to completion"
+status=""
+for _ in $(seq 1 300); do
+  body=$(curl -fsS "$base/v1/jobs/$longid")
+  status=$(echo "$body" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  case "$status" in
+    done) break ;;
+    failed) echo "resumed job failed: $body"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$status" = "done" ] || { echo "resumed job never completed: $body"; exit 1; }
+echo "$body" >"$workdir/resumed.json"
+
+echo "== crash: reference run must match byte for byte"
+submit=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$longreq" "$base/v1/jobs")
+refid=$(echo "$submit" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+status=""
+for _ in $(seq 1 300); do
+  body=$(curl -fsS "$base/v1/jobs/$refid")
+  status=$(echo "$body" | sed -n 's/.*"status":"\([^"]*\)".*/\1/p')
+  [ "$status" = "done" ] && break
+  [ "$status" = "failed" ] && { echo "reference job failed: $body"; exit 1; }
+  sleep 0.1
+done
+[ "$status" = "done" ] || { echo "reference job never completed"; exit 1; }
+echo "$body" >"$workdir/reference.json"
+python3 - "$workdir/resumed.json" "$workdir/reference.json" <<'EOF'
+import json, sys
+resumed = json.load(open(sys.argv[1]))
+reference = json.load(open(sys.argv[2]))
+a = json.dumps(resumed["result"], sort_keys=True)
+b = json.dumps(reference["result"], sort_keys=True)
+if a != b:
+    sys.exit(f"resumed result diverges from uninterrupted run:\n{a}\n{b}")
+print("   resumed result matches the uninterrupted run")
+EOF
+
+echo "== crash: checkpoint files cleaned up after terminal"
+leftover=$(ls "$crashdir/ckpt"/*.ckpt 2>/dev/null || true)
+[ -z "$leftover" ] || { echo "checkpoint files left behind: $leftover"; exit 1; }
+
+kill -TERM "$ximdd_pid"
+wait "$ximdd_pid" 2>/dev/null || true
+ximdd_pid=""
+
 echo "service smoke OK"
