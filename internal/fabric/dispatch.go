@@ -1,0 +1,449 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"ximd/internal/archive"
+	"ximd/internal/runner"
+	"ximd/internal/serve"
+)
+
+// cjob is one fabric job: a single (program, seed, inject) run with a
+// coordinator-assigned stable id. The id never changes across
+// requeues or steals — a client polling GET /v1/jobs/{id} on the
+// coordinator is insulated from worker loss entirely — and because a
+// run is a pure function of the request, every execution of a cjob
+// anywhere in the fleet produces the same bytes.
+type cjob struct {
+	id  string
+	req serve.JobRequest
+	// wantProfile is the client's profile flag; req.Profile is forced
+	// true on the wire so the archive always receives the full
+	// document, and the response is stripped back to the client's ask
+	// (the same split the single-node sweep path makes).
+	wantProfile bool
+	digest      string
+	arch        runner.Arch
+	canon       string
+	// doArchive gates the terminal archive append: jobs and sweeps
+	// record, regression-gate runs must not (a run never passes by
+	// matching itself).
+	doArchive bool
+	submitted time.Time
+
+	mu sync.Mutex
+	// state is the coordinator-side view: queued (not yet placed),
+	// running (dispatched to a worker), done/failed (terminal).
+	state      serve.State
+	workerName string
+	remoteID   string
+	attempts   int
+	stolen     bool
+	// final is the worker's terminal status (profile-full); errText the
+	// terminal error (worker-reported or fabric-level).
+	final   *serve.JobStatus
+	errText string
+	done    chan struct{}
+}
+
+func (j *cjob) setDispatched(w *worker, remoteID string) {
+	j.mu.Lock()
+	j.state = serve.StateRunning
+	j.workerName = w.name
+	j.remoteID = remoteID
+	j.attempts++
+	j.mu.Unlock()
+}
+
+// startJob registers and launches one fabric job.
+func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.Arch, canon string, doArchive bool) (*cjob, error) {
+	j := &cjob{
+		req:         req,
+		wantProfile: req.Profile,
+		digest:      digest,
+		arch:        arch,
+		canon:       canon,
+		doArchive:   doArchive,
+		state:       serve.StateQueued,
+		done:        make(chan struct{}),
+	}
+	j.req.Profile = true
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	c.nextJob++
+	j.id = fmt.Sprintf("c-%d", c.nextJob)
+	j.submitted = time.Now()
+	c.jobs[j.id] = j
+	c.wg.Add(1)
+	c.mu.Unlock()
+	c.met.jobsTotal.Inc()
+	c.met.jobsInflight.Add(1)
+	go c.runJob(j)
+	return j, nil
+}
+
+// submission is one live placement of a job on a worker. A job
+// normally has exactly one; stealing temporarily gives it two, and the
+// first to turn terminal wins.
+type submission struct {
+	w           *worker
+	remoteID    string
+	queuedSince time.Time
+	lastState   serve.State
+	fails       int
+}
+
+// runJob drives one fabric job to a terminal state: route with digest
+// affinity, submit, poll; steal onto an idle worker if the assignment
+// sits queued too long; requeue onto survivors when a worker is lost.
+func (c *Coordinator) runJob(j *cjob) {
+	defer c.wg.Done()
+	deadline := j.submitted.Add(c.opts.JobTimeout)
+	var subs []*submission
+	interval := c.opts.PollEvery
+
+	drop := func(i int) {
+		subs[i].w.detach(j.id)
+		subs = append(subs[:i], subs[i+1:]...)
+	}
+
+	for {
+		select {
+		case <-c.rootCtx.Done():
+			c.fail(j, ErrShuttingDown.Error())
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			c.fail(j, fmt.Sprintf("fabric: job deadline (%v) exceeded after %d submission(s)", c.opts.JobTimeout, j.attemptsNow()))
+			return
+		}
+
+		// (Re)submit when the job has no live placement.
+		if len(subs) == 0 {
+			s := c.trySubmit(j, nil, false)
+			if s == nil {
+				// No routable worker right now (fleet down, everyone
+				// saturated, or transient submit failures): back off a
+				// beat and retry until the deadline says otherwise.
+				if !sleepCtx(c.rootCtx, c.opts.HeartbeatEvery/2) {
+					continue
+				}
+				continue
+			}
+			if j.attemptsNow() > 0 {
+				// A successful resubmission after the job lost every
+				// placement — the deterministic requeue in action.
+				c.met.jobsRequeued.Inc()
+			}
+			subs = append(subs, s)
+			j.setDispatched(s.w, s.remoteID)
+			interval = c.opts.PollEvery
+		}
+
+		if !sleepCtx(c.rootCtx, interval) {
+			continue // shutting down; loop handles it at the top
+		}
+		if interval = interval * 5 / 4; interval > c.opts.PollMax {
+			interval = c.opts.PollMax
+		}
+
+		for i := 0; i < len(subs); {
+			s := subs[i]
+			if s.w.isLost() {
+				drop(i)
+				continue
+			}
+			ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
+			st, err := s.w.status(ctx, s.remoteID)
+			cancel()
+			switch {
+			case errors.Is(err, errJobGone):
+				// The worker restarted without durable state and forgot
+				// the job; resubmit.
+				drop(i)
+				continue
+			case err != nil:
+				// Transport trouble. The heartbeat loop is the authority
+				// on worker loss, but a per-job error streak must not
+				// outwait it.
+				if s.fails++; s.fails >= c.opts.MaxMissedHeartbeats {
+					drop(i)
+					continue
+				}
+				i++
+				continue
+			}
+			s.fails = 0
+			if st.Status == serve.StateDone || st.Status == serve.StateFailed {
+				for _, other := range subs {
+					other.w.detach(j.id)
+				}
+				c.finalize(j, st)
+				return
+			}
+			if st.Status != s.lastState {
+				s.lastState = st.Status
+				interval = c.opts.PollEvery // state moved; look closer again
+			}
+			i++
+		}
+
+		// Steal: one live placement, still queued past the threshold —
+		// duplicate it onto a worker with genuinely spare capacity.
+		// First terminal result wins; the loser's work is wasted, not
+		// wrong.
+		if len(subs) == 1 && !j.stolenNow() && c.opts.StealAfter > 0 &&
+			subs[0].lastState != serve.StateRunning && time.Since(subs[0].queuedSince) > c.opts.StealAfter {
+			if s2 := c.trySubmit(j, subs[0].w, true); s2 != nil {
+				subs = append(subs, s2)
+				j.noteStolen()
+				c.met.jobsStolen.Inc()
+				interval = c.opts.PollEvery
+			}
+		}
+	}
+}
+
+// trySubmit routes and submits once. Returns nil when no worker is
+// eligible or the submission failed (the caller backs off and
+// retries, and the retry is counted as a fresh routing decision).
+func (c *Coordinator) trySubmit(j *cjob, exclude *worker, strict bool) *submission {
+	w := c.route(j.digest, exclude, strict)
+	if w == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
+	defer cancel()
+	start := time.Now()
+	resp, err := w.submit(ctx, &j.req)
+	c.met.submitSecs.Observe(time.Since(start).Seconds())
+	if err != nil {
+		c.met.submitRetries.Inc()
+		if errors.Is(err, errWorkerDraining) {
+			w.noteDraining()
+		}
+		return nil
+	}
+	w.attach(j)
+	return &submission{w: w, remoteID: resp.ID, queuedSince: time.Now(), lastState: serve.StateQueued}
+}
+
+func (j *cjob) attemptsNow() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+func (j *cjob) stolenNow() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stolen
+}
+
+func (j *cjob) noteStolen() {
+	j.mu.Lock()
+	j.stolen = true
+	j.mu.Unlock()
+}
+
+// sleepCtx sleeps d or until ctx is done; reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// finalize publishes a worker-reported terminal state and, for
+// archiving jobs, appends the run to the fleet-wide archive before
+// closing the done channel — a waiter that observes completion may
+// rely on the archive already holding the record, the same ordering
+// the single-node service keeps.
+func (c *Coordinator) finalize(j *cjob, st *serve.JobStatus) {
+	j.mu.Lock()
+	j.final = st
+	j.state = st.Status
+	j.errText = st.Error
+	j.mu.Unlock()
+	c.met.jobsInflight.Add(-1)
+	c.met.roundtrip.Observe(time.Since(j.submitted).Seconds())
+	if st.Status == serve.StateFailed {
+		c.met.jobsFailed.Inc()
+	} else {
+		c.met.jobsDone.Inc()
+	}
+	if j.doArchive && c.arch != nil {
+		c.appendArchive(j.archiveRecord(time.Now().UnixMilli()))
+	}
+	close(j.done)
+}
+
+// fail publishes a fabric-level terminal failure (deadline, shutdown).
+// These never reach the archive: unlike worker-reported outcomes they
+// are not deterministic functions of the request.
+func (c *Coordinator) fail(j *cjob, msg string) {
+	j.mu.Lock()
+	j.state = serve.StateFailed
+	j.errText = msg
+	j.mu.Unlock()
+	c.met.jobsInflight.Add(-1)
+	c.met.jobsFailed.Inc()
+	close(j.done)
+}
+
+// archiveRecord builds the fleet archive record for a worker-terminal
+// job: the same key and document a single-node ximdd would append, so
+// one archive serves both topologies interchangeably.
+func (j *cjob) archiveRecord(unixMS int64) archive.Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := archive.Record{
+		Key: archive.Key{
+			ProgramSHA256: j.digest,
+			Arch:          string(j.arch),
+			Seed:          j.req.Seed,
+			Inject:        j.canon,
+		},
+		UnixMS: unixMS,
+	}
+	if j.final != nil {
+		if j.final.ExitCode != nil {
+			rec.ExitCode = *j.final.ExitCode
+		}
+		rec.Error = j.final.Error
+		rec.Result = j.final.Result
+	} else {
+		rec.ExitCode = 1
+		rec.Error = j.errText
+	}
+	return rec
+}
+
+func (c *Coordinator) appendArchive(rec archive.Record) {
+	if err := c.arch.Append(rec); err != nil {
+		c.met.archiveAppendErrs.Inc()
+		return
+	}
+	c.met.archiveAppends.Inc()
+}
+
+// resultForClient returns the job's terminal result document with the
+// profile stripped back to the client's ask. The strip mirrors the
+// single-node sweep path exactly (full doc archived, copy with
+// Profile=nil returned), so fleet and single-node responses are
+// byte-identical.
+func (j *cjob) resultForClient() *runner.ResultDoc {
+	if j.final == nil || j.final.Result == nil {
+		return nil
+	}
+	if j.wantProfile {
+		return j.final.Result
+	}
+	doc := *j.final.Result
+	doc.Profile = nil
+	return &doc
+}
+
+// JobStatus is the body of the coordinator's GET /v1/jobs/{id}: the
+// job's fleet placement beside the usual terminal fields.
+type JobStatus struct {
+	ID            string      `json:"id"`
+	Status        serve.State `json:"status"`
+	ProgramSHA256 string      `json:"program_sha256"`
+	// Worker and RemoteID locate the job's current (or final)
+	// placement; Attempts counts submissions (requeues re-submit),
+	// Stolen whether a duplicate placement raced the original.
+	Worker   string `json:"worker,omitempty"`
+	RemoteID string `json:"remote_id,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Stolen   bool   `json:"stolen,omitempty"`
+	ExitCode *int   `json:"exit_code,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Result is the deterministic result document, identical to what
+	// any worker — or a single-node ximdd — produces for this request.
+	Result *runner.ResultDoc `json:"result,omitempty"`
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Trace {
+		writeError(w, http.StatusBadRequest, errors.New("fabric jobs do not support trace=true; submit trace jobs to a worker directly"))
+		return
+	}
+	digest, arch, canon, err := c.validate(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := c.startJob(req, digest, arch, canon, true)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, serve.SubmitResponse{
+		ID:            j.id,
+		Status:        serve.StateQueued,
+		ProgramSHA256: digest,
+	})
+}
+
+func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownJob, r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	st := JobStatus{
+		ID:            j.id,
+		Status:        j.state,
+		ProgramSHA256: j.digest,
+		Worker:        j.workerName,
+		RemoteID:      j.remoteID,
+		Attempts:      j.attempts,
+		Stolen:        j.stolen,
+		Error:         j.errText,
+	}
+	terminal := j.state == serve.StateDone || j.state == serve.StateFailed
+	var final *serve.JobStatus
+	if terminal {
+		final = j.final
+	}
+	j.mu.Unlock()
+	if terminal {
+		if final != nil && final.ExitCode != nil {
+			st.ExitCode = final.ExitCode
+		} else {
+			code := 1
+			if st.Status == serve.StateDone {
+				code = 0
+			}
+			st.ExitCode = &code
+		}
+		st.Result = j.resultForClient()
+	}
+	writeJSON(w, http.StatusOK, st)
+}

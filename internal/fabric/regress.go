@@ -1,0 +1,173 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ximd/internal/archive"
+	"ximd/internal/inject"
+	"ximd/internal/serve"
+)
+
+// This file is the fleet half of the regression gate. Because every
+// terminal fabric job is appended to the coordinator's archive with the
+// same key and document a single-node ximdd would write, GET /v1/runs
+// and POST /v1/regress work against fleet history exactly as they do on
+// one node — a sweep run across four workers can gate a later sweep run
+// across two.
+
+var errNoArchive = errors.New("fabric: run archive disabled (start ximdc with -archive)")
+
+// handleRuns serves cross-run history from the fleet archive, the same
+// query grammar as the worker endpoint: digest, arch, seed, inject
+// (canonical-form match), limit.
+func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
+	if c.arch == nil {
+		writeError(w, http.StatusNotFound, errNoArchive)
+		return
+	}
+	params := r.URL.Query()
+	q := archive.Query{
+		ProgramSHA256: params.Get("digest"),
+		Arch:          params.Get("arch"),
+	}
+	if v := params.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", v))
+			return
+		}
+		q.Seed = &seed
+	}
+	if vs, ok := params["inject"]; ok {
+		canon, err := inject.Canonicalize(vs[0])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("inject: %w", err))
+			return
+		}
+		q.Inject = &canon
+	}
+	if v := params.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		q.Limit = n
+	}
+	recs := c.arch.Select(q)
+	c.met.archiveQueries.Inc()
+	if recs == nil {
+		recs = []archive.Record{}
+	}
+	writeJSON(w, http.StatusOK, serve.RunsResponse{Count: len(recs), Runs: recs})
+}
+
+// handleRegress runs the requested batch across the fleet and diffs
+// each fresh run against its archived baseline. The fresh runs are NOT
+// auto-archived (a run never passes by matching itself); Record:true
+// appends them after the comparison, as on a single node.
+func (c *Coordinator) handleRegress(w http.ResponseWriter, r *http.Request) {
+	if c.arch == nil {
+		writeError(w, http.StatusNotFound, errNoArchive)
+		return
+	}
+	if c.shuttingDown() {
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	select {
+	case c.sweepSem <- struct{}{}:
+		defer func() { <-c.sweepSem }()
+	default:
+		writeError(w, http.StatusTooManyRequests, errors.New("fabric: sweep capacity in use"))
+		return
+	}
+
+	var req serve.RegressRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Base.Trace {
+		writeError(w, http.StatusBadRequest, errors.New("regressions do not support trace=true"))
+		return
+	}
+	if req.Tolerance < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("tolerance must be >= 0, got %g", req.Tolerance))
+		return
+	}
+	var baselineInject *string
+	if req.BaselineInject != nil {
+		canon, err := inject.Canonicalize(*req.BaselineInject)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("baseline_inject: %w", err))
+			return
+		}
+		baselineInject = &canon
+	}
+	digest, arch, _, err := c.validate(&req.Base)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	variants, err := serve.ExpandVariants(req.Base.Seed, req.Base.Inject, req.Seeds, req.Injects, c.opts.MaxSweepTasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Fan the gate's runs out over the fleet with archiving off.
+	jobs := make([]*cjob, 0, len(variants))
+	for _, v := range variants {
+		reqV := req.Base
+		reqV.Seed = v.Seed
+		reqV.Inject = v.Inject
+		j, err := c.startJob(reqV, digest, arch, v.Canon, false)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		<-j.done
+	}
+
+	now := time.Now().UnixMilli()
+	tol := archive.Tolerance{Ratio: req.Tolerance}
+	report := archive.NewReport(tol)
+	recs := make([]archive.Record, len(jobs))
+	for i, j := range jobs {
+		recs[i] = j.archiveRecord(now)
+		lookup := recs[i].Key
+		if req.BaselineSeed != nil {
+			lookup.Seed = *req.BaselineSeed
+		}
+		if baselineInject != nil {
+			lookup.Inject = *baselineInject
+		}
+		baseline, ok := c.arch.Latest(lookup)
+		if !ok {
+			report.Add(archive.Comparison{Key: recs[i].Key, Status: archive.StatusMissingBaseline})
+			continue
+		}
+		report.Add(archive.Compare(baseline, recs[i], tol))
+	}
+	c.met.regressTotal.Inc()
+	if !report.Pass {
+		c.met.regressFailed.Inc()
+	}
+	if req.Record {
+		for i := range recs {
+			c.appendArchive(recs[i])
+		}
+	}
+	writeJSON(w, http.StatusOK, serve.RegressResponse{ProgramSHA256: digest, Report: report})
+}

@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"context"
+	"hash/fnv"
+	"log"
+	"sort"
+	"time"
+)
+
+// rendezvousScore ranks worker w for program digest d: FNV-64a over
+// the worker's stable key, a zero separator, and the digest. Highest
+// score wins. Rendezvous (highest-random-weight) hashing gives every
+// digest an independent, uniformly distributed worker ranking, and —
+// unlike modulo placement — losing one worker only remaps the jobs
+// that preferred it; every other program keeps its warm cache.
+func rendezvousScore(workerKey, digest string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(workerKey))
+	h.Write([]byte{0})
+	h.Write([]byte(digest))
+	return h.Sum64()
+}
+
+// rank orders the fleet for one digest, best first. The full ranking —
+// not just the winner — is the spill order.
+func (c *Coordinator) rank(digest string) []*worker {
+	ranked := make([]*worker, len(c.workers))
+	copy(ranked, c.workers)
+	sort.SliceStable(ranked, func(a, b int) bool {
+		sa, sb := rendezvousScore(ranked[a].url, digest), rendezvousScore(ranked[b].url, digest)
+		if sa != sb {
+			return sa > sb
+		}
+		return ranked[a].url < ranked[b].url // total order even on hash ties
+	})
+	return ranked
+}
+
+// route picks the worker for one job: the highest-ranked ready worker
+// under its load bound, spilling down the ranking, and falling back to
+// the least-loaded ready worker when every choice is at its bound
+// (the bound is advisory; the worker's own 429 is the hard limit).
+// exclude removes one worker from consideration (steal targets must
+// differ from the current assignment; requeues avoid the worker that
+// just died even if its lost flag lags). strict additionally refuses
+// the fallback — used by stealing, which only wants genuinely spare
+// capacity. Returns nil when no eligible worker exists right now.
+func (c *Coordinator) route(digest string, exclude *worker, strict bool) *worker {
+	ranked := c.rank(digest)
+	var fallback *worker
+	fallbackLoad := 0
+	for _, w := range ranked {
+		if w == exclude || !w.ready() {
+			continue
+		}
+		load := w.inflightLen()
+		if load < w.loadBound(c.opts.MaxInflight) {
+			c.noteRouted(w, w == ranked[0])
+			return w
+		}
+		if fallback == nil || load < fallbackLoad {
+			fallback, fallbackLoad = w, load
+		}
+	}
+	if strict || fallback == nil {
+		return nil
+	}
+	c.noteRouted(fallback, fallback == ranked[0])
+	return fallback
+}
+
+// noteRouted records one placement in the affinity counters: a hit is
+// a job landed on its rendezvous first choice — where the program's
+// decoded/fusion cache is warmest.
+func (c *Coordinator) noteRouted(w *worker, first bool) {
+	c.met.jobsRouted.Inc()
+	if first {
+		c.met.affinityHits.Inc()
+	} else {
+		c.met.affinitySpills.Inc()
+	}
+}
+
+// heartbeatLoop renews every worker's lease on the configured cadence
+// until shutdown. Each renewal is also the health probe (a worker
+// misses its way to lost) and the load report (executors, queue
+// capacity, drain state) the router reads.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.HeartbeatEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.rootCtx.Done():
+			return
+		case <-t.C:
+			c.beatAll()
+		}
+	}
+}
+
+// beatAll renews all leases concurrently — one dead worker's timeout
+// must not delay the others' renewals past their TTL.
+func (c *Coordinator) beatAll() {
+	done := make(chan struct{}, len(c.workers))
+	for _, w := range c.workers {
+		go func(w *worker) {
+			defer func() { done <- struct{}{} }()
+			c.beat(w)
+		}(w)
+	}
+	for range c.workers {
+		<-done
+	}
+}
+
+func (c *Coordinator) beat(w *worker) {
+	ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
+	defer cancel()
+	resp, err := w.lease(ctx, c.id, c.opts.LeaseTTL)
+	c.met.heartbeats.Inc()
+	if err != nil {
+		c.met.heartbeatMisses.Inc()
+		if w.noteMiss(c.opts.MaxMissedHeartbeats) {
+			c.met.workersLost.Inc()
+			log.Printf("fabric: worker %s (%s) lost after %d missed heartbeats: %v",
+				w.name, w.url, c.opts.MaxMissedHeartbeats, err)
+		}
+		return
+	}
+	if w.noteLease(resp) {
+		c.met.workersRecovered.Inc()
+		log.Printf("fabric: worker %s (%s) recovered", w.name, w.url)
+	}
+}

@@ -1,0 +1,195 @@
+package fabric
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"ximd/internal/runner"
+	"ximd/internal/serve"
+)
+
+// fleetSweep is one sweep fanned out over the fleet: the expanded
+// variant list (shared expansion with the single-node path, so names
+// and order match exactly) and the fabric job carrying each variant.
+type fleetSweep struct {
+	id      string
+	digest  string
+	variant []serve.Variant
+	jobs    []*cjob
+}
+
+// handleSweep expands a sweep request and routes every variant as one
+// fabric job. The synchronous path answers with the merged results in
+// submission order — byte-identical, variant for variant, to what a
+// single ximdd returns for the same request; "detach":true answers 202
+// with the sweep id and per-variant fabric job ids, mirroring the
+// worker's detached sweep contract.
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if c.shuttingDown() {
+		writeError(w, http.StatusServiceUnavailable, ErrShuttingDown)
+		return
+	}
+	var req serve.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.opts.MaxSourceBytes*2))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if req.Base.Trace {
+		writeError(w, http.StatusBadRequest, errors.New("sweeps do not support trace=true"))
+		return
+	}
+	digest, arch, _, err := c.validate(&req.Base)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	variants, err := serve.ExpandVariants(req.Base.Seed, req.Base.Inject, req.Seeds, req.Injects, c.opts.MaxSweepTasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	if !req.Detach {
+		// Synchronous sweeps hold a slot for their whole lifetime, the
+		// same backpressure contract as the worker's sweep pool.
+		select {
+		case c.sweepSem <- struct{}{}:
+			defer func() { <-c.sweepSem }()
+		default:
+			writeError(w, http.StatusTooManyRequests, errors.New("fabric: sweep capacity in use"))
+			return
+		}
+	}
+
+	fs := &fleetSweep{digest: digest, variant: variants, jobs: make([]*cjob, 0, len(variants))}
+	for _, v := range variants {
+		reqV := req.Base
+		reqV.Seed = v.Seed
+		reqV.Inject = v.Inject
+		j, err := c.startJob(reqV, digest, arch, v.Canon, true)
+		if err != nil {
+			// Shutdown raced the fan-out; the variants already started
+			// will finalize as failed on their own.
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		fs.jobs = append(fs.jobs, j)
+	}
+	c.mu.Lock()
+	c.nextSweep++
+	fs.id = fmt.Sprintf("s-%d", c.nextSweep)
+	c.sweeps[fs.id] = fs
+	c.mu.Unlock()
+	c.met.sweepsTotal.Inc()
+	c.met.sweepTasks.Add(uint64(len(fs.jobs)))
+
+	if req.Detach {
+		resp := serve.SweepSubmitResponse{
+			ID:            fs.id,
+			Status:        serve.StateQueued,
+			ProgramSHA256: digest,
+		}
+		for _, j := range fs.jobs {
+			resp.JobIDs = append(resp.JobIDs, j.id)
+		}
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+
+	for _, j := range fs.jobs {
+		<-j.done
+	}
+	writeJSON(w, http.StatusOK, c.mergeSweep(fs))
+}
+
+// mergeSweep assembles the fleet sweep response in submission order.
+// Each entry is the variant's deterministic result document — the same
+// bytes no matter which worker ran it, how often it was requeued, or
+// whether a steal raced it.
+func (c *Coordinator) mergeSweep(fs *fleetSweep) serve.SweepResponse {
+	resp := serve.SweepResponse{ProgramSHA256: fs.digest}
+	for i, j := range fs.jobs {
+		out := serve.SweepTaskResult{
+			Name:   fs.variant[i].Name,
+			Seed:   fs.variant[i].Seed,
+			Inject: fs.variant[i].Inject,
+		}
+		j.mu.Lock()
+		state, errText := j.state, j.errText
+		j.mu.Unlock()
+		if state == serve.StateFailed {
+			// Failure verdict wins, as on a single node: no partial
+			// document rides along.
+			out.Error = errText
+			if out.Error == "" {
+				out.Error = "job failed"
+			}
+		} else {
+			out.Result = j.resultForClient()
+		}
+		resp.Results = append(resp.Results, out)
+	}
+	return resp
+}
+
+// handleSweepStatus serves GET /v1/sweeps/{id} for fleet sweeps, the
+// same document shape as the worker endpoint with fabric job ids.
+func (c *Coordinator) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	fs, ok := c.sweeps[r.PathValue("id")]
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("%w: %s", ErrUnknownSweep, r.PathValue("id")))
+		return
+	}
+	st := serve.SweepStatus{ID: fs.id, ProgramSHA256: fs.digest}
+	for i, j := range fs.jobs {
+		j.mu.Lock()
+		vs := serve.SweepVariantStatus{
+			Name:   fs.variant[i].Name,
+			Seed:   fs.variant[i].Seed,
+			Inject: fs.variant[i].Inject,
+			JobID:  j.id,
+			Status: j.state,
+			Error:  j.errText,
+		}
+		if j.state == serve.StateDone || j.state == serve.StateFailed {
+			if j.final != nil && j.final.ExitCode != nil {
+				vs.ExitCode = j.final.ExitCode
+			} else {
+				code := runner.ExitSim
+				if j.state == serve.StateDone {
+					code = 0
+				}
+				vs.ExitCode = &code
+			}
+		}
+		j.mu.Unlock()
+		switch vs.Status {
+		case serve.StateQueued:
+			st.Queued++
+		case serve.StateRunning:
+			st.Running++
+		case serve.StateDone:
+			st.Done++
+		case serve.StateFailed:
+			st.Failed++
+		}
+		st.Variants = append(st.Variants, vs)
+	}
+	switch {
+	case st.Done == len(fs.jobs):
+		st.Status = serve.StateDone
+	case st.Done+st.Failed == len(fs.jobs):
+		st.Status = serve.StateFailed
+	case st.Queued == len(fs.jobs):
+		st.Status = serve.StateQueued
+	default:
+		st.Status = serve.StateRunning
+	}
+	writeJSON(w, http.StatusOK, st)
+}

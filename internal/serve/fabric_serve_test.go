@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLivezReadyzSplit: /livez answers 200 for the whole process
+// lifetime, /readyz flips to 503 "draining" during graceful shutdown,
+// and /healthz keeps its original byte-compatible behaviour (it was the
+// readiness signal before the split).
+func TestLivezReadyzSplit(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	for path, want := range map[string]string{"/livez": "ok\n", "/readyz": "ready\n", "/healthz": "ok\n"} {
+		resp, body := getBody(t, ts.URL+path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if string(body) != want {
+			t.Fatalf("%s body = %q, want %q", path, body, want)
+		}
+	}
+
+	// Park a spinning job so Shutdown stays in the draining phase long
+	// enough to observe.
+	submit(t, ts, JobRequest{Arch: "ximd", Source: spinSrc, MaxCycles: 4_000_000_000})
+	done := make(chan struct{})
+	go func() {
+		// A short budget on purpose: the spinner cannot drain, and the
+		// test only needs the draining window, not a clean drain.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+		close(done)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := getBody(t, ts.URL+"/readyz")
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if !strings.Contains(string(body), "draining") {
+				t.Fatalf("/readyz draining body = %q", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never went non-ready during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Liveness is about the process, not readiness: still 200.
+	if resp, _ := getBody(t, ts.URL+"/livez"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/livez during drain: status %d", resp.StatusCode)
+	}
+	// The legacy health endpoint keeps its pre-split draining contract.
+	if resp, body := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("/healthz during drain: status %d body %q", resp.StatusCode, body)
+	}
+	<-done
+}
+
+// TestFabricLease: the lease is exclusive per coordinator, renewable by
+// its holder, 409 for a rival while held, and free again after expiry.
+func TestFabricLease(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 8})
+
+	resp, body := postJSON(t, ts.URL+"/v1/fabric/lease", LeaseRequest{Coordinator: "c-alpha", TTLMS: 150})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("grant: status %d: %s", resp.StatusCode, body)
+	}
+	var lr LeaseResponse
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.WorkerID == "" || lr.TTLMS != 150 {
+		t.Fatalf("lease = %+v", lr)
+	}
+	if lr.Executors != 2 || lr.QueueCapacity != 8 {
+		t.Fatalf("load report = %+v, want executors=2 queue_capacity=8", lr)
+	}
+
+	// Same holder renews freely.
+	if resp, body := postJSON(t, ts.URL+"/v1/fabric/lease", LeaseRequest{Coordinator: "c-alpha", TTLMS: 150}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("renew: status %d: %s", resp.StatusCode, body)
+	}
+	// A rival is refused while the lease is live.
+	if resp, body := postJSON(t, ts.URL+"/v1/fabric/lease", LeaseRequest{Coordinator: "c-beta", TTLMS: 150}); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("rival during lease: status %d: %s", resp.StatusCode, body)
+	}
+	// ... and granted after expiry.
+	time.Sleep(200 * time.Millisecond)
+	var beta LeaseResponse
+	resp, body = postJSON(t, ts.URL+"/v1/fabric/lease", LeaseRequest{Coordinator: "c-beta", TTLMS: 150})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rival after expiry: status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &beta); err != nil {
+		t.Fatal(err)
+	}
+	if beta.WorkerID != lr.WorkerID {
+		t.Fatalf("worker id changed across leases: %q vs %q", beta.WorkerID, lr.WorkerID)
+	}
+}
+
+// TestLeaseTTLClamped: absurd TTLs are clamped into [MinLeaseTTL,
+// MaxLeaseTTL]; 0 selects the default.
+func TestLeaseTTLClamped(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	for req, wantMS := range map[int64]int64{
+		0:          int64(DefaultLeaseTTL / time.Millisecond),
+		1:          int64(MinLeaseTTL / time.Millisecond),
+		86_400_000: int64(MaxLeaseTTL / time.Millisecond),
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/fabric/lease", LeaseRequest{Coordinator: "c-x", TTLMS: req})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ttl %d: status %d: %s", req, resp.StatusCode, body)
+		}
+		var lr LeaseResponse
+		if err := json.Unmarshal(body, &lr); err != nil {
+			t.Fatal(err)
+		}
+		if lr.TTLMS != wantMS {
+			t.Errorf("ttl %d: granted %d ms, want %d", req, lr.TTLMS, wantMS)
+		}
+	}
+}
+
+// TestDetachedSweep: "detach":true answers 202 with per-variant job
+// ids, GET /v1/sweeps/{id} tracks them to terminal states, and the
+// individual job endpoints serve the same result documents a
+// synchronous sweep would have merged.
+func TestDetachedSweep(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, QueueDepth: 16})
+
+	req := SweepRequest{
+		Base:   tprocJob(),
+		Seeds:  []int64{1, 2, 3},
+		Detach: true,
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detach submit: status %d: %s", resp.StatusCode, body)
+	}
+	var sub SweepSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.JobIDs) != 3 || sub.ID == "" {
+		t.Fatalf("submit response = %+v", sub)
+	}
+
+	var st SweepStatus
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, body := getBody(t, ts.URL+"/v1/sweeps/"+sub.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep status: %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == StateDone || st.Status == StateFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep stuck: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if st.Status != StateDone || st.Done != 3 {
+		t.Fatalf("sweep = %+v", st)
+	}
+	for i, v := range st.Variants {
+		if v.JobID != sub.JobIDs[i] {
+			t.Errorf("variant %d job id %q, want %q", i, v.JobID, sub.JobIDs[i])
+		}
+		if v.Seed != req.Seeds[i] {
+			t.Errorf("variant %d seed %d, want %d (submission order)", i, v.Seed, req.Seeds[i])
+		}
+		if v.ExitCode == nil || *v.ExitCode != 0 {
+			t.Errorf("variant %d exit = %v", i, v.ExitCode)
+		}
+		js, _ := waitTerminal(t, ts, v.JobID)
+		if js.Result == nil || js.Result.Cycles != 6 {
+			t.Errorf("variant %d result = %+v", i, js.Result)
+		}
+	}
+
+	if resp, _ := getBody(t, ts.URL+"/v1/sweeps/s-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDetachedSweepAtomicAdmission: a detached sweep that cannot fit in
+// the queue is rejected whole — no partial variant set runs.
+func TestDetachedSweepAtomicAdmission(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Base:   tprocJob(),
+		Seeds:  []int64{1, 2, 3, 4},
+		Detach: true,
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	s.mgr.mu.Lock()
+	n := len(s.mgr.jobs)
+	s.mgr.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d job(s) admitted from a rejected batch", n)
+	}
+}

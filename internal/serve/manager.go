@@ -101,6 +101,15 @@ type manager struct {
 	closed bool
 	cache  *progCache
 
+	// sweeps tracks detached sweep batches by id ("s-N"). The records
+	// are views over the job table — aggregate status is derived from
+	// the member jobs' states at read time, so there is no separate
+	// lifecycle to keep consistent. Sweep ids are volatile: the member
+	// jobs are individually journaled and survive a crash under their
+	// original ids, the grouping does not.
+	sweeps      map[string]*sweepRec
+	nextSweepID uint64
+
 	rootCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
@@ -137,6 +146,7 @@ func newManager(opts Options) *manager {
 		workers:    opts.Workers,
 		jobTimeout: opts.JobTimeout,
 		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweepRec),
 		queue:      make(chan *job, opts.QueueDepth),
 		met:        newServeMetrics(),
 		arch:       opts.Archive,
@@ -231,6 +241,116 @@ func (m *manager) submit(j *job) error {
 	m.met.jobsTotal.Inc()
 	m.met.queued.Add(1)
 	return nil
+}
+
+// sweepRec groups the jobs of one detached sweep, in submission order.
+type sweepRec struct {
+	id       string
+	progSHA  string
+	cacheHit bool
+	variants []Variant
+	jobs     []*job
+}
+
+// submitSweep admits a detached sweep's jobs atomically: the whole
+// batch fits the queue or none of it is accepted (ErrQueueFull). Each
+// job goes through the same acceptance protocol as a single submit —
+// id assignment, write-ahead journaling, enqueue — under one critical
+// section, and the sweep record is registered with the batch so a
+// client can never observe a sweep id whose jobs are missing.
+func (m *manager) submitSweep(jobs []*job, rec *sweepRec) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		m.met.rejectedClosed.Inc()
+		return ErrShuttingDown
+	}
+	if len(m.queue)+len(jobs) > cap(m.queue) {
+		m.met.rejectedFull.Inc()
+		return ErrQueueFull
+	}
+	for i, j := range jobs {
+		m.nextID++
+		j.id = "j-" + strconv.FormatUint(m.nextID, 10)
+		if m.jnl != nil {
+			if _, err := m.jnl.append(journalRecord{T: journalAccepted, ID: j.id, Req: j.req}); err != nil {
+				// The batch's earlier "accepted" records are already
+				// durable but their jobs were not enqueued; journal them
+				// terminal so a crash-restart does not replay half a sweep
+				// the client was told failed.
+				for _, prev := range jobs[:i] {
+					_, _ = m.jnl.append(journalRecord{T: journalTerminal, ID: prev.id})
+				}
+				return fmt.Errorf("serve: write-ahead journal: %w", err)
+			}
+		}
+	}
+	for _, j := range jobs {
+		j.state = StateQueued
+		j.submitted = m.now()
+		m.queue <- j
+		m.jobs[j.id] = j
+		m.met.jobsTotal.Inc()
+		m.met.queued.Add(1)
+	}
+	m.nextSweepID++
+	rec.id = "s-" + strconv.FormatUint(m.nextSweepID, 10)
+	m.sweeps[rec.id] = rec
+	return nil
+}
+
+// sweepStatus derives a detached sweep's aggregate view from its
+// member jobs' current states.
+func (m *manager) sweepStatus(id string) (*SweepStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.sweeps[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown sweep: %s", id)
+	}
+	st := &SweepStatus{
+		ID:            rec.id,
+		ProgramSHA256: rec.progSHA,
+		CacheHit:      rec.cacheHit,
+	}
+	for i, j := range rec.jobs {
+		vs := SweepVariantStatus{
+			Name:   rec.variants[i].Name,
+			Seed:   rec.variants[i].Seed,
+			Inject: rec.variants[i].Inject,
+			JobID:  j.id,
+			Status: j.state,
+		}
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		}
+		if j.state == StateDone || j.state == StateFailed {
+			code := runner.ExitCode(j.err)
+			vs.ExitCode = &code
+			if j.err != nil {
+				vs.Error = j.err.Error()
+			}
+		}
+		st.Variants = append(st.Variants, vs)
+	}
+	switch {
+	case st.Done == len(rec.jobs):
+		st.Status = StateDone
+	case st.Done+st.Failed == len(rec.jobs):
+		st.Status = StateFailed
+	case st.Queued == len(rec.jobs):
+		st.Status = StateQueued
+	default:
+		st.Status = StateRunning
+	}
+	return st, nil
 }
 
 // requeue re-enqueues one crash-recovered job under its original id —

@@ -16,13 +16,24 @@
 //	GET  /v1/jobs/{id}/spans span breakdown (queue wait, decode,
 //	                         execute, total) as NDJSON once terminal
 //	POST /v1/sweeps          synchronous batch fan-out over the sweep
-//	                         pool; results in submission order
+//	                         pool; results in submission order. With
+//	                         "detach":true the variants are admitted
+//	                         atomically as regular jobs and the response
+//	                         is 202 with a sweep id + per-variant job ids
+//	GET  /v1/sweeps/{id}     detached-sweep status: per-variant job ids
+//	                         and terminal states
 //	GET  /v1/runs            cross-run history from the durable run
 //	                         archive (digest/arch/seed/inject/limit
 //	                         filters); 404 without -archive
 //	POST /v1/regress         re-run a batch and diff it against the
 //	                         archived baselines; 404 without -archive
-//	GET  /healthz            liveness ("ok", 503 while draining)
+//	GET  /healthz            combined health ("ok", 503 while draining;
+//	                         byte-compatible with earlier releases)
+//	GET  /livez              process liveness (always 200 "ok")
+//	GET  /readyz             routing readiness (503 "draining" during
+//	                         graceful shutdown)
+//	POST /v1/fabric/lease    fabric coordinator registration/heartbeat
+//	                         (exclusive TTL lease + load report)
 //	GET  /metrics            Prometheus text exposition (internal/obs)
 //	GET  /varz               queue/job/cache/cycle metrics — the legacy
 //	                         JSON view over the same registry, key- and
@@ -148,6 +159,12 @@ type Server struct {
 	mux      *http.ServeMux
 	sweepSem chan struct{}
 	recovery RecoveryInfo
+
+	// workerID and lease are the fabric worker identity: the id is
+	// minted per process and reported on every lease response, the
+	// lease state arbitrates which coordinator owns this worker.
+	workerID string
+	lease    leaseState
 }
 
 // RecoveryInfo summarizes what New's crash recovery found in
@@ -185,6 +202,7 @@ func New(opts Options) *Server {
 		opts:     opts,
 		mux:      http.NewServeMux(),
 		sweepSem: make(chan struct{}, opts.MaxConcurrentSweeps),
+		workerID: newWorkerID(),
 	}
 
 	var (
@@ -227,9 +245,13 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleSpans)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	s.mux.HandleFunc("GET /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("POST /v1/regress", s.handleRegress)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("POST /v1/fabric/lease", s.handleLease)
 	s.mux.Handle("GET /metrics", s.mgr.met.reg.Handler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	return s

@@ -26,6 +26,61 @@ type SweepRequest struct {
 	Seeds []int64 `json:"seeds,omitempty"`
 	// Injects are fault-injection spec variations.
 	Injects []string `json:"injects,omitempty"`
+	// Detach submits every variant as a regular job through the bounded
+	// queue and answers immediately with a sweep id plus the per-variant
+	// job ids; poll GET /v1/sweeps/{id} for terminal states and the
+	// individual job endpoints for result documents. The whole batch is
+	// admitted atomically: if the queue cannot hold every variant the
+	// request is rejected 429 and nothing runs.
+	Detach bool `json:"detach,omitempty"`
+}
+
+// Variant is one expanded (seed, inject) point of a sweep
+// cross-product. It is shared between the single-node sweep path and
+// the fabric coordinator, which expands the same request through
+// ExpandVariants so a fleet merge is variant-for-variant identical to
+// a single-node sweep.
+type Variant struct {
+	// Name is the stable task label, "inject=%q/seed=%d".
+	Name string
+	Seed int64
+	// Inject is the spec exactly as submitted; Canon its canonical form
+	// (the archive key's inject axis).
+	Inject string
+	Canon  string
+}
+
+// ExpandVariants crosses the inject axis (outer) with the seed axis
+// (inner); an empty axis falls back to the base value. Every inject
+// variation is canonicalized up front, so the whole batch is rejected
+// on the first bad spec — a sweep never partially validates. maxTasks
+// <= 0 disables the fan-out cap.
+func ExpandVariants(baseSeed int64, baseInject string, seeds []int64, injects []string, maxTasks int) ([]Variant, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{baseSeed}
+	}
+	if len(injects) == 0 {
+		injects = []string{baseInject}
+	}
+	if n := len(seeds) * len(injects); maxTasks > 0 && n > maxTasks {
+		return nil, fmt.Errorf("sweep expands to %d tasks, limit %d", n, maxTasks)
+	}
+	variants := make([]Variant, 0, len(seeds)*len(injects))
+	for i, inj := range injects {
+		canon, err := inject.Canonicalize(inj)
+		if err != nil {
+			return nil, fmt.Errorf("injects[%d]: %w", i, err)
+		}
+		for _, seed := range seeds {
+			variants = append(variants, Variant{
+				Name:   fmt.Sprintf("inject=%q/seed=%d", inj, seed),
+				Seed:   seed,
+				Inject: inj,
+				Canon:  canon,
+			})
+		}
+	}
+	return variants, nil
 }
 
 // SweepTaskResult is one entry of a sweep response, in submission order.
@@ -56,39 +111,26 @@ type sweepVariant struct {
 	spec  runner.Spec
 }
 
-// expandSweep crosses the inject axis (outer) with the seed axis
-// (inner) over a built base job; empty axes fall back to the base
-// value. Every inject variation is canonicalized up front, so the whole
-// batch is rejected on the first bad spec — a sweep never partially
-// validates — and each variant carries the archive key's inject axis.
+// expandSweep expands the cross product over a built base job through
+// the shared ExpandVariants and attaches the concrete run spec each
+// variant executes with.
 func (s *Server) expandSweep(base *job, seeds []int64, injects []string) ([]sweepVariant, error) {
-	if len(seeds) == 0 {
-		seeds = []int64{base.spec.Seed}
+	expanded, err := ExpandVariants(base.spec.Seed, base.spec.Inject, seeds, injects, s.opts.MaxSweepTasks)
+	if err != nil {
+		return nil, err
 	}
-	if len(injects) == 0 {
-		injects = []string{base.spec.Inject}
-	}
-	if n := len(seeds) * len(injects); n > s.opts.MaxSweepTasks {
-		return nil, fmt.Errorf("sweep expands to %d tasks, limit %d", n, s.opts.MaxSweepTasks)
-	}
-	variants := make([]sweepVariant, 0, len(seeds)*len(injects))
-	for i, inj := range injects {
-		canon, err := inject.Canonicalize(inj)
-		if err != nil {
-			return nil, fmt.Errorf("injects[%d]: %w", i, err)
+	variants := make([]sweepVariant, 0, len(expanded))
+	for _, v := range expanded {
+		sv := sweepVariant{
+			name:   v.Name,
+			seed:   v.Seed,
+			inject: v.Inject,
+			canon:  v.Canon,
+			spec:   base.spec,
 		}
-		for _, seed := range seeds {
-			v := sweepVariant{
-				name:   fmt.Sprintf("inject=%q/seed=%d", inj, seed),
-				seed:   seed,
-				inject: inj,
-				canon:  canon,
-				spec:   base.spec,
-			}
-			v.spec.Seed = seed
-			v.spec.Inject = inj
-			variants = append(variants, v)
-		}
+		sv.spec.Seed = v.Seed
+		sv.spec.Inject = v.Inject
+		variants = append(variants, sv)
 	}
 	return variants, nil
 }
@@ -197,6 +239,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	if req.Detach {
+		// Detached variants ride the job queue, not the synchronous
+		// sweep pool; release the sweep slot before they even start.
+		s.submitDetachedSweep(w, base, &req)
+		return
+	}
 	variants, err := s.expandSweep(base, req.Seeds, req.Injects)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -225,4 +273,107 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, out)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// SweepSubmitResponse is the 202 body of a detached POST /v1/sweeps:
+// the sweep id to poll plus the per-variant job ids in submission
+// order, so a client (or the fabric coordinator, reconciling) can
+// follow each variant through the regular job endpoints.
+type SweepSubmitResponse struct {
+	ID            string   `json:"id"`
+	Status        State    `json:"status"`
+	ProgramSHA256 string   `json:"program_sha256"`
+	CacheHit      bool     `json:"cache_hit"`
+	JobIDs        []string `json:"job_ids"`
+}
+
+// SweepVariantStatus is one entry of GET /v1/sweeps/{id}, in
+// submission order.
+type SweepVariantStatus struct {
+	Name     string `json:"name"`
+	Seed     int64  `json:"seed"`
+	Inject   string `json:"inject,omitempty"`
+	JobID    string `json:"job_id"`
+	Status   State  `json:"status"`
+	ExitCode *int   `json:"exit_code,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// SweepStatus is the body of GET /v1/sweeps/{id}: the aggregate state
+// plus every variant's job id and terminal state — the id list clients
+// previously had to track themselves from the submit response.
+type SweepStatus struct {
+	ID            string               `json:"id"`
+	Status        State                `json:"status"`
+	ProgramSHA256 string               `json:"program_sha256"`
+	CacheHit      bool                 `json:"cache_hit"`
+	Queued        int                  `json:"queued"`
+	Running       int                  `json:"running"`
+	Done          int                  `json:"done"`
+	Failed        int                  `json:"failed"`
+	Variants      []SweepVariantStatus `json:"variants"`
+}
+
+// submitDetachedSweep expands the cross product, builds one job per
+// variant (cache hits make the repeat decode free), and admits the
+// whole batch atomically: either every variant is accepted — and, with
+// durability on, journaled — or the request is rejected and nothing
+// runs.
+func (s *Server) submitDetachedSweep(w http.ResponseWriter, base *job, req *SweepRequest) {
+	variants, err := ExpandVariants(base.spec.Seed, base.spec.Inject, req.Seeds, req.Injects, s.opts.MaxSweepTasks)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := make([]*job, len(variants))
+	for i, v := range variants {
+		// Shallow copy: the slice fields are never mutated after submit,
+		// so variants can share them.
+		reqV := req.Base
+		reqV.Seed = v.Seed
+		reqV.Inject = v.Inject
+		j, status, err := s.buildJob(&reqV)
+		if err != nil {
+			// Cannot happen for the seed/inject axes already validated by
+			// ExpandVariants, but keep the door shut.
+			writeError(w, status, err)
+			return
+		}
+		jobs[i] = j
+	}
+	rec := &sweepRec{progSHA: base.progSHA, cacheHit: base.cacheHit, variants: variants, jobs: jobs}
+	if err := s.mgr.submitSweep(jobs, rec); err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.setRetryAfter(w)
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrShuttingDown):
+			s.setRetryAfter(w)
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	s.mgr.met.sweepsRun.Inc()
+	resp := SweepSubmitResponse{
+		ID:            rec.id,
+		Status:        StateQueued,
+		ProgramSHA256: base.progSHA,
+		CacheHit:      base.cacheHit,
+	}
+	for _, j := range jobs {
+		resp.JobIDs = append(resp.JobIDs, j.id)
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleSweepStatus serves GET /v1/sweeps/{id} for detached sweeps.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.sweepStatus(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }

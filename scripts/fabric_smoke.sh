@@ -1,0 +1,196 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — end-to-end smoke test of the distributed sweep
+# fabric, as run by CI. Builds ximdd and ximdc, starts one coordinator
+# over two workers, and drives the fleet through its contract:
+#
+#   1. fleet forms: /readyz goes ready, /v1/fleet shows 2 ready workers
+#   2. a multi-seed sweep of one program routes with digest affinity
+#      (ximdc_affinity_hit_rate > 0.9) and its merged response is
+#      byte-identical to the same sweep on a single worker
+#   3. the fleet-wide regression gate passes against the archive the
+#      sweep just populated
+#   4. a long sweep is interrupted by kill -9 of the worker that owns
+#      its jobs; the coordinator requeues onto the survivor and the
+#      merged response is STILL byte-identical to the single-node
+#      reference (deterministic requeue)
+#   5. the fleet view reports the dead worker, the requeue/lost
+#      counters are live, and the coordinator shuts down cleanly
+#
+# Requires curl and python3.
+#
+# Usage: scripts/fabric_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# scrape_addr LOGFILE PID: waits for "listening on HOST:PORT".
+scrape_addr() {
+  local log=$1 pid=$2 addr=""
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/.*listening on \([0-9.:]*\)$/\1/p' "$log" | head -n1)
+    [ -n "$addr" ] && { echo "$addr"; return 0; }
+    kill -0 "$pid" 2>/dev/null || { cat "$log" >&2; return 1; }
+    sleep 0.1
+  done
+  cat "$log" >&2; return 1
+}
+
+echo "== build"
+go build -o "$workdir/ximdd" ./cmd/ximdd
+go build -o "$workdir/ximdc" ./cmd/ximdc
+
+echo "== start 2 workers"
+"$workdir/ximdd" -addr 127.0.0.1:0 >"$workdir/w0.log" 2>&1 &
+w0_pid=$!; pids+=("$w0_pid")
+"$workdir/ximdd" -addr 127.0.0.1:0 >"$workdir/w1.log" 2>&1 &
+w1_pid=$!; pids+=("$w1_pid")
+w0=$(scrape_addr "$workdir/w0.log" "$w0_pid")
+w1=$(scrape_addr "$workdir/w1.log" "$w1_pid")
+echo "   workers at $w0, $w1"
+
+echo "== start coordinator"
+"$workdir/ximdc" -addr 127.0.0.1:0 -worker "http://$w0" -worker "http://$w1" \
+  -heartbeat 100ms -archive "$workdir/archive" >"$workdir/coord.log" 2>&1 &
+coord_pid=$!; pids+=("$coord_pid")
+coord="http://$(scrape_addr "$workdir/coord.log" "$coord_pid")"
+echo "   coordinator at $coord"
+
+echo "== fleet forms"
+curl -fsS "$coord/livez" | grep -q ok
+for _ in $(seq 1 50); do
+  if curl -fsS "$coord/readyz" 2>/dev/null | grep -q ready; then break; fi
+  sleep 0.1
+done
+curl -fsS "$coord/readyz" | grep -q ready || { echo "coordinator never ready"; cat "$workdir/coord.log"; exit 1; }
+fleet=$(curl -fsS "$coord/v1/fleet")
+echo "   $fleet"
+ready=$(echo "$fleet" | grep -o '"state":"ready"' | wc -l)
+[ "$ready" -eq 2 ] || { echo "expected 2 ready workers: $fleet"; exit 1; }
+
+echo "== affinity sweep (8 seeds of TPROC through the fleet)"
+sweep_req=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/tproc.xasm").read_text()
+print(json.dumps({
+    "base": {"arch": "ximd", "source": src, "pokes": ["r1=3", "r2=4", "r3=5", "r4=6"]},
+    "seeds": [1, 2, 3, 4, 5, 6, 7, 8],
+}))
+EOF
+)
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$sweep_req" "$coord/v1/sweeps" >"$workdir/fleet_tproc.json"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$sweep_req" "http://$w0/v1/sweeps" >"$workdir/single_tproc.json"
+python3 - "$workdir/fleet_tproc.json" "$workdir/single_tproc.json" <<'EOF'
+import json, sys
+fleet = json.load(open(sys.argv[1]))["results"]
+single = json.load(open(sys.argv[2]))["results"]
+if json.dumps(fleet, sort_keys=True) != json.dumps(single, sort_keys=True):
+    sys.exit("fleet sweep differs from single-node sweep")
+print(f"   {len(fleet)} variants match the single-node run")
+EOF
+
+echo "== affinity hit rate"
+metrics=$(curl -fsS "$coord/metrics")
+echo "$metrics" | grep '^ximdc_affinity_'
+python3 - <<EOF
+hits = spills = 0.0
+for line in """$(echo "$metrics" | grep -E '^ximdc_affinity_(hits|spills)_total ')""".splitlines():
+    name, val = line.split()
+    if "hits" in name: hits = float(val)
+    else: spills = float(val)
+rate = hits / (hits + spills)
+assert rate > 0.9, f"affinity hit rate {rate:.3f} <= 0.9 (hits {hits}, spills {spills})"
+print(f"   affinity hit rate {rate:.3f}")
+EOF
+
+echo "== fleet-wide regression gate"
+reg_req=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/tproc.xasm").read_text()
+print(json.dumps({
+    "base": {"arch": "ximd", "source": src, "pokes": ["r1=3", "r2=4", "r3=5", "r4=6"]},
+    "seeds": [1, 2, 3],
+}))
+EOF
+)
+verdict=$(curl -fsS -X POST -H 'Content-Type: application/json' -d "$reg_req" "$coord/v1/regress")
+echo "   $verdict" | head -c 200; echo
+echo "$verdict" | grep -q '"pass":true' || { echo "fleet regress did not pass: $verdict"; exit 1; }
+
+echo "== kill test: reference run on one worker"
+long_req=$(python3 - <<'EOF'
+import json, pathlib
+src = pathlib.Path("testdata/longloop.xasm").read_text()
+print(json.dumps({
+    "base": {"arch": "ximd", "source": src, "max_cycles": 100000000, "peeks": ["300:1"]},
+    "seeds": [1, 2, 3, 4],
+}))
+EOF
+)
+curl -fsS --max-time 120 -X POST -H 'Content-Type: application/json' -d "$long_req" "http://$w0/v1/sweeps" >"$workdir/single_long.json"
+
+echo "== kill test: fleet sweep in flight"
+curl -fsS --max-time 120 -X POST -H 'Content-Type: application/json' -d "$long_req" "$coord/v1/sweeps" >"$workdir/fleet_long.json" &
+curl_pid=$!
+
+# Find the worker actually executing the sweep and kill -9 it.
+victim_pid=""
+for _ in $(seq 1 100); do
+  for pair in "$w0:$w0_pid" "$w1:$w1_pid"; do
+    addr=${pair%:*}; pid=${pair##*:}
+    running=$(curl -fsS "http://$addr/varz" 2>/dev/null | sed -n 's/.*"jobs_running": \([0-9]*\).*/\1/p' || true)
+    if [ -n "$running" ] && [ "$running" -gt 0 ]; then
+      victim_pid=$pid; victim_addr=$addr; break 2
+    fi
+  done
+  sleep 0.05
+done
+[ -n "$victim_pid" ] || { echo "no worker ever reported a running job"; exit 1; }
+echo "   killing worker $victim_addr (pid $victim_pid) mid-sweep"
+kill -9 "$victim_pid"
+wait "$victim_pid" 2>/dev/null || true
+
+wait "$curl_pid" || { echo "fleet sweep request failed after worker kill"; cat "$workdir/coord.log"; exit 1; }
+python3 - "$workdir/fleet_long.json" "$workdir/single_long.json" <<'EOF'
+import json, sys
+fleet = json.load(open(sys.argv[1]))["results"]
+single = json.load(open(sys.argv[2]))["results"]
+for f in fleet:
+    assert not f.get("error"), f"variant {f['name']} failed: {f['error']}"
+if json.dumps(fleet, sort_keys=True) != json.dumps(single, sort_keys=True):
+    sys.exit("post-kill fleet sweep differs from single-node reference")
+print(f"   {len(fleet)} variants survived the kill byte-identical")
+EOF
+
+echo "== requeue accounting and fleet view"
+metrics=$(curl -fsS "$coord/metrics")
+echo "$metrics" | grep -E '^ximdc_(jobs_requeued|workers_lost)_total '
+requeued=$(echo "$metrics" | sed -n 's/^ximdc_jobs_requeued_total \([0-9]*\)$/\1/p')
+lost=$(echo "$metrics" | sed -n 's/^ximdc_workers_lost_total \([0-9]*\)$/\1/p')
+[ "${requeued:-0}" -gt 0 ] || { echo "no jobs requeued despite worker kill"; exit 1; }
+[ "${lost:-0}" -gt 0 ] || { echo "worker never marked lost"; exit 1; }
+curl -fsS "$coord/v1/fleet" | grep -q '"state":"lost"' || { echo "fleet view missing lost worker"; exit 1; }
+
+echo "== archive survived the fleet's lifetime"
+runs=$(curl -fsS "$coord/v1/runs?limit=100")
+count=$(echo "$runs" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')
+# 8 tproc variants + 4 longloop variants; the regress runs must not
+# have self-archived.
+[ "$count" -eq 12 ] || { echo "archive count $count, want 12"; exit 1; }
+
+echo "== graceful coordinator shutdown"
+kill -TERM "$coord_pid"
+wait "$coord_pid" 2>/dev/null || true
+grep -q "stopped" "$workdir/coord.log" || { echo "no clean coordinator shutdown:"; cat "$workdir/coord.log"; exit 1; }
+
+echo "fabric smoke OK"
