@@ -24,6 +24,12 @@
 //	                   sweep variants are recorded, GET /v1/runs queries
 //	                   history, POST /v1/regress gates fresh fleet runs
 //	                   against the archived baselines (empty = disabled)
+//	-log-format FMT    log output format: text (the classic human-readable
+//	                   lines) or json (one structured object per line,
+//	                   with worker/trace_id fields where relevant)
+//	-debug-addr ADDR   opt-in net/http/pprof listener (empty = disabled).
+//	                   Always a separate listener — profiling endpoints
+//	                   never share the API port
 //
 // On SIGINT/SIGTERM the coordinator stops accepting work (503 on
 // submit, /readyz goes non-ready), cancels inflight fabric jobs, and
@@ -34,9 +40,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -45,6 +51,7 @@ import (
 
 	"ximd/internal/archive"
 	"ximd/internal/fabric"
+	"ximd/internal/xlog"
 )
 
 // workerList collects repeated -worker flags.
@@ -70,25 +77,50 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "per-worker inflight bound (0 = worker queue capacity)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	archiveDir := flag.String("archive", "", "fleet-wide durable run archive directory (empty = disabled)")
+	logFormat := flag.String("log-format", xlog.FormatText, "log output format: text or json")
+	debugAddr := flag.String("debug-addr", "", "net/http/pprof listener address (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() != 0 || len(workers) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: ximdc -worker URL [-worker URL ...] [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	logger, err := xlog.New(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ximdc: %v\n", err)
+		os.Exit(2)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	var arch *archive.Archive
 	if *archiveDir != "" {
-		var err error
 		arch, err = archive.Open(*archiveDir)
 		if err != nil {
-			log.Fatalf("ximdc: %v", err)
+			fatalf("ximdc: %v", err)
 		}
 		defer arch.Close()
 		if n := arch.Skipped(); n > 0 {
-			log.Printf("ximdc: archive: truncated %d torn record(s) at the log tail", n)
+			logger.Warn(fmt.Sprintf("ximdc: archive: truncated %d torn record(s) at the log tail", n),
+				"torn_records", n)
 		}
-		log.Printf("ximdc: archive: %d record(s) in %s", arch.Len(), *archiveDir)
+		logger.Info(fmt.Sprintf("ximdc: archive: %d record(s) in %s", arch.Len(), *archiveDir),
+			"records", arch.Len(), "dir", *archiveDir)
+	}
+
+	if *debugAddr != "" {
+		// pprof rides the default mux (the blank net/http/pprof import)
+		// on its own listener, so profiling is never reachable through
+		// the API port.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("ximdc: debug listener: %v", err)
+		}
+		logger.Info(fmt.Sprintf("ximdc: pprof debug server on %s", dln.Addr()),
+			"debug_addr", dln.Addr().String())
+		go func() { _ = http.Serve(dln, nil) }()
 	}
 
 	coord, err := fabric.New(fabric.Options{
@@ -98,15 +130,17 @@ func main() {
 		StealAfter:     *stealAfter,
 		MaxInflight:    *maxInflight,
 		Archive:        arch,
+		Logger:         logger,
 	})
 	if err != nil {
-		log.Fatalf("ximdc: %v", err)
+		fatalf("ximdc: %v", err)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("ximdc: %v", err)
+		fatalf("ximdc: %v", err)
 	}
-	log.Printf("ximdc: %s coordinating %d worker(s), listening on %s", coord.ID(), len(workers), ln.Addr())
+	logger.Info(fmt.Sprintf("ximdc: %s coordinating %d worker(s), listening on %s", coord.ID(), len(workers), ln.Addr()),
+		"coordinator", coord.ID(), "workers", len(workers), "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: coord.Handler()}
 	errc := make(chan error, 1)
@@ -116,23 +150,24 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("ximdc: serve: %v", err)
+		fatalf("ximdc: serve: %v", err)
 	case sig := <-sigc:
-		log.Printf("ximdc: %v: draining (budget %v); signal again to abort", sig, *drainTimeout)
+		logger.Info(fmt.Sprintf("ximdc: %v: draining (budget %v); signal again to abort", sig, *drainTimeout),
+			"signal", sig.String(), "budget", drainTimeout.String())
 	}
 	go func() {
 		<-sigc
-		log.Printf("ximdc: second signal: aborting")
+		logger.Warn("ximdc: second signal: aborting")
 		os.Exit(1)
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := coord.Shutdown(ctx); err != nil {
-		log.Printf("ximdc: drain incomplete: %v", err)
+		logger.Warn(fmt.Sprintf("ximdc: drain incomplete: %v", err), "err", err.Error())
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("ximdc: http shutdown: %v", err)
+		logger.Warn(fmt.Sprintf("ximdc: http shutdown: %v", err), "err", err.Error())
 	}
-	log.Printf("ximdc: stopped")
+	logger.Info("ximdc: stopped")
 }

@@ -24,6 +24,12 @@
 //	                   original job ids
 //	-checkpoint-every N  checkpoint interval for durable jobs, in
 //	                   simulated machine cycles (default 8388608)
+//	-log-format FMT    log output format: text (the classic human-readable
+//	                   lines) or json (one structured object per line,
+//	                   with job_id/trace_id/worker fields where relevant)
+//	-debug-addr ADDR   opt-in net/http/pprof listener (empty = disabled).
+//	                   Always a separate listener — profiling endpoints
+//	                   never share the API port
 //
 // On SIGINT/SIGTERM the daemon stops accepting work (503), drains
 // queued and running jobs within the drain budget, then exits; a second
@@ -34,9 +40,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,6 +50,7 @@ import (
 
 	"ximd/internal/archive"
 	"ximd/internal/serve"
+	"ximd/internal/xlog"
 )
 
 func main() {
@@ -54,25 +61,50 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	archiveDir := flag.String("archive", "", "durable run archive directory (empty = disabled)")
 	ckptEvery := flag.Uint64("checkpoint-every", serve.DefaultCheckpointEvery, "checkpoint interval for durable jobs, in machine cycles")
+	logFormat := flag.String("log-format", xlog.FormatText, "log output format: text or json")
+	debugAddr := flag.String("debug-addr", "", "net/http/pprof listener address (empty = disabled)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: ximdd [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	logger, err := xlog.New(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ximdd: %v\n", err)
+		os.Exit(2)
+	}
+	fatalf := func(format string, args ...any) {
+		logger.Error(fmt.Sprintf(format, args...))
+		os.Exit(1)
+	}
 
 	var arch *archive.Archive
 	if *archiveDir != "" {
-		var err error
 		arch, err = archive.Open(*archiveDir)
 		if err != nil {
-			log.Fatalf("ximdd: %v", err)
+			fatalf("ximdd: %v", err)
 		}
 		defer arch.Close()
 		if n := arch.Skipped(); n > 0 {
-			log.Printf("ximdd: archive: truncated %d torn record(s) at the log tail", n)
+			logger.Warn(fmt.Sprintf("ximdd: archive: truncated %d torn record(s) at the log tail", n),
+				"torn_records", n)
 		}
-		log.Printf("ximdd: archive: %d record(s) in %s", arch.Len(), *archiveDir)
+		logger.Info(fmt.Sprintf("ximdd: archive: %d record(s) in %s", arch.Len(), *archiveDir),
+			"records", arch.Len(), "dir", *archiveDir)
+	}
+
+	if *debugAddr != "" {
+		// pprof rides the default mux (the blank net/http/pprof import)
+		// on its own listener, so profiling is never reachable through
+		// the API port.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("ximdd: debug listener: %v", err)
+		}
+		logger.Info(fmt.Sprintf("ximdd: pprof debug server on %s", dln.Addr()),
+			"debug_addr", dln.Addr().String())
+		go func() { _ = http.Serve(dln, nil) }()
 	}
 
 	svc := serve.New(serve.Options{
@@ -86,16 +118,18 @@ func main() {
 	if rec := svc.Recovery(); rec.Err != nil {
 		// A daemon that promised durability (-archive) but cannot keep it
 		// must not run and silently lose jobs.
-		log.Fatalf("ximdd: durable job state: %v", rec.Err)
+		fatalf("ximdd: durable job state: %v", rec.Err)
 	} else if *archiveDir != "" {
-		log.Printf("ximdd: recovery: %d job(s) requeued, %d resumed from checkpoint, %d cold-rerun, %d dropped",
-			rec.Requeued, rec.Resumed, rec.ColdRerun, rec.Dropped)
+		logger.Info(fmt.Sprintf("ximdd: recovery: %d job(s) requeued, %d resumed from checkpoint, %d cold-rerun, %d dropped",
+			rec.Requeued, rec.Resumed, rec.ColdRerun, rec.Dropped),
+			"requeued", rec.Requeued, "resumed", rec.Resumed,
+			"cold_rerun", rec.ColdRerun, "dropped", rec.Dropped)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("ximdd: %v", err)
+		fatalf("ximdd: %v", err)
 	}
-	log.Printf("ximdd: listening on %s", ln.Addr())
+	logger.Info(fmt.Sprintf("ximdd: listening on %s", ln.Addr()), "addr", ln.Addr().String())
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
@@ -105,23 +139,24 @@ func main() {
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
-		log.Fatalf("ximdd: serve: %v", err)
+		fatalf("ximdd: serve: %v", err)
 	case sig := <-sigc:
-		log.Printf("ximdd: %v: draining (budget %v); signal again to abort", sig, *drainTimeout)
+		logger.Info(fmt.Sprintf("ximdd: %v: draining (budget %v); signal again to abort", sig, *drainTimeout),
+			"signal", sig.String(), "budget", drainTimeout.String())
 	}
 	go func() {
 		<-sigc
-		log.Printf("ximdd: second signal: aborting")
+		logger.Warn("ximdd: second signal: aborting")
 		os.Exit(1)
 	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := svc.Shutdown(ctx); err != nil {
-		log.Printf("ximdd: drain incomplete: %v", err)
+		logger.Warn(fmt.Sprintf("ximdd: drain incomplete: %v", err), "err", err.Error())
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		log.Printf("ximdd: http shutdown: %v", err)
+		logger.Warn(fmt.Sprintf("ximdd: http shutdown: %v", err), "err", err.Error())
 	}
-	log.Printf("ximdd: stopped")
+	logger.Info("ximdd: stopped")
 }

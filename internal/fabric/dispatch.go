@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ximd/internal/archive"
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/serve"
 )
@@ -36,6 +37,11 @@ type cjob struct {
 	// matching itself).
 	doArchive bool
 	submitted time.Time
+	// span is the coordinator-side "job" span; traceID its trace. Every
+	// placement hangs a child off it, and the worker-side subtree is
+	// spliced in at finalize by fetching the worker's spans for traceID.
+	span    *obs.Span
+	traceID string
 
 	mu sync.Mutex
 	// state is the coordinator-side view: queued (not yet placed),
@@ -61,8 +67,11 @@ func (j *cjob) setDispatched(w *worker, remoteID string) {
 	j.mu.Unlock()
 }
 
-// startJob registers and launches one fabric job.
-func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.Arch, canon string, doArchive bool) (*cjob, error) {
+// startJob registers and launches one fabric job. span is the
+// coordinator-side job span (a child of the request/sweep/regress span
+// that caused it); startJob owns it from here — it is finished at the
+// job's terminal state.
+func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.Arch, canon string, doArchive bool, span *obs.Span) (*cjob, error) {
 	j := &cjob{
 		req:         req,
 		wantProfile: req.Profile,
@@ -70,6 +79,8 @@ func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.
 		arch:        arch,
 		canon:       canon,
 		doArchive:   doArchive,
+		span:        span,
+		traceID:     span.Context().TraceID,
 		state:       serve.StateQueued,
 		done:        make(chan struct{}),
 	}
@@ -77,6 +88,8 @@ func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		span.SetAttr("error", ErrShuttingDown.Error())
+		span.Finish()
 		return nil, ErrShuttingDown
 	}
 	c.nextJob++
@@ -85,6 +98,8 @@ func (c *Coordinator) startJob(req serve.JobRequest, digest string, arch runner.
 	c.jobs[j.id] = j
 	c.wg.Add(1)
 	c.mu.Unlock()
+	span.SetAttr("job_id", j.id)
+	span.SetAttr("digest", digest)
 	c.met.jobsTotal.Inc()
 	c.met.jobsInflight.Add(1)
 	go c.runJob(j)
@@ -100,6 +115,18 @@ type submission struct {
 	queuedSince time.Time
 	lastState   serve.State
 	fails       int
+	// span is the placement span: one per submission, annotated with
+	// the worker name/url and finished with a drop_reason when the
+	// placement is abandoned (worker_lost, remote_job_gone, poll_errors,
+	// superseded) or cleanly when it produced the terminal result.
+	span *obs.Span
+}
+
+// finishDropped closes a placement span with the reason the placement
+// was abandoned.
+func (s *submission) finishDropped(reason string) {
+	s.span.SetAttr("drop_reason", reason)
+	s.span.Finish()
 }
 
 // runJob drives one fabric job to a terminal state: route with digest
@@ -110,9 +137,13 @@ func (c *Coordinator) runJob(j *cjob) {
 	deadline := j.submitted.Add(c.opts.JobTimeout)
 	var subs []*submission
 	interval := c.opts.PollEvery
+	// tried remembers every worker that ever held a placement, lost or
+	// not — finalize asks each of them for their side of the trace.
+	tried := map[string]*worker{}
 
-	drop := func(i int) {
+	drop := func(i int, reason string) {
 		subs[i].w.detach(j.id)
+		subs[i].finishDropped(reason)
 		subs = append(subs[:i], subs[i+1:]...)
 	}
 
@@ -144,7 +175,9 @@ func (c *Coordinator) runJob(j *cjob) {
 				// A successful resubmission after the job lost every
 				// placement — the deterministic requeue in action.
 				c.met.jobsRequeued.Inc()
+				s.span.SetAttr("requeue", "true")
 			}
+			tried[s.w.url] = s.w
 			subs = append(subs, s)
 			j.setDispatched(s.w, s.remoteID)
 			interval = c.opts.PollEvery
@@ -160,24 +193,26 @@ func (c *Coordinator) runJob(j *cjob) {
 		for i := 0; i < len(subs); {
 			s := subs[i]
 			if s.w.isLost() {
-				drop(i)
+				drop(i, "worker_lost")
 				continue
 			}
 			ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
+			pollStart := time.Now()
 			st, err := s.w.status(ctx, s.remoteID)
+			c.met.pollSecs.Observe(time.Since(pollStart).Seconds())
 			cancel()
 			switch {
 			case errors.Is(err, errJobGone):
 				// The worker restarted without durable state and forgot
 				// the job; resubmit.
-				drop(i)
+				drop(i, "remote_job_gone")
 				continue
 			case err != nil:
 				// Transport trouble. The heartbeat loop is the authority
 				// on worker loss, but a per-job error streak must not
 				// outwait it.
 				if s.fails++; s.fails >= c.opts.MaxMissedHeartbeats {
-					drop(i)
+					drop(i, "poll_errors")
 					continue
 				}
 				i++
@@ -187,8 +222,13 @@ func (c *Coordinator) runJob(j *cjob) {
 			if st.Status == serve.StateDone || st.Status == serve.StateFailed {
 				for _, other := range subs {
 					other.w.detach(j.id)
+					if other == s {
+						other.span.Finish() // the winning placement
+					} else {
+						other.finishDropped("superseded")
+					}
 				}
-				c.finalize(j, st)
+				c.finalize(j, st, tried)
 				return
 			}
 			if st.Status != s.lastState {
@@ -205,6 +245,8 @@ func (c *Coordinator) runJob(j *cjob) {
 		if len(subs) == 1 && !j.stolenNow() && c.opts.StealAfter > 0 &&
 			subs[0].lastState != serve.StateRunning && time.Since(subs[0].queuedSince) > c.opts.StealAfter {
 			if s2 := c.trySubmit(j, subs[0].w, true); s2 != nil {
+				s2.span.SetAttr("steal", "true")
+				tried[s2.w.url] = s2.w
 				subs = append(subs, s2)
 				j.noteStolen()
 				c.met.jobsStolen.Inc()
@@ -222,20 +264,30 @@ func (c *Coordinator) trySubmit(j *cjob, exclude *worker, strict bool) *submissi
 	if w == nil {
 		return nil
 	}
+	// The placement span is the propagation point: the worker adopts its
+	// context, so the worker-side job subtree nests under this placement
+	// in the assembled fleet-wide tree.
+	ps := j.span.Child("placement")
+	ps.SetAttr("worker", w.name)
+	ps.SetAttr("url", w.url)
 	ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
 	defer cancel()
 	start := time.Now()
-	resp, err := w.submit(ctx, &j.req)
+	resp, err := w.submit(ctx, &j.req, obs.FormatTraceHeader(ps.Context()))
 	c.met.submitSecs.Observe(time.Since(start).Seconds())
 	if err != nil {
 		c.met.submitRetries.Inc()
 		if errors.Is(err, errWorkerDraining) {
 			w.noteDraining()
 		}
+		ps.SetAttr("drop_reason", "submit_failed")
+		ps.SetAttr("error", err.Error())
+		ps.Finish()
 		return nil
 	}
+	ps.SetAttr("remote_id", resp.ID)
 	w.attach(j)
-	return &submission{w: w, remoteID: resp.ID, queuedSince: time.Now(), lastState: serve.StateQueued}
+	return &submission{w: w, remoteID: resp.ID, queuedSince: time.Now(), lastState: serve.StateQueued, span: ps}
 }
 
 func (j *cjob) attemptsNow() int {
@@ -273,8 +325,32 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // archiving jobs, appends the run to the fleet-wide archive before
 // closing the done channel — a waiter that observes completion may
 // rely on the archive already holding the record, the same ordering
-// the single-node service keeps.
-func (c *Coordinator) finalize(j *cjob, st *serve.JobStatus) {
+// the single-node service keeps. It also assembles the fleet-wide
+// trace: every worker that ever held a placement is asked for its side
+// of the trace, and the fetched spans are imported into the
+// coordinator's store so GET /v1/traces/{id} shows the whole tree —
+// requeued and stolen placements included. The job span is finished
+// before done closes, so a waiter can fetch a complete trace.
+func (c *Coordinator) finalize(j *cjob, st *serve.JobStatus, tried map[string]*worker) {
+	// Complete the trace before publishing the terminal state: a client
+	// that observes done via GET /v1/jobs/{id} must find the whole tree
+	// under /v1/traces/{trace_id}, worker subtrees included.
+	c.importWorkerSpans(j, tried)
+	j.mu.Lock()
+	wname := j.workerName
+	attempts := j.attempts
+	stolen := j.stolen
+	j.mu.Unlock()
+	j.span.SetAttr("state", string(st.Status))
+	j.span.SetAttr("worker", wname)
+	j.span.SetAttrInt("attempts", uint64(attempts))
+	if stolen {
+		j.span.SetAttr("stolen", "true")
+	}
+	if st.Error != "" {
+		j.span.SetAttr("error", st.Error)
+	}
+	j.span.Finish()
 	j.mu.Lock()
 	j.final = st
 	j.state = st.Status
@@ -293,6 +369,41 @@ func (c *Coordinator) finalize(j *cjob, st *serve.JobStatus) {
 	close(j.done)
 }
 
+// importWorkerSpans pulls each tried worker's spans for the job's
+// trace into the coordinator store. Lost workers are skipped (their
+// API is unreachable; the placement span's drop_reason already tells
+// the story), and a fetch failure degrades to a flatter tree, never a
+// failed job.
+func (c *Coordinator) importWorkerSpans(j *cjob, tried map[string]*worker) {
+	// Jobs of one sweep share a trace, so a later finalize re-fetches
+	// spans an earlier one already imported; skip known span ids to
+	// keep the store duplicate-free.
+	seen := map[string]bool{}
+	for _, sp := range c.spanStore.Trace(j.traceID) {
+		seen[sp.SpanID] = true
+	}
+	for _, w := range tried {
+		if w.isLost() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(c.rootCtx, c.opts.HTTPTimeout)
+		spans, err := w.fetchSpans(ctx, j.traceID)
+		cancel()
+		if err != nil {
+			c.log.Warn(fmt.Sprintf("fabric: trace fetch from %s failed: %v", w.name, err),
+				"worker", w.name, "trace_id", j.traceID, "err", err.Error())
+			continue
+		}
+		for i := range spans {
+			if seen[spans[i].SpanID] {
+				continue
+			}
+			seen[spans[i].SpanID] = true
+			c.spanStore.Add(spans[i])
+		}
+	}
+}
+
 // fail publishes a fabric-level terminal failure (deadline, shutdown).
 // These never reach the archive: unlike worker-reported outcomes they
 // are not deterministic functions of the request.
@@ -303,6 +414,9 @@ func (c *Coordinator) fail(j *cjob, msg string) {
 	j.mu.Unlock()
 	c.met.jobsInflight.Add(-1)
 	c.met.jobsFailed.Inc()
+	j.span.SetAttr("state", string(serve.StateFailed))
+	j.span.SetAttr("error", msg)
+	j.span.Finish()
 	close(j.done)
 }
 
@@ -372,6 +486,9 @@ type JobStatus struct {
 	RemoteID string `json:"remote_id,omitempty"`
 	Attempts int    `json:"attempts,omitempty"`
 	Stolen   bool   `json:"stolen,omitempty"`
+	// TraceID locates the fleet-wide trace tree for this job under
+	// GET /v1/traces/{trace_id}.
+	TraceID  string `json:"trace_id,omitempty"`
 	ExitCode *int   `json:"exit_code,omitempty"`
 	Error    string `json:"error,omitempty"`
 	// Result is the deterministic result document, identical to what
@@ -396,11 +513,22 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := c.startJob(req, digest, arch, canon, true)
+	// The coordinator's root of the fleet-wide trace: adopt the caller's
+	// context if one arrived, else start fresh. The request span covers
+	// only the HTTP exchange; the job span lives on under it until the
+	// job turns terminal.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	reqSpan := c.tr.Adopt(sc, "request")
+	reqSpan.SetAttr("digest", digest)
+	j, err := c.startJob(req, digest, arch, canon, true, reqSpan.Child("job"))
 	if err != nil {
+		reqSpan.SetAttr("error", err.Error())
+		reqSpan.Finish()
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(reqSpan.Context()))
+	reqSpan.Finish()
 	writeJSON(w, http.StatusAccepted, serve.SubmitResponse{
 		ID:            j.id,
 		Status:        serve.StateQueued,
@@ -425,6 +553,7 @@ func (c *Coordinator) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 		RemoteID:      j.remoteID,
 		Attempts:      j.attempts,
 		Stolen:        j.stolen,
+		TraceID:       j.traceID,
 		Error:         j.errText,
 	}
 	terminal := j.state == serve.StateDone || j.state == serve.StateFailed

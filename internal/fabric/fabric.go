@@ -45,14 +45,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"ximd/internal/archive"
 	"ximd/internal/inject"
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/serve"
+	"ximd/internal/xlog"
 )
 
 // Options configures a Coordinator. The zero value of every field
@@ -99,6 +103,10 @@ type Options struct {
 	// terminal jobs and sweep variants are appended, GET /v1/runs
 	// queries it, POST /v1/regress gates against it.
 	Archive *archive.Archive
+	// Logger receives the coordinator's structured log events (worker
+	// lost/recovered, requeues, steals); nil selects xlog's text format
+	// on stderr — the same lines log.Printf used to produce.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +161,14 @@ type Coordinator struct {
 	arch     *archive.Archive
 	workers  []*worker
 	sweepSem chan struct{}
+	log      *slog.Logger
+
+	// Distributed tracing: tr mints coordinator-side spans (request
+	// roots, placements) into spanStore; finalize imports worker-side
+	// subtrees into the same store, so GET /v1/traces/{id} serves the
+	// assembled fleet-wide tree.
+	tr        *obs.Tracer
+	spanStore *obs.SpanStore
 
 	mu                 sync.Mutex
 	jobs               map[string]*cjob
@@ -195,6 +211,12 @@ func New(opts Options) (*Coordinator, error) {
 		jobs:     make(map[string]*cjob),
 		sweeps:   make(map[string]*fleetSweep),
 	}
+	c.spanStore = obs.NewSpanStore(0)
+	c.tr = obs.NewTracer("ximdc", c.spanStore)
+	c.log = opts.Logger
+	if c.log == nil {
+		c.log, _ = xlog.New(xlog.FormatText, os.Stderr)
+	}
 	for i, url := range opts.Workers {
 		w := newWorker(fmt.Sprintf("w%d", i), url, opts.HTTPTimeout)
 		c.workers = append(c.workers, w)
@@ -233,6 +255,8 @@ func New(opts Options) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /livez", c.handleHealthz)
 	c.mux.HandleFunc("GET /readyz", c.handleReadyz)
+	c.mux.Handle("GET /v1/traces", obs.TraceListHandler(c.spanStore))
+	c.mux.Handle("GET /v1/traces/{id}", obs.TraceTreeHandler(c.spanStore))
 	c.mux.Handle("GET /metrics", c.met.reg.Handler())
 	return c, nil
 }
@@ -352,16 +376,28 @@ type FleetWorker struct {
 	Inflight int `json:"inflight"`
 	// Misses is the current consecutive failed-heartbeat count.
 	Misses int `json:"misses"`
+	// LastHeartbeatAgeMS is how long ago the last successful lease
+	// renewal was — the first thing to read when a worker looks slow or
+	// lost. Absent until the worker has leased at least once.
+	LastHeartbeatAgeMS *float64 `json:"last_heartbeat_age_ms,omitempty"`
 }
 
-// FleetResponse is the body of GET /v1/fleet.
+// FleetResponse is the body of GET /v1/fleet. The poll quantiles
+// summarize ximdc_poll_seconds (per-job status-poll round trips), so a
+// slow fleet is visible here without scraping Prometheus text.
 type FleetResponse struct {
 	Coordinator string        `json:"coordinator"`
 	Workers     []FleetWorker `json:"workers"`
+	PollP50MS   float64       `json:"poll_p50_ms"`
+	PollP99MS   float64       `json:"poll_p99_ms"`
 }
 
 func (c *Coordinator) handleFleet(w http.ResponseWriter, r *http.Request) {
-	resp := FleetResponse{Coordinator: c.id}
+	resp := FleetResponse{
+		Coordinator: c.id,
+		PollP50MS:   c.met.pollSecs.Quantile(0.50) * 1000,
+		PollP99MS:   c.met.pollSecs.Quantile(0.99) * 1000,
+	}
 	for _, wk := range c.workers {
 		resp.Workers = append(resp.Workers, wk.fleetView())
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ximd/internal/archive"
+	"ximd/internal/obs"
 	"ximd/internal/serve"
 )
 
@@ -326,6 +327,39 @@ func TestWorkerKilledMidSweepRequeues(t *testing.T) {
 	}
 	if n := f.coord.met.workersLost.Value(); n == 0 {
 		t.Error("worker never marked lost")
+	}
+
+	// The kill is visible in the traces: some job's tree holds a
+	// placement on the victim closed with a drop reason, and a later
+	// placement marked as the requeue on a different worker.
+	byTrace := map[string][]obs.Span{}
+	for _, sp := range f.coord.spanStore.Snapshot() {
+		byTrace[sp.TraceID] = append(byTrace[sp.TraceID], sp)
+	}
+	dropReasons := map[string]bool{"worker_lost": true, "remote_job_gone": true, "poll_errors": true}
+	found := false
+	for _, spans := range byTrace {
+		var dropped, requeued *obs.Span
+		for i := range spans {
+			if spans[i].Name != "placement" {
+				continue
+			}
+			if dropReasons[spans[i].Attrs["drop_reason"]] {
+				dropped = &spans[i]
+			}
+			if spans[i].Attrs["requeue"] == "true" {
+				requeued = &spans[i]
+			}
+		}
+		if dropped != nil && requeued != nil &&
+			dropped.Attrs["worker"] == victim.name &&
+			requeued.Attrs["worker"] != victim.name && requeued.Attrs["worker"] != "" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no trace names both the lost worker (with a drop reason) and its requeue replacement")
 	}
 }
 

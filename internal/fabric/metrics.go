@@ -44,6 +44,7 @@ type fabricMetrics struct {
 
 	submitSecs *obs.Histogram
 	roundtrip  *obs.Histogram
+	pollSecs   *obs.Histogram
 }
 
 // fabricBuckets spans worker round-trips: submits are network-bound
@@ -86,6 +87,7 @@ func newFabricMetrics() *fabricMetrics {
 
 		submitSecs: reg.Histogram("ximdc_submit_seconds", "Latency of one job submission to a worker.", fabricBuckets),
 		roundtrip:  reg.Histogram("ximdc_job_roundtrip_seconds", "Fabric job time from acceptance to terminal state, across requeues.", fabricBuckets),
+		pollSecs:   reg.Histogram("ximdc_poll_seconds", "Round trip of one job status poll against a worker.", fabricBuckets),
 	}
 	reg.GaugeFunc("ximdc_affinity_hit_rate", "Fraction of placements on the rendezvous first choice (1.0 until the first placement).",
 		func() float64 {

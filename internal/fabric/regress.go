@@ -10,6 +10,7 @@ import (
 
 	"ximd/internal/archive"
 	"ximd/internal/inject"
+	"ximd/internal/obs"
 	"ximd/internal/serve"
 )
 
@@ -123,14 +124,23 @@ func (c *Coordinator) handleRegress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fan the gate's runs out over the fleet with archiving off.
+	// Fan the gate's runs out over the fleet with archiving off. The
+	// gate traces like a sweep: one "regress" span with a "job" child
+	// per re-run, joined to the caller's trace when a header arrived.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	regSpan := c.tr.Adopt(sc, "regress")
+	regSpan.SetAttr("digest", digest)
 	jobs := make([]*cjob, 0, len(variants))
 	for _, v := range variants {
 		reqV := req.Base
 		reqV.Seed = v.Seed
 		reqV.Inject = v.Inject
-		j, err := c.startJob(reqV, digest, arch, v.Canon, false)
+		js := regSpan.Child("job")
+		js.SetAttr("variant", v.Name)
+		j, err := c.startJob(reqV, digest, arch, v.Canon, false, js)
 		if err != nil {
+			regSpan.SetAttr("error", err.Error())
+			regSpan.Finish()
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -139,6 +149,8 @@ func (c *Coordinator) handleRegress(w http.ResponseWriter, r *http.Request) {
 	for _, j := range jobs {
 		<-j.done
 	}
+	regSpan.Finish()
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(regSpan.Context()))
 
 	now := time.Now().UnixMilli()
 	tol := archive.Tolerance{Ratio: req.Tolerance}

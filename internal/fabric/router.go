@@ -2,8 +2,8 @@ package fabric
 
 import (
 	"context"
+	"fmt"
 	"hash/fnv"
-	"log"
 	"sort"
 	"time"
 )
@@ -124,13 +124,16 @@ func (c *Coordinator) beat(w *worker) {
 		c.met.heartbeatMisses.Inc()
 		if w.noteMiss(c.opts.MaxMissedHeartbeats) {
 			c.met.workersLost.Inc()
-			log.Printf("fabric: worker %s (%s) lost after %d missed heartbeats: %v",
-				w.name, w.url, c.opts.MaxMissedHeartbeats, err)
+			c.log.Warn(fmt.Sprintf("fabric: worker %s (%s) lost after %d missed heartbeats: %v",
+				w.name, w.url, c.opts.MaxMissedHeartbeats, err),
+				"worker", w.name, "url", w.url,
+				"missed_heartbeats", c.opts.MaxMissedHeartbeats, "err", err.Error())
 		}
 		return
 	}
 	if w.noteLease(resp) {
 		c.met.workersRecovered.Inc()
-		log.Printf("fabric: worker %s (%s) recovered", w.name, w.url)
+		c.log.Info(fmt.Sprintf("fabric: worker %s (%s) recovered", w.name, w.url),
+			"worker", w.name, "url", w.url)
 	}
 }

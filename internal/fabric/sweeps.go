@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/serve"
 )
@@ -65,29 +66,55 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	fs := &fleetSweep{digest: digest, variant: variants, jobs: make([]*cjob, 0, len(variants))}
+	// The sweep id is allocated before the fan-out so every variant's
+	// job span can carry it; the sweep is registered for status polling
+	// only once all its jobs exist.
+	c.mu.Lock()
+	c.nextSweep++
+	fs := &fleetSweep{
+		id:      fmt.Sprintf("s-%d", c.nextSweep),
+		digest:  digest,
+		variant: variants,
+		jobs:    make([]*cjob, 0, len(variants)),
+	}
+	c.mu.Unlock()
+
+	// The sweep span is the fleet-wide trace root (or joins the
+	// caller's trace); every variant hangs a "job" child off it.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	sweepSpan := c.tr.Adopt(sc, "sweep")
+	sweepSpan.SetAttr("digest", digest)
+	sweepSpan.SetAttr("sweep_id", fs.id)
+
 	for _, v := range variants {
 		reqV := req.Base
 		reqV.Seed = v.Seed
 		reqV.Inject = v.Inject
-		j, err := c.startJob(reqV, digest, arch, v.Canon, true)
+		js := sweepSpan.Child("job")
+		js.SetAttr("sweep_id", fs.id)
+		js.SetAttr("variant", v.Name)
+		j, err := c.startJob(reqV, digest, arch, v.Canon, true, js)
 		if err != nil {
 			// Shutdown raced the fan-out; the variants already started
 			// will finalize as failed on their own.
+			sweepSpan.SetAttr("error", err.Error())
+			sweepSpan.Finish()
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		fs.jobs = append(fs.jobs, j)
 	}
 	c.mu.Lock()
-	c.nextSweep++
-	fs.id = fmt.Sprintf("s-%d", c.nextSweep)
 	c.sweeps[fs.id] = fs
 	c.mu.Unlock()
 	c.met.sweepsTotal.Inc()
 	c.met.sweepTasks.Add(uint64(len(fs.jobs)))
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(sweepSpan.Context()))
 
 	if req.Detach {
+		// The sweep span covers only the fan-out; the job spans under it
+		// keep the trace alive until each variant turns terminal.
+		sweepSpan.Finish()
 		resp := serve.SweepSubmitResponse{
 			ID:            fs.id,
 			Status:        serve.StateQueued,
@@ -103,6 +130,7 @@ func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
 	for _, j := range fs.jobs {
 		<-j.done
 	}
+	sweepSpan.Finish()
 	writeJSON(w, http.StatusOK, c.mergeSweep(fs))
 }
 

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"ximd/internal/obs"
 	"ximd/internal/serve"
 )
 
@@ -36,6 +37,9 @@ type worker struct {
 	lost      bool
 	leased    bool
 	misses    int
+	// lastLease is when the last successful lease renewal landed; zero
+	// until first contact. Surfaced as heartbeat age in GET /v1/fleet.
+	lastLease time.Time
 	// inflight tracks this worker's assigned, non-terminal fabric jobs
 	// by coordinator id.
 	inflight map[string]*cjob
@@ -101,6 +105,7 @@ func (w *worker) noteLease(resp *serve.LeaseResponse) (recovered bool) {
 	w.leased = true
 	w.lost = false
 	w.misses = 0
+	w.lastLease = time.Now()
 	return recovered
 }
 
@@ -138,7 +143,7 @@ func (w *worker) fleetView() FleetWorker {
 	case w.draining:
 		state = "draining"
 	}
-	return FleetWorker{
+	fw := FleetWorker{
 		Name:          w.name,
 		URL:           w.url,
 		WorkerID:      w.id,
@@ -148,6 +153,11 @@ func (w *worker) fleetView() FleetWorker {
 		Inflight:      len(w.inflight),
 		Misses:        w.misses,
 	}
+	if !w.lastLease.IsZero() {
+		age := float64(time.Since(w.lastLease)) / float64(time.Millisecond)
+		fw.LastHeartbeatAgeMS = &age
+	}
+	return fw
 }
 
 // Typed submit failures the dispatch loop routes around.
@@ -156,8 +166,10 @@ var (
 	errWorkerDraining = errors.New("fabric: worker draining")
 )
 
-// postJSON round-trips one JSON request against the worker.
-func (w *worker) postJSON(ctx context.Context, path string, body, out any) (int, error) {
+// postJSON round-trips one JSON request against the worker. hdr holds
+// optional extra headers (e.g. trace propagation), alternating
+// key, value.
+func (w *worker) postJSON(ctx context.Context, path string, body, out any, hdr ...string) (int, error) {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
@@ -167,6 +179,9 @@ func (w *worker) postJSON(ctx context.Context, path string, body, out any) (int,
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
 	resp, err := w.hc.Do(req)
 	if err != nil {
 		return 0, err
@@ -199,10 +214,15 @@ func (w *worker) lease(ctx context.Context, coordinator string, ttl time.Duratio
 
 // submit places one job on the worker. 429 and 503 come back as the
 // typed errors above so the router can spill instead of failing the
-// job.
-func (w *worker) submit(ctx context.Context, req *serve.JobRequest) (*serve.SubmitResponse, error) {
+// job. traceHeader, when non-empty, propagates the coordinator's trace
+// context so the worker's spans join the fleet-wide tree.
+func (w *worker) submit(ctx context.Context, req *serve.JobRequest, traceHeader string) (*serve.SubmitResponse, error) {
 	var out serve.SubmitResponse
-	status, err := w.postJSON(ctx, "/v1/jobs", req, &out)
+	var hdr []string
+	if traceHeader != "" {
+		hdr = []string{obs.TraceHeader, traceHeader}
+	}
+	status, err := w.postJSON(ctx, "/v1/jobs", req, &out, hdr...)
 	switch status {
 	case http.StatusTooManyRequests:
 		return nil, fmt.Errorf("%w: %v", errWorkerBusy, err)
@@ -213,6 +233,33 @@ func (w *worker) submit(ctx context.Context, req *serve.JobRequest) (*serve.Subm
 		return nil, err
 	}
 	return &out, nil
+}
+
+// fetchSpans pulls the worker-side spans of one trace so the
+// coordinator can splice them into the fleet-wide tree. A worker that
+// never recorded the trace (restarted, span store evicted) answers
+// 404; that is an empty result, not an error.
+func (w *worker) fetchSpans(ctx context.Context, traceID string) ([]obs.Span, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/traces/"+traceID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s traces %s: HTTP %d", w.name, traceID, resp.StatusCode)
+	}
+	return obs.ParseTraceNDJSON(data)
 }
 
 // errJobGone reports a remote job id the worker no longer knows — a

@@ -79,6 +79,41 @@ func (h *Histogram) BucketCounts() []uint64 {
 	return out
 }
 
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear
+// interpolation within the owning bucket, the same estimate Prometheus'
+// histogram_quantile computes. Returns 0 with no observations. Values
+// landing in the implicit +Inf bucket clamp to the highest finite
+// bound, so the estimate never invents an unbounded value.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			return lo + (bound-lo)*((rank-cum)/c)
+		}
+		cum += c
+	}
+	// Rank falls in the +Inf bucket: clamp to the largest finite bound.
+	if n := len(h.bounds); n > 0 {
+		return h.bounds[n-1]
+	}
+	return 0
+}
+
 func (h *Histogram) metricType() string { return "histogram" }
 func (h *Histogram) helpText() string   { return h.help }
 

@@ -1,0 +1,347 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	st := NewSpanStore(16)
+	tr := NewTracer("ximdd", st)
+	root := tr.Root("job")
+	hdr := FormatTraceHeader(root.Context())
+	sc, ok := ParseTraceHeader(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceHeader(%q) not ok", hdr)
+	}
+	if sc.TraceID != root.TraceID || sc.SpanID != root.SpanID {
+		t.Fatalf("round trip mismatch: got %+v want trace=%s span=%s", sc, root.TraceID, root.SpanID)
+	}
+}
+
+func TestTraceHeaderMalformedStartsNewRoot(t *testing.T) {
+	bad := []string{
+		"",
+		"nonsense",
+		"deadbeef",                           // no separator
+		"deadbeefdeadbeef-",                  // empty span id
+		"-deadbeefdeadbeef",                  // empty trace id
+		"DEADBEEFDEADBEEF-deadbeefdeadbeef",  // uppercase
+		"deadbeefdeadbee-deadbeefdeadbeef",   // short trace id
+		"deadbeefdeadbeef-deadbeefdeadbeefa", // long span id
+		"deadbeefdeadbeefxdeadbeefdeadbeef",  // wrong separator
+		"zzzzzzzzzzzzzzzz-deadbeefdeadbeef",  // non-hex
+	}
+	tr := NewTracer("ximdd", NewSpanStore(16))
+	for _, h := range bad {
+		sc, ok := ParseTraceHeader(h)
+		if ok {
+			t.Errorf("ParseTraceHeader(%q) ok, want malformed", h)
+		}
+		// The contract: a malformed header adopts into a fresh root, never an error.
+		sp := tr.Adopt(sc, "job")
+		if sp == nil || sp.ParentID != "" || sp.TraceID == "" || sp.StartUnixMS == 0 {
+			t.Errorf("Adopt after malformed %q: want fresh wall-anchored root, got %+v", h, sp)
+		}
+	}
+}
+
+func TestAdoptContinuesRemoteTrace(t *testing.T) {
+	st := NewSpanStore(16)
+	coord := NewTracer("ximdc", st)
+	root := coord.Root("request")
+
+	worker := NewTracer("ximdd", st)
+	job := worker.Adopt(root.Context(), "job")
+	if job.TraceID != root.TraceID {
+		t.Fatalf("adopted span trace id = %s, want %s", job.TraceID, root.TraceID)
+	}
+	if job.ParentID != root.SpanID {
+		t.Fatalf("adopted span parent = %s, want %s", job.ParentID, root.SpanID)
+	}
+	if job.StartUnixMS == 0 {
+		t.Fatal("adopted span must carry its own wall-clock anchor")
+	}
+	child := job.Child("execute")
+	if child.StartUnixMS != 0 {
+		t.Fatal("non-root child must not carry a wall-clock anchor")
+	}
+	if child.Service != "ximdd" {
+		t.Fatalf("child service = %q, want ximdd", child.Service)
+	}
+}
+
+func TestNilSpanMethodsAreNoOps(t *testing.T) {
+	var s *Span
+	s.SetAttr("k", "v")
+	s.SetAttrInt("n", 7)
+	s.Finish()
+	s.FinishWith(time.Millisecond)
+	if c := s.Child("x"); c != nil {
+		t.Fatalf("nil.Child() = %+v, want nil", c)
+	}
+	if sc := s.Context(); sc.Valid() {
+		t.Fatalf("nil.Context() = %+v, want zero", sc)
+	}
+}
+
+func TestSpanFinishOnceAndAttrsFrozen(t *testing.T) {
+	st := NewSpanStore(16)
+	tr := NewTracer("t", st)
+	sp := tr.Root("r")
+	sp.SetAttr("job_id", "j-1")
+	sp.Finish()
+	sp.SetAttr("late", "x") // after Finish: dropped
+	sp.Finish()             // second finish: no second store entry
+	sp.FinishWith(time.Second)
+	if st.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", st.Len())
+	}
+	got := st.Snapshot()[0]
+	if got.Attrs["job_id"] != "j-1" {
+		t.Fatalf("attrs = %v, want job_id=j-1", got.Attrs)
+	}
+	if _, ok := got.Attrs["late"]; ok {
+		t.Fatal("attr set after Finish must not appear")
+	}
+}
+
+func TestConcurrentSpanCreationAndFinish(t *testing.T) {
+	st := NewSpanStore(4096)
+	tr := NewTracer("t", st)
+	root := tr.Root("root")
+	const goroutines, perG = 16, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c := root.Child("work")
+				c.SetAttr("g", fmt.Sprint(g))
+				c.SetAttrInt("i", uint64(i))
+				// Hammer the shared root concurrently too.
+				root.SetAttr(fmt.Sprintf("g%d", g), fmt.Sprint(i))
+				c.Finish()
+			}
+		}(g)
+	}
+	wg.Wait()
+	root.Finish()
+	want := goroutines*perG + 1
+	if st.Len() != want {
+		t.Fatalf("store len = %d, want %d", st.Len(), want)
+	}
+	for _, sp := range st.Snapshot() {
+		if sp.TraceID != root.TraceID {
+			t.Fatalf("span %s has trace %s, want %s", sp.SpanID, sp.TraceID, root.TraceID)
+		}
+	}
+}
+
+func TestSpanStoreEvictionOrder(t *testing.T) {
+	st := NewSpanStore(4)
+	tr := NewTracer("t", st)
+	var ids []string
+	for i := 0; i < 7; i++ {
+		sp := tr.Root("r")
+		sp.SetAttrInt("i", uint64(i))
+		ids = append(ids, sp.SpanID)
+		sp.Finish()
+	}
+	got := st.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len = %d, want 4", len(got))
+	}
+	// Oldest-first snapshot of the newest 4: spans 3,4,5,6.
+	for i, sp := range got {
+		if sp.SpanID != ids[3+i] {
+			t.Fatalf("slot %d = %s, want %s (evict oldest first)", i, sp.SpanID, ids[3+i])
+		}
+		if want := fmt.Sprint(3 + i); sp.Attrs["i"] != want {
+			t.Fatalf("slot %d attr i = %s, want %s", i, sp.Attrs["i"], want)
+		}
+	}
+}
+
+func TestFinishWithBackdatesOffset(t *testing.T) {
+	st := NewSpanStore(8)
+	tr := NewTracer("t", st)
+	root := tr.Root("r")
+	time.Sleep(5 * time.Millisecond)
+	c := root.Child("decode")
+	c.FinishWith(2 * time.Millisecond) // measured before the span existed
+	got := st.Snapshot()[0]
+	if got.Ms < 1.9 || got.Ms > 2.1 {
+		t.Fatalf("Ms = %v, want ~2", got.Ms)
+	}
+	if got.StartOffMS <= 0 {
+		t.Fatalf("StartOffMS = %v, want backdated positive offset", got.StartOffMS)
+	}
+	root.Finish()
+}
+
+func TestAssembleTreeDepthsAndOrder(t *testing.T) {
+	st := NewSpanStore(32)
+	tr := NewTracer("ximdc", st)
+	root := tr.Root("request")
+	p1 := root.Child("placement")
+	p1.SetAttr("drop_reason", "worker_lost")
+	// Simulate a worker subtree whose parent is the placement span.
+	wtr := NewTracer("ximdd", st)
+	wjob := wtr.Adopt(p1.Context(), "job")
+	wexec := wjob.Child("execute")
+	time.Sleep(time.Millisecond)
+	wexec.Finish()
+	wjob.Finish()
+	p1.Finish()
+	p2 := root.Child("placement")
+	p2.Finish()
+	root.Finish()
+
+	lines := AssembleTree(st.Trace(root.TraceID))
+	if len(lines) != 5 {
+		t.Fatalf("tree has %d lines, want 5", len(lines))
+	}
+	depth := map[string]int{}
+	for _, l := range lines {
+		depth[l.SpanID] = l.Depth
+	}
+	if depth[root.SpanID] != 0 || depth[p1.SpanID] != 1 || depth[p2.SpanID] != 1 ||
+		depth[wjob.SpanID] != 2 || depth[wexec.SpanID] != 3 {
+		t.Fatalf("depths wrong: %v", depth)
+	}
+	if lines[0].SpanID != root.SpanID {
+		t.Fatal("root must come first in DFS order")
+	}
+	// p1 started before p2, so its subtree streams first.
+	if lines[1].SpanID != p1.SpanID {
+		t.Fatalf("line 1 = %s, want first placement %s", lines[1].SpanID, p1.SpanID)
+	}
+}
+
+func TestAssembleTreeOrphanBecomesRoot(t *testing.T) {
+	st := NewSpanStore(8)
+	wtr := NewTracer("ximdd", st)
+	// Adopted from a remote parent that was never imported.
+	job := wtr.Adopt(SpanContext{TraceID: strings.Repeat("ab", 8), SpanID: strings.Repeat("cd", 8)}, "job")
+	job.Finish()
+	lines := AssembleTree(st.Trace(job.TraceID))
+	if len(lines) != 1 || lines[0].Depth != 0 {
+		t.Fatalf("orphan subtree must root at depth 0, got %+v", lines)
+	}
+}
+
+func TestTraceHandlersAndNDJSON(t *testing.T) {
+	st := NewSpanStore(64)
+	tr := NewTracer("ximdd", st)
+	fast := tr.Root("job")
+	fast.SetAttr("job_id", "j-1")
+	fast.SetAttr("digest", "sha256:aaaa")
+	fast.Finish()
+	slow := tr.Root("job")
+	slow.SetAttr("job_id", "j-2")
+	ch := slow.Child("execute")
+	time.Sleep(12 * time.Millisecond)
+	ch.Finish()
+	slow.Finish()
+
+	list := TraceListHandler(st)
+	rec := httptest.NewRecorder()
+	list.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces", nil))
+	var body struct {
+		Count  int            `json:"count"`
+		Traces []TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("list body: %v", err)
+	}
+	if body.Count != 2 {
+		t.Fatalf("count = %d, want 2", body.Count)
+	}
+	if body.Traces[0].TraceID != slow.TraceID {
+		t.Fatal("newest trace must come first")
+	}
+
+	// Filter by job id.
+	rec = httptest.NewRecorder()
+	list.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?job=j-1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Count != 1 || body.Traces[0].TraceID != fast.TraceID {
+		t.Fatalf("job filter: err=%v body=%+v", err, body)
+	}
+	// Filter by digest.
+	rec = httptest.NewRecorder()
+	list.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?digest=sha256:aaaa", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Count != 1 || body.Traces[0].Digest != "sha256:aaaa" {
+		t.Fatalf("digest filter: err=%v body=%+v", err, body)
+	}
+	// Min-duration filter keeps only the slow trace.
+	rec = httptest.NewRecorder()
+	list.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?min_ms=10", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Count != 1 || body.Traces[0].TraceID != slow.TraceID {
+		t.Fatalf("min_ms filter: err=%v body=%+v", err, body)
+	}
+	// Bad min_ms is a 400 (explicit query error, not propagation).
+	rec = httptest.NewRecorder()
+	list.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces?min_ms=oops", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad min_ms status = %d, want 400", rec.Code)
+	}
+
+	// Tree endpoint: NDJSON, parseable by the cross-process importer.
+	mux := newTestMux(st)
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces/"+slow.TraceID, nil))
+	if rec.Code != 200 {
+		t.Fatalf("tree status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	spans, err := ParseTraceNDJSON(rec.Body.Bytes())
+	if err != nil {
+		t.Fatalf("ParseTraceNDJSON: %v", err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("parsed %d spans, want 2", len(spans))
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/traces/0000000000000000", nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace status = %d, want 404", rec.Code)
+	}
+}
+
+func newTestMux(st *SpanStore) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /v1/traces/{id}", TraceTreeHandler(st))
+	return mux
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram("t", []float64{1, 2, 4})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// 10 observations in (1,2]: uniform interpolation within the bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	if q := h.Quantile(0.5); q < 1.4 || q > 1.6 {
+		t.Fatalf("p50 = %v, want ~1.5", q)
+	}
+	if q := h.Quantile(1); q != 2 {
+		t.Fatalf("p100 = %v, want bucket bound 2", q)
+	}
+	// An observation beyond every bound clamps to the highest finite bound.
+	h.Observe(100)
+	if q := h.Quantile(0.999); q != 4 {
+		t.Fatalf("+Inf-bucket quantile = %v, want clamp to 4", q)
+	}
+}

@@ -219,6 +219,12 @@ type Options struct {
 	// service binds it to a ckpt.Store); the runner continues regardless
 	// of what the sink does. Required when CheckpointEvery > 0.
 	Checkpoint func(*ckpt.Checkpoint)
+	// Span, when non-nil, parents run-phase child spans (build /
+	// restore_checkpoint / run / checkpoint_write) under it. Tracing
+	// happens only at phase boundaries — never inside the cycle loop —
+	// so the engine's zero-alloc Step is untouched and a nil Span costs
+	// nothing.
+	Span *obs.Span
 }
 
 // Result is what a run produces. Stats is a deep-copied snapshot;
@@ -290,6 +296,11 @@ func execute(ctx context.Context, prog *Program, spec Spec, opts Options, from *
 		injector.SetAttempt(from.Attempt)
 	}
 
+	// Phase spans are all nil-safe: with opts.Span == nil every Child /
+	// SetAttr / Finish below is a no-op on a nil receiver.
+	buildSpan := opts.Span.Child("build")
+	buildSpan.SetAttr("arch", string(prog.arch))
+
 	var rec *trace.Recorder
 	var vrec *vliwRecorder
 	var flight *obs.Ring[trace.Record]
@@ -335,9 +346,12 @@ func execute(ctx context.Context, prog *Program, spec Spec, opts Options, from *
 			if from.Vliw == nil {
 				return res, &UsageError{Err: fmt.Errorf("checkpoint carries no vliw snapshot")}
 			}
+			rs := buildSpan.Child("restore_checkpoint")
+			rs.SetAttrInt("cycle", from.Cycle)
 			if err := m.Restore(from.Vliw); err != nil {
 				return res, &UsageError{Err: err}
 			}
+			rs.Finish()
 		} else {
 			hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
 		}
@@ -371,9 +385,12 @@ func execute(ctx context.Context, prog *Program, spec Spec, opts Options, from *
 			if from.Ximd == nil {
 				return res, &UsageError{Err: fmt.Errorf("checkpoint carries no ximd snapshot")}
 			}
+			rs := buildSpan.Child("restore_checkpoint")
+			rs.SetAttrInt("cycle", from.Cycle)
 			if err := m.Restore(from.Ximd); err != nil {
 				return res, &UsageError{Err: err}
 			}
+			rs.Finish()
 		} else {
 			hostcfg.Apply(m.Regs(), res.Memory, spec.RegPokes, spec.MemPokes)
 		}
@@ -387,11 +404,29 @@ func execute(ctx context.Context, prog *Program, spec Spec, opts Options, from *
 		}
 	}
 
+	buildSpan.Finish()
+
+	// Checkpoint writes get their own spans only when tracing is on;
+	// untraced runs keep the sink untouched.
+	sink := opts.Checkpoint
+	if opts.Span != nil && sink != nil {
+		inner := sink
+		sink = func(c *ckpt.Checkpoint) {
+			cs := opts.Span.Child("checkpoint_write")
+			cs.SetAttrInt("cycle", c.Cycle)
+			inner(c)
+			cs.Finish()
+		}
+	}
+
+	runSpan := opts.Span.Child("run")
 	if opts.CheckpointEvery > 0 {
-		err = checkpointLoop(ctx, stepN, cycles, snap, opts.CheckpointEvery, opts.Checkpoint)
+		err = checkpointLoop(ctx, stepN, cycles, snap, opts.CheckpointEvery, sink)
 	} else {
 		err = runLoop(ctx, stepN)
 	}
+	runSpan.SetAttrInt("cycles", cycles())
+	runSpan.Finish()
 	res.Cycles = cycles()
 	res.Stats = stats()
 	if rec != nil {

@@ -13,6 +13,7 @@ import (
 	"ximd/internal/archive"
 	"ximd/internal/ckpt"
 	"ximd/internal/hostcfg"
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/sweep"
 	"ximd/internal/trace"
@@ -67,6 +68,16 @@ type job struct {
 	// ckpt is the recovered checkpoint to resume from, set only on jobs
 	// rebuilt by crash recovery that had a valid checkpoint on disk.
 	ckpt *ckpt.Checkpoint
+
+	// Distributed-tracing spans for this job's lifecycle. span is the
+	// job root (adopted from the request's X-Ximd-Trace header, or a
+	// fresh root); qwSpan and execSpan are its queue_wait and execute
+	// children. All nil-safe — a job built without a span traces
+	// nothing. Distinct from the frozen SpanLine breakdown below, which
+	// is the byte-compatible flat view.
+	span     *obs.Span
+	qwSpan   *obs.Span
+	execSpan *obs.Span
 
 	// Mutated under the manager's lock only. The time.Time fields keep
 	// their monotonic reading (they are only ever subtracted, never
@@ -130,6 +141,12 @@ type manager struct {
 	ckpts     *ckpt.Store
 	ckptEvery uint64
 
+	// Distributed tracing: tr mints lifecycle spans into spanStore,
+	// which GET /v1/traces serves. Both are always on — the store is a
+	// bounded ring and span work happens only at phase boundaries.
+	tr        *obs.Tracer
+	spanStore *obs.SpanStore
+
 	// now is the clock for job timestamps, swappable in tests. It is
 	// only read under mu; the time.Time values it returns are only ever
 	// subtracted, so with the real clock span durations ride the
@@ -152,6 +169,8 @@ func newManager(opts Options) *manager {
 		arch:       opts.Archive,
 		now:        time.Now,
 	}
+	m.spanStore = obs.NewSpanStore(0)
+	m.tr = obs.NewTracer("ximdd", m.spanStore)
 	m.met.queueCapacity.Set(int64(opts.QueueDepth))
 	m.met.workers.Set(int64(opts.Workers))
 	m.met.reg.GaugeFunc("ximdd_queue_depth", "Jobs currently buffered in the submission queue channel.",
@@ -236,6 +255,10 @@ func (m *manager) submit(j *job) error {
 	}
 	j.state = StateQueued
 	j.submitted = m.now()
+	// Span setup happens before the channel send: once the job is on the
+	// queue a worker may race to setRunning, which finishes qwSpan.
+	j.span.SetAttr("job_id", j.id)
+	j.qwSpan = j.span.Child("queue_wait")
 	m.queue <- j
 	m.jobs[j.id] = j
 	m.met.jobsTotal.Inc()
@@ -285,16 +308,22 @@ func (m *manager) submitSweep(jobs []*job, rec *sweepRec) error {
 			}
 		}
 	}
+	// The sweep id is allocated before the enqueue loop so every member
+	// job's span can carry it — a worker may finish a job (and freeze
+	// its spans) the moment it hits the queue.
+	m.nextSweepID++
+	rec.id = "s-" + strconv.FormatUint(m.nextSweepID, 10)
 	for _, j := range jobs {
 		j.state = StateQueued
 		j.submitted = m.now()
+		j.span.SetAttr("job_id", j.id)
+		j.span.SetAttr("sweep_id", rec.id)
+		j.qwSpan = j.span.Child("queue_wait")
 		m.queue <- j
 		m.jobs[j.id] = j
 		m.met.jobsTotal.Inc()
 		m.met.queued.Add(1)
 	}
-	m.nextSweepID++
-	rec.id = "s-" + strconv.FormatUint(m.nextSweepID, 10)
 	m.sweeps[rec.id] = rec
 	return nil
 }
@@ -364,6 +393,8 @@ func (m *manager) requeue(j *job, id string) {
 	j.id = id
 	j.state = StateQueued
 	j.submitted = m.now()
+	j.span.SetAttr("job_id", j.id)
+	j.qwSpan = j.span.Child("queue_wait")
 	m.queue <- j
 	m.jobs[j.id] = j
 	m.met.jobsTotal.Inc()
@@ -386,6 +417,7 @@ func (m *manager) worker() {
 		ropts := runner.Options{
 			Trace:        j.trace,
 			FlightCycles: j.flight,
+			Span:         j.execSpan,
 		}
 		if m.ckpts != nil && !j.trace {
 			// Traced jobs never checkpoint: a resumed run cannot
@@ -406,6 +438,7 @@ func (m *manager) worker() {
 					// determinism contract makes rerunning from cycle 0
 					// indistinguishable, minus the saved work.
 					m.met.jobsColdRun.Inc()
+					j.execSpan.SetAttr("cold_rerun", "checkpoint_rejected")
 					res, err = runner.Run(ctx, j.prog, j.spec, ropts)
 				}
 			} else {
@@ -442,6 +475,8 @@ func (m *manager) saveCheckpoint(j *job, c *ckpt.Checkpoint) {
 func (m *manager) setRunning(j *job) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	j.qwSpan.Finish()
+	j.execSpan = j.span.Child("execute")
 	j.state = StateRunning
 	j.started = m.now()
 	wait := j.started.Sub(j.submitted)
@@ -500,7 +535,26 @@ func (m *manager) finish(j *job, res runner.Result, err error, execDur time.Dura
 	}
 	m.mu.Unlock()
 
-	m.archiveJob(j)
+	j.execSpan.Finish()
+	if m.arch != nil {
+		as := j.span.Child("archive_append")
+		m.archiveJob(j)
+		as.Finish()
+	} else {
+		m.archiveJob(j)
+	}
+
+	// Freeze the job's trace-tree root before the terminal flip, so a
+	// client that observes done/failed can immediately fetch the full
+	// tree from /v1/traces/{id}.
+	if err != nil {
+		j.span.SetAttr("state", string(StateFailed))
+		j.span.SetAttr("error", err.Error())
+	} else {
+		j.span.SetAttr("state", string(StateDone))
+	}
+	j.span.SetAttrInt("cycles", res.Cycles)
+	j.span.Finish()
 
 	// Durable terminal protocol, still before the state flip: journal
 	// the terminal record, then delete the checkpoint. A crash between

@@ -9,6 +9,7 @@ import (
 
 	"ximd/internal/archive"
 	"ximd/internal/inject"
+	"ximd/internal/obs"
 )
 
 // This file is the service half of the regression gate. GET /v1/runs
@@ -160,7 +161,13 @@ func (s *Server) handleRegress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	_, _, recs := s.runSweepVariants(base, variants)
+	// Regression batches trace like sweeps: adopt the coordinator's
+	// context or root fresh, one variant child per re-run.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	regSpan := s.mgr.tr.Adopt(sc, "regress")
+	regSpan.SetAttr("digest", base.progSHA)
+	_, _, recs := s.runSweepVariants(base, variants, regSpan)
+	regSpan.Finish()
 
 	tol := archive.Tolerance{Ratio: req.Tolerance}
 	report := archive.NewReport(tol)

@@ -15,6 +15,10 @@
 //	GET  /v1/jobs/{id}/trace per-cycle trace as NDJSON (trace=true jobs)
 //	GET  /v1/jobs/{id}/spans span breakdown (queue wait, decode,
 //	                         execute, total) as NDJSON once terminal
+//	GET  /v1/traces          distributed-trace summaries (newest first;
+//	                         ?job= ?sweep= ?digest= ?min_ms= filters)
+//	GET  /v1/traces/{id}     one trace's assembled span tree as NDJSON,
+//	                         depth-first with a computed depth field
 //	POST /v1/sweeps          synchronous batch fan-out over the sweep
 //	                         pool; results in submission order. With
 //	                         "detach":true the variants are admitted
@@ -38,6 +42,15 @@
 //	GET  /varz               queue/job/cache/cycle metrics — the legacy
 //	                         JSON view over the same registry, key- and
 //	                         byte-compatible with the old expvar output
+//
+// Distributed tracing: every POST /v1/jobs starts (or, when the
+// request carries an X-Ximd-Trace header, adopts) a trace whose span
+// tree covers the full lifecycle — queue wait, decode, execute with
+// the runner's build/restore/run/checkpoint phases, archive append.
+// The header value is "<trace id>-<parent span id>"; a malformed
+// header silently starts a fresh root (propagation must never fail a
+// request), and the 202 response echoes the trace context back in the
+// same header.
 //
 // Determinism contract: a job's result document is a pure function of
 // (program bytes, arch, seed, inject spec, pokes, max_cycles). The
@@ -65,6 +78,7 @@ import (
 	"ximd/internal/ckpt"
 	"ximd/internal/hostcfg"
 	"ximd/internal/inject"
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/trace"
 )
@@ -252,6 +266,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("POST /v1/fabric/lease", s.handleLease)
+	s.mux.Handle("GET /v1/traces", obs.TraceListHandler(s.mgr.spanStore))
+	s.mux.Handle("GET /v1/traces/{id}", obs.TraceTreeHandler(s.mgr.spanStore))
 	s.mux.Handle("GET /metrics", s.mgr.met.reg.Handler())
 	s.mux.HandleFunc("GET /varz", s.handleVarz)
 	return s
@@ -282,17 +298,25 @@ func (s *Server) recoverPending(pending []replayJob) {
 			_ = s.mgr.ckpts.Delete(p.id)
 			continue
 		}
+		// A recovered job starts a fresh trace: its pre-crash spans died
+		// with the old process, and the recovered attr records why.
+		j.span = s.mgr.tr.Root("job")
+		j.span.SetAttr("digest", j.progSHA)
+		j.span.SetAttr("arch", string(j.prog.Arch()))
 		c, cerr := s.mgr.ckpts.Load(p.id)
 		switch {
 		case cerr == nil && c != nil && c.Key == j.ckptKey && c.Arch == string(j.prog.Arch()) && !j.trace:
 			j.ckpt = c
+			j.span.SetAttr("recovered", "resumed")
 			s.recovery.Resumed++
 			s.mgr.met.jobsResumed.Inc()
 		case p.started || c != nil || cerr != nil:
+			j.span.SetAttr("recovered", "cold_rerun")
 			s.recovery.ColdRerun++
 			s.mgr.met.jobsColdRun.Inc()
 			_ = s.mgr.ckpts.Delete(p.id) // an unusable checkpoint must not linger under the live id
 		default:
+			j.span.SetAttr("recovered", "requeued")
 			s.recovery.Requeued++
 			s.mgr.met.jobsRequeued.Inc()
 		}
@@ -520,12 +544,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	// Adopt the caller's trace context (the coordinator's placement
+	// span) or start a fresh root; a malformed header is never a 400.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	span := s.mgr.tr.Adopt(sc, "job")
 	j, status, err := s.buildJob(&req)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.Finish()
 		writeError(w, status, err)
 		return
 	}
+	j.span = span
+	span.SetAttr("digest", j.progSHA)
+	span.SetAttr("arch", string(j.prog.Arch()))
+	decode := span.Child("decode")
+	if j.cacheHit {
+		decode.SetAttr("cache", "hit")
+	} else {
+		decode.SetAttr("cache", "miss")
+	}
+	decode.FinishWith(j.decodeDur)
 	if err := s.mgr.submit(j); err != nil {
+		span.SetAttr("error", err.Error())
+		span.Finish()
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.setRetryAfter(w)
@@ -538,6 +580,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(span.Context()))
 	writeJSON(w, http.StatusAccepted, SubmitResponse{
 		ID:            j.id,
 		Status:        StateQueued,

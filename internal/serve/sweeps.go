@@ -9,6 +9,7 @@ import (
 
 	"ximd/internal/archive"
 	"ximd/internal/inject"
+	"ximd/internal/obs"
 	"ximd/internal/runner"
 	"ximd/internal/sweep"
 )
@@ -141,8 +142,9 @@ func (s *Server) expandSweep(base *job, seeds []int64, injects []string) ([]swee
 // task failed), and the prepared archive records — one per variant,
 // always carrying the fully profiled document, not yet appended. The
 // caller decides whether and when to append them: sweeps record
-// immediately, the regression gate compares first.
-func (s *Server) runSweepVariants(base *job, variants []sweepVariant) ([]sweep.Result, []*runner.ResultDoc, []archive.Record) {
+// immediately, the regression gate compares first. parent, when
+// non-nil, gets one "variant" child span per task wrapping its run.
+func (s *Server) runSweepVariants(base *job, variants []sweepVariant, parent *obs.Span) ([]sweep.Result, []*runner.ResultDoc, []archive.Record) {
 	n := len(variants)
 	tasks := make([]sweep.Task, 0, n)
 	docs := make([]*runner.ResultDoc, n)
@@ -151,10 +153,15 @@ func (s *Server) runSweepVariants(base *job, variants []sweepVariant) ([]sweep.R
 		spec := variants[idx].spec
 		i := idx
 		tasks = append(tasks, sweep.Task{Name: variants[idx].name, Run: func(ctx context.Context) (sweep.Outcome, error) {
-			res, err := runner.Run(ctx, base.prog, spec, runner.Options{})
+			vs := parent.Child("variant")
+			vs.SetAttr("name", variants[i].name)
+			res, err := runner.Run(ctx, base.prog, spec, runner.Options{Span: vs})
 			if err != nil {
+				vs.SetAttr("error", err.Error())
+				vs.Finish()
 				return sweep.Outcome{}, err
 			}
+			vs.Finish()
 			// The archive always gets the stall-attribution profile —
 			// the baseline should carry everything the gate can compare
 			// — while the response honours the request's profile flag.
@@ -239,19 +246,29 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
+	// The sweep root span: adopted from the coordinator's trace context
+	// when the header is present, a fresh root otherwise.
+	sc, _ := obs.ParseTraceHeader(r.Header.Get(obs.TraceHeader))
+	sweepSpan := s.mgr.tr.Adopt(sc, "sweep")
+	sweepSpan.SetAttr("digest", base.progSHA)
+	sweepSpan.SetAttr("arch", string(base.prog.Arch()))
 	if req.Detach {
 		// Detached variants ride the job queue, not the synchronous
 		// sweep pool; release the sweep slot before they even start.
-		s.submitDetachedSweep(w, base, &req)
+		s.submitDetachedSweep(w, base, &req, sweepSpan)
 		return
 	}
 	variants, err := s.expandSweep(base, req.Seeds, req.Injects)
 	if err != nil {
+		sweepSpan.SetAttr("error", err.Error())
+		sweepSpan.Finish()
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 
-	results, docs, recs := s.runSweepVariants(base, variants)
+	results, docs, recs := s.runSweepVariants(base, variants, sweepSpan)
+	sweepSpan.Finish()
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(sweepSpan.Context()))
 	s.mgr.met.sweepsRun.Inc()
 	if s.mgr.arch != nil {
 		for i := range recs {
@@ -319,9 +336,14 @@ type SweepStatus struct {
 // whole batch atomically: either every variant is accepted — and, with
 // durability on, journaled — or the request is rejected and nothing
 // runs.
-func (s *Server) submitDetachedSweep(w http.ResponseWriter, base *job, req *SweepRequest) {
+func (s *Server) submitDetachedSweep(w http.ResponseWriter, base *job, req *SweepRequest, sweepSpan *obs.Span) {
+	// The sweep span covers expansion and atomic admission; each member
+	// job roots its own lifecycle subtree under it and finishes on its
+	// own schedule (spans are data — children may outlive the parent).
+	defer sweepSpan.Finish()
 	variants, err := ExpandVariants(base.spec.Seed, base.spec.Inject, req.Seeds, req.Injects, s.opts.MaxSweepTasks)
 	if err != nil {
+		sweepSpan.SetAttr("error", err.Error())
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
@@ -336,13 +358,16 @@ func (s *Server) submitDetachedSweep(w http.ResponseWriter, base *job, req *Swee
 		if err != nil {
 			// Cannot happen for the seed/inject axes already validated by
 			// ExpandVariants, but keep the door shut.
+			sweepSpan.SetAttr("error", err.Error())
 			writeError(w, status, err)
 			return
 		}
+		j.span = sweepSpan.Child("job")
 		jobs[i] = j
 	}
 	rec := &sweepRec{progSHA: base.progSHA, cacheHit: base.cacheHit, variants: variants, jobs: jobs}
 	if err := s.mgr.submitSweep(jobs, rec); err != nil {
+		sweepSpan.SetAttr("error", err.Error())
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.setRetryAfter(w)
@@ -356,6 +381,8 @@ func (s *Server) submitDetachedSweep(w http.ResponseWriter, base *job, req *Swee
 		return
 	}
 	s.mgr.met.sweepsRun.Inc()
+	sweepSpan.SetAttr("sweep_id", rec.id)
+	w.Header().Set(obs.TraceHeader, obs.FormatTraceHeader(sweepSpan.Context()))
 	resp := SweepSubmitResponse{
 		ID:            rec.id,
 		Status:        StateQueued,

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"ximd/internal/obs"
+)
+
+// submitTraced posts a job with an X-Ximd-Trace header and returns the
+// parsed 202 plus the echoed trace context.
+func submitTraced(t *testing.T, url string, req JobRequest, header string) (SubmitResponse, obs.SpanContext) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest("POST", url+"/v1/jobs", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if header != "" {
+		hreq.Header.Set(obs.TraceHeader, header)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d, err %v", resp.StatusCode, err)
+	}
+	sc, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("202 must echo a valid %s header, got %q", obs.TraceHeader, resp.Header.Get(obs.TraceHeader))
+	}
+	return sr, sc
+}
+
+// A job submitted with a well-formed trace header joins that trace;
+// its tree reaches job -> execute -> run (depth >= 2 below the job
+// span) and the flat /spans view stays available.
+func TestSubmitAdoptsTraceHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	remote := obs.SpanContext{TraceID: "00112233445566aa", SpanID: "ffeeddccbbaa9988"}
+	sr, sc := submitTraced(t, ts.URL, tprocJob(), obs.FormatTraceHeader(remote))
+	if sc.TraceID != remote.TraceID {
+		t.Fatalf("echoed trace id = %s, want adopted %s", sc.TraceID, remote.TraceID)
+	}
+	waitTerminal(t, ts, sr.ID)
+
+	resp, body := getBody(t, ts.URL+"/v1/traces/"+remote.TraceID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace tree: %d: %s", resp.StatusCode, body)
+	}
+	spans, err := obs.ParseTraceNDJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]obs.Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	job, ok := byName["job"]
+	if !ok {
+		t.Fatalf("no job span in %v", names(spans))
+	}
+	if job.ParentID != remote.SpanID {
+		t.Fatalf("job span parent = %s, want remote %s", job.ParentID, remote.SpanID)
+	}
+	if job.Attrs["job_id"] != sr.ID || job.Attrs["state"] != "done" {
+		t.Fatalf("job span attrs = %v", job.Attrs)
+	}
+	for _, want := range []string{"queue_wait", "decode", "execute", "build", "run"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing %q span in %v", want, names(spans))
+		}
+	}
+	// The tree endpoint computes depth: run nests under execute under job.
+	var lines []struct {
+		Name  string `json:"name"`
+		Depth int    `json:"depth"`
+	}
+	for _, raw := range bytes.Split(bytes.TrimSpace(body), []byte("\n")) {
+		var l struct {
+			Name  string `json:"name"`
+			Depth int    `json:"depth"`
+		}
+		if err := json.Unmarshal(raw, &l); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, l)
+	}
+	depthOf := map[string]int{}
+	for _, l := range lines {
+		depthOf[l.Name] = l.Depth
+	}
+	if depthOf["execute"] != depthOf["job"]+1 || depthOf["run"] != depthOf["execute"]+1 {
+		t.Fatalf("depths wrong: %v", depthOf)
+	}
+}
+
+func names(spans []obs.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// Absent or malformed headers are never a 400: the job runs under a
+// fresh root trace.
+func TestSubmitMalformedTraceHeaderStartsFreshRoot(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	for _, hdr := range []string{"", "not-a-trace", "deadbeef"} {
+		sr, sc := submitTraced(t, ts.URL, tprocJob(), hdr)
+		waitTerminal(t, ts, sr.ID)
+		spans, err := obs.ParseTraceNDJSON(getTraceTree(t, ts.URL, sc.TraceID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree := obs.AssembleTree(spans)
+		if tree[0].Name != "job" || tree[0].Depth != 0 || tree[0].ParentID != "" {
+			t.Fatalf("header %q: want job as fresh root, got %+v", hdr, tree[0])
+		}
+	}
+}
+
+func getTraceTree(t *testing.T, base, traceID string) []byte {
+	t.Helper()
+	resp, body := getBody(t, base+"/v1/traces/"+traceID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace %s: %d: %s", traceID, resp.StatusCode, body)
+	}
+	return body
+}
+
+// The trace list filters by job id, and the flat byte-compatible
+// /v1/jobs/{id}/spans view coexists with the tree.
+func TestTraceListFilterByJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	a, scA := submitTraced(t, ts.URL, tprocJob(), "")
+	b, _ := submitTraced(t, ts.URL, tprocJob(), "")
+	waitTerminal(t, ts, a.ID)
+	waitTerminal(t, ts, b.ID)
+
+	resp, body := getBody(t, ts.URL+"/v1/traces?job="+a.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traces list: %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Count  int                `json:"count"`
+		Traces []obs.TraceSummary `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || list.Traces[0].TraceID != scA.TraceID {
+		t.Fatalf("job filter: %s", body)
+	}
+	if len(list.Traces[0].JobIDs) != 1 || list.Traces[0].JobIDs[0] != a.ID {
+		t.Fatalf("summary job ids = %v, want [%s]", list.Traces[0].JobIDs, a.ID)
+	}
+	// Flat view still serves exactly its 4 frozen lines.
+	resp, body = getBody(t, ts.URL+"/v1/jobs/"+a.ID+"/spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("flat spans: %d", resp.StatusCode)
+	}
+	if n := len(bytes.Split(bytes.TrimSpace(body), []byte("\n"))); n != 4 {
+		t.Fatalf("flat span view has %d lines, want 4", n)
+	}
+}
+
+// A detached sweep's jobs nest under the sweep root span, and the list
+// endpoint filters by sweep id.
+func TestDetachedSweepTraceTree(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", map[string]any{
+		"base":   tprocJob(),
+		"seeds":  []int64{1, 2},
+		"detach": true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detached sweep: %d: %s", resp.StatusCode, body)
+	}
+	sc, ok := obs.ParseTraceHeader(resp.Header.Get(obs.TraceHeader))
+	if !ok {
+		t.Fatalf("detached sweep 202 must echo %s", obs.TraceHeader)
+	}
+	var sub SweepSubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range sub.JobIDs {
+		waitTerminal(t, ts, id)
+	}
+	spans, err := obs.ParseTraceNDJSON(getTraceTree(t, ts.URL, sc.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := obs.AssembleTree(spans)
+	if tree[0].Name != "sweep" || tree[0].Attrs["sweep_id"] != sub.ID {
+		t.Fatalf("tree root = %+v, want sweep span with sweep_id=%s", tree[0], sub.ID)
+	}
+	jobs := 0
+	for _, l := range tree {
+		if l.Name == "job" {
+			jobs++
+			if l.Depth != 1 {
+				t.Fatalf("job span depth = %d, want 1 (child of sweep)", l.Depth)
+			}
+			if l.Attrs["sweep_id"] != sub.ID {
+				t.Fatalf("job span attrs = %v, want sweep_id", l.Attrs)
+			}
+		}
+	}
+	if jobs != 2 {
+		t.Fatalf("tree has %d job spans, want 2", jobs)
+	}
+
+	resp, body = getBody(t, ts.URL+"/v1/traces?sweep="+sub.ID)
+	var list struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil || resp.StatusCode != 200 || list.Count != 1 {
+		t.Fatalf("sweep filter: status %d err %v body %s", resp.StatusCode, err, body)
+	}
+}

@@ -1,0 +1,69 @@
+// Package xlog builds the daemons' slog.Logger. Two formats:
+//
+//   - "text" renders exactly what log.Printf with LstdFlags produced
+//     ("2006/01/02 15:04:05 message\n") so operators' eyes — and the
+//     smoke scripts' greps — see identical lines. Structured attrs are
+//     accepted and carried on the record, but text output stays the
+//     human line; attrs are for the json format and future sinks.
+//   - "json" is slog's standard JSON handler: one object per line with
+//     time/level/msg plus every attr (job_id, trace_id, worker,
+//     digest, ...), ready for log aggregation.
+package xlog
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Formats accepted by New.
+const (
+	FormatText = "text"
+	FormatJSON = "json"
+)
+
+// New returns a logger writing to w in the given format ("text" or
+// "json"); unknown formats error.
+func New(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case FormatText, "":
+		return slog.New(&textHandler{w: w, mu: &sync.Mutex{}}), nil
+	case FormatJSON:
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("xlog: unknown log format %q (want %s or %s)", format, FormatText, FormatJSON)
+	}
+}
+
+// textHandler reproduces the stdlib log package's LstdFlags line
+// format byte-for-byte: "YYYY/MM/DD HH:MM:SS msg\n". Attrs are
+// deliberately not printed — the msg is the complete human line, as it
+// was before the slog migration.
+type textHandler struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (h *textHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	t := r.Time
+	if t.IsZero() {
+		t = time.Now()
+	}
+	line := fmt.Sprintf("%s %s\n", t.Format("2006/01/02 15:04:05"), r.Message)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, line)
+	return err
+}
+
+// WithAttrs and WithGroup return the handler unchanged: text output
+// never renders attrs, so there is nothing to accumulate.
+func (h *textHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *textHandler) WithGroup(string) slog.Handler      { return h }

@@ -1,0 +1,61 @@
+package xlog
+
+import (
+	"bytes"
+	"encoding/json"
+	"log"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The text format must match stdlib log.Printf with LstdFlags exactly,
+// modulo the timestamp value — the smoke scripts grep these lines.
+func TestTextFormatMatchesStdlibLog(t *testing.T) {
+	var got, want bytes.Buffer
+	lg, err := New(FormatText, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := log.New(&want, "", log.LstdFlags)
+
+	lg.Info("ximdd: listening on 127.0.0.1:8080", "job_id", "j-1")
+	std.Printf("ximdd: listening on 127.0.0.1:8080")
+
+	strip := regexp.MustCompile(`^\d{4}/\d{2}/\d{2} \d{2}:\d{2}:\d{2} `)
+	g, w := got.String(), want.String()
+	if !strip.MatchString(g) {
+		t.Fatalf("text line missing LstdFlags timestamp: %q", g)
+	}
+	if strip.ReplaceAllString(g, "") != strip.ReplaceAllString(w, "") {
+		t.Fatalf("text line mismatch:\n got %q\nwant %q", g, w)
+	}
+	if strings.Contains(g, "job_id") {
+		t.Fatalf("text format must not render attrs: %q", g)
+	}
+}
+
+func TestJSONFormatCarriesAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := New(FormatJSON, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("worker lost", "worker", "w0", "trace_id", "abc")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json line: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "worker lost" || rec["worker"] != "w0" || rec["trace_id"] != "abc" {
+		t.Fatalf("json record = %v", rec)
+	}
+}
+
+func TestUnknownFormatErrors(t *testing.T) {
+	if _, err := New("xml", nil); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	if lg, err := New("", &bytes.Buffer{}); err != nil || lg == nil {
+		t.Fatalf("empty format must default to text: %v", err)
+	}
+}

@@ -88,7 +88,7 @@ print(json.dumps({
 }))
 EOF
 )
-curl -fsS -X POST -H 'Content-Type: application/json' -d "$sweep_req" "$coord/v1/sweeps" >"$workdir/fleet_tproc.json"
+curl -fsS -D "$workdir/sweep_headers.txt" -X POST -H 'Content-Type: application/json' -d "$sweep_req" "$coord/v1/sweeps" >"$workdir/fleet_tproc.json"
 curl -fsS -X POST -H 'Content-Type: application/json' -d "$sweep_req" "http://$w0/v1/sweeps" >"$workdir/single_tproc.json"
 python3 - "$workdir/fleet_tproc.json" "$workdir/single_tproc.json" <<'EOF'
 import json, sys
@@ -112,6 +112,23 @@ rate = hits / (hits + spills)
 assert rate > 0.9, f"affinity hit rate {rate:.3f} <= 0.9 (hits {hits}, spills {spills})"
 print(f"   affinity hit rate {rate:.3f}")
 EOF
+
+echo "== distributed trace: sweep tree spans coordinator -> worker -> execute"
+trace_id=$(sed -n 's/^[Xx]-[Xx]imd-[Tt]race: \([0-9a-f]*\)-.*/\1/p' "$workdir/sweep_headers.txt" | head -n1)
+[ -n "$trace_id" ] || { echo "sweep response carried no X-Ximd-Trace header"; cat "$workdir/sweep_headers.txt"; exit 1; }
+curl -fsS "$coord/v1/traces/$trace_id" >"$workdir/trace_tree.ndjson"
+python3 - "$workdir/trace_tree.ndjson" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+depth = max(l["depth"] for l in lines)
+services = {l["service"] for l in lines}
+names = {l["name"] for l in lines}
+assert depth >= 3, f"trace tree depth {depth} < 3: {sorted(names)}"
+assert {"ximdc", "ximdd"} <= services, f"trace services {services} missing a side"
+assert "execute" in names and "placement" in names, f"spans {sorted(names)}"
+print(f"   {len(lines)} spans, depth {depth}, services {sorted(services)}")
+EOF
+curl -fsS "$coord/v1/traces?limit=5" | grep -q "\"$trace_id\"" || { echo "trace list missing sweep trace"; exit 1; }
 
 echo "== fleet-wide regression gate"
 reg_req=$(python3 - <<'EOF'
@@ -179,7 +196,10 @@ requeued=$(echo "$metrics" | sed -n 's/^ximdc_jobs_requeued_total \([0-9]*\)$/\1
 lost=$(echo "$metrics" | sed -n 's/^ximdc_workers_lost_total \([0-9]*\)$/\1/p')
 [ "${requeued:-0}" -gt 0 ] || { echo "no jobs requeued despite worker kill"; exit 1; }
 [ "${lost:-0}" -gt 0 ] || { echo "worker never marked lost"; exit 1; }
-curl -fsS "$coord/v1/fleet" | grep -q '"state":"lost"' || { echo "fleet view missing lost worker"; exit 1; }
+fleet=$(curl -fsS "$coord/v1/fleet")
+echo "$fleet" | grep -q '"state":"lost"' || { echo "fleet view missing lost worker: $fleet"; exit 1; }
+echo "$fleet" | grep -q '"last_heartbeat_age_ms"' || { echo "fleet view missing heartbeat age: $fleet"; exit 1; }
+echo "$fleet" | grep -q '"poll_p50_ms"' || { echo "fleet view missing poll quantiles: $fleet"; exit 1; }
 
 echo "== archive survived the fleet's lifetime"
 runs=$(curl -fsS "$coord/v1/runs?limit=100")
